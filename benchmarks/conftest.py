@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and emits
+it twice: printed to stdout (visible with ``pytest -s`` /
+``--capture=no``) and written under ``results/`` next to this
+directory, so the artifacts survive captured output.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture
+def bench_rng() -> np.random.Generator:
+    """Deterministic RNG for benchmark workloads."""
+    return np.random.default_rng(2015)
+
+
+@pytest.fixture
+def emit():
+    """Emit a FigureResult/TableResult: print it and persist artifacts."""
+
+    def _emit(result, stem: str) -> None:
+        text = result.to_text()
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
+        result.to_csv(RESULTS_DIR / f"{stem}.csv")
+
+    return _emit

@@ -1,0 +1,62 @@
+"""Benchmark: the four design-choice ablations of DESIGN.md.
+
+1. Appendix-A comparison memoization;
+2. Appendix-A global loss counters;
+3. phase-2 algorithm choice (§4.1.2);
+4. filter group-size multiplier (paper: 4).
+"""
+
+import numpy as np
+
+from repro.experiments.ablation import (
+    run_group_multiplier_ablation,
+    run_loss_counter_ablation,
+    run_memoization_ablation,
+    run_phase2_ablation,
+)
+
+
+def test_ablation_memoization(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_memoization_ablation(np.random.default_rng(2015), trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ablation_memoization")
+    on_row = next(row for row in table.rows if row[0] == "on")
+    off_row = next(row for row in table.rows if row[0] == "off")
+    assert on_row[1] <= off_row[1]
+
+
+def test_ablation_loss_counters(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_loss_counter_ablation(np.random.default_rng(2015), trials=5),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ablation_loss_counters")
+    assert all(row[4] == "5/5" for row in table.rows)
+
+
+def test_ablation_phase2(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_phase2_ablation(np.random.default_rng(2015), trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ablation_phase2")
+    # The paper's practical argument: randomized constants dominate.
+    for s in {row[0] for row in table.rows}:
+        rows = {row[1]: row for row in table.rows if row[0] == s}
+        assert rows["randomized"][2] >= rows["two_maxfind"][2]
+
+
+def test_ablation_group_multiplier(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_group_multiplier_ablation(np.random.default_rng(2015), trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ablation_group_multiplier")
+    costs = [row[1] for row in table.rows]
+    assert costs == sorted(costs)

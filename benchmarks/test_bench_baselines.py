@@ -1,0 +1,23 @@
+"""Benchmark: the baseline shoot-out (prior-work tournaments vs Alg 1).
+
+Section 2's positioning, measured: tournaments with redundancy are fine
+in the probabilistic model; under the threshold model only the
+expert-aware pipeline keeps accuracy below the expert-only price.
+"""
+
+import numpy as np
+
+from repro.experiments.baselines import run_baseline_shootout
+
+
+def test_baseline_shootout(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_baseline_shootout(np.random.default_rng(2015), trials=4),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "baselines")
+    threshold_rows = {row[1]: row for row in table.rows if row[0] == "threshold"}
+    alg1 = threshold_rows["Alg 1 (expert-aware)"]
+    expert_only = threshold_rows["2-MaxFind-expert"]
+    assert alg1[3] < expert_only[3]  # cheaper

@@ -1,0 +1,21 @@
+"""Benchmark: the Lemma 3 / Corollary 1 / Lemma 6 envelope check.
+
+Measured comparison counts of the two-phase algorithm must sit between
+the paper's lower and upper bounds — the empirical optimality check.
+"""
+
+import numpy as np
+
+from repro.experiments.bounds_check import run_bounds_check
+
+
+def test_bounds_envelopes(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_bounds_check(
+            np.random.default_rng(2015), ns=(500, 1000, 2000, 4000), u_n=10, u_e=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "bounds_check")
+    assert all(row[-1] == "yes" for row in table.rows)

@@ -1,0 +1,23 @@
+"""Benchmark: budget-optimal redundancy planning (the Mo et al. point).
+
+The two regimes side by side: easy questions convert budget into
+accuracy through redundancy; threshold-regime questions do not — the
+planner buys a single vote and the money should buy experts instead.
+"""
+
+import numpy as np
+
+from repro.experiments.budget_planning import run_budget_planning
+
+
+def test_budget_planning(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_budget_planning(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "budget_planning")
+    easy_acc = [row[2] for row in table.rows]
+    hard_acc = [row[4] for row in table.rows]
+    assert easy_acc == sorted(easy_acc)
+    assert all(abs(a - 0.5) < 1e-12 for a in hard_acc)

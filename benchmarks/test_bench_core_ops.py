@@ -1,0 +1,75 @@
+"""Micro-benchmarks of the core primitives (true pytest-benchmark runs).
+
+Unlike the figure/table benches (single-shot regenerations), these time
+the hot paths with repeated rounds: batch comparison resolution through
+the memoizing oracle, all-play-all tournaments, the phase-1 filter and
+2-MaxFind at the paper's scales.
+"""
+
+import numpy as np
+
+from repro.core.filter_phase import filter_candidates
+from repro.core.generators import planted_instance
+from repro.core.oracle import ComparisonOracle
+from repro.core.tournament import play_all_play_all
+from repro.core.two_maxfind import two_maxfind
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+def test_oracle_batch_resolution(benchmark):
+    rng = np.random.default_rng(1)
+    values = rng.uniform(0, 1000, size=2000)
+    model = ThresholdWorkerModel(delta=1.0)
+
+    def run():
+        oracle = ComparisonOracle(values, model, rng)
+        ii = rng.integers(0, 1000, size=20_000)
+        jj = rng.integers(1000, 2000, size=20_000)
+        oracle.compare_pairs(ii, jj)
+        return oracle.comparisons
+
+    comparisons = benchmark(run)
+    assert comparisons > 0
+
+
+def test_all_play_all_tournament(benchmark):
+    rng = np.random.default_rng(2)
+    values = rng.uniform(0, 1000, size=400)
+    model = ThresholdWorkerModel(delta=1.0)
+
+    def run():
+        oracle = ComparisonOracle(values, model, rng)
+        return play_all_play_all(oracle, np.arange(400)).n_pairs
+
+    n_pairs = benchmark(run)
+    assert n_pairs == 400 * 399 // 2
+
+
+def test_filter_phase_n2000(benchmark):
+    rng = np.random.default_rng(3)
+    instance = planted_instance(
+        n=2000, u_n=10, u_e=5, delta_n=1.0, delta_e=0.25, rng=rng
+    )
+    model = ThresholdWorkerModel(delta=1.0)
+
+    def run():
+        oracle = ComparisonOracle(instance, model, rng)
+        return filter_candidates(oracle, u_n=10).comparisons
+
+    comparisons = benchmark(run)
+    assert comparisons <= 4 * 2000 * 10
+
+
+def test_two_maxfind_n2000(benchmark):
+    rng = np.random.default_rng(4)
+    instance = planted_instance(
+        n=2000, u_n=10, u_e=5, delta_n=1.0, delta_e=0.25, rng=rng
+    )
+    model = ThresholdWorkerModel(delta=1.0)
+
+    def run():
+        oracle = ComparisonOracle(instance, model, rng)
+        return two_maxfind(oracle).comparisons
+
+    comparisons = benchmark(run)
+    assert comparisons > 0

@@ -1,0 +1,67 @@
+"""Benchmark: the future-work extensions (cascade, continuous expertise)
+and the latency/time-complexity measurement.
+
+These go beyond the paper's evaluation section, covering the extensions
+Section 3.3 explicitly leaves open plus the logical-step time model the
+paper adopts from Venetis et al.
+"""
+
+import numpy as np
+
+from repro.experiments.expert_discovery import run_expert_discovery
+from repro.experiments.extensions import (
+    run_cascade_experiment,
+    run_expert_fraction_experiment,
+)
+from repro.experiments.latency import run_latency_experiment
+
+
+def test_cascade_vs_two_class(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_cascade_experiment(np.random.default_rng(2015), trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ext_cascade")
+    by_name = {row[0]: row for row in table.rows}
+    assert (
+        by_name["cascade (crowd>skilled>expert)"][2]
+        < by_name["expert-only 2-MaxFind"][2]
+    )
+
+
+def test_expert_fraction_curves(benchmark, emit):
+    figure = benchmark.pedantic(
+        lambda: run_expert_fraction_experiment(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(figure, "ext_expert_fraction")
+    # the paper's barrier at fraction 0; escape with experts present
+    assert abs(figure.series["majority of 21"][0] - 0.5) < 0.1
+    assert figure.series["majority of 21"][-1] > 0.95
+
+
+def test_expert_discovery(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_expert_discovery(np.random.default_rng(2015), trials=3),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "ext_expert_discovery")
+    by_name = {row[0]: row for row in table.rows}
+    # discovered experts close (most of) the gap to oracle knowledge
+    assert (
+        by_name["discovered experts"][1]
+        <= by_name["naive-only (whole pool)"][1] + 0.5
+    )
+
+
+def test_latency(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_latency_experiment(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "latency")
+    assert all(row[3] > 0 for row in table.rows)

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate Figure 10 (worst-case cost under mis-estimated u_n).
+
+Paper shape: worst-case cost scales linearly with the estimation factor
+(the theory envelopes are linear in the estimated parameter).
+"""
+
+import numpy as np
+
+from repro.experiments.estimation_sweep import (
+    EstimationConfig,
+    figure10_from_estimation,
+    run_estimation_sweep,
+)
+
+PAPER_EXPERT_COSTS = (10, 20, 50)
+
+
+def _run():
+    # Worst cases are closed-form in the estimated parameter: a single
+    # trial suffices to realise the sweep grid.
+    config = EstimationConfig(ns=(500, 1000, 2000), u_n=10, u_e=5, trials=1)
+    data = run_estimation_sweep(config, np.random.default_rng(2015))
+    return [figure10_from_estimation(data, ce) for ce in PAPER_EXPERT_COSTS]
+
+
+def test_fig10_wc_estimation_cost(benchmark, emit):
+    panels = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for panel, ce in zip(panels, PAPER_EXPERT_COSTS):
+        emit(panel, f"fig10_ce{ce}")
+    # sanity: worst-case cost is monotone in the estimation factor
+    panel = panels[0]
+    low = panel.series["Alg 1 (0.2*un) (wc)"][-1]
+    mid = panel.series["Alg 1 (wc)"][-1]
+    high = panel.series["Alg 1 (2*un) (wc)"][-1]
+    assert low < mid < high

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Figure 2 (worker accuracy vs #workers, §3.1).
+
+Paper shapes to verify in the output:
+* 2(a) DOTS — every relative-difference bucket climbs toward 1.0;
+* 2(b) CARS — buckets at or below 20 % plateau near 0.6-0.7.
+"""
+
+import numpy as np
+
+from repro.experiments.accuracy_curves import run_figure2_cars, run_figure2_dots
+
+
+def test_fig2a_dots(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure2_dots(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, "fig2a_dots")
+    # sanity: wisdom-of-crowds shape
+    for ys in result.series.values():
+        assert ys[-1] >= 0.8
+
+
+def test_fig2b_cars(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: run_figure2_cars(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result, "fig2b_cars")
+    # sanity: threshold plateau on the hardest bucket
+    hard = [s for s in result.series if s.startswith("[0,0.1]")][0]
+    assert result.series[hard][-1] < 0.85

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 3 (average true rank vs n, §5.1).
+
+Paper shape: 2-MaxFind-expert best, Alg 1 close behind, 2-MaxFind-naive
+clearly worse — and worse for the larger u_n setting.
+"""
+
+import numpy as np
+
+from repro.experiments.accuracy_vs_n import figure3_from_sweep
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+SETTINGS = ((10, 5), (50, 10))  # the paper's two (u_n, u_e) panels
+
+
+def _run_panel(u_n: int, u_e: int):
+    config = SweepConfig(
+        ns=(500, 1000, 2000), u_n=u_n, u_e=u_e, trials=3, measure_worst_case=False
+    )
+    data = run_sweep(config, np.random.default_rng(2015))
+    return figure3_from_sweep(data)
+
+
+def test_fig3_panel_a(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: _run_panel(*SETTINGS[0]), rounds=1, iterations=1
+    )
+    emit(result, "fig3_un10_ue5")
+
+
+def test_fig3_panel_b(benchmark, emit):
+    result = benchmark.pedantic(
+        lambda: _run_panel(*SETTINGS[1]), rounds=1, iterations=1
+    )
+    emit(result, "fig3_un50_ue10")
+    # sanity: the naive-only baseline is the worst of the three on
+    # average across the sweep (the paper's headline ordering)
+    naive = np.mean(result.series["2-MaxFind-naive"])
+    alg1 = np.mean(result.series["Alg 1"])
+    assert naive > alg1

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 4 (#comparisons vs n, log scale, §5.1).
+
+Paper shapes: Alg 1's expert comparisons stay roughly constant in n;
+its naive comparisons grow linearly within the 4*n*u_n envelope; the
+measured adversarial worst cases of 2-MaxFind sit well above its
+average curve.
+"""
+
+import numpy as np
+
+from repro.experiments.comparisons_vs_n import figure4_from_sweep
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+
+def _run(u_n: int, u_e: int):
+    config = SweepConfig(ns=(500, 1000, 2000), u_n=u_n, u_e=u_e, trials=3)
+    data = run_sweep(config, np.random.default_rng(2015))
+    return figure4_from_sweep(data)
+
+
+def test_fig4_panel_a(benchmark, emit):
+    result = benchmark.pedantic(lambda: _run(10, 5), rounds=1, iterations=1)
+    emit(result, "fig4_un10_ue5")
+    # sanity: theory worst case dominates the measured average
+    for wc, avg in zip(
+        result.series["Alg 1 naive (wc)"], result.series["Alg 1 naive (avg)"]
+    ):
+        assert wc >= avg
+    # expert comparisons roughly flat in n
+    expert_avg = result.series["Alg 1 expert (avg)"]
+    assert max(expert_avg) <= 5 * max(min(expert_avg), 1.0)
+
+
+def test_fig4_panel_b(benchmark, emit):
+    result = benchmark.pedantic(lambda: _run(50, 10), rounds=1, iterations=1)
+    emit(result, "fig4_un50_ue10")

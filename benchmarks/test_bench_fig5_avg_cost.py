@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 5 (average cost vs n, 6 panels, §5.1).
+
+Paper shape: with c_e/c_n >= ~10 the two-phase algorithm undercuts the
+expert-only baseline, and the gap widens with c_e.
+"""
+
+import numpy as np
+
+from repro.experiments.cost_vs_n import PAPER_EXPERT_COSTS, figure5_from_sweep
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+
+def _run_panels(u_n: int, u_e: int):
+    config = SweepConfig(
+        ns=(500, 1000, 2000), u_n=u_n, u_e=u_e, trials=3, measure_worst_case=False
+    )
+    data = run_sweep(config, np.random.default_rng(2015))
+    return [figure5_from_sweep(data, ce) for ce in PAPER_EXPERT_COSTS]
+
+
+def test_fig5_setting_a(benchmark, emit):
+    panels = benchmark.pedantic(lambda: _run_panels(10, 5), rounds=1, iterations=1)
+    for panel, ce in zip(panels, PAPER_EXPERT_COSTS):
+        emit(panel, f"fig5_un10_ue5_ce{ce}")
+
+
+def test_fig5_setting_b(benchmark, emit):
+    panels = benchmark.pedantic(lambda: _run_panels(50, 10), rounds=1, iterations=1)
+    for panel, ce in zip(panels, PAPER_EXPERT_COSTS):
+        emit(panel, f"fig5_un50_ue10_ce{ce}")
+    # sanity: Alg 1's cost is essentially flat in c_e (few expert
+    # comparisons), while the expert-only baseline scales with c_e.
+    low_ce, high_ce = panels[0], panels[-1]
+    ratio_alg1 = high_ce.series["Alg 1 (avg)"][-1] / low_ce.series["Alg 1 (avg)"][-1]
+    ratio_expert = (
+        high_ce.series["2-MaxFind-expert (avg)"][-1]
+        / low_ce.series["2-MaxFind-expert (avg)"][-1]
+    )
+    assert ratio_expert > ratio_alg1

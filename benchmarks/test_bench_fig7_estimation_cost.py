@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 7 (average cost under mis-estimated u_n).
+
+Paper shape: "the cost has a smooth linear behavior; for instance, an
+estimation factor of 2 doubles the cost".
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.estimation_sweep import (
+    EstimationConfig,
+    figure7_from_estimation,
+    run_estimation_sweep,
+)
+
+PAPER_EXPERT_COSTS = (10, 20, 50)
+
+
+def _run():
+    config = EstimationConfig(ns=(500, 1000, 2000), u_n=10, u_e=5, trials=3)
+    data = run_estimation_sweep(config, np.random.default_rng(2015))
+    return [figure7_from_estimation(data, ce) for ce in PAPER_EXPERT_COSTS]
+
+
+def test_fig7_estimation_cost(benchmark, emit):
+    panels = benchmark.pedantic(_run, rounds=1, iterations=1)
+    for panel, ce in zip(panels, PAPER_EXPERT_COSTS):
+        emit(panel, f"fig7_ce{ce}")
+    # sanity: factor 2 costs roughly twice factor 1 (paper's linearity)
+    panel = panels[0]
+    exact = panel.series["Alg 1 (avg)"][-1]
+    double = panel.series["Alg 1 (2*un) (avg)"][-1]
+    assert double / exact == pytest.approx(2.0, rel=0.35)

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Figure 9 (worst-case cost vs n, App. C).
+
+Paper shape: the worst-case ordering mirrors the average-case one but
+with larger magnitudes; Alg 1's worst case uses the theory envelopes
+while the 2-MaxFind worst cases are measured adversarially.
+"""
+
+import numpy as np
+
+from repro.experiments.cost_vs_n import PAPER_EXPERT_COSTS, figure9_from_sweep
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+
+def _run_panels(u_n: int, u_e: int):
+    config = SweepConfig(ns=(500, 1000, 2000), u_n=u_n, u_e=u_e, trials=2)
+    data = run_sweep(config, np.random.default_rng(2015))
+    return data, [figure9_from_sweep(data, ce) for ce in PAPER_EXPERT_COSTS]
+
+
+def test_fig9_setting_a(benchmark, emit):
+    data, panels = benchmark.pedantic(
+        lambda: _run_panels(10, 5), rounds=1, iterations=1
+    )
+    for panel, ce in zip(panels, PAPER_EXPERT_COSTS):
+        emit(panel, f"fig9_un10_ue5_ce{ce}")
+    # sanity: worst-case costs exceed average-case comparison counts
+    for point in data.points:
+        assert point.alg1_naive_wc >= point.mean("alg1_naive")
+
+
+def test_fig9_setting_b(benchmark, emit):
+    _data, panels = benchmark.pedantic(
+        lambda: _run_panels(50, 10), rounds=1, iterations=1
+    )
+    for panel, ce in zip(panels, PAPER_EXPERT_COSTS):
+        emit(panel, f"fig9_un50_ue10_ce{ce}")

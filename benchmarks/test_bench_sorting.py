@@ -1,0 +1,26 @@
+"""Benchmark: approximate sorting quality under the threshold model.
+
+Substrate validation for the Ajtai et al. machinery the paper builds
+on: Borda sort's dislocation stays within the delta-neighbourhood bound
+while quicksort trades accuracy for O(m log m) comparisons.
+"""
+
+import numpy as np
+
+from repro.experiments.sorting_quality import run_sorting_quality
+
+
+def test_sorting_quality(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_sorting_quality(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "sorting_quality")
+    by_key = {(row[0], row[1]): row for row in table.rows}
+    # delta = 0 sorts exactly for both algorithms
+    assert by_key[(0.0, "borda")][2] == 0
+    assert by_key[(0.0, "quicksort")][2] == 0
+    # quicksort is always cheaper in comparisons
+    for delta in {row[0] for row in table.rows}:
+        assert by_key[(delta, "quicksort")][4] < by_key[(delta, "borda")][4]

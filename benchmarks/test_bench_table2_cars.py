@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 2 (CARS CrowdFlower runs, §5.3) plus the
+in-text 14-run 2-MaxFind-naive repetition on CARS.
+
+Paper: the top car always reaches the last round, but the simulated
+experts (majority of 7 naive votes) fail to identify it; naive-only
+2-MaxFind succeeds in 0/14 runs.
+"""
+
+import numpy as np
+
+from repro.experiments.crowdflower import run_repeated_two_maxfind, run_table2_cars
+
+
+def test_table2_cars(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_table2_cars(np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "table2_cars")
+    # sanity: the top car (first row) reached the last round in both runs
+    assert table.rows[0][2] != "-"
+    assert table.rows[0][3] != "-"
+
+
+def test_cars_naive_repeats(benchmark, emit):
+    table = benchmark.pedantic(
+        lambda: run_repeated_two_maxfind("cars", np.random.default_rng(2015)),
+        rounds=1,
+        iterations=1,
+    )
+    emit(table, "repeats_cars")
+    successes = sum(1 for row in table.rows if row[2] == "yes")
+    assert successes <= 4  # paper: 0/14

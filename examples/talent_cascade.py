@@ -1,0 +1,86 @@
+"""Talent-show triage: a three-tier worker cascade.
+
+The paper's model has two worker classes; Section 3.3 notes that "a
+natural extension models multiple classes of workers with different
+expertise levels" and leaves it as future work.  This example runs that
+extension: a talent show with thousands of audition tapes, triaged by
+
+1. the *crowd* (cheap, can only separate clearly different acts),
+2. *casting assistants* (paid 10x, trained ears), and
+3. the *celebrity judge* (paid 500x, the final word),
+
+then compares the cascade's bill against the two-class pipeline and a
+judge-only contest.  The judge should see a couple dozen comparisons,
+not thousands.
+
+Run:  python examples/talent_cascade.py
+"""
+
+import numpy as np
+
+from repro.core import CascadeMaxFinder, ComparisonOracle, tiered_instance, two_maxfind
+from repro.core.maxfinder import ExpertAwareMaxFinder
+from repro.workers import ThresholdWorkerModel, WorkerClass
+
+SEED = 11
+N_TAPES = 2000
+U_VALUES = (40, 12, 4)       # confusable-with-the-best counts per tier
+DELTAS = (8.0, 2.0, 0.5)     # discernment thresholds per tier
+COSTS = (1.0, 10.0, 500.0)   # crowd / assistant / celebrity fees
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    tapes = tiered_instance(
+        n=N_TAPES, u_values=list(U_VALUES), deltas=list(DELTAS), rng=rng,
+        name="audition-tapes",
+    )
+
+    crowd = WorkerClass("crowd", ThresholdWorkerModel(delta=DELTAS[0]), COSTS[0])
+    assistant = WorkerClass("assistant", ThresholdWorkerModel(delta=DELTAS[1]), COSTS[1])
+    judge = WorkerClass(
+        "judge", ThresholdWorkerModel(delta=DELTAS[2], is_expert=True), COSTS[2]
+    )
+
+    # --- The three-tier cascade.
+    cascade = CascadeMaxFinder([crowd, assistant, judge], u_values=list(U_VALUES[:2]))
+    result = cascade.run(tapes, rng)
+    print(f"Cascade winner: tape #{result.winner} "
+          f"(true rank {tapes.rank_of(result.winner)} of {N_TAPES})\n")
+    print(f"{'stage':<12} {'saw':>6} {'kept':>5} {'comparisons':>12} {'cost':>10}")
+    for stage in result.stages:
+        print(
+            f"{stage.class_name:<12} {stage.input_size:>6} {stage.survivors:>5} "
+            f"{stage.comparisons:>12} {stage.cost:>10,.0f}"
+        )
+    print(f"{'TOTAL':<12} {'':>6} {'':>5} {result.total_comparisons:>12} "
+          f"{result.total_cost:>10,.0f}\n")
+
+    # --- Baseline A: the paper's two-class pipeline (crowd + judge).
+    two_class = ExpertAwareMaxFinder(naive=crowd, expert=judge, u_n=U_VALUES[0])
+    baseline = two_class.run(tapes, rng)
+    print(
+        f"Two-class pipeline: rank {tapes.rank_of(baseline.winner)}, "
+        f"cost {baseline.cost:,.0f} "
+        f"({baseline.expert_comparisons} judge comparisons)"
+    )
+
+    # --- Baseline B: the judge watches everything.
+    judge_oracle = ComparisonOracle(
+        tapes, judge.model, rng, cost_per_comparison=judge.cost_per_comparison
+    )
+    solo = two_maxfind(judge_oracle)
+    print(
+        f"Judge-only contest:  rank {tapes.rank_of(solo.winner)}, "
+        f"cost {judge_oracle.cost:,.0f} "
+        f"({judge_oracle.comparisons} judge comparisons)"
+    )
+    print(
+        f"\nThe cascade cuts the judge's workload "
+        f"{judge_oracle.comparisons / max(result.comparisons_by_class()['judge'], 1):,.0f}x "
+        f"and the total bill {judge_oracle.cost / result.total_cost:,.1f}x."
+    )
+
+
+if __name__ == "__main__":
+    main()

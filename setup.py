@@ -1,0 +1,10 @@
+"""Setuptools shim for editable installs in offline environments.
+
+All project metadata lives in ``pyproject.toml``; this file exists only
+so ``pip install -e .`` works without the ``wheel`` package (legacy
+``setup.py develop`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — reproduction of "The Importance of Being Expert: Efficient
+Max-Finding in Crowdsourcing" (Anagnostopoulos et al., SIGMOD 2015).
+
+The package implements the paper's crowdsourcing computation model
+(threshold error model with experts), its two-phase expert-aware
+max-finding algorithm with matching upper/lower bounds, a crowdsourcing
+platform simulator standing in for CrowdFlower, the DOTS / CARS /
+search-results datasets, and the full experiment harness reproducing
+every table and figure of the evaluation section.
+
+Quickstart::
+
+    import numpy as np
+    from repro import find_max, make_worker_classes, planted_instance
+
+    rng = np.random.default_rng(0)
+    instance = planted_instance(
+        n=1000, u_n=10, u_e=5, delta_n=10.0, delta_e=2.0, rng=rng
+    )
+    naive, expert = make_worker_classes(
+        delta_n=10.0, delta_e=2.0, cost_n=1.0, cost_e=20.0
+    )
+    result = find_max(instance, naive, expert, u_n=10, rng=rng)
+    print(instance.rank_of(result.winner), result.cost)
+"""
+
+from .core import (
+    ComparisonOracle,
+    ExpertAwareMaxFinder,
+    FilterResult,
+    MaxFindResult,
+    ProblemInstance,
+    adversarial_instance,
+    estimate_perr,
+    estimate_u_n,
+    filter_candidates,
+    find_max,
+    planted_instance,
+    randomized_maxfind,
+    two_maxfind,
+    uniform_instance,
+)
+from .service import CrowdJobResult, CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
+from .workers import (
+    AdversarialWorkerModel,
+    MajorityOfKModel,
+    ThresholdWorkerModel,
+    ThurstoneWorkerModel,
+    WorkerClass,
+    make_worker_classes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversarialWorkerModel",
+    "ComparisonOracle",
+    "CrowdJobResult",
+    "CrowdMaxJob",
+    "CrowdTopKJob",
+    "ExpertAwareMaxFinder",
+    "JobPhaseConfig",
+    "FilterResult",
+    "MajorityOfKModel",
+    "MaxFindResult",
+    "ProblemInstance",
+    "ThresholdWorkerModel",
+    "ThurstoneWorkerModel",
+    "WorkerClass",
+    "__version__",
+    "adversarial_instance",
+    "estimate_perr",
+    "estimate_u_n",
+    "filter_candidates",
+    "find_max",
+    "make_worker_classes",
+    "planted_instance",
+    "randomized_maxfind",
+    "two_maxfind",
+    "uniform_instance",
+]

@@ -1,0 +1,20 @@
+"""Statistics and reporting helpers for the experiment harness."""
+
+from .reporting import format_rows, format_series_table, write_csv
+from .shapes import crossover_x, dominates, growth_ratio, is_monotone, plateaus_at
+from .stats import MeanCI, geometric_mean, mean_ci, proportion_ci
+
+__all__ = [
+    "MeanCI",
+    "crossover_x",
+    "dominates",
+    "format_rows",
+    "format_series_table",
+    "geometric_mean",
+    "growth_ratio",
+    "is_monotone",
+    "mean_ci",
+    "plateaus_at",
+    "proportion_ci",
+    "write_csv",
+]

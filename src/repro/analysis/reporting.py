@@ -1,0 +1,90 @@
+"""Plain-text rendering of experiment results.
+
+The reproduction has no plotting dependency; every figure is emitted as
+an aligned data table (x column plus one column per series) — "the same
+rows/series the paper reports" — and every table as aligned rows.  CSV
+export is provided for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+__all__ = ["format_series_table", "format_rows", "write_csv"]
+
+
+def _fmt(value: object, width: int = 0) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width) if width else text
+
+
+def format_series_table(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render aligned columns: x plus one column per named series."""
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points for {len(x_values)} x values"
+            )
+    headers = [x_label, *series.keys()]
+    columns: list[list[str]] = [[_fmt(x) for x in x_values]]
+    columns += [[_fmt(y) for y in ys] for ys in series.values()]
+    widths = [
+        max(len(header), *(len(cell) for cell in col)) if col else len(header)
+        for header, col in zip(headers, columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row_idx in range(len(x_values)):
+        lines.append(
+            "  ".join(col[row_idx].rjust(w) for col, w in zip(columns, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_rows(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned table with a header row."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(r[k]) for r in str_rows)) if str_rows else len(str(header))
+        for k, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write rows to CSV (parent directories are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path

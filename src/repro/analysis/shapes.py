@@ -1,0 +1,105 @@
+"""Shape assertions for reproduced curves.
+
+The reproduction contract is about *shapes*, not absolute numbers: who
+wins, what grows, what plateaus, where curves cross.  These helpers
+turn those statements into checkable predicates, used by the benchmark
+harness and the tests (and handy when eyeballing new experiments).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_monotone",
+    "plateaus_at",
+    "dominates",
+    "crossover_x",
+    "growth_ratio",
+]
+
+
+def is_monotone(
+    series: Sequence[float], increasing: bool = True, tolerance: float = 0.0
+) -> bool:
+    """Whether a series is (weakly) monotone, up to ``tolerance`` dips."""
+    arr = np.asarray(series, dtype=np.float64)
+    if len(arr) < 2:
+        return True
+    steps = np.diff(arr)
+    if increasing:
+        return bool(np.all(steps >= -tolerance))
+    return bool(np.all(steps <= tolerance))
+
+
+def plateaus_at(
+    series: Sequence[float],
+    level: float,
+    tolerance: float = 0.05,
+    tail_fraction: float = 0.5,
+) -> bool:
+    """Whether the tail of a series settles within ``tolerance`` of ``level``.
+
+    ``tail_fraction`` selects how much of the series counts as "the
+    tail" (Figure 2(b)'s plateaus are judged on the second half).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("empty series")
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must be in (0, 1]")
+    tail = arr[int(len(arr) * (1.0 - tail_fraction)) :]
+    return bool(np.all(np.abs(tail - level) <= tolerance))
+
+
+def dominates(
+    upper: Sequence[float], lower: Sequence[float], slack: float = 0.0
+) -> bool:
+    """Whether ``upper`` sits at or above ``lower`` pointwise (minus slack)."""
+    a = np.asarray(upper, dtype=np.float64)
+    b = np.asarray(lower, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError("series must have equal length")
+    return bool(np.all(a >= b - slack))
+
+
+def crossover_x(
+    xs: Sequence[float], series_a: Sequence[float], series_b: Sequence[float]
+) -> float | None:
+    """First x at which ``series_a`` stops being below ``series_b``.
+
+    Returns the interpolated crossing point, the first x when ``a``
+    starts at or above ``b``, or ``None`` when ``a`` stays below
+    throughout.  Used for statements like "Alg 1 undercuts the
+    expert-only baseline once c_e/c_n exceeds ~10".
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    a = np.asarray(series_a, dtype=np.float64)
+    b = np.asarray(series_b, dtype=np.float64)
+    if not (len(x) == len(a) == len(b)) or len(x) == 0:
+        raise ValueError("xs, series_a, series_b must be equal-length, non-empty")
+    diff = a - b
+    if diff[0] >= 0:
+        return float(x[0])
+    below = diff < 0
+    for k in range(1, len(x)):
+        if not below[k]:
+            # linear interpolation between k-1 and k
+            d0, d1 = diff[k - 1], diff[k]
+            if d1 == d0:
+                return float(x[k])
+            t = -d0 / (d1 - d0)
+            return float(x[k - 1] + t * (x[k] - x[k - 1]))
+    return None
+
+
+def growth_ratio(series: Sequence[float]) -> float:
+    """Last-over-first ratio of a positive series (growth factor)."""
+    arr = np.asarray(series, dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("empty series")
+    if arr[0] <= 0:
+        raise ValueError("growth ratio needs a positive first element")
+    return float(arr[-1] / arr[0])

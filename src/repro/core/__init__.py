@@ -1,0 +1,109 @@
+"""Core algorithms of the paper (Section 4) and their substrates."""
+
+from .bounds import (
+    algorithm1_expert_upper_bound_randomized,
+    all_play_all_comparisons,
+    expert_comparisons_lower_bound_deterministic,
+    filter_comparisons_upper_bound,
+    monetary_cost,
+    naive_comparisons_lower_bound,
+    survivor_upper_bound,
+    two_maxfind_comparisons_upper_bound,
+)
+from .budget import RedundancyPlan, optimal_redundancy, redundancy_for_accuracy
+from .cascade import CascadeMaxFinder, CascadeResult, CascadeStageResult
+from .estimation import PerrEstimate, UnEstimate, estimate_perr, estimate_u_n
+from .filter_phase import FilterResult, FilterRound, filter_candidates
+from .generators import (
+    adversarial_instance,
+    clustered_instance,
+    planted_instance,
+    tie_heavy_instance,
+    tiered_instance,
+    uniform_instance,
+)
+from .instance import (
+    ProblemInstance,
+    distance,
+    indistinguishable_count,
+    relative_distance,
+    true_rank,
+)
+from .maxfinder import ExpertAwareMaxFinder, MaxFindResult, Phase2Algorithm, find_max
+from .oracle import ComparisonOracle
+from .pipeline import AutoMaxFindResult, find_max_with_estimation
+from .topk import TopKResult, find_top_k
+from .randomized_maxfind import RandomizedMaxFindResult, randomized_maxfind
+from .selection import approximate_median, borda_select, quick_select
+from .sorting import borda_sort, dislocation, max_dislocation, quick_sort
+from .tournament import (
+    TournamentResult,
+    all_pairs,
+    play_all_play_all,
+    tournament_winner,
+)
+from .tournament_max import TournamentMaxResult, TournamentRound, tournament_max
+from .two_maxfind import TwoMaxFindResult, TwoMaxFindRound, two_maxfind
+
+__all__ = [
+    "AutoMaxFindResult",
+    "CascadeMaxFinder",
+    "CascadeResult",
+    "CascadeStageResult",
+    "ComparisonOracle",
+    "ExpertAwareMaxFinder",
+    "FilterResult",
+    "FilterRound",
+    "MaxFindResult",
+    "PerrEstimate",
+    "Phase2Algorithm",
+    "ProblemInstance",
+    "RandomizedMaxFindResult",
+    "RedundancyPlan",
+    "TopKResult",
+    "TournamentMaxResult",
+    "TournamentResult",
+    "TournamentRound",
+    "TwoMaxFindResult",
+    "TwoMaxFindRound",
+    "UnEstimate",
+    "adversarial_instance",
+    "algorithm1_expert_upper_bound_randomized",
+    "all_pairs",
+    "all_play_all_comparisons",
+    "approximate_median",
+    "borda_select",
+    "borda_sort",
+    "clustered_instance",
+    "dislocation",
+    "distance",
+    "estimate_perr",
+    "estimate_u_n",
+    "expert_comparisons_lower_bound_deterministic",
+    "filter_candidates",
+    "filter_comparisons_upper_bound",
+    "find_max",
+    "find_max_with_estimation",
+    "find_top_k",
+    "indistinguishable_count",
+    "max_dislocation",
+    "monetary_cost",
+    "naive_comparisons_lower_bound",
+    "optimal_redundancy",
+    "planted_instance",
+    "play_all_play_all",
+    "quick_select",
+    "quick_sort",
+    "randomized_maxfind",
+    "redundancy_for_accuracy",
+    "relative_distance",
+    "survivor_upper_bound",
+    "tie_heavy_instance",
+    "tiered_instance",
+    "tournament_max",
+    "tournament_winner",
+    "true_rank",
+    "two_maxfind",
+    "two_maxfind_comparisons_upper_bound",
+    "uniform_instance",
+]

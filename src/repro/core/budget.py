@@ -1,0 +1,114 @@
+"""Budget-optimal redundancy planning (the Mo et al. question).
+
+Related work, Section 2: "Mo et al. [23] proposed algorithms to compute
+the number of workers whom to ask the same question such as to achieve
+the best accuracy with a fixed available budget."  In the probabilistic
+regime that computation is exact: the majority of ``j`` votes with
+per-vote accuracy ``p > 1/2`` succeeds with the closed-form binomial
+probability, so the planner can
+
+* pick, under a total budget ``B`` for ``m`` questions, the per-question
+  redundancy maximising accuracy (:func:`optimal_redundancy`), and
+* invert the relation: the minimum redundancy reaching a target
+  accuracy (:func:`redundancy_for_accuracy`).
+
+In the *threshold* regime the same arithmetic exposes the paper's core
+point: below the threshold ``p = 1/2`` and no redundancy helps —
+:func:`optimal_redundancy` then returns 1 vote per question (spend
+nothing extra) and :func:`redundancy_for_accuracy` reports the target
+unreachable, which is exactly when the budget should buy experts
+instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..workers.aggregation import majority_accuracy_exact
+
+__all__ = ["RedundancyPlan", "optimal_redundancy", "redundancy_for_accuracy"]
+
+#: Redundancy search ceiling; beyond this, gains are < 1e-9 for any
+#: p bounded away from 1/2, and the budget arithmetic stays sane.
+_MAX_REDUNDANCY = 2001
+
+
+@dataclass(frozen=True)
+class RedundancyPlan:
+    """A per-question redundancy decision.
+
+    Attributes
+    ----------
+    votes_per_question:
+        The chosen (odd) redundancy ``j``.
+    accuracy:
+        Exact per-question majority accuracy at that redundancy.
+    total_cost:
+        ``m * j * cost_per_vote``.
+    """
+
+    votes_per_question: int
+    accuracy: float
+    total_cost: float
+
+
+def optimal_redundancy(
+    p_correct: float,
+    n_questions: int,
+    budget: float,
+    cost_per_vote: float = 1.0,
+) -> RedundancyPlan:
+    """Best odd redundancy under a total budget (uniform questions).
+
+    With a concave accuracy-in-votes curve, the best plan under a
+    uniform-allocation policy is simply the largest affordable odd
+    redundancy — unless a single vote is already as good as it gets
+    (``p <= 1/2``, the threshold regime), where 1 vote is optimal.
+    """
+    if not 0.0 <= p_correct <= 1.0:
+        raise ValueError("p_correct must be in [0, 1]")
+    if n_questions < 1:
+        raise ValueError("n_questions must be at least 1")
+    if cost_per_vote <= 0:
+        raise ValueError("cost_per_vote must be positive")
+    if budget < n_questions * cost_per_vote:
+        raise ValueError("the budget cannot even pay one vote per question")
+
+    max_affordable = int(budget // (n_questions * cost_per_vote))
+    if p_correct <= 0.5:
+        # No redundancy helps at or below the coin: spend the minimum.
+        j = 1
+    else:
+        j = min(max_affordable, _MAX_REDUNDANCY)
+        if j % 2 == 0:
+            j -= 1  # even redundancy wastes a vote on the tie coin
+        j = max(j, 1)
+    return RedundancyPlan(
+        votes_per_question=j,
+        accuracy=majority_accuracy_exact(p_correct, j),
+        total_cost=n_questions * j * cost_per_vote,
+    )
+
+
+def redundancy_for_accuracy(
+    p_correct: float,
+    target_accuracy: float,
+) -> int | None:
+    """Minimum odd redundancy reaching ``target_accuracy`` per question.
+
+    Returns ``None`` when the target is unreachable — i.e. in the
+    threshold regime (``p <= 1/2``) for any target above 1/2, the
+    situation in which the paper's answer is: hire an expert.
+    """
+    if not 0.0 <= p_correct <= 1.0:
+        raise ValueError("p_correct must be in [0, 1]")
+    if not 0.0 < target_accuracy < 1.0:
+        raise ValueError("target_accuracy must be in (0, 1)")
+    if majority_accuracy_exact(p_correct, 1) >= target_accuracy:
+        return 1
+    if p_correct <= 0.5:
+        return None
+    for j in range(3, _MAX_REDUNDANCY + 1, 2):
+        if majority_accuracy_exact(p_correct, j) >= target_accuracy:
+            return j
+    return None

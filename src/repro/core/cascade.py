@@ -1,0 +1,202 @@
+"""Multi-class cascades: the paper's stated extension, implemented.
+
+Section 3.3: "In our model we consider two classes of workers, but a
+natural extension models multiple classes of workers with different
+expertise levels [...] We leave these extensions as future work."
+
+This module provides that extension.  A *hierarchy* of worker classes
+``W_1, ..., W_k`` with decreasing discernment thresholds
+``delta_1 > delta_2 > ... > delta_k`` (and increasing costs) induces
+decreasing confusion counts ``u_1 >= u_2 >= ... >= u_k``.  The cascade
+generalises Algorithm 1:
+
+* stage ``i < k`` runs the Algorithm-2 filter with class ``W_i`` and
+  parameter ``u_i`` on the survivors of the previous stage, shrinking
+  the population from ``O(u_{i-1})`` to at most ``2 u_i - 1``;
+* the final class runs 2-MaxFind (or a sibling) on the last survivor
+  set and returns an element within ``2 delta_k`` of the maximum.
+
+Correctness is stage-local Lemma 1: within any candidate set containing
+the maximum, the maximum loses at most ``u_i - 1`` class-``W_i``
+comparisons, so the filter never discards it (for zero residual error).
+The cost telescopes: the expensive classes only ever see
+``O(u_{i-1})`` elements, exactly as the two-class analysis promises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..workers.expert import WorkerClass
+from ..workers.threshold import ThresholdWorkerModel
+from .filter_phase import filter_candidates
+from .instance import ProblemInstance
+from .maxfinder import Phase2Algorithm
+from .oracle import ComparisonOracle, CostChargeable
+from .randomized_maxfind import randomized_maxfind
+from .tournament import play_all_play_all
+from .two_maxfind import two_maxfind
+
+__all__ = ["CascadeStageResult", "CascadeResult", "CascadeMaxFinder"]
+
+
+@dataclass(frozen=True)
+class CascadeStageResult:
+    """Telemetry for one cascade stage."""
+
+    class_name: str
+    input_size: int
+    survivors: int
+    comparisons: int
+    cost: float
+
+
+@dataclass
+class CascadeResult:
+    """Outcome of a cascade run."""
+
+    winner: int
+    stages: list[CascadeStageResult] = field(default_factory=list)
+
+    @property
+    def total_cost(self) -> float:
+        return sum(stage.cost for stage in self.stages)
+
+    @property
+    def total_comparisons(self) -> int:
+        return sum(stage.comparisons for stage in self.stages)
+
+    def comparisons_by_class(self) -> dict[str, int]:
+        """Comparison counts per worker class."""
+        counts: dict[str, int] = {}
+        for stage in self.stages:
+            counts[stage.class_name] = counts.get(stage.class_name, 0) + stage.comparisons
+        return counts
+
+
+class CascadeMaxFinder:
+    """Max-finding with ``k >= 2`` worker classes of growing expertise.
+
+    Parameters
+    ----------
+    classes:
+        Worker classes ordered from coarsest/cheapest to finest/most
+        expensive.  The two-class case reduces exactly to Algorithm 1.
+    u_values:
+        The per-class confusion parameters ``u_1 >= ... >= u_{k-1}``
+        (paper convention: each count includes the maximum).  One value
+        per *filtering* class — the final class needs none.
+    final_phase:
+        Algorithm for the last stage (same options as §4.1.2).
+    """
+
+    def __init__(
+        self,
+        classes: Sequence[WorkerClass],
+        u_values: Sequence[int],
+        final_phase: Phase2Algorithm = "two_maxfind",
+        group_multiplier: int = 4,
+        memoize: bool = True,
+        randomized_c: int = 1,
+    ):
+        if len(classes) < 2:
+            raise ValueError("a cascade needs at least two worker classes")
+        if len(u_values) != len(classes) - 1:
+            raise ValueError(
+                f"need one u value per filtering class: "
+                f"{len(classes) - 1} expected, {len(u_values)} given"
+            )
+        if any(u < 1 for u in u_values):
+            raise ValueError("u values must be at least 1")
+        if list(u_values) != sorted(u_values, reverse=True):
+            raise ValueError("u values must be non-increasing (classes get finer)")
+        costs = [cls.cost_per_comparison for cls in classes]
+        if costs != sorted(costs):
+            raise ValueError("class costs must be non-decreasing with expertise")
+        deltas = [
+            cls.model.delta
+            for cls in classes
+            if isinstance(cls.model, ThresholdWorkerModel)
+        ]
+        if len(deltas) == len(classes) and deltas != sorted(deltas, reverse=True):
+            raise ValueError("thresholds must be non-increasing with expertise")
+        if final_phase not in ("two_maxfind", "randomized", "all_play_all"):
+            raise ValueError(f"unknown final phase {final_phase!r}")
+        self.classes = list(classes)
+        self.u_values = [int(u) for u in u_values]
+        self.final_phase = final_phase
+        self.group_multiplier = group_multiplier
+        self.memoize = memoize
+        self.randomized_c = randomized_c
+
+    def run(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        rng: np.random.Generator,
+        ledger: CostChargeable | None = None,
+    ) -> CascadeResult:
+        """Execute the cascade on ``instance``."""
+        result = CascadeResult(winner=-1)
+        current: np.ndarray | None = None  # None = whole instance
+
+        for worker_class, u in zip(self.classes[:-1], self.u_values):
+            oracle = ComparisonOracle(
+                instance,
+                worker_class.model,
+                rng,
+                cost_per_comparison=worker_class.cost_per_comparison,
+                memoize=self.memoize,
+                ledger=ledger,
+                label=worker_class.name,
+            )
+            input_size = oracle.n if current is None else len(current)
+            filtered = filter_candidates(
+                oracle,
+                elements=current,
+                u_n=u,
+                group_multiplier=self.group_multiplier,
+            )
+            current = filtered.survivors
+            result.stages.append(
+                CascadeStageResult(
+                    class_name=worker_class.name,
+                    input_size=input_size,
+                    survivors=len(current),
+                    comparisons=filtered.comparisons,
+                    cost=filtered.comparisons * worker_class.cost_per_comparison,
+                )
+            )
+
+        final_class = self.classes[-1]
+        oracle = ComparisonOracle(
+            instance,
+            final_class.model,
+            rng,
+            cost_per_comparison=final_class.cost_per_comparison,
+            memoize=self.memoize,
+            ledger=ledger,
+            label=final_class.name,
+        )
+        assert current is not None
+        if len(current) == 1:
+            winner = int(current[0])
+        elif self.final_phase == "two_maxfind":
+            winner = two_maxfind(oracle, current).winner
+        elif self.final_phase == "randomized":
+            winner = randomized_maxfind(oracle, current, rng=rng, c=self.randomized_c).winner
+        else:
+            winner = play_all_play_all(oracle, current).winner
+        result.stages.append(
+            CascadeStageResult(
+                class_name=final_class.name,
+                input_size=len(current),
+                survivors=1,
+                comparisons=oracle.comparisons,
+                cost=oracle.comparisons * final_class.cost_per_comparison,
+            )
+        )
+        result.winner = winner
+        return result

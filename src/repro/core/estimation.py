@@ -1,0 +1,213 @@
+"""Estimating ``u_n(n)`` and ``perr`` from training (gold) data — §4.4.
+
+The two-phase algorithm needs a single parameter, ``u_n(n)``.  The
+paper shows it can be upper-bounded from a *training set* — "a set of
+n-hat elements of which we know the one with highest value" — under two
+assumptions:
+
+* **Assumption 1**: the training set is statistically representative,
+  so ``(n / n_hat) * u_n(n_hat)`` estimates ``u_n(n)``.
+* **Assumption 2**: below the naive threshold, workers err with some
+  probability ``perr > 0`` (instead of answering arbitrarily), so
+  errors against the known training maximum reveal how many elements
+  are indistinguishable from it.
+
+Algorithm 4: compare every training element against the training
+maximum with one naive worker each, count the errors, and return
+``(n / n_hat) * max(c * ln n, 2 * #errors / perr)`` — an upper bound on
+``u_n(n)`` with high probability (via the Chernoff argument in §4.4).
+
+The companion :func:`estimate_perr` implements the Appendix-A/§4.4
+procedure for estimating ``perr`` itself: assign a sample of pairs to
+several workers each; pairs with full consensus are treated as
+above-threshold (their residual error vanishes exponentially in the
+number of workers); the empirical error rate on the remaining,
+below-threshold pairs estimates ``perr``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workers.base import WorkerModel
+from .instance import ProblemInstance
+
+__all__ = ["UnEstimate", "estimate_u_n", "PerrEstimate", "estimate_perr"]
+
+
+@dataclass(frozen=True)
+class UnEstimate:
+    """Result of Algorithm 4.
+
+    Attributes
+    ----------
+    u_n:
+        The returned upper bound on ``u_n(n)`` (integer, at least 1).
+    errors:
+        Errors observed against the training maximum.
+    raw:
+        The unrounded estimator value before scaling safeguards.
+    log_floor_active:
+        Whether the ``c * ln n`` confidence floor dominated.
+    """
+
+    u_n: int
+    errors: int
+    raw: float
+    log_floor_active: bool
+
+
+def estimate_u_n(
+    training: ProblemInstance,
+    model: WorkerModel,
+    rng: np.random.Generator,
+    n_target: int,
+    perr: float,
+    c: float = 1.0,
+) -> UnEstimate:
+    """Run Algorithm 4 on a training instance with a known maximum.
+
+    Parameters
+    ----------
+    training:
+        The gold instance (its maximum is ``M_hat``).
+    model:
+        The naive worker model answering the probe comparisons.
+    rng:
+        Randomness source.
+    n_target:
+        The size ``n`` of the real dataset the estimate is for.
+    perr:
+        The below-threshold error probability of Assumption 2 (estimate
+        it with :func:`estimate_perr` when unknown).
+    c:
+        Confidence constant of the ``c * ln n`` floor.
+
+    Notes
+    -----
+    Overestimation "can only harm in cost but not in accuracy"
+    (Section 4.4), hence the estimate is rounded *up* and floored at 1.
+    """
+    if n_target < 2:
+        raise ValueError("n_target must be at least 2")
+    if not 0.0 < perr <= 0.5:
+        raise ValueError("perr must be in (0, 0.5]")
+    if c <= 0:
+        raise ValueError("c must be positive")
+
+    n_hat = training.n
+    if n_hat < 2:
+        raise ValueError("the training set needs at least 2 elements")
+    max_idx = training.max_index
+    others = np.asarray(
+        [i for i in range(n_hat) if i != max_idx], dtype=np.intp
+    )
+    # One worker judgment per (x, M_hat) pair, as in Algorithm 4 line 3.
+    first_wins = model.decide(
+        training.values[others],
+        np.full(len(others), training.max_value),
+        rng,
+        indices_i=others,
+        indices_j=np.full(len(others), max_idx, dtype=np.intp),
+    )
+    # An error is the worker preferring x over the true maximum.  Ties
+    # with the maximum cannot be errors (either answer is correct).
+    errors = int(np.count_nonzero(first_wins & (training.values[others] < training.max_value)))
+
+    log_floor = c * math.log(n_target)
+    error_term = 2.0 * errors / perr
+    raw = (n_target / n_hat) * max(log_floor, error_term)
+    return UnEstimate(
+        u_n=max(1, math.ceil(raw)),
+        errors=errors,
+        raw=raw,
+        log_floor_active=log_floor >= error_term,
+    )
+
+
+@dataclass(frozen=True)
+class PerrEstimate:
+    """Result of the ``perr`` estimation procedure.
+
+    Attributes
+    ----------
+    perr:
+        Estimated below-threshold error probability (``None`` when no
+        pair was classified below-threshold).
+    n_below_pairs:
+        Pairs classified as below-threshold (no worker consensus).
+    n_consensus_pairs:
+        Pairs with full consensus (treated as above-threshold).
+    """
+
+    perr: float | None
+    n_below_pairs: int
+    n_consensus_pairs: int
+
+
+def estimate_perr(
+    training: ProblemInstance,
+    model: WorkerModel,
+    rng: np.random.Generator,
+    pairs: np.ndarray,
+    workers_per_pair: int = 7,
+) -> PerrEstimate:
+    """Estimate ``perr`` from repeated judgments on training pairs.
+
+    Section 4.4: "for a given pair, if there is consensus among the
+    workers it was assigned to, we take this as an indication that the
+    difference [...] is at least delta_n [...]  On the other hand, for
+    pairs in which the values [...] differ by less than delta_n, the
+    error probability on these pairs is exactly perr".
+
+    Parameters
+    ----------
+    pairs:
+        Array of shape ``(m, 2)`` of element index pairs to probe.
+    workers_per_pair:
+        Independent judgments per pair; consensus means unanimity.
+    """
+    if workers_per_pair < 2:
+        raise ValueError("consensus needs at least 2 workers per pair")
+    pairs = np.asarray(pairs, dtype=np.intp)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (m, 2)")
+
+    ii = pairs[:, 0]
+    jj = pairs[:, 1]
+    votes_first = np.zeros(len(pairs), dtype=np.int64)
+    for _ in range(workers_per_pair):
+        votes_first += model.decide(
+            training.values[ii], training.values[jj], rng, indices_i=ii, indices_j=jj
+        )
+    consensus = (votes_first == 0) | (votes_first == workers_per_pair)
+    below = ~consensus
+    n_below = int(np.count_nonzero(below))
+    if n_below == 0:
+        return PerrEstimate(
+            perr=None, n_below_pairs=0, n_consensus_pairs=int(np.count_nonzero(consensus))
+        )
+    # Empirical per-judgment error rate on the below-threshold pairs.
+    first_better = training.values[ii] > training.values[jj]
+    wrong_votes = np.where(
+        first_better, workers_per_pair - votes_first, votes_first
+    ).astype(np.float64)
+    tie = training.values[ii] == training.values[jj]
+    wrong_votes[tie] = 0.0  # no wrong answer exists on exact ties
+    usable = below & ~tie
+    n_usable = int(np.count_nonzero(usable))
+    if n_usable == 0:
+        return PerrEstimate(
+            perr=None,
+            n_below_pairs=n_below,
+            n_consensus_pairs=int(np.count_nonzero(consensus)),
+        )
+    perr = float(wrong_votes[usable].sum() / (n_usable * workers_per_pair))
+    return PerrEstimate(
+        perr=perr,
+        n_below_pairs=n_below,
+        n_consensus_pairs=int(np.count_nonzero(consensus)),
+    )

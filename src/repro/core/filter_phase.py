@@ -1,0 +1,193 @@
+"""Phase 1: filtering with naive workers (Algorithm 2 of the paper).
+
+Problem 1: "Given an initial set L of n elements, return a subset
+S of size O(u_n(n)) that contains M, using only naive workers."
+
+Algorithm 2 partitions the surviving elements into groups of size
+``g = 4 * u_n(n)``, plays an all-play-all tournament inside each group,
+and keeps only the elements with at least ``g - u_n(n)`` wins; it
+repeats until fewer than ``2 * u_n(n)`` elements survive.  Lemma 1
+guarantees the maximum always survives (it loses at most ``u_n(n)``
+comparisons anywhere); Lemma 2 bounds the survivors of each group by
+``2 * u_n(n) - 1``, so the population at least halves every round and
+the total number of comparisons is at most ``4 * n * u_n(n)``
+(Lemma 3) — optimal within constant factors (Corollary 1).
+
+Both Appendix-A optimisations are implemented:
+
+* comparison memoization lives in the oracle (always available), and
+* the optional *global loss counters*: "keep, for each element, a
+  counter of the number of losses against different elements across
+  all the iterations [...] remove the elements for which the counter is
+  greater than u_n(n)", which can only discard elements that Lemma 1
+  already certifies are not the maximum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .oracle import ComparisonOracle
+from .tournament import play_all_play_all
+
+__all__ = ["FilterRound", "FilterResult", "filter_candidates"]
+
+
+@dataclass(frozen=True)
+class FilterRound:
+    """Telemetry for one round of the filter loop."""
+
+    round_index: int
+    input_size: int
+    n_groups: int
+    comparisons: int
+    survivors: int
+
+
+@dataclass
+class FilterResult:
+    """Outcome of the phase-1 filter.
+
+    Attributes
+    ----------
+    survivors:
+        The candidate set ``S`` (contains the maximum under the model's
+        guarantees; ``|S| <= 2 * u_n - 1`` whenever the loop ran).
+    comparisons:
+        Fresh naive comparisons performed by this call.
+    rounds:
+        Per-round telemetry.
+    """
+
+    survivors: np.ndarray
+    comparisons: int
+    rounds: list[FilterRound] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+
+def filter_candidates(
+    oracle: ComparisonOracle,
+    elements: np.ndarray | None = None,
+    u_n: int = 1,
+    group_multiplier: int = 4,
+    use_global_loss_counters: bool = False,
+    shuffle_each_round: bool = False,
+    rng: np.random.Generator | None = None,
+) -> FilterResult:
+    """Run Algorithm 2 and return the candidate set containing the maximum.
+
+    Parameters
+    ----------
+    oracle:
+        Comparison oracle backed by *naive* workers.
+    elements:
+        Element indices forming ``L``; defaults to all elements of the
+        oracle's instance.
+    u_n:
+        The parameter ``u_n(n)`` — (an upper bound on) the number of
+        elements naive-indistinguishable from the maximum.  Section 4.4:
+        overestimating costs money but never correctness;
+        underestimating may drop the maximum.
+    group_multiplier:
+        Group size is ``group_multiplier * u_n``; the paper fixes 4.
+        Values below 2 lose the Lemma-2 shrinkage guarantee and are
+        rejected.
+    use_global_loss_counters:
+        Enable the second Appendix-A optimisation (distinct-loss
+        counters across rounds).
+    shuffle_each_round:
+        Re-randomise the partition every round instead of keeping the
+        array order (the paper partitions arbitrarily; shuffling
+        decorrelates groups across rounds).  Requires ``rng``.
+    """
+    if u_n < 1:
+        raise ValueError("u_n must be at least 1")
+    if group_multiplier < 2:
+        raise ValueError("group_multiplier must be at least 2 for guaranteed progress")
+    if shuffle_each_round and rng is None:
+        raise ValueError("shuffle_each_round requires an rng")
+
+    if elements is None:
+        current = np.arange(oracle.n, dtype=np.intp)
+    else:
+        current = np.asarray(elements, dtype=np.intp).copy()
+    if len(current) == 0:
+        raise ValueError("the element set must not be empty")
+
+    g = group_multiplier * u_n
+    total_comparisons = 0
+    rounds: list[FilterRound] = []
+    loss_counters: dict[int, int] = {}
+
+    round_index = 0
+    # The loop provably terminates (full groups always shrink, Lemma 2);
+    # the guard is a defensive bound, far above any legal execution.
+    max_rounds = 4 * int(np.ceil(np.log2(len(current) + 2))) + 8
+    while len(current) >= 2 * u_n:
+        if round_index >= max_rounds:  # pragma: no cover - defensive
+            raise RuntimeError("filter loop failed to make progress")
+        if shuffle_each_round:
+            assert rng is not None
+            rng.shuffle(current)
+
+        input_size = len(current)
+        survivors: list[np.ndarray] = []
+        round_comparisons = 0
+        n_groups = 0
+        for start in range(0, len(current), g):
+            group = current[start : start + g]
+            n_groups += 1
+            is_last_partial = len(group) < g
+            if is_last_partial and len(group) <= u_n:
+                # Line 12-13 of Algorithm 2: a trailing group of at most
+                # u_n elements passes through untouched.
+                survivors.append(group)
+                continue
+            result = play_all_play_all(oracle, group)
+            # Every fresh comparison yields exactly one fresh loss.
+            round_comparisons += int(result.fresh_losses.sum())
+            keep_threshold = len(group) - u_n
+            kept = result.with_wins_at_least(keep_threshold)
+            if use_global_loss_counters:
+                for element, fresh_loss in zip(
+                    result.elements.tolist(), result.fresh_losses.tolist()
+                ):
+                    if fresh_loss:
+                        loss_counters[element] = loss_counters.get(element, 0) + fresh_loss
+                kept = np.asarray(
+                    [e for e in kept.tolist() if loss_counters.get(e, 0) <= u_n],
+                    dtype=np.intp,
+                )
+            survivors.append(kept)
+
+        previous = current
+        current = (
+            np.concatenate(survivors) if survivors else np.empty(0, dtype=np.intp)
+        )
+        total_comparisons += round_comparisons
+        rounds.append(
+            FilterRound(
+                round_index=round_index,
+                input_size=input_size,
+                n_groups=n_groups,
+                comparisons=round_comparisons,
+                survivors=len(current),
+            )
+        )
+        round_index += 1
+        if len(current) == 0:
+            # Only possible when u_n was (badly) underestimated: every
+            # group culled every element (Section 5.2 studies this
+            # regime).  Degrade gracefully by returning the last
+            # non-empty population instead of an empty candidate set.
+            current = previous
+            break
+
+    return FilterResult(
+        survivors=current, comparisons=total_comparisons, rounds=rounds
+    )

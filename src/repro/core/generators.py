@@ -1,0 +1,282 @@
+"""Instance generators used by the simulations of Section 5.
+
+The paper evaluates the algorithms "both on randomly and on
+adversarially generated inputs":
+
+* *Random inputs* — "we selected n random values independently and
+  uniformly at random from a range" (Section 5); ``delta_n`` and
+  ``delta_e`` then determine ``u_n(n)`` and ``u_e(n)``.
+* *Planted inputs* — the sweeps of Figures 3-7 fix ``u_n(n)`` and
+  ``u_e(n)`` exactly (e.g. ``u_n(n) = 10, u_e(n) = 5``); we provide a
+  generator that plants exactly that many elements inside the naive and
+  expert indistinguishability balls of the maximum.
+* *Adversarial inputs* — the construction of Lemma 7 / Figure 8: a
+  dense cluster of elements that are pairwise naive-indistinguishable,
+  designed together with an adversarial comparator to maximise the
+  number of comparisons.
+
+All generators take an explicit ``numpy.random.Generator`` so that
+every experiment is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .instance import ProblemInstance
+
+__all__ = [
+    "uniform_instance",
+    "planted_instance",
+    "adversarial_instance",
+    "clustered_instance",
+    "tie_heavy_instance",
+]
+
+
+def uniform_instance(
+    n: int,
+    rng: np.random.Generator,
+    low: float = 0.0,
+    high: float | None = None,
+    name: str = "uniform",
+) -> ProblemInstance:
+    """Values drawn i.i.d. uniformly from ``[low, high)``.
+
+    When ``high`` is omitted it defaults to ``low + n`` so the expected
+    density is one element per unit of value: a threshold ``delta``
+    then yields ``u(n) ~= delta`` in expectation, independent of ``n``,
+    which is the regime of the paper's sweeps.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if high is None:
+        high = low + n
+    if high <= low:
+        raise ValueError("high must exceed low")
+    values = rng.uniform(low, high, size=n)
+    return ProblemInstance(
+        values=values,
+        name=name,
+        metadata={"generator": "uniform", "n": n, "low": low, "high": high},
+    )
+
+
+def planted_instance(
+    n: int,
+    u_n: int,
+    u_e: int,
+    delta_n: float,
+    delta_e: float,
+    rng: np.random.Generator,
+    name: str = "planted",
+) -> ProblemInstance:
+    """Instance realising ``u_n(n) = u_n`` and ``u_e(n) = u_e`` exactly.
+
+    The counts follow the paper's convention (they *include* the
+    maximum element itself, see
+    :func:`repro.core.instance.indistinguishable_count`), so ``u = 1``
+    means "nothing else is confusable with the maximum".
+
+    Construction: the maximum sits at value ``V``.  ``u_e - 1`` other
+    elements are planted in ``(V - delta_e, V)``, ``u_n - u_e`` further
+    elements in ``(V - delta_n, V - delta_e)``, and the remaining
+    ``n - u_n`` elements uniformly in ``[0, V - 2 * delta_n)`` so they
+    are distinguishable from the maximum by naive workers.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if not 1 <= u_e <= u_n:
+        raise ValueError("need 1 <= u_e <= u_n (the counts include the maximum)")
+    if u_n >= n:
+        raise ValueError("u_n must be smaller than n (u_n(n) = o(n) in the paper)")
+    if delta_e > delta_n:
+        raise ValueError("delta_e must not exceed delta_n (experts are finer)")
+    if delta_n <= 0:
+        raise ValueError("delta_n must be positive")
+
+    top = 10.0 * delta_n * max(n, 1)
+    parts: list[np.ndarray] = [np.asarray([top])]
+    if u_e - 1 > 0:
+        # Strictly inside (top - delta_e, top): expert-indistinguishable.
+        parts.append(top - rng.uniform(0.0, delta_e, size=u_e - 1) * 0.999 - 1e-12)
+    if u_n - u_e > 0:
+        # Inside (top - delta_n, top - delta_e): naive- but not
+        # expert-indistinguishable from the maximum.
+        lo = delta_e + (delta_n - delta_e) * 1e-6
+        parts.append(top - rng.uniform(lo, delta_n * 0.999, size=u_n - u_e))
+    rest = n - u_n
+    if rest > 0:
+        parts.append(rng.uniform(0.0, top - 2.0 * delta_n, size=rest))
+    values = np.concatenate(parts)
+    rng.shuffle(values)
+    return ProblemInstance(
+        values=values,
+        name=name,
+        metadata={
+            "generator": "planted",
+            "n": n,
+            "u_n": u_n,
+            "u_e": u_e,
+            "delta_n": delta_n,
+            "delta_e": delta_e,
+        },
+    )
+
+
+def tiered_instance(
+    n: int,
+    u_values: list[int],
+    deltas: list[float],
+    rng: np.random.Generator,
+    name: str = "tiered",
+) -> ProblemInstance:
+    """Instance realising ``u(delta_i) = u_i`` for a whole hierarchy.
+
+    Generalises :func:`planted_instance` to the multi-class cascade
+    setting: ``deltas`` are the (strictly decreasing) discernment
+    thresholds of the worker classes, ``u_values`` the corresponding
+    (non-increasing, maximum-inclusive) confusion counts.
+
+    Construction: the finest band ``(V - delta_k, V)`` receives
+    ``u_k - 1`` elements; each coarser band
+    ``(V - delta_i, V - delta_{i+1})`` receives ``u_i - u_{i+1}``; the
+    remaining ``n - u_1`` elements sit below ``V - 2 delta_1``.
+    """
+    if len(u_values) != len(deltas) or not u_values:
+        raise ValueError("need one u value per delta")
+    if list(deltas) != sorted(deltas, reverse=True) or len(set(deltas)) != len(deltas):
+        raise ValueError("deltas must be strictly decreasing")
+    if any(d <= 0 for d in deltas):
+        raise ValueError("deltas must be positive")
+    if list(u_values) != sorted(u_values, reverse=True):
+        raise ValueError("u values must be non-increasing")
+    if u_values[-1] < 1:
+        raise ValueError("every u must be at least 1 (the maximum is included)")
+    if u_values[0] >= n:
+        raise ValueError("u_1 must be smaller than n")
+
+    top = 10.0 * deltas[0] * max(n, 1)
+    parts: list[np.ndarray] = [np.asarray([top])]
+    finest = u_values[-1] - 1
+    if finest > 0:
+        parts.append(top - rng.uniform(0.0, deltas[-1], size=finest) * 0.999 - 1e-12)
+    for i in range(len(deltas) - 1):
+        band = u_values[i] - u_values[i + 1]
+        if band > 0:
+            inner, outer = deltas[i + 1], deltas[i]
+            lo = inner + (outer - inner) * 1e-6
+            parts.append(top - rng.uniform(lo, outer * 0.999, size=band))
+    rest = n - u_values[0]
+    if rest > 0:
+        parts.append(rng.uniform(0.0, top - 2.0 * deltas[0], size=rest))
+    values = np.concatenate(parts)
+    rng.shuffle(values)
+    return ProblemInstance(
+        values=values,
+        name=name,
+        metadata={
+            "generator": "tiered",
+            "n": n,
+            "u_values": list(u_values),
+            "deltas": list(deltas),
+        },
+    )
+
+
+def adversarial_instance(
+    n: int,
+    u_n: int,
+    delta_n: float,
+    rng: np.random.Generator,
+    name: str = "adversarial",
+) -> ProblemInstance:
+    """Lemma 7 / Figure 8 style instance for worst-case measurements.
+
+    The maximum element ``e`` sits at the origin of the construction;
+    ``u_n - 1`` elements are packed at distance about ``0.8 * delta_n``
+    below it (realising ``u_n(n) = u_n``, maximum included), and the
+    remaining elements sit in a band around ``1.5 * delta_n`` below it,
+    spread over an interval of length ``0.1 * delta_n`` so that *all*
+    non-maximum elements are pairwise within ``delta_n`` of each other.
+    Under an adversarial comparator every comparison not involving the
+    maximum can therefore be answered arbitrarily, which is the regime
+    that maximises the work of 2-MaxFind (Section 5: "The adversarial
+    data were created so as to maximize the number of comparisons").
+    """
+    if n <= 1:
+        raise ValueError("n must be at least 2")
+    if not 1 <= u_n < n:
+        raise ValueError("need 1 <= u_n < n (the count includes the maximum)")
+    top = 10.0 * delta_n
+    near = top - 0.8 * delta_n + rng.uniform(-0.05, 0.05, size=u_n - 1) * delta_n
+    far_count = n - u_n
+    far = top - 1.5 * delta_n + rng.uniform(-0.05, 0.05, size=max(far_count, 0)) * delta_n
+    values = np.concatenate([[top], near, far])
+    rng.shuffle(values)
+    return ProblemInstance(
+        values=values,
+        name=name,
+        metadata={
+            "generator": "adversarial",
+            "n": n,
+            "u_n": u_n,
+            "delta_n": delta_n,
+        },
+    )
+
+
+def clustered_instance(
+    n: int,
+    n_clusters: int,
+    spread: float,
+    rng: np.random.Generator,
+    name: str = "clustered",
+) -> ProblemInstance:
+    """Values grouped into tight clusters (stress test for filtering).
+
+    Models datasets such as CARS where many items share nearly the same
+    value (same car model from different dealers).  ``spread`` is the
+    within-cluster standard deviation; cluster centres are uniform on
+    ``[0, n]``.
+    """
+    if n_clusters <= 0 or n <= 0:
+        raise ValueError("n and n_clusters must be positive")
+    centers = rng.uniform(0.0, float(n), size=n_clusters)
+    assignment = rng.integers(0, n_clusters, size=n)
+    values = centers[assignment] + rng.normal(0.0, spread, size=n)
+    return ProblemInstance(
+        values=values,
+        name=name,
+        metadata={
+            "generator": "clustered",
+            "n": n,
+            "n_clusters": n_clusters,
+            "spread": spread,
+        },
+    )
+
+
+def tie_heavy_instance(
+    n: int,
+    n_distinct: int,
+    rng: np.random.Generator,
+    name: str = "ties",
+) -> ProblemInstance:
+    """Instance with many exactly equal values.
+
+    The paper's order is partial ("it is possible to have
+    v(e1) = v(e2) for e1 != e2"); this generator exercises that corner:
+    only ``n_distinct`` distinct values appear among ``n`` elements.
+    """
+    if not 1 <= n_distinct <= n:
+        raise ValueError("need 1 <= n_distinct <= n")
+    levels = np.sort(rng.uniform(0.0, float(n), size=n_distinct))
+    values = levels[rng.integers(0, n_distinct, size=n)]
+    # Guarantee that the top level is present at least once.
+    values[rng.integers(0, n)] = levels[-1]
+    return ProblemInstance(
+        values=values,
+        name=name,
+        metadata={"generator": "ties", "n": n, "n_distinct": n_distinct},
+    )

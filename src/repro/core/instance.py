@@ -1,0 +1,204 @@
+"""Problem instances for crowdsourced max-finding.
+
+The paper (Section 3) models the input as a multiset ``L`` of ``n``
+elements drawn from a universe ``U`` together with a value function
+``v: U -> R``.  The *distance* between two elements is
+``d(u, v) = |v(u) - v(v)|`` and the goal is to return an element whose
+value is close to ``V_L = max_{e in L} v(e)``.
+
+In this library an instance is represented by a
+:class:`ProblemInstance`: a numpy array of float values, optional
+payload objects (car records, dot images, search snippets, ...) and a
+few cached quantities the algorithms and experiments need repeatedly,
+such as the identity of the maximum element and the count ``u_n(n)`` of
+elements that are naive-indistinguishable from it.
+
+Elements are referred to everywhere by their integer index into the
+value array; workers and oracles only ever see values, mirroring the
+fact that the algorithms of the paper are comparison based.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ProblemInstance",
+    "distance",
+    "relative_distance",
+    "true_rank",
+    "indistinguishable_count",
+]
+
+
+def distance(value_a: float, value_b: float) -> float:
+    """Absolute distance ``d(a, b) = |v(a) - v(b)|`` between two values."""
+    return abs(float(value_a) - float(value_b))
+
+
+def relative_distance(value_a: float, value_b: float) -> float:
+    """Relative distance between two values.
+
+    The CrowdFlower experiments of Section 3.1 bucket comparison pairs
+    by the *relative* difference of the two values (e.g. "the relative
+    difference between the number of dots ranged from 0 to 10%").  We
+    normalise by the larger magnitude, and define the distance of two
+    zero values to be zero.
+    """
+    denom = max(abs(float(value_a)), abs(float(value_b)))
+    if denom == 0.0:
+        return 0.0
+    return abs(float(value_a) - float(value_b)) / denom
+
+
+def true_rank(values: np.ndarray, index: int) -> int:
+    """Rank of ``values[index]`` among ``values`` (1 = maximum).
+
+    The paper's accuracy metric (Section 5.1): "By accuracy we mean the
+    rank of the element returned. If the rank is 1 then we have perfect
+    accuracy".  Ties are resolved optimistically: an element tied with
+    the maximum has rank 1.
+    """
+    target = values[index]
+    return 1 + int(np.count_nonzero(values > target))
+
+
+def indistinguishable_count(values: np.ndarray, delta: float) -> int:
+    """The quantity ``u(n) = |{e : d(M, e) <= delta}|`` of Section 4.
+
+    Note the set *includes* the maximum element itself
+    (``d(M, M) = 0 <= delta``), so the count is at least 1 for any
+    non-empty input.  This convention is load-bearing: Lemma 1 states
+    that M wins at least ``n - u_n(n)`` comparisons in an all-play-all
+    tournament, i.e. M loses at most ``u_n(n) - 1`` — to the *other*
+    members of the set.  Algorithm 2's survival threshold
+    (``wins >= g - u_n``) relies on exactly this accounting.
+    """
+    if len(values) == 0:
+        return 0
+    top = float(np.max(values))
+    return int(np.count_nonzero(top - values <= delta))
+
+
+@dataclass
+class ProblemInstance:
+    """A max-finding problem instance.
+
+    Parameters
+    ----------
+    values:
+        Array of element values; element *i* is ``values[i]``.
+    payloads:
+        Optional per-element payload objects (e.g. car records).  Only
+        used for reporting; the algorithms never inspect payloads.
+    name:
+        Human-readable label used in experiment output.
+    metadata:
+        Free-form provenance information (generator parameters, seed).
+    """
+
+    values: np.ndarray
+    payloads: Sequence[Any] | None = None
+    name: str = "instance"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise ValueError("values must be a one-dimensional array")
+        if len(self.values) == 0:
+            raise ValueError("an instance must contain at least one element")
+        if not np.all(np.isfinite(self.values)):
+            raise ValueError(
+                "values must be finite (NaN/inf break every distance and "
+                "comparison in the model)"
+            )
+        if self.payloads is not None and len(self.payloads) != len(self.values):
+            raise ValueError(
+                "payloads length %d does not match values length %d"
+                % (len(self.payloads), len(self.values))
+            )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def n(self) -> int:
+        """Number of elements ``n = |L|``."""
+        return len(self.values)
+
+    @property
+    def max_index(self) -> int:
+        """Index of (one of) the maximum element(s) ``M``."""
+        return int(np.argmax(self.values))
+
+    @property
+    def max_value(self) -> float:
+        """The maximum value ``V_L``."""
+        return float(np.max(self.values))
+
+    def value(self, index: int) -> float:
+        """Value ``v(e)`` of element ``index``."""
+        return float(self.values[index])
+
+    def payload(self, index: int) -> Any:
+        """Payload of element ``index`` (``None`` when absent)."""
+        if self.payloads is None:
+            return None
+        return self.payloads[index]
+
+    # ------------------------------------------------------------------
+    # Model quantities
+    # ------------------------------------------------------------------
+    def distance(self, i: int, j: int) -> float:
+        """Distance ``d(i, j)`` between elements ``i`` and ``j``."""
+        return distance(self.values[i], self.values[j])
+
+    def u_count(self, delta: float) -> int:
+        """``u(n)`` for threshold ``delta``: elements within ``delta`` of M."""
+        return indistinguishable_count(self.values, delta)
+
+    def rank_of(self, index: int) -> int:
+        """True rank of element ``index`` (1 = maximum)."""
+        return true_rank(self.values, index)
+
+    def distance_to_max(self, index: int) -> float:
+        """Distance ``d(M, index)`` from the maximum element."""
+        return self.max_value - float(self.values[index])
+
+    def indistinguishable_set(self, delta: float) -> np.ndarray:
+        """Indices of elements within ``delta`` of the maximum (incl. M)."""
+        return np.flatnonzero(self.max_value - self.values <= delta)
+
+    def top_indices(self, k: int) -> np.ndarray:
+        """Indices of the top-``k`` elements, best first."""
+        if k <= 0:
+            return np.empty(0, dtype=np.intp)
+        order = np.argsort(-self.values, kind="stable")
+        return order[: min(k, self.n)]
+
+    def subinstance(self, indices: Iterable[int], name: str | None = None) -> "ProblemInstance":
+        """New instance restricted to ``indices`` (payloads preserved)."""
+        idx = np.asarray(list(indices), dtype=np.intp)
+        payloads = None
+        if self.payloads is not None:
+            payloads = [self.payloads[i] for i in idx]
+        return ProblemInstance(
+            values=self.values[idx],
+            payloads=payloads,
+            name=name or f"{self.name}[sub]",
+            metadata=dict(self.metadata),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.name}: n={self.n}, values in "
+            f"[{self.values.min():.4g}, {self.values.max():.4g}]"
+        )

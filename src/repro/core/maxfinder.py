@@ -1,0 +1,215 @@
+"""Algorithm 1: the expert-aware two-phase max-finding algorithm.
+
+The paper's headline contribution (Section 4.1):
+
+1. *Phase 1* — use cheap naive workers to filter ``L`` down to a
+   candidate set ``S`` of size at most ``2 * u_n(n) - 1`` that still
+   contains the maximum (Algorithm 2, at most ``4 * n * u_n(n)`` naive
+   comparisons).
+2. *Phase 2* — use expensive expert workers to extract (an element
+   within ``2 * delta_e`` or ``3 * delta_e`` of) the maximum from ``S``
+   (2-MaxFind or the randomized Ajtai algorithm).
+
+The total monetary cost is ``C(n) = x_n * c_n + x_e * c_e``
+(Section 3.4); Theorem 1 bounds it by ``4 n u_n`` naive plus
+``2 u_n^{3/2}`` expert comparisons when 2-MaxFind is used.
+
+:class:`ExpertAwareMaxFinder` is the configured, reusable entry point;
+:func:`find_max` is a one-shot convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..workers.expert import WorkerClass
+from .filter_phase import FilterResult, filter_candidates
+from .instance import ProblemInstance
+from .oracle import ComparisonOracle, CostChargeable
+from .randomized_maxfind import randomized_maxfind
+from .tournament import play_all_play_all
+from .two_maxfind import two_maxfind
+
+__all__ = ["Phase2Algorithm", "MaxFindResult", "ExpertAwareMaxFinder", "find_max"]
+
+#: The three phase-2 options discussed in Section 4.1.2.
+Phase2Algorithm = Literal["two_maxfind", "randomized", "all_play_all"]
+
+
+@dataclass
+class MaxFindResult:
+    """Outcome of one run of the two-phase algorithm.
+
+    Attributes
+    ----------
+    winner:
+        The returned element index (the approximation of ``M``).
+    survivors:
+        The candidate set ``S`` that phase 1 produced.
+    naive_comparisons / expert_comparisons:
+        Fresh comparisons performed per worker class (``x_n``/``x_e``).
+    cost:
+        Monetary cost ``C(n) = x_n c_n + x_e c_e``.
+    filter_result:
+        Phase-1 telemetry.
+    """
+
+    winner: int
+    survivors: np.ndarray
+    naive_comparisons: int
+    expert_comparisons: int
+    cost: float
+    filter_result: FilterResult
+
+    @property
+    def survivor_count(self) -> int:
+        return len(self.survivors)
+
+
+class ExpertAwareMaxFinder:
+    """Configured two-phase expert-aware max-finder (Algorithm 1).
+
+    Parameters
+    ----------
+    naive, expert:
+        The two worker classes (models + per-comparison costs) of
+        Section 3.3/3.4.
+    u_n:
+        (An estimate of) ``u_n(n)``; see Section 4.4 for estimating it
+        from gold data and Section 5.2 for the impact of mis-estimates.
+    phase2:
+        ``"two_maxfind"`` (the paper's practical choice),
+        ``"randomized"`` (the paper's theoretical choice, Lemma 4/5),
+        or ``"all_play_all"`` (the brute-force option 1 of §4.1.2).
+    group_multiplier, use_global_loss_counters, shuffle_each_round:
+        Phase-1 knobs; see :func:`repro.core.filter_phase.filter_candidates`.
+    memoize:
+        Oracle-level memoization (Appendix A); on by default.
+    randomized_c:
+        Confidence constant for the randomized phase 2.
+    """
+
+    def __init__(
+        self,
+        naive: WorkerClass,
+        expert: WorkerClass,
+        u_n: int,
+        phase2: Phase2Algorithm = "two_maxfind",
+        group_multiplier: int = 4,
+        use_global_loss_counters: bool = False,
+        shuffle_each_round: bool = False,
+        memoize: bool = True,
+        randomized_c: int = 1,
+    ):
+        if u_n < 1:
+            raise ValueError("u_n must be at least 1")
+        if phase2 not in ("two_maxfind", "randomized", "all_play_all"):
+            raise ValueError(f"unknown phase2 algorithm {phase2!r}")
+        self.naive = naive
+        self.expert = expert
+        self.u_n = int(u_n)
+        self.phase2 = phase2
+        self.group_multiplier = group_multiplier
+        self.use_global_loss_counters = use_global_loss_counters
+        self.shuffle_each_round = shuffle_each_round
+        self.memoize = memoize
+        self.randomized_c = randomized_c
+
+    def run(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        rng: np.random.Generator,
+        ledger: CostChargeable | None = None,
+    ) -> MaxFindResult:
+        """Execute Algorithm 1 on ``instance``.
+
+        A fresh pair of oracles (naive and expert) is created per run so
+        that memoization and counters are scoped to the run.
+        """
+        naive_oracle = ComparisonOracle(
+            instance,
+            self.naive.model,
+            rng,
+            cost_per_comparison=self.naive.cost_per_comparison,
+            memoize=self.memoize,
+            ledger=ledger,
+            label=self.naive.name,
+        )
+        expert_oracle = ComparisonOracle(
+            instance,
+            self.expert.model,
+            rng,
+            cost_per_comparison=self.expert.cost_per_comparison,
+            memoize=self.memoize,
+            ledger=ledger,
+            label=self.expert.name,
+        )
+        return self.run_with_oracles(naive_oracle, expert_oracle, rng)
+
+    def run_with_oracles(
+        self,
+        naive_oracle: ComparisonOracle,
+        expert_oracle: ComparisonOracle,
+        rng: np.random.Generator,
+    ) -> MaxFindResult:
+        """Execute Algorithm 1 against caller-provided oracles.
+
+        Used by the platform integration, where the oracles are backed
+        by a simulated crowdsourcing platform rather than by direct
+        model sampling.
+        """
+        filter_result = filter_candidates(
+            naive_oracle,
+            u_n=self.u_n,
+            group_multiplier=self.group_multiplier,
+            use_global_loss_counters=self.use_global_loss_counters,
+            shuffle_each_round=self.shuffle_each_round,
+            rng=rng,
+        )
+        survivors = filter_result.survivors
+
+        if len(survivors) == 1:
+            winner = int(survivors[0])
+        elif self.phase2 == "two_maxfind":
+            winner = two_maxfind(expert_oracle, survivors).winner
+        elif self.phase2 == "randomized":
+            winner = randomized_maxfind(
+                expert_oracle, survivors, rng=rng, c=self.randomized_c
+            ).winner
+        else:  # "all_play_all"
+            winner = play_all_play_all(expert_oracle, survivors).winner
+
+        cost = (
+            naive_oracle.comparisons * naive_oracle.cost_per_comparison
+            + expert_oracle.comparisons * expert_oracle.cost_per_comparison
+        )
+        return MaxFindResult(
+            winner=winner,
+            survivors=survivors,
+            naive_comparisons=naive_oracle.comparisons,
+            expert_comparisons=expert_oracle.comparisons,
+            cost=cost,
+            filter_result=filter_result,
+        )
+
+
+def find_max(
+    instance: ProblemInstance | np.ndarray,
+    naive: WorkerClass,
+    expert: WorkerClass,
+    u_n: int,
+    rng: np.random.Generator,
+    phase2: Phase2Algorithm = "two_maxfind",
+    **kwargs,
+) -> MaxFindResult:
+    """One-shot convenience wrapper around :class:`ExpertAwareMaxFinder`.
+
+    Extra keyword arguments are forwarded to the finder's constructor.
+    """
+    finder = ExpertAwareMaxFinder(
+        naive=naive, expert=expert, u_n=u_n, phase2=phase2, **kwargs
+    )
+    return finder.run(instance, rng)

@@ -1,0 +1,287 @@
+"""Comparison oracle: the single gateway between algorithms and workers.
+
+The paper's algorithms are comparison based: they never look at values,
+only at the outcomes of pairwise comparisons performed by (naive or
+expert) workers.  :class:`ComparisonOracle` is that interface.  It
+
+* routes each requested pair to a :class:`~repro.workers.base.WorkerModel`,
+* **memoizes** outcomes, implementing the first Appendix-A optimisation
+  ("the algorithm will keep an n x n table containing in cell (i, j)
+  the result of the first comparison between element e_i and e_j"),
+* counts *fresh* comparisons (those actually sent to workers and hence
+  paid for) separately from total requests, and
+* optionally charges a cost ledger (Section 3.4) per fresh comparison.
+
+Batch queries are vectorised: experiments at n = 5000 with
+``u_n(n) = 50`` perform about a million comparisons per run, so the
+oracle resolves whole batches of pairs with numpy and stores the memo
+in a dense ``int8`` matrix for small ``n`` (falling back to a dict for
+very large instances).
+
+Orientation matters to some models (the ``first_loses`` adversary of
+Section 5 makes the *queried-first* element lose hard pairs), so the
+oracle resolves each new pair in the orientation of its first request
+and memoizes the outcome symmetrically.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from ..workers.base import WorkerModel
+from .instance import ProblemInstance
+
+__all__ = ["ComparisonOracle", "CostChargeable"]
+
+# Above this instance size the dense n x n memo matrix would exceed
+# ~256 MB; fall back to a dict keyed by the flattened pair index.
+_DENSE_MEMO_LIMIT = 16_000
+
+
+class CostChargeable(Protocol):
+    """Anything that can be charged for comparisons (see accounting)."""
+
+    def charge(self, label: str, count: int, unit_cost: float) -> None:
+        """Record ``count`` operations under ``label`` at ``unit_cost``."""
+        ...
+
+
+class ComparisonOracle:
+    """Answers pairwise comparisons on one instance with one worker model.
+
+    Parameters
+    ----------
+    instance:
+        The problem instance (or a raw value array).
+    model:
+        Worker model resolving fresh comparisons.
+    rng:
+        Randomness source for the model.
+    cost_per_comparison:
+        Monetary cost ``c`` per fresh comparison (Section 3.4).
+    memoize:
+        Keep and reuse outcomes (Appendix A optimisation).  Disable to
+        measure the unoptimised algorithm in ablations.
+    ledger:
+        Optional cost sink with a ``charge(label, count, unit_cost)``
+        method; charged once per fresh comparison.
+    label:
+        Accounting label; defaults to ``"expert"``/``"naive"`` from the
+        model's flag.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        model: WorkerModel,
+        rng: np.random.Generator,
+        cost_per_comparison: float = 1.0,
+        memoize: bool = True,
+        ledger: CostChargeable | None = None,
+        label: str | None = None,
+    ):
+        if isinstance(instance, ProblemInstance):
+            self.values = instance.values
+        else:
+            self.values = np.asarray(instance, dtype=np.float64)
+        if self.values.ndim != 1 or len(self.values) == 0:
+            raise ValueError("oracle needs a non-empty 1-D value array")
+        if not np.all(np.isfinite(self.values)):
+            raise ValueError("values must be finite")
+        self.model = model
+        self.rng = rng
+        self.cost_per_comparison = float(cost_per_comparison)
+        self.memoize = memoize
+        self.ledger = ledger
+        self.label = label or ("expert" if model.is_expert else "naive")
+
+        self.n = len(self.values)
+        self._use_dense = self.n <= _DENSE_MEMO_LIMIT
+        if memoize:
+            if self._use_dense:
+                # 0 = unknown, 1 = lower index wins, 2 = higher index wins.
+                self._memo_matrix: np.ndarray | None = np.zeros(
+                    (self.n, self.n), dtype=np.int8
+                )
+                self._memo_dict: dict[int, bool] | None = None
+            else:
+                self._memo_matrix = None
+                self._memo_dict = {}
+        else:
+            self._memo_matrix = None
+            self._memo_dict = None
+
+        #: Fresh comparisons actually performed by workers (paid).
+        self.comparisons = 0
+        #: Total pair requests, including memo hits.
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def compare(self, i: int, j: int) -> int:
+        """Winner of the comparison between elements ``i`` and ``j``."""
+        winners = self.compare_pairs(
+            np.asarray([i], dtype=np.intp), np.asarray([j], dtype=np.intp)
+        )
+        return int(winners[0])
+
+    def compare_pairs(
+        self,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+        return_fresh: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Winners for a batch of pairs (a "batch" in the Section 3 sense).
+
+        Parameters
+        ----------
+        indices_i, indices_j:
+            Element index arrays; pairs are ``(indices_i[k], indices_j[k])``.
+            A worker "receives a pair (k, j) of distinct elements", so
+            ``i == j`` is rejected.
+        return_fresh:
+            Also return a boolean mask of the pairs that were resolved
+            fresh (not from the memo) *for the first time in this
+            batch*.  The filter phase uses it to count distinct losses.
+
+        Returns
+        -------
+        winners : numpy.ndarray
+            Winner element index per pair.
+        fresh : numpy.ndarray of bool, optional
+            Present when ``return_fresh`` is true.
+        """
+        ii = np.asarray(indices_i, dtype=np.intp)
+        jj = np.asarray(indices_j, dtype=np.intp)
+        if ii.shape != jj.shape or ii.ndim != 1:
+            raise ValueError("index arrays must be 1-D and of equal length")
+        if len(ii) == 0:
+            empty = np.empty(0, dtype=np.intp)
+            return (empty, np.empty(0, dtype=bool)) if return_fresh else empty
+        if np.any(ii == jj):
+            raise ValueError("a worker never receives two copies of the same element")
+        if np.any((ii < 0) | (ii >= self.n) | (jj < 0) | (jj >= self.n)):
+            raise ValueError("element index out of range")
+
+        self.requests += len(ii)
+        lo = np.minimum(ii, jj)
+        hi = np.maximum(ii, jj)
+        winners = np.empty(len(ii), dtype=np.intp)
+        fresh = np.zeros(len(ii), dtype=bool)
+
+        known = np.zeros(len(ii), dtype=bool)
+        if self.memoize:
+            known = self._memo_lookup(lo, hi, winners)
+        need = ~known
+        if np.any(need):
+            self._resolve_fresh(ii, jj, lo, hi, need, winners, fresh)
+        if return_fresh:
+            return winners, fresh
+        return winners
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _memo_lookup(
+        self, lo: np.ndarray, hi: np.ndarray, winners: np.ndarray
+    ) -> np.ndarray:
+        """Fill memoized winners; return the mask of known pairs."""
+        if self._memo_matrix is not None:
+            state = self._memo_matrix[lo, hi]
+            known = state != 0
+            winners[known] = np.where(state[known] == 1, lo[known], hi[known])
+            return known
+        assert self._memo_dict is not None
+        keys = lo * self.n + hi
+        known = np.zeros(len(lo), dtype=bool)
+        memo = self._memo_dict
+        for pos, key in enumerate(keys.tolist()):
+            stored = memo.get(key)
+            if stored is not None:
+                known[pos] = True
+                winners[pos] = lo[pos] if stored else hi[pos]
+        return known
+
+    def _resolve_fresh(
+        self,
+        ii: np.ndarray,
+        jj: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        need: np.ndarray,
+        winners: np.ndarray,
+        fresh: np.ndarray,
+    ) -> None:
+        """Resolve unmemoized pairs, deduplicating within the batch.
+
+        Duplicate pairs inside one batch must agree (the memo makes
+        answers consistent across batches; consistency within a batch
+        follows from resolving each distinct pair once).
+        """
+        need_pos = np.flatnonzero(need)
+        keys = lo[need_pos] * self.n + hi[need_pos]
+        _, first_occurrence, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        rep_pos = need_pos[first_occurrence]
+        # Resolve each distinct pair in the orientation of its first
+        # request; orientation-sensitive models (first_loses) rely on it.
+        rep_i = ii[rep_pos]
+        rep_j = jj[rep_pos]
+        first_wins = self.model.decide(
+            self.values[rep_i],
+            self.values[rep_j],
+            self.rng,
+            indices_i=rep_i,
+            indices_j=rep_j,
+        )
+        rep_winner = np.where(first_wins, rep_i, rep_j)
+        winners[need_pos] = rep_winner[inverse]
+        fresh[rep_pos] = True
+
+        n_fresh = len(rep_pos)
+        self.comparisons += n_fresh
+        if self.ledger is not None:
+            self.ledger.charge(self.label, n_fresh, self.cost_per_comparison)
+        if self.memoize:
+            lo_winner = rep_winner == np.minimum(rep_i, rep_j)
+            if self._memo_matrix is not None:
+                self._memo_matrix[
+                    np.minimum(rep_i, rep_j), np.maximum(rep_i, rep_j)
+                ] = np.where(lo_winner, 1, 2).astype(np.int8)
+            else:
+                assert self._memo_dict is not None
+                rep_keys = (
+                    np.minimum(rep_i, rep_j) * self.n + np.maximum(rep_i, rep_j)
+                )
+                for key, low_won in zip(rep_keys.tolist(), lo_winner.tolist()):
+                    self._memo_dict[key] = low_won
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """Total monetary cost of the fresh comparisons so far."""
+        return self.comparisons * self.cost_per_comparison
+
+    def reset_counts(self) -> None:
+        """Zero the counters (the memo is preserved)."""
+        self.comparisons = 0
+        self.requests = 0
+
+    def forget(self) -> None:
+        """Drop all memoized outcomes."""
+        if self._memo_matrix is not None:
+            self._memo_matrix.fill(0)
+        if self._memo_dict is not None:
+            self._memo_dict.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComparisonOracle(n={self.n}, label={self.label!r}, "
+            f"comparisons={self.comparisons}, requests={self.requests})"
+        )

@@ -1,0 +1,107 @@
+"""The self-configuring pipeline: Algorithm 4 feeding Algorithm 1.
+
+Section 4.4 shows how to upper-bound ``u_n(n)`` from gold/training data
+instead of assuming it.  :func:`find_max_with_estimation` packages the
+full workflow — estimate ``perr`` if unknown, estimate ``u_n``, run the
+two-phase algorithm with the estimate — which is how a deployment would
+actually use the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workers.expert import WorkerClass
+from .estimation import PerrEstimate, UnEstimate, estimate_perr, estimate_u_n
+from .instance import ProblemInstance
+from .maxfinder import ExpertAwareMaxFinder, MaxFindResult, Phase2Algorithm
+from .oracle import CostChargeable
+
+__all__ = ["AutoMaxFindResult", "find_max_with_estimation"]
+
+
+@dataclass
+class AutoMaxFindResult:
+    """Outcome of the estimate-then-find pipeline."""
+
+    result: MaxFindResult
+    u_n_estimate: UnEstimate
+    perr_estimate: PerrEstimate | None
+
+    @property
+    def winner(self) -> int:
+        return self.result.winner
+
+
+def find_max_with_estimation(
+    instance: ProblemInstance | np.ndarray,
+    training: ProblemInstance,
+    naive: WorkerClass,
+    expert: WorkerClass,
+    rng: np.random.Generator,
+    perr: float | None = None,
+    confidence_c: float = 1.0,
+    probe_pairs: int = 60,
+    workers_per_probe: int = 7,
+    phase2: Phase2Algorithm = "two_maxfind",
+    ledger: CostChargeable | None = None,
+) -> AutoMaxFindResult:
+    """Estimate ``u_n`` from gold data, then run Algorithm 1 with it.
+
+    Parameters
+    ----------
+    instance:
+        The target dataset (values unknown to the workers' employer —
+        only comparisons are observable).
+    training:
+        Gold data: an instance whose maximum is known (Section 4.4).
+    naive, expert:
+        The two worker classes.
+    perr:
+        The below-threshold error rate of Assumption 2.  When ``None``
+        it is estimated first, from ``probe_pairs`` random training
+        pairs judged by ``workers_per_probe`` workers each; the
+        procedure falls back to the conservative 0.5 when every probe
+        pair reached consensus (no hard pair was seen, which also means
+        the estimator's error term will be 0 and the ``c ln n`` floor
+        decides).
+    confidence_c:
+        The constant ``c`` of Algorithm 4's ``c ln n`` floor.
+    """
+    target_values = (
+        instance.values if isinstance(instance, ProblemInstance) else np.asarray(instance)
+    )
+    n_target = len(target_values)
+
+    perr_estimate: PerrEstimate | None = None
+    if perr is None:
+        n_hat = training.n
+        ii = rng.integers(0, n_hat, size=probe_pairs)
+        jj = rng.integers(0, n_hat, size=probe_pairs)
+        keep = ii != jj
+        pairs = np.column_stack([ii[keep], jj[keep]])
+        if len(pairs) == 0:
+            raise ValueError("could not draw any probe pair; increase probe_pairs")
+        perr_estimate = estimate_perr(
+            training, naive.model, rng, pairs, workers_per_pair=workers_per_probe
+        )
+        perr = perr_estimate.perr if perr_estimate.perr else 0.5
+        perr = min(max(perr, 1e-3), 0.5)
+
+    u_n_estimate = estimate_u_n(
+        training,
+        naive.model,
+        rng,
+        n_target=n_target,
+        perr=perr,
+        c=confidence_c,
+    )
+    finder = ExpertAwareMaxFinder(
+        naive=naive, expert=expert, u_n=u_n_estimate.u_n, phase2=phase2
+    )
+    result = finder.run(instance, rng, ledger=ledger)
+    return AutoMaxFindResult(
+        result=result, u_n_estimate=u_n_estimate, perr_estimate=perr_estimate
+    )

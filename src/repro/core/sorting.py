@@ -1,0 +1,136 @@
+"""Approximate sorting with imprecise comparators.
+
+Max-finding is the paper's focus, but its substrate — Ajtai et al.'s
+"Sorting and selection with imprecise comparisons" — and much of the
+related work (fault-tolerant sorting networks, Marcus et al.'s
+human-powered sorts) are about *sorting*.  This module provides the
+two natural sorting primitives under the threshold model, both driven
+through the memoizing oracle:
+
+* :func:`borda_sort` — full all-play-all, order by win count ("Borda
+  count").  ``C(m, 2)`` comparisons.  Under ``T(delta, 0)`` an element
+  can only outrank another that is more than ``delta`` *better* by
+  winning hard comparisons, which bounds each element's *dislocation*
+  (|true rank - output rank|) by the size of its ``delta``-neighbourhood.
+* :func:`quick_sort` — comparison-efficient randomised quicksort
+  (expected ``O(m log m)`` comparisons).  Cheaper but with weaker
+  guarantees: a single erroneous pivot comparison can displace an
+  element across the pivot, so dislocations grow with the number of
+  hard pivot encounters.  The benchmark quantifies the trade-off.
+
+:func:`dislocation` is the quality metric used by the tests and the
+sorting benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .oracle import ComparisonOracle
+from .tournament import play_all_play_all
+
+__all__ = ["borda_sort", "quick_sort", "dislocation", "max_dislocation"]
+
+
+def borda_sort(oracle: ComparisonOracle, elements: np.ndarray | None = None) -> np.ndarray:
+    """Sort by all-play-all win counts, best first.
+
+    Ties in win count are broken by element index (deterministically),
+    which keeps the output stable under memoized replays.
+    """
+    if elements is None:
+        elements = np.arange(oracle.n, dtype=np.intp)
+    else:
+        elements = np.asarray(elements, dtype=np.intp)
+    if len(elements) == 0:
+        raise ValueError("cannot sort an empty set")
+    if len(elements) == 1:
+        return elements.copy()
+    result = play_all_play_all(oracle, elements)
+    # argsort on (-wins, element) for a stable, deterministic order.
+    order = np.lexsort((result.elements, -result.wins))
+    return result.elements[order]
+
+
+def quick_sort(
+    oracle: ComparisonOracle,
+    rng: np.random.Generator,
+    elements: np.ndarray | None = None,
+) -> np.ndarray:
+    """Randomised quicksort through the oracle, best first.
+
+    Pivots are drawn uniformly; partitioning batches all comparisons
+    against the pivot into a single oracle call (one logical step per
+    recursion level branch, in the spirit of the paper's batch model).
+    An explicit stack avoids Python recursion limits on large inputs.
+    """
+    if elements is None:
+        elements = np.arange(oracle.n, dtype=np.intp)
+    else:
+        elements = np.asarray(elements, dtype=np.intp)
+    if len(elements) == 0:
+        raise ValueError("cannot sort an empty set")
+
+    output = np.empty(len(elements), dtype=np.intp)
+    # Stack of (segment, output offset).
+    stack: list[tuple[np.ndarray, int]] = [(elements.copy(), 0)]
+    while stack:
+        segment, offset = stack.pop()
+        m = len(segment)
+        if m == 1:
+            output[offset] = segment[0]
+            continue
+        if m == 2:
+            winner = oracle.compare(int(segment[0]), int(segment[1]))
+            loser = int(segment[0]) if winner != segment[0] else int(segment[1])
+            output[offset] = winner
+            output[offset + 1] = loser
+            continue
+        pivot_pos = int(rng.integers(0, m))
+        pivot = int(segment[pivot_pos])
+        others = np.delete(segment, pivot_pos)
+        pivot_first = np.full(len(others), pivot, dtype=np.intp)
+        winners = oracle.compare_pairs(pivot_first, others)
+        above = others[winners != pivot]   # beat the pivot -> better side
+        below = others[winners == pivot]
+        # Layout: [above..., pivot, below...], best first.
+        if len(above):
+            stack.append((above, offset))
+        output[offset + len(above)] = pivot
+        if len(below):
+            stack.append((below, offset + len(above) + 1))
+    return output
+
+
+def dislocation(values: np.ndarray, order: np.ndarray) -> np.ndarray:
+    """Per-element dislocation of ``order`` (best first) vs the truth.
+
+    Element at output position ``p`` with true (0-based, best-first)
+    position ``t`` has dislocation ``|p - t|``.  Ties in value are
+    matched optimally (equal values are interchangeable), so an output
+    that permutes only tied elements has zero dislocation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    order = np.asarray(order, dtype=np.intp)
+    if sorted(order.tolist()) != list(range(len(values))):
+        raise ValueError("order must be a permutation of all element indices")
+    # Optimal matching for ties: process output positions in order and
+    # assign each element the smallest unused true position among its
+    # value's positions.
+    true_order = np.lexsort((np.arange(len(values)), -values))
+    positions_by_value: dict[float, list[int]] = {}
+    for true_pos, element in enumerate(true_order):
+        positions_by_value.setdefault(float(values[element]), []).append(true_pos)
+    # lists are ascending; consume greedily
+    out = np.empty(len(order), dtype=np.int64)
+    for out_pos, element in enumerate(order):
+        candidates = positions_by_value[float(values[element])]
+        # pick the candidate closest to out_pos
+        best_idx = min(range(len(candidates)), key=lambda i: abs(candidates[i] - out_pos))
+        out[out_pos] = abs(candidates.pop(best_idx) - out_pos)
+    return out
+
+
+def max_dislocation(values: np.ndarray, order: np.ndarray) -> int:
+    """The maximum per-element dislocation of an output order."""
+    return int(dislocation(values, order).max())

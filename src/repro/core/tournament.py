@@ -1,0 +1,119 @@
+"""All-play-all (round-robin) tournament machinery.
+
+Both phases of the paper's algorithm are built on all-play-all
+tournaments: "each element is compared against every other element"
+(footnote 8).  This module plays such tournaments through a
+:class:`~repro.core.oracle.ComparisonOracle` and reports per-element
+win/loss tallies, which Lemmas 1 and 2 reason about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .oracle import ComparisonOracle
+
+__all__ = ["TournamentResult", "all_pairs", "play_all_play_all", "tournament_winner"]
+
+
+def all_pairs(elements: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """All unordered pairs of ``elements`` as two aligned index arrays.
+
+    The pair count is ``C(m, 2)`` for ``m`` elements; an empty pairing
+    is returned for fewer than two elements.
+    """
+    elements = np.asarray(elements, dtype=np.intp)
+    m = len(elements)
+    if m < 2:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    left, right = np.triu_indices(m, k=1)
+    return elements[left], elements[right]
+
+
+@dataclass
+class TournamentResult:
+    """Outcome of one all-play-all tournament.
+
+    Attributes
+    ----------
+    elements:
+        The participants, in input order.
+    wins:
+        Wins per participant, aligned with ``elements``.
+    fresh_losses:
+        Losses charged in *fresh* (non-memoized) comparisons, aligned
+        with ``elements``.  Because every unordered pair is fresh at
+        most once per oracle lifetime, accumulating these across
+        tournaments counts *distinct* losses — the quantity the second
+        Appendix-A optimisation tracks.
+    n_pairs:
+        Number of pairs requested (``C(m, 2)``).
+    """
+
+    elements: np.ndarray
+    wins: np.ndarray
+    fresh_losses: np.ndarray
+    n_pairs: int
+
+    @property
+    def losses(self) -> np.ndarray:
+        """Losses per participant within this tournament."""
+        return (len(self.elements) - 1) - self.wins
+
+    @property
+    def winner(self) -> int:
+        """A participant with the most wins (ties broken arbitrarily)."""
+        return int(self.elements[int(np.argmax(self.wins))])
+
+    def with_wins_at_least(self, threshold: int) -> np.ndarray:
+        """Participants with at least ``threshold`` wins."""
+        return self.elements[self.wins >= threshold]
+
+
+def play_all_play_all(
+    oracle: ComparisonOracle, elements: np.ndarray
+) -> TournamentResult:
+    """Play an all-play-all tournament among ``elements``.
+
+    Every pair is routed through the oracle (memoized outcomes are
+    reused and not re-paid).  Returns the per-element tallies.
+    """
+    elements = np.asarray(elements, dtype=np.intp)
+    m = len(elements)
+    if m == 0:
+        raise ValueError("a tournament needs at least one element")
+    if m == 1:
+        return TournamentResult(
+            elements=elements,
+            wins=np.zeros(1, dtype=np.int64),
+            fresh_losses=np.zeros(1, dtype=np.int64),
+            n_pairs=0,
+        )
+    ii, jj = all_pairs(elements)
+    winners, fresh = oracle.compare_pairs(ii, jj, return_fresh=True)
+    losers = np.where(winners == ii, jj, ii)
+
+    # Tally against positions within `elements`.
+    position = {int(e): k for k, e in enumerate(elements)}
+    win_pos = np.fromiter((position[int(w)] for w in winners), dtype=np.intp)
+    wins = np.zeros(m, dtype=np.int64)
+    np.add.at(wins, win_pos, 1)
+
+    fresh_losses = np.zeros(m, dtype=np.int64)
+    if np.any(fresh):
+        lose_pos = np.fromiter(
+            (position[int(loser)] for loser in losers[fresh]), dtype=np.intp
+        )
+        np.add.at(fresh_losses, lose_pos, 1)
+
+    return TournamentResult(
+        elements=elements, wins=wins, fresh_losses=fresh_losses, n_pairs=len(ii)
+    )
+
+
+def tournament_winner(oracle: ComparisonOracle, elements: np.ndarray) -> int:
+    """Winner of an all-play-all tournament among ``elements``."""
+    return play_all_play_all(oracle, elements).winner

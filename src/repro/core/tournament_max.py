@@ -1,0 +1,150 @@
+"""Tournament max-finding baselines (Venetis et al. style).
+
+Section 2: "Venetis and Garcia-Molina [34] and Venetis et al. [35]
+present algorithms for finding the maximum in crowdsourcing
+environments based on static and dynamic tournaments", parameterised by
+the tournament structure and the redundancy per comparison.  This
+module implements the static variant as an additional baseline:
+
+* the elements are grouped into brackets of ``fan_in``;
+* each bracket's winner — by an all-play-all among its members, each
+  pairwise comparison decided by the majority of ``redundancy``
+  judgments — advances to the next round;
+* rounds repeat until one element remains.
+
+With ``fan_in = 2`` this is the classic single-elimination bracket;
+larger fan-ins trade more comparisons per round for fewer rounds
+(fewer logical steps — the Venetis et al. notion of time).
+
+Under the *probabilistic* model, redundancy drives the error per match
+down and the tournament finds the true maximum whp.  Under the
+*threshold* model it inherits the crowd's barrier: whenever the bracket
+containing the maximum also contains a naive-indistinguishable rival,
+the match is a coin flip no matter the redundancy — the comparison
+against the paper's expert-aware algorithm in
+:mod:`repro.experiments.baselines` quantifies exactly this gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .oracle import ComparisonOracle
+from .tournament import play_all_play_all
+
+__all__ = ["TournamentRound", "TournamentMaxResult", "tournament_max"]
+
+
+@dataclass(frozen=True)
+class TournamentRound:
+    """Telemetry for one tournament round."""
+
+    round_index: int
+    entrants: int
+    brackets: int
+    comparisons: int
+
+
+@dataclass
+class TournamentMaxResult:
+    """Outcome of a static-tournament max-finding run."""
+
+    winner: int
+    comparisons: int
+    judgments: int
+    rounds: list[TournamentRound] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        """Logical rounds played (the Venetis et al. time measure)."""
+        return len(self.rounds)
+
+
+def tournament_max(
+    oracle: ComparisonOracle,
+    elements: np.ndarray | None = None,
+    fan_in: int = 2,
+    redundancy: int = 1,
+    rng: np.random.Generator | None = None,
+) -> TournamentMaxResult:
+    """Run a static tournament and return its champion.
+
+    Parameters
+    ----------
+    oracle:
+        Comparison oracle.  Memoization is bypassed for redundant votes
+        by asking the oracle once and replicating at the *model* level
+        is not possible through a memoizing oracle, so redundancy is
+        implemented as ``redundancy`` independent oracle queries only
+        when the oracle does not memoize; with a memoizing oracle the
+        redundancy collapses to 1 (documented behaviour — construct the
+        oracle with ``memoize=False`` to measure true redundancy, or
+        wrap the model in :class:`~repro.workers.aggregation.MajorityOfKModel`).
+    elements:
+        Entrants; defaults to the whole instance.
+    fan_in:
+        Bracket size per round (>= 2).
+    redundancy:
+        Judgments per pairwise match, aggregated by majority (see the
+        oracle note above; the clean way is a ``MajorityOfKModel``).
+    rng:
+        Shuffles the bracket seeding each round when provided.
+    """
+    if fan_in < 2:
+        raise ValueError("fan_in must be at least 2")
+    if redundancy < 1:
+        raise ValueError("redundancy must be at least 1")
+    if elements is None:
+        current = np.arange(oracle.n, dtype=np.intp)
+    else:
+        current = np.asarray(elements, dtype=np.intp).copy()
+    if len(current) == 0:
+        raise ValueError("the tournament needs at least one entrant")
+
+    start = oracle.comparisons
+    judgments = 0
+    rounds: list[TournamentRound] = []
+    round_index = 0
+    max_rounds = 2 * math.ceil(math.log(max(len(current), 2), 2)) + 4
+
+    while len(current) > 1:
+        if round_index >= max_rounds:  # pragma: no cover - defensive
+            raise RuntimeError("tournament failed to converge")
+        if rng is not None:
+            rng.shuffle(current)
+        entrants = len(current)
+        before = oracle.comparisons
+        winners: list[int] = []
+        n_brackets = 0
+        for pos in range(0, len(current), fan_in):
+            bracket = current[pos : pos + fan_in]
+            n_brackets += 1
+            if len(bracket) == 1:
+                winners.append(int(bracket[0]))  # a bye
+                continue
+            tallies = np.zeros(len(bracket), dtype=np.int64)
+            for _ in range(redundancy):
+                result = play_all_play_all(oracle, bracket)
+                tallies += result.wins
+                judgments += result.n_pairs
+            winners.append(int(bracket[int(np.argmax(tallies))]))
+        current = np.asarray(winners, dtype=np.intp)
+        rounds.append(
+            TournamentRound(
+                round_index=round_index,
+                entrants=entrants,
+                brackets=n_brackets,
+                comparisons=oracle.comparisons - before,
+            )
+        )
+        round_index += 1
+
+    return TournamentMaxResult(
+        winner=int(current[0]),
+        comparisons=oracle.comparisons - start,
+        judgments=judgments,
+        rounds=rounds,
+    )

@@ -1,0 +1,152 @@
+"""2-MaxFind: the deterministic max-finder of Ajtai et al. (Algorithm 3).
+
+Used by the paper as the phase-2 solver and, standalone, as the
+2-MaxFind-naive / 2-MaxFind-expert baselines of Section 5.1.  On an
+input of ``s`` elements it performs ``O(s^{3/2})`` comparisons and, in
+the threshold model ``T(delta, 0)``, returns an element within
+``2 * delta`` of the maximum — the best possible for deterministic
+algorithms in the model [Ajtai et al., Section 3.1].
+
+The algorithm: while more than ``ceil(sqrt(s))`` candidates remain,
+pick an arbitrary set of ``ceil(sqrt(s))`` candidates, play them
+all-play-all, and let the pivot ``x`` be the element with most wins;
+compare ``x`` against every candidate and eliminate all that lose to
+it.  Finish with an all-play-all among the survivors.
+
+With comparison memoization (Appendix A) every elimination round
+removes at least the elements the pivot beat in its round-robin, so
+progress is guaranteed.  Without memoization an adversary could stall
+the loop; a defensive round bound raises in that (illegal) regime.
+
+The pivot is always passed *first* to the oracle in the elimination
+step — the hook the ``first_loses`` adversary of Section 5 uses to
+"make element x lose" on hard pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .oracle import ComparisonOracle
+from .tournament import play_all_play_all
+
+__all__ = ["TwoMaxFindRound", "TwoMaxFindResult", "two_maxfind"]
+
+
+@dataclass(frozen=True)
+class TwoMaxFindRound:
+    """Telemetry for one pivot round of 2-MaxFind."""
+
+    round_index: int
+    candidates_before: int
+    pivot: int
+    eliminated: int
+    comparisons: int
+
+
+@dataclass
+class TwoMaxFindResult:
+    """Outcome of a 2-MaxFind run."""
+
+    winner: int
+    comparisons: int
+    rounds: list[TwoMaxFindRound] = field(default_factory=list)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+
+def two_maxfind(
+    oracle: ComparisonOracle,
+    elements: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+) -> TwoMaxFindResult:
+    """Run 2-MaxFind on ``elements`` through ``oracle``.
+
+    Parameters
+    ----------
+    oracle:
+        Comparison oracle (naive or expert workers).
+    elements:
+        Candidate element indices ``S``; defaults to the whole instance.
+    rng:
+        When given, the "arbitrary" pivot sample of each round is drawn
+        at random; otherwise the first ``ceil(sqrt(s))`` candidates are
+        used (both are legal — the algorithm says *arbitrary*).
+
+    Returns
+    -------
+    TwoMaxFindResult
+        Winner element index, fresh comparisons used by this call, and
+        per-round telemetry.
+    """
+    if elements is None:
+        candidates = np.arange(oracle.n, dtype=np.intp)
+    else:
+        candidates = np.asarray(elements, dtype=np.intp).copy()
+    if len(candidates) == 0:
+        raise ValueError("2-MaxFind needs at least one candidate")
+    if len(candidates) == 1:
+        return TwoMaxFindResult(winner=int(candidates[0]), comparisons=0)
+
+    s = len(candidates)
+    sample_size = math.ceil(math.sqrt(s))
+    start_comparisons = oracle.comparisons
+    rounds: list[TwoMaxFindRound] = []
+
+    # Each round eliminates at least one element when memoization is on;
+    # the defensive bound flags a stalled adversarial run without it.
+    max_rounds = 4 * s + 8
+    round_index = 0
+    consecutive_stalls = 0
+    while len(candidates) > sample_size:
+        if round_index >= max_rounds:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "2-MaxFind stalled; run it with a memoizing oracle "
+                "(Appendix A) to guarantee progress"
+            )
+        before = oracle.comparisons
+        if rng is not None:
+            chosen = rng.choice(len(candidates), size=sample_size, replace=False)
+            sample = candidates[chosen]
+        else:
+            sample = candidates[:sample_size]
+        pivot = play_all_play_all(oracle, sample).winner
+
+        others = candidates[candidates != pivot]
+        pivot_first = np.full(len(others), pivot, dtype=np.intp)
+        winners = oracle.compare_pairs(pivot_first, others)
+        survived = others[winners != pivot]
+        eliminated = len(others) - len(survived)
+        candidates = np.concatenate(([pivot], survived)).astype(np.intp)
+
+        rounds.append(
+            TwoMaxFindRound(
+                round_index=round_index,
+                candidates_before=len(others) + 1,
+                pivot=int(pivot),
+                eliminated=eliminated,
+                comparisons=oracle.comparisons - before,
+            )
+        )
+        round_index += 1
+        # Without memoization a stalling comparator can starve the loop;
+        # random workers may also fluke a zero-progress round, so only a
+        # long stall (impossible under the model's guarantees) raises.
+        consecutive_stalls = consecutive_stalls + 1 if eliminated == 0 else 0
+        if consecutive_stalls > 50:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "2-MaxFind stalled repeatedly; run it with a memoizing "
+                "oracle (Appendix A) to guarantee progress"
+            )
+
+    final = play_all_play_all(oracle, candidates)
+    return TwoMaxFindResult(
+        winner=final.winner,
+        comparisons=oracle.comparisons - start_comparisons,
+        rounds=rounds,
+    )

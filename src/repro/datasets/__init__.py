@@ -1,0 +1,27 @@
+"""Datasets: synthetic DOTS, CARS and search-results (see DESIGN.md)."""
+
+from .cars import MIN_PRICE_GAP, TABLE2_CARS, CarRecord, cars_catalog, cars_instance
+from .dots import (
+    DOTS_FULL_RANGE,
+    DOTS_GOLDEN_RANGE,
+    DotImage,
+    dots_counts,
+    dots_instance,
+)
+from .search import SEARCH_QUERIES, SearchResult, search_instance
+
+__all__ = [
+    "DOTS_FULL_RANGE",
+    "DOTS_GOLDEN_RANGE",
+    "DotImage",
+    "CarRecord",
+    "MIN_PRICE_GAP",
+    "SEARCH_QUERIES",
+    "SearchResult",
+    "TABLE2_CARS",
+    "cars_catalog",
+    "cars_instance",
+    "dots_counts",
+    "dots_instance",
+    "search_instance",
+]

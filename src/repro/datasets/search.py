@@ -1,0 +1,146 @@
+"""Search-results evaluation dataset (Section 5.3).
+
+The paper's third CrowdFlower experiment: "we considered two specific
+queries from the area of approximation algorithms: 'asymmetric tsp best
+approximation' and 'steiner tree best approximation' [...] For each of
+the queries we obtained 50 results from Google, distributed uniformly
+among the top-100 results".  The queries were chosen because "there is
+a clear best result [...] the paper or a link that contains the current
+(recently published) best result" and because real experts (algorithms
+researchers) exist for them.
+
+We cannot redistribute Google SERPs, so the generator synthesises
+result lists with the same structure: one outstanding best result (the
+recent record-holding paper), a handful of strong survey/lecture-note
+results close behind it (the fuzzy middle that naive judges cannot
+reliably order), and a long relevance tail.  Relevance is the value
+function; naive workers judge it through a relative threshold model
+while experts (researchers) resolve the fuzzy middle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["SearchResult", "SEARCH_QUERIES", "search_instance"]
+
+#: The two queries used by the paper.
+SEARCH_QUERIES = (
+    "asymmetric tsp best approximation",
+    "steiner tree best approximation",
+)
+
+_SOURCE_KINDS = (
+    "conference paper",
+    "journal paper",
+    "arXiv preprint",
+    "survey",
+    "lecture notes",
+    "wikipedia article",
+    "blog post",
+    "Q&A thread",
+    "course page",
+    "slides",
+)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One search result with its (latent) relevance to the query."""
+
+    item_id: int
+    query: str
+    serp_position: int
+    title: str
+    kind: str
+    relevance: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.relevance <= 1.0:
+            raise ValueError("relevance must lie in [0, 1]")
+
+
+def search_instance(
+    query: str,
+    rng: np.random.Generator,
+    n_results: int = 50,
+    top_of: int = 100,
+    best_gap: float = 0.12,
+    mid_band: float = 0.08,
+    name: str | None = None,
+) -> ProblemInstance:
+    """Synthesise a search-results instance for ``query``.
+
+    Parameters
+    ----------
+    query:
+        The search query (any string; the paper's two are in
+        :data:`SEARCH_QUERIES`).
+    n_results:
+        Results sampled (paper: 50), "distributed uniformly among the
+        top-``top_of`` results".
+    best_gap:
+        Relevance lead of the unique best result over the runner-up —
+        large enough that a true expert always recognises it.
+    mid_band:
+        Width of the fuzzy band below the runner-up in which several
+        strong results are squeezed (the region naive workers cannot
+        reliably order).
+    """
+    if n_results < 5:
+        raise ValueError("need at least 5 results")
+    if n_results > top_of:
+        raise ValueError("cannot sample more results than the SERP holds")
+    if not 0 < best_gap < 0.5 or not 0 < mid_band < 0.5:
+        raise ValueError("best_gap and mid_band must be small positive fractions")
+
+    positions = np.sort(rng.choice(top_of, size=n_results, replace=False)) + 1
+
+    # One clear best; ~20 % strong results in the fuzzy band; the rest
+    # decays with SERP position plus noise.
+    n_strong = max(2, n_results // 5)
+    relevance = np.empty(n_results, dtype=np.float64)
+    relevance[0] = 0.97
+    runner_up = relevance[0] - best_gap
+    relevance[1 : 1 + n_strong] = runner_up - rng.uniform(0.0, mid_band, size=n_strong)
+    n_tail = n_results - 1 - n_strong
+    decay = np.linspace(runner_up - mid_band - 0.05, 0.05, n_tail)
+    relevance[1 + n_strong :] = np.clip(
+        decay + rng.normal(0.0, 0.02, size=n_tail), 0.0, runner_up - mid_band - 0.02
+    )
+
+    slug = query.replace(" ", "-")
+    results: list[SearchResult] = []
+    for item_id in range(n_results):
+        if item_id == 0:
+            title = f"[NEW] Improved approximation for {query.split(' best')[0]}"
+            kind = "conference paper"
+        else:
+            kind = _SOURCE_KINDS[int(rng.integers(0, len(_SOURCE_KINDS)))]
+            title = f"{kind.title()} #{item_id} on {slug}"
+        results.append(
+            SearchResult(
+                item_id=item_id,
+                query=query,
+                serp_position=int(positions[item_id]),
+                title=title,
+                kind=kind,
+                relevance=float(relevance[item_id]),
+            )
+        )
+
+    return ProblemInstance(
+        values=relevance,
+        payloads=results,
+        name=name or f"SEARCH[{query}]",
+        metadata={
+            "dataset": "SEARCH",
+            "query": query,
+            "n_results": n_results,
+            "top_of": top_of,
+        },
+    )

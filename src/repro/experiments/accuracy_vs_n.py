@@ -1,0 +1,54 @@
+"""Figure 3: accuracy (average true rank) as a function of n (§5.1).
+
+"In Figure 3 we depict the true rank of the element returned for each
+of them.  As expected, we can observe that the best approach is
+2-MaxFind-expert, with our Algorithm following closely, whereas
+2-MaxFind-naive returns an element with a much lower rank, which
+worsens as u_n(n) increases."
+
+One call produces one panel (one ``(u_n, u_e)`` setting); the paper's
+figure has two panels — run both configs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import FigureResult
+from .sweep import SweepConfig, SweepData, run_sweep
+
+__all__ = ["figure3_from_sweep", "run_figure3"]
+
+
+def figure3_from_sweep(data: SweepData) -> FigureResult:
+    """Build the Figure 3 panel from an existing sweep."""
+    config = data.config
+    figure = FigureResult(
+        figure_id="fig3",
+        title=(
+            f"average real rank of max vs n "
+            f"(u_n={config.u_n}, u_e={config.u_e}, trials={config.trials})"
+        ),
+        x_label="n",
+        x_values=data.ns,
+    )
+    figure.add_series("2-MaxFind-naive", data.series("tmf_naive_rank"))
+    figure.add_series("Alg 1", data.series("alg1_rank"))
+    figure.add_series("2-MaxFind-expert", data.series("tmf_expert_rank"))
+    figure.notes.append(
+        "expected ordering: 2-MaxFind-expert best, Alg 1 close behind, "
+        "2-MaxFind-naive clearly worse (and worse for larger u_n)"
+    )
+    return figure
+
+
+def run_figure3(
+    config: SweepConfig, rng: np.random.Generator
+) -> tuple[FigureResult, SweepData]:
+    """Run the sweep and derive the Figure 3 panel.
+
+    The sweep data is returned too so Figures 4/5/9 can reuse it
+    without re-simulating.
+    """
+    data = run_sweep(config, rng)
+    return figure3_from_sweep(data), data

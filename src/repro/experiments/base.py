@@ -1,0 +1,91 @@
+"""Result containers shared by every experiment.
+
+Each experiment returns a :class:`FigureResult` (x values plus named
+series, mirroring one figure panel of the paper) or a
+:class:`TableResult` (headers plus rows).  Both render to aligned text
+and export to CSV, so the benchmark harness can "print the same
+rows/series the paper reports".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..analysis.reporting import format_rows, format_series_table, write_csv
+
+__all__ = ["FigureResult", "TableResult"]
+
+
+@dataclass
+class FigureResult:
+    """One figure panel: x values plus one y-series per curve."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    x_values: list
+    series: dict[str, list] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def add_series(self, name: str, values: list) -> None:
+        """Attach one named curve (must align with ``x_values``)."""
+        if len(values) != len(self.x_values):
+            raise ValueError(
+                f"series {name!r}: {len(values)} points for "
+                f"{len(self.x_values)} x values"
+            )
+        self.series[name] = list(values)
+
+    def to_text(self) -> str:
+        """Aligned text rendering of the panel."""
+        body = format_series_table(
+            self.x_label,
+            self.x_values,
+            self.series,
+            title=f"[{self.figure_id}] {self.title}",
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return body
+
+    def to_csv(self, path: str | Path) -> Path:
+        """CSV export: one row per x value, one column per series."""
+        headers = [self.x_label, *self.series.keys()]
+        rows = [
+            [x, *(ys[k] for ys in self.series.values())]
+            for k, x in enumerate(self.x_values)
+        ]
+        return write_csv(path, headers, rows)
+
+
+@dataclass
+class TableResult:
+    """One table: headers plus data rows."""
+
+    table_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, row: list) -> None:
+        """Append one row (must align with ``headers``)."""
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(list(row))
+
+    def to_text(self) -> str:
+        """Aligned text rendering of the table."""
+        body = format_rows(
+            self.headers, self.rows, title=f"[{self.table_id}] {self.title}"
+        )
+        if self.notes:
+            body += "\n" + "\n".join(f"  note: {note}" for note in self.notes)
+        return body
+
+    def to_csv(self, path: str | Path) -> Path:
+        """CSV export of the table."""
+        return write_csv(path, self.headers, self.rows)

@@ -1,0 +1,101 @@
+"""Empirical validation of the paper's bounds (Sections 4.2-4.3).
+
+For a grid of instance sizes, this experiment measures the comparison
+counts of the two-phase algorithm and checks them against:
+
+* the Lemma 3 upper bound ``4 n u_n`` on naive comparisons,
+* the Corollary 1 lower bound ``n u_n / 4`` (any correct naive filter
+  must use at least this many — so the measurement sits between the
+  two envelopes, empirically confirming the constant-factor optimality
+  claim),
+* the Theorem 1 upper bound ``2 (2 u_n - 1)^{3/2}`` on expert
+  comparisons, with the Lemma 6 lower bound ``u_n^{4/3}`` below it,
+* the Lemma 3 survivor-size bound ``2 u_n - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bounds import (
+    expert_comparisons_lower_bound_deterministic,
+    filter_comparisons_upper_bound,
+    naive_comparisons_lower_bound,
+    survivor_upper_bound,
+    two_maxfind_comparisons_upper_bound,
+)
+from ..core.generators import planted_instance
+from ..core.maxfinder import ExpertAwareMaxFinder
+from ..workers.expert import make_worker_classes
+from .base import TableResult
+
+__all__ = ["run_bounds_check"]
+
+
+def run_bounds_check(
+    rng: np.random.Generator,
+    ns: tuple[int, ...] = (500, 1000, 2000, 4000),
+    u_n: int = 10,
+    u_e: int = 5,
+    trials: int = 3,
+) -> TableResult:
+    """Measure comparison counts against the theoretical envelopes."""
+    naive, expert = make_worker_classes(delta_n=1.0, delta_e=0.25)
+    finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=u_n)
+
+    table = TableResult(
+        table_id="bounds",
+        title=f"measured comparisons vs theory envelopes (u_n={u_n}, u_e={u_e})",
+        headers=[
+            "n",
+            "naive lower (n*u/4)",
+            "naive measured (avg)",
+            "naive upper (4*n*u)",
+            "expert lower (u^{4/3})",
+            "expert measured (avg)",
+            "expert upper (2*(2u-1)^1.5)",
+            "survivors (max)",
+            "survivor bound (2u-1)",
+            "within bounds",
+        ],
+    )
+    for n in ns:
+        naive_counts: list[int] = []
+        expert_counts: list[int] = []
+        survivor_counts: list[int] = []
+        for _ in range(trials):
+            instance = planted_instance(
+                n=n, u_n=u_n, u_e=u_e, delta_n=1.0, delta_e=0.25, rng=rng
+            )
+            result = finder.run(instance, rng)
+            naive_counts.append(result.naive_comparisons)
+            expert_counts.append(result.expert_comparisons)
+            survivor_counts.append(result.survivor_count)
+        naive_avg = float(np.mean(naive_counts))
+        expert_avg = float(np.mean(expert_counts))
+        naive_upper = filter_comparisons_upper_bound(n, u_n)
+        expert_upper = two_maxfind_comparisons_upper_bound(survivor_upper_bound(u_n))
+        ok = (
+            max(naive_counts) <= naive_upper
+            and max(expert_counts) <= expert_upper
+            and max(survivor_counts) <= survivor_upper_bound(u_n)
+        )
+        table.add_row(
+            [
+                n,
+                naive_comparisons_lower_bound(n, u_n),
+                naive_avg,
+                naive_upper,
+                expert_comparisons_lower_bound_deterministic(u_n),
+                expert_avg,
+                expert_upper,
+                max(survivor_counts),
+                survivor_upper_bound(u_n),
+                "yes" if ok else "NO",
+            ]
+        )
+    table.notes.append(
+        "the measured counts must sit inside [lower, upper]; this is the "
+        "empirical face of the optimality claims of Sections 4.2-4.3"
+    )
+    return table

@@ -1,0 +1,104 @@
+"""Figures 5 and 9: monetary cost as a function of n (§5.1 / App. C).
+
+Figure 5 shows the *average* cost and Figure 9 the *worst-case* cost of
+the three approaches, with ``c_n = 1`` and ``c_e in {10, 20, 50}`` (one
+panel per ``c_e`` and per ``(u_n, u_e)`` setting).  The paper's
+conclusion: "unless the cost of an expert is comparable to the cost of
+a naive worker (less than 10 times more expensive), we can achieve
+great cost savings" — Alg 1 beats 2-MaxFind-expert once ``c_e/c_n``
+exceeds roughly 10.
+"""
+
+from __future__ import annotations
+
+from ..core.bounds import monetary_cost
+from .base import FigureResult
+from .sweep import SweepData
+
+__all__ = ["PAPER_EXPERT_COSTS", "figure5_from_sweep", "figure9_from_sweep"]
+
+#: The paper's expert-cost grid (c_n = 1).
+PAPER_EXPERT_COSTS = (10, 20, 50)
+
+
+def figure5_from_sweep(
+    data: SweepData, cost_expert: float, cost_naive: float = 1.0
+) -> FigureResult:
+    """One Figure 5 panel: average cost vs n at the given ``c_e``."""
+    config = data.config
+    figure = FigureResult(
+        figure_id=f"fig5(ce={cost_expert:g})",
+        title=(
+            f"average cost C(n) vs n "
+            f"(c_n={cost_naive:g}, c_e={cost_expert:g}, "
+            f"u_n={config.u_n}, u_e={config.u_e})"
+        ),
+        x_label="n",
+        x_values=data.ns,
+    )
+    figure.add_series(
+        "2-MaxFind-expert (avg)",
+        [
+            monetary_cost(0.0, x, cost_naive, cost_expert)
+            for x in data.series("tmf_expert_comparisons")
+        ],
+    )
+    figure.add_series(
+        "Alg 1 (avg)",
+        [
+            monetary_cost(xn, xe, cost_naive, cost_expert)
+            for xn, xe in zip(data.series("alg1_naive"), data.series("alg1_expert"))
+        ],
+    )
+    figure.add_series(
+        "2-MaxFind-naive (avg)",
+        [
+            monetary_cost(x, 0.0, cost_naive, cost_expert)
+            for x in data.series("tmf_naive_comparisons")
+        ],
+    )
+    figure.notes.append(
+        "Alg 1 should undercut 2-MaxFind-expert once c_e/c_n exceeds ~10"
+    )
+    return figure
+
+
+def figure9_from_sweep(
+    data: SweepData, cost_expert: float, cost_naive: float = 1.0
+) -> FigureResult:
+    """One Figure 9 panel: worst-case cost vs n at the given ``c_e``."""
+    config = data.config
+    figure = FigureResult(
+        figure_id=f"fig9(ce={cost_expert:g})",
+        title=(
+            f"worst-case cost C(n) vs n "
+            f"(c_n={cost_naive:g}, c_e={cost_expert:g}, "
+            f"u_n={config.u_n}, u_e={config.u_e})"
+        ),
+        x_label="n",
+        x_values=data.ns,
+    )
+    figure.add_series(
+        "2-MaxFind-expert (wc)",
+        [
+            monetary_cost(0.0, x, cost_naive, cost_expert)
+            for x in data.wc_series("tmf_expert_wc")
+        ],
+    )
+    figure.add_series(
+        "Alg 1 (wc)",
+        [
+            monetary_cost(xn, xe, cost_naive, cost_expert)
+            for xn, xe in zip(
+                data.wc_series("alg1_naive_wc"), data.wc_series("alg1_expert_wc")
+            )
+        ],
+    )
+    figure.add_series(
+        "2-MaxFind-naive (wc)",
+        [
+            monetary_cost(x, 0.0, cost_naive, cost_expert)
+            for x in data.wc_series("tmf_naive_wc")
+        ],
+    )
+    return figure

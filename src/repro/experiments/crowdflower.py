@@ -1,0 +1,380 @@
+"""The CrowdFlower experiments of Section 5.3 (Tables 1 and 2, plus the
+in-text 2-MaxFind repetitions and the search-results evaluation).
+
+These experiments run the *full platform simulator* — worker pools with
+spammers, gold-question bans, per-judgment billing — in place of the
+real CrowdFlower deployment:
+
+* **DOTS** (Table 1): 50 images, task "select the image with the
+  minimum number of random dots", ``u_n = 5``; phase 2 uses *simulated
+  experts*, each expert query answered by the majority of 7 naive
+  judgments.  Expected: ~9 survivors, near-perfect last-round ranking.
+* **CARS** (Table 2): 50 cars, task "find the most expensive car".
+  Expected: the top car reaches the last round but the simulated
+  experts fail to identify it — the accuracy barrier of Figure 2(b).
+* **2-MaxFind-naive repetitions** (in-text): 14 naive-only runs per
+  dataset; expected ~13/14 successes on DOTS and 0/14 on CARS.
+* **Search-results evaluation** (in-text): two queries, 50 results
+  each, ``u_n(50) in {6, 8, 10}``; expected: the best result is always
+  promoted to phase 2 (where a real expert identifies it), while
+  naive-only 2-MaxFind finds it only in roughly 1 of 4 runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.filter_phase import filter_candidates
+from ..core.instance import ProblemInstance
+from ..core.oracle import ComparisonOracle
+from ..core.tournament import play_all_play_all
+from ..core.two_maxfind import two_maxfind
+from ..datasets.cars import cars_instance
+from ..datasets.dots import DOTS_GOLDEN_RANGE, dots_counts, dots_instance
+from ..datasets.search import SEARCH_QUERIES, search_instance
+from ..platform.accounting import CostLedger
+from ..platform.gold import GoldPolicy
+from ..platform.oracle_adapter import PlatformWorkerModel
+from ..platform.platform import CrowdPlatform
+from ..platform.workforce import WorkerPool
+from ..workers.base import WorkerModel
+from ..workers.beliefs import CrowdBeliefTable
+from ..workers.calibrated import CalibratedCarsWorkerModel, make_dots_worker
+from ..workers.spammer import RandomSpammerModel
+from ..workers.threshold import CrowdBeliefBehavior, ThresholdWorkerModel
+from .base import TableResult
+
+__all__ = [
+    "CrowdFlowerRun",
+    "run_crowdflower_experiment",
+    "run_table1_dots",
+    "run_table2_cars",
+    "run_repeated_two_maxfind",
+    "run_search_evaluation",
+]
+
+#: Simulated expert = majority of this many naive judgments (paper: 7).
+SIMULATED_EXPERT_VOTES = 7
+
+
+@dataclass
+class CrowdFlowerRun:
+    """One end-to-end platform run of the two-phase pipeline."""
+
+    survivors: np.ndarray
+    last_round_order: list[int]
+    winner: int
+    max_survived: bool
+    naive_judgments: int
+    total_cost: float
+    workers_banned: int
+
+    def position_of(self, element: int) -> int | None:
+        """1-based last-round position of ``element`` (None if absent)."""
+        try:
+            return self.last_round_order.index(element) + 1
+        except ValueError:
+            return None
+
+
+def _build_platform(
+    naive_model: WorkerModel,
+    gold_values: np.ndarray,
+    rng: np.random.Generator,
+    n_honest: int = 25,
+    n_spammers: int = 2,
+    availability: float = 0.7,
+    cost_per_judgment: float = 1.0,
+    gold_min_relative_difference: float = 0.25,
+) -> CrowdPlatform:
+    """A CrowdFlower-like platform: honest pool + spammers + gold."""
+    models: list[WorkerModel] = [naive_model] * n_honest
+    models += [RandomSpammerModel() for _ in range(n_spammers)]
+    pool = WorkerPool.from_models(
+        "naive",
+        models,
+        cost_per_judgment=cost_per_judgment,
+        availability=availability,
+    )
+    gold = GoldPolicy.from_values(
+        gold_values,
+        rng,
+        n_pairs=30,
+        min_relative_difference=gold_min_relative_difference,
+    )
+    return CrowdPlatform({"naive": pool}, rng, ledger=CostLedger(), gold=gold)
+
+
+def run_crowdflower_experiment(
+    instance: ProblemInstance,
+    naive_model: WorkerModel,
+    gold_values: np.ndarray,
+    rng: np.random.Generator,
+    u_n: int = 5,
+    expert_votes: int = SIMULATED_EXPERT_VOTES,
+    phase1_votes: int = 3,
+) -> CrowdFlowerRun:
+    """One full Section 5.3 pipeline run on the platform simulator.
+
+    Phase 1 filters with the majority of ``phase1_votes`` naive
+    judgments per comparison (real CrowdFlower deployments collect a
+    few judgments per task; a single noisy judgment would make the
+    filter needlessly fragile); phase 2 ranks the survivors with
+    simulated experts (majority of ``expert_votes`` naive judgments per
+    comparison) in an all-play-all tournament, which is what the
+    paper's "ranking of the last round" reports.
+    """
+    platform = _build_platform(naive_model, gold_values, rng)
+    phase1_model = PlatformWorkerModel(
+        platform, "naive", judgments_per_task=phase1_votes
+    )
+    naive_oracle = ComparisonOracle(instance, phase1_model, rng, label="naive")
+    filter_result = filter_candidates(naive_oracle, u_n=u_n)
+    survivors = filter_result.survivors
+
+    expert_model = PlatformWorkerModel(
+        platform, "naive", judgments_per_task=expert_votes, is_expert=True
+    )
+    expert_oracle = ComparisonOracle(instance, expert_model, rng, label="sim-expert")
+    final = play_all_play_all(expert_oracle, survivors)
+    order = [
+        int(element)
+        for element in final.elements[np.argsort(-final.wins, kind="stable")]
+    ]
+
+    pool = platform.pools["naive"]
+    return CrowdFlowerRun(
+        survivors=survivors,
+        last_round_order=order,
+        winner=order[0],
+        max_survived=bool(instance.max_index in survivors),
+        naive_judgments=platform.ledger.operations("naive"),
+        total_cost=platform.ledger.total_cost,
+        workers_banned=sum(1 for w in pool.workers if w.banned),
+    )
+
+
+def run_table1_dots(
+    rng: np.random.Generator,
+    n_experiments: int = 2,
+    n_items: int = 50,
+    u_n: int = 5,
+    top_k: int = 9,
+) -> TableResult:
+    """Reproduce Table 1: last-round ranking of the two DOTS experiments."""
+    instance = dots_instance(n_items)
+    golden_start, golden_stop, golden_step = DOTS_GOLDEN_RANGE
+    golden_values = -dots_counts(
+        (golden_stop - golden_start) // golden_step + 1, golden_start, golden_step
+    ).astype(np.float64)
+    model = make_dots_worker()
+
+    runs = [
+        run_crowdflower_experiment(instance, model, golden_values, rng, u_n=u_n)
+        for _ in range(n_experiments)
+    ]
+
+    table = TableResult(
+        table_id="table1",
+        title="DOTS: ranking of the last round (task: fewest dots)",
+        headers=["# dots", *(f"Exp. {k + 1}" for k in range(n_experiments))],
+    )
+    for element in instance.top_indices(top_k):
+        dots = instance.payload(int(element)).dot_count
+        row: list = [dots]
+        for run in runs:
+            position = run.position_of(int(element))
+            row.append(position if position is not None else "-")
+        table.add_row(row)
+    for k, run in enumerate(runs):
+        table.notes.append(
+            f"Exp. {k + 1}: {len(run.survivors)} survivors, minimum "
+            f"{'found' if run.winner == instance.max_index else 'MISSED'}, "
+            f"{run.naive_judgments} naive judgments, cost {run.total_cost:.0f}, "
+            f"{run.workers_banned} workers banned"
+        )
+    table.notes.append(
+        "paper: both experiments promoted exactly the true top-9 and the "
+        "simulated experts ranked them (almost) perfectly"
+    )
+    return table
+
+
+def run_table2_cars(
+    rng: np.random.Generator,
+    n_experiments: int = 2,
+    n_sample: int = 50,
+    u_n: int = 5,
+    top_k: int = 19,
+) -> TableResult:
+    """Reproduce Table 2: last-round ranking of the two CARS experiments.
+
+    The paper downsampled 50 of the 110 cars; we do the same but pin
+    the top price cluster (the five most expensive cars, all within
+    ~10 % of each other) into the sample: the paper's sample contained
+    it — Table 2 shows those cars competing in the last round — and the
+    experiment's point, that simulated experts cannot separate the
+    cluster, needs it present.
+    """
+    catalog = cars_instance(rng=np.random.default_rng(2013))
+    pinned = [int(e) for e in catalog.top_indices(5)]
+    remaining = sorted(set(range(catalog.n)) - set(pinned))
+    extra = rng.choice(len(remaining), size=n_sample - len(pinned), replace=False)
+    chosen = pinned + [remaining[int(k)] for k in extra]
+    instance = catalog.subinstance(sorted(chosen), name="CARS[50]")
+
+    # Gold questions come from the cars left out of the sample.
+    left_out = sorted(set(range(catalog.n)) - set(chosen))
+    gold_values = catalog.values[left_out]
+    model = CalibratedCarsWorkerModel(seed=17)
+
+    runs = [
+        run_crowdflower_experiment(instance, model, gold_values, rng, u_n=u_n)
+        for _ in range(n_experiments)
+    ]
+
+    table = TableResult(
+        table_id="table2",
+        title="CARS: ranking of the last round (task: most expensive car)",
+        headers=[
+            "car",
+            "price",
+            *(f"Exp. {k + 1}" for k in range(n_experiments)),
+        ],
+    )
+    for element in instance.top_indices(top_k):
+        record = instance.payload(int(element))
+        row: list = [record.label, record.price]
+        for run in runs:
+            position = run.position_of(int(element))
+            row.append(position if position is not None else "-")
+        table.add_row(row)
+    for k, run in enumerate(runs):
+        top_position = run.position_of(instance.max_index)
+        table.notes.append(
+            f"Exp. {k + 1}: {len(run.survivors)} survivors, top car "
+            f"{'reached the last round' if run.max_survived else 'DROPPED'} "
+            f"(position {top_position}), simulated experts "
+            f"{'identified it' if run.winner == instance.max_index else 'failed to identify it'}"
+        )
+    table.notes.append(
+        "paper: the top car always reaches the last round but the simulated "
+        "experts cannot identify it — real experts are needed"
+    )
+    return table
+
+
+def run_repeated_two_maxfind(
+    dataset: str,
+    rng: np.random.Generator,
+    runs: int = 14,
+    n_items: int = 50,
+) -> TableResult:
+    """The in-text repetitions: naive-only 2-MaxFind, 14 runs per dataset.
+
+    Paper: on DOTS "in all but one case the correct instance was
+    returned" (13/14); on CARS "in none of the executions was the real
+    [maximum] returned" (0/14).
+    """
+    if dataset == "dots":
+        instance = dots_instance(n_items)
+        model: WorkerModel = make_dots_worker()
+    elif dataset == "cars":
+        catalog = cars_instance(rng=np.random.default_rng(2013))
+        chosen = rng.choice(catalog.n, size=n_items, replace=False)
+        if catalog.max_index not in chosen:
+            chosen[0] = catalog.max_index
+        instance = catalog.subinstance(sorted(int(c) for c in chosen))
+        model = CalibratedCarsWorkerModel(seed=17)
+    else:
+        raise ValueError(f"unknown dataset {dataset!r}")
+
+    table = TableResult(
+        table_id=f"2maxfind-naive[{dataset}]",
+        title=f"2-MaxFind with naive workers only, {runs} runs on {dataset.upper()}",
+        headers=["run", "returned rank", "correct"],
+    )
+    successes = 0
+    for run_idx in range(runs):
+        oracle = ComparisonOracle(instance, model, rng)
+        winner = two_maxfind(oracle).winner
+        rank = instance.rank_of(winner)
+        correct = winner == instance.max_index
+        successes += int(correct)
+        table.add_row([run_idx + 1, rank, "yes" if correct else "no"])
+    table.notes.append(f"successes: {successes}/{runs}")
+    table.notes.append(
+        "paper reference: 13/14 on DOTS, 0/14 on CARS (naive-only fails "
+        "exactly where expertise is required)"
+    )
+    return table
+
+
+def run_search_evaluation(
+    rng: np.random.Generator,
+    u_ns: tuple[int, ...] = (6, 8, 10),
+    naive_delta: float = 0.15,
+    expert_delta: float = 0.02,
+    tmf_runs_per_query: int = 2,
+) -> TableResult:
+    """The search-results evaluation (Section 5.3, in text).
+
+    Naive workers = CrowdFlower crowd with a relative threshold and a
+    shared (sometimes wrong) consensus on the fuzzy middle; experts =
+    algorithms researchers with a much finer threshold.  For each query
+    and each ``u_n(50)``, the two-phase pipeline runs once; then
+    naive-only 2-MaxFind runs ``tmf_runs_per_query`` times per query
+    ("for a total of four independent runs" in the paper).
+    """
+    # The crowd's consensus on the fuzzy middle is uninformative
+    # (correct half the time): naive judges genuinely cannot tell the
+    # best result from the other strong ones, which is why the paper's
+    # naive-only baseline succeeded in only 1 of 4 runs.
+    naive_model = ThresholdWorkerModel(
+        delta=naive_delta,
+        relative=True,
+        below=CrowdBeliefBehavior(
+            CrowdBeliefTable(seed=23, consensus_correct_probability=0.5)
+        ),
+    )
+    expert_model = ThresholdWorkerModel(delta=expert_delta, relative=True, is_expert=True)
+
+    table = TableResult(
+        table_id="search-eval",
+        title="evaluation of search results: two-phase vs naive-only",
+        headers=["query", "u_n(50)", "max promoted", "expert found max"],
+    )
+    tmf_successes = 0
+    tmf_total = 0
+    for query in SEARCH_QUERIES:
+        instance = search_instance(query, rng)
+        for u_n in u_ns:
+            naive_oracle = ComparisonOracle(instance, naive_model, rng)
+            survivors = filter_candidates(naive_oracle, u_n=u_n).survivors
+            promoted = instance.max_index in survivors
+            expert_oracle = ComparisonOracle(instance, expert_model, rng)
+            winner = two_maxfind(expert_oracle, survivors).winner
+            table.add_row(
+                [
+                    query,
+                    u_n,
+                    "yes" if promoted else "no",
+                    "yes" if winner == instance.max_index else "no",
+                ]
+            )
+        for _ in range(tmf_runs_per_query):
+            oracle = ComparisonOracle(instance, naive_model, rng)
+            winner = two_maxfind(oracle).winner
+            tmf_total += 1
+            tmf_successes += int(winner == instance.max_index)
+    table.notes.append(
+        f"naive-only 2-MaxFind found the best result in "
+        f"{tmf_successes}/{tmf_total} runs (paper: 1/4)"
+    )
+    table.notes.append(
+        "paper: the maximum was promoted to the second round in every "
+        "configuration, and the experts identified it"
+    )
+    return table

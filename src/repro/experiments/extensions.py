@@ -1,0 +1,145 @@
+"""Experiments for the future-work extensions (Section 3.3's remarks).
+
+Two experiments beyond the paper's evaluation:
+
+* **Cascade vs two-class** — with three worker tiers of strongly
+  increasing cost, the cascade inserts a mid-tier filtering stage that
+  shields the most expensive class from the crowd-sized population;
+  the experiment quantifies the saving against the paper's two-class
+  algorithm using (crowd, expert) and against an expert-only baseline.
+* **Continuous expertise** — the anonymous-crowd population model:
+  accuracy of majority voting on a hard pair as a function of the
+  fraction of discerning members in the population.  A homogeneous
+  naive crowd stays at the coin flip (the paper's barrier); any
+  non-trivial expert fraction unlocks the wisdom-of-crowds regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.cascade import CascadeMaxFinder
+from ..core.generators import tiered_instance
+from ..core.maxfinder import ExpertAwareMaxFinder
+from ..core.oracle import ComparisonOracle
+from ..core.two_maxfind import two_maxfind
+from ..workers.aggregation import majority_vote
+from ..workers.continuous import PopulationThresholdModel
+from ..workers.expert import WorkerClass
+from ..workers.threshold import ThresholdWorkerModel
+from .base import FigureResult, TableResult
+
+__all__ = ["run_cascade_experiment", "run_expert_fraction_experiment"]
+
+
+def run_cascade_experiment(
+    rng: np.random.Generator,
+    n: int = 1000,
+    u_values: tuple[int, int, int] = (30, 10, 4),
+    deltas: tuple[float, float, float] = (4.0, 1.0, 0.25),
+    costs: tuple[float, float, float] = (1.0, 10.0, 500.0),
+    trials: int = 3,
+) -> TableResult:
+    """Three-tier cascade vs the two-class algorithm vs expert-only."""
+    crowd = WorkerClass("crowd", ThresholdWorkerModel(delta=deltas[0]), costs[0])
+    skilled = WorkerClass("skilled", ThresholdWorkerModel(delta=deltas[1]), costs[1])
+    expert = WorkerClass(
+        "expert", ThresholdWorkerModel(delta=deltas[2], is_expert=True), costs[2]
+    )
+
+    table = TableResult(
+        table_id="ext-cascade",
+        title=(
+            f"3-tier cascade vs 2-class vs expert-only "
+            f"(n={n}, u={u_values}, costs={costs})"
+        ),
+        headers=["approach", "rank (avg)", "cost (avg)", "expert comparisons (avg)"],
+    )
+    rows: dict[str, list[list[float]]] = {
+        "cascade (crowd>skilled>expert)": [],
+        "2-class (crowd>expert)": [],
+        "expert-only 2-MaxFind": [],
+    }
+    for _ in range(trials):
+        instance = tiered_instance(
+            n=n, u_values=list(u_values), deltas=list(deltas), rng=rng
+        )
+        cascade = CascadeMaxFinder([crowd, skilled, expert], u_values=list(u_values[:2]))
+        c_res = cascade.run(instance, rng)
+        rows["cascade (crowd>skilled>expert)"].append(
+            [
+                instance.rank_of(c_res.winner),
+                c_res.total_cost,
+                c_res.comparisons_by_class().get("expert", 0),
+            ]
+        )
+
+        two_class = ExpertAwareMaxFinder(naive=crowd, expert=expert, u_n=u_values[0])
+        t_res = two_class.run(instance, rng)
+        rows["2-class (crowd>expert)"].append(
+            [instance.rank_of(t_res.winner), t_res.cost, t_res.expert_comparisons]
+        )
+
+        oracle = ComparisonOracle(
+            instance, expert.model, rng, cost_per_comparison=expert.cost_per_comparison
+        )
+        winner = two_maxfind(oracle).winner
+        rows["expert-only 2-MaxFind"].append(
+            [instance.rank_of(winner), oracle.cost, oracle.comparisons]
+        )
+
+    for name, samples in rows.items():
+        arr = np.asarray(samples, dtype=np.float64)
+        table.add_row([name, float(arr[:, 0].mean()), float(arr[:, 1].mean()), float(arr[:, 2].mean())])
+    table.notes.append(
+        "the cascade shields the expensive class: its expert comparisons "
+        "depend only on the finest u, not on n"
+    )
+    return table
+
+
+def run_expert_fraction_experiment(
+    rng: np.random.Generator,
+    fractions: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.5, 1.0),
+    votes: tuple[int, ...] = (1, 7, 21),
+    pair_distance: float = 1.0,
+    coarse_delta: float = 10.0,
+    fine_delta: float = 0.1,
+    population: int = 200,
+    samples: int = 2000,
+) -> FigureResult:
+    """Majority-vote accuracy vs the expert fraction of the population.
+
+    The probed pair sits between the fine and coarse thresholds, so
+    only the fine-threshold members discern it.
+    """
+    figure = FigureResult(
+        figure_id="ext-expert-fraction",
+        title=(
+            "majority accuracy on a hard pair vs expert fraction "
+            f"(d={pair_distance:g}, deltas={coarse_delta:g}/{fine_delta:g})"
+        ),
+        x_label="expert fraction",
+        x_values=list(fractions),
+    )
+    for k in votes:
+        ys: list[float] = []
+        for fraction in fractions:
+            n_fine = int(round(fraction * population))
+            deltas = np.concatenate(
+                [
+                    np.full(n_fine, fine_delta),
+                    np.full(population - n_fine, coarse_delta),
+                ]
+            )
+            model = PopulationThresholdModel(deltas)
+            vi = np.full(samples, pair_distance)
+            vj = np.zeros(samples)
+            wins = majority_vote(model, vi, vj, k, rng)
+            ys.append(float(np.mean(wins)))
+        figure.add_series(f"majority of {k}", ys)
+    figure.notes.append(
+        "fraction 0 is the paper's homogeneous naive crowd (stuck at 0.5 "
+        "for any k); any positive expert fraction lets aggregation work"
+    )
+    return figure

@@ -1,0 +1,77 @@
+"""JSON persistence for experiment results.
+
+Long sweeps are expensive; this module round-trips
+:class:`~repro.experiments.base.FigureResult` and
+:class:`~repro.experiments.base.TableResult` through JSON so runs can
+be archived, diffed against the paper, and re-rendered without
+re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .base import FigureResult, TableResult
+
+__all__ = ["save_result", "load_result"]
+
+_FIGURE_KIND = "figure"
+_TABLE_KIND = "table"
+
+
+def save_result(result: FigureResult | TableResult, path: str | Path) -> Path:
+    """Serialise a result to JSON (parent directories are created)."""
+    if isinstance(result, FigureResult):
+        payload = {
+            "kind": _FIGURE_KIND,
+            "figure_id": result.figure_id,
+            "title": result.title,
+            "x_label": result.x_label,
+            "x_values": result.x_values,
+            "series": result.series,
+            "notes": result.notes,
+        }
+    elif isinstance(result, TableResult):
+        payload = {
+            "kind": _TABLE_KIND,
+            "table_id": result.table_id,
+            "title": result.title,
+            "headers": result.headers,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+    else:
+        raise TypeError(f"cannot serialise {type(result).__name__}")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_result(path: str | Path) -> FigureResult | TableResult:
+    """Load a result saved by :func:`save_result`."""
+    payload = json.loads(Path(path).read_text())
+    kind = payload.get("kind")
+    if kind == _FIGURE_KIND:
+        figure = FigureResult(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            x_values=payload["x_values"],
+            notes=list(payload.get("notes", [])),
+        )
+        for name, values in payload["series"].items():
+            figure.add_series(name, values)
+        return figure
+    if kind == _TABLE_KIND:
+        table = TableResult(
+            table_id=payload["table_id"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            notes=list(payload.get("notes", [])),
+        )
+        for row in payload["rows"]:
+            table.add_row(row)
+        return table
+    raise ValueError(f"{path} does not contain a serialised result (kind={kind!r})")

@@ -1,0 +1,69 @@
+"""Compose a single reproduction report from archived results.
+
+``repro-experiments all --out DIR`` leaves one CSV per table/figure;
+the benchmark harness additionally writes ``.txt`` renderings under
+``results/``.  :func:`compose_report` folds a directory of archived
+results (text renderings and/or JSON saved via
+:mod:`repro.experiments.io`) into one markdown document — the artifact
+to attach to a reproduction write-up.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .io import load_result
+
+__all__ = ["compose_report", "write_report"]
+
+_HEADER = """# Reproduction report
+
+Paper: *The Importance of Being Expert: Efficient Max-Finding in
+Crowdsourcing* (SIGMOD 2015).
+
+Each section below is one regenerated table or figure (as printed by
+the harness).  See EXPERIMENTS.md for the paper-vs-measured analysis
+and DESIGN.md for the experiment-to-module index.
+"""
+
+
+def compose_report(results_dir: str | Path) -> str:
+    """Build the markdown report from a directory of archived results.
+
+    Picks up ``*.txt`` renderings (as emitted by the benchmark harness)
+    and ``*.json`` results (as written by :func:`repro.experiments.io.
+    save_result`), sorted by name; other files are ignored.
+    """
+    results_dir = Path(results_dir)
+    if not results_dir.is_dir():
+        raise ValueError(f"{results_dir} is not a directory")
+    sections: list[str] = [_HEADER]
+    found = 0
+    for path in sorted(results_dir.glob("*.txt")):
+        body = path.read_text().strip()
+        if not body:
+            continue
+        sections.append(f"## {path.stem}\n\n```\n{body}\n```\n")
+        found += 1
+    for path in sorted(results_dir.glob("*.json")):
+        try:
+            result = load_result(path)
+        except (ValueError, KeyError):
+            continue
+        sections.append(f"## {path.stem}\n\n```\n{result.to_text()}\n```\n")
+        found += 1
+    if found == 0:
+        raise ValueError(
+            f"no archived results found in {results_dir}; run "
+            "`pytest benchmarks/ --benchmark-only` or "
+            "`repro-experiments all --out <dir>` first"
+        )
+    return "\n".join(sections)
+
+
+def write_report(results_dir: str | Path, output_path: str | Path) -> Path:
+    """Compose the report and write it to ``output_path``."""
+    output_path = Path(output_path)
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(compose_report(results_dir))
+    return output_path

@@ -1,0 +1,172 @@
+"""Robustness experiments: relaxing the paper's analysis assumptions.
+
+Two sweeps probing assumptions the paper makes "for the sake of
+presentation":
+
+* **Residual-error sweep** — §4, Remark: "we assume that both residual
+  errors eps_n and eps_e are equal to 0.  Our results can be extended
+  to any value less than 1/2."  The sweep runs Algorithm 1 with
+  ``eps_n = eps_e = eps`` over a grid of eps values and reports the
+  returned rank and the survival rate of the true maximum: graceful
+  degradation up to eps well below 1/2, collapse as eps approaches it.
+* **Fatigue sweep** — workers degrade during the job
+  (:mod:`repro.workers.drift`); with continuous gold probing the
+  platform bans workers *mid-job* once fatigue pushes them under the
+  bar, and the job still completes with the remaining workforce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.generators import planted_instance
+from ..core.maxfinder import ExpertAwareMaxFinder
+from ..platform.gold import GoldPolicy
+from ..platform.job import ComparisonTask
+from ..platform.platform import CrowdPlatform
+from ..platform.workforce import WorkerPool
+from ..workers.aggregation import MajorityOfKModel
+from ..workers.drift import FatigueWorkerModel
+from ..workers.expert import WorkerClass, make_worker_classes
+from ..workers.threshold import ThresholdWorkerModel
+from .base import TableResult
+
+__all__ = ["run_epsilon_robustness", "run_fatigue_experiment"]
+
+
+def run_epsilon_robustness(
+    rng: np.random.Generator,
+    n: int = 500,
+    u_n: int = 8,
+    u_e: int = 3,
+    epsilons: tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.3, 0.4, 0.45),
+    trials: int = 5,
+) -> TableResult:
+    """Algorithm 1 accuracy as the residual error eps grows."""
+    table = TableResult(
+        table_id="robustness-eps",
+        title=f"Algorithm 1 under residual error eps (n={n}, u_n={u_n})",
+        headers=[
+            "eps",
+            "rank (avg)",
+            "max survived",
+            "rank w/ 5-vote majority (avg)",
+            "max survived w/ majority",
+        ],
+    )
+    for eps in epsilons:
+        naive, expert = make_worker_classes(
+            delta_n=1.0, delta_e=0.25, eps_n=eps, eps_e=eps
+        )
+        # Redundancy arm: each naive comparison is the majority of 5
+        # independent judgments, amplifying 1 - eps back toward 1 above
+        # the threshold (the mechanism behind the paper's "extends to
+        # any value less than 1/2" — at 5x the phase-1 cost).
+        amplified = WorkerClass(
+            name="naive-x5",
+            model=MajorityOfKModel(naive.model, k=5, is_expert=False),
+            cost_per_comparison=5 * naive.cost_per_comparison,
+        )
+        plain_finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=u_n)
+        amplified_finder = ExpertAwareMaxFinder(
+            naive=amplified, expert=expert, u_n=u_n
+        )
+        ranks: list[int] = []
+        amp_ranks: list[int] = []
+        survived = 0
+        amp_survived = 0
+        for _ in range(trials):
+            instance = planted_instance(
+                n=n, u_n=u_n, u_e=u_e, delta_n=1.0, delta_e=0.25, rng=rng
+            )
+            result = plain_finder.run(instance, rng)
+            ranks.append(instance.rank_of(result.winner))
+            survived += int(instance.max_index in result.survivors)
+            amp_result = amplified_finder.run(instance, rng)
+            amp_ranks.append(instance.rank_of(amp_result.winner))
+            amp_survived += int(instance.max_index in amp_result.survivors)
+        table.add_row(
+            [
+                eps,
+                float(np.mean(ranks)),
+                f"{survived}/{trials}",
+                float(np.mean(amp_ranks)),
+                f"{amp_survived}/{trials}",
+            ]
+        )
+    table.notes.append(
+        "expected: the plain algorithm degrades as eps grows; majority "
+        "amplification restores the eps ~ 0 behaviour (at 5x phase-1 "
+        "cost) for any eps bounded away from 1/2 — the paper's claimed "
+        "extension, made concrete"
+    )
+    return table
+
+
+def run_fatigue_experiment(
+    rng: np.random.Generator,
+    n_items: int = 30,
+    pool_size: int = 12,
+    fatigue_rate: float = 0.02,
+    judgments_per_task: int = 3,
+    n_batches: int = 6,
+) -> TableResult:
+    """Mid-job bans of fatiguing workers under continuous gold probing."""
+    base = ThresholdWorkerModel(delta=1.0)
+    roster = [
+        FatigueWorkerModel(base, fatigue_rate=fatigue_rate, max_extra_error=0.45)
+        for _ in range(pool_size)
+    ]
+    pool = WorkerPool.from_models("naive", list(roster), cost_per_judgment=1.0)
+    gold = GoldPolicy.from_values(
+        rng.uniform(0.0, 300.0, size=30),
+        rng,
+        n_pairs=20,
+        gold_fraction=0.25,
+        min_gold_answers=4,
+        ban_threshold=0.7,
+        # easy gold: honest-but-rested workers pass comfortably
+        min_relative_difference=0.5,
+    )
+    platform = CrowdPlatform({"naive": pool}, rng, gold=gold)
+    values = rng.uniform(0.0, 300.0, size=n_items)
+
+    table = TableResult(
+        table_id="robustness-fatigue",
+        title=(
+            f"worker fatigue vs continuous gold probing "
+            f"(pool={pool_size}, fatigue_rate={fatigue_rate:g})"
+        ),
+        headers=["batch", "active workers", "banned so far", "batch accuracy"],
+    )
+    for batch_idx in range(n_batches):
+        pairs = [
+            (int(a), int(b))
+            for a, b in zip(
+                rng.integers(0, n_items, size=25), rng.integers(0, n_items, size=25)
+            )
+            if a != b and values[a] != values[b]
+        ]
+        tasks = [
+            ComparisonTask(
+                task_id=k,
+                first=a,
+                second=b,
+                value_first=float(values[a]),
+                value_second=float(values[b]),
+                required_judgments=judgments_per_task,
+            )
+            for k, (a, b) in enumerate(pairs)
+        ]
+        report = platform.submit_batch("naive", tasks)
+        truth = [values[a] > values[b] for a, b in pairs]
+        accuracy = float(np.mean([x == t for x, t in zip(report.answers, truth)]))
+        banned = sum(1 for w in pool.workers if w.banned)
+        table.add_row(
+            [batch_idx + 1, len(pool.active_members), banned, accuracy]
+        )
+    table.notes.append(
+        "expected: bans accumulate as fatigue sets in, keeping the kept "
+        "judgments' accuracy from collapsing with the workers"
+    )
+    return table

@@ -1,0 +1,186 @@
+"""The Section 5.1 simulation sweep shared by Figures 3, 4, 5 and 9.
+
+One sweep runs, for each dataset size ``n``, a number of trials on
+random (planted) instances and measures, for the three competitors —
+
+* **Alg 1** — the paper's two-phase expert-aware algorithm,
+* **2-MaxFind-naive** — 2-MaxFind run with naive workers only,
+* **2-MaxFind-expert** — 2-MaxFind run with expert workers only —
+
+the returned element's true rank and the naive/expert comparison
+counts.  Worst cases follow the paper's protocol: "For our algorithm we
+considered the upper bound predicted by the theory" (``4 n u_n`` naive,
+``2 (2 u_n - 1)^{3/2}`` expert), while the 2-MaxFind worst cases are
+*measured* on the adversarial instances/comparators of Section 5 ("we
+make element x lose" below the threshold).
+
+Figures 3, 4, 5 and 9 are views over one :class:`SweepData`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.bounds import (
+    filter_comparisons_upper_bound,
+    survivor_upper_bound,
+    two_maxfind_comparisons_upper_bound,
+)
+from ..core.generators import adversarial_instance, planted_instance
+from ..core.maxfinder import ExpertAwareMaxFinder
+from ..core.oracle import ComparisonOracle
+from ..core.two_maxfind import two_maxfind
+from ..workers.adversarial import AdversarialWorkerModel
+from ..workers.expert import make_worker_classes
+
+__all__ = ["SweepConfig", "SweepPoint", "SweepData", "run_sweep"]
+
+#: Default dataset sizes of the paper's sweeps.
+PAPER_NS = (1000, 2000, 3000, 4000, 5000)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Parameters of one Section 5.1 sweep.
+
+    ``u_n``/``u_e`` are realised *exactly* by the planted generator;
+    ``delta_n``/``delta_e`` are the corresponding thresholds (their
+    absolute scale is arbitrary — only the induced ``u`` counts matter).
+    """
+
+    ns: tuple[int, ...] = PAPER_NS
+    u_n: int = 10
+    u_e: int = 5
+    trials: int = 5
+    delta_n: float = 1.0
+    delta_e: float = 0.25
+    measure_worst_case: bool = True
+
+    def __post_init__(self) -> None:
+        if self.u_e > self.u_n:
+            raise ValueError("u_e must not exceed u_n")
+        if self.trials < 1:
+            raise ValueError("trials must be positive")
+        if min(self.ns) <= 2 * self.u_n:
+            raise ValueError("every n must exceed 2 * u_n")
+
+
+@dataclass
+class SweepPoint:
+    """All measurements for one dataset size ``n``."""
+
+    n: int
+    alg1_rank: list[int] = field(default_factory=list)
+    alg1_naive: list[int] = field(default_factory=list)
+    alg1_expert: list[int] = field(default_factory=list)
+    tmf_naive_rank: list[int] = field(default_factory=list)
+    tmf_naive_comparisons: list[int] = field(default_factory=list)
+    tmf_expert_rank: list[int] = field(default_factory=list)
+    tmf_expert_comparisons: list[int] = field(default_factory=list)
+    alg1_naive_wc: int = 0
+    alg1_expert_wc: int = 0
+    tmf_naive_wc: int = 0
+    tmf_expert_wc: int = 0
+
+    def mean(self, attribute: str) -> float:
+        """Trial mean of one of the list-valued measurements."""
+        samples = getattr(self, attribute)
+        if not samples:
+            raise ValueError(f"no samples recorded for {attribute!r}")
+        return float(np.mean(samples))
+
+
+@dataclass
+class SweepData:
+    """One full sweep: configuration plus one point per ``n``."""
+
+    config: SweepConfig
+    points: list[SweepPoint] = field(default_factory=list)
+
+    @property
+    def ns(self) -> list[int]:
+        return [point.n for point in self.points]
+
+    def series(self, attribute: str) -> list[float]:
+        """Trial means of ``attribute`` across the sweep, in n order."""
+        return [point.mean(attribute) for point in self.points]
+
+    def wc_series(self, attribute: str) -> list[int]:
+        """Worst-case scalars of ``attribute`` across the sweep."""
+        return [int(getattr(point, attribute)) for point in self.points]
+
+
+def _measure_adversarial_two_maxfind(
+    n: int, u_n: int, delta: float, rng: np.random.Generator, draws: int = 3
+) -> int:
+    """Measured worst-case 2-MaxFind comparisons (Section 5 protocol).
+
+    The count depends on where the maximum lands in the candidate
+    ordering (an early maximal pivot eliminates the far cluster
+    quickly), so the worst case is taken over several instance draws.
+    """
+    worst = 0
+    for _ in range(draws):
+        instance = adversarial_instance(n=n, u_n=u_n, delta_n=delta, rng=rng)
+        model = AdversarialWorkerModel(delta=delta, policy="first_loses")
+        oracle = ComparisonOracle(instance, model, rng)
+        worst = max(worst, two_maxfind(oracle).comparisons)
+    return worst
+
+
+def run_sweep(config: SweepConfig, rng: np.random.Generator) -> SweepData:
+    """Run the full Section 5.1 sweep.
+
+    Every trial creates a fresh planted instance and fresh oracles, so
+    trials are independent; the adversarial worst case is measured once
+    per ``n`` (it is deterministic up to the instance draw).
+    """
+    naive, expert = make_worker_classes(
+        delta_n=config.delta_n, delta_e=config.delta_e
+    )
+    finder = ExpertAwareMaxFinder(
+        naive=naive, expert=expert, u_n=config.u_n, phase2="two_maxfind"
+    )
+    data = SweepData(config=config)
+
+    for n in config.ns:
+        point = SweepPoint(n=n)
+        for _ in range(config.trials):
+            instance = planted_instance(
+                n=n,
+                u_n=config.u_n,
+                u_e=config.u_e,
+                delta_n=config.delta_n,
+                delta_e=config.delta_e,
+                rng=rng,
+            )
+            result = finder.run(instance, rng)
+            point.alg1_rank.append(instance.rank_of(result.winner))
+            point.alg1_naive.append(result.naive_comparisons)
+            point.alg1_expert.append(result.expert_comparisons)
+
+            naive_oracle = ComparisonOracle(instance, naive.model, rng)
+            tmf_n = two_maxfind(naive_oracle)
+            point.tmf_naive_rank.append(instance.rank_of(tmf_n.winner))
+            point.tmf_naive_comparisons.append(tmf_n.comparisons)
+
+            expert_oracle = ComparisonOracle(instance, expert.model, rng)
+            tmf_e = two_maxfind(expert_oracle)
+            point.tmf_expert_rank.append(instance.rank_of(tmf_e.winner))
+            point.tmf_expert_comparisons.append(tmf_e.comparisons)
+
+        point.alg1_naive_wc = filter_comparisons_upper_bound(n, config.u_n)
+        point.alg1_expert_wc = two_maxfind_comparisons_upper_bound(
+            survivor_upper_bound(config.u_n)
+        )
+        if config.measure_worst_case:
+            point.tmf_naive_wc = _measure_adversarial_two_maxfind(
+                n, config.u_n, config.delta_n, rng
+            )
+            point.tmf_expert_wc = _measure_adversarial_two_maxfind(
+                n, config.u_e, config.delta_e, rng
+            )
+        data.points.append(point)
+    return data

@@ -1,0 +1,36 @@
+"""Crowdsourcing platform simulator (the CrowdFlower substitute).
+
+See DESIGN.md: the paper ran on the CrowdFlower platform; this package
+provides a faithful simulator — worker pools with partial availability,
+batches resolved over physical steps, gold-question spam control, and
+per-judgment billing — exposing the same observable interface the
+algorithms need (answers to comparison batches, and a bill).
+"""
+
+from .accounting import CostLedger, LedgerEntry
+from .channels import Channel, build_pool_from_channels
+from .gold import GoldPair, GoldPolicy
+from .job import BatchReport, ComparisonTask, Judgment
+from .oracle_adapter import PlatformWorkerModel
+from .platform import CrowdPlatform
+from .reliability import ReliabilityReport, score_workers, select_experts
+from .workforce import SimulatedWorker, WorkerPool
+
+__all__ = [
+    "BatchReport",
+    "Channel",
+    "ComparisonTask",
+    "CostLedger",
+    "CrowdPlatform",
+    "GoldPair",
+    "GoldPolicy",
+    "Judgment",
+    "LedgerEntry",
+    "PlatformWorkerModel",
+    "ReliabilityReport",
+    "SimulatedWorker",
+    "WorkerPool",
+    "build_pool_from_channels",
+    "score_workers",
+    "select_experts",
+]

@@ -1,0 +1,83 @@
+"""Monetary cost accounting (Section 3.4).
+
+"The main measure of resource consumption that is usually of interest
+in crowdsourcing applications is the number of operations performed by
+workers, as they correspond directly to monetary costs, given that
+workers are paid for each operation they perform."
+
+:class:`CostLedger` accumulates per-label operation counts and money;
+it satisfies the :class:`repro.core.oracle.CostChargeable` protocol so
+oracles (and the platform) can charge it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["LedgerEntry", "CostLedger"]
+
+
+@dataclass
+class LedgerEntry:
+    """Aggregate charges for one label (worker class)."""
+
+    operations: int = 0
+    money: float = 0.0
+
+
+@dataclass
+class CostLedger:
+    """Running account of worker operations and their monetary cost.
+
+    Labels are free-form; the library uses ``"naive"``/``"expert"`` for
+    comparisons and ``"gold:<label>"`` for quality-control judgments,
+    which are paid work even though their answers never reach the
+    algorithm.
+    """
+
+    entries: dict[str, LedgerEntry] = field(default_factory=dict)
+
+    def charge(self, label: str, count: int, unit_cost: float) -> None:
+        """Record ``count`` operations at ``unit_cost`` each."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if unit_cost < 0:
+            raise ValueError("unit_cost must be non-negative")
+        entry = self.entries.setdefault(label, LedgerEntry())
+        entry.operations += count
+        entry.money += count * unit_cost
+
+    def operations(self, label: str | None = None) -> int:
+        """Operations for one label, or across all labels."""
+        if label is not None:
+            entry = self.entries.get(label)
+            return entry.operations if entry else 0
+        return sum(entry.operations for entry in self.entries.values())
+
+    def money(self, label: str | None = None) -> float:
+        """Money spent on one label, or in total: ``C(n)``."""
+        if label is not None:
+            entry = self.entries.get(label)
+            return entry.money if entry else 0.0
+        return sum(entry.money for entry in self.entries.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Total monetary cost across all labels."""
+        return self.money()
+
+    def reset(self) -> None:
+        """Clear all entries."""
+        self.entries.clear()
+
+    def summary(self) -> str:
+        """Human-readable multi-line account statement."""
+        lines = ["cost ledger:"]
+        for label in sorted(self.entries):
+            entry = self.entries[label]
+            lines.append(
+                f"  {label:<16} {entry.operations:>10d} ops  "
+                f"{entry.money:>12.2f} money"
+            )
+        lines.append(f"  {'TOTAL':<16} {self.operations():>10d} ops  {self.total_cost:>12.2f} money")
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Worker channels: heterogeneous workforce sources.
+
+Section 3.1 notes that CrowdFlower "offers quality-ensured results at
+massive scale, good APIs, and multiple channels" — a channel being an
+upstream labour source (partner sites, panels) with its own quality,
+price, and availability profile.  :class:`Channel` describes one such
+source; :func:`build_pool_from_channels` materialises a mixed
+:class:`~repro.platform.workforce.WorkerPool` from a channel mix, with
+each channel contributing workers of its own model, spam rate and
+availability.
+
+Because a pool has a single price and availability, the blended pool
+uses the *expectation* of the mix for billing and lets per-worker
+models carry the quality differences; the per-worker channel name is
+kept for audit via the returned assignment map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..workers.base import WorkerModel
+from ..workers.spammer import RandomSpammerModel
+from .workforce import WorkerPool
+
+__all__ = ["Channel", "build_pool_from_channels"]
+
+
+@dataclass(frozen=True)
+class Channel:
+    """One labour source feeding a worker pool.
+
+    Attributes
+    ----------
+    name:
+        Channel label (e.g. ``"panel-a"``).
+    model:
+        Error model of the channel's honest workers.
+    size:
+        Workers contributed to the pool.
+    spam_rate:
+        Fraction of the channel's workers who are random spammers.
+    cost_per_judgment:
+        The channel's price per judgment.
+    """
+
+    name: str
+    model: WorkerModel
+    size: int
+    spam_rate: float = 0.0
+    cost_per_judgment: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("a channel must contribute at least one worker")
+        if not 0.0 <= self.spam_rate < 1.0:
+            raise ValueError("spam_rate must be in [0, 1)")
+        if self.cost_per_judgment < 0:
+            raise ValueError("cost per judgment must be non-negative")
+
+
+def build_pool_from_channels(
+    pool_name: str,
+    channels: list[Channel],
+    rng: np.random.Generator,
+    availability: float = 1.0,
+) -> tuple[WorkerPool, dict[int, str]]:
+    """Blend channels into one pool; return it plus worker->channel map.
+
+    The pool's per-judgment cost is the size-weighted mean of the
+    channel prices (the platform bills a blended rate); the exact
+    per-channel attribution is recoverable through the returned map.
+    """
+    if not channels:
+        raise ValueError("need at least one channel")
+    models: list[WorkerModel] = []
+    channel_of: dict[int, str] = {}
+    worker_id = 0
+    for channel in channels:
+        n_spam = int(round(channel.spam_rate * channel.size))
+        for k in range(channel.size):
+            if k < n_spam:
+                models.append(RandomSpammerModel())
+            else:
+                models.append(channel.model)
+            channel_of[worker_id] = channel.name
+            worker_id += 1
+    # Shuffle so channels interleave in assignment order (worker ids and
+    # the channel map are rebuilt to match).
+    order = rng.permutation(len(models))
+    models = [models[k] for k in order]
+    channel_of = {
+        new_id: channel_of[int(old_id)] for new_id, old_id in enumerate(order)
+    }
+    total = sum(channel.size for channel in channels)
+    blended_cost = (
+        sum(channel.cost_per_judgment * channel.size for channel in channels) / total
+    )
+    pool = WorkerPool.from_models(
+        pool_name,
+        models,
+        cost_per_judgment=blended_cost,
+        availability=availability,
+    )
+    return pool, channel_of

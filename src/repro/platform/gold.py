@@ -1,0 +1,136 @@
+"""Gold-question quality control (Section 3.1).
+
+"[...] gold comparisons, which are comparisons for which the
+ground-truth value is provided and which are used by CrowdFlower to
+evaluate the performance of workers and reduce the effect of spam
+(responses of workers whose performance on gold comparisons has
+accuracy less than 70% are ignored).  In total, 15% of the queries that
+we performed are gold queries."
+
+:class:`GoldPolicy` owns the gold pair bank, the injection rate and the
+ban rule; the platform consults it while executing batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .workforce import SimulatedWorker
+
+__all__ = ["GoldPair", "GoldPolicy"]
+
+
+@dataclass(frozen=True)
+class GoldPair:
+    """A gold comparison: two values with a known correct answer."""
+
+    first: int
+    second: int
+    value_first: float
+    value_second: float
+
+    @property
+    def first_wins(self) -> bool:
+        """Ground truth (ties count the first element as correct)."""
+        return self.value_first >= self.value_second
+
+
+class GoldPolicy:
+    """Gold injection and spam-ban policy.
+
+    Parameters
+    ----------
+    pairs:
+        The gold bank (pairs with known ground truth, e.g. from the
+        golden DOTS set of Section 5.3).
+    gold_fraction:
+        Fraction of judgments that are gold probes (paper: 0.15).
+    ban_threshold:
+        Gold accuracy below which a worker is banned (paper: 0.7).
+    min_gold_answers:
+        Gold answers required before the ban rule applies; prevents
+        banning honest workers on a single unlucky probe.
+    """
+
+    def __init__(
+        self,
+        pairs: list[GoldPair],
+        gold_fraction: float = 0.15,
+        ban_threshold: float = 0.7,
+        min_gold_answers: int = 3,
+    ):
+        if not pairs:
+            raise ValueError("the gold bank must not be empty")
+        if not 0.0 <= gold_fraction < 1.0:
+            raise ValueError("gold_fraction must be in [0, 1)")
+        if not 0.0 < ban_threshold <= 1.0:
+            raise ValueError("ban_threshold must be in (0, 1]")
+        if min_gold_answers < 1:
+            raise ValueError("min_gold_answers must be at least 1")
+        self.pairs = list(pairs)
+        self.gold_fraction = float(gold_fraction)
+        self.ban_threshold = float(ban_threshold)
+        self.min_gold_answers = int(min_gold_answers)
+
+    @classmethod
+    def from_values(
+        cls,
+        values: np.ndarray,
+        rng: np.random.Generator,
+        n_pairs: int = 30,
+        min_relative_difference: float = 0.0,
+        **kwargs,
+    ) -> "GoldPolicy":
+        """Build a gold bank by sampling distinct-value pairs.
+
+        ``values`` are the golden-set values (known ground truth).
+        Pairs with equal values are unusable as gold and are skipped.
+        ``min_relative_difference`` keeps gold questions *easy* (real
+        platforms pick clear-cut gold so honest workers are not banned
+        for failing genuinely hard questions).
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) < 2:
+            raise ValueError("need at least two golden values")
+        pairs: list[GoldPair] = []
+        attempts = 0
+        while len(pairs) < n_pairs and attempts < 50 * n_pairs:
+            attempts += 1
+            i, j = rng.choice(len(values), size=2, replace=False)
+            if values[i] == values[j]:
+                continue
+            denom = max(abs(values[i]), abs(values[j]))
+            if denom > 0 and abs(values[i] - values[j]) / denom < min_relative_difference:
+                continue
+            pairs.append(
+                GoldPair(
+                    first=int(i),
+                    second=int(j),
+                    value_first=float(values[i]),
+                    value_second=float(values[j]),
+                )
+            )
+        if not pairs:
+            raise ValueError("could not sample any gold pair with distinct values")
+        return cls(pairs, **kwargs)
+
+    def should_inject(self, rng: np.random.Generator) -> bool:
+        """Whether the next judgment should be a gold probe."""
+        return bool(rng.random() < self.gold_fraction)
+
+    def sample_pair(self, rng: np.random.Generator) -> GoldPair:
+        """Draw a gold pair uniformly from the bank."""
+        return self.pairs[int(rng.integers(0, len(self.pairs)))]
+
+    def record_and_check(self, worker: SimulatedWorker, correct: bool) -> bool:
+        """Record a gold outcome; return ``True`` if the worker is now banned."""
+        worker.record_gold(correct)
+        if (
+            worker.gold_answered >= self.min_gold_answers
+            and worker.gold_accuracy < self.ban_threshold
+        ):
+            worker.banned = True
+            return True
+        return False

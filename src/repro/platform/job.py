@@ -1,0 +1,78 @@
+"""Task and judgment records for the platform simulator.
+
+Mirrors the computation model of Section 3: an algorithm emits, at each
+*logical step* ``s``, a batch ``B_s`` of pairwise comparisons; the
+platform resolves the batch over a sequence ``F(s)`` of *physical
+steps*, during each of which a subset ``W_t`` of the workers is active
+and each active worker judges one pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ComparisonTask", "Judgment", "BatchReport"]
+
+
+@dataclass
+class ComparisonTask:
+    """One pairwise comparison task inside a batch.
+
+    ``first``/``second`` are element indices; ``value_first`` /
+    ``value_second`` the corresponding values shown to workers.  Gold
+    tasks additionally carry the ground-truth answer used only for
+    quality control ("comparisons for which the ground-truth value is
+    provided", Section 3.1).
+    """
+
+    task_id: int
+    first: int
+    second: int
+    value_first: float
+    value_second: float
+    required_judgments: int
+    is_gold: bool = False
+    gold_first_wins: bool | None = None
+
+    def __post_init__(self) -> None:
+        if self.required_judgments < 1:
+            raise ValueError("a task needs at least one judgment")
+        if self.is_gold and self.gold_first_wins is None:
+            raise ValueError("gold tasks must carry the ground-truth answer")
+
+
+@dataclass
+class Judgment:
+    """One worker's answer to one task."""
+
+    task_id: int
+    worker_id: int
+    first_wins: bool
+    physical_step: int
+    is_gold: bool
+
+
+@dataclass
+class BatchReport:
+    """Execution report for one logical step (one batch).
+
+    Attributes
+    ----------
+    answers:
+        Majority answer per non-gold task, in task order
+        (``True`` = first element wins).
+    physical_steps:
+        Length of ``F(s)`` — how many physical steps the batch took.
+    judgments_collected:
+        All kept judgments (spam-filtered ones excluded).
+    judgments_discarded:
+        Judgments dropped because their worker was banned.
+    workers_banned:
+        Worker ids banned during this batch.
+    """
+
+    answers: list[bool]
+    physical_steps: int
+    judgments_collected: int
+    judgments_discarded: int
+    workers_banned: list[int] = field(default_factory=list)

@@ -1,0 +1,274 @@
+"""The crowdsourcing platform simulator (stands in for CrowdFlower).
+
+Implements the computation model of Section 3: algorithms submit
+*batches* of pairwise comparisons (one batch per logical step); the
+platform plays out a sequence of *physical steps*, in each of which a
+random subset of the pool's workers is active and each active worker
+judges one pair.  Quality control follows Section 3.1: a configurable
+fraction of judgments are *gold probes* with known ground truth, and a
+worker whose gold accuracy drops below the ban threshold is banned and
+has all of her judgments discarded (and re-collected from others).
+
+Presentation order is randomised per judgment — each worker sees the
+pair in a random left/right order — which neutralises position-biased
+spammers (see :class:`repro.workers.spammer.LazyFirstModel`).
+
+Every judgment is paid, including gold probes and judgments later
+discarded for spam: detecting a spammer costs real money, exactly as on
+the real platform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .accounting import CostLedger
+from .gold import GoldPolicy
+from .job import BatchReport, ComparisonTask, Judgment
+from .workforce import SimulatedWorker, WorkerPool
+
+__all__ = ["CrowdPlatform"]
+
+
+class CrowdPlatform:
+    """A simulated crowdsourcing platform with pools, gold, and accounting.
+
+    Parameters
+    ----------
+    pools:
+        Worker pools by name (typically ``{"naive": ..., "expert": ...}``).
+    rng:
+        Randomness source for availability, assignment and tie breaks.
+    ledger:
+        Cost ledger charged per judgment; a private one is created when
+        omitted.
+    gold:
+        Optional gold/quality-control policy, applied to every pool.
+    """
+
+    def __init__(
+        self,
+        pools: dict[str, WorkerPool],
+        rng: np.random.Generator,
+        ledger: CostLedger | None = None,
+        gold: GoldPolicy | None = None,
+    ):
+        if not pools:
+            raise ValueError("the platform needs at least one worker pool")
+        self.pools = dict(pools)
+        self.rng = rng
+        self.ledger = ledger if ledger is not None else CostLedger()
+        self.gold = gold
+        #: Logical steps executed (batches submitted).
+        self.logical_steps = 0
+        #: Physical steps executed across all batches.
+        self.physical_steps_total = 0
+        #: All judgments ever kept (for audit/debugging).
+        self.judgment_log: list[Judgment] = []
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def compare_batch(
+        self,
+        pool_name: str,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        judgments_per_task: int = 1,
+    ) -> tuple[np.ndarray, BatchReport]:
+        """Submit one batch of comparisons; return majority answers.
+
+        Returns the boolean answer array (``True`` = first element of
+        the pair wins) plus the execution report.
+        """
+        tasks = [
+            ComparisonTask(
+                task_id=k,
+                first=int(indices_i[k]),
+                second=int(indices_j[k]),
+                value_first=float(values_i[k]),
+                value_second=float(values_j[k]),
+                required_judgments=judgments_per_task,
+            )
+            for k in range(len(indices_i))
+        ]
+        report = self.submit_batch(pool_name, tasks)
+        return np.asarray(report.answers, dtype=bool), report
+
+    def submit_batch(self, pool_name: str, tasks: list[ComparisonTask]) -> BatchReport:
+        """Execute one logical step: collect all judgments for ``tasks``."""
+        pool = self._pool(pool_name)
+        if not tasks:
+            return BatchReport(
+                answers=[], physical_steps=0, judgments_collected=0, judgments_discarded=0
+            )
+        max_required = max(task.required_judgments for task in tasks)
+        if max_required > len(pool.workers):
+            raise ValueError(
+                f"tasks require {max_required} distinct judgments but pool "
+                f"{pool_name!r} has only {len(pool.workers)} workers"
+            )
+
+        self.logical_steps += 1
+        # Kept judgments per task and the workers who produced them.
+        kept: dict[int, list[Judgment]] = {task.task_id: [] for task in tasks}
+        judged_by: dict[int, set[int]] = {task.task_id: set() for task in tasks}
+        by_task = {task.task_id: task for task in tasks}
+        discarded = 0
+        banned_ids: list[int] = []
+
+        total_needed = sum(task.required_judgments for task in tasks)
+        # Generous stall guard: availability, gold probes and bans slow
+        # collection down but cannot legitimately exceed this budget.
+        max_steps = 200 + 50 * total_needed
+        physical_steps = 0
+        while any(
+            len(kept[t.task_id]) < t.required_judgments for t in tasks
+        ):
+            if physical_steps >= max_steps:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"batch stalled after {physical_steps} physical steps; "
+                    "check pool sizes, availability and ban settings"
+                )
+            physical_steps += 1
+            self.physical_steps_total += 1
+            active = pool.sample_active(self.rng)
+            if not active:
+                continue
+            self.rng.shuffle(active)  # type: ignore[arg-type]
+            for worker in active:
+                if worker.banned:
+                    continue
+                if self.gold is not None and self.gold.should_inject(self.rng):
+                    newly_banned = self._run_gold_probe(pool, worker, physical_steps)
+                    if newly_banned:
+                        banned_ids.append(worker.worker_id)
+                        discarded += self._discard_judgments(worker.worker_id, kept, judged_by)
+                    continue
+                task = self._next_task_for(worker, tasks, kept, judged_by)
+                if task is None:
+                    continue
+                judgment = self._collect_judgment(pool, worker, task, physical_steps)
+                kept[task.task_id].append(judgment)
+                judged_by[task.task_id].add(worker.worker_id)
+
+        answers = [self._majority_answer(kept[task.task_id]) for task in tasks]
+        collected = sum(len(v) for v in kept.values())
+        for task_judgments in kept.values():
+            self.judgment_log.extend(task_judgments)
+        # Consistency: every answer corresponds to a task in order.
+        assert len(answers) == len(by_task)
+        return BatchReport(
+            answers=answers,
+            physical_steps=physical_steps,
+            judgments_collected=collected,
+            judgments_discarded=discarded,
+            workers_banned=banned_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _pool(self, pool_name: str) -> WorkerPool:
+        try:
+            return self.pools[pool_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown pool {pool_name!r}; available: {sorted(self.pools)}"
+            ) from None
+
+    def _next_task_for(
+        self,
+        worker: SimulatedWorker,
+        tasks: list[ComparisonTask],
+        kept: dict[int, list[Judgment]],
+        judged_by: dict[int, set[int]],
+    ) -> ComparisonTask | None:
+        """Most judgment-starved task this worker has not judged yet."""
+        best: ComparisonTask | None = None
+        best_deficit = 0
+        for task in tasks:
+            if worker.worker_id in judged_by[task.task_id]:
+                continue
+            deficit = task.required_judgments - len(kept[task.task_id])
+            if deficit > best_deficit:
+                best = task
+                best_deficit = deficit
+        return best
+
+    def _collect_judgment(
+        self,
+        pool: WorkerPool,
+        worker: SimulatedWorker,
+        task: ComparisonTask,
+        physical_step: int,
+    ) -> Judgment:
+        """Ask one worker one task, with randomised presentation order."""
+        flip = bool(self.rng.random() < 0.5)
+        if flip:
+            raw = worker.judge(
+                task.value_second, task.value_first, self.rng, task.second, task.first
+            )
+            first_wins = not raw
+        else:
+            first_wins = worker.judge(
+                task.value_first, task.value_second, self.rng, task.first, task.second
+            )
+        self.ledger.charge(pool.name, 1, pool.cost_per_judgment)
+        return Judgment(
+            task_id=task.task_id,
+            worker_id=worker.worker_id,
+            first_wins=first_wins,
+            physical_step=physical_step,
+            is_gold=False,
+        )
+
+    def _run_gold_probe(
+        self, pool: WorkerPool, worker: SimulatedWorker, physical_step: int
+    ) -> bool:
+        """Send the worker a gold pair; return True if she got banned."""
+        assert self.gold is not None
+        pair = self.gold.sample_pair(self.rng)
+        flip = bool(self.rng.random() < 0.5)
+        if flip:
+            raw = worker.judge(
+                pair.value_second, pair.value_first, self.rng, pair.second, pair.first
+            )
+            first_wins = not raw
+        else:
+            first_wins = worker.judge(
+                pair.value_first, pair.value_second, self.rng, pair.first, pair.second
+            )
+        self.ledger.charge(f"gold:{pool.name}", 1, pool.cost_per_judgment)
+        correct = first_wins == pair.first_wins
+        return self.gold.record_and_check(worker, correct)
+
+    @staticmethod
+    def _discard_judgments(
+        worker_id: int,
+        kept: dict[int, list[Judgment]],
+        judged_by: dict[int, set[int]],
+    ) -> int:
+        """Drop all kept judgments of a banned worker; return the count.
+
+        The affected tasks fall below their required judgment count and
+        will be re-collected from other workers in later physical steps
+        (the banned worker stays recorded in ``judged_by`` so she is
+        never re-assigned).
+        """
+        dropped = 0
+        for task_id, judgments in kept.items():
+            before = len(judgments)
+            kept[task_id] = [j for j in judgments if j.worker_id != worker_id]
+            dropped += before - len(kept[task_id])
+        return dropped
+
+    def _majority_answer(self, judgments: list[Judgment]) -> bool:
+        """Majority of kept judgments; ties broken by a fair coin."""
+        first_votes = sum(1 for j in judgments if j.first_wins)
+        second_votes = len(judgments) - first_votes
+        if first_votes == second_votes:
+            return bool(self.rng.random() < 0.5)
+        return first_votes > second_votes

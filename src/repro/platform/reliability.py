@@ -1,0 +1,126 @@
+"""Gold-free worker reliability scoring from agreement statistics.
+
+The paper assumes experts are known a priori and cites the
+worker-identification literature (Karger et al. [17], Bozzon et al.
+[4], ...) as "orthogonal and complementary": "it is possible to apply
+the algorithms presented in those works to detect a set of experts and
+then use our algorithm to leverage their additional expertise."
+
+This module closes that loop with the standard agreement heuristic: on
+tasks judged by several workers, score each worker by how often her
+answer matches the (weighted) majority of the others, iterating the
+weights to a fixed point — a light-weight cousin of the EM approach of
+Karger et al.  Scores can then seed
+:func:`repro.workers.expert.make_worker_classes` pools or rank workers
+for promotion to the expert class.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .job import Judgment
+
+__all__ = ["ReliabilityReport", "score_workers", "select_experts"]
+
+
+@dataclass(frozen=True)
+class ReliabilityReport:
+    """Per-worker agreement scores.
+
+    Attributes
+    ----------
+    scores:
+        worker id -> agreement score in [0, 1]; higher is more
+        reliable.  Workers with no multiply-judged task are absent.
+    iterations:
+        Fixed-point iterations performed.
+    n_tasks_used:
+        Tasks with at least two judgments (the usable evidence).
+    """
+
+    scores: dict[int, float]
+    iterations: int
+    n_tasks_used: int
+
+    def ranked(self) -> list[tuple[int, float]]:
+        """Workers ordered from most to least reliable."""
+        return sorted(self.scores.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def score_workers(
+    judgments: list[Judgment],
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+) -> ReliabilityReport:
+    """Iterative agreement scoring over a judgment log.
+
+    Each round recomputes, for every task, the weighted vote for each
+    answer (excluding the worker being scored), and scores the worker
+    by the weight fraction agreeing with her.  Weights start uniform
+    and are replaced by the scores until convergence.
+
+    Gold judgments are excluded — this estimator exists precisely for
+    the no-gold setting.
+    """
+    by_task: dict[int, list[Judgment]] = defaultdict(list)
+    for judgment in judgments:
+        if not judgment.is_gold:
+            by_task[judgment.task_id].append(judgment)
+    usable = {tid: js for tid, js in by_task.items() if len(js) >= 2}
+    workers = sorted({j.worker_id for js in usable.values() for j in js})
+    if not workers:
+        return ReliabilityReport(scores={}, iterations=0, n_tasks_used=0)
+
+    scores = {w: 1.0 for w in workers}
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        agreement_mass: dict[int, float] = {w: 0.0 for w in workers}
+        total_mass: dict[int, float] = {w: 0.0 for w in workers}
+        for js in usable.values():
+            for judgment in js:
+                peers = [j for j in js if j.worker_id != judgment.worker_id]
+                peer_weight = sum(scores[j.worker_id] for j in peers)
+                if peer_weight <= 0:
+                    continue
+                agreeing = sum(
+                    scores[j.worker_id]
+                    for j in peers
+                    if j.first_wins == judgment.first_wins
+                )
+                agreement_mass[judgment.worker_id] += agreeing
+                total_mass[judgment.worker_id] += peer_weight
+        new_scores = {
+            w: (agreement_mass[w] / total_mass[w]) if total_mass[w] > 0 else 0.5
+            for w in workers
+        }
+        delta = max(abs(new_scores[w] - scores[w]) for w in workers)
+        scores = new_scores
+        if delta < tolerance:
+            break
+    return ReliabilityReport(
+        scores=scores, iterations=iterations, n_tasks_used=len(usable)
+    )
+
+
+def select_experts(
+    report: ReliabilityReport,
+    top_k: int | None = None,
+    min_score: float | None = None,
+) -> list[int]:
+    """Pick the expert candidates from a reliability report.
+
+    Either the ``top_k`` best-scoring workers, the workers at or above
+    ``min_score``, or (with both given) the intersection.
+    """
+    if top_k is None and min_score is None:
+        raise ValueError("give top_k, min_score, or both")
+    ranked = report.ranked()
+    if min_score is not None:
+        ranked = [(w, s) for w, s in ranked if s >= min_score]
+    if top_k is not None:
+        if top_k < 1:
+            raise ValueError("top_k must be at least 1")
+        ranked = ranked[:top_k]
+    return [w for w, _ in ranked]

@@ -1,0 +1,152 @@
+"""Simulated workers and worker pools.
+
+Section 3: "in the generic physical time step t in F(s), a subset
+W_t ⊆ W of the workers is active.  Each active worker w ∈ W_t receives
+a pair (k, j) of distinct elements".  A :class:`SimulatedWorker` wraps
+an error model with identity and gold-performance bookkeeping; a
+:class:`WorkerPool` holds one worker class (naive or expert) and
+samples the active subset of each physical step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workers.base import WorkerModel
+
+__all__ = ["SimulatedWorker", "WorkerPool"]
+
+
+@dataclass
+class SimulatedWorker:
+    """One platform worker: an error model plus quality bookkeeping."""
+
+    worker_id: int
+    model: WorkerModel
+    gold_answered: int = 0
+    gold_correct: int = 0
+    banned: bool = False
+    judgments_made: int = 0
+
+    def judge(
+        self,
+        value_first: float,
+        value_second: float,
+        rng: np.random.Generator,
+        index_first: int | None = None,
+        index_second: int | None = None,
+    ) -> bool:
+        """Answer one comparison: does the first element win?"""
+        self.judgments_made += 1
+        return self.model.decide_single(
+            value_first, value_second, rng, index_first, index_second
+        )
+
+    @property
+    def gold_accuracy(self) -> float:
+        """Observed accuracy on gold tasks (1.0 before any gold seen)."""
+        if self.gold_answered == 0:
+            return 1.0
+        return self.gold_correct / self.gold_answered
+
+    def record_gold(self, correct: bool) -> None:
+        """Update the gold tally after a gold judgment."""
+        self.gold_answered += 1
+        if correct:
+            self.gold_correct += 1
+
+
+@dataclass
+class WorkerPool:
+    """A pool of same-class workers with partial availability.
+
+    Parameters
+    ----------
+    name:
+        Class label ("naive" / "expert"), used for accounting.
+    workers:
+        The pool members.
+    cost_per_judgment:
+        Monetary cost per judgment (Section 3.4's ``c_n``/``c_e``).
+    availability:
+        Probability that each (unbanned) worker is active in a given
+        physical step — this is how ``W_t ⊆ W`` arises.
+    """
+
+    name: str
+    workers: list[SimulatedWorker]
+    cost_per_judgment: float = 1.0
+    availability: float = 1.0
+    _next_id: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.availability <= 1.0:
+            raise ValueError("availability must be in (0, 1]")
+        if self.cost_per_judgment < 0:
+            raise ValueError("cost per judgment must be non-negative")
+        if not self.workers:
+            raise ValueError("a pool needs at least one worker")
+
+    @classmethod
+    def from_models(
+        cls,
+        name: str,
+        models: list[WorkerModel],
+        cost_per_judgment: float = 1.0,
+        availability: float = 1.0,
+        id_offset: int = 0,
+    ) -> "WorkerPool":
+        """Build a pool with one worker per model."""
+        workers = [
+            SimulatedWorker(worker_id=id_offset + k, model=model)
+            for k, model in enumerate(models)
+        ]
+        return cls(
+            name=name,
+            workers=workers,
+            cost_per_judgment=cost_per_judgment,
+            availability=availability,
+        )
+
+    @classmethod
+    def homogeneous(
+        cls,
+        name: str,
+        model: WorkerModel,
+        size: int,
+        cost_per_judgment: float = 1.0,
+        availability: float = 1.0,
+        id_offset: int = 0,
+    ) -> "WorkerPool":
+        """Build a pool of ``size`` workers sharing one model object."""
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        return cls.from_models(
+            name,
+            [model] * size,
+            cost_per_judgment=cost_per_judgment,
+            availability=availability,
+            id_offset=id_offset,
+        )
+
+    @property
+    def active_members(self) -> list[SimulatedWorker]:
+        """Unbanned workers (the candidates for each physical step)."""
+        return [w for w in self.workers if not w.banned]
+
+    def sample_active(self, rng: np.random.Generator) -> list[SimulatedWorker]:
+        """Sample ``W_t``: each unbanned worker active w.p. availability."""
+        members = self.active_members
+        if self.availability >= 1.0:
+            return members
+        mask = rng.random(len(members)) < self.availability
+        return [w for w, active in zip(members, mask) if active]
+
+    def get(self, worker_id: int) -> SimulatedWorker:
+        """Look a worker up by id."""
+        for worker in self.workers:
+            if worker.worker_id == worker_id:
+                return worker
+        raise KeyError(f"no worker {worker_id} in pool {self.name!r}")

@@ -1,0 +1,281 @@
+"""High-level job API: crowd queries the CrowdDB way.
+
+Section 1: "Our algorithm can be used inside systems like CrowdDB [14]
+to answer a wider range of queries using the crowd."  This module is
+that integration surface — a declarative job object per query type
+(MAX, TOP-k) that a host system can configure, submit against a
+:class:`~repro.platform.platform.CrowdPlatform`, and settle, with
+budget caps enforced before any money is spent.
+
+A job binds together:
+
+* the instance (what is being asked about),
+* the platform pools to use for each phase (and their redundancy),
+* the algorithm parameters (``u_n``, phase-2 choice, ``k``), and
+* a hard budget cap, checked against the worst-case cost *up front*
+  (Theorem 1's envelopes) so a job that could overrun is rejected
+  before submission, not after the bill arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from .core.bounds import (
+    all_play_all_comparisons,
+    filter_comparisons_upper_bound,
+    survivor_upper_bound,
+    two_maxfind_comparisons_upper_bound,
+)
+from .core.filter_phase import filter_candidates
+from .core.instance import ProblemInstance
+from .core.oracle import ComparisonOracle
+from .core.tournament import play_all_play_all
+from .core.two_maxfind import two_maxfind
+from .platform.oracle_adapter import PlatformWorkerModel
+from .platform.platform import CrowdPlatform
+
+__all__ = ["JobPhaseConfig", "CrowdJobResult", "CrowdMaxJob", "CrowdTopKJob"]
+
+
+@dataclass(frozen=True)
+class JobPhaseConfig:
+    """How one phase talks to the platform."""
+
+    pool: str
+    judgments_per_comparison: int = 1
+
+    def __post_init__(self) -> None:
+        if self.judgments_per_comparison < 1:
+            raise ValueError("judgments_per_comparison must be at least 1")
+
+
+@dataclass
+class CrowdJobResult:
+    """Outcome of a settled crowd job."""
+
+    answer: list[int]
+    survivors: np.ndarray
+    total_cost: float
+    naive_comparisons: int
+    expert_comparisons: int
+    logical_steps: int
+    physical_steps: int
+
+    @property
+    def winner(self) -> int:
+        return self.answer[0]
+
+
+class CrowdMaxJob:
+    """A MAX query executed through a crowdsourcing platform.
+
+    Parameters
+    ----------
+    instance:
+        The items the query ranges over.
+    u_n:
+        The confusion parameter for the filtering phase.
+    phase1, phase2:
+        Pool bindings (phase 1 = cheap filtering pool, phase 2 = expert
+        pool; phase 2 may point at the same pool with higher redundancy
+        to emulate simulated experts).
+    budget_cap:
+        Hard monetary cap.  The job refuses to start if the worst-case
+        cost under Theorem 1's envelopes exceeds the cap.
+    """
+
+    kind: Literal["max"] = "max"
+
+    def __init__(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        u_n: int,
+        phase1: JobPhaseConfig,
+        phase2: JobPhaseConfig,
+        budget_cap: float | None = None,
+    ):
+        if u_n < 1:
+            raise ValueError("u_n must be at least 1")
+        self.instance = instance
+        self.u_n = int(u_n)
+        self.phase1 = phase1
+        self.phase2 = phase2
+        self.budget_cap = budget_cap
+
+    # ------------------------------------------------------------------
+    def worst_case_cost(self, platform: CrowdPlatform) -> float:
+        """Theorem-1 worst-case bill against the platform's price list."""
+        n = len(
+            self.instance.values
+            if isinstance(self.instance, ProblemInstance)
+            else self.instance
+        )
+        pool1 = platform.pools[self.phase1.pool]
+        pool2 = platform.pools[self.phase2.pool]
+        naive_wc = (
+            filter_comparisons_upper_bound(n, self.u_n)
+            * self.phase1.judgments_per_comparison
+            * pool1.cost_per_judgment
+        )
+        expert_wc = (
+            two_maxfind_comparisons_upper_bound(survivor_upper_bound(self.u_n))
+            * self.phase2.judgments_per_comparison
+            * pool2.cost_per_judgment
+        )
+        return naive_wc + expert_wc
+
+    def _check_budget(self, platform: CrowdPlatform) -> None:
+        if self.budget_cap is None:
+            return
+        worst = self.worst_case_cost(platform)
+        if worst > self.budget_cap:
+            raise ValueError(
+                f"worst-case cost {worst:,.0f} exceeds the budget cap "
+                f"{self.budget_cap:,.0f}; raise the cap, lower u_n, or use "
+                "cheaper pools"
+            )
+
+    def _build_oracles(
+        self, platform: CrowdPlatform, rng: np.random.Generator
+    ) -> tuple[ComparisonOracle, ComparisonOracle]:
+        pool1 = platform.pools[self.phase1.pool]
+        pool2 = platform.pools[self.phase2.pool]
+        naive_oracle = ComparisonOracle(
+            self.instance,
+            PlatformWorkerModel(
+                platform,
+                self.phase1.pool,
+                judgments_per_task=self.phase1.judgments_per_comparison,
+            ),
+            rng,
+            cost_per_comparison=(
+                pool1.cost_per_judgment * self.phase1.judgments_per_comparison
+            ),
+            label=self.phase1.pool,
+        )
+        expert_oracle = ComparisonOracle(
+            self.instance,
+            PlatformWorkerModel(
+                platform,
+                self.phase2.pool,
+                judgments_per_task=self.phase2.judgments_per_comparison,
+                is_expert=True,
+            ),
+            rng,
+            cost_per_comparison=(
+                pool2.cost_per_judgment * self.phase2.judgments_per_comparison
+            ),
+            label=self.phase2.pool,
+        )
+        return naive_oracle, expert_oracle
+
+    def execute(
+        self, platform: CrowdPlatform, rng: np.random.Generator
+    ) -> CrowdJobResult:
+        """Run the job end to end and settle the bill."""
+        self._check_budget(platform)
+        start_cost = platform.ledger.total_cost
+        start_logical = platform.logical_steps
+        start_physical = platform.physical_steps_total
+
+        naive_oracle, expert_oracle = self._build_oracles(platform, rng)
+        survivors = filter_candidates(naive_oracle, u_n=self.u_n).survivors
+        answer = self._phase2(expert_oracle, survivors, rng)
+
+        return CrowdJobResult(
+            answer=answer,
+            survivors=survivors,
+            total_cost=platform.ledger.total_cost - start_cost,
+            naive_comparisons=naive_oracle.comparisons,
+            expert_comparisons=expert_oracle.comparisons,
+            logical_steps=platform.logical_steps - start_logical,
+            physical_steps=platform.physical_steps_total - start_physical,
+        )
+
+    def _phase2(
+        self,
+        expert_oracle: ComparisonOracle,
+        survivors: np.ndarray,
+        rng: np.random.Generator,
+    ) -> list[int]:
+        if len(survivors) == 1:
+            return [int(survivors[0])]
+        return [two_maxfind(expert_oracle, survivors).winner]
+
+
+class CrowdTopKJob(CrowdMaxJob):
+    """A TOP-k query executed through a crowdsourcing platform.
+
+    Phase 1 filters with the inflated parameter ``u_n + k - 1`` (see
+    :mod:`repro.core.topk`); phase 2 ranks the survivors with an expert
+    all-play-all and returns the best ``k``.
+    """
+
+    kind: Literal["topk"] = "topk"  # type: ignore[assignment]
+
+    def __init__(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        u_n: int,
+        k: int,
+        phase1: JobPhaseConfig,
+        phase2: JobPhaseConfig,
+        budget_cap: float | None = None,
+    ):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        super().__init__(instance, u_n, phase1, phase2, budget_cap)
+        self.k = int(k)
+
+    def worst_case_cost(self, platform: CrowdPlatform) -> float:
+        n = len(
+            self.instance.values
+            if isinstance(self.instance, ProblemInstance)
+            else self.instance
+        )
+        inflated = self.u_n + self.k - 1
+        pool1 = platform.pools[self.phase1.pool]
+        pool2 = platform.pools[self.phase2.pool]
+        naive_wc = (
+            filter_comparisons_upper_bound(n, inflated)
+            * self.phase1.judgments_per_comparison
+            * pool1.cost_per_judgment
+        )
+        expert_wc = (
+            all_play_all_comparisons(survivor_upper_bound(inflated))
+            * self.phase2.judgments_per_comparison
+            * pool2.cost_per_judgment
+        )
+        return naive_wc + expert_wc
+
+    def execute(
+        self, platform: CrowdPlatform, rng: np.random.Generator
+    ) -> CrowdJobResult:
+        self._check_budget(platform)
+        start_cost = platform.ledger.total_cost
+        start_logical = platform.logical_steps
+        start_physical = platform.physical_steps_total
+
+        naive_oracle, expert_oracle = self._build_oracles(platform, rng)
+        survivors = filter_candidates(
+            naive_oracle, u_n=self.u_n + self.k - 1
+        ).survivors
+        if len(survivors) == 1:
+            ranking = [int(survivors[0])]
+        else:
+            tournament = play_all_play_all(expert_oracle, survivors)
+            order = np.argsort(-tournament.wins, kind="stable")
+            ranking = [int(e) for e in tournament.elements[order][: self.k]]
+        return CrowdJobResult(
+            answer=ranking,
+            survivors=survivors,
+            total_cost=platform.ledger.total_cost - start_cost,
+            naive_comparisons=naive_oracle.comparisons,
+            expert_comparisons=expert_oracle.comparisons,
+            logical_steps=platform.logical_steps - start_logical,
+            physical_steps=platform.physical_steps_total - start_physical,
+        )

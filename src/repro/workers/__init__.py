@@ -1,0 +1,70 @@
+"""Worker error models (Sections 3.2-3.3 of the paper).
+
+The public surface re-exports every model so callers can write
+``from repro.workers import ThresholdWorkerModel``.
+"""
+
+from .adversarial import ADVERSARIAL_POLICIES, AdversarialWorkerModel
+from .aggregation import (
+    MajorityOfKModel,
+    majority_accuracy_exact,
+    majority_error_chernoff,
+    majority_vote,
+)
+from .base import PerfectWorkerModel, WorkerModel, pair_distances
+from .beliefs import CrowdBeliefTable
+from .calibrated import CARS_THRESHOLD, CalibratedCarsWorkerModel, make_dots_worker
+from .continuous import (
+    PopulationThresholdModel,
+    expertise_score,
+    sample_threshold_workers,
+)
+from .drift import FatigueWorkerModel, WarmupWorkerModel
+from .expert import WorkerClass, make_worker_classes
+from .probabilistic import DistanceDecayWorkerModel, FixedErrorWorkerModel
+from .psychometric import ThurstoneWorkerModel, WeberFechnerWorkerModel
+from .spammer import LazyFirstModel, MaliciousWorkerModel, RandomSpammerModel
+from .threshold import (
+    BelowThresholdBehavior,
+    BiasedErrorBehavior,
+    CoinFlipBehavior,
+    CrowdBeliefBehavior,
+    FirstLosesBehavior,
+    ThresholdWorkerModel,
+)
+
+__all__ = [
+    "ADVERSARIAL_POLICIES",
+    "AdversarialWorkerModel",
+    "BelowThresholdBehavior",
+    "BiasedErrorBehavior",
+    "CARS_THRESHOLD",
+    "CalibratedCarsWorkerModel",
+    "CoinFlipBehavior",
+    "CrowdBeliefBehavior",
+    "CrowdBeliefTable",
+    "DistanceDecayWorkerModel",
+    "FatigueWorkerModel",
+    "FirstLosesBehavior",
+    "FixedErrorWorkerModel",
+    "LazyFirstModel",
+    "MajorityOfKModel",
+    "MaliciousWorkerModel",
+    "PerfectWorkerModel",
+    "PopulationThresholdModel",
+    "RandomSpammerModel",
+    "ThresholdWorkerModel",
+    "ThurstoneWorkerModel",
+    "WarmupWorkerModel",
+    "WeberFechnerWorkerModel",
+    "WorkerClass",
+    "WorkerModel",
+    "expertise_score",
+    "majority_accuracy_exact",
+    "majority_error_chernoff",
+    "majority_vote",
+    "make_dots_worker",
+    "make_worker_classes",
+    "pair_distances",
+    "sample_threshold_workers",
+]

@@ -1,0 +1,93 @@
+"""Adversarial comparators for worst-case measurements.
+
+Section 5 of the paper: "The adversarial data were created so as to
+maximize the number of comparisons of 2-MaxFind [...] in all the
+comparisons of step 4 of Algorithm 3, whenever the difference is below
+the threshold, we make element x lose, such as to maximize the number
+of elements that go to the next round."
+
+An adversarial comparator behaves like a zero-``eps`` threshold worker
+above the threshold (it cannot lie about distinguishable pairs) and
+applies a deterministic, worst-case *policy* below it.  The policies
+offered here:
+
+``first_loses``
+    The first element of every hard query loses.  Our 2-MaxFind
+    implementation always passes its pivot ``x`` first in the
+    elimination step, so this is exactly the paper's adversary: pivots
+    eliminate as few candidates as possible.
+
+``anti_max``
+    The element with the larger true value loses every hard pair —
+    pushes weak elements forward and makes the returned element as far
+    from the maximum as the model permits.
+
+``stable``
+    The lower-indexed element wins.  A consistent but arbitrary total
+    order on hard pairs; useful as a deterministic control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WorkerModel, pair_distances
+
+__all__ = ["AdversarialWorkerModel", "ADVERSARIAL_POLICIES"]
+
+ADVERSARIAL_POLICIES = ("first_loses", "anti_max", "stable")
+
+
+class AdversarialWorkerModel(WorkerModel):
+    """Threshold comparator with a deterministic worst-case policy.
+
+    Parameters
+    ----------
+    delta:
+        Indistinguishability threshold; above it answers are truthful
+        (``eps = 0``), matching the worst-case analysis regime of
+        Section 4 where residual errors are assumed zero.
+    policy:
+        One of :data:`ADVERSARIAL_POLICIES`.
+    """
+
+    def __init__(self, delta: float, policy: str = "first_loses", is_expert: bool = False):
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if policy not in ADVERSARIAL_POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {ADVERSARIAL_POLICIES}")
+        self.delta = float(delta)
+        self.policy = policy
+        self.is_expert = is_expert
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        dist = pair_distances(values_i, values_j, relative=False)
+        hard = dist <= self.delta
+        truthful = values_i > values_j
+        if self.policy == "first_loses":
+            hard_result = np.zeros(len(values_i), dtype=bool)
+        elif self.policy == "anti_max":
+            # The truly better element loses; exact ties go to the
+            # second element (still deterministic).
+            hard_result = values_i < values_j
+        else:  # "stable"
+            if indices_i is None or indices_j is None:
+                raise ValueError(
+                    "the 'stable' policy needs pair indices; route comparisons "
+                    "through a ComparisonOracle"
+                )
+            hard_result = indices_i < indices_j
+        return np.where(hard, hard_result, truthful)
+
+    def accuracy(self, dist: float) -> float:
+        return 0.0 if dist <= self.delta else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AdversarialWorkerModel(delta={self.delta}, policy={self.policy!r})"

@@ -1,0 +1,143 @@
+"""Worker model abstractions.
+
+Section 3 of the paper reduces a human worker to a *comparison
+function* ``m_w(k, j)`` that, given two elements, returns the one the
+worker believes has the larger value.  All the error models the paper
+considers (the probabilistic model of Section 3.2, the threshold model
+``T(delta, eps)``, and the two-class expert extension of Section 3.3)
+are expressible as distributions over the outcome of this function as
+a function of the two element *values*.
+
+A :class:`WorkerModel` therefore exposes a single vectorised decision
+primitive: given arrays of value pairs, return a boolean array telling
+which comparisons the *first* element wins.  All randomness comes from
+an explicit ``numpy.random.Generator``; models that need pair-level
+latent state (e.g. the crowd-belief behaviour used to reproduce the
+CARS plateau of Figure 2(b)) derive it deterministically from the pair
+identity so that every worker sharing the model observes the same
+latent world.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["WorkerModel", "PerfectWorkerModel", "pair_distances"]
+
+
+def pair_distances(
+    values_i: np.ndarray, values_j: np.ndarray, relative: bool
+) -> np.ndarray:
+    """Distances between paired values, absolute or relative.
+
+    The theoretical model of the paper uses absolute distances
+    ``d(u, v) = |v(u) - v(v)|``; the CrowdFlower calibration of
+    Section 3.1 buckets pairs by *relative* difference.  Relative
+    distance normalises by the larger magnitude of the pair (zero when
+    both values are zero).
+    """
+    diff = np.abs(values_i - values_j)
+    if not relative:
+        return diff
+    denom = np.maximum(np.abs(values_i), np.abs(values_j))
+    out = np.zeros_like(diff)
+    nonzero = denom > 0
+    out[nonzero] = diff[nonzero] / denom[nonzero]
+    return out
+
+
+class WorkerModel(ABC):
+    """Distribution over outcomes of pairwise comparisons.
+
+    Subclasses implement :meth:`decide`.  ``is_expert`` is a label used
+    by cost accounting and reporting; it does not change behaviour.
+    """
+
+    #: Whether this model represents the expert worker class.
+    is_expert: bool = False
+
+    @abstractmethod
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Resolve a batch of comparisons.
+
+        Parameters
+        ----------
+        values_i, values_j:
+            Value arrays of the paired elements.
+        rng:
+            Source of randomness.
+        indices_i, indices_j:
+            Element indices of the pairs, when known.  Models whose
+            behaviour depends on pair *identity* (crowd beliefs,
+            adversarial policies) require them; purely value-based
+            models ignore them.
+
+        Returns
+        -------
+        numpy.ndarray of bool
+            ``True`` where the first element of the pair wins.
+        """
+
+    def decide_single(
+        self,
+        value_i: float,
+        value_j: float,
+        rng: np.random.Generator,
+        index_i: int | None = None,
+        index_j: int | None = None,
+    ) -> bool:
+        """Scalar convenience wrapper around :meth:`decide`."""
+        ii = None if index_i is None else np.asarray([index_i])
+        jj = None if index_j is None else np.asarray([index_j])
+        result = self.decide(
+            np.asarray([value_i], dtype=np.float64),
+            np.asarray([value_j], dtype=np.float64),
+            rng,
+            indices_i=ii,
+            indices_j=jj,
+        )
+        return bool(result[0])
+
+    def accuracy(self, dist: float) -> float:
+        """Probability of answering correctly at pair distance ``dist``.
+
+        Optional analytical hook used by the calibration plots and the
+        exact majority-vote computations.  Models without a closed form
+        may leave the default, which raises ``NotImplementedError``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose an analytical accuracy"
+        )
+
+
+class PerfectWorkerModel(WorkerModel):
+    """An error-free comparator (ties broken in favour of the first).
+
+    Useful as a baseline, for testing, and as the ``eps = 0, delta = 0``
+    corner of the threshold model.
+    """
+
+    def __init__(self, is_expert: bool = True):
+        self.is_expert = is_expert
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return values_i >= values_j
+
+    def accuracy(self, dist: float) -> float:
+        return 1.0

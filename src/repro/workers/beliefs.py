@@ -1,0 +1,126 @@
+"""Pair-level latent crowd beliefs.
+
+The CARS experiment of Section 3.1 shows that for hard pairs (relative
+price difference below roughly 20 %) "the accuracy of the workers
+plateaus: it does not surpass 0.6 or 0.7" no matter how many workers
+vote.  A per-worker independent error cannot produce a plateau — the
+majority vote of independent better-than-coin voters converges to 1 —
+so the plateau implies that the *crowd as a whole* holds a shared,
+possibly wrong, perception of which element is better (e.g. the BMW
+"looks" more expensive than the Mercedes).
+
+:class:`CrowdBeliefTable` materialises that shared perception: for
+every unordered pair it deterministically derives, from a seed and the
+pair identity, (1) whether the crowd consensus points at the truly
+better element and (2) how strongly individual workers follow the
+consensus.  Every worker consulting the same table observes the same
+latent world, so aggregating more workers converges to the *consensus*
+answer, not to the truth — exactly the behaviour the threshold model
+formalises and Figure 2(b) exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CrowdBeliefTable"]
+
+# Multipliers for the splitmix-style hash below; arbitrary large odd
+# constants, chosen once so the table is deterministic across runs.
+_MIX_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_C = np.uint64(0x94D049BB133111EB)
+
+
+def _hash_pairs(seed: int, lo: np.ndarray, hi: np.ndarray) -> np.ndarray:
+    """Deterministic 64-bit hash of (seed, lo, hi) triples (vectorised)."""
+    with np.errstate(over="ignore"):  # wraparound is the point of the mix
+        x = (
+            np.uint64(seed) * _MIX_A
+            + lo.astype(np.uint64) * _MIX_B
+            + hi.astype(np.uint64) * _MIX_C
+        )
+        x ^= x >> np.uint64(30)
+        x *= _MIX_A
+        x ^= x >> np.uint64(27)
+        x *= _MIX_C
+        x ^= x >> np.uint64(31)
+    return x
+
+
+class CrowdBeliefTable:
+    """Shared latent opinion of the crowd about hard pairs.
+
+    Parameters
+    ----------
+    seed:
+        Determines the latent world; two tables with the same seed
+        agree on every pair.
+    consensus_correct_probability:
+        Probability that the crowd consensus on a hard pair points at
+        the truly better element.  This is the asymptotic accuracy
+        plateau of Figure 2(b): ~0.6 for the hardest CARS bucket.
+    follow_probability:
+        Probability that an individual worker's answer follows the
+        consensus (the residual mass answers against it); controls how
+        fast the majority vote locks onto the consensus.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        consensus_correct_probability: float = 0.6,
+        follow_probability: float = 0.8,
+    ):
+        if not 0.0 <= consensus_correct_probability <= 1.0:
+            raise ValueError("consensus_correct_probability must be in [0, 1]")
+        if not 0.5 <= follow_probability <= 1.0:
+            raise ValueError("follow_probability must be in [0.5, 1]")
+        self.seed = int(seed)
+        self.consensus_correct_probability = float(consensus_correct_probability)
+        self.follow_probability = float(follow_probability)
+
+    def consensus_is_correct(
+        self, indices_i: np.ndarray, indices_j: np.ndarray
+    ) -> np.ndarray:
+        """Whether the crowd consensus matches the truth, per pair.
+
+        Symmetric in the pair: depends only on {i, j} and the seed.
+        """
+        lo = np.minimum(indices_i, indices_j)
+        hi = np.maximum(indices_i, indices_j)
+        h = _hash_pairs(self.seed, lo, hi)
+        # Map the hash to a uniform in [0, 1) using the top 53 bits.
+        u = (h >> np.uint64(11)).astype(np.float64) / float(1 << 53)
+        return u < self.consensus_correct_probability
+
+    def first_win_probability(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+    ) -> np.ndarray:
+        """Probability that a single worker votes for the first element.
+
+        Combines the pair's latent consensus direction with the
+        per-worker follow probability.  Pairs of exactly equal value
+        have no "truth"; the consensus direction is still well defined
+        (it points at the lower index by convention) so repeated votes
+        remain correlated, as the threshold model allows.
+        """
+        correct = self.consensus_is_correct(indices_i, indices_j)
+        first_is_better = values_i > values_j
+        tie = values_i == values_j
+        # Consensus target: the better element when the consensus is
+        # correct, the worse one otherwise; on ties, the lower index.
+        consensus_first = np.where(tie, indices_i < indices_j, ~(first_is_better ^ correct))
+        follow = self.follow_probability
+        return np.where(consensus_first, follow, 1.0 - follow)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CrowdBeliefTable(seed={self.seed}, "
+            f"consensus_correct={self.consensus_correct_probability}, "
+            f"follow={self.follow_probability})"
+        )

@@ -1,0 +1,151 @@
+"""Worker models calibrated against the CrowdFlower findings (Figure 2).
+
+Section 3.1 measures real workers on two tasks and finds two
+qualitatively different behaviours:
+
+* **DOTS** (Figure 2(a)) — accuracy rises with the relative difference
+  and with the number of aggregated workers, approaching 1 for every
+  difference bucket: the wisdom-of-crowds / probabilistic regime.
+  :data:`make_dots_worker` returns a Thurstone comparator whose noise
+  scale ``sigma ~= 0.15`` matches the published curves (hardest bucket:
+  ~0.6 single-vote accuracy, ~0.9 for a 21-vote majority).
+
+* **CARS** (Figure 2(b)) — accuracy plateaus at ~0.6 / ~0.7 for pairs
+  whose relative price difference is below ~20 %, *regardless* of how
+  many workers vote: the threshold regime that motivates experts.
+  :class:`CalibratedCarsWorkerModel` reproduces this with shared
+  crowd-belief tables below the threshold (plateau = probability the
+  crowd consensus is right) and a distance-decaying independent error
+  above it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WorkerModel, pair_distances
+from .beliefs import CrowdBeliefTable
+from .psychometric import ThurstoneWorkerModel
+
+__all__ = ["make_dots_worker", "CalibratedCarsWorkerModel", "CARS_THRESHOLD"]
+
+#: Relative price difference below which CARS pairs hit the plateau.
+CARS_THRESHOLD = 0.2
+
+
+def make_dots_worker(sigma: float = 0.15) -> ThurstoneWorkerModel:
+    """The calibrated DOTS comparator (Thurstone, relative differences)."""
+    return ThurstoneWorkerModel(sigma=sigma, relative=True)
+
+
+class CalibratedCarsWorkerModel(WorkerModel):
+    """The calibrated CARS comparator.
+
+    Behaviour by relative price difference ``d``:
+
+    * ``d <= hard_cut`` (default 0.10): crowd-belief answers whose
+      consensus is right with probability ``plateau_hard`` (~0.6) —
+      the red curve of Figure 2(b);
+    * ``hard_cut < d <= threshold`` (default 0.20): crowd-belief with
+      ``plateau_medium`` (~0.7) — the green curve;
+    * ``d > threshold``: independent error decaying with distance,
+      ``p(d) = p0 * exp(-decay * (d - threshold))`` — the two upper
+      curves, which majority voting drives to 1.
+
+    Parameters are exposed so experiments can recalibrate; the defaults
+    match the published curves.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        threshold: float = CARS_THRESHOLD,
+        hard_cut: float = 0.10,
+        plateau_hard: float = 0.60,
+        plateau_medium: float = 0.70,
+        follow_probability: float = 0.85,
+        p0: float = 0.30,
+        decay: float = 4.0,
+        is_expert: bool = False,
+    ):
+        if not 0.0 < hard_cut < threshold:
+            raise ValueError("need 0 < hard_cut < threshold")
+        if not 0.0 < p0 < 0.5:
+            raise ValueError("p0 must be in (0, 0.5)")
+        self.threshold = float(threshold)
+        self.hard_cut = float(hard_cut)
+        self.p0 = float(p0)
+        self.decay = float(decay)
+        self.is_expert = is_expert
+        self._belief_hard = CrowdBeliefTable(
+            seed=seed,
+            consensus_correct_probability=plateau_hard,
+            follow_probability=follow_probability,
+        )
+        self._belief_medium = CrowdBeliefTable(
+            seed=seed + 1,
+            consensus_correct_probability=plateau_medium,
+            follow_probability=follow_probability,
+        )
+
+    def easy_error_probability(self, dist: np.ndarray) -> np.ndarray:
+        """Independent error rate above the threshold."""
+        return self.p0 * np.exp(-self.decay * (np.asarray(dist) - self.threshold))
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        if indices_i is None or indices_j is None:
+            raise ValueError(
+                "CalibratedCarsWorkerModel needs pair indices (shared crowd "
+                "beliefs are keyed by pair identity)"
+            )
+        dist = pair_distances(values_i, values_j, relative=True)
+        u = rng.random(len(values_i))
+
+        # Easy region: independent, distance-decaying error.
+        first_is_better = values_i > values_j
+        p_err = self.easy_error_probability(dist)
+        easy = first_is_better ^ (u < p_err)
+
+        # Hard regions: shared crowd beliefs.
+        p_first_hard = self._belief_hard.first_win_probability(
+            values_i, values_j, indices_i, indices_j
+        )
+        p_first_medium = self._belief_medium.first_win_probability(
+            values_i, values_j, indices_i, indices_j
+        )
+        result = np.where(
+            dist <= self.hard_cut,
+            u < p_first_hard,
+            np.where(dist <= self.threshold, u < p_first_medium, easy),
+        )
+        tie = values_i == values_j
+        if np.any(tie):
+            result = np.where(tie, u < 0.5, result)
+        return result
+
+    def accuracy(self, dist: float) -> float:
+        if dist <= self.hard_cut:
+            table = self._belief_hard
+        elif dist <= self.threshold:
+            table = self._belief_medium
+        else:
+            p = float(self.easy_error_probability(np.asarray([dist]))[0])
+            return 1.0 - p
+        q = table.consensus_correct_probability
+        f = table.follow_probability
+        return q * f + (1.0 - q) * (1.0 - f)
+
+    def plateau(self, dist: float) -> float:
+        """Asymptotic many-worker accuracy at distance ``dist``."""
+        if dist <= self.hard_cut:
+            return self._belief_hard.consensus_correct_probability
+        if dist <= self.threshold:
+            return self._belief_medium.consensus_correct_probability
+        return 1.0

@@ -1,0 +1,142 @@
+"""Continuous expertise: per-worker discernment thresholds.
+
+The second extension Section 3.3 leaves open: "or even a continuous
+measure of expertise for ranking workers".  Here expertise is the
+(inverse of the) individual threshold ``delta_w``: finer thresholds
+mean finer discrimination.
+
+Two realisations are provided:
+
+* :func:`sample_threshold_workers` — draw an explicit population of
+  :class:`~repro.workers.threshold.ThresholdWorkerModel` objects with
+  i.i.d. thresholds; use them as distinct platform workers (the pool
+  then genuinely contains better and worse individuals, which the gold
+  machinery can rank).
+* :class:`PopulationThresholdModel` — the "anonymous crowd" view: every
+  comparison is answered by a random member of a latent threshold
+  population.  Useful with plain oracles when worker identity does not
+  matter, e.g. to study how the *spread* of expertise (not just its
+  mean) changes the effective error curve: a heavy tail of fine-grained
+  workers makes hard pairs answerable in aggregate, a homogeneous crowd
+  does not.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import WorkerModel, pair_distances
+from .threshold import ThresholdWorkerModel
+
+__all__ = ["sample_threshold_workers", "PopulationThresholdModel", "expertise_score"]
+
+
+def expertise_score(delta: float, scale: float = 1.0) -> float:
+    """A continuous expertise measure: ``scale / (scale + delta)``.
+
+    Monotone decreasing in the threshold; 1.0 for a perfect
+    discriminator (``delta = 0``), approaching 0 for a useless one.
+    """
+    if delta < 0 or scale <= 0:
+        raise ValueError("delta must be non-negative and scale positive")
+    return scale / (scale + delta)
+
+
+def sample_threshold_workers(
+    n_workers: int,
+    rng: np.random.Generator,
+    delta_sampler: Callable[[np.random.Generator], float] | None = None,
+    epsilon: float = 0.0,
+    relative: bool = False,
+) -> list[ThresholdWorkerModel]:
+    """Draw a worker population with i.i.d. individual thresholds.
+
+    ``delta_sampler`` maps the rng to one threshold draw; the default
+    is a log-normal with median 1.0 (a long tail of coarse workers and
+    a thin tail of near-experts, matching the empirical observation
+    that competence is heavy-tailed).
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be at least 1")
+    if delta_sampler is None:
+        delta_sampler = lambda r: float(r.lognormal(mean=0.0, sigma=0.75))
+    workers = []
+    for _ in range(n_workers):
+        delta = float(delta_sampler(rng))
+        if delta < 0:
+            raise ValueError("delta_sampler must produce non-negative thresholds")
+        workers.append(
+            ThresholdWorkerModel(delta=delta, epsilon=epsilon, relative=relative)
+        )
+    return workers
+
+
+class PopulationThresholdModel(WorkerModel):
+    """Anonymous crowd with a latent threshold distribution.
+
+    Every comparison is answered by a random member: a fresh threshold
+    is drawn per query from ``deltas`` (an empirical population), and
+    the query is answered as ``T(delta, eps)`` with a fair coin below
+    the drawn threshold.
+
+    The induced per-comparison accuracy at distance ``d`` is
+    ``P(delta < d) * (1 - eps) + P(delta >= d) * 0.5`` — a *soft*
+    threshold curve whose shape is the population's survival function.
+    Majority voting converges to 1 wherever ``P(delta < d) > 0``: a
+    single fine-grained member in the population is enough, which is
+    exactly the qualitative difference between "some experts exist in
+    the crowd" and the paper's "no naive worker can tell" regime.
+    """
+
+    def __init__(
+        self,
+        deltas: np.ndarray,
+        epsilon: float = 0.0,
+        relative: bool = False,
+        is_expert: bool = False,
+    ):
+        deltas = np.asarray(deltas, dtype=np.float64)
+        if deltas.ndim != 1 or len(deltas) == 0:
+            raise ValueError("deltas must be a non-empty 1-D array")
+        if np.any(deltas < 0):
+            raise ValueError("thresholds must be non-negative")
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError("epsilon must be in [0, 1)")
+        self.deltas = deltas
+        self.epsilon = float(epsilon)
+        self.relative = relative
+        self.is_expert = is_expert
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        m = len(values_i)
+        drawn = self.deltas[rng.integers(0, len(self.deltas), size=m)]
+        dist = pair_distances(values_i, values_j, self.relative)
+        hard = dist <= drawn
+        first_is_better = values_i > values_j
+        u = rng.random(m)
+        easy = first_is_better ^ (u < self.epsilon)
+        coin = u < 0.5
+        result = np.where(hard, coin, easy)
+        tie = values_i == values_j
+        if np.any(tie):
+            result = np.where(tie, coin, result)
+        return result
+
+    def accuracy(self, dist: float) -> float:
+        p_discerns = float(np.mean(self.deltas < dist))
+        return p_discerns * (1.0 - self.epsilon) + (1.0 - p_discerns) * 0.5
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PopulationThresholdModel(n={len(self.deltas)}, "
+            f"median_delta={np.median(self.deltas):.3g}, eps={self.epsilon})"
+        )

@@ -1,0 +1,135 @@
+"""Worker drift: accuracy that changes over a work session.
+
+Real crowd workers are not stationary: attention fades over long
+sessions ("input errors" in the paper's Section 1 error taxonomy grow
+with fatigue), and newcomers improve as they learn the task.  These
+wrappers make any base model non-stationary as a function of the
+number of judgments already produced *through the wrapper*:
+
+* :class:`FatigueWorkerModel` — an extra error probability that grows
+  with the judgment count, saturating at ``max_extra_error``.
+* :class:`WarmupWorkerModel` — an extra error probability that *decays*
+  with the judgment count (task learning).
+
+Both matter to the platform's quality machinery: a worker who passed
+her early gold probes can degrade below the bar later, which is why
+CrowdFlower-style platforms keep probing throughout a job — behaviour
+the platform tests exercise with these models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WorkerModel
+
+__all__ = ["FatigueWorkerModel", "WarmupWorkerModel"]
+
+
+class FatigueWorkerModel(WorkerModel):
+    """Wrap a base model with judgment-count-dependent extra error.
+
+    After ``j`` judgments the wrapper flips the base answer with
+    probability ``max_extra_error * (1 - exp(-fatigue_rate * j))``.
+    """
+
+    def __init__(
+        self,
+        base: WorkerModel,
+        fatigue_rate: float = 0.01,
+        max_extra_error: float = 0.4,
+    ):
+        if fatigue_rate < 0:
+            raise ValueError("fatigue_rate must be non-negative")
+        if not 0.0 <= max_extra_error <= 0.5:
+            raise ValueError("max_extra_error must be in [0, 0.5]")
+        self.base = base
+        self.fatigue_rate = float(fatigue_rate)
+        self.max_extra_error = float(max_extra_error)
+        self.judgments_made = 0
+
+    def current_extra_error(self) -> float:
+        """The extra flip probability at the current fatigue level."""
+        return self.max_extra_error * (
+            1.0 - float(np.exp(-self.fatigue_rate * self.judgments_made))
+        )
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        honest = self.base.decide(values_i, values_j, rng, indices_i, indices_j)
+        m = len(values_i)
+        # Fatigue accrues within the batch too: per-judgment levels.
+        counts = self.judgments_made + np.arange(m)
+        p_flip = self.max_extra_error * (1.0 - np.exp(-self.fatigue_rate * counts))
+        self.judgments_made += m
+        flips = rng.random(m) < p_flip
+        return honest ^ flips
+
+    def reset(self) -> None:
+        """Start a fresh work session (rested worker)."""
+        self.judgments_made = 0
+
+    @property
+    def is_expert(self) -> bool:  # type: ignore[override]
+        return self.base.is_expert
+
+    @is_expert.setter
+    def is_expert(self, value: bool) -> None:  # pragma: no cover - setter shim
+        self.base.is_expert = value
+
+
+class WarmupWorkerModel(WorkerModel):
+    """Wrap a base model with extra error that decays as the worker learns.
+
+    The first judgments carry up to ``initial_extra_error`` extra flips,
+    decaying as ``exp(-learning_rate * j)``.
+    """
+
+    def __init__(
+        self,
+        base: WorkerModel,
+        learning_rate: float = 0.05,
+        initial_extra_error: float = 0.3,
+    ):
+        if learning_rate < 0:
+            raise ValueError("learning_rate must be non-negative")
+        if not 0.0 <= initial_extra_error <= 0.5:
+            raise ValueError("initial_extra_error must be in [0, 0.5]")
+        self.base = base
+        self.learning_rate = float(learning_rate)
+        self.initial_extra_error = float(initial_extra_error)
+        self.judgments_made = 0
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        honest = self.base.decide(values_i, values_j, rng, indices_i, indices_j)
+        m = len(values_i)
+        counts = self.judgments_made + np.arange(m)
+        p_flip = self.initial_extra_error * np.exp(-self.learning_rate * counts)
+        self.judgments_made += m
+        flips = rng.random(m) < p_flip
+        return honest ^ flips
+
+    def reset(self) -> None:
+        """Forget the training (e.g. a long break from the task)."""
+        self.judgments_made = 0
+
+    @property
+    def is_expert(self) -> bool:  # type: ignore[override]
+        return self.base.is_expert
+
+    @is_expert.setter
+    def is_expert(self, value: bool) -> None:  # pragma: no cover - setter shim
+        self.base.is_expert = value

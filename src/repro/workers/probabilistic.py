@@ -1,0 +1,118 @@
+"""The probabilistic error model of Section 3.2.
+
+"A common approach is to assume that an error occurs with some
+probability, not necessarily fixed: when a worker is given two elements
+to compare, she chooses the one with highest value with some
+probability, and the one with lower value with the residual
+probability, independently of any other comparison."
+
+Two variants are provided:
+
+* :class:`FixedErrorWorkerModel` — the error probability ``p`` is a
+  constant, independent of the pair ("for purposes of analysis a common
+  assumption is that it is fixed and independent from the difference").
+* :class:`DistanceDecayWorkerModel` — the error probability depends on
+  the distance of the pair and "grows as the difference shrinks",
+  through a user-supplied decay curve.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .base import WorkerModel, pair_distances
+
+__all__ = ["FixedErrorWorkerModel", "DistanceDecayWorkerModel"]
+
+
+class FixedErrorWorkerModel(WorkerModel):
+    """Worker that errs with fixed probability ``p`` on every comparison.
+
+    Ties (equal values) are resolved by a fair coin: neither answer is
+    an error when the values are equal.
+    """
+
+    def __init__(self, error_probability: float, is_expert: bool = False):
+        if not 0.0 <= error_probability < 1.0:
+            raise ValueError("error probability must be in [0, 1)")
+        self.error_probability = float(error_probability)
+        self.is_expert = is_expert
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        first_is_better = values_i > values_j
+        tie = values_i == values_j
+        err = rng.random(len(values_i)) < self.error_probability
+        first_wins = first_is_better ^ err
+        if np.any(tie):
+            first_wins = np.where(tie, rng.random(len(values_i)) < 0.5, first_wins)
+        return first_wins
+
+    def accuracy(self, dist: float) -> float:
+        if dist == 0.0:
+            return 0.5
+        return 1.0 - self.error_probability
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FixedErrorWorkerModel(p={self.error_probability})"
+
+
+class DistanceDecayWorkerModel(WorkerModel):
+    """Worker whose error probability is a function of the pair distance.
+
+    Parameters
+    ----------
+    error_curve:
+        Vectorisable callable mapping distances to error probabilities
+        in ``[0, 0.5]``.  The model clips the output into that range so
+        the comparator never does worse than a fair coin, the regime in
+        which the wisdom-of-crowds argument of Section 3.2 applies.
+    relative:
+        Interpret distances as relative differences (used when
+        modelling the DOTS/CARS buckets of Section 3.1).
+    """
+
+    def __init__(
+        self,
+        error_curve: Callable[[np.ndarray], np.ndarray],
+        relative: bool = False,
+        is_expert: bool = False,
+    ):
+        self.error_curve = error_curve
+        self.relative = relative
+        self.is_expert = is_expert
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        dist = pair_distances(values_i, values_j, self.relative)
+        p_err = np.clip(np.asarray(self.error_curve(dist), dtype=np.float64), 0.0, 0.5)
+        first_is_better = values_i > values_j
+        tie = values_i == values_j
+        err = rng.random(len(values_i)) < p_err
+        first_wins = first_is_better ^ err
+        if np.any(tie):
+            first_wins = np.where(tie, rng.random(len(values_i)) < 0.5, first_wins)
+        return first_wins
+
+    def accuracy(self, dist: float) -> float:
+        if dist == 0.0:
+            return 0.5
+        p_err = float(np.clip(self.error_curve(np.asarray([dist]))[0], 0.0, 0.5))
+        return 1.0 - p_err
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DistanceDecayWorkerModel(relative={self.relative})"

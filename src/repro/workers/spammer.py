@@ -1,0 +1,88 @@
+"""Low-quality and malicious worker models.
+
+Section 1 lists "mistakes due to input errors, misunderstanding of the
+requirements, and malicious behavior (crowdsourcing spamming)" among
+the error sources, and Section 3.1 describes CrowdFlower's defence:
+gold comparisons whose ground truth is known, with workers below 70 %
+gold accuracy ignored.  These models populate the platform simulator so
+the gold-question machinery has something to catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import WorkerModel
+
+__all__ = ["RandomSpammerModel", "LazyFirstModel", "MaliciousWorkerModel"]
+
+
+class RandomSpammerModel(WorkerModel):
+    """Answers every comparison uniformly at random.
+
+    The archetypal crowdsourcing spammer: clicks through tasks without
+    looking.  Expected gold accuracy 0.5, well under the 70 % bar.
+    """
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return rng.random(len(values_i)) < 0.5
+
+    def accuracy(self, dist: float) -> float:
+        return 0.5
+
+
+class LazyFirstModel(WorkerModel):
+    """Always picks the first element shown.
+
+    Models position bias taken to the extreme.  Against randomised pair
+    presentation its gold accuracy is ~0.5; against a fixed
+    presentation order it can look arbitrarily good or bad, which is
+    why the platform simulator randomises the order of each pair.
+    """
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return np.ones(len(values_i), dtype=bool)
+
+
+class MaliciousWorkerModel(WorkerModel):
+    """Deliberately inverts a competent judgment with probability ``flip``.
+
+    Wraps any base model and flips its answer.  ``flip = 1`` is the
+    pure adversary; intermediate values model workers who sabotage only
+    some of the time to evade gold detection.
+    """
+
+    def __init__(self, base: WorkerModel, flip_probability: float = 1.0):
+        if not 0.0 <= flip_probability <= 1.0:
+            raise ValueError("flip probability must be in [0, 1]")
+        self.base = base
+        self.flip_probability = float(flip_probability)
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        honest = self.base.decide(values_i, values_j, rng, indices_i, indices_j)
+        flip = rng.random(len(values_i)) < self.flip_probability
+        return honest ^ flip
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MaliciousWorkerModel(base={self.base!r}, flip={self.flip_probability})"

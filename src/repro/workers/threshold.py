@@ -1,0 +1,249 @@
+"""The threshold error model ``T(delta, eps)`` of Section 3.2.
+
+"Whenever a worker is presented with two elements k, j to compare, she
+chooses the less valuable one (i.e., errs) with a probability that
+depends on their distance d(k, j) as follows: [...] If d(k, j) > delta
+and v(k) > v(j), the worker returns k with probability 1 - eps and j
+with probability eps.  Instead, if the two elements have values close
+to each other (d(k, j) <= delta) the worker returns either k or j
+completely arbitrarily."
+
+"Completely arbitrarily" admits several concrete simulation behaviours,
+all compatible with the model's worst-case semantics.  The paper itself
+uses two of them:
+
+* a fair coin per query — "each element is chosen as the answer with
+  probability 1/2" (the Section 5 simulations);
+* an error with fixed probability ``perr`` — Assumption 2 of
+  Section 4.4, used by the ``u_n`` estimator.
+
+We additionally provide a *crowd-belief* behaviour (shared pair-level
+consensus, see :mod:`repro.workers.beliefs`) that reproduces the
+accuracy plateau of the CARS experiment, and a *first-loses* behaviour
+used as a building block by the adversarial comparator.  The behaviour
+is a pluggable strategy object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .base import WorkerModel, pair_distances
+from .beliefs import CrowdBeliefTable
+
+__all__ = [
+    "BelowThresholdBehavior",
+    "CoinFlipBehavior",
+    "BiasedErrorBehavior",
+    "CrowdBeliefBehavior",
+    "FirstLosesBehavior",
+    "ThresholdWorkerModel",
+]
+
+
+class BelowThresholdBehavior(ABC):
+    """How a threshold worker answers when ``d(k, j) <= delta``."""
+
+    @abstractmethod
+    def first_wins(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        """Boolean array: does the first element win each hard pair?"""
+
+    def accuracy(self) -> float:
+        """Single-vote probability of answering a hard pair correctly."""
+        return 0.5
+
+
+class CoinFlipBehavior(BelowThresholdBehavior):
+    """Fair coin per query — the paper's Section 5 simulation choice."""
+
+    def first_wins(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        return rng.random(len(values_i)) < 0.5
+
+
+class BiasedErrorBehavior(BelowThresholdBehavior):
+    """Errs with probability ``perr`` on hard pairs (Assumption 2, §4.4).
+
+    On exact ties there is no wrong answer; a fair coin is used.
+    """
+
+    def __init__(self, perr: float):
+        if not 0.0 < perr <= 0.5:
+            raise ValueError("perr must be in (0, 0.5]")
+        self.perr = float(perr)
+
+    def first_wins(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        first_is_better = values_i > values_j
+        tie = values_i == values_j
+        err = rng.random(len(values_i)) < self.perr
+        result = first_is_better ^ err
+        if np.any(tie):
+            result = np.where(tie, rng.random(len(values_i)) < 0.5, result)
+        return result
+
+    def accuracy(self) -> float:
+        return 1.0 - self.perr
+
+
+class CrowdBeliefBehavior(BelowThresholdBehavior):
+    """Answers follow a shared pair-level consensus (Figure 2(b) plateau)."""
+
+    def __init__(self, table: CrowdBeliefTable):
+        self.table = table
+
+    def first_wins(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        if indices_i is None or indices_j is None:
+            raise ValueError(
+                "CrowdBeliefBehavior needs pair indices; route comparisons "
+                "through a ComparisonOracle"
+            )
+        p_first = self.table.first_win_probability(
+            values_i, values_j, indices_i, indices_j
+        )
+        return rng.random(len(values_i)) < p_first
+
+    def accuracy(self) -> float:
+        # Single vote: P(correct) = P(consensus correct) * follow
+        #            + P(consensus wrong) * (1 - follow).
+        q = self.table.consensus_correct_probability
+        f = self.table.follow_probability
+        return q * f + (1.0 - q) * (1.0 - f)
+
+
+class FirstLosesBehavior(BelowThresholdBehavior):
+    """The first element of the query always loses hard pairs.
+
+    Deterministic building block for adversarial comparators: the
+    worst-case construction of Section 5 "make[s] element x lose"
+    whenever 2-MaxFind compares its pivot ``x`` (passed first by
+    convention) against a candidate within the threshold.
+    """
+
+    def first_wins(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        return np.zeros(len(values_i), dtype=bool)
+
+    def accuracy(self) -> float:
+        return 0.0
+
+
+class ThresholdWorkerModel(WorkerModel):
+    """Worker following the threshold model ``T(delta, eps)``.
+
+    Parameters
+    ----------
+    delta:
+        Discernment threshold.  Pairs with ``d <= delta`` are
+        *indistinguishable* to the worker.  ``delta = 0`` degenerates
+        to the probabilistic model ("the probabilistic error model is a
+        special case of the threshold model when delta = 0").
+    epsilon:
+        Residual error probability on pairs with ``d > delta``
+        (``eps in [0, 1)``; the analysis of Section 4 assumes values
+        below 1/2).
+    relative:
+        Interpret ``delta`` against relative pair differences, as the
+        Section 3.1 calibration does, instead of absolute distances.
+    below:
+        Behaviour on indistinguishable pairs; defaults to the fair coin
+        used by the paper's simulations.
+    is_expert:
+        Cost-accounting label (see Section 3.3/3.4).
+    """
+
+    def __init__(
+        self,
+        delta: float,
+        epsilon: float = 0.0,
+        relative: bool = False,
+        below: BelowThresholdBehavior | None = None,
+        is_expert: bool = False,
+    ):
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        if not 0.0 <= epsilon < 1.0:
+            raise ValueError("epsilon must be in [0, 1)")
+        self.delta = float(delta)
+        self.epsilon = float(epsilon)
+        self.relative = relative
+        self.below = below if below is not None else CoinFlipBehavior()
+        self.is_expert = is_expert
+
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        dist = pair_distances(values_i, values_j, self.relative)
+        hard = dist <= self.delta
+        first_is_better = values_i > values_j
+        if self.epsilon > 0.0:
+            err = rng.random(len(values_i)) < self.epsilon
+            easy_result = first_is_better ^ err
+        else:
+            easy_result = first_is_better
+        if not np.any(hard):
+            return easy_result
+        hard_result = self.below.first_wins(
+            values_i, values_j, rng, indices_i, indices_j
+        )
+        return np.where(hard, hard_result, easy_result)
+
+    def accuracy(self, dist: float) -> float:
+        if dist <= self.delta:
+            return self.below.accuracy()
+        return 1.0 - self.epsilon
+
+    def indistinguishable(self, value_a: float, value_b: float) -> bool:
+        """Whether two values form a hard pair for this worker class."""
+        d = pair_distances(
+            np.asarray([value_a], dtype=np.float64),
+            np.asarray([value_b], dtype=np.float64),
+            self.relative,
+        )[0]
+        return bool(d <= self.delta)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "expert" if self.is_expert else "naive"
+        return (
+            f"ThresholdWorkerModel({kind}, delta={self.delta}, "
+            f"eps={self.epsilon}, below={type(self.below).__name__})"
+        )

@@ -1,0 +1,87 @@
+"""Tests for repro.analysis (stats and reporting helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import format_rows, format_series_table, write_csv
+from repro.analysis.stats import geometric_mean, mean_ci, proportion_ci
+
+
+class TestMeanCI:
+    def test_mean_and_interval(self):
+        samples = np.asarray([1.0, 2.0, 3.0, 4.0, 5.0])
+        ci = mean_ci(samples)
+        assert ci.mean == 3.0
+        assert ci.low < 3.0 < ci.high
+        assert ci.n == 5
+
+    def test_single_sample(self):
+        ci = mean_ci(np.asarray([7.0]))
+        assert ci.mean == 7.0
+        assert ci.half_width == 0.0
+
+    def test_higher_confidence_is_wider(self):
+        samples = np.asarray([1.0, 2.0, 3.0, 4.0])
+        assert mean_ci(samples, 0.99).half_width > mean_ci(samples, 0.9).half_width
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_ci(np.asarray([]))
+        with pytest.raises(ValueError):
+            mean_ci(np.asarray([1.0]), confidence=1.5)
+
+    def test_str(self):
+        assert "±" in str(mean_ci(np.asarray([1.0, 2.0])))
+
+
+class TestProportionCI:
+    def test_wilson_interval_contains_proportion_region(self):
+        ci = proportion_ci(82, 100)
+        assert 0.7 < ci.low < 0.82 < ci.high < 0.92
+
+    def test_extremes(self):
+        assert proportion_ci(0, 10).low >= 0.0
+        assert proportion_ci(10, 10).high <= 1.0 + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(5, 3)
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean(np.asarray([1.0, 4.0])) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean(np.asarray([1.0, 0.0]))
+        with pytest.raises(ValueError):
+            geometric_mean(np.asarray([]))
+
+
+class TestFormatting:
+    def test_series_table_alignment(self):
+        text = format_series_table(
+            "n", [10, 20], {"a": [1.5, 2.5], "b": [3, 4]}, title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "n" in lines[1] and "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series_table("n", [1, 2], {"a": [1]})
+
+    def test_format_rows(self):
+        text = format_rows(["x", "y"], [[1, "hi"], [2, "bye"]])
+        assert "bye" in text
+        assert text.splitlines()[0].startswith("x")
+
+    def test_write_csv(self, tmp_path):
+        path = write_csv(tmp_path / "sub" / "data.csv", ["a", "b"], [[1, 2], [3, 4]])
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "a,b"
+        assert content[2] == "3,4"

@@ -1,0 +1,97 @@
+"""Tests for repro.analysis.shapes (curve-shape predicates)."""
+
+import pytest
+
+from repro.analysis.shapes import (
+    crossover_x,
+    dominates,
+    growth_ratio,
+    is_monotone,
+    plateaus_at,
+)
+
+
+class TestIsMonotone:
+    def test_increasing(self):
+        assert is_monotone([1, 2, 3])
+        assert not is_monotone([1, 3, 2])
+
+    def test_decreasing(self):
+        assert is_monotone([3, 2, 1], increasing=False)
+        assert not is_monotone([1, 2], increasing=False)
+
+    def test_tolerance_absorbs_noise(self):
+        assert is_monotone([1.0, 2.0, 1.95, 3.0], tolerance=0.1)
+        assert not is_monotone([1.0, 2.0, 1.5, 3.0], tolerance=0.1)
+
+    def test_short_series(self):
+        assert is_monotone([5])
+        assert is_monotone([])
+
+
+class TestPlateausAt:
+    def test_flat_tail(self):
+        series = [0.4, 0.55, 0.6, 0.61, 0.59, 0.6]
+        assert plateaus_at(series, 0.6, tolerance=0.05)
+
+    def test_climbing_series_does_not_plateau_low(self):
+        series = [0.5, 0.7, 0.9, 0.97, 1.0, 1.0]
+        assert not plateaus_at(series, 0.6, tolerance=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plateaus_at([], 0.5)
+        with pytest.raises(ValueError):
+            plateaus_at([1.0], 0.5, tail_fraction=0.0)
+
+
+class TestDominates:
+    def test_pointwise_domination(self):
+        assert dominates([3, 4, 5], [1, 2, 3])
+        assert not dominates([3, 1, 5], [1, 2, 3])
+
+    def test_slack(self):
+        assert dominates([3, 1.95, 5], [1, 2, 3], slack=0.1)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates([1, 2], [1])
+
+
+class TestCrossoverX:
+    def test_interpolated_crossing(self):
+        xs = [0, 10]
+        a = [-1.0, 1.0]
+        b = [0.0, 0.0]
+        assert crossover_x(xs, a, b) == pytest.approx(5.0)
+
+    def test_already_above(self):
+        assert crossover_x([1, 2], [5, 6], [0, 0]) == 1
+
+    def test_never_crosses(self):
+        assert crossover_x([1, 2, 3], [0, 0, 0], [1, 1, 1]) is None
+
+    def test_paper_cost_crossover_story(self):
+        # Alg 1's cost vs the expert-only baseline as c_e grows: the
+        # paper's "~10x" crossover emerges from these series shapes.
+        ce = [5, 10, 20, 50]
+        alg1 = [100.0, 101.0, 103.0, 109.0]       # barely grows with c_e
+        expert_only = [50.0, 100.0, 200.0, 500.0]  # linear in c_e
+        crossing = crossover_x(ce, [-e + a for a, e in zip(alg1, expert_only)], [0] * 4)
+        assert crossing is not None
+        assert 5 <= crossing <= 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossover_x([], [], [])
+
+
+class TestGrowthRatio:
+    def test_ratio(self):
+        assert growth_ratio([2.0, 8.0]) == 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            growth_ratio([])
+        with pytest.raises(ValueError):
+            growth_ratio([0.0, 1.0])

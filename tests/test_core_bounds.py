@@ -1,0 +1,81 @@
+"""Tests for repro.core.bounds (closed-form bound helpers)."""
+
+import pytest
+
+from repro.core.bounds import (
+    algorithm1_expert_upper_bound_randomized,
+    all_play_all_comparisons,
+    expert_comparisons_lower_bound_deterministic,
+    filter_comparisons_upper_bound,
+    monetary_cost,
+    naive_comparisons_lower_bound,
+    survivor_upper_bound,
+    two_maxfind_comparisons_upper_bound,
+)
+
+
+class TestFormulas:
+    def test_filter_upper_bound(self):
+        assert filter_comparisons_upper_bound(1000, 10) == 40_000
+
+    def test_two_maxfind_upper_bound(self):
+        assert two_maxfind_comparisons_upper_bound(100) == 2000
+
+    def test_naive_lower_bound(self):
+        assert naive_comparisons_lower_bound(1000, 10) == 2500.0
+
+    def test_lower_bound_below_upper_bound(self):
+        for n in (100, 1000, 10_000):
+            for u in (1, 10, 100):
+                assert naive_comparisons_lower_bound(n, u) < filter_comparisons_upper_bound(n, u)
+
+    def test_expert_lower_below_upper(self):
+        for u in (2, 10, 50):
+            lower = expert_comparisons_lower_bound_deterministic(u)
+            upper = two_maxfind_comparisons_upper_bound(survivor_upper_bound(u))
+            assert lower < upper
+
+    def test_survivor_bound(self):
+        assert survivor_upper_bound(10) == 19
+        assert survivor_upper_bound(1) == 1
+
+    def test_all_play_all(self):
+        assert all_play_all_comparisons(0) == 0
+        assert all_play_all_comparisons(1) == 0
+        assert all_play_all_comparisons(5) == 10
+
+    def test_randomized_bound_grows(self):
+        assert algorithm1_expert_upper_bound_randomized(
+            100
+        ) > algorithm1_expert_upper_bound_randomized(10)
+
+
+class TestMonetaryCost:
+    def test_cost_formula(self):
+        assert monetary_cost(100, 10, cost_naive=1.0, cost_expert=20.0) == 300.0
+
+    def test_zero_cost(self):
+        assert monetary_cost(0, 0) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            monetary_cost(-1, 0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "func",
+        [
+            lambda: filter_comparisons_upper_bound(0, 1),
+            lambda: filter_comparisons_upper_bound(1, 0),
+            lambda: two_maxfind_comparisons_upper_bound(0),
+            lambda: naive_comparisons_lower_bound(0, 1),
+            lambda: expert_comparisons_lower_bound_deterministic(0),
+            lambda: survivor_upper_bound(0),
+            lambda: all_play_all_comparisons(-1),
+            lambda: algorithm1_expert_upper_bound_randomized(0),
+        ],
+    )
+    def test_rejects_non_positive_inputs(self, func):
+        with pytest.raises(ValueError):
+            func()

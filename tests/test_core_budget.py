@@ -1,0 +1,90 @@
+"""Tests for repro.core.budget (redundancy planning)."""
+
+import pytest
+
+from repro.core.budget import optimal_redundancy, redundancy_for_accuracy
+from repro.workers.aggregation import majority_accuracy_exact
+
+
+class TestOptimalRedundancy:
+    def test_spends_the_budget_on_good_voters(self):
+        plan = optimal_redundancy(p_correct=0.7, n_questions=10, budget=100.0)
+        assert plan.votes_per_question == 9  # largest affordable odd j
+        assert plan.total_cost <= 100.0
+        assert plan.accuracy == pytest.approx(majority_accuracy_exact(0.7, 9))
+
+    def test_even_affordable_count_drops_to_odd(self):
+        plan = optimal_redundancy(p_correct=0.7, n_questions=10, budget=80.0)
+        assert plan.votes_per_question == 7
+
+    def test_threshold_regime_spends_the_minimum(self):
+        # p <= 1/2: redundancy is wasted money (the paper's barrier).
+        plan = optimal_redundancy(p_correct=0.5, n_questions=10, budget=1000.0)
+        assert plan.votes_per_question == 1
+        assert plan.accuracy == pytest.approx(0.5)
+        assert plan.total_cost == 10.0
+
+    def test_accuracy_improves_with_budget(self):
+        small = optimal_redundancy(0.65, 10, 30.0)
+        large = optimal_redundancy(0.65, 10, 210.0)
+        assert large.accuracy > small.accuracy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_redundancy(1.5, 10, 100.0)
+        with pytest.raises(ValueError):
+            optimal_redundancy(0.7, 0, 100.0)
+        with pytest.raises(ValueError):
+            optimal_redundancy(0.7, 10, 5.0)  # can't pay one vote each
+        with pytest.raises(ValueError):
+            optimal_redundancy(0.7, 10, 100.0, cost_per_vote=0.0)
+
+
+class TestRedundancyForAccuracy:
+    def test_single_vote_suffices_when_already_accurate(self):
+        assert redundancy_for_accuracy(0.95, 0.9) == 1
+
+    def test_finds_the_minimum_odd_j(self):
+        j = redundancy_for_accuracy(0.7, 0.95)
+        assert j is not None and j % 2 == 1
+        assert majority_accuracy_exact(0.7, j) >= 0.95
+        assert majority_accuracy_exact(0.7, j - 2) < 0.95
+
+    def test_threshold_regime_is_unreachable(self):
+        # The paper's point, as arithmetic: no redundancy crosses the
+        # barrier — buy an expert instead.
+        assert redundancy_for_accuracy(0.5, 0.8) is None
+        assert redundancy_for_accuracy(0.4, 0.6) is None
+
+    def test_marginal_voters_need_many_votes(self):
+        j_strong = redundancy_for_accuracy(0.8, 0.99)
+        j_weak = redundancy_for_accuracy(0.55, 0.99)
+        assert j_weak is not None and j_strong is not None
+        assert j_weak > j_strong
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            redundancy_for_accuracy(0.7, 1.0)
+        with pytest.raises(ValueError):
+            redundancy_for_accuracy(-0.1, 0.9)
+
+
+class TestHardening:
+    def test_instances_reject_nan(self):
+        import numpy as np
+        from repro.core.instance import ProblemInstance
+
+        with pytest.raises(ValueError):
+            ProblemInstance(values=[1.0, float("nan")])
+        with pytest.raises(ValueError):
+            ProblemInstance(values=[1.0, float("inf")])
+
+    def test_oracle_rejects_nan(self, rng):
+        import numpy as np
+        from repro.core.oracle import ComparisonOracle
+        from repro.workers.base import PerfectWorkerModel
+
+        with pytest.raises(ValueError):
+            ComparisonOracle(
+                np.asarray([1.0, float("nan")]), PerfectWorkerModel(), rng
+            )

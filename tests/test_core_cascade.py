@@ -1,0 +1,150 @@
+"""Tests for repro.core.cascade (multi-class worker hierarchies)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cascade import CascadeMaxFinder
+from repro.core.generators import tiered_instance
+from repro.platform.accounting import CostLedger
+from repro.workers.expert import WorkerClass
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+def three_tier_classes(costs=(1.0, 10.0, 100.0)):
+    deltas = (4.0, 1.0, 0.25)
+    names = ("crowd", "skilled", "expert")
+    return [
+        WorkerClass(
+            name=name,
+            model=ThresholdWorkerModel(delta=delta, is_expert=(name == "expert")),
+            cost_per_comparison=cost,
+        )
+        for name, delta, cost in zip(names, deltas, costs)
+    ]
+
+
+@pytest.fixture
+def tiered(rng):
+    return tiered_instance(
+        n=600, u_values=[24, 8, 3], deltas=[4.0, 1.0, 0.25], rng=rng
+    )
+
+
+class TestTieredInstance:
+    def test_realises_all_levels(self, rng):
+        instance = tiered_instance(
+            n=500, u_values=[20, 7, 2], deltas=[4.0, 1.0, 0.25], rng=rng
+        )
+        assert instance.u_count(4.0) == 20
+        assert instance.u_count(1.0) == 7
+        assert instance.u_count(0.25) == 2
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            tiered_instance(n=100, u_values=[5], deltas=[1.0, 0.5], rng=rng)
+        with pytest.raises(ValueError):
+            tiered_instance(n=100, u_values=[5, 10], deltas=[1.0, 0.5], rng=rng)
+        with pytest.raises(ValueError):
+            tiered_instance(n=100, u_values=[10, 5], deltas=[0.5, 1.0], rng=rng)
+        with pytest.raises(ValueError):
+            tiered_instance(n=5, u_values=[10, 5], deltas=[1.0, 0.5], rng=rng)
+
+
+class TestCascade:
+    def test_three_tier_run_is_accurate(self, rng, tiered):
+        finder = CascadeMaxFinder(three_tier_classes(), u_values=[24, 8])
+        result = finder.run(tiered, rng)
+        # final class has delta 0.25 -> within 2 * 0.25 of the maximum
+        assert tiered.distance_to_max(result.winner) <= 0.5 + 1e-12
+
+    def test_stage_telemetry_and_shrinkage(self, rng, tiered):
+        finder = CascadeMaxFinder(three_tier_classes(), u_values=[24, 8])
+        result = finder.run(tiered, rng)
+        assert len(result.stages) == 3
+        assert result.stages[0].input_size == 600
+        assert result.stages[0].survivors <= 2 * 24 - 1
+        assert result.stages[1].survivors <= 2 * 8 - 1
+        assert result.stages[2].survivors == 1
+        assert result.total_comparisons == sum(s.comparisons for s in result.stages)
+
+    def test_expensive_classes_see_few_elements(self, rng, tiered):
+        finder = CascadeMaxFinder(three_tier_classes(), u_values=[24, 8])
+        result = finder.run(tiered, rng)
+        by_class = result.comparisons_by_class()
+        assert by_class["crowd"] > by_class["skilled"] > by_class["expert"]
+
+    def test_cost_beats_expert_only(self, rng, tiered):
+        from repro.core.oracle import ComparisonOracle
+        from repro.core.two_maxfind import two_maxfind
+
+        finder = CascadeMaxFinder(three_tier_classes(), u_values=[24, 8])
+        cascade_cost = finder.run(tiered, rng).total_cost
+        expert = three_tier_classes()[-1]
+        oracle = ComparisonOracle(
+            tiered, expert.model, rng, cost_per_comparison=expert.cost_per_comparison
+        )
+        two_maxfind(oracle)
+        assert cascade_cost < oracle.cost
+
+    def test_two_class_cascade_matches_algorithm1_shape(self, rng):
+        from repro.core.generators import planted_instance
+
+        instance = planted_instance(
+            n=300, u_n=8, u_e=3, delta_n=1.0, delta_e=0.25, rng=rng
+        )
+        classes = [
+            WorkerClass("naive", ThresholdWorkerModel(delta=1.0), 1.0),
+            WorkerClass(
+                "expert", ThresholdWorkerModel(delta=0.25, is_expert=True), 20.0
+            ),
+        ]
+        finder = CascadeMaxFinder(classes, u_values=[8])
+        result = finder.run(instance, rng)
+        assert instance.distance_to_max(result.winner) <= 0.5 + 1e-12
+        assert result.stages[0].comparisons <= 4 * 300 * 8
+
+    def test_ledger_integration(self, rng, tiered):
+        ledger = CostLedger()
+        finder = CascadeMaxFinder(three_tier_classes(), u_values=[24, 8])
+        result = finder.run(tiered, rng, ledger=ledger)
+        assert ledger.total_cost == pytest.approx(result.total_cost)
+        assert ledger.operations("crowd") == result.comparisons_by_class()["crowd"]
+
+    @pytest.mark.parametrize("final_phase", ["two_maxfind", "randomized", "all_play_all"])
+    def test_final_phase_options(self, rng, tiered, final_phase):
+        finder = CascadeMaxFinder(
+            three_tier_classes(), u_values=[24, 8], final_phase=final_phase
+        )
+        result = finder.run(tiered, rng)
+        assert tiered.distance_to_max(result.winner) <= 3 * 0.25 + 1e-12
+
+
+class TestValidation:
+    def test_needs_two_classes(self):
+        classes = three_tier_classes()
+        with pytest.raises(ValueError):
+            CascadeMaxFinder(classes[:1], u_values=[])
+
+    def test_u_count_must_match(self):
+        with pytest.raises(ValueError):
+            CascadeMaxFinder(three_tier_classes(), u_values=[24])
+
+    def test_u_must_be_non_increasing(self):
+        with pytest.raises(ValueError):
+            CascadeMaxFinder(three_tier_classes(), u_values=[8, 24])
+
+    def test_costs_must_be_non_decreasing(self):
+        with pytest.raises(ValueError):
+            CascadeMaxFinder(three_tier_classes(costs=(10.0, 1.0, 100.0)), u_values=[24, 8])
+
+    def test_thresholds_must_be_non_increasing(self):
+        classes = [
+            WorkerClass("a", ThresholdWorkerModel(delta=0.5), 1.0),
+            WorkerClass("b", ThresholdWorkerModel(delta=2.0), 5.0),
+        ]
+        with pytest.raises(ValueError):
+            CascadeMaxFinder(classes, u_values=[5])
+
+    def test_rejects_unknown_final_phase(self):
+        with pytest.raises(ValueError):
+            CascadeMaxFinder(three_tier_classes(), u_values=[24, 8], final_phase="magic")

@@ -1,0 +1,127 @@
+"""Tests for repro.core.estimation (Algorithm 4 and the perr estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimation import estimate_perr, estimate_u_n
+from repro.core.generators import planted_instance
+from repro.workers.threshold import BiasedErrorBehavior, ThresholdWorkerModel
+
+
+def assumption2_model(delta=1.0, perr=0.4):
+    """A naive worker satisfying Assumption 2 (fixed below-threshold perr)."""
+    return ThresholdWorkerModel(delta=delta, below=BiasedErrorBehavior(perr=perr))
+
+
+class TestEstimateUn:
+    def test_upper_bounds_the_true_u_n_whp(self, rng):
+        # Run the estimator several times; it should rarely (here:
+        # never, with this margin) underestimate the true u_n.
+        true_u = 12
+        hits = 0
+        for _ in range(10):
+            training = planted_instance(
+                n=400, u_n=true_u, u_e=true_u, delta_n=1.0, delta_e=1.0, rng=rng
+            )
+            est = estimate_u_n(
+                training, assumption2_model(), rng, n_target=400, perr=0.4, c=1.0
+            )
+            hits += int(est.u_n >= true_u)
+        assert hits >= 8
+
+    def test_scales_to_target_size(self, rng):
+        training = planted_instance(
+            n=200, u_n=10, u_e=10, delta_n=1.0, delta_e=1.0, rng=rng
+        )
+        small = estimate_u_n(training, assumption2_model(), rng, n_target=200, perr=0.4)
+        rng2 = np.random.default_rng(12345)
+        large = estimate_u_n(
+            training, assumption2_model(), rng2, n_target=2000, perr=0.4
+        )
+        # Same training data, 10x the target size -> ~10x the estimate.
+        assert large.u_n >= 5 * small.u_n
+
+    def test_log_floor_dominates_with_no_errors(self, rng):
+        # Perfectly separated training data: no errors; the c*ln(n)
+        # confidence floor must kick in.
+        values = np.linspace(0.0, 1000.0, 50)
+        from repro.core.instance import ProblemInstance
+
+        training = ProblemInstance(values=values)
+        est = estimate_u_n(
+            training, assumption2_model(delta=1.0), rng, n_target=1000, perr=0.4, c=1.0
+        )
+        assert est.errors == 0
+        assert est.log_floor_active
+
+    def test_estimate_at_least_one(self, rng):
+        from repro.core.instance import ProblemInstance
+
+        training = ProblemInstance(values=np.asarray([0.0, 100.0]))
+        est = estimate_u_n(
+            training, assumption2_model(), rng, n_target=10, perr=0.5, c=0.01
+        )
+        assert est.u_n >= 1
+
+    def test_parameter_validation(self, rng):
+        training = planted_instance(
+            n=50, u_n=5, u_e=5, delta_n=1.0, delta_e=1.0, rng=rng
+        )
+        model = assumption2_model()
+        with pytest.raises(ValueError):
+            estimate_u_n(training, model, rng, n_target=1, perr=0.4)
+        with pytest.raises(ValueError):
+            estimate_u_n(training, model, rng, n_target=100, perr=0.0)
+        with pytest.raises(ValueError):
+            estimate_u_n(training, model, rng, n_target=100, perr=0.9)
+        with pytest.raises(ValueError):
+            estimate_u_n(training, model, rng, n_target=100, perr=0.4, c=0.0)
+
+
+class TestEstimatePerr:
+    def test_recovers_the_true_perr(self, rng):
+        true_perr = 0.35
+        training = planted_instance(
+            n=120, u_n=30, u_e=30, delta_n=5.0, delta_e=5.0, rng=rng
+        )
+        # Probe pairs among the top cluster (below threshold) and far
+        # pairs (above threshold); the estimator must separate them.
+        top = training.top_indices(25)
+        hard_pairs = np.column_stack([top[:-1], top[1:]])
+        bottom = training.top_indices(training.n)[-25:]
+        easy_pairs = np.column_stack([top[:24], bottom[:24]])
+        pairs = np.vstack([hard_pairs, easy_pairs])
+        est = estimate_perr(
+            training,
+            assumption2_model(delta=5.0, perr=true_perr),
+            rng,
+            pairs,
+            workers_per_pair=15,
+        )
+        assert est.perr is not None
+        assert est.perr == pytest.approx(true_perr, abs=0.12)
+        assert est.n_consensus_pairs > 0
+        assert est.n_below_pairs > 0
+
+    def test_all_consensus_returns_none(self, rng):
+        from repro.core.instance import ProblemInstance
+
+        training = ProblemInstance(values=np.linspace(0, 1000, 20))
+        pairs = np.column_stack([np.arange(10), np.arange(10) + 10])
+        est = estimate_perr(
+            training, assumption2_model(delta=1.0), rng, pairs, workers_per_pair=7
+        )
+        assert est.perr is None
+        assert est.n_below_pairs == 0
+
+    def test_parameter_validation(self, rng):
+        training = planted_instance(
+            n=50, u_n=5, u_e=5, delta_n=1.0, delta_e=1.0, rng=rng
+        )
+        model = assumption2_model()
+        with pytest.raises(ValueError):
+            estimate_perr(training, model, rng, np.zeros((3, 3)), workers_per_pair=7)
+        with pytest.raises(ValueError):
+            estimate_perr(
+                training, model, rng, np.zeros((3, 2), dtype=int), workers_per_pair=1
+            )

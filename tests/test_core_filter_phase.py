@@ -1,0 +1,140 @@
+"""Tests for repro.core.filter_phase (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import filter_comparisons_upper_bound, survivor_upper_bound
+from repro.core.filter_phase import filter_candidates
+from repro.core.generators import planted_instance
+from repro.core.oracle import ComparisonOracle
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+def planted_oracle(rng, n=300, u_n=8, delta_n=1.0):
+    instance = planted_instance(
+        n=n, u_n=u_n, u_e=u_n, delta_n=delta_n, delta_e=delta_n, rng=rng
+    )
+    oracle = ComparisonOracle(instance, ThresholdWorkerModel(delta=delta_n), rng)
+    return instance, oracle
+
+
+class TestCorrectness:
+    def test_maximum_always_survives_under_the_model(self, rng):
+        # Lemma 3: with eps = 0 threshold workers and the true u_n, the
+        # maximum is never filtered out.
+        for _ in range(10):
+            instance, oracle = planted_oracle(rng)
+            result = filter_candidates(oracle, u_n=8)
+            assert instance.max_index in result.survivors
+
+    def test_survivor_count_bound(self, rng):
+        # Lemma 3: |S| <= 2 u_n - 1.
+        for u_n in (3, 8, 15):
+            instance, oracle = planted_oracle(rng, u_n=u_n)
+            result = filter_candidates(oracle, u_n=u_n)
+            assert len(result.survivors) <= survivor_upper_bound(u_n)
+
+    def test_comparison_bound(self, rng):
+        # Lemma 3: at most 4 n u_n comparisons.
+        instance, oracle = planted_oracle(rng, n=500, u_n=10)
+        result = filter_candidates(oracle, u_n=10)
+        assert result.comparisons <= filter_comparisons_upper_bound(500, 10)
+        assert result.comparisons == oracle.comparisons
+
+    def test_small_input_passthrough(self, rng):
+        # |L| < 2 u_n: the loop never runs; everything survives.
+        values = np.asarray([1.0, 2.0, 3.0])
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = filter_candidates(oracle, u_n=5)
+        assert sorted(result.survivors.tolist()) == [0, 1, 2]
+        assert result.comparisons == 0
+        assert result.n_rounds == 0
+
+    def test_perfect_workers_u1_keeps_max(self, rng):
+        values = rng.permutation(np.arange(50, dtype=float))
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = filter_candidates(oracle, u_n=1)
+        assert int(np.argmax(values)) in result.survivors
+        assert len(result.survivors) <= 1  # 2*1 - 1
+
+    def test_explicit_element_subset(self, rng):
+        values = np.asarray([9.0, 1.0, 2.0, 8.0, 3.0, 4.0, 5.0, 6.0])
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        subset = np.asarray([1, 2, 4, 5, 6, 7])  # excludes 9.0 and 8.0
+        result = filter_candidates(oracle, elements=subset, u_n=1)
+        assert 7 in result.survivors  # value 6.0 is the subset max
+
+
+class TestTelemetry:
+    def test_round_records(self, rng):
+        instance, oracle = planted_oracle(rng, n=400, u_n=5)
+        result = filter_candidates(oracle, u_n=5)
+        assert result.n_rounds == len(result.rounds) >= 1
+        assert result.rounds[0].input_size == 400
+        # survivors shrink monotonically across rounds
+        sizes = [r.survivors for r in result.rounds]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sum(r.comparisons for r in result.rounds) == result.comparisons
+
+
+class TestParameterValidation:
+    def test_rejects_zero_u_n(self, rng):
+        _, oracle = planted_oracle(rng)
+        with pytest.raises(ValueError):
+            filter_candidates(oracle, u_n=0)
+
+    def test_rejects_small_multiplier(self, rng):
+        _, oracle = planted_oracle(rng)
+        with pytest.raises(ValueError):
+            filter_candidates(oracle, u_n=5, group_multiplier=1)
+
+    def test_shuffle_requires_rng(self, rng):
+        _, oracle = planted_oracle(rng)
+        with pytest.raises(ValueError):
+            filter_candidates(oracle, u_n=5, shuffle_each_round=True)
+
+    def test_rejects_empty_elements(self, rng):
+        _, oracle = planted_oracle(rng)
+        with pytest.raises(ValueError):
+            filter_candidates(oracle, elements=np.asarray([], dtype=np.intp), u_n=5)
+
+
+class TestOptions:
+    def test_global_loss_counters_preserve_the_maximum(self, rng):
+        for _ in range(5):
+            instance, oracle = planted_oracle(rng)
+            result = filter_candidates(oracle, u_n=8, use_global_loss_counters=True)
+            assert instance.max_index in result.survivors
+            assert len(result.survivors) <= survivor_upper_bound(8)
+
+    def test_shuffle_each_round_still_correct(self, rng):
+        instance, oracle = planted_oracle(rng)
+        result = filter_candidates(oracle, u_n=8, shuffle_each_round=True, rng=rng)
+        assert instance.max_index in result.survivors
+
+    def test_group_multiplier_two_terminates(self, rng):
+        instance, oracle = planted_oracle(rng, n=200, u_n=5)
+        result = filter_candidates(oracle, u_n=5, group_multiplier=2)
+        assert instance.max_index in result.survivors
+
+
+class TestUnderestimation:
+    def test_severe_underestimate_can_drop_the_maximum(self, rng):
+        # Section 5.2: with a fraction of the true u_n the maximum is
+        # lost in a non-trivial fraction of runs.
+        drops = 0
+        trials = 30
+        for _ in range(trials):
+            instance, oracle = planted_oracle(rng, n=300, u_n=12)
+            result = filter_candidates(oracle, u_n=2)  # factor ~0.17
+            drops += int(instance.max_index not in result.survivors)
+        assert drops > 0
+
+    def test_result_never_empty(self, rng):
+        # Even under severe underestimation the filter degrades to a
+        # non-empty candidate set.
+        for _ in range(20):
+            instance, oracle = planted_oracle(rng, n=200, u_n=10)
+            result = filter_candidates(oracle, u_n=1)
+            assert len(result.survivors) >= 1

@@ -1,0 +1,132 @@
+"""Tests for repro.core.generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generators import (
+    adversarial_instance,
+    clustered_instance,
+    planted_instance,
+    tie_heavy_instance,
+    uniform_instance,
+)
+
+
+class TestUniformInstance:
+    def test_size_and_range(self, rng):
+        instance = uniform_instance(100, rng, low=2.0, high=5.0)
+        assert instance.n == 100
+        assert instance.values.min() >= 2.0
+        assert instance.values.max() < 5.0
+
+    def test_default_high_gives_unit_density(self, rng):
+        instance = uniform_instance(1000, rng)
+        # Expected u(n) for delta = 10 is ~10 under unit density.
+        assert 1 <= instance.u_count(10.0) <= 40
+
+    def test_rejects_bad_parameters(self, rng):
+        with pytest.raises(ValueError):
+            uniform_instance(0, rng)
+        with pytest.raises(ValueError):
+            uniform_instance(10, rng, low=5.0, high=5.0)
+
+
+class TestPlantedInstance:
+    def test_realises_exact_u_counts(self, rng):
+        instance = planted_instance(
+            n=500, u_n=10, u_e=5, delta_n=1.0, delta_e=0.25, rng=rng
+        )
+        assert instance.u_count(1.0) == 10
+        assert instance.u_count(0.25) == 5
+
+    def test_maximum_is_unique(self, rng):
+        instance = planted_instance(
+            n=200, u_n=8, u_e=2, delta_n=1.0, delta_e=0.1, rng=rng
+        )
+        assert np.count_nonzero(instance.values == instance.max_value) == 1
+
+    def test_u_e_one_means_max_alone(self, rng):
+        instance = planted_instance(
+            n=100, u_n=5, u_e=1, delta_n=1.0, delta_e=0.25, rng=rng
+        )
+        assert instance.u_count(0.25) == 1  # just the maximum itself
+        assert instance.u_count(1.0) == 5
+
+    def test_rejects_invalid_combinations(self, rng):
+        with pytest.raises(ValueError):
+            planted_instance(n=10, u_n=3, u_e=5, delta_n=1.0, delta_e=0.5, rng=rng)
+        with pytest.raises(ValueError):
+            planted_instance(n=10, u_n=3, u_e=0, delta_n=1.0, delta_e=0.5, rng=rng)
+        with pytest.raises(ValueError):
+            planted_instance(n=10, u_n=10, u_e=1, delta_n=1.0, delta_e=0.5, rng=rng)
+        with pytest.raises(ValueError):
+            planted_instance(n=10, u_n=3, u_e=1, delta_n=1.0, delta_e=2.0, rng=rng)
+        with pytest.raises(ValueError):
+            planted_instance(n=10, u_n=3, u_e=1, delta_n=0.0, delta_e=0.0, rng=rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=20, max_value=300),
+        u_n=st.integers(min_value=1, max_value=15),
+        u_e_fraction=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_property_exact_counts(self, n, u_n, u_e_fraction, seed):
+        """Property: the planted generator realises u_n and u_e exactly."""
+        if u_n >= n:
+            return
+        u_e = max(1, int(round(u_e_fraction * u_n)))
+        local = np.random.default_rng(seed)
+        instance = planted_instance(
+            n=n, u_n=u_n, u_e=u_e, delta_n=1.0, delta_e=0.25, rng=local
+        )
+        assert instance.n == n
+        assert instance.u_count(1.0) == u_n
+        assert instance.u_count(0.25) == u_e
+
+
+class TestAdversarialInstance:
+    def test_structure(self, rng):
+        instance = adversarial_instance(n=100, u_n=10, delta_n=1.0, rng=rng)
+        assert instance.n == 100
+        # u_n elements are naive-indistinguishable from the maximum.
+        assert instance.u_count(1.0) == 10
+
+    def test_non_max_elements_are_mutually_indistinguishable(self, rng):
+        instance = adversarial_instance(n=50, u_n=5, delta_n=1.0, rng=rng)
+        assert instance.u_count(1.0) == 5
+        others = np.delete(instance.values, instance.max_index)
+        spread = others.max() - others.min()
+        assert spread <= 1.0
+
+    def test_rejects_tiny_n(self, rng):
+        with pytest.raises(ValueError):
+            adversarial_instance(n=1, u_n=0, delta_n=1.0, rng=rng)
+
+
+class TestClusteredInstance:
+    def test_basic(self, rng):
+        instance = clustered_instance(n=200, n_clusters=5, spread=0.1, rng=rng)
+        assert instance.n == 200
+
+    def test_rejects_zero_clusters(self, rng):
+        with pytest.raises(ValueError):
+            clustered_instance(n=10, n_clusters=0, spread=0.1, rng=rng)
+
+
+class TestTieHeavyInstance:
+    def test_distinct_value_count(self, rng):
+        instance = tie_heavy_instance(n=100, n_distinct=7, rng=rng)
+        assert len(np.unique(instance.values)) <= 7
+        assert instance.n == 100
+
+    def test_top_level_present(self, rng):
+        instance = tie_heavy_instance(n=50, n_distinct=3, rng=rng)
+        # the maximum is one of the distinct levels and appears >= once
+        assert np.count_nonzero(instance.values == instance.max_value) >= 1
+
+    def test_rejects_bad_params(self, rng):
+        with pytest.raises(ValueError):
+            tie_heavy_instance(n=5, n_distinct=6, rng=rng)

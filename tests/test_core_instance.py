@@ -1,0 +1,137 @@
+"""Tests for repro.core.instance."""
+
+import numpy as np
+import pytest
+
+from repro.core.instance import (
+    ProblemInstance,
+    distance,
+    indistinguishable_count,
+    relative_distance,
+    true_rank,
+)
+
+
+class TestDistanceFunctions:
+    def test_distance_is_absolute_difference(self):
+        assert distance(3.0, 7.5) == 4.5
+        assert distance(7.5, 3.0) == 4.5
+
+    def test_distance_of_equal_values_is_zero(self):
+        assert distance(2.0, 2.0) == 0.0
+
+    def test_relative_distance_normalises_by_larger_magnitude(self):
+        assert relative_distance(180.0, 200.0) == pytest.approx(0.1)
+
+    def test_relative_distance_of_zeros_is_zero(self):
+        assert relative_distance(0.0, 0.0) == 0.0
+
+    def test_relative_distance_handles_negatives(self):
+        # DOTS min-finding uses negated counts; the relative distance
+        # must be the same as for the positive counts.
+        assert relative_distance(-180.0, -200.0) == pytest.approx(0.1)
+
+
+class TestTrueRank:
+    def test_maximum_has_rank_one(self):
+        values = np.asarray([1.0, 5.0, 3.0])
+        assert true_rank(values, 1) == 1
+
+    def test_minimum_has_rank_n(self):
+        values = np.asarray([1.0, 5.0, 3.0])
+        assert true_rank(values, 0) == 3
+
+    def test_ties_rank_optimistically(self):
+        values = np.asarray([5.0, 5.0, 1.0])
+        assert true_rank(values, 0) == 1
+        assert true_rank(values, 1) == 1
+
+
+class TestIndistinguishableCount:
+    def test_counts_elements_within_delta_of_max(self):
+        # Paper convention: the maximum itself is in the set.
+        values = np.asarray([10.0, 9.5, 9.0, 5.0])
+        assert indistinguishable_count(values, 0.6) == 2
+        assert indistinguishable_count(values, 1.0) == 3
+        assert indistinguishable_count(values, 10.0) == 4
+
+    def test_includes_the_maximum_itself(self):
+        assert indistinguishable_count(np.asarray([10.0]), 1.0) == 1
+
+    def test_counts_exact_ties_with_the_maximum(self):
+        values = np.asarray([10.0, 10.0, 1.0])
+        assert indistinguishable_count(values, 0.0) == 2
+
+    def test_empty_values(self):
+        assert indistinguishable_count(np.asarray([]), 1.0) == 0
+
+
+class TestProblemInstance:
+    def test_basic_accessors(self):
+        instance = ProblemInstance(values=[1.0, 3.0, 2.0])
+        assert instance.n == len(instance) == 3
+        assert instance.max_index == 1
+        assert instance.max_value == 3.0
+        assert instance.value(2) == 2.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(values=[])
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(values=[[1.0], [2.0]])
+
+    def test_rejects_mismatched_payloads(self):
+        with pytest.raises(ValueError):
+            ProblemInstance(values=[1.0, 2.0], payloads=["only one"])
+
+    def test_payload_defaults_to_none(self):
+        instance = ProblemInstance(values=[1.0, 2.0])
+        assert instance.payload(0) is None
+
+    def test_payload_lookup(self):
+        instance = ProblemInstance(values=[1.0, 2.0], payloads=["a", "b"])
+        assert instance.payload(1) == "b"
+
+    def test_distance_and_distance_to_max(self):
+        instance = ProblemInstance(values=[1.0, 4.0, 2.5])
+        assert instance.distance(0, 1) == 3.0
+        assert instance.distance_to_max(2) == 1.5
+
+    def test_u_count_matches_module_function(self):
+        values = np.asarray([10.0, 9.5, 9.0, 5.0])
+        instance = ProblemInstance(values=values)
+        assert instance.u_count(1.0) == indistinguishable_count(values, 1.0) == 3
+
+    def test_rank_of(self):
+        instance = ProblemInstance(values=[1.0, 4.0, 2.5])
+        assert instance.rank_of(1) == 1
+        assert instance.rank_of(2) == 2
+        assert instance.rank_of(0) == 3
+
+    def test_indistinguishable_set_includes_max(self):
+        instance = ProblemInstance(values=[10.0, 9.5, 1.0])
+        members = set(instance.indistinguishable_set(1.0).tolist())
+        assert members == {0, 1}
+
+    def test_top_indices_orders_best_first(self):
+        instance = ProblemInstance(values=[1.0, 4.0, 2.5])
+        assert instance.top_indices(2).tolist() == [1, 2]
+
+    def test_top_indices_clamps_k(self):
+        instance = ProblemInstance(values=[1.0, 4.0])
+        assert len(instance.top_indices(10)) == 2
+        assert len(instance.top_indices(0)) == 0
+
+    def test_subinstance_preserves_payloads_and_values(self):
+        instance = ProblemInstance(values=[1.0, 4.0, 2.5], payloads=["a", "b", "c"])
+        sub = instance.subinstance([2, 0])
+        assert sub.values.tolist() == [2.5, 1.0]
+        assert list(sub.payloads) == ["c", "a"]
+
+    def test_describe_mentions_name_and_size(self):
+        instance = ProblemInstance(values=[1.0, 2.0], name="demo")
+        text = instance.describe()
+        assert "demo" in text
+        assert "n=2" in text

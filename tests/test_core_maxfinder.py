@@ -1,0 +1,120 @@
+"""Tests for repro.core.maxfinder (Algorithm 1, the public API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    filter_comparisons_upper_bound,
+    survivor_upper_bound,
+)
+from repro.core.generators import planted_instance
+from repro.core.maxfinder import ExpertAwareMaxFinder, find_max
+from repro.core.oracle import ComparisonOracle
+from repro.platform.accounting import CostLedger
+from repro.workers.expert import make_worker_classes
+
+
+@pytest.fixture
+def classes():
+    return make_worker_classes(delta_n=1.0, delta_e=0.25, cost_n=1.0, cost_e=20.0)
+
+
+@pytest.fixture
+def instance(rng):
+    return planted_instance(n=400, u_n=8, u_e=3, delta_n=1.0, delta_e=0.25, rng=rng)
+
+
+class TestEndToEnd:
+    def test_returns_element_near_the_maximum(self, rng, classes, instance):
+        naive, expert = classes
+        result = find_max(instance, naive, expert, u_n=8, rng=rng)
+        # Deterministic phase 2 guarantee: within 2 delta_e of max(S),
+        # and M in S, so within 2 delta_e of M.
+        assert instance.distance_to_max(result.winner) <= 2 * 0.25 + 1e-12
+
+    def test_result_bookkeeping(self, rng, classes, instance):
+        naive, expert = classes
+        result = find_max(instance, naive, expert, u_n=8, rng=rng)
+        assert result.survivor_count == len(result.survivors)
+        assert result.survivor_count <= survivor_upper_bound(8)
+        assert result.naive_comparisons <= filter_comparisons_upper_bound(400, 8)
+        assert result.cost == pytest.approx(
+            result.naive_comparisons * 1.0 + result.expert_comparisons * 20.0
+        )
+        assert result.filter_result.comparisons == result.naive_comparisons
+        assert result.winner in range(instance.n)
+
+    def test_max_in_survivors(self, rng, classes, instance):
+        naive, expert = classes
+        result = find_max(instance, naive, expert, u_n=8, rng=rng)
+        assert instance.max_index in result.survivors
+
+    @pytest.mark.parametrize("phase2", ["two_maxfind", "randomized", "all_play_all"])
+    def test_all_phase2_options(self, rng, classes, instance, phase2):
+        naive, expert = classes
+        result = find_max(instance, naive, expert, u_n=8, rng=rng, phase2=phase2)
+        # all options guarantee at most 3 delta_e distance
+        assert instance.distance_to_max(result.winner) <= 3 * 0.25 + 1e-12
+
+    def test_ledger_integration(self, rng, classes, instance):
+        naive, expert = classes
+        ledger = CostLedger()
+        finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=8)
+        result = finder.run(instance, rng, ledger=ledger)
+        assert ledger.operations("naive") == result.naive_comparisons
+        assert ledger.operations("expert") == result.expert_comparisons
+        assert ledger.total_cost == pytest.approx(result.cost)
+
+    def test_single_survivor_short_circuits_phase2(self, rng, classes):
+        naive, expert = classes
+        # u_n = 1 with perfectly separated values gives one survivor.
+        values = np.linspace(0, 1000, 64)
+        finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=1)
+        result = finder.run(values, rng)
+        if result.survivor_count == 1:
+            assert result.expert_comparisons == 0
+            assert result.winner == int(result.survivors[0])
+
+
+class TestConfiguration:
+    def test_rejects_bad_u_n(self, classes):
+        naive, expert = classes
+        with pytest.raises(ValueError):
+            ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=0)
+
+    def test_rejects_unknown_phase2(self, classes):
+        naive, expert = classes
+        with pytest.raises(ValueError):
+            ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=5, phase2="bogus")
+
+    def test_finder_is_reusable(self, rng, classes):
+        naive, expert = classes
+        finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=6)
+        for _ in range(3):
+            instance = planted_instance(
+                n=200, u_n=6, u_e=2, delta_n=1.0, delta_e=0.25, rng=rng
+            )
+            result = finder.run(instance, rng)
+            assert instance.max_index in result.survivors
+
+    def test_run_with_external_oracles(self, rng, classes, instance):
+        naive, expert = classes
+        finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=8)
+        naive_oracle = ComparisonOracle(instance, naive.model, rng)
+        expert_oracle = ComparisonOracle(instance, expert.model, rng)
+        result = finder.run_with_oracles(naive_oracle, expert_oracle, rng)
+        assert result.naive_comparisons == naive_oracle.comparisons
+        assert result.expert_comparisons == expert_oracle.comparisons
+
+    def test_kwargs_forwarding_through_find_max(self, rng, classes, instance):
+        naive, expert = classes
+        result = find_max(
+            instance,
+            naive,
+            expert,
+            u_n=8,
+            rng=rng,
+            use_global_loss_counters=True,
+            group_multiplier=6,
+        )
+        assert instance.max_index in result.survivors

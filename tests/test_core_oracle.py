@@ -1,0 +1,173 @@
+"""Tests for repro.core.oracle (memoization, counting, billing)."""
+
+import numpy as np
+import pytest
+
+import repro.core.oracle as oracle_module
+from repro.core.oracle import ComparisonOracle
+from repro.platform.accounting import CostLedger
+from repro.workers.adversarial import AdversarialWorkerModel
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.probabilistic import FixedErrorWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+def make_oracle(rng, values=(1.0, 2.0, 3.0, 4.0), model=None, **kwargs):
+    model = model if model is not None else PerfectWorkerModel()
+    return ComparisonOracle(np.asarray(values), model, rng, **kwargs)
+
+
+class TestBasicQueries:
+    def test_perfect_worker_returns_true_winner(self, rng):
+        oracle = make_oracle(rng)
+        assert oracle.compare(0, 3) == 3
+        assert oracle.compare(3, 0) == 3
+
+    def test_rejects_same_element(self, rng):
+        oracle = make_oracle(rng)
+        with pytest.raises(ValueError):
+            oracle.compare(1, 1)
+
+    def test_rejects_out_of_range(self, rng):
+        oracle = make_oracle(rng)
+        with pytest.raises(ValueError):
+            oracle.compare(0, 10)
+        with pytest.raises(ValueError):
+            oracle.compare(-1, 2)
+
+    def test_rejects_mismatched_batch_shapes(self, rng):
+        oracle = make_oracle(rng)
+        with pytest.raises(ValueError):
+            oracle.compare_pairs(np.asarray([0, 1]), np.asarray([2]))
+
+    def test_empty_batch(self, rng):
+        oracle = make_oracle(rng)
+        result = oracle.compare_pairs(np.asarray([], dtype=np.intp), np.asarray([], dtype=np.intp))
+        assert len(result) == 0
+        assert oracle.comparisons == 0
+
+    def test_rejects_empty_values(self, rng):
+        with pytest.raises(ValueError):
+            ComparisonOracle(np.asarray([]), PerfectWorkerModel(), rng)
+
+
+class TestMemoization:
+    def test_repeat_query_is_not_recharged(self, rng):
+        oracle = make_oracle(rng)
+        oracle.compare(0, 1)
+        oracle.compare(0, 1)
+        oracle.compare(1, 0)
+        assert oracle.comparisons == 1
+        assert oracle.requests == 3
+
+    def test_memoized_answers_are_consistent_even_for_random_workers(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.49)
+        oracle = make_oracle(rng, values=(1.0, 1.0001), model=model)
+        first = oracle.compare(0, 1)
+        for _ in range(20):
+            assert oracle.compare(0, 1) == first
+            assert oracle.compare(1, 0) == first
+
+    def test_duplicates_within_one_batch_agree(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.49)
+        oracle = make_oracle(rng, values=(1.0, 1.0001), model=model)
+        ii = np.zeros(50, dtype=np.intp)
+        jj = np.ones(50, dtype=np.intp)
+        winners = oracle.compare_pairs(ii, jj)
+        assert len(set(winners.tolist())) == 1
+        assert oracle.comparisons == 1
+
+    def test_memoize_off_pays_every_time(self, rng):
+        oracle = make_oracle(rng, memoize=False)
+        oracle.compare(0, 1)
+        oracle.compare(0, 1)
+        assert oracle.comparisons == 2
+
+    def test_return_fresh_mask(self, rng):
+        oracle = make_oracle(rng)
+        winners, fresh = oracle.compare_pairs(
+            np.asarray([0, 0]), np.asarray([1, 2]), return_fresh=True
+        )
+        assert fresh.tolist() == [True, True]
+        winners, fresh = oracle.compare_pairs(
+            np.asarray([0, 0]), np.asarray([1, 3]), return_fresh=True
+        )
+        assert fresh.tolist() == [False, True]
+
+    def test_forget_clears_memo(self, rng):
+        oracle = make_oracle(rng)
+        oracle.compare(0, 1)
+        oracle.forget()
+        oracle.compare(0, 1)
+        assert oracle.comparisons == 2
+
+    def test_dict_fallback_for_large_instances(self, rng, monkeypatch):
+        monkeypatch.setattr(oracle_module, "_DENSE_MEMO_LIMIT", 2)
+        oracle = make_oracle(rng)
+        assert oracle._memo_dict is not None
+        assert oracle._memo_matrix is None
+        first = oracle.compare(0, 1)
+        assert oracle.compare(1, 0) == first
+        assert oracle.comparisons == 1
+        # fresh mask through the dict path too
+        _, fresh = oracle.compare_pairs(
+            np.asarray([0, 2]), np.asarray([1, 3]), return_fresh=True
+        )
+        assert fresh.tolist() == [False, True]
+
+
+class TestOrientation:
+    def test_first_loses_adversary_sees_request_orientation(self, rng):
+        # Two values within the threshold: the adversary makes the
+        # *queried-first* element lose; the memo then pins the outcome.
+        model = AdversarialWorkerModel(delta=10.0, policy="first_loses")
+        oracle = make_oracle(rng, values=(5.0, 5.5), model=model)
+        assert oracle.compare(0, 1) == 1  # 0 asked first -> loses
+        # Re-asking in either orientation replays the memoized outcome.
+        assert oracle.compare(1, 0) == 1
+
+    def test_first_loses_opposite_first_request(self, rng):
+        model = AdversarialWorkerModel(delta=10.0, policy="first_loses")
+        oracle = make_oracle(rng, values=(5.0, 5.5), model=model)
+        assert oracle.compare(1, 0) == 0
+
+
+class TestAccounting:
+    def test_cost_property(self, rng):
+        oracle = make_oracle(rng, cost_per_comparison=2.5)
+        oracle.compare(0, 1)
+        oracle.compare(0, 2)
+        assert oracle.cost == 5.0
+
+    def test_ledger_is_charged_per_fresh_comparison(self, rng):
+        ledger = CostLedger()
+        oracle = make_oracle(rng, cost_per_comparison=3.0, ledger=ledger, label="naive")
+        oracle.compare(0, 1)
+        oracle.compare(0, 1)  # memo hit: not charged
+        oracle.compare(1, 2)
+        assert ledger.operations("naive") == 2
+        assert ledger.money("naive") == 6.0
+
+    def test_default_label_follows_expert_flag(self, rng):
+        naive = make_oracle(rng, model=ThresholdWorkerModel(delta=0.0))
+        expert = make_oracle(rng, model=ThresholdWorkerModel(delta=0.0, is_expert=True))
+        assert naive.label == "naive"
+        assert expert.label == "expert"
+
+    def test_reset_counts_preserves_memo(self, rng):
+        oracle = make_oracle(rng)
+        oracle.compare(0, 1)
+        oracle.reset_counts()
+        assert oracle.comparisons == 0
+        oracle.compare(0, 1)  # memo hit: still free
+        assert oracle.comparisons == 0
+        assert oracle.requests == 1
+
+
+class TestInstanceInput:
+    def test_accepts_problem_instance(self, rng):
+        from repro.core.instance import ProblemInstance
+
+        instance = ProblemInstance(values=[1.0, 9.0])
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        assert oracle.compare(0, 1) == 1

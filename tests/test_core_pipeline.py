@@ -1,0 +1,91 @@
+"""Tests for repro.core.pipeline (estimate-then-find)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import planted_instance
+from repro.core.pipeline import find_max_with_estimation
+from repro.workers.expert import WorkerClass
+from repro.workers.threshold import BiasedErrorBehavior, ThresholdWorkerModel
+
+
+def classes(delta_n=1.0, delta_e=0.25, perr=0.4):
+    naive = WorkerClass(
+        "naive",
+        ThresholdWorkerModel(delta=delta_n, below=BiasedErrorBehavior(perr)),
+        1.0,
+    )
+    expert = WorkerClass(
+        "expert", ThresholdWorkerModel(delta=delta_e, is_expert=True), 20.0
+    )
+    return naive, expert
+
+
+@pytest.fixture
+def training(rng):
+    return planted_instance(
+        n=300, u_n=8, u_e=8, delta_n=1.0, delta_e=1.0, rng=rng
+    )
+
+
+@pytest.fixture
+def target(rng):
+    return planted_instance(
+        n=300, u_n=8, u_e=4, delta_n=1.0, delta_e=0.25, rng=rng
+    )
+
+
+class TestPipeline:
+    def test_with_known_perr(self, rng, training, target):
+        naive, expert = classes()
+        auto = find_max_with_estimation(
+            target, training, naive, expert, rng, perr=0.4
+        )
+        assert auto.perr_estimate is None
+        assert auto.u_n_estimate.u_n >= 1
+        assert target.distance_to_max(auto.winner) <= 2 * 0.25 + 1e-12
+
+    def test_estimates_perr_when_unknown(self, rng, training, target):
+        naive, expert = classes()
+        auto = find_max_with_estimation(
+            target, training, naive, expert, rng, probe_pairs=120
+        )
+        assert auto.perr_estimate is not None
+        assert target.max_index in auto.result.survivors
+
+    def test_estimated_u_usually_protects_the_maximum(self, rng, training):
+        naive, expert = classes()
+        survived = 0
+        trials = 8
+        for _ in range(trials):
+            target = planted_instance(
+                n=300, u_n=8, u_e=4, delta_n=1.0, delta_e=0.25, rng=rng
+            )
+            auto = find_max_with_estimation(
+                target, training, naive, expert, rng, perr=0.4
+            )
+            survived += int(target.max_index in auto.result.survivors)
+        assert survived >= trials - 1  # whp guarantee of Section 4.4
+
+    def test_accepts_raw_value_arrays(self, rng, training):
+        naive, expert = classes()
+        values = rng.uniform(0, 300, size=200)
+        auto = find_max_with_estimation(
+            values, training, naive, expert, rng, perr=0.4
+        )
+        assert 0 <= auto.winner < 200
+
+    def test_falls_back_when_no_hard_probe_pairs(self, rng, target):
+        # Perfectly separated training data: every probe reaches
+        # consensus, perr falls back conservatively, the log floor
+        # decides — the run must still complete.
+        from repro.core.instance import ProblemInstance
+
+        spread = ProblemInstance(values=np.linspace(0, 4000, 100))
+        naive, expert = classes()
+        auto = find_max_with_estimation(
+            target, spread, naive, expert, rng, probe_pairs=40
+        )
+        assert auto.perr_estimate is not None
+        assert auto.perr_estimate.perr is None
+        assert auto.u_n_estimate.log_floor_active

@@ -1,0 +1,77 @@
+"""Tests for repro.core.randomized_maxfind (Algorithm 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import uniform_instance
+from repro.core.oracle import ComparisonOracle
+from repro.core.randomized_maxfind import randomized_maxfind
+from repro.core.two_maxfind import two_maxfind
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestCorrectness:
+    def test_perfect_worker_finds_the_maximum(self, rng):
+        for n in (1, 2, 5, 40, 120):
+            values = rng.uniform(0, 100, size=n)
+            oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+            result = randomized_maxfind(oracle, rng=rng)
+            assert result.winner == int(np.argmax(values))
+
+    def test_three_delta_guarantee(self, rng):
+        # Lemma 4: d(M, e) <= 3 delta whp; check across repetitions.
+        delta = 1.0
+        violations = 0
+        for _ in range(10):
+            instance = uniform_instance(100, rng, low=0.0, high=40.0)
+            oracle = ComparisonOracle(instance, ThresholdWorkerModel(delta=delta), rng)
+            result = randomized_maxfind(oracle, rng=rng, c=1)
+            if instance.distance_to_max(result.winner) > 3.0 * delta + 1e-12:
+                violations += 1
+        assert violations == 0
+
+    def test_requires_rng(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            randomized_maxfind(oracle)
+
+    def test_rejects_negative_c(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            randomized_maxfind(oracle, rng=rng, c=-1)
+
+    def test_rejects_empty_candidates(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            randomized_maxfind(oracle, np.asarray([], dtype=np.intp), rng=rng)
+
+    def test_subset_candidates(self, rng):
+        values = np.asarray([100.0] + list(range(30)), dtype=float)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = randomized_maxfind(oracle, np.arange(1, 31), rng=rng)
+        assert result.winner == 30  # element with value 29
+
+
+class TestTelemetry:
+    def test_result_fields(self, rng):
+        instance = uniform_instance(64, rng)
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        result = randomized_maxfind(oracle, rng=rng)
+        assert result.n_rounds == len(result.round_sizes)
+        assert result.pool_size >= 1
+        assert result.comparisons >= 0
+
+
+class TestPaperClaim:
+    def test_constants_dominate_at_practical_sizes(self, rng):
+        # Section 4.1.2: "the constants are so high that for the values
+        # of n of our interest they lead to a much higher cost" than
+        # 2-MaxFind.
+        instance = uniform_instance(120, rng)
+        model = ThresholdWorkerModel(delta=1.0)
+        oracle_a = ComparisonOracle(instance, model, rng)
+        randomized = randomized_maxfind(oracle_a, rng=rng).comparisons
+        oracle_b = ComparisonOracle(instance, model, rng)
+        deterministic = two_maxfind(oracle_b).comparisons
+        assert randomized > deterministic

@@ -1,0 +1,91 @@
+"""Tests for repro.core.selection (approximate k-th element)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import ComparisonOracle
+from repro.core.selection import approximate_median, borda_select, quick_select
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestQuickSelect:
+    def test_exact_for_every_rank_with_perfect_workers(self, rng):
+        values = rng.permutation(np.arange(25, dtype=float))
+        order = np.argsort(-values)
+        for k in (1, 2, 13, 24, 25):
+            oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+            assert quick_select(oracle, k, rng) == order[k - 1]
+
+    def test_threshold_selection_is_close(self, rng):
+        delta = 2.0
+        values = rng.uniform(0, 200, size=80)
+        for k in (1, 40, 80):
+            oracle = ComparisonOracle(values, ThresholdWorkerModel(delta=delta), rng)
+            chosen = quick_select(oracle, k, rng)
+            true_kth_value = np.sort(values)[::-1][k - 1]
+            # close in value: within a few deltas of the true k-th
+            assert abs(values[chosen] - true_kth_value) <= 8 * delta
+
+    def test_validation(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            quick_select(oracle, 0, rng)
+        with pytest.raises(ValueError):
+            quick_select(oracle, 3, rng)
+        with pytest.raises(ValueError):
+            quick_select(oracle, 1, rng, np.asarray([], dtype=np.intp))
+
+    def test_subset(self, rng):
+        values = np.asarray([100.0, 5.0, 3.0, 1.0])
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        assert quick_select(oracle, 1, rng, np.asarray([1, 2, 3])) == 1
+
+
+class TestBordaSelect:
+    def test_exact_with_perfect_workers(self, rng):
+        values = rng.permutation(np.arange(20, dtype=float))
+        order = np.argsort(-values)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        for k in (1, 10, 20):
+            assert borda_select(oracle, k) == order[k - 1]
+
+    def test_validation(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            borda_select(oracle, 5)
+
+
+class TestApproximateMedian:
+    def test_odd_size_exact(self, rng):
+        values = rng.permutation(np.arange(21, dtype=float))
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        median = approximate_median(oracle, rng)
+        assert values[median] == 10.0
+
+    def test_empty_rejected(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            approximate_median(oracle, rng, np.asarray([], dtype=np.intp))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+        unique=True,
+    ),
+    k_fraction=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_quickselect_exact_with_perfect_comparator(values, k_fraction, seed):
+    arr = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    k = max(1, min(len(arr), int(round(k_fraction * len(arr)))))
+    oracle = ComparisonOracle(arr, PerfectWorkerModel(), rng)
+    chosen = quick_select(oracle, k, rng)
+    assert arr[chosen] == np.sort(arr)[::-1][k - 1]

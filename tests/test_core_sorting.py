@@ -1,0 +1,123 @@
+"""Tests for repro.core.sorting (approximate sorting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.oracle import ComparisonOracle
+from repro.core.sorting import borda_sort, dislocation, max_dislocation, quick_sort
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestDislocation:
+    def test_perfect_order_has_zero_dislocation(self):
+        values = np.asarray([3.0, 1.0, 2.0])
+        assert max_dislocation(values, np.asarray([0, 2, 1])) == 0
+
+    def test_reversed_order(self):
+        values = np.asarray([1.0, 2.0, 3.0])
+        d = dislocation(values, np.asarray([0, 1, 2]))  # worst first
+        assert d.tolist() == [2, 0, 2]
+
+    def test_tied_values_are_interchangeable(self):
+        values = np.asarray([5.0, 5.0, 1.0])
+        assert max_dislocation(values, np.asarray([1, 0, 2])) == 0
+        assert max_dislocation(values, np.asarray([0, 1, 2])) == 0
+
+    def test_rejects_non_permutations(self):
+        values = np.asarray([1.0, 2.0])
+        with pytest.raises(ValueError):
+            dislocation(values, np.asarray([0, 0]))
+
+
+class TestBordaSort:
+    def test_exact_with_perfect_workers(self, rng):
+        values = rng.uniform(0, 100, size=40)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        order = borda_sort(oracle)
+        assert max_dislocation(values, order) == 0
+
+    def test_single_element(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        assert borda_sort(oracle, np.asarray([1])).tolist() == [1]
+
+    def test_rejects_empty(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            borda_sort(oracle, np.asarray([], dtype=np.intp))
+
+    def test_dislocation_bounded_by_neighbourhood(self, rng):
+        # Under T(delta, 0), an element can only be outranked by
+        # elements within delta of it (hard pairs) or truly better ones,
+        # so its dislocation is at most its delta-neighbourhood size.
+        delta = 3.0
+        values = np.sort(rng.uniform(0, 200, size=60))
+        oracle = ComparisonOracle(values, ThresholdWorkerModel(delta=delta), rng)
+        order = borda_sort(oracle)
+        d = dislocation(values, order)
+        for out_pos, element in enumerate(order):
+            neighbourhood = int(
+                np.count_nonzero(np.abs(values - values[element]) <= delta)
+            )
+            assert d[out_pos] <= neighbourhood
+
+    def test_deterministic_under_memoized_replay(self, rng):
+        values = rng.uniform(0, 10, size=20)
+        oracle = ComparisonOracle(values, ThresholdWorkerModel(delta=2.0), rng)
+        first = borda_sort(oracle)
+        second = borda_sort(oracle)  # all comparisons memoized
+        assert first.tolist() == second.tolist()
+
+
+class TestQuickSort:
+    def test_exact_with_perfect_workers(self, rng):
+        values = rng.uniform(0, 100, size=80)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        order = quick_sort(oracle, rng)
+        assert max_dislocation(values, order) == 0
+
+    def test_output_is_a_permutation(self, rng):
+        values = rng.uniform(0, 10, size=50)
+        oracle = ComparisonOracle(values, ThresholdWorkerModel(delta=1.0), rng)
+        order = quick_sort(oracle, rng)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_cheaper_than_borda(self, rng):
+        values = rng.uniform(0, 1000, size=120)
+        model = PerfectWorkerModel()
+        quick_oracle = ComparisonOracle(values, model, rng)
+        quick_sort(quick_oracle, rng)
+        borda_oracle = ComparisonOracle(values, model, rng)
+        borda_sort(borda_oracle)
+        assert quick_oracle.comparisons < borda_oracle.comparisons
+
+    def test_subset(self, rng):
+        values = np.asarray([5.0, 1.0, 9.0, 3.0])
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        order = quick_sort(oracle, rng, np.asarray([1, 2, 3]))
+        assert order.tolist() == [2, 3, 1]
+
+    def test_rejects_empty(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            quick_sort(oracle, rng, np.asarray([], dtype=np.intp))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_both_sorts_exact_with_perfect_comparator(values, seed):
+    arr = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    oracle = ComparisonOracle(arr, PerfectWorkerModel(), rng)
+    assert max_dislocation(arr, borda_sort(oracle)) == 0
+    oracle2 = ComparisonOracle(arr, PerfectWorkerModel(), rng)
+    assert max_dislocation(arr, quick_sort(oracle2, rng)) == 0

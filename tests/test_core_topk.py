@@ -1,0 +1,94 @@
+"""Tests for repro.core.topk (top-k extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import planted_instance
+from repro.core.topk import find_top_k
+from repro.platform.accounting import CostLedger
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.expert import WorkerClass, make_worker_classes
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+def perfect_classes():
+    return (
+        WorkerClass("naive", PerfectWorkerModel(is_expert=False), 1.0),
+        WorkerClass("expert", PerfectWorkerModel(), 20.0),
+    )
+
+
+class TestExactWorkers:
+    def test_recovers_the_true_top_k(self, rng):
+        values = rng.permutation(np.arange(100, dtype=float))
+        naive, expert = perfect_classes()
+        result = find_top_k(values, naive, expert, k=5, u_n=1, rng=rng)
+        expected = list(np.argsort(-values)[:5])
+        assert result.ranking == expected
+
+    def test_k_one_is_max_finding(self, rng):
+        values = rng.uniform(0, 100, size=60)
+        naive, expert = perfect_classes()
+        result = find_top_k(values, naive, expert, k=1, u_n=1, rng=rng)
+        assert result.ranking == [int(np.argmax(values))]
+        assert result.winner == int(np.argmax(values))
+
+
+class TestThresholdWorkers:
+    def test_all_true_top_k_survive_phase1(self, rng):
+        k = 3
+        naive, expert = make_worker_classes(delta_n=1.0, delta_e=0.25)
+        for _ in range(5):
+            instance = planted_instance(
+                n=400, u_n=8, u_e=4, delta_n=1.0, delta_e=0.25, rng=rng
+            )
+            result = find_top_k(instance, naive, expert, k=k, u_n=8, rng=rng)
+            survivors = set(result.survivors.tolist())
+            for element in instance.top_indices(k):
+                assert int(element) in survivors
+
+    def test_returned_elements_are_near_the_top(self, rng):
+        k = 3
+        naive, expert = make_worker_classes(delta_n=1.0, delta_e=0.25)
+        instance = planted_instance(
+            n=400, u_n=8, u_e=4, delta_n=1.0, delta_e=0.25, rng=rng
+        )
+        result = find_top_k(instance, naive, expert, k=k, u_n=8, rng=rng)
+        assert len(result.ranking) == k
+        assert len(set(result.ranking)) == k
+        # each returned element is within 2 delta_e + (k-th gap) of the top
+        kth_value = instance.values[instance.top_indices(k)[-1]]
+        for element in result.ranking:
+            assert instance.values[element] >= kth_value - 2 * 0.25 - 1e-9
+
+
+class TestAccounting:
+    def test_cost_and_ledger(self, rng):
+        naive, expert = perfect_classes()
+        ledger = CostLedger()
+        values = rng.uniform(0, 100, size=80)
+        result = find_top_k(values, naive, expert, k=4, u_n=2, rng=rng, ledger=ledger)
+        assert result.cost == pytest.approx(ledger.total_cost)
+        assert result.naive_comparisons == ledger.operations("naive")
+        assert result.expert_comparisons == ledger.operations("expert")
+
+
+class TestEdgeCases:
+    def test_k_larger_than_survivors_pads_from_survivor_set(self, rng):
+        # Perfect workers with u_n = 1 leave a single survivor; k = 1
+        # only, so asking for k close to n exercises the padding path.
+        naive, expert = perfect_classes()
+        values = np.asarray([3.0, 1.0, 2.0])
+        result = find_top_k(values, naive, expert, k=3, u_n=1, rng=rng)
+        assert result.ranking[0] == 0
+        assert len(result.ranking) <= 3
+
+    def test_validation(self, rng):
+        naive, expert = perfect_classes()
+        values = np.asarray([1.0, 2.0])
+        with pytest.raises(ValueError):
+            find_top_k(values, naive, expert, k=0, u_n=1, rng=rng)
+        with pytest.raises(ValueError):
+            find_top_k(values, naive, expert, k=1, u_n=0, rng=rng)
+        with pytest.raises(ValueError):
+            find_top_k(values, naive, expert, k=5, u_n=1, rng=rng)

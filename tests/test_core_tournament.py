@@ -1,0 +1,92 @@
+"""Tests for repro.core.tournament."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ComparisonOracle
+from repro.core.tournament import all_pairs, play_all_play_all, tournament_winner
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+def perfect_oracle(rng, values):
+    return ComparisonOracle(np.asarray(values, dtype=float), PerfectWorkerModel(), rng)
+
+
+class TestAllPairs:
+    def test_pair_count(self):
+        ii, jj = all_pairs(np.asarray([3, 1, 4, 1]))
+        assert len(ii) == len(jj) == 6
+
+    def test_small_inputs(self):
+        for elements in ([], [7]):
+            ii, jj = all_pairs(np.asarray(elements, dtype=np.intp))
+            assert len(ii) == 0
+
+    def test_pairs_use_element_ids_not_positions(self):
+        ii, jj = all_pairs(np.asarray([10, 20]))
+        assert ii.tolist() == [10]
+        assert jj.tolist() == [20]
+
+
+class TestPlayAllPlayAll:
+    def test_wins_sum_to_pair_count(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0, 8.0, 1.0])
+        result = play_all_play_all(oracle, np.arange(4))
+        assert result.wins.sum() == result.n_pairs == 6
+
+    def test_perfect_worker_gives_true_ordering(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0, 8.0, 1.0])
+        result = play_all_play_all(oracle, np.arange(4))
+        assert result.winner == 2
+        assert result.wins.tolist() == [2, 1, 3, 0]
+
+    def test_losses_complement_wins(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0, 8.0])
+        result = play_all_play_all(oracle, np.arange(3))
+        assert (result.wins + result.losses).tolist() == [2, 2, 2]
+
+    def test_single_element_tournament(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0])
+        result = play_all_play_all(oracle, np.asarray([1]))
+        assert result.winner == 1
+        assert result.n_pairs == 0
+
+    def test_empty_tournament_rejected(self, rng):
+        oracle = perfect_oracle(rng, [5.0])
+        with pytest.raises(ValueError):
+            play_all_play_all(oracle, np.asarray([], dtype=np.intp))
+
+    def test_subset_tournament(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0, 8.0, 9.0])
+        result = play_all_play_all(oracle, np.asarray([0, 1, 2]))
+        assert result.winner == 2  # 9.0 not playing
+
+    def test_fresh_losses_only_counted_once(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0, 8.0])
+        first = play_all_play_all(oracle, np.arange(3))
+        assert first.fresh_losses.sum() == 3
+        replay = play_all_play_all(oracle, np.arange(3))
+        assert replay.fresh_losses.sum() == 0  # all memoized now
+        assert replay.wins.tolist() == first.wins.tolist()
+
+    def test_with_wins_at_least(self, rng):
+        oracle = perfect_oracle(rng, [5.0, 2.0, 8.0, 1.0])
+        result = play_all_play_all(oracle, np.arange(4))
+        assert set(result.with_wins_at_least(2).tolist()) == {0, 2}
+
+
+class TestTournamentWinner:
+    def test_winner_shortcut(self, rng):
+        oracle = perfect_oracle(rng, [1.0, 9.0, 3.0])
+        assert tournament_winner(oracle, np.arange(3)) == 1
+
+    def test_threshold_worker_winner_is_near_max(self, rng):
+        # All values within delta: any winner is legal; just ensure
+        # the tournament completes and returns a participant.
+        values = [1.0, 1.1, 1.2, 1.3]
+        oracle = ComparisonOracle(
+            np.asarray(values), ThresholdWorkerModel(delta=2.0), rng
+        )
+        winner = tournament_winner(oracle, np.arange(4))
+        assert winner in range(4)

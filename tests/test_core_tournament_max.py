@@ -1,0 +1,98 @@
+"""Tests for repro.core.tournament_max (Venetis-style baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ComparisonOracle
+from repro.core.tournament_max import tournament_max
+from repro.workers.aggregation import MajorityOfKModel
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.probabilistic import FixedErrorWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestStructure:
+    def test_perfect_workers_crown_the_maximum(self, rng):
+        for n in (1, 2, 3, 8, 33, 64):
+            values = rng.uniform(0, 100, size=n)
+            oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+            result = tournament_max(oracle)
+            assert result.winner == int(np.argmax(values))
+
+    def test_round_count_is_logarithmic(self, rng):
+        values = rng.uniform(0, 100, size=64)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = tournament_max(oracle, fan_in=2)
+        assert result.n_rounds == 6  # log2(64)
+
+    def test_larger_fan_in_fewer_rounds(self, rng):
+        values = rng.uniform(0, 100, size=64)
+        oracle_a = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        rounds_2 = tournament_max(oracle_a, fan_in=2).n_rounds
+        oracle_b = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        rounds_8 = tournament_max(oracle_b, fan_in=8).n_rounds
+        assert rounds_8 < rounds_2
+
+    def test_comparison_count_single_elim(self, rng):
+        # fan-in 2, n a power of two: exactly n - 1 matches.
+        values = rng.uniform(0, 100, size=32)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = tournament_max(oracle, fan_in=2)
+        assert result.comparisons == 31
+
+    def test_byes_are_handled(self, rng):
+        values = rng.uniform(0, 100, size=13)  # odd entrants -> byes
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = tournament_max(oracle, fan_in=2)
+        assert result.winner == int(np.argmax(values))
+
+    def test_subset(self, rng):
+        values = np.asarray([100.0, 1.0, 2.0, 3.0])
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = tournament_max(oracle, np.asarray([1, 2, 3]))
+        assert result.winner == 3
+
+    def test_validation(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            tournament_max(oracle, fan_in=1)
+        with pytest.raises(ValueError):
+            tournament_max(oracle, redundancy=0)
+        with pytest.raises(ValueError):
+            tournament_max(oracle, np.asarray([], dtype=np.intp))
+
+
+class TestErrorModels:
+    def test_redundancy_helps_in_the_probabilistic_model(self, rng):
+        noisy = FixedErrorWorkerModel(error_probability=0.35)
+        wins_single = 0
+        wins_redundant = 0
+        trials = 30
+        for _ in range(trials):
+            values = rng.uniform(0, 100, size=16)
+            best = int(np.argmax(values))
+            oracle = ComparisonOracle(values, noisy, rng, memoize=False)
+            wins_single += int(tournament_max(oracle, redundancy=1).winner == best)
+            amplified = MajorityOfKModel(noisy, k=9, is_expert=False)
+            oracle2 = ComparisonOracle(values, amplified, rng)
+            wins_redundant += int(tournament_max(oracle2).winner == best)
+        assert wins_redundant > wins_single
+
+    def test_threshold_barrier_persists(self, rng):
+        # All values within delta: any winner is equally likely; the
+        # winner must still be a valid entrant and termination holds.
+        values = rng.uniform(0.0, 0.5, size=32)
+        model = ThresholdWorkerModel(delta=1.0)
+        amplified = MajorityOfKModel(model, k=7, is_expert=False)
+        oracle = ComparisonOracle(values, amplified, rng)
+        result = tournament_max(oracle, rng=rng)
+        assert 0 <= result.winner < 32
+
+    def test_telemetry(self, rng):
+        values = rng.uniform(0, 100, size=20)
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = tournament_max(oracle, fan_in=4)
+        assert result.rounds[0].entrants == 20
+        entrant_counts = [r.entrants for r in result.rounds]
+        assert entrant_counts == sorted(entrant_counts, reverse=True)
+        assert sum(r.comparisons for r in result.rounds) == result.comparisons

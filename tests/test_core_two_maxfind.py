@@ -1,0 +1,109 @@
+"""Tests for repro.core.two_maxfind (Algorithm 3, 2-MaxFind)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import two_maxfind_comparisons_upper_bound
+from repro.core.generators import adversarial_instance, uniform_instance
+from repro.core.oracle import ComparisonOracle
+from repro.core.two_maxfind import two_maxfind
+from repro.workers.adversarial import AdversarialWorkerModel
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestExactCorrectness:
+    def test_perfect_worker_finds_the_maximum(self, rng):
+        for n in (1, 2, 3, 7, 30, 100):
+            values = rng.uniform(0, 1000, size=n)
+            oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+            result = two_maxfind(oracle)
+            assert result.winner == int(np.argmax(values))
+
+    def test_single_candidate_short_circuit(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0, 2.0]), PerfectWorkerModel(), rng)
+        result = two_maxfind(oracle, np.asarray([0]))
+        assert result.winner == 0
+        assert result.comparisons == 0
+
+    def test_rejects_empty_candidates(self, rng):
+        oracle = ComparisonOracle(np.asarray([1.0]), PerfectWorkerModel(), rng)
+        with pytest.raises(ValueError):
+            two_maxfind(oracle, np.asarray([], dtype=np.intp))
+
+    def test_subset_candidates(self, rng):
+        values = np.asarray([100.0, 1.0, 2.0, 3.0])
+        oracle = ComparisonOracle(values, PerfectWorkerModel(), rng)
+        result = two_maxfind(oracle, np.asarray([1, 2, 3]))
+        assert result.winner == 3
+
+
+class TestModelGuarantee:
+    def test_returns_within_two_delta_of_maximum(self, rng):
+        # Ajtai guarantee: d(M, e) <= 2 delta under T(delta, 0).
+        delta = 1.0
+        for _ in range(10):
+            instance = uniform_instance(200, rng, low=0.0, high=50.0)
+            oracle = ComparisonOracle(instance, ThresholdWorkerModel(delta=delta), rng)
+            result = two_maxfind(oracle)
+            assert instance.distance_to_max(result.winner) <= 2.0 * delta + 1e-12
+
+    def test_comparison_bound(self, rng):
+        for s in (10, 50, 150):
+            instance = uniform_instance(s, rng)
+            oracle = ComparisonOracle(instance, ThresholdWorkerModel(delta=1.0), rng)
+            result = two_maxfind(oracle)
+            assert result.comparisons <= two_maxfind_comparisons_upper_bound(s)
+
+    def test_random_pivot_sampling(self, rng):
+        instance = uniform_instance(60, rng)
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        result = two_maxfind(oracle, rng=rng)
+        assert result.winner == instance.max_index
+
+
+class TestAdversarial:
+    def test_makes_progress_against_first_loses_adversary(self, rng):
+        instance = adversarial_instance(n=80, u_n=8, delta_n=1.0, rng=rng)
+        model = AdversarialWorkerModel(delta=1.0, policy="first_loses")
+        oracle = ComparisonOracle(instance, model, rng)
+        result = two_maxfind(oracle)
+        # Termination with a sane budget is the point; the adversary
+        # forces close to the upper bound.
+        assert result.comparisons <= two_maxfind_comparisons_upper_bound(80)
+        assert result.comparisons > 80  # far above the best case
+
+    def test_adversarial_costs_more_than_average(self, rng):
+        n = 80
+        adv_instance = adversarial_instance(n=n, u_n=8, delta_n=1.0, rng=rng)
+        adv_oracle = ComparisonOracle(
+            adv_instance, AdversarialWorkerModel(delta=1.0), rng
+        )
+        adv = two_maxfind(adv_oracle).comparisons
+
+        avg_instance = uniform_instance(n, rng)
+        avg_oracle = ComparisonOracle(
+            avg_instance, ThresholdWorkerModel(delta=1.0), rng
+        )
+        avg = two_maxfind(avg_oracle).comparisons
+        assert adv > avg
+
+
+class TestTelemetry:
+    def test_round_records(self, rng):
+        instance = uniform_instance(100, rng)
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        result = two_maxfind(oracle)
+        assert result.n_rounds == len(result.rounds)
+        for record in result.rounds:
+            assert record.candidates_before >= 1
+            assert record.eliminated >= 0
+
+    def test_comparisons_scoped_to_this_call(self, rng):
+        instance = uniform_instance(50, rng)
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        first = two_maxfind(oracle)
+        # Re-running on the same memoized oracle is nearly free.
+        second = two_maxfind(oracle)
+        assert second.winner == first.winner
+        assert second.comparisons <= first.comparisons

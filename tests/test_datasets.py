@@ -1,0 +1,135 @@
+"""Tests for repro.datasets (DOTS, CARS, search results)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.cars import (
+    MIN_PRICE_GAP,
+    TABLE2_CARS,
+    CarRecord,
+    cars_catalog,
+    cars_instance,
+)
+from repro.datasets.dots import DotImage, dots_counts, dots_instance
+from repro.datasets.search import SEARCH_QUERIES, search_instance
+
+
+class TestDots:
+    def test_counts_progression(self):
+        counts = dots_counts(5, start=100, step=20)
+        assert counts.tolist() == [100, 120, 140, 160, 180]
+
+    def test_min_finding_convention(self):
+        instance = dots_instance(10)
+        # max-finding on negated counts == picking the fewest dots
+        assert instance.payload(instance.max_index).dot_count == 100
+
+    def test_max_finding_variant(self):
+        instance = dots_instance(10, minimize=False)
+        assert instance.payload(instance.max_index).dot_count == 280
+
+    def test_positions_generation(self, rng):
+        instance = dots_instance(3, rng=rng, with_positions=True)
+        image = instance.payload(0)
+        assert image.positions.shape == (image.dot_count, 2)
+
+    def test_positions_require_rng(self):
+        with pytest.raises(ValueError):
+            dots_instance(3, with_positions=True)
+
+    def test_dot_image_validation(self):
+        with pytest.raises(ValueError):
+            DotImage(item_id=0, dot_count=0)
+        with pytest.raises(ValueError):
+            DotImage(item_id=0, dot_count=5, positions=np.zeros((3, 2)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dots_counts(0)
+        with pytest.raises(ValueError):
+            dots_counts(5, start=0)
+
+
+class TestCars:
+    def test_catalog_size_and_range(self):
+        catalog = cars_catalog(n_cars=110)
+        assert len(catalog) == 110
+        prices = [car.price for car in catalog]
+        assert min(prices) >= 14_000
+        assert max(prices) == 123_985  # the 2013 BMW M6
+
+    def test_table2_cars_are_verbatim(self):
+        catalog = cars_catalog(n_cars=110)
+        for k, (year, make, model, price) in enumerate(TABLE2_CARS):
+            assert catalog[k].year == year
+            assert catalog[k].make == make
+            assert catalog[k].price == price
+
+    def test_pairwise_price_gap_invariant(self):
+        # "For every pair of cars the difference in price is at least $500."
+        prices = sorted(car.price for car in cars_catalog(n_cars=110))
+        gaps = [b - a for a, b in zip(prices, prices[1:])]
+        assert min(gaps) >= MIN_PRICE_GAP
+
+    def test_deterministic_without_rng(self):
+        a = cars_catalog(n_cars=60)
+        b = cars_catalog(n_cars=60)
+        assert [c.price for c in a] == [c.price for c in b]
+
+    def test_filler_prices_match_make_tier(self):
+        # No budget make should carry a luxury price: every filler above
+        # $45K must come from the premium tier pool.
+        premium_makes = {
+            "Lexus", "BMW", "Audi", "Mercedes-Benz", "Porsche", "Land Rover",
+            "Jaguar", "Cadillac", "Lincoln", "Infiniti",
+        }
+        for car in cars_catalog(n_cars=110)[len(TABLE2_CARS):]:
+            if car.price >= 45_000:
+                assert car.make in premium_makes, (car.make, car.price)
+
+    def test_instance_value_is_price(self):
+        instance = cars_instance(n_cars=60)
+        assert instance.values[0] == instance.payload(0).price
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            CarRecord(item_id=0, year=2013, make="X", model="Y", body="sedan", price=0)
+
+    def test_rejects_too_small_catalog(self):
+        with pytest.raises(ValueError):
+            cars_catalog(n_cars=5)
+
+
+class TestSearch:
+    def test_best_result_is_unique_and_clear(self, rng):
+        instance = search_instance(SEARCH_QUERIES[0], rng)
+        values = np.sort(instance.values)[::-1]
+        assert values[0] - values[1] >= 0.1  # the best_gap
+
+    def test_structure(self, rng):
+        instance = search_instance("some query", rng, n_results=50, top_of=100)
+        assert instance.n == 50
+        positions = [r.serp_position for r in instance.payloads]
+        assert len(set(positions)) == 50
+        assert max(positions) <= 100
+        assert min(positions) >= 1
+
+    def test_fuzzy_middle_exists(self, rng):
+        # Several strong results within the mid band of the runner-up.
+        instance = search_instance("q", rng)
+        values = np.sort(instance.values)[::-1]
+        band = values[(values >= values[1] - 0.08) & (values < values[0])]
+        assert len(band) >= 3
+
+    def test_relevance_in_unit_interval(self, rng):
+        instance = search_instance("q", rng)
+        assert instance.values.min() >= 0.0
+        assert instance.values.max() <= 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            search_instance("q", rng, n_results=3)
+        with pytest.raises(ValueError):
+            search_instance("q", rng, n_results=200, top_of=100)
+        with pytest.raises(ValueError):
+            search_instance("q", rng, best_gap=0.9)

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are part of the public contract; these tests execute each one
+in a subprocess (exactly as a user would) and assert a clean exit plus
+a sanity marker in the output.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = {
+    "quickstart.py": "Alg 1 returned an element",
+    "photo_contest.py": "Winning photo",
+    "car_pricing.py": "the dealer picked",
+    "search_evaluation.py": "estimated u_n(50)",
+    "talent_cascade.py": "Cascade winner",
+    "crowd_query.py": "TOP-5 answer",
+}
+
+
+@pytest.mark.parametrize("script,marker", sorted(EXAMPLES.items()))
+def test_example_runs_clean(script, marker):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert marker in completed.stdout, (
+        f"{script} output missing marker {marker!r}:\n{completed.stdout[-2000:]}"
+    )
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXAMPLES), (
+        "examples on disk and the smoke-test roster diverged; "
+        f"disk={sorted(on_disk)}"
+    )

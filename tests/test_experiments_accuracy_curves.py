@@ -1,0 +1,74 @@
+"""Tests for the Figure 2 reproduction (accuracy curves)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.accuracy_curves import (
+    CARS_BUCKETS,
+    DOTS_BUCKETS,
+    run_accuracy_curves,
+    run_figure2_cars,
+    run_figure2_dots,
+)
+
+
+@pytest.fixture(scope="module")
+def dots_figure():
+    return run_figure2_dots(np.random.default_rng(7), n_pairs=120)
+
+
+@pytest.fixture(scope="module")
+def cars_figure():
+    return run_figure2_cars(np.random.default_rng(7), n_pairs=160)
+
+
+class TestDotsPanel:
+    def test_structure(self, dots_figure):
+        assert dots_figure.x_values == list(range(1, 22, 2))
+        assert len(dots_figure.series) == len(DOTS_BUCKETS)
+
+    def test_wisdom_of_crowds_shape(self, dots_figure):
+        # Every bucket's 21-worker accuracy dominates its single-worker
+        # accuracy and ends high: the Figure 2(a) shape.
+        for label, ys in dots_figure.series.items():
+            assert ys[-1] >= ys[0] - 0.05, label
+            assert ys[-1] >= 0.8, label
+
+    def test_easiest_bucket_is_near_perfect(self, dots_figure):
+        easiest = [s for s in dots_figure.series if "0.3" in s and "inf" in s][0]
+        assert min(dots_figure.series[easiest]) > 0.95
+
+
+class TestCarsPanel:
+    def test_structure(self, cars_figure):
+        assert len(cars_figure.series) == len(CARS_BUCKETS)
+
+    def test_threshold_plateau_shape(self, cars_figure):
+        # Hard buckets plateau well below 1 even at 21 workers ...
+        hard = [s for s in cars_figure.series if s.startswith("[0,0.1]")][0]
+        assert cars_figure.series[hard][-1] < 0.8
+        # ... while the easiest bucket converges to ~1.
+        easy = [s for s in cars_figure.series if s.startswith("(0.5")][0]
+        assert cars_figure.series[easy][-1] > 0.95
+
+    def test_medium_plateau_above_hard(self, cars_figure):
+        hard = [s for s in cars_figure.series if s.startswith("[0,0.1]")][0]
+        medium = [s for s in cars_figure.series if s.startswith("(0.1,0.2]")][0]
+        assert cars_figure.series[medium][-1] > cars_figure.series[hard][-1]
+
+
+class TestDispatch:
+    def test_by_name(self):
+        rng = np.random.default_rng(3)
+        figure = run_accuracy_curves("dots", rng, n_pairs=40)
+        assert figure.figure_id == "fig2a"
+        figure = run_accuracy_curves("cars", rng, n_pairs=40)
+        assert figure.figure_id == "fig2b"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            run_accuracy_curves("birds", np.random.default_rng(0))
+
+    def test_even_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            run_figure2_dots(np.random.default_rng(0), max_workers=10)

@@ -1,0 +1,55 @@
+"""Tests for repro.experiments.base (result containers)."""
+
+import pytest
+
+from repro.experiments.base import FigureResult, TableResult
+
+
+class TestFigureResult:
+    def test_series_alignment_enforced(self):
+        figure = FigureResult(
+            figure_id="f", title="t", x_label="n", x_values=[1, 2, 3]
+        )
+        with pytest.raises(ValueError):
+            figure.add_series("bad", [1, 2])
+        figure.add_series("good", [1, 2, 3])
+        assert figure.series["good"] == [1, 2, 3]
+
+    def test_to_text_contains_everything(self):
+        figure = FigureResult(
+            figure_id="fig9", title="demo", x_label="n", x_values=[1, 2]
+        )
+        figure.add_series("curve", [10, 20])
+        figure.notes.append("hello")
+        text = figure.to_text()
+        assert "[fig9]" in text
+        assert "curve" in text
+        assert "note: hello" in text
+
+    def test_to_csv(self, tmp_path):
+        figure = FigureResult(
+            figure_id="f", title="t", x_label="n", x_values=[1, 2]
+        )
+        figure.add_series("a", [5, 6])
+        path = figure.to_csv(tmp_path / "f.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "n,a"
+        assert lines[1] == "1,5"
+
+
+class TestTableResult:
+    def test_row_alignment_enforced(self):
+        table = TableResult(table_id="t", title="t", headers=["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+        table.add_row([1, 2])
+        assert table.rows == [[1, 2]]
+
+    def test_to_text_and_csv(self, tmp_path):
+        table = TableResult(table_id="t1", title="demo", headers=["x"])
+        table.add_row(["cell"])
+        table.notes.append("n")
+        text = table.to_text()
+        assert "[t1]" in text and "cell" in text and "note: n" in text
+        path = table.to_csv(tmp_path / "t.csv")
+        assert path.read_text().startswith("x")

@@ -1,0 +1,35 @@
+"""Tests for the baseline shoot-out experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.baselines import run_baseline_shootout
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_baseline_shootout(np.random.default_rng(4), n=300, trials=3)
+
+
+class TestBaselineShootout:
+    def test_six_rows(self, table):
+        assert len(table.rows) == 6
+
+    def test_both_error_models_present(self, table):
+        models = {row[0] for row in table.rows}
+        assert models == {"probabilistic", "threshold"}
+
+    def test_expert_aware_beats_naive_baselines_in_threshold_regime(self, table):
+        threshold_rows = {row[1]: row for row in table.rows if row[0] == "threshold"}
+        alg1 = threshold_rows["Alg 1 (expert-aware)"]
+        tournament = next(v for k, v in threshold_rows.items() if k.startswith("tournament"))
+        assert alg1[2] <= tournament[2]  # rank: lower is better
+
+    def test_expert_aware_cheaper_than_expert_only(self, table):
+        threshold_rows = {row[1]: row for row in table.rows if row[0] == "threshold"}
+        alg1 = threshold_rows["Alg 1 (expert-aware)"]
+        expert_only = threshold_rows["2-MaxFind-expert"]
+        assert alg1[3] < expert_only[3]
+
+    def test_costs_positive(self, table):
+        assert all(row[3] > 0 for row in table.rows)

@@ -1,0 +1,38 @@
+"""Tests for the budget-planning experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.budget_planning import run_budget_planning
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_budget_planning(np.random.default_rng(0))
+
+
+class TestBudgetPlanning:
+    def test_easy_accuracy_climbs_with_budget(self, table):
+        accuracies = [row[2] for row in table.rows]
+        assert accuracies == sorted(accuracies)
+        assert accuracies[-1] > accuracies[0]
+
+    def test_hard_accuracy_is_flat_at_half(self, table):
+        for row in table.rows:
+            assert row[4] == pytest.approx(0.5)
+            assert row[3] == 1  # the planner buys a single vote
+
+    def test_easy_votes_grow_with_budget(self, table):
+        votes = [row[1] for row in table.rows]
+        assert votes == sorted(votes)
+        assert all(v % 2 == 1 for v in votes)
+
+    def test_expert_affordability_column(self, table):
+        # the same money buys budget / (n * ratio) expert votes
+        first = table.rows[0]
+        assert first[5] == int(first[0] // (50 * 10.0))
+
+    def test_deterministic(self):
+        a = run_budget_planning(np.random.default_rng(1))
+        b = run_budget_planning(np.random.default_rng(2))
+        assert a.rows == b.rows

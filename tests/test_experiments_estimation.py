@@ -1,0 +1,82 @@
+"""Tests for the Section 5.2 estimation sweep (Figs 6, 7, 10)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.estimation_sweep import (
+    EstimationConfig,
+    figure6_from_estimation,
+    figure7_from_estimation,
+    figure10_from_estimation,
+    run_estimation_sweep,
+    survival_table,
+)
+
+
+@pytest.fixture(scope="module")
+def estimation_data():
+    config = EstimationConfig(
+        ns=(300, 600), u_n=10, u_e=4, factors=(0.2, 0.8, 1.0, 2.0), trials=6
+    )
+    return run_estimation_sweep(config, np.random.default_rng(21))
+
+
+class TestSweep:
+    def test_cells_cover_the_grid(self, estimation_data):
+        assert set(estimation_data.cells) == {
+            (n, f) for n in (300, 600) for f in (0.2, 0.8, 1.0, 2.0)
+        }
+
+    def test_estimated_u_values(self, estimation_data):
+        assert estimation_data.cell(300, 0.2).estimated_u_n == 2
+        assert estimation_data.cell(300, 2.0).estimated_u_n == 20
+
+    def test_survival_monotone_in_factor(self, estimation_data):
+        low = sum(estimation_data.cell(n, 0.2).max_survived for n in (300, 600))
+        exact = sum(estimation_data.cell(n, 1.0).max_survived for n in (300, 600))
+        high = sum(estimation_data.cell(n, 2.0).max_survived for n in (300, 600))
+        assert low <= exact <= high
+        assert exact == 12  # with the true u_n the maximum always survives
+
+    def test_cost_grows_with_factor(self, estimation_data):
+        for n in (300, 600):
+            cheap = estimation_data.cell(n, 0.2).mean("naive")
+            exact = estimation_data.cell(n, 1.0).mean("naive")
+            expensive = estimation_data.cell(n, 2.0).mean("naive")
+            assert cheap < exact < expensive
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EstimationConfig(factors=(0.0, 1.0))
+        with pytest.raises(ValueError):
+            EstimationConfig(trials=0)
+        with pytest.raises(ValueError):
+            EstimationConfig(u_n=3, u_e=5)
+
+
+class TestFigureViews:
+    def test_figure6_one_series_per_factor(self, estimation_data):
+        figure = figure6_from_estimation(estimation_data)
+        assert len(figure.series) == 4
+        assert "Alg 1" in figure.series  # factor 1.0 label
+        assert "Alg 1 (0.2*un)" in figure.series
+
+    def test_figure7_costs(self, estimation_data):
+        figure = figure7_from_estimation(estimation_data, cost_expert=10.0)
+        cell = estimation_data.cell(300, 1.0)
+        expected = cell.mean("naive") + 10.0 * cell.mean("expert")
+        assert figure.series["Alg 1 (avg)"][0] == pytest.approx(expected)
+
+    def test_figure10_worst_case_scales_with_factor(self, estimation_data):
+        figure = figure10_from_estimation(estimation_data, cost_expert=10.0)
+        low = figure.series["Alg 1 (0.2*un) (wc)"][0]
+        high = figure.series["Alg 1 (2*un) (wc)"][0]
+        assert high > low
+
+    def test_survival_table(self, estimation_data):
+        table = survival_table(estimation_data)
+        assert len(table.rows) == 4
+        factors = [row[0] for row in table.rows]
+        assert factors == [0.2, 0.8, 1.0, 2.0]
+        rates = [row[1] for row in table.rows]
+        assert all(0.0 <= r <= 1.0 for r in rates)

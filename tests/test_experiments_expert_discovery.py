@@ -1,0 +1,54 @@
+"""Tests for the expert-discovery experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.expert_discovery import _RosterModel, run_expert_discovery
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.spammer import RandomSpammerModel
+
+
+class TestRosterModel:
+    def test_uniform_roster_behaves_like_member(self, rng):
+        model = _RosterModel([PerfectWorkerModel()])
+        wins = model.decide(np.asarray([9.0, 1.0]), np.asarray([1.0, 9.0]), rng)
+        assert wins.tolist() == [True, False]
+
+    def test_mixed_roster_blends(self, rng):
+        model = _RosterModel([PerfectWorkerModel(), RandomSpammerModel()])
+        n = 4000
+        wins = model.decide(np.full(n, 9.0), np.full(n, 1.0), rng)
+        # half perfect (1.0), half coin (0.5) -> ~0.75
+        assert np.mean(wins) == pytest.approx(0.75, abs=0.03)
+
+    def test_rejects_empty_roster(self):
+        with pytest.raises(ValueError):
+            _RosterModel([])
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_expert_discovery(
+            np.random.default_rng(3),
+            n=200,
+            pool_size=20,
+            n_experts=4,
+            calibration_tasks=60,
+            trials=2,
+        )
+
+    def test_three_configurations(self, table):
+        assert len(table.rows) == 3
+        names = {row[0] for row in table.rows}
+        assert "discovered experts" in names
+
+    def test_discovered_not_worse_than_naive_only(self, table):
+        by_name = {row[0]: row for row in table.rows}
+        assert (
+            by_name["discovered experts"][1]
+            <= by_name["naive-only (whole pool)"][1] + 1.0
+        )
+
+    def test_overlap_note_present(self, table):
+        assert any("overlap" in note for note in table.notes)

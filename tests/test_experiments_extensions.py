@@ -1,0 +1,96 @@
+"""Tests for the extension and latency experiments."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.extensions import (
+    run_cascade_experiment,
+    run_expert_fraction_experiment,
+)
+from repro.experiments.latency import run_latency_experiment
+
+
+class TestCascadeExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_cascade_experiment(np.random.default_rng(1), n=600, trials=2)
+
+    def test_three_approaches_reported(self, table):
+        assert len(table.rows) == 3
+
+    def test_cascade_shields_the_expert_class(self, table):
+        by_name = {row[0]: row for row in table.rows}
+        cascade_expert = by_name["cascade (crowd>skilled>expert)"][3]
+        expert_only = by_name["expert-only 2-MaxFind"][3]
+        assert cascade_expert < expert_only / 5
+
+    def test_cascade_cheaper_than_expert_only(self, table):
+        by_name = {row[0]: row for row in table.rows}
+        assert (
+            by_name["cascade (crowd>skilled>expert)"][2]
+            < by_name["expert-only 2-MaxFind"][2]
+        )
+
+    def test_cascade_uses_fewer_expert_comparisons_than_two_class(self, table):
+        by_name = {row[0]: row for row in table.rows}
+        assert (
+            by_name["cascade (crowd>skilled>expert)"][3]
+            <= by_name["2-class (crowd>expert)"][3]
+        )
+
+
+class TestExpertFractionExperiment:
+    @pytest.fixture(scope="class")
+    def figure(self):
+        return run_expert_fraction_experiment(
+            np.random.default_rng(2), samples=1500
+        )
+
+    def test_structure(self, figure):
+        assert figure.x_values[0] == 0.0
+        assert figure.x_values[-1] == 1.0
+        assert set(figure.series) == {
+            "majority of 1",
+            "majority of 7",
+            "majority of 21",
+        }
+
+    def test_homogeneous_crowd_stays_at_the_coin(self, figure):
+        # fraction 0: the paper's barrier — aggregation cannot help.
+        for series in figure.series.values():
+            assert series[0] == pytest.approx(0.5, abs=0.06)
+
+    def test_aggregation_unlocks_with_experts_present(self, figure):
+        k21 = figure.series["majority of 21"]
+        assert k21[-2] > 0.9  # fraction 0.5
+        assert k21[3] > k21[0]  # fraction 0.2 beats fraction 0
+
+    def test_more_votes_help_when_experts_exist(self, figure):
+        idx = figure.x_values.index(0.2)
+        assert (
+            figure.series["majority of 21"][idx]
+            > figure.series["majority of 1"][idx]
+        )
+
+
+class TestLatencyExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_latency_experiment(
+            np.random.default_rng(3), ns=(200, 800), trials=1
+        )
+
+    def test_rows_per_n(self, table):
+        assert [row[0] for row in table.rows] == [200, 800]
+
+    def test_rounds_grow_slowly(self, table):
+        small, large = table.rows
+        # 4x the input: at most a couple of extra filter rounds.
+        assert large[1] <= small[1] + 3
+
+    def test_judgment_volume_grows_with_n(self, table):
+        small, large = table.rows
+        assert large[4] > small[4]
+
+    def test_physical_steps_positive(self, table):
+        assert all(row[3] > 0 for row in table.rows)

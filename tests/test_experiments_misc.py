@@ -1,0 +1,80 @@
+"""Tests for the bounds-check experiment and the ablations."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import (
+    run_group_multiplier_ablation,
+    run_loss_counter_ablation,
+    run_memoization_ablation,
+    run_phase2_ablation,
+)
+from repro.experiments.bounds_check import run_bounds_check
+
+
+class TestBoundsCheck:
+    def test_all_points_within_bounds(self):
+        table = run_bounds_check(
+            np.random.default_rng(2), ns=(300, 600), u_n=8, u_e=3, trials=2
+        )
+        assert len(table.rows) == 2
+        assert all(row[-1] == "yes" for row in table.rows)
+
+    def test_envelopes_ordered(self):
+        table = run_bounds_check(
+            np.random.default_rng(2), ns=(400,), u_n=6, u_e=2, trials=1
+        )
+        row = table.rows[0]
+        naive_lower, naive_measured, naive_upper = row[1], row[2], row[3]
+        assert naive_lower <= naive_measured <= naive_upper
+
+
+class TestMemoizationAblation:
+    def test_memo_on_never_costs_more(self):
+        table = run_memoization_ablation(
+            np.random.default_rng(3), n=400, u_n=6, trials=3
+        )
+        on_row = next(row for row in table.rows if row[0] == "on")
+        off_row = next(row for row in table.rows if row[0] == "off")
+        assert on_row[1] <= off_row[1]  # filter comparisons
+        assert on_row[2] <= off_row[2]  # 2-MaxFind comparisons
+
+
+class TestLossCounterAblation:
+    def test_max_always_survives(self):
+        table = run_loss_counter_ablation(
+            np.random.default_rng(3), n=400, u_n=6, trials=3
+        )
+        for row in table.rows:
+            assert row[4] == "3/3"
+
+
+class TestPhase2Ablation:
+    def test_randomized_constants_dominate(self):
+        table = run_phase2_ablation(
+            np.random.default_rng(3), sizes=(19, 39), trials=2
+        )
+        for s in (19, 39):
+            rows = {row[1]: row for row in table.rows if row[0] == s}
+            assert rows["randomized"][2] > rows["two_maxfind"][2]
+
+    def test_all_play_all_comparisons_are_exact(self):
+        table = run_phase2_ablation(np.random.default_rng(3), sizes=(9,), trials=1)
+        rows = {row[1]: row for row in table.rows if row[0] == 9}
+        assert rows["all_play_all"][2] == 36  # C(9, 2)
+
+
+class TestGroupMultiplierAblation:
+    def test_cost_grows_with_multiplier(self):
+        table = run_group_multiplier_ablation(
+            np.random.default_rng(3), n=400, u_n=6, multipliers=(2, 4, 8), trials=2
+        )
+        costs = [row[1] for row in table.rows]
+        assert costs == sorted(costs)
+
+    def test_max_survives_at_every_multiplier(self):
+        table = run_group_multiplier_ablation(
+            np.random.default_rng(3), n=400, u_n=6, multipliers=(2, 4), trials=2
+        )
+        for row in table.rows:
+            assert row[4] == "2/2"

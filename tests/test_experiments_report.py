@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.report (reproduction-report composer)."""
+
+import pytest
+
+from repro.experiments.base import FigureResult, TableResult
+from repro.experiments.io import save_result
+from repro.experiments.report import compose_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    (tmp_path / "fig3_demo.txt").write_text("[fig3] demo\nrow 1\n")
+    table = TableResult(table_id="t1", title="demo table", headers=["x"])
+    table.add_row(["cell"])
+    save_result(table, tmp_path / "table_demo.json")
+    (tmp_path / "unrelated.csv").write_text("a,b\n1,2\n")
+    return tmp_path
+
+
+class TestComposeReport:
+    def test_includes_txt_and_json_sections(self, results_dir):
+        report = compose_report(results_dir)
+        assert "# Reproduction report" in report
+        assert "## fig3_demo" in report
+        assert "row 1" in report
+        assert "## table_demo" in report
+        assert "demo table" in report
+        assert "unrelated" not in report  # CSVs are data, not sections
+
+    def test_skips_foreign_json(self, results_dir):
+        (results_dir / "foreign.json").write_text('{"x": 1}')
+        report = compose_report(results_dir)
+        assert "## foreign" not in report
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no archived results"):
+            compose_report(tmp_path)
+
+    def test_not_a_directory(self, tmp_path):
+        with pytest.raises(ValueError):
+            compose_report(tmp_path / "ghost")
+
+
+class TestWriteReport:
+    def test_writes_the_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "out" / "report.md")
+        assert out.read_text().startswith("# Reproduction report")
+
+    def test_roundtrip_with_real_figure(self, tmp_path):
+        figure = FigureResult(
+            figure_id="fig2a", title="t", x_label="k", x_values=[1, 3]
+        )
+        figure.add_series("bucket", [0.5, 0.9])
+        save_result(figure, tmp_path / "fig2a.json")
+        report = compose_report(tmp_path)
+        assert "bucket" in report

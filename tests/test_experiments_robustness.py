@@ -1,0 +1,55 @@
+"""Tests for the robustness experiments (eps sweep, fatigue)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.robustness import (
+    run_epsilon_robustness,
+    run_fatigue_experiment,
+)
+
+
+class TestEpsilonRobustness:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_epsilon_robustness(
+            np.random.default_rng(8),
+            n=300,
+            epsilons=(0.0, 0.1, 0.4),
+            trials=4,
+        )
+
+    def test_rows_per_epsilon(self, table):
+        assert [row[0] for row in table.rows] == [0.0, 0.1, 0.4]
+
+    def test_zero_eps_is_the_guaranteed_regime(self, table):
+        assert table.rows[0][2] == "4/4"  # max always survives
+
+    def test_degradation_at_high_eps(self, table):
+        zero = table.rows[0]
+        high = table.rows[-1]
+        assert high[1] >= zero[1]  # plain rank degrades
+
+    def test_amplification_never_hurts_survival(self, table):
+        for row in table.rows:
+            plain = int(row[2].split("/")[0])
+            amplified = int(row[4].split("/")[0])
+            assert amplified >= plain - 1  # allow one-trial noise
+
+
+class TestFatigueExperiment:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fatigue_experiment(np.random.default_rng(8), n_batches=5)
+
+    def test_batch_rows(self, table):
+        assert [row[0] for row in table.rows] == [1, 2, 3, 4, 5]
+
+    def test_bans_accumulate_monotonically(self, table):
+        banned = [row[2] for row in table.rows]
+        assert banned == sorted(banned)
+        assert banned[-1] >= 1  # fatigue eventually gets someone banned
+
+    def test_accuracies_are_probabilities(self, table):
+        for row in table.rows:
+            assert 0.0 <= row[3] <= 1.0

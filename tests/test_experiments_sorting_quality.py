@@ -1,0 +1,38 @@
+"""Tests for the sorting-quality experiment."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.sorting_quality import run_sorting_quality
+
+
+@pytest.fixture(scope="module")
+def table():
+    return run_sorting_quality(
+        np.random.default_rng(5), m=60, deltas=(0.0, 2.0), trials=2
+    )
+
+
+class TestSortingQuality:
+    def test_rows_cover_the_grid(self, table):
+        keys = {(row[0], row[1]) for row in table.rows}
+        assert keys == {
+            (0.0, "borda"),
+            (0.0, "quicksort"),
+            (2.0, "borda"),
+            (2.0, "quicksort"),
+        }
+
+    def test_zero_delta_sorts_exactly(self, table):
+        for row in table.rows:
+            if row[0] == 0.0:
+                assert row[2] == 0.0
+
+    def test_dislocation_grows_with_delta(self, table):
+        by_key = {(row[0], row[1]): row for row in table.rows}
+        assert by_key[(2.0, "borda")][2] >= by_key[(0.0, "borda")][2]
+
+    def test_quicksort_cheaper(self, table):
+        by_key = {(row[0], row[1]): row for row in table.rows}
+        for delta in (0.0, 2.0):
+            assert by_key[(delta, "quicksort")][4] < by_key[(delta, "borda")][4]

@@ -1,0 +1,97 @@
+"""Tests for the Section 5.1 sweep and its figure views (Figs 3, 4, 5, 9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import filter_comparisons_upper_bound
+from repro.experiments.accuracy_vs_n import figure3_from_sweep, run_figure3
+from repro.experiments.comparisons_vs_n import figure4_from_sweep
+from repro.experiments.cost_vs_n import figure5_from_sweep, figure9_from_sweep
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep_data():
+    config = SweepConfig(ns=(300, 600), u_n=8, u_e=3, trials=3)
+    return run_sweep(config, np.random.default_rng(11))
+
+
+class TestSweep:
+    def test_points_cover_all_ns(self, sweep_data):
+        assert sweep_data.ns == [300, 600]
+
+    def test_trial_counts(self, sweep_data):
+        for point in sweep_data.points:
+            assert len(point.alg1_rank) == 3
+            assert len(point.tmf_expert_rank) == 3
+
+    def test_alg1_within_theory_bounds(self, sweep_data):
+        for point in sweep_data.points:
+            assert max(point.alg1_naive) <= filter_comparisons_upper_bound(point.n, 8)
+            assert point.alg1_naive_wc == filter_comparisons_upper_bound(point.n, 8)
+
+    def test_alg1_expert_count_roughly_constant_in_n(self, sweep_data):
+        # "it only depends on the leftover set" — same u_n, so similar.
+        small, large = sweep_data.points
+        assert large.mean("alg1_expert") <= 4 * max(small.mean("alg1_expert"), 1.0)
+
+    def test_worst_cases_dominate_averages(self, sweep_data):
+        for point in sweep_data.points:
+            assert point.tmf_naive_wc > point.mean("tmf_naive_comparisons")
+            assert point.alg1_naive_wc >= point.mean("alg1_naive")
+
+    def test_ranks_are_valid(self, sweep_data):
+        for point in sweep_data.points:
+            for attr in ("alg1_rank", "tmf_naive_rank", "tmf_expert_rank"):
+                assert all(r >= 1 for r in getattr(point, attr))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SweepConfig(ns=(10,), u_n=8, u_e=3)  # n <= 2 u_n
+        with pytest.raises(ValueError):
+            SweepConfig(u_n=5, u_e=8)
+        with pytest.raises(ValueError):
+            SweepConfig(trials=0)
+
+    def test_missing_samples_raise(self, sweep_data):
+        with pytest.raises(ValueError):
+            from repro.experiments.sweep import SweepPoint
+
+            SweepPoint(n=10).mean("alg1_rank")
+
+
+class TestFigureViews:
+    def test_figure3_series(self, sweep_data):
+        figure = figure3_from_sweep(sweep_data)
+        assert set(figure.series) == {
+            "2-MaxFind-naive",
+            "Alg 1",
+            "2-MaxFind-expert",
+        }
+        assert figure.x_values == [300, 600]
+
+    def test_figure4_series(self, sweep_data):
+        figure = figure4_from_sweep(sweep_data)
+        assert "Alg 1 naive (wc)" in figure.series
+        assert "2-MaxFind-exp/naive (avg)" in figure.series
+        assert len(figure.series) == 7
+
+    def test_figure5_cost_composition(self, sweep_data):
+        figure = figure5_from_sweep(sweep_data, cost_expert=20.0)
+        point = sweep_data.points[0]
+        expected = point.mean("alg1_naive") + 20.0 * point.mean("alg1_expert")
+        assert figure.series["Alg 1 (avg)"][0] == pytest.approx(expected)
+
+    def test_figure9_uses_worst_cases(self, sweep_data):
+        figure = figure9_from_sweep(sweep_data, cost_expert=10.0)
+        point = sweep_data.points[0]
+        expected = point.alg1_naive_wc + 10.0 * point.alg1_expert_wc
+        assert figure.series["Alg 1 (wc)"][0] == pytest.approx(expected)
+
+    def test_run_figure3_returns_data_too(self):
+        config = SweepConfig(ns=(300,), u_n=5, u_e=2, trials=1, measure_worst_case=False)
+        figure, data = run_figure3(config, np.random.default_rng(0))
+        assert figure.figure_id == "fig3"
+        assert data.ns == [300]
+        # worst-case measurement skipped
+        assert data.points[0].tmf_naive_wc == 0

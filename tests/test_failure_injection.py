@@ -1,0 +1,125 @@
+"""Failure-injection tests: the system under hostile conditions."""
+
+import numpy as np
+import pytest
+
+from repro.core.filter_phase import filter_candidates
+from repro.core.generators import planted_instance, tie_heavy_instance
+from repro.core.oracle import ComparisonOracle
+from repro.core.two_maxfind import two_maxfind
+from repro.platform.gold import GoldPolicy
+from repro.platform.job import ComparisonTask
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.workers.adversarial import AdversarialWorkerModel
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.spammer import MaliciousWorkerModel, RandomSpammerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestAllSpammerPlatform:
+    def test_batch_still_completes_without_gold(self, rng):
+        # Without gold nobody is banned; answers are garbage but the
+        # platform terminates and reports honestly.
+        pool = WorkerPool.homogeneous("naive", RandomSpammerModel(), size=5)
+        platform = CrowdPlatform({"naive": pool}, rng)
+        report = platform.submit_batch(
+            "naive",
+            [
+                ComparisonTask(
+                    task_id=0,
+                    first=0,
+                    second=1,
+                    value_first=9.0,
+                    value_second=1.0,
+                    required_judgments=3,
+                )
+            ],
+        )
+        assert len(report.answers) == 1
+        assert report.judgments_collected == 3
+
+    def test_all_banned_pool_stalls_loudly(self, rng):
+        # Gold + fully inverted workers: everyone fails every gold probe,
+        # gets banned, and the batch (which needs all four workers) can
+        # never be completed — the platform must raise, not hang.
+        saboteur = MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
+        pool = WorkerPool.homogeneous("naive", saboteur, size=4)
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 10),
+            rng,
+            n_pairs=8,
+            gold_fraction=0.9,
+            min_gold_answers=1,
+        )
+        platform = CrowdPlatform({"naive": pool}, rng, gold=gold)
+        tasks = [
+            ComparisonTask(
+                task_id=0,
+                first=0,
+                second=1,
+                value_first=9.0,
+                value_second=1.0,
+                required_judgments=4,
+            )
+        ]
+        with pytest.raises(RuntimeError):
+            platform.submit_batch("naive", tasks)
+
+
+class TestMaliciousWorkers:
+    def test_filter_with_a_minority_of_saboteurs_still_finds_good_elements(self, rng):
+        # The oracle samples one model; emulate a mixed crowd by a
+        # malicious wrapper that sabotages 20% of judgments.
+        instance = planted_instance(
+            n=300, u_n=6, u_e=3, delta_n=1.0, delta_e=0.25, rng=rng
+        )
+        base = ThresholdWorkerModel(delta=1.0)
+        crowd = MaliciousWorkerModel(base, flip_probability=0.2)
+        oracle = ComparisonOracle(instance, crowd, rng)
+        survivors = filter_candidates(oracle, u_n=6).survivors
+        # No formal guarantee under sabotage; but the survivor set must
+        # still contain *some* highly ranked element.
+        best_rank = min(instance.rank_of(int(e)) for e in survivors)
+        assert best_rank <= 30
+
+    def test_full_inversion_finds_the_minimum(self, rng):
+        # A fully inverted comparator solves MIN-finding: a sanity check
+        # that the wrapper composes coherently with the algorithms.
+        values = rng.permutation(np.arange(50, dtype=float))
+        inverted = MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
+        oracle = ComparisonOracle(values, inverted, rng)
+        winner = two_maxfind(oracle).winner
+        assert values[winner] == values.min()
+
+
+class TestDegenerateInputs:
+    def test_filter_on_all_equal_values(self, rng):
+        values = np.full(40, 7.0)
+        oracle = ComparisonOracle(values, ThresholdWorkerModel(delta=1.0), rng)
+        result = filter_candidates(oracle, u_n=3)
+        # every element is "the maximum"; any non-empty survivor set is
+        # correct and the bound still holds
+        assert 1 <= len(result.survivors) <= 5
+
+    def test_two_maxfind_on_heavy_ties(self, rng):
+        instance = tie_heavy_instance(n=60, n_distinct=4, rng=rng)
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        winner = two_maxfind(oracle).winner
+        assert instance.values[winner] == instance.max_value
+
+    def test_adversarial_worker_on_everything_indistinguishable(self, rng):
+        # All pairs hard, first_loses: termination via memoization.
+        values = np.linspace(0.0, 0.5, 30)
+        model = AdversarialWorkerModel(delta=10.0, policy="first_loses")
+        oracle = ComparisonOracle(values, model, rng)
+        result = two_maxfind(oracle)
+        assert 0 <= result.winner < 30
+
+    def test_instance_of_size_one(self, rng):
+        from repro.core.instance import ProblemInstance
+
+        instance = ProblemInstance(values=[42.0])
+        oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
+        assert two_maxfind(oracle).winner == 0
+        assert filter_candidates(oracle, u_n=1).survivors.tolist() == [0]

@@ -1,0 +1,173 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ComparisonOracle,
+    ExpertAwareMaxFinder,
+    estimate_u_n,
+    find_max,
+    planted_instance,
+)
+from repro.core.bounds import filter_comparisons_upper_bound, survivor_upper_bound
+from repro.datasets import cars_instance, dots_instance
+from repro.platform import (
+    CostLedger,
+    CrowdPlatform,
+    GoldPolicy,
+    PlatformWorkerModel,
+    WorkerPool,
+)
+from repro.workers import (
+    BiasedErrorBehavior,
+    RandomSpammerModel,
+    ThresholdWorkerModel,
+    make_worker_classes,
+)
+
+
+class TestParameterGrid:
+    """Algorithm 1 across a grid of sizes and parameters."""
+
+    @pytest.mark.parametrize("n", [50, 200, 800])
+    @pytest.mark.parametrize("u_n,u_e", [(2, 1), (6, 3), (12, 6)])
+    def test_grid(self, rng, n, u_n, u_e):
+        if n <= 2 * u_n:
+            pytest.skip("n too small for this u_n")
+        delta_n, delta_e = 1.0, 0.25
+        instance = planted_instance(
+            n=n, u_n=u_n, u_e=u_e, delta_n=delta_n, delta_e=delta_e, rng=rng
+        )
+        naive, expert = make_worker_classes(delta_n=delta_n, delta_e=delta_e)
+        result = find_max(instance, naive, expert, u_n=u_n, rng=rng)
+        # Theorem 1 guarantees, end to end:
+        assert instance.max_index in result.survivors
+        assert instance.distance_to_max(result.winner) <= 2 * delta_e + 1e-12
+        assert result.survivor_count <= survivor_upper_bound(u_n)
+        assert result.naive_comparisons <= filter_comparisons_upper_bound(n, u_n)
+
+
+class TestEstimateThenFind:
+    """Algorithm 4 feeding Algorithm 1: the full §4.4 pipeline."""
+
+    def test_estimated_parameter_is_safe(self, rng):
+        delta_n = 1.0
+        model = ThresholdWorkerModel(delta=delta_n, below=BiasedErrorBehavior(0.4))
+        training = planted_instance(
+            n=300, u_n=8, u_e=8, delta_n=delta_n, delta_e=delta_n, rng=rng
+        )
+        estimate = estimate_u_n(training, model, rng, n_target=300, perr=0.4)
+        # The estimate is an upper bound whp; running Alg 1 with it keeps
+        # the maximum.
+        target = planted_instance(
+            n=300, u_n=8, u_e=4, delta_n=delta_n, delta_e=0.25, rng=rng
+        )
+        naive, expert = make_worker_classes(delta_n=delta_n, delta_e=0.25)
+        result = find_max(target, naive, expert, u_n=estimate.u_n, rng=rng)
+        assert target.max_index in result.survivors
+
+
+class TestFullPlatformPipeline:
+    """Algorithm 1 entirely through the platform simulator."""
+
+    def test_two_pool_platform_run(self, rng):
+        instance = planted_instance(
+            n=120, u_n=5, u_e=2, delta_n=1.0, delta_e=0.2, rng=rng
+        )
+        naive_model = ThresholdWorkerModel(delta=1.0)
+        expert_model = ThresholdWorkerModel(delta=0.2, is_expert=True)
+        ledger = CostLedger()
+        platform = CrowdPlatform(
+            {
+                "naive": WorkerPool.from_models(
+                    "naive",
+                    [naive_model] * 15 + [RandomSpammerModel()],
+                    cost_per_judgment=1.0,
+                    availability=0.7,
+                ),
+                "expert": WorkerPool.homogeneous(
+                    "expert", expert_model, size=2, cost_per_judgment=25.0
+                ),
+            },
+            rng,
+            ledger=ledger,
+            gold=GoldPolicy.from_values(
+                rng.uniform(0, 1200, size=30), rng, n_pairs=20,
+                min_relative_difference=0.3,
+            ),
+        )
+        naive, expert = make_worker_classes(
+            delta_n=1.0, delta_e=0.2, cost_n=1.0, cost_e=25.0
+        )
+        finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=5)
+        naive_oracle = ComparisonOracle(
+            instance,
+            PlatformWorkerModel(platform, "naive", judgments_per_task=3),
+            rng,
+            cost_per_comparison=3.0,
+            label="naive",
+        )
+        expert_oracle = ComparisonOracle(
+            instance,
+            PlatformWorkerModel(platform, "expert", is_expert=True),
+            rng,
+            cost_per_comparison=25.0,
+            label="expert",
+        )
+        result = finder.run_with_oracles(naive_oracle, expert_oracle, rng)
+        # The winner is close to the maximum and the bill is itemised.
+        assert instance.distance_to_max(result.winner) <= 3 * 0.2 + 1e-9
+        assert ledger.operations("naive") >= 3 * result.naive_comparisons
+        assert ledger.operations("expert") == result.expert_comparisons
+        assert platform.logical_steps > 0
+
+
+class TestRealDatasets:
+    def test_dots_end_to_end(self, rng):
+        from repro.workers.calibrated import make_dots_worker
+        from repro.workers import MajorityOfKModel
+        from repro.core import filter_candidates, two_maxfind
+
+        instance = dots_instance(50)
+        crowd = make_dots_worker()
+        oracle = ComparisonOracle(instance, crowd, rng)
+        survivors = filter_candidates(oracle, u_n=5).survivors
+        sim_expert = MajorityOfKModel(crowd, k=7)
+        expert_oracle = ComparisonOracle(instance, sim_expert, rng)
+        winner = two_maxfind(expert_oracle, survivors).winner
+        assert instance.payload(winner).dot_count <= 140  # near-minimum
+
+    def test_cars_end_to_end_with_real_expert(self, rng):
+        from repro.workers.calibrated import CalibratedCarsWorkerModel
+        from repro.core import filter_candidates, two_maxfind
+
+        instance = cars_instance(rng=np.random.default_rng(2013))
+        crowd = CalibratedCarsWorkerModel(seed=5)
+        oracle = ComparisonOracle(instance, crowd, rng)
+        survivors = filter_candidates(oracle, u_n=6).survivors
+        dealer = ThresholdWorkerModel(delta=400.0, is_expert=True)
+        expert_oracle = ComparisonOracle(instance, dealer, rng)
+        winner = two_maxfind(expert_oracle, survivors).winner
+        if instance.max_index in survivors:
+            assert winner == instance.max_index
+
+
+class TestReproducibility:
+    def test_same_seed_same_everything(self):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            instance = planted_instance(
+                n=200, u_n=6, u_e=3, delta_n=1.0, delta_e=0.25, rng=rng
+            )
+            naive, expert = make_worker_classes(delta_n=1.0, delta_e=0.25)
+            result = find_max(instance, naive, expert, u_n=6, rng=rng)
+            return (
+                result.winner,
+                result.naive_comparisons,
+                result.expert_comparisons,
+                sorted(result.survivors.tolist()),
+            )
+
+        assert run(77) == run(77)
+        assert run(77) != run(78) or True  # different seeds may coincide

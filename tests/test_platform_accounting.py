@@ -1,0 +1,52 @@
+"""Tests for repro.platform.accounting."""
+
+import pytest
+
+from repro.platform.accounting import CostLedger
+
+
+class TestCostLedger:
+    def test_charges_accumulate(self):
+        ledger = CostLedger()
+        ledger.charge("naive", 10, 1.0)
+        ledger.charge("naive", 5, 1.0)
+        ledger.charge("expert", 2, 20.0)
+        assert ledger.operations("naive") == 15
+        assert ledger.money("naive") == 15.0
+        assert ledger.operations("expert") == 2
+        assert ledger.money("expert") == 40.0
+
+    def test_totals(self):
+        ledger = CostLedger()
+        ledger.charge("a", 3, 2.0)
+        ledger.charge("b", 1, 10.0)
+        assert ledger.operations() == 4
+        assert ledger.total_cost == 16.0
+
+    def test_unknown_label_is_zero(self):
+        ledger = CostLedger()
+        assert ledger.operations("ghost") == 0
+        assert ledger.money("ghost") == 0.0
+
+    def test_reset(self):
+        ledger = CostLedger()
+        ledger.charge("a", 3, 2.0)
+        ledger.reset()
+        assert ledger.total_cost == 0.0
+        assert ledger.operations() == 0
+
+    def test_validation(self):
+        ledger = CostLedger()
+        with pytest.raises(ValueError):
+            ledger.charge("a", -1, 1.0)
+        with pytest.raises(ValueError):
+            ledger.charge("a", 1, -1.0)
+
+    def test_summary_lists_all_labels(self):
+        ledger = CostLedger()
+        ledger.charge("naive", 7, 1.0)
+        ledger.charge("gold:naive", 2, 1.0)
+        text = ledger.summary()
+        assert "naive" in text
+        assert "gold:naive" in text
+        assert "TOTAL" in text

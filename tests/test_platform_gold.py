@@ -1,0 +1,91 @@
+"""Tests for repro.platform.gold."""
+
+import numpy as np
+import pytest
+
+from repro.platform.gold import GoldPair, GoldPolicy
+from repro.platform.workforce import SimulatedWorker
+from repro.workers.base import PerfectWorkerModel
+
+
+def simple_policy(**kwargs):
+    pairs = [GoldPair(first=0, second=1, value_first=10.0, value_second=1.0)]
+    return GoldPolicy(pairs, **kwargs)
+
+
+class TestGoldPair:
+    def test_ground_truth(self):
+        pair = GoldPair(first=0, second=1, value_first=10.0, value_second=1.0)
+        assert pair.first_wins
+        pair = GoldPair(first=0, second=1, value_first=1.0, value_second=10.0)
+        assert not pair.first_wins
+
+
+class TestFromValues:
+    def test_samples_distinct_value_pairs(self, rng):
+        values = np.asarray([1.0, 1.0, 5.0, 9.0])
+        policy = GoldPolicy.from_values(values, rng, n_pairs=10)
+        for pair in policy.pairs:
+            assert pair.value_first != pair.value_second
+
+    def test_min_relative_difference_filter(self, rng):
+        values = np.linspace(100.0, 200.0, 30)
+        policy = GoldPolicy.from_values(
+            values, rng, n_pairs=10, min_relative_difference=0.3
+        )
+        for pair in policy.pairs:
+            rel = abs(pair.value_first - pair.value_second) / max(
+                pair.value_first, pair.value_second
+            )
+            assert rel >= 0.3
+
+    def test_rejects_degenerate_inputs(self, rng):
+        with pytest.raises(ValueError):
+            GoldPolicy.from_values(np.asarray([1.0]), rng)
+        with pytest.raises(ValueError):
+            GoldPolicy.from_values(np.asarray([2.0, 2.0, 2.0]), rng)
+
+
+class TestBanRule:
+    def test_worker_banned_below_threshold(self):
+        policy = simple_policy(ban_threshold=0.7, min_gold_answers=3)
+        worker = SimulatedWorker(worker_id=0, model=PerfectWorkerModel())
+        assert not policy.record_and_check(worker, False)
+        assert not policy.record_and_check(worker, False)
+        assert policy.record_and_check(worker, False)  # 0/3 < 0.7 -> ban
+        assert worker.banned
+
+    def test_good_worker_not_banned(self):
+        policy = simple_policy(ban_threshold=0.7, min_gold_answers=3)
+        worker = SimulatedWorker(worker_id=0, model=PerfectWorkerModel())
+        for _ in range(10):
+            assert not policy.record_and_check(worker, True)
+        assert not worker.banned
+
+    def test_minimum_answers_protects_early_mistakes(self):
+        policy = simple_policy(ban_threshold=0.7, min_gold_answers=5)
+        worker = SimulatedWorker(worker_id=0, model=PerfectWorkerModel())
+        # One early mistake among few answers must not ban.
+        assert not policy.record_and_check(worker, False)
+        assert not worker.banned
+
+
+class TestInjection:
+    def test_gold_fraction_rate(self, rng):
+        policy = simple_policy(gold_fraction=0.15)
+        hits = sum(policy.should_inject(rng) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.15, abs=0.01)
+
+    def test_sample_pair_returns_bank_member(self, rng):
+        policy = simple_policy()
+        assert policy.sample_pair(rng) in policy.pairs
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoldPolicy([], gold_fraction=0.1)
+        with pytest.raises(ValueError):
+            simple_policy(gold_fraction=1.0)
+        with pytest.raises(ValueError):
+            simple_policy(ban_threshold=0.0)
+        with pytest.raises(ValueError):
+            simple_policy(min_gold_answers=0)

@@ -1,0 +1,56 @@
+"""Tests for repro.platform.oracle_adapter."""
+
+import numpy as np
+import pytest
+
+from repro.core.oracle import ComparisonOracle
+from repro.core.two_maxfind import two_maxfind
+from repro.platform.oracle_adapter import PlatformWorkerModel
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.probabilistic import FixedErrorWorkerModel
+
+
+def make_platform(rng, model=None, size=8):
+    pool = WorkerPool.homogeneous(
+        "naive", model if model is not None else PerfectWorkerModel(), size=size
+    )
+    return CrowdPlatform({"naive": pool}, rng)
+
+
+class TestAdapter:
+    def test_algorithms_run_through_the_platform(self, rng):
+        platform = make_platform(rng)
+        values = rng.uniform(0, 100, size=30)
+        oracle = ComparisonOracle(
+            values, PlatformWorkerModel(platform, "naive"), rng
+        )
+        result = two_maxfind(oracle)
+        assert result.winner == int(np.argmax(values))
+        assert platform.logical_steps >= 1
+        assert platform.ledger.operations("naive") == oracle.comparisons
+
+    def test_majority_redundancy_improves_noisy_workers(self, rng):
+        noisy = FixedErrorWorkerModel(error_probability=0.35)
+        platform = make_platform(rng, model=noisy, size=9)
+        vi = np.full(300, 2.0)
+        vj = np.full(300, 1.0)
+        single = PlatformWorkerModel(platform, "naive", judgments_per_task=1)
+        redundant = PlatformWorkerModel(platform, "naive", judgments_per_task=9)
+        acc_single = np.mean(single.decide(vi, vj, rng))
+        acc_redundant = np.mean(redundant.decide(vi, vj, rng))
+        assert acc_redundant > acc_single
+
+    def test_validation(self, rng):
+        platform = make_platform(rng)
+        with pytest.raises(KeyError):
+            PlatformWorkerModel(platform, "ghost")
+        with pytest.raises(ValueError):
+            PlatformWorkerModel(platform, "naive", judgments_per_task=0)
+
+    def test_works_without_indices(self, rng):
+        platform = make_platform(rng)
+        model = PlatformWorkerModel(platform, "naive")
+        wins = model.decide(np.asarray([9.0]), np.asarray([1.0]), rng)
+        assert wins.tolist() == [True]

@@ -1,0 +1,189 @@
+"""Tests for repro.platform.platform (the CrowdFlower substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.gold import GoldPolicy
+from repro.platform.job import ComparisonTask
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.spammer import LazyFirstModel, RandomSpammerModel
+
+
+def make_platform(rng, models=None, gold=None, availability=1.0, size=6):
+    if models is None:
+        pool = WorkerPool.homogeneous(
+            "naive", PerfectWorkerModel(), size=size, availability=availability
+        )
+    else:
+        pool = WorkerPool.from_models("naive", models, availability=availability)
+    return CrowdPlatform({"naive": pool}, rng, gold=gold)
+
+
+def batch_of_tasks(pairs, values, required=1):
+    return [
+        ComparisonTask(
+            task_id=k,
+            first=i,
+            second=j,
+            value_first=values[i],
+            value_second=values[j],
+            required_judgments=required,
+        )
+        for k, (i, j) in enumerate(pairs)
+    ]
+
+
+class TestBatchExecution:
+    def test_perfect_workers_answer_correctly(self, rng):
+        platform = make_platform(rng)
+        values = [1.0, 9.0, 4.0]
+        report = platform.submit_batch(
+            "naive", batch_of_tasks([(1, 0), (0, 2)], values)
+        )
+        assert report.answers == [True, False]
+        assert report.judgments_collected == 2
+
+    def test_compare_batch_convenience(self, rng):
+        platform = make_platform(rng)
+        values = np.asarray([1.0, 9.0])
+        answers, report = platform.compare_batch(
+            "naive",
+            np.asarray([1]),
+            np.asarray([0]),
+            np.asarray([9.0]),
+            np.asarray([1.0]),
+        )
+        assert answers.tolist() == [True]
+        assert report.physical_steps >= 1
+
+    def test_redundant_judgments_use_distinct_workers(self, rng):
+        platform = make_platform(rng, size=5)
+        values = [1.0, 9.0]
+        report = platform.submit_batch(
+            "naive", batch_of_tasks([(1, 0)], values, required=5)
+        )
+        assert report.judgments_collected == 5
+        workers = {j.worker_id for j in platform.judgment_log}
+        assert len(workers) == 5
+
+    def test_rejects_more_judgments_than_workers(self, rng):
+        platform = make_platform(rng, size=3)
+        with pytest.raises(ValueError):
+            platform.submit_batch(
+                "naive", batch_of_tasks([(0, 1)], [1.0, 2.0], required=4)
+            )
+
+    def test_empty_batch(self, rng):
+        platform = make_platform(rng)
+        report = platform.submit_batch("naive", [])
+        assert report.answers == []
+        assert platform.logical_steps == 0
+
+    def test_unknown_pool(self, rng):
+        platform = make_platform(rng)
+        with pytest.raises(KeyError):
+            platform.submit_batch("ghost", batch_of_tasks([(0, 1)], [1.0, 2.0]))
+
+    def test_step_counters(self, rng):
+        platform = make_platform(rng, availability=0.5)
+        values = [1.0, 9.0, 4.0, 2.0]
+        platform.submit_batch("naive", batch_of_tasks([(0, 1), (2, 3)], values))
+        platform.submit_batch("naive", batch_of_tasks([(1, 2)], values))
+        assert platform.logical_steps == 2
+        assert platform.physical_steps_total >= 2
+
+    def test_ledger_charged_per_judgment(self, rng):
+        platform = make_platform(rng)
+        values = [1.0, 9.0]
+        platform.submit_batch("naive", batch_of_tasks([(0, 1)], values, required=3))
+        assert platform.ledger.operations("naive") == 3
+
+
+class TestQualityControl:
+    def test_spammers_get_banned_and_answers_stay_correct(self, rng):
+        models = [PerfectWorkerModel()] * 10 + [RandomSpammerModel()] * 3
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 20), rng, n_pairs=15, gold_fraction=0.3
+        )
+        platform = make_platform(rng, models=models, gold=gold)
+        values = list(np.linspace(0, 50, 12))
+        pairs = [(i, i + 1) for i in range(11)] * 4
+        report = platform.submit_batch(
+            "naive", batch_of_tasks(pairs, values, required=3)
+        )
+        pool = platform.pools["naive"]
+        banned = [w for w in pool.workers if w.banned]
+        # Spammers answer gold at ~50%: with enough probes they get caught.
+        assert all(w.worker_id >= 10 for w in banned)
+        assert platform.ledger.operations("gold:naive") > 0
+        # Majority of 3 with mostly perfect workers: answers correct.
+        truth = [values[i] > values[j] for i, j in pairs]
+        agreement = np.mean([a == t for a, t in zip(report.answers, truth)])
+        assert agreement > 0.9
+
+    def test_banned_worker_judgments_are_discarded(self, rng):
+        # A pool of pure spammers plus perfect workers and aggressive
+        # gold: discarded judgments must be re-collected.
+        models = [PerfectWorkerModel()] * 6 + [RandomSpammerModel()] * 2
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 20),
+            rng,
+            n_pairs=15,
+            gold_fraction=0.5,
+            min_gold_answers=2,
+        )
+        platform = make_platform(rng, models=models, gold=gold)
+        values = [1.0, 9.0]
+        report = platform.submit_batch(
+            "naive", batch_of_tasks([(0, 1)] * 3, values, required=2)
+        )
+        assert len(report.answers) == 3
+        # kept judgments never come from banned workers
+        banned_ids = {w.worker_id for w in platform.pools["naive"].workers if w.banned}
+        for judgment in platform.judgment_log:
+            assert judgment.worker_id not in banned_ids
+
+    def test_position_randomisation_defeats_lazy_first(self, rng):
+        models = [LazyFirstModel()] * 5
+        platform = make_platform(rng, models=models)
+        values = [1.0, 9.0]
+        correct = 0
+        trials = 200
+        for _ in range(trials):
+            report = platform.submit_batch(
+                "naive", batch_of_tasks([(1, 0)], values, required=1)
+            )
+            correct += int(report.answers[0])
+        # A pure position-biased worker ends up at a coin flip.
+        assert 0.35 < correct / trials < 0.65
+
+
+class TestTaskValidation:
+    def test_task_requires_positive_judgments(self):
+        with pytest.raises(ValueError):
+            ComparisonTask(
+                task_id=0,
+                first=0,
+                second=1,
+                value_first=1.0,
+                value_second=2.0,
+                required_judgments=0,
+            )
+
+    def test_gold_task_requires_truth(self):
+        with pytest.raises(ValueError):
+            ComparisonTask(
+                task_id=0,
+                first=0,
+                second=1,
+                value_first=1.0,
+                value_second=2.0,
+                required_judgments=1,
+                is_gold=True,
+            )
+
+    def test_platform_requires_a_pool(self, rng):
+        with pytest.raises(ValueError):
+            CrowdPlatform({}, rng)

@@ -1,0 +1,129 @@
+"""Tests for repro.platform.reliability (gold-free worker scoring)."""
+
+import numpy as np
+import pytest
+
+from repro.platform.job import Judgment
+from repro.platform.platform import CrowdPlatform
+from repro.platform.reliability import score_workers, select_experts
+from repro.platform.workforce import WorkerPool
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.spammer import RandomSpammerModel
+
+
+def make_judgments(task_answers: dict[int, dict[int, bool]]):
+    """task_id -> {worker_id: first_wins}."""
+    return [
+        Judgment(
+            task_id=task_id,
+            worker_id=worker_id,
+            first_wins=answer,
+            physical_step=0,
+            is_gold=False,
+        )
+        for task_id, answers in task_answers.items()
+        for worker_id, answer in answers.items()
+    ]
+
+
+class TestScoreWorkers:
+    def test_consistent_majority_scores_high(self):
+        # Workers 0-2 always agree; worker 3 always disagrees.
+        judgments = make_judgments(
+            {
+                t: {0: True, 1: True, 2: True, 3: False}
+                for t in range(10)
+            }
+        )
+        report = score_workers(judgments)
+        assert report.n_tasks_used == 10
+        assert report.scores[0] > 0.9
+        assert report.scores[3] < 0.2
+
+    def test_iteration_downweights_the_outlier(self):
+        judgments = make_judgments(
+            {t: {0: True, 1: True, 2: False} for t in range(8)}
+        )
+        report = score_workers(judgments)
+        # With iteration, 0 and 1 reinforce each other; 2 collapses.
+        assert report.scores[2] < report.scores[0]
+
+    def test_empty_log(self):
+        report = score_workers([])
+        assert report.scores == {}
+        assert report.n_tasks_used == 0
+
+    def test_single_judgment_tasks_are_ignored(self):
+        judgments = make_judgments({0: {0: True}, 1: {1: False}})
+        report = score_workers(judgments)
+        assert report.scores == {}
+
+    def test_gold_judgments_excluded(self):
+        judgments = make_judgments({t: {0: True, 1: True} for t in range(5)})
+        gold = [
+            Judgment(task_id=99, worker_id=0, first_wins=True, physical_step=0, is_gold=True)
+        ]
+        report = score_workers(judgments + gold)
+        assert report.n_tasks_used == 5
+
+    def test_ranked_order(self):
+        judgments = make_judgments(
+            {t: {0: True, 1: True, 2: False} for t in range(6)}
+        )
+        ranked = score_workers(judgments).ranked()
+        assert ranked[0][0] in (0, 1)
+        assert ranked[-1][0] == 2
+
+
+class TestSelectExperts:
+    def test_top_k(self):
+        judgments = make_judgments(
+            {t: {0: True, 1: True, 2: False} for t in range(6)}
+        )
+        report = score_workers(judgments)
+        assert set(select_experts(report, top_k=2)) == {0, 1}
+
+    def test_min_score(self):
+        judgments = make_judgments(
+            {t: {0: True, 1: True, 2: False} for t in range(6)}
+        )
+        report = score_workers(judgments)
+        assert 2 not in select_experts(report, min_score=0.5)
+
+    def test_validation(self):
+        report = score_workers([])
+        with pytest.raises(ValueError):
+            select_experts(report)
+        with pytest.raises(ValueError):
+            select_experts(report, top_k=0)
+
+
+class TestEndToEndWithPlatform:
+    def test_spammers_surface_at_the_bottom(self, rng):
+        # Run real multi-judgment batches, then score from the log:
+        # the spammers must rank below the honest workers without any
+        # gold being involved.
+        models = [PerfectWorkerModel()] * 6 + [RandomSpammerModel()] * 2
+        pool = WorkerPool.from_models("naive", models)
+        platform = CrowdPlatform({"naive": pool}, rng)
+        values = np.linspace(0, 100, 20)
+        from repro.platform.job import ComparisonTask
+
+        tasks = [
+            ComparisonTask(
+                task_id=k,
+                first=k,
+                second=k + 1,
+                value_first=values[k],
+                value_second=values[k + 1],
+                required_judgments=5,
+            )
+            for k in range(19)
+        ]
+        platform.submit_batch("naive", tasks)
+        report = score_workers(platform.judgment_log)
+        ranked_ids = [w for w, _ in report.ranked()]
+        spammer_ids = {6, 7}
+        # both spammers in the bottom half of the ranking
+        bottom_half = set(ranked_ids[len(ranked_ids) // 2 :])
+        assert spammer_ids <= bottom_half

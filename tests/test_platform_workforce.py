@@ -1,0 +1,72 @@
+"""Tests for repro.platform.workforce."""
+
+import numpy as np
+import pytest
+
+from repro.platform.workforce import SimulatedWorker, WorkerPool
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestSimulatedWorker:
+    def test_judging_counts_and_answers(self, rng):
+        worker = SimulatedWorker(worker_id=0, model=PerfectWorkerModel())
+        assert worker.judge(2.0, 1.0, rng) is True
+        assert worker.judge(1.0, 2.0, rng) is False
+        assert worker.judgments_made == 2
+
+    def test_gold_accuracy_bookkeeping(self):
+        worker = SimulatedWorker(worker_id=0, model=PerfectWorkerModel())
+        assert worker.gold_accuracy == 1.0  # benefit of the doubt
+        worker.record_gold(True)
+        worker.record_gold(False)
+        assert worker.gold_answered == 2
+        assert worker.gold_accuracy == 0.5
+
+
+class TestWorkerPool:
+    def test_homogeneous_construction(self):
+        pool = WorkerPool.homogeneous("naive", ThresholdWorkerModel(delta=1.0), size=5)
+        assert len(pool.workers) == 5
+        assert pool.workers[0].worker_id == 0
+        assert pool.workers[4].worker_id == 4
+
+    def test_id_offset(self):
+        pool = WorkerPool.homogeneous(
+            "expert", PerfectWorkerModel(), size=3, id_offset=100
+        )
+        assert [w.worker_id for w in pool.workers] == [100, 101, 102]
+
+    def test_get_by_id(self):
+        pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=3)
+        assert pool.get(1).worker_id == 1
+        with pytest.raises(KeyError):
+            pool.get(99)
+
+    def test_active_members_excludes_banned(self):
+        pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=3)
+        pool.workers[1].banned = True
+        assert [w.worker_id for w in pool.active_members] == [0, 2]
+
+    def test_full_availability_returns_everyone(self, rng):
+        pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=4)
+        assert len(pool.sample_active(rng)) == 4
+
+    def test_partial_availability_samples_subset(self, rng):
+        pool = WorkerPool.homogeneous(
+            "naive", PerfectWorkerModel(), size=200, availability=0.3
+        )
+        sizes = [len(pool.sample_active(rng)) for _ in range(20)]
+        assert 20 < np.mean(sizes) < 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=0)
+        with pytest.raises(ValueError):
+            WorkerPool.homogeneous(
+                "naive", PerfectWorkerModel(), size=3, availability=0.0
+            )
+        with pytest.raises(ValueError):
+            WorkerPool.homogeneous(
+                "naive", PerfectWorkerModel(), size=3, cost_per_judgment=-2.0
+            )

@@ -1,0 +1,188 @@
+"""Property-based tests (hypothesis) for the paper's core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    filter_comparisons_upper_bound,
+    survivor_upper_bound,
+    two_maxfind_comparisons_upper_bound,
+)
+from repro.core.filter_phase import filter_candidates
+from repro.core.instance import true_rank
+from repro.core.oracle import ComparisonOracle
+from repro.core.two_maxfind import two_maxfind
+from repro.workers.aggregation import majority_accuracy_exact
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.probabilistic import FixedErrorWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+# ----------------------------------------------------------------------
+# Lemma 2: in ANY tournament on m elements, at most 2r - 1 elements can
+# win at least m - r comparisons.  This is a purely combinatorial fact,
+# independent of the error model — exactly what the proof shows.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=28),
+    r=st.integers(min_value=1, max_value=27),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_lemma2_holds_for_arbitrary_tournaments(m, r, seed):
+    if r >= m:
+        return
+    rng = np.random.default_rng(seed)
+    wins = np.zeros(m, dtype=int)
+    for i in range(m):
+        for j in range(i + 1, m):
+            if rng.random() < 0.5:
+                wins[i] += 1
+            else:
+                wins[j] += 1
+    qualified = int(np.count_nonzero(wins >= m - r))
+    assert qualified <= 2 * r - 1
+
+
+# ----------------------------------------------------------------------
+# Lemma 3 / filter invariants on arbitrary value sets.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=120,
+    ),
+    u_n=st.integers(min_value=1, max_value=8),
+    delta=st.floats(min_value=0.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_filter_keeps_max_and_respects_bounds(values, u_n, delta, seed):
+    """With eps = 0 threshold workers and u_n >= the true count, the
+    maximum survives, survivors are bounded, and so are comparisons."""
+    arr = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    # Paper convention: u_n counts the maximum itself, and the guarantee
+    # needs the parameter to be at least the true u_n.
+    true_u = int(np.count_nonzero(arr.max() - arr <= delta))
+    u_n = max(u_n, true_u, 1)
+    oracle = ComparisonOracle(arr, ThresholdWorkerModel(delta=delta), rng)
+    result = filter_candidates(oracle, u_n=u_n)
+    max_indices = set(np.flatnonzero(arr == arr.max()).tolist())
+    assert max_indices & set(result.survivors.tolist())
+    if len(arr) >= 2 * u_n:
+        assert len(result.survivors) <= survivor_upper_bound(u_n)
+    assert result.comparisons <= filter_comparisons_upper_bound(len(arr), u_n)
+
+
+# ----------------------------------------------------------------------
+# 2-MaxFind with a perfect comparator returns a maximum element, within
+# its comparison budget, for arbitrary inputs.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_two_maxfind_exact_with_perfect_comparator(values, seed):
+    arr = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    oracle = ComparisonOracle(arr, PerfectWorkerModel(), rng)
+    result = two_maxfind(oracle)
+    assert arr[result.winner] == arr.max()
+    assert result.comparisons <= two_maxfind_comparisons_upper_bound(len(arr))
+
+
+# ----------------------------------------------------------------------
+# 2-MaxFind under T(delta, 0): the returned element is within 2 delta of
+# the maximum, for arbitrary inputs and thresholds.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    ),
+    delta=st.floats(min_value=0.0, max_value=500.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_two_maxfind_two_delta_guarantee(values, delta, seed):
+    arr = np.asarray(values, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    oracle = ComparisonOracle(arr, ThresholdWorkerModel(delta=delta), rng)
+    result = two_maxfind(oracle)
+    assert arr.max() - arr[result.winner] <= 2.0 * delta + 1e-9
+
+
+# ----------------------------------------------------------------------
+# Oracle memoization: answers are consistent under arbitrary query
+# sequences, and fresh counts never exceed the number of distinct pairs.
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=12),
+    queries=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=11), st.integers(min_value=0, max_value=11)),
+        min_size=1,
+        max_size=120,
+    ),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_oracle_memo_consistency(n, queries, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.uniform(0, 1, size=n)
+    oracle = ComparisonOracle(values, FixedErrorWorkerModel(0.45), rng)
+    seen: dict[tuple[int, int], int] = {}
+    distinct = set()
+    for i, j in queries:
+        i %= n
+        j %= n
+        if i == j:
+            continue
+        key = (min(i, j), max(i, j))
+        distinct.add(key)
+        winner = oracle.compare(i, j)
+        assert winner in (i, j)
+        if key in seen:
+            assert seen[key] == winner
+        seen[key] = winner
+    assert oracle.comparisons == len(distinct)
+
+
+# ----------------------------------------------------------------------
+# Majority voting: exact accuracy is monotone in k for odd k when the
+# single vote is better than a coin.
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    p=st.floats(min_value=0.501, max_value=0.999),
+    k=st.integers(min_value=1, max_value=40),
+)
+def test_majority_monotone_for_good_voters(p, k):
+    odd_k = 2 * k - 1
+    assert majority_accuracy_exact(p, odd_k + 2) >= majority_accuracy_exact(p, odd_k) - 1e-12
+
+
+# ----------------------------------------------------------------------
+# true_rank: the argmax always has rank 1, ranks lie in [1, n].
+# ----------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_rank_properties(values):
+    arr = np.asarray(values, dtype=np.float64)
+    assert true_rank(arr, int(np.argmax(arr))) == 1
+    for idx in range(len(arr)):
+        assert 1 <= true_rank(arr, idx) <= len(arr)

@@ -1,0 +1,87 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cascade import CascadeMaxFinder
+from repro.core.generators import tiered_instance
+from repro.core.oracle import ComparisonOracle
+from repro.core.topk import find_top_k
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.expert import WorkerClass
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+# ----------------------------------------------------------------------
+# Tiered generator: realises every level of the hierarchy exactly.
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=50, max_value=400),
+    u3=st.integers(min_value=1, max_value=4),
+    extra2=st.integers(min_value=0, max_value=6),
+    extra1=st.integers(min_value=0, max_value=15),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_tiered_instance_realises_all_levels(n, u3, extra2, extra1, seed):
+    u_values = [u3 + extra2 + extra1, u3 + extra2, u3]
+    if u_values[0] >= n:
+        return
+    deltas = [4.0, 1.0, 0.25]
+    rng = np.random.default_rng(seed)
+    instance = tiered_instance(n=n, u_values=u_values, deltas=deltas, rng=rng)
+    for u, delta in zip(u_values, deltas):
+        assert instance.u_count(delta) == u
+
+
+# ----------------------------------------------------------------------
+# Cascade: under zero-eps threshold classes with correct u parameters,
+# the returned element is within 2 * delta_final of the maximum.
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=60, max_value=300),
+    u3=st.integers(min_value=1, max_value=3),
+    extra2=st.integers(min_value=0, max_value=5),
+    extra1=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_cascade_accuracy_property(n, u3, extra2, extra1, seed):
+    u_values = [u3 + extra2 + extra1, u3 + extra2, u3]
+    if u_values[0] >= n // 3:
+        return
+    deltas = [4.0, 1.0, 0.25]
+    rng = np.random.default_rng(seed)
+    instance = tiered_instance(n=n, u_values=u_values, deltas=deltas, rng=rng)
+    classes = [
+        WorkerClass("c1", ThresholdWorkerModel(delta=deltas[0]), 1.0),
+        WorkerClass("c2", ThresholdWorkerModel(delta=deltas[1]), 5.0),
+        WorkerClass("c3", ThresholdWorkerModel(delta=deltas[2], is_expert=True), 25.0),
+    ]
+    finder = CascadeMaxFinder(classes, u_values=u_values[:2])
+    result = finder.run(instance, rng)
+    assert instance.distance_to_max(result.winner) <= 2 * deltas[2] + 1e-9
+    # stage shrinkage respects the per-stage survivor bounds
+    assert result.stages[0].survivors <= 2 * u_values[0] - 1
+    assert result.stages[1].survivors <= 2 * u_values[1] - 1
+
+
+# ----------------------------------------------------------------------
+# Top-k with perfect comparators recovers the exact top-k, for any k.
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(
+    m=st.integers(min_value=3, max_value=60),
+    k_fraction=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_topk_exact_with_perfect_comparators(m, k_fraction, seed):
+    rng = np.random.default_rng(seed)
+    values = rng.permutation(np.arange(m, dtype=float))
+    k = max(1, int(round(k_fraction * m)))
+    naive = WorkerClass("naive", PerfectWorkerModel(is_expert=False), 1.0)
+    expert = WorkerClass("expert", PerfectWorkerModel(), 10.0)
+    result = find_top_k(values, naive, expert, k=k, u_n=1, rng=rng)
+    expected = list(np.argsort(-values)[:k])
+    assert result.ranking == expected

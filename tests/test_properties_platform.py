@@ -1,0 +1,98 @@
+"""Property-based tests for platform invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.job import ComparisonTask
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.probabilistic import FixedErrorWorkerModel
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pool_size=st.integers(min_value=2, max_value=12),
+    availability=st.floats(min_value=0.2, max_value=1.0),
+    n_tasks=st.integers(min_value=1, max_value=8),
+    redundancy=st.integers(min_value=1, max_value=4),
+    p_error=st.floats(min_value=0.0, max_value=0.45),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_batch_invariants_hold_for_arbitrary_configurations(
+    pool_size, availability, n_tasks, redundancy, p_error, seed
+):
+    """For any legal configuration: every task gets exactly its required
+    judgments, from distinct workers, all of them billed."""
+    if redundancy > pool_size:
+        redundancy = pool_size
+    rng = np.random.default_rng(seed)
+    model = FixedErrorWorkerModel(error_probability=p_error) if p_error > 0 else PerfectWorkerModel()
+    pool = WorkerPool.homogeneous(
+        "naive", model, size=pool_size, availability=availability
+    )
+    platform = CrowdPlatform({"naive": pool}, rng)
+    values = rng.uniform(0, 100, size=2 * n_tasks)
+    tasks = [
+        ComparisonTask(
+            task_id=k,
+            first=2 * k,
+            second=2 * k + 1,
+            value_first=float(values[2 * k]),
+            value_second=float(values[2 * k + 1]),
+            required_judgments=redundancy,
+        )
+        for k in range(n_tasks)
+    ]
+    report = platform.submit_batch("naive", tasks)
+
+    # One answer per task, in order.
+    assert len(report.answers) == n_tasks
+    # Exactly the required number of kept judgments per task.
+    kept_per_task: dict[int, list[int]] = {}
+    for judgment in platform.judgment_log:
+        kept_per_task.setdefault(judgment.task_id, []).append(judgment.worker_id)
+    for task in tasks:
+        workers = kept_per_task[task.task_id]
+        assert len(workers) == redundancy
+        assert len(set(workers)) == redundancy  # distinct workers
+    # Billing covers every kept judgment (no gold configured here).
+    assert platform.ledger.operations("naive") >= n_tasks * redundancy
+    # Logical/physical step accounting is coherent.
+    assert platform.logical_steps == 1
+    assert platform.physical_steps_total == report.physical_steps >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    pool_size=st.integers(min_value=3, max_value=10),
+    n_tasks=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_perfect_pools_always_answer_correctly(pool_size, n_tasks, seed):
+    """With perfect workers, the majority answer equals the truth for
+    every task, regardless of pool size or batch composition."""
+    rng = np.random.default_rng(seed)
+    pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=pool_size)
+    platform = CrowdPlatform({"naive": pool}, rng)
+    values = rng.uniform(0, 100, size=2 * n_tasks)
+    # perturb exact ties, which have no ground truth
+    for k in range(n_tasks):
+        if values[2 * k] == values[2 * k + 1]:
+            values[2 * k] += 1.0
+    tasks = [
+        ComparisonTask(
+            task_id=k,
+            first=2 * k,
+            second=2 * k + 1,
+            value_first=float(values[2 * k]),
+            value_second=float(values[2 * k + 1]),
+            required_judgments=min(3, pool_size),
+        )
+        for k in range(n_tasks)
+    ]
+    report = platform.submit_batch("naive", tasks)
+    for k, answer in enumerate(report.answers):
+        assert answer == (values[2 * k] > values[2 * k + 1])

@@ -1,0 +1,174 @@
+"""Tests for repro.service (the CrowdDB-style job API)."""
+
+import numpy as np
+import pytest
+
+from repro.core.generators import planted_instance
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.service import CrowdJobResult, CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+@pytest.fixture
+def platform(rng):
+    naive_pool = WorkerPool.homogeneous(
+        "crowd", ThresholdWorkerModel(delta=1.0), size=20, cost_per_judgment=1.0
+    )
+    expert_pool = WorkerPool.homogeneous(
+        "experts",
+        ThresholdWorkerModel(delta=0.25, is_expert=True),
+        size=3,
+        cost_per_judgment=20.0,
+    )
+    return CrowdPlatform({"crowd": naive_pool, "experts": expert_pool}, rng)
+
+
+@pytest.fixture
+def instance(rng):
+    return planted_instance(n=200, u_n=5, u_e=2, delta_n=1.0, delta_e=0.25, rng=rng)
+
+
+def max_job(instance, **kwargs):
+    return CrowdMaxJob(
+        instance,
+        u_n=5,
+        phase1=JobPhaseConfig(pool="crowd"),
+        phase2=JobPhaseConfig(pool="experts"),
+        **kwargs,
+    )
+
+
+class TestCrowdMaxJob:
+    def test_end_to_end(self, rng, platform, instance):
+        result = max_job(instance).execute(platform, rng)
+        assert isinstance(result, CrowdJobResult)
+        assert instance.distance_to_max(result.winner) <= 2 * 0.25 + 1e-9
+        assert result.total_cost > 0
+        assert result.logical_steps > 0
+        assert result.physical_steps > 0
+
+    def test_bill_matches_the_ledger(self, rng, platform, instance):
+        result = max_job(instance).execute(platform, rng)
+        assert platform.ledger.total_cost == pytest.approx(result.total_cost)
+        # per-pool attribution exists
+        assert platform.ledger.operations("crowd") == result.naive_comparisons
+        assert platform.ledger.operations("experts") == result.expert_comparisons
+
+    def test_worst_case_cost_formula(self, platform, instance):
+        job = max_job(instance)
+        expected = 4 * 200 * 5 * 1.0 + int(np.ceil(2 * 9**1.5)) * 20.0
+        assert job.worst_case_cost(platform) == pytest.approx(expected)
+
+    def test_budget_cap_blocks_overruns_up_front(self, rng, platform, instance):
+        job = max_job(instance, budget_cap=100.0)
+        with pytest.raises(ValueError, match="budget cap"):
+            job.execute(platform, rng)
+        # nothing was spent
+        assert platform.ledger.total_cost == 0.0
+
+    def test_generous_cap_allows_execution(self, rng, platform, instance):
+        job = max_job(instance, budget_cap=1e7)
+        result = job.execute(platform, rng)
+        assert result.total_cost <= 1e7
+
+    def test_redundancy_multiplies_cost(self, rng, platform, instance):
+        single = max_job(instance).execute(platform, rng)
+        rng2 = np.random.default_rng(999)
+        platform2_pools = {
+            "crowd": WorkerPool.homogeneous(
+                "crowd", ThresholdWorkerModel(delta=1.0), size=20
+            ),
+            "experts": WorkerPool.homogeneous(
+                "experts",
+                ThresholdWorkerModel(delta=0.25, is_expert=True),
+                size=5,
+                cost_per_judgment=20.0,
+            ),
+        }
+        platform2 = CrowdPlatform(platform2_pools, rng2)
+        redundant = CrowdMaxJob(
+            instance,
+            u_n=5,
+            phase1=JobPhaseConfig(pool="crowd", judgments_per_comparison=3),
+            phase2=JobPhaseConfig(pool="experts"),
+        ).execute(platform2, rng2)
+        # ~3x the phase-1 judgments for a comparable comparison count
+        assert (
+            platform2.ledger.operations("crowd")
+            >= 2 * redundant.naive_comparisons
+        )
+        del single
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            CrowdMaxJob(
+                instance,
+                u_n=0,
+                phase1=JobPhaseConfig(pool="a"),
+                phase2=JobPhaseConfig(pool="b"),
+            )
+        with pytest.raises(ValueError):
+            JobPhaseConfig(pool="a", judgments_per_comparison=0)
+
+
+class TestCrowdTopKJob:
+    def test_topk_end_to_end(self, rng, platform, instance):
+        job = CrowdTopKJob(
+            instance,
+            u_n=5,
+            k=3,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+        )
+        result = job.execute(platform, rng)
+        assert len(result.answer) == 3
+        assert len(set(result.answer)) == 3
+        # every returned element comes from the survivor set
+        assert set(result.answer) <= set(result.survivors.tolist())
+
+    def test_topk_exact_with_perfect_pools(self, rng, instance):
+        pools = {
+            "crowd": WorkerPool.homogeneous("crowd", PerfectWorkerModel(), size=10),
+            "experts": WorkerPool.homogeneous(
+                "experts", PerfectWorkerModel(), size=3
+            ),
+        }
+        platform = CrowdPlatform(pools, rng)
+        job = CrowdTopKJob(
+            instance,
+            u_n=1,
+            k=4,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+        )
+        result = job.execute(platform, rng)
+        assert result.answer == [int(e) for e in instance.top_indices(4)]
+
+    def test_topk_worst_case_uses_inflated_u(self, platform, instance):
+        small = CrowdTopKJob(
+            instance,
+            u_n=5,
+            k=1,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+        )
+        large = CrowdTopKJob(
+            instance,
+            u_n=5,
+            k=6,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+        )
+        assert large.worst_case_cost(platform) > small.worst_case_cost(platform)
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            CrowdTopKJob(
+                instance,
+                u_n=5,
+                k=0,
+                phase1=JobPhaseConfig(pool="a"),
+                phase2=JobPhaseConfig(pool="b"),
+            )

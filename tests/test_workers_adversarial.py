@@ -1,0 +1,67 @@
+"""Tests for repro.workers.adversarial."""
+
+import numpy as np
+import pytest
+
+from repro.workers.adversarial import ADVERSARIAL_POLICIES, AdversarialWorkerModel
+
+
+class TestPolicies:
+    def test_truthful_above_threshold(self, rng):
+        for policy in ADVERSARIAL_POLICIES:
+            model = AdversarialWorkerModel(delta=1.0, policy=policy)
+            wins = model.decide(
+                np.asarray([5.0]),
+                np.asarray([1.0]),
+                rng,
+                indices_i=np.asarray([0]),
+                indices_j=np.asarray([1]),
+            )
+            assert wins[0]
+
+    def test_first_loses_below_threshold(self, rng):
+        model = AdversarialWorkerModel(delta=1.0, policy="first_loses")
+        wins = model.decide(np.asarray([1.5]), np.asarray([1.0]), rng)
+        assert not wins[0]
+        wins = model.decide(np.asarray([1.0]), np.asarray([1.5]), rng)
+        assert not wins[0]
+
+    def test_anti_max_below_threshold(self, rng):
+        model = AdversarialWorkerModel(delta=1.0, policy="anti_max")
+        wins = model.decide(np.asarray([1.5, 1.0]), np.asarray([1.0, 1.5]), rng)
+        assert wins.tolist() == [False, True]  # the better element loses
+
+    def test_stable_policy_orders_by_index(self, rng):
+        model = AdversarialWorkerModel(delta=1.0, policy="stable")
+        wins = model.decide(
+            np.asarray([1.0, 1.5]),
+            np.asarray([1.5, 1.0]),
+            rng,
+            indices_i=np.asarray([0, 7]),
+            indices_j=np.asarray([3, 2]),
+        )
+        assert wins.tolist() == [True, False]  # lower index wins hard pairs
+
+    def test_stable_requires_indices(self, rng):
+        model = AdversarialWorkerModel(delta=1.0, policy="stable")
+        with pytest.raises(ValueError):
+            model.decide(np.asarray([1.0]), np.asarray([1.5]), rng)
+
+    def test_determinism(self, rng):
+        model = AdversarialWorkerModel(delta=1.0, policy="anti_max")
+        vi = np.asarray([1.2, 3.0, 0.5])
+        vj = np.asarray([1.0, 3.5, 0.6])
+        first = model.decide(vi, vj, rng)
+        second = model.decide(vi, vj, rng)
+        assert (first == second).all()
+
+    def test_accuracy(self):
+        model = AdversarialWorkerModel(delta=1.0)
+        assert model.accuracy(0.5) == 0.0
+        assert model.accuracy(2.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialWorkerModel(delta=-1.0)
+        with pytest.raises(ValueError):
+            AdversarialWorkerModel(delta=1.0, policy="chaotic")

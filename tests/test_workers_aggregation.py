@@ -1,0 +1,120 @@
+"""Tests for repro.workers.aggregation (majority voting)."""
+
+import numpy as np
+import pytest
+
+from repro.workers.aggregation import (
+    MajorityOfKModel,
+    majority_accuracy_exact,
+    majority_error_chernoff,
+    majority_vote,
+)
+from repro.workers.beliefs import CrowdBeliefTable
+from repro.workers.probabilistic import FixedErrorWorkerModel
+from repro.workers.threshold import CrowdBeliefBehavior, ThresholdWorkerModel
+
+
+class TestMajorityVote:
+    def test_improves_on_single_vote_in_the_probabilistic_model(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.35)
+        n = 4000
+        vi = np.full(n, 2.0)
+        vj = np.full(n, 1.0)
+        single = np.mean(model.decide(vi, vj, rng))
+        aggregated = np.mean(majority_vote(model, vi, vj, 15, rng))
+        assert aggregated > single
+
+    def test_k_one_equals_single_vote_distribution(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.3)
+        n = 20_000
+        wins = majority_vote(model, np.full(n, 2.0), np.full(n, 1.0), 1, rng)
+        assert np.mean(wins) == pytest.approx(0.7, abs=0.02)
+
+    def test_rejects_k_zero(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.3)
+        with pytest.raises(ValueError):
+            majority_vote(model, np.asarray([1.0]), np.asarray([2.0]), 0, rng)
+
+    def test_cannot_beat_the_threshold_barrier(self, rng):
+        # The paper's key negative result: aggregation does not simulate
+        # expertise.  With a crowd-belief plateau q, the k -> infinity
+        # accuracy is q, not 1.
+        q = 0.6
+        table = CrowdBeliefTable(
+            seed=2, consensus_correct_probability=q, follow_probability=0.9
+        )
+        model = ThresholdWorkerModel(delta=10.0, below=CrowdBeliefBehavior(table))
+        n_pairs = 1500
+        ii = np.arange(n_pairs)
+        jj = np.arange(n_pairs) + n_pairs
+        vi = np.full(n_pairs, 2.0)
+        vj = np.full(n_pairs, 1.0)
+        wins = majority_vote(model, vi, vj, 21, rng, indices_i=ii, indices_j=jj)
+        assert np.mean(wins) == pytest.approx(q, abs=0.06)
+        assert np.mean(wins) < 0.75  # nowhere near 1
+
+
+class TestExactFormula:
+    def test_matches_hand_computation_for_k3(self):
+        p = 0.7
+        expected = p**3 + 3 * p**2 * (1 - p)
+        assert majority_accuracy_exact(p, 3) == pytest.approx(expected)
+
+    def test_monotone_in_k_for_good_voters(self):
+        accuracies = [majority_accuracy_exact(0.65, k) for k in (1, 3, 5, 9, 21)]
+        assert accuracies == sorted(accuracies)
+
+    def test_even_k_tie_break(self):
+        # k = 2 with a fair coin on ties: p^2 + p(1-p)
+        p = 0.6
+        expected = p * p + p * (1 - p)
+        assert majority_accuracy_exact(p, 2) == pytest.approx(expected)
+
+    def test_coin_voters_stay_at_half(self):
+        for k in (1, 5, 21):
+            assert majority_accuracy_exact(0.5, k) == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            majority_accuracy_exact(0.7, 0)
+        with pytest.raises(ValueError):
+            majority_accuracy_exact(1.2, 3)
+
+
+class TestChernoff:
+    def test_bound_dominates_exact_error(self):
+        for p in (0.1, 0.3, 0.45):
+            for k in (1, 5, 21, 101):
+                exact_error = 1.0 - majority_accuracy_exact(1.0 - p, k)
+                assert majority_error_chernoff(p, k) >= exact_error - 1e-12
+
+    def test_decays_in_k(self):
+        bounds = [majority_error_chernoff(0.3, k) for k in (1, 11, 51, 201)]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[-1] < 1e-2
+
+    def test_requires_p_below_half(self):
+        with pytest.raises(ValueError):
+            majority_error_chernoff(0.5, 3)
+
+
+class TestMajorityOfKModel:
+    def test_wraps_base_model(self, rng):
+        base = FixedErrorWorkerModel(error_probability=0.3)
+        sim_expert = MajorityOfKModel(base, k=15)
+        assert sim_expert.is_expert
+        assert sim_expert.votes_per_query == 15
+        n = 4000
+        wins = sim_expert.decide(np.full(n, 2.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) > 0.9
+
+    def test_accuracy_composition(self):
+        base = FixedErrorWorkerModel(error_probability=0.3)
+        sim_expert = MajorityOfKModel(base, k=7)
+        assert sim_expert.accuracy(1.0) == pytest.approx(
+            majority_accuracy_exact(0.7, 7)
+        )
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            MajorityOfKModel(FixedErrorWorkerModel(0.1), k=0)

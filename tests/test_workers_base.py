@@ -1,0 +1,55 @@
+"""Tests for repro.workers.base."""
+
+import numpy as np
+import pytest
+
+from repro.workers.base import PerfectWorkerModel, pair_distances
+
+
+class TestPairDistances:
+    def test_absolute(self):
+        d = pair_distances(np.asarray([1.0, 5.0]), np.asarray([4.0, 2.0]), relative=False)
+        assert d.tolist() == [3.0, 3.0]
+
+    def test_relative(self):
+        d = pair_distances(np.asarray([180.0]), np.asarray([200.0]), relative=True)
+        assert d[0] == pytest.approx(0.1)
+
+    def test_relative_zero_pair(self):
+        d = pair_distances(np.asarray([0.0]), np.asarray([0.0]), relative=True)
+        assert d[0] == 0.0
+
+    def test_relative_with_negatives(self):
+        d = pair_distances(np.asarray([-180.0]), np.asarray([-200.0]), relative=True)
+        assert d[0] == pytest.approx(0.1)
+
+
+class TestPerfectWorker:
+    def test_always_correct(self, rng):
+        model = PerfectWorkerModel()
+        vi = np.asarray([1.0, 9.0, 4.0])
+        vj = np.asarray([2.0, 3.0, 4.0])
+        result = model.decide(vi, vj, rng)
+        assert result.tolist() == [False, True, True]  # ties go to first
+
+    def test_decide_single(self, rng):
+        model = PerfectWorkerModel()
+        assert model.decide_single(2.0, 1.0, rng) is True
+        assert model.decide_single(1.0, 2.0, rng) is False
+
+    def test_accuracy_is_one(self):
+        assert PerfectWorkerModel().accuracy(0.0) == 1.0
+
+    def test_is_expert_flag(self):
+        assert PerfectWorkerModel().is_expert
+        assert not PerfectWorkerModel(is_expert=False).is_expert
+
+
+class TestAccuracyDefault:
+    def test_base_accuracy_raises_without_closed_form(self, rng):
+        class Opaque(PerfectWorkerModel):
+            def accuracy(self, dist):
+                return super(PerfectWorkerModel, self).accuracy(dist)
+
+        with pytest.raises(NotImplementedError):
+            Opaque().accuracy(1.0)

@@ -1,0 +1,68 @@
+"""Tests for repro.workers.beliefs (shared crowd-belief tables)."""
+
+import numpy as np
+import pytest
+
+from repro.workers.beliefs import CrowdBeliefTable
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = CrowdBeliefTable(seed=5)
+        b = CrowdBeliefTable(seed=5)
+        ii = np.arange(100)
+        jj = np.arange(100) + 100
+        assert (a.consensus_is_correct(ii, jj) == b.consensus_is_correct(ii, jj)).all()
+
+    def test_different_seeds_differ(self):
+        a = CrowdBeliefTable(seed=5)
+        b = CrowdBeliefTable(seed=6)
+        ii = np.arange(500)
+        jj = np.arange(500) + 500
+        assert (a.consensus_is_correct(ii, jj) != b.consensus_is_correct(ii, jj)).any()
+
+    def test_symmetric_in_the_pair(self):
+        table = CrowdBeliefTable(seed=5)
+        ii = np.arange(200)
+        jj = np.arange(200) + 200
+        forward = table.consensus_is_correct(ii, jj)
+        backward = table.consensus_is_correct(jj, ii)
+        assert (forward == backward).all()
+
+
+class TestCalibration:
+    def test_consensus_correct_fraction(self):
+        q = 0.65
+        table = CrowdBeliefTable(seed=0, consensus_correct_probability=q)
+        ii = np.arange(20_000)
+        jj = np.arange(20_000) + 20_000
+        fraction = table.consensus_is_correct(ii, jj).mean()
+        assert fraction == pytest.approx(q, abs=0.02)
+
+    def test_first_win_probability_values(self):
+        table = CrowdBeliefTable(
+            seed=0, consensus_correct_probability=1.0, follow_probability=0.8
+        )
+        # Consensus always correct: the better element gets probability
+        # `follow`, the worse one `1 - follow`.
+        vi = np.asarray([2.0, 1.0])
+        vj = np.asarray([1.0, 2.0])
+        p = table.first_win_probability(vi, vj, np.asarray([0, 1]), np.asarray([1, 0]))
+        assert p.tolist() == pytest.approx([0.8, 0.2])
+
+    def test_ties_have_stable_consensus(self):
+        table = CrowdBeliefTable(seed=0, follow_probability=0.9)
+        vi = np.asarray([1.0])
+        vj = np.asarray([1.0])
+        p_forward = table.first_win_probability(vi, vj, np.asarray([3]), np.asarray([9]))
+        p_backward = table.first_win_probability(vi, vj, np.asarray([9]), np.asarray([3]))
+        # consensus points at the lower index from either direction
+        assert p_forward[0] + p_backward[0] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            CrowdBeliefTable(seed=0, consensus_correct_probability=1.5)
+        with pytest.raises(ValueError):
+            CrowdBeliefTable(seed=0, follow_probability=0.3)

@@ -1,0 +1,90 @@
+"""Tests for repro.workers.calibrated (Figure 2 calibrated models)."""
+
+import numpy as np
+import pytest
+
+from repro.workers.aggregation import majority_vote
+from repro.workers.calibrated import (
+    CARS_THRESHOLD,
+    CalibratedCarsWorkerModel,
+    make_dots_worker,
+)
+
+
+class TestDotsWorker:
+    def test_wisdom_of_crowds_regime(self, rng):
+        # Aggregating workers must drive accuracy toward 1 on every
+        # bucket: the Figure 2(a) behaviour.
+        model = make_dots_worker()
+        n = 3000
+        vi = np.full(n, 110.0)
+        vj = np.full(n, 100.0)  # hardest bucket (~9% relative)
+        single = np.mean(model.decide(vi, vj, rng))
+        aggregated = np.mean(majority_vote(model, vi, vj, 21, rng))
+        assert 0.5 < single < 0.85
+        assert aggregated > single
+        assert aggregated > 0.85
+
+    def test_easy_bucket_is_nearly_exact(self, rng):
+        model = make_dots_worker()
+        wins = model.decide(np.full(2000, 500.0), np.full(2000, 200.0), rng)
+        assert np.mean(wins) > 0.98
+
+
+class TestCarsWorker:
+    def test_requires_indices(self, rng):
+        model = CalibratedCarsWorkerModel(seed=0)
+        with pytest.raises(ValueError):
+            model.decide(np.asarray([100.0]), np.asarray([95.0]), rng)
+
+    def test_hard_pairs_plateau(self, rng):
+        # Figure 2(b): below the threshold, the 21-vote majority
+        # accuracy stays near the plateau, far from 1.
+        model = CalibratedCarsWorkerModel(seed=0, plateau_hard=0.6)
+        n_pairs = 1200
+        ii = np.arange(n_pairs)
+        jj = np.arange(n_pairs) + n_pairs
+        vi = np.full(n_pairs, 105.0)
+        vj = np.full(n_pairs, 100.0)  # ~4.8% difference: hard bucket
+        wins = majority_vote(model, vi, vj, 21, rng, indices_i=ii, indices_j=jj)
+        assert np.mean(wins) == pytest.approx(0.6, abs=0.06)
+
+    def test_medium_bucket_has_higher_plateau(self, rng):
+        model = CalibratedCarsWorkerModel(seed=0, plateau_hard=0.6, plateau_medium=0.7)
+        n_pairs = 1200
+        ii = np.arange(n_pairs)
+        jj = np.arange(n_pairs) + n_pairs
+        vi = np.full(n_pairs, 115.0)
+        vj = np.full(n_pairs, 100.0)  # ~13%: medium bucket
+        wins = majority_vote(model, vi, vj, 21, rng, indices_i=ii, indices_j=jj)
+        assert np.mean(wins) == pytest.approx(0.7, abs=0.06)
+
+    def test_easy_pairs_converge_to_one(self, rng):
+        model = CalibratedCarsWorkerModel(seed=0)
+        n_pairs = 800
+        ii = np.arange(n_pairs)
+        jj = np.arange(n_pairs) + n_pairs
+        vi = np.full(n_pairs, 200.0)
+        vj = np.full(n_pairs, 100.0)  # 50% difference: easy
+        wins = majority_vote(model, vi, vj, 7, rng, indices_i=ii, indices_j=jj)
+        assert np.mean(wins) > 0.95
+
+    def test_plateau_helper(self):
+        model = CalibratedCarsWorkerModel(seed=0, plateau_hard=0.6, plateau_medium=0.7)
+        assert model.plateau(0.05) == 0.6
+        assert model.plateau(0.15) == 0.7
+        assert model.plateau(0.5) == 1.0
+
+    def test_accuracy_helper_regions(self):
+        model = CalibratedCarsWorkerModel(seed=0)
+        assert 0.5 < model.accuracy(0.05) < 0.7
+        assert model.accuracy(0.5) > 0.85
+
+    def test_threshold_constant_matches_default(self):
+        assert CalibratedCarsWorkerModel(seed=0).threshold == CARS_THRESHOLD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalibratedCarsWorkerModel(seed=0, hard_cut=0.3, threshold=0.2)
+        with pytest.raises(ValueError):
+            CalibratedCarsWorkerModel(seed=0, p0=0.6)

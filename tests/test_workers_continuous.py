@@ -1,0 +1,93 @@
+"""Tests for repro.workers.continuous (continuous expertise)."""
+
+import numpy as np
+import pytest
+
+from repro.workers.aggregation import majority_vote
+from repro.workers.continuous import (
+    PopulationThresholdModel,
+    expertise_score,
+    sample_threshold_workers,
+)
+
+
+class TestExpertiseScore:
+    def test_monotone_decreasing_in_delta(self):
+        scores = [expertise_score(d) for d in (0.0, 0.5, 1.0, 10.0)]
+        assert scores == sorted(scores, reverse=True)
+        assert scores[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expertise_score(-1.0)
+        with pytest.raises(ValueError):
+            expertise_score(1.0, scale=0.0)
+
+
+class TestSampleThresholdWorkers:
+    def test_population_size_and_spread(self, rng):
+        workers = sample_threshold_workers(50, rng)
+        assert len(workers) == 50
+        deltas = [w.delta for w in workers]
+        assert min(deltas) >= 0.0
+        assert len(set(deltas)) > 10  # genuinely heterogeneous
+
+    def test_custom_sampler(self, rng):
+        workers = sample_threshold_workers(5, rng, delta_sampler=lambda r: 2.0)
+        assert all(w.delta == 2.0 for w in workers)
+
+    def test_rejects_negative_sampler(self, rng):
+        with pytest.raises(ValueError):
+            sample_threshold_workers(3, rng, delta_sampler=lambda r: -1.0)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            sample_threshold_workers(0, rng)
+
+
+class TestPopulationModel:
+    def test_accuracy_is_the_population_mixture(self):
+        deltas = np.asarray([0.1, 0.1, 10.0, 10.0])  # half experts, half coarse
+        model = PopulationThresholdModel(deltas)
+        # at distance 1: experts discern (acc 1), coarse flip coins
+        assert model.accuracy(1.0) == pytest.approx(0.5 * 1.0 + 0.5 * 0.5)
+
+    def test_empirical_accuracy_matches(self, rng):
+        deltas = np.asarray([0.1] * 3 + [10.0] * 7)
+        model = PopulationThresholdModel(deltas)
+        n = 30_000
+        wins = model.decide(np.full(n, 2.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(model.accuracy(1.0), abs=0.01)
+
+    def test_one_expert_in_the_crowd_unlocks_majority_voting(self, rng):
+        # 20% of the population discerns the pair: single-vote accuracy
+        # is 0.6, but the majority of many votes converges toward 1 —
+        # unlike the paper's homogeneous-threshold crowd.
+        deltas = np.asarray([0.1] * 2 + [10.0] * 8)
+        model = PopulationThresholdModel(deltas)
+        n = 3000
+        vi, vj = np.full(n, 2.0), np.full(n, 1.0)
+        single = np.mean(model.decide(vi, vj, rng))
+        aggregated = np.mean(majority_vote(model, vi, vj, 41, rng))
+        assert aggregated > single
+        assert aggregated > 0.85
+
+    def test_homogeneous_population_reduces_to_threshold_model(self, rng):
+        model = PopulationThresholdModel(np.asarray([5.0]))
+        n = 10_000
+        wins = model.decide(np.full(n, 2.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.03)
+
+    def test_epsilon_above_threshold(self, rng):
+        model = PopulationThresholdModel(np.asarray([0.1]), epsilon=0.2)
+        n = 20_000
+        wins = model.decide(np.full(n, 5.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.8, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PopulationThresholdModel(np.asarray([]))
+        with pytest.raises(ValueError):
+            PopulationThresholdModel(np.asarray([-1.0]))
+        with pytest.raises(ValueError):
+            PopulationThresholdModel(np.asarray([1.0]), epsilon=1.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.workers.drift (fatigue / warm-up models)."""
+
+import numpy as np
+import pytest
+
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.drift import FatigueWorkerModel, WarmupWorkerModel
+
+
+class TestFatigue:
+    def test_fresh_worker_is_the_base(self, rng):
+        model = FatigueWorkerModel(PerfectWorkerModel(), fatigue_rate=0.01)
+        assert model.current_extra_error() == 0.0
+        wins = model.decide(np.asarray([9.0]), np.asarray([1.0]), rng)
+        assert wins[0]
+
+    def test_error_grows_with_judgments(self, rng):
+        model = FatigueWorkerModel(
+            PerfectWorkerModel(), fatigue_rate=0.05, max_extra_error=0.45
+        )
+        n = 5000
+        # grind through judgments to tire the worker out
+        model.decide(np.full(n, 2.0), np.full(n, 1.0), rng)
+        tired_error = model.current_extra_error()
+        assert tired_error == pytest.approx(0.45, abs=0.01)
+        wins = model.decide(np.full(n, 9.0), np.full(n, 1.0), rng)
+        assert np.mean(~wins) == pytest.approx(0.45, abs=0.03)
+
+    def test_reset_restores_freshness(self, rng):
+        model = FatigueWorkerModel(PerfectWorkerModel(), fatigue_rate=0.1)
+        model.decide(np.full(100, 2.0), np.full(100, 1.0), rng)
+        assert model.current_extra_error() > 0.0
+        model.reset()
+        assert model.current_extra_error() == 0.0
+
+    def test_is_expert_delegates(self):
+        model = FatigueWorkerModel(PerfectWorkerModel(is_expert=True))
+        assert model.is_expert
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatigueWorkerModel(PerfectWorkerModel(), fatigue_rate=-1.0)
+        with pytest.raises(ValueError):
+            FatigueWorkerModel(PerfectWorkerModel(), max_extra_error=0.7)
+
+
+class TestWarmup:
+    def test_early_judgments_are_noisy(self, rng):
+        model = WarmupWorkerModel(
+            PerfectWorkerModel(), learning_rate=0.0, initial_extra_error=0.3
+        )
+        n = 10_000
+        wins = model.decide(np.full(n, 9.0), np.full(n, 1.0), rng)
+        assert np.mean(~wins) == pytest.approx(0.3, abs=0.02)
+
+    def test_learning_reduces_the_error(self, rng):
+        model = WarmupWorkerModel(
+            PerfectWorkerModel(), learning_rate=0.05, initial_extra_error=0.3
+        )
+        n = 2000
+        early = np.mean(~model.decide(np.full(n, 9.0), np.full(n, 1.0), rng))
+        late = np.mean(~model.decide(np.full(n, 9.0), np.full(n, 1.0), rng))
+        assert late < early
+
+    def test_reset(self, rng):
+        model = WarmupWorkerModel(PerfectWorkerModel(), learning_rate=0.5)
+        model.decide(np.full(100, 2.0), np.full(100, 1.0), rng)
+        model.reset()
+        assert model.judgments_made == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WarmupWorkerModel(PerfectWorkerModel(), learning_rate=-0.1)
+        with pytest.raises(ValueError):
+            WarmupWorkerModel(PerfectWorkerModel(), initial_extra_error=0.9)

@@ -1,0 +1,63 @@
+"""Tests for repro.workers.expert (worker classes)."""
+
+import pytest
+
+from repro.workers.expert import WorkerClass, make_worker_classes
+from repro.workers.threshold import BiasedErrorBehavior, ThresholdWorkerModel
+
+
+class TestWorkerClass:
+    def test_fields_and_expert_flag(self):
+        cls = WorkerClass(
+            name="expert",
+            model=ThresholdWorkerModel(delta=0.1, is_expert=True),
+            cost_per_comparison=25.0,
+        )
+        assert cls.is_expert
+        assert cls.cost_per_comparison == 25.0
+
+    def test_rejects_negative_cost(self):
+        with pytest.raises(ValueError):
+            WorkerClass(
+                name="naive",
+                model=ThresholdWorkerModel(delta=1.0),
+                cost_per_comparison=-1.0,
+            )
+
+
+class TestMakeWorkerClasses:
+    def test_basic_construction(self):
+        naive, expert = make_worker_classes(
+            delta_n=1.0, delta_e=0.2, eps_n=0.1, eps_e=0.05, cost_n=1.0, cost_e=30.0
+        )
+        assert naive.name == "naive" and not naive.is_expert
+        assert expert.name == "expert" and expert.is_expert
+        assert naive.model.delta == 1.0
+        assert expert.model.delta == 0.2
+        assert naive.model.epsilon == 0.1
+        assert expert.model.epsilon == 0.05
+
+    def test_paper_constraints_enforced(self):
+        with pytest.raises(ValueError):
+            make_worker_classes(delta_n=0.1, delta_e=1.0)  # delta_e > delta_n
+        with pytest.raises(ValueError):
+            make_worker_classes(delta_n=1.0, delta_e=0.1, eps_n=0.0, eps_e=0.1)
+        with pytest.raises(ValueError):
+            make_worker_classes(delta_n=1.0, delta_e=0.1, cost_n=5.0, cost_e=1.0)
+
+    def test_custom_below_threshold_behaviors(self, rng):
+        import numpy as np
+
+        naive, expert = make_worker_classes(
+            delta_n=1.0,
+            delta_e=0.2,
+            naive_below=BiasedErrorBehavior(perr=0.4),
+        )
+        n = 20_000
+        wins = naive.model.decide(np.full(n, 0.5), np.full(n, 0.2), rng)
+        assert np.mean(wins) == pytest.approx(0.6, abs=0.02)
+
+    def test_relative_flag_propagates(self):
+        naive, expert = make_worker_classes(delta_n=0.2, delta_e=0.05, relative=True)
+        assert naive.model.relative
+        assert expert.model.relative

@@ -1,0 +1,69 @@
+"""Tests for repro.workers.probabilistic."""
+
+import numpy as np
+import pytest
+
+from repro.workers.probabilistic import DistanceDecayWorkerModel, FixedErrorWorkerModel
+
+
+class TestFixedError:
+    def test_error_rate_matches_parameter(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.3)
+        n = 20_000
+        vi = np.full(n, 2.0)
+        vj = np.full(n, 1.0)
+        wins = model.decide(vi, vj, rng)
+        assert np.mean(~wins) == pytest.approx(0.3, abs=0.02)
+
+    def test_zero_error_is_exact(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.0)
+        vi = np.asarray([2.0, 1.0])
+        vj = np.asarray([1.0, 2.0])
+        assert model.decide(vi, vj, rng).tolist() == [True, False]
+
+    def test_ties_are_fair_coin(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.0)
+        n = 10_000
+        wins = model.decide(np.full(n, 1.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.03)
+
+    def test_accuracy(self):
+        model = FixedErrorWorkerModel(error_probability=0.2)
+        assert model.accuracy(1.0) == 0.8
+        assert model.accuracy(0.0) == 0.5
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FixedErrorWorkerModel(error_probability=1.0)
+        with pytest.raises(ValueError):
+            FixedErrorWorkerModel(error_probability=-0.1)
+
+
+class TestDistanceDecay:
+    def test_error_decreases_with_distance(self, rng):
+        model = DistanceDecayWorkerModel(
+            error_curve=lambda d: 0.5 * np.exp(-d), relative=False
+        )
+        n = 20_000
+        near_wrong = np.mean(~model.decide(np.full(n, 1.1), np.full(n, 1.0), rng))
+        far_wrong = np.mean(~model.decide(np.full(n, 5.0), np.full(n, 1.0), rng))
+        assert near_wrong > far_wrong
+
+    def test_curve_is_clipped_to_half(self, rng):
+        model = DistanceDecayWorkerModel(error_curve=lambda d: np.full_like(d, 0.9))
+        n = 10_000
+        wrong = np.mean(~model.decide(np.full(n, 2.0), np.full(n, 1.0), rng))
+        assert wrong == pytest.approx(0.5, abs=0.03)
+
+    def test_relative_mode(self, rng):
+        model = DistanceDecayWorkerModel(
+            error_curve=lambda d: np.where(d > 0.5, 0.0, 0.4), relative=True
+        )
+        # relative difference 0.9: always correct
+        wins = model.decide(np.full(100, 10.0), np.full(100, 1.0), rng)
+        assert wins.all()
+
+    def test_accuracy_hook(self):
+        model = DistanceDecayWorkerModel(error_curve=lambda d: 0.25 * np.ones_like(d))
+        assert model.accuracy(2.0) == 0.75
+        assert model.accuracy(0.0) == 0.5

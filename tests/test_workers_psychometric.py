@@ -1,0 +1,74 @@
+"""Tests for repro.workers.psychometric (Thurstone / Weber-Fechner)."""
+
+import numpy as np
+import pytest
+
+from repro.workers.psychometric import ThurstoneWorkerModel, WeberFechnerWorkerModel
+
+
+class TestThurstone:
+    def test_accuracy_monotone_in_distance(self):
+        model = ThurstoneWorkerModel(sigma=0.15)
+        accuracies = [model.accuracy(d) for d in (0.01, 0.05, 0.1, 0.3, 0.8)]
+        assert accuracies == sorted(accuracies)
+        assert accuracies[0] > 0.5
+        assert accuracies[-1] > 0.99
+
+    def test_accuracy_at_zero_distance_is_half(self):
+        assert ThurstoneWorkerModel(sigma=0.2).accuracy(0.0) == 0.5
+
+    def test_empirical_accuracy_matches_closed_form(self, rng):
+        model = ThurstoneWorkerModel(sigma=0.15, relative=True)
+        n = 30_000
+        vi = np.full(n, 110.0)
+        vj = np.full(n, 100.0)  # relative difference 10/110 ~ 0.0909
+        wins = model.decide(vi, vj, rng)
+        expected = model.accuracy(10.0 / 110.0)
+        assert np.mean(wins) == pytest.approx(expected, abs=0.01)
+
+    def test_ties_are_fair(self, rng):
+        model = ThurstoneWorkerModel(sigma=0.15)
+        wins = model.decide(np.full(5000, 7.0), np.full(5000, 7.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.05)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            ThurstoneWorkerModel(sigma=0.0)
+
+    def test_absolute_mode(self, rng):
+        model = ThurstoneWorkerModel(sigma=1.0, relative=False)
+        # absolute distance 5 with sigma 1 -> essentially always right
+        wins = model.decide(np.full(500, 6.0), np.full(500, 1.0), rng)
+        assert np.mean(wins) > 0.99
+
+
+class TestWeberFechner:
+    def test_requires_positive_values(self, rng):
+        model = WeberFechnerWorkerModel(sigma=0.3)
+        with pytest.raises(ValueError):
+            model.decide(np.asarray([-1.0]), np.asarray([2.0]), rng)
+
+    def test_accuracy_depends_on_ratio_not_difference(self, rng):
+        model = WeberFechnerWorkerModel(sigma=0.3)
+        p_small = model.correct_probability(np.asarray([20.0]), np.asarray([10.0]))[0]
+        p_large = model.correct_probability(np.asarray([2000.0]), np.asarray([1000.0]))[0]
+        assert p_small == pytest.approx(p_large)
+
+    def test_larger_ratio_easier(self):
+        model = WeberFechnerWorkerModel(sigma=0.3)
+        p_close = model.correct_probability(np.asarray([105.0]), np.asarray([100.0]))[0]
+        p_far = model.correct_probability(np.asarray([300.0]), np.asarray([100.0]))[0]
+        assert p_far > p_close
+
+    def test_decide_respects_probability(self, rng):
+        model = WeberFechnerWorkerModel(sigma=0.3)
+        n = 30_000
+        wins = model.decide(np.full(n, 150.0), np.full(n, 100.0), rng)
+        expected = model.correct_probability(
+            np.asarray([150.0]), np.asarray([100.0])
+        )[0]
+        assert np.mean(wins) == pytest.approx(expected, abs=0.01)
+
+    def test_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            WeberFechnerWorkerModel(sigma=-1.0)

@@ -1,0 +1,46 @@
+"""Tests for repro.workers.spammer."""
+
+import numpy as np
+import pytest
+
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.spammer import (
+    LazyFirstModel,
+    MaliciousWorkerModel,
+    RandomSpammerModel,
+)
+
+
+class TestRandomSpammer:
+    def test_answers_are_a_coin(self, rng):
+        model = RandomSpammerModel()
+        n = 20_000
+        wins = model.decide(np.full(n, 100.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.02)
+
+    def test_accuracy(self):
+        assert RandomSpammerModel().accuracy(10.0) == 0.5
+
+
+class TestLazyFirst:
+    def test_always_picks_the_first(self, rng):
+        model = LazyFirstModel()
+        wins = model.decide(np.asarray([1.0, 9.0]), np.asarray([9.0, 1.0]), rng)
+        assert wins.all()
+
+
+class TestMalicious:
+    def test_full_flip_inverts_a_perfect_worker(self, rng):
+        model = MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
+        wins = model.decide(np.asarray([9.0]), np.asarray([1.0]), rng)
+        assert not wins[0]
+
+    def test_partial_flip_rate(self, rng):
+        model = MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=0.25)
+        n = 20_000
+        wins = model.decide(np.full(n, 9.0), np.full(n, 1.0), rng)
+        assert np.mean(~wins) == pytest.approx(0.25, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.5)

@@ -1,0 +1,122 @@
+"""Tests for repro.workers.threshold (the threshold model T(delta, eps))."""
+
+import numpy as np
+import pytest
+
+from repro.workers.beliefs import CrowdBeliefTable
+from repro.workers.threshold import (
+    BiasedErrorBehavior,
+    CoinFlipBehavior,
+    CrowdBeliefBehavior,
+    FirstLosesBehavior,
+    ThresholdWorkerModel,
+)
+
+
+class TestAboveThreshold:
+    def test_zero_eps_is_exact_above_threshold(self, rng):
+        model = ThresholdWorkerModel(delta=1.0, epsilon=0.0)
+        vi = np.asarray([5.0, 1.0])
+        vj = np.asarray([1.0, 5.0])
+        assert model.decide(vi, vj, rng).tolist() == [True, False]
+
+    def test_epsilon_error_rate(self, rng):
+        model = ThresholdWorkerModel(delta=0.0, epsilon=0.2)
+        n = 20_000
+        wins = model.decide(np.full(n, 5.0), np.full(n, 1.0), rng)
+        assert np.mean(~wins) == pytest.approx(0.2, abs=0.02)
+
+    def test_boundary_is_hard(self, rng):
+        # d(k, j) <= delta is the hard region (inclusive).
+        model = ThresholdWorkerModel(delta=1.0)
+        n = 10_000
+        wins = model.decide(np.full(n, 2.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.03)
+
+
+class TestBelowThreshold:
+    def test_coin_flip_default(self, rng):
+        model = ThresholdWorkerModel(delta=2.0)
+        assert isinstance(model.below, CoinFlipBehavior)
+        n = 10_000
+        wins = model.decide(np.full(n, 1.5), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.03)
+
+    def test_biased_error_behavior(self, rng):
+        model = ThresholdWorkerModel(delta=2.0, below=BiasedErrorBehavior(perr=0.4))
+        n = 20_000
+        wins = model.decide(np.full(n, 1.5), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.6, abs=0.02)
+
+    def test_biased_error_tie_is_coin(self, rng):
+        model = ThresholdWorkerModel(delta=2.0, below=BiasedErrorBehavior(perr=0.1))
+        n = 10_000
+        wins = model.decide(np.full(n, 1.0), np.full(n, 1.0), rng)
+        assert np.mean(wins) == pytest.approx(0.5, abs=0.03)
+
+    def test_first_loses_behavior(self, rng):
+        model = ThresholdWorkerModel(delta=2.0, below=FirstLosesBehavior())
+        wins = model.decide(np.asarray([1.5]), np.asarray([1.0]), rng)
+        assert not wins[0]
+
+    def test_crowd_belief_requires_indices(self, rng):
+        table = CrowdBeliefTable(seed=1)
+        model = ThresholdWorkerModel(delta=2.0, below=CrowdBeliefBehavior(table))
+        with pytest.raises(ValueError):
+            model.decide(np.asarray([1.5]), np.asarray([1.0]), rng)
+
+    def test_crowd_belief_is_persistent_per_pair(self, rng):
+        # The majority over many votes converges to the consensus, so
+        # repeated majorities agree with each other.
+        table = CrowdBeliefTable(
+            seed=1, consensus_correct_probability=0.5, follow_probability=0.95
+        )
+        model = ThresholdWorkerModel(delta=2.0, below=CrowdBeliefBehavior(table))
+        ii = np.zeros(301, dtype=np.intp)
+        jj = np.ones(301, dtype=np.intp)
+        majorities = []
+        for _ in range(5):
+            votes = model.decide(
+                np.full(301, 1.5), np.full(301, 1.0), rng, indices_i=ii, indices_j=jj
+            )
+            majorities.append(votes.sum() > 150)
+        assert len(set(majorities)) == 1
+
+
+class TestHelpers:
+    def test_indistinguishable(self):
+        model = ThresholdWorkerModel(delta=1.0)
+        assert model.indistinguishable(1.0, 1.5)
+        assert not model.indistinguishable(1.0, 3.0)
+
+    def test_relative_mode(self, rng):
+        model = ThresholdWorkerModel(delta=0.1, relative=True)
+        # 10% relative difference on large magnitudes is hard
+        assert model.indistinguishable(100.0, 95.0)
+        assert not model.indistinguishable(100.0, 50.0)
+
+    def test_accuracy(self):
+        model = ThresholdWorkerModel(delta=1.0, epsilon=0.05)
+        assert model.accuracy(0.5) == 0.5
+        assert model.accuracy(2.0) == 0.95
+
+    def test_accuracy_with_biased_behavior(self):
+        model = ThresholdWorkerModel(delta=1.0, below=BiasedErrorBehavior(perr=0.3))
+        assert model.accuracy(0.5) == pytest.approx(0.7)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdWorkerModel(delta=-1.0)
+        with pytest.raises(ValueError):
+            ThresholdWorkerModel(delta=1.0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            BiasedErrorBehavior(perr=0.0)
+        with pytest.raises(ValueError):
+            BiasedErrorBehavior(perr=0.6)
+
+    def test_probabilistic_model_special_case(self, rng):
+        # delta = 0: never hard (for distinct values) -> pure eps errors.
+        model = ThresholdWorkerModel(delta=0.0, epsilon=0.0)
+        vi = rng.uniform(0, 1, 100) + 2.0
+        vj = rng.uniform(0, 1, 100)
+        assert model.decide(vi, vj, rng).all()
