@@ -41,6 +41,13 @@ from .core import (
     uniform_instance,
 )
 from .service import CrowdJobResult, CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
+from .telemetry import (
+    JsonlSink,
+    MetricsRegistry,
+    Tracer,
+    set_active_tracer,
+    use_tracer,
+)
 from .workers import (
     AdversarialWorkerModel,
     MajorityOfKModel,
@@ -60,12 +67,15 @@ __all__ = [
     "CrowdTopKJob",
     "ExpertAwareMaxFinder",
     "JobPhaseConfig",
+    "JsonlSink",
     "FilterResult",
     "MajorityOfKModel",
     "MaxFindResult",
+    "MetricsRegistry",
     "ProblemInstance",
     "ThresholdWorkerModel",
     "ThurstoneWorkerModel",
+    "Tracer",
     "WorkerClass",
     "__version__",
     "adversarial_instance",
@@ -76,6 +86,8 @@ __all__ = [
     "make_worker_classes",
     "planted_instance",
     "randomized_maxfind",
+    "set_active_tracer",
     "two_maxfind",
     "uniform_instance",
+    "use_tracer",
 ]

@@ -7,10 +7,14 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments fig5 --un 50 --ue 10
     repro-experiments table2 --seed 7
     repro-experiments all --scale quick --out results/
+    repro-experiments fig3 --trace fig3.trace.jsonl
 
 ``--scale quick`` (default) runs reduced sizes suitable for a laptop in
 seconds; ``--scale paper`` uses the paper's n = 1000..5000 grid.
 ``--out DIR`` additionally writes one CSV per result.
+``--trace PATH`` records a structured JSONL telemetry trace of the
+whole invocation (phase spans, filter rounds, oracle batches); see
+docs/OBSERVABILITY.md for the record schema.
 """
 
 from __future__ import annotations
@@ -58,6 +62,7 @@ from .experiments import (
     survival_table,
 )
 from .experiments.cost_vs_n import PAPER_EXPERT_COSTS
+from .telemetry import JsonlSink, Tracer, use_tracer
 
 __all__ = ["main", "build_parser"]
 
@@ -113,6 +118,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", type=Path, default=None, help="directory for CSV exports"
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a structured JSONL telemetry trace of the run to PATH",
+    )
     return parser
 
 
@@ -145,6 +157,24 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     rng = np.random.default_rng(args.seed)
+
+    if args.trace is None:
+        return _dispatch(args, rng)
+    tracer = Tracer(sink=JsonlSink(args.trace))
+    tracer.event(
+        "cli_start", command=args.command, seed=args.seed, scale=args.scale
+    )
+    try:
+        with use_tracer(tracer), tracer.span("cli", command=args.command):
+            code = _dispatch(args, rng)
+    finally:
+        tracer.close()
+    print(f"(wrote trace {args.trace})")
+    return code
+
+
+def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
+    """Run the selected command(s); shared by traced and untraced paths."""
     out: Path | None = args.out
     command = args.command
 

@@ -30,7 +30,7 @@ from .instance import (
     true_rank,
 )
 from .maxfinder import ExpertAwareMaxFinder, MaxFindResult, Phase2Algorithm, find_max
-from .oracle import ComparisonOracle
+from .oracle import DEFAULT_DENSE_MEMO_LIMIT, ComparisonOracle
 from .pipeline import AutoMaxFindResult, find_max_with_estimation
 from .topk import TopKResult, find_top_k
 from .randomized_maxfind import RandomizedMaxFindResult, randomized_maxfind
@@ -51,6 +51,7 @@ __all__ = [
     "CascadeResult",
     "CascadeStageResult",
     "ComparisonOracle",
+    "DEFAULT_DENSE_MEMO_LIMIT",
     "ExpertAwareMaxFinder",
     "FilterResult",
     "FilterRound",

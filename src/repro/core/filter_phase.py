@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import Tracer, resolve_tracer
 from .oracle import ComparisonOracle
 from .tournament import play_all_play_all
 
@@ -37,7 +38,12 @@ __all__ = ["FilterRound", "FilterResult", "filter_candidates"]
 
 @dataclass(frozen=True)
 class FilterRound:
-    """Telemetry for one round of the filter loop."""
+    """Telemetry for one round of the filter loop.
+
+    ``survivors`` is the population carried into the next round — after
+    the underestimation fallback, if it fired, so the last round's
+    count always agrees with ``FilterResult.survivors``.
+    """
 
     round_index: int
     input_size: int
@@ -59,11 +65,16 @@ class FilterResult:
         Fresh naive comparisons performed by this call.
     rounds:
         Per-round telemetry.
+    underestimation_fallback:
+        True when the final round culled *every* element (possible only
+        when ``u_n`` was badly underestimated, Section 5.2) and the
+        filter degraded gracefully by restoring the previous population.
     """
 
     survivors: np.ndarray
     comparisons: int
     rounds: list[FilterRound] = field(default_factory=list)
+    underestimation_fallback: bool = False
 
     @property
     def n_rounds(self) -> int:
@@ -78,6 +89,7 @@ def filter_candidates(
     use_global_loss_counters: bool = False,
     shuffle_each_round: bool = False,
     rng: np.random.Generator | None = None,
+    tracer: Tracer | None = None,
 ) -> FilterResult:
     """Run Algorithm 2 and return the candidate set containing the maximum.
 
@@ -104,6 +116,10 @@ def filter_candidates(
         Re-randomise the partition every round instead of keeping the
         array order (the paper partitions arbitrarily; shuffling
         decorrelates groups across rounds).  Requires ``rng``.
+    tracer:
+        Telemetry tracer; the whole call is wrapped in a ``filter``
+        span and one ``filter_round`` record is emitted per round.
+        Defaults to the ambient tracer (a no-op unless activated).
     """
     if u_n < 1:
         raise ValueError("u_n must be at least 1")
@@ -111,6 +127,7 @@ def filter_candidates(
         raise ValueError("group_multiplier must be at least 2 for guaranteed progress")
     if shuffle_each_round and rng is None:
         raise ValueError("shuffle_each_round requires an rng")
+    tracer = resolve_tracer(tracer)
 
     if elements is None:
         current = np.arange(oracle.n, dtype=np.intp)
@@ -125,69 +142,90 @@ def filter_candidates(
     loss_counters: dict[int, int] = {}
 
     round_index = 0
+    fallback = False
     # The loop provably terminates (full groups always shrink, Lemma 2);
     # the guard is a defensive bound, far above any legal execution.
     max_rounds = 4 * int(np.ceil(np.log2(len(current) + 2))) + 8
-    while len(current) >= 2 * u_n:
-        if round_index >= max_rounds:  # pragma: no cover - defensive
-            raise RuntimeError("filter loop failed to make progress")
-        if shuffle_each_round:
-            assert rng is not None
-            rng.shuffle(current)
+    with tracer.span("filter", n=len(current), u_n=u_n, group_size=g):
+        while len(current) >= 2 * u_n:
+            if round_index >= max_rounds:  # pragma: no cover - defensive
+                raise RuntimeError("filter loop failed to make progress")
+            if shuffle_each_round:
+                assert rng is not None
+                rng.shuffle(current)
 
-        input_size = len(current)
-        survivors: list[np.ndarray] = []
-        round_comparisons = 0
-        n_groups = 0
-        for start in range(0, len(current), g):
-            group = current[start : start + g]
-            n_groups += 1
-            is_last_partial = len(group) < g
-            if is_last_partial and len(group) <= u_n:
-                # Line 12-13 of Algorithm 2: a trailing group of at most
-                # u_n elements passes through untouched.
-                survivors.append(group)
-                continue
-            result = play_all_play_all(oracle, group)
-            # Every fresh comparison yields exactly one fresh loss.
-            round_comparisons += int(result.fresh_losses.sum())
-            keep_threshold = len(group) - u_n
-            kept = result.with_wins_at_least(keep_threshold)
-            if use_global_loss_counters:
-                for element, fresh_loss in zip(
-                    result.elements.tolist(), result.fresh_losses.tolist()
-                ):
-                    if fresh_loss:
-                        loss_counters[element] = loss_counters.get(element, 0) + fresh_loss
-                kept = np.asarray(
-                    [e for e in kept.tolist() if loss_counters.get(e, 0) <= u_n],
-                    dtype=np.intp,
-                )
-            survivors.append(kept)
+            input_size = len(current)
+            survivors: list[np.ndarray] = []
+            round_comparisons = 0
+            n_groups = 0
+            for start in range(0, len(current), g):
+                group = current[start : start + g]
+                n_groups += 1
+                is_last_partial = len(group) < g
+                if is_last_partial and len(group) <= u_n:
+                    # Line 12-13 of Algorithm 2: a trailing group of at most
+                    # u_n elements passes through untouched.
+                    survivors.append(group)
+                    continue
+                result = play_all_play_all(oracle, group)
+                # Every fresh comparison yields exactly one fresh loss.
+                round_comparisons += int(result.fresh_losses.sum())
+                keep_threshold = len(group) - u_n
+                kept = result.with_wins_at_least(keep_threshold)
+                if use_global_loss_counters:
+                    for element, fresh_loss in zip(
+                        result.elements.tolist(), result.fresh_losses.tolist()
+                    ):
+                        if fresh_loss:
+                            loss_counters[element] = (
+                                loss_counters.get(element, 0) + fresh_loss
+                            )
+                    kept = np.asarray(
+                        [e for e in kept.tolist() if loss_counters.get(e, 0) <= u_n],
+                        dtype=np.intp,
+                    )
+                survivors.append(kept)
 
-        previous = current
-        current = (
-            np.concatenate(survivors) if survivors else np.empty(0, dtype=np.intp)
-        )
-        total_comparisons += round_comparisons
-        rounds.append(
-            FilterRound(
-                round_index=round_index,
-                input_size=input_size,
-                n_groups=n_groups,
-                comparisons=round_comparisons,
-                survivors=len(current),
+            previous = current
+            current = (
+                np.concatenate(survivors) if survivors else np.empty(0, dtype=np.intp)
             )
-        )
-        round_index += 1
-        if len(current) == 0:
-            # Only possible when u_n was (badly) underestimated: every
-            # group culled every element (Section 5.2 studies this
-            # regime).  Degrade gracefully by returning the last
-            # non-empty population instead of an empty candidate set.
-            current = previous
-            break
+            total_comparisons += round_comparisons
+            if len(current) == 0:
+                # Only possible when u_n was (badly) underestimated: every
+                # group culled every element (Section 5.2 studies this
+                # regime).  Degrade gracefully by returning the last
+                # non-empty population instead of an empty candidate set.
+                # The round record below sees the *restored* population,
+                # so its survivor count agrees with the returned result.
+                current = previous
+                fallback = True
+            rounds.append(
+                FilterRound(
+                    round_index=round_index,
+                    input_size=input_size,
+                    n_groups=n_groups,
+                    comparisons=round_comparisons,
+                    survivors=len(current),
+                )
+            )
+            if tracer.enabled:
+                tracer.event(
+                    "filter_round",
+                    round=round_index,
+                    input_size=input_size,
+                    n_groups=n_groups,
+                    comparisons=round_comparisons,
+                    survivors=len(current),
+                    fallback=fallback,
+                )
+            round_index += 1
+            if fallback:
+                break
 
     return FilterResult(
-        survivors=current, comparisons=total_comparisons, rounds=rounds
+        survivors=current,
+        comparisons=total_comparisons,
+        rounds=rounds,
+        underestimation_fallback=fallback,
     )

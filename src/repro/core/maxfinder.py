@@ -25,6 +25,7 @@ from typing import Literal
 
 import numpy as np
 
+from ..telemetry import Tracer, resolve_tracer
 from ..workers.expert import WorkerClass
 from .filter_phase import FilterResult, filter_candidates
 from .instance import ProblemInstance
@@ -123,12 +124,16 @@ class ExpertAwareMaxFinder:
         instance: ProblemInstance | np.ndarray,
         rng: np.random.Generator,
         ledger: CostChargeable | None = None,
+        tracer: Tracer | None = None,
     ) -> MaxFindResult:
         """Execute Algorithm 1 on ``instance``.
 
         A fresh pair of oracles (naive and expert) is created per run so
-        that memoization and counters are scoped to the run.
+        that memoization and counters are scoped to the run.  With a
+        ``tracer`` (explicit or ambient), both oracles and both phases
+        emit structured telemetry records.
         """
+        tracer = resolve_tracer(tracer)
         naive_oracle = ComparisonOracle(
             instance,
             self.naive.model,
@@ -137,6 +142,7 @@ class ExpertAwareMaxFinder:
             memoize=self.memoize,
             ledger=ledger,
             label=self.naive.name,
+            tracer=tracer,
         )
         expert_oracle = ComparisonOracle(
             instance,
@@ -146,51 +152,112 @@ class ExpertAwareMaxFinder:
             memoize=self.memoize,
             ledger=ledger,
             label=self.expert.name,
+            tracer=tracer,
         )
-        return self.run_with_oracles(naive_oracle, expert_oracle, rng)
+        return self.run_with_oracles(naive_oracle, expert_oracle, rng, tracer=tracer)
 
     def run_with_oracles(
         self,
         naive_oracle: ComparisonOracle,
         expert_oracle: ComparisonOracle,
         rng: np.random.Generator,
+        tracer: Tracer | None = None,
     ) -> MaxFindResult:
         """Execute Algorithm 1 against caller-provided oracles.
 
         Used by the platform integration, where the oracles are backed
         by a simulated crowdsourcing platform rather than by direct
-        model sampling.
+        model sampling.  The oracles may be reused across runs (their
+        memo then spans runs, as on a real platform); the result always
+        reports the comparisons and cost of *this* run only, as deltas
+        against the counters observed on entry.
         """
-        filter_result = filter_candidates(
-            naive_oracle,
-            u_n=self.u_n,
-            group_multiplier=self.group_multiplier,
-            use_global_loss_counters=self.use_global_loss_counters,
-            shuffle_each_round=self.shuffle_each_round,
-            rng=rng,
-        )
-        survivors = filter_result.survivors
+        tracer = resolve_tracer(tracer)
+        # Snapshot shared-oracle counters so reuse across runs cannot
+        # leak earlier runs' comparisons into this result.
+        naive_start = naive_oracle.comparisons
+        expert_start = expert_oracle.comparisons
 
-        if len(survivors) == 1:
-            winner = int(survivors[0])
-        elif self.phase2 == "two_maxfind":
-            winner = two_maxfind(expert_oracle, survivors).winner
-        elif self.phase2 == "randomized":
-            winner = randomized_maxfind(
-                expert_oracle, survivors, rng=rng, c=self.randomized_c
-            ).winner
-        else:  # "all_play_all"
-            winner = play_all_play_all(expert_oracle, survivors).winner
+        # Route oracle batch records through this run's tracer when the
+        # caller-provided oracles carry none of their own; restored on
+        # exit so a shared oracle is not left pointing at a dead tracer.
+        adopted: list[tuple[ComparisonOracle, Tracer]] = []
+        if tracer.enabled:
+            for oracle in (naive_oracle, expert_oracle):
+                if not oracle.tracer.enabled:
+                    adopted.append((oracle, oracle.tracer))
+                    oracle.tracer = tracer
+        try:
+            return self._run_phases(
+                naive_oracle, expert_oracle, rng, tracer, naive_start, expert_start
+            )
+        finally:
+            for oracle, previous in adopted:
+                oracle.tracer = previous
 
+    def _run_phases(
+        self,
+        naive_oracle: ComparisonOracle,
+        expert_oracle: ComparisonOracle,
+        rng: np.random.Generator,
+        tracer: Tracer,
+        naive_start: int,
+        expert_start: int,
+    ) -> MaxFindResult:
+        """Both phases of Algorithm 1 under an already-resolved tracer."""
+        with tracer.span("maxfind", phase2=self.phase2, u_n=self.u_n):
+            with tracer.span("phase1", n=naive_oracle.n, u_n=self.u_n):
+                filter_result = filter_candidates(
+                    naive_oracle,
+                    u_n=self.u_n,
+                    group_multiplier=self.group_multiplier,
+                    use_global_loss_counters=self.use_global_loss_counters,
+                    shuffle_each_round=self.shuffle_each_round,
+                    rng=rng,
+                    tracer=tracer,
+                )
+            survivors = filter_result.survivors
+
+            with tracer.span(
+                "phase2", algorithm=self.phase2, survivors=len(survivors)
+            ):
+                if len(survivors) == 1:
+                    winner = int(survivors[0])
+                elif self.phase2 == "two_maxfind":
+                    winner = two_maxfind(
+                        expert_oracle, survivors, tracer=tracer
+                    ).winner
+                elif self.phase2 == "randomized":
+                    winner = randomized_maxfind(
+                        expert_oracle,
+                        survivors,
+                        rng=rng,
+                        c=self.randomized_c,
+                        tracer=tracer,
+                    ).winner
+                else:  # "all_play_all"
+                    winner = play_all_play_all(expert_oracle, survivors).winner
+
+        naive_comparisons = naive_oracle.comparisons - naive_start
+        expert_comparisons = expert_oracle.comparisons - expert_start
         cost = (
-            naive_oracle.comparisons * naive_oracle.cost_per_comparison
-            + expert_oracle.comparisons * expert_oracle.cost_per_comparison
+            naive_comparisons * naive_oracle.cost_per_comparison
+            + expert_comparisons * expert_oracle.cost_per_comparison
         )
+        if tracer.enabled:
+            tracer.event(
+                "maxfind_result",
+                winner=int(winner),
+                survivors=len(survivors),
+                naive_comparisons=naive_comparisons,
+                expert_comparisons=expert_comparisons,
+                cost=cost,
+            )
         return MaxFindResult(
             winner=winner,
             survivors=survivors,
-            naive_comparisons=naive_oracle.comparisons,
-            expert_comparisons=expert_oracle.comparisons,
+            naive_comparisons=naive_comparisons,
+            expert_comparisons=expert_comparisons,
             cost=cost,
             filter_result=filter_result,
         )
@@ -203,13 +270,15 @@ def find_max(
     u_n: int,
     rng: np.random.Generator,
     phase2: Phase2Algorithm = "two_maxfind",
+    tracer: Tracer | None = None,
     **kwargs,
 ) -> MaxFindResult:
     """One-shot convenience wrapper around :class:`ExpertAwareMaxFinder`.
 
-    Extra keyword arguments are forwarded to the finder's constructor.
+    Extra keyword arguments are forwarded to the finder's constructor;
+    ``tracer`` is forwarded to the run itself.
     """
     finder = ExpertAwareMaxFinder(
         naive=naive, expert=expert, u_n=u_n, phase2=phase2, **kwargs
     )
-    return finder.run(instance, rng)
+    return finder.run(instance, rng, tracer=tracer)

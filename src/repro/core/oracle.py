@@ -30,14 +30,18 @@ from typing import Protocol
 
 import numpy as np
 
+from ..telemetry import Tracer, resolve_tracer
 from ..workers.base import WorkerModel
 from .instance import ProblemInstance
 
-__all__ = ["ComparisonOracle", "CostChargeable"]
+__all__ = ["ComparisonOracle", "CostChargeable", "DEFAULT_DENSE_MEMO_LIMIT"]
 
-# Above this instance size the dense n x n memo matrix would exceed
-# ~256 MB; fall back to a dict keyed by the flattened pair index.
-_DENSE_MEMO_LIMIT = 16_000
+# Default crossover to the dict memo: at the limit the dense n x n int8
+# matrix is 16_000**2 bytes = 256 MB (~244 MiB).  Above it, the matrix
+# grows quadratically, so fall back to a dict keyed by the flattened
+# pair index, which stores only the pairs actually asked.  Override per
+# oracle with the ``dense_memo_limit`` constructor parameter.
+DEFAULT_DENSE_MEMO_LIMIT = 16_000
 
 
 class CostChargeable(Protocol):
@@ -70,6 +74,15 @@ class ComparisonOracle:
     label:
         Accounting label; defaults to ``"expert"``/``"naive"`` from the
         model's flag.
+    dense_memo_limit:
+        Largest ``n`` for which the memo uses the dense ``int8`` matrix
+        (``n**2`` bytes); larger instances use the sparse dict memo.
+        Defaults to :data:`DEFAULT_DENSE_MEMO_LIMIT`.
+    tracer:
+        Telemetry tracer; one ``oracle_batch`` record is emitted per
+        :meth:`compare_pairs` call.  Defaults to the ambient tracer
+        (see :func:`repro.telemetry.set_active_tracer`), which is a
+        no-op unless activated.
     """
 
     def __init__(
@@ -81,6 +94,8 @@ class ComparisonOracle:
         memoize: bool = True,
         ledger: CostChargeable | None = None,
         label: str | None = None,
+        dense_memo_limit: int | None = None,
+        tracer: Tracer | None = None,
     ):
         if isinstance(instance, ProblemInstance):
             self.values = instance.values
@@ -96,9 +111,16 @@ class ComparisonOracle:
         self.memoize = memoize
         self.ledger = ledger
         self.label = label or ("expert" if model.is_expert else "naive")
+        self.tracer = resolve_tracer(tracer)
+
+        if dense_memo_limit is None:
+            dense_memo_limit = DEFAULT_DENSE_MEMO_LIMIT
+        if dense_memo_limit < 0:
+            raise ValueError("dense_memo_limit must be non-negative")
+        self.dense_memo_limit = int(dense_memo_limit)
 
         self.n = len(self.values)
-        self._use_dense = self.n <= _DENSE_MEMO_LIMIT
+        self._use_dense = self.n <= self.dense_memo_limit
         if memoize:
             if self._use_dense:
                 # 0 = unknown, 1 = lower index wins, 2 = higher index wins.
@@ -176,8 +198,19 @@ class ComparisonOracle:
         if self.memoize:
             known = self._memo_lookup(lo, hi, winners)
         need = ~known
+        n_fresh = 0
         if np.any(need):
-            self._resolve_fresh(ii, jj, lo, hi, need, winners, fresh)
+            n_fresh = self._resolve_fresh(ii, jj, lo, hi, need, winners, fresh)
+        if self.tracer.enabled:
+            memo_hits = int(np.count_nonzero(known))
+            self.tracer.event(
+                "oracle_batch",
+                label=self.label,
+                requests=len(ii),
+                fresh=n_fresh,
+                memo_hits=memo_hits,
+                batch_dupes=len(ii) - n_fresh - memo_hits,
+            )
         if return_fresh:
             return winners, fresh
         return winners
@@ -214,12 +247,13 @@ class ComparisonOracle:
         need: np.ndarray,
         winners: np.ndarray,
         fresh: np.ndarray,
-    ) -> None:
+    ) -> int:
         """Resolve unmemoized pairs, deduplicating within the batch.
 
         Duplicate pairs inside one batch must agree (the memo makes
         answers consistent across batches; consistency within a batch
-        follows from resolving each distinct pair once).
+        follows from resolving each distinct pair once).  Returns the
+        number of fresh (paid) comparisons performed.
         """
         need_pos = np.flatnonzero(need)
         keys = lo[need_pos] * self.n + hi[need_pos]
@@ -246,6 +280,13 @@ class ComparisonOracle:
         self.comparisons += n_fresh
         if self.ledger is not None:
             self.ledger.charge(self.label, n_fresh, self.cost_per_comparison)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "ledger_charge",
+                    label=self.label,
+                    count=n_fresh,
+                    unit_cost=self.cost_per_comparison,
+                )
         if self.memoize:
             lo_winner = rep_winner == np.minimum(rep_i, rep_j)
             if self._memo_matrix is not None:
@@ -259,6 +300,7 @@ class ComparisonOracle:
                 )
                 for key, low_won in zip(rep_keys.tolist(), lo_winner.tolist()):
                     self._memo_dict[key] = low_won
+        return n_fresh
 
     # ------------------------------------------------------------------
     # Accounting helpers

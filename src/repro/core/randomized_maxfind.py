@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import Tracer, resolve_tracer
 from .oracle import ComparisonOracle
 from .tournament import play_all_play_all
 
@@ -51,6 +52,7 @@ def randomized_maxfind(
     elements: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
     c: int = 1,
+    tracer: Tracer | None = None,
 ) -> RandomizedMaxFindResult:
     """Run the randomized Ajtai max-finder on ``elements``.
 
@@ -66,6 +68,11 @@ def randomized_maxfind(
         The confidence constant: success probability is
         ``1 - |S|^{-c}`` (Lemma 4) and the partition sets have size
         ``80 * (c + 2)``.
+    tracer:
+        Telemetry tracer; the call is wrapped in a
+        ``randomized_maxfind`` span with one ``randomized_round``
+        record per elimination round.  Defaults to the ambient tracer
+        (a no-op unless activated).
 
     Returns
     -------
@@ -91,6 +98,7 @@ def randomized_maxfind(
             winner=int(remaining[0]), comparisons=0, n_rounds=0, pool_size=1
         )
 
+    tracer = resolve_tracer(tracer)
     cutoff = max(2.0, s**0.3)
     sample_size = max(1, math.ceil(s**0.3))
     set_size = 80 * (c + 2)
@@ -98,32 +106,44 @@ def randomized_maxfind(
     round_sizes: list[int] = []
 
     n_rounds = 0
-    while len(remaining) >= cutoff:
-        round_sizes.append(len(remaining))
-        take = min(sample_size, len(remaining))
-        sampled = rng.choice(len(remaining), size=take, replace=False)
-        pool.update(int(e) for e in remaining[sampled])
+    with tracer.span("randomized_maxfind", s=s, c=c):
+        while len(remaining) >= cutoff:
+            round_sizes.append(len(remaining))
+            round_start = oracle.comparisons
+            take = min(sample_size, len(remaining))
+            sampled = rng.choice(len(remaining), size=take, replace=False)
+            pool.update(int(e) for e in remaining[sampled])
 
-        rng.shuffle(remaining)
-        keep_masks: list[np.ndarray] = []
-        for start in range(0, len(remaining), set_size):
-            group = remaining[start : start + set_size]
-            if len(group) == 1:
-                # A singleton trailing set has no minimal-by-comparison
-                # element to identify; it survives the round.
-                keep_masks.append(np.ones(1, dtype=bool))
-                continue
-            result = play_all_play_all(oracle, group)
-            minimal_pos = int(np.argmin(result.wins))
-            mask = np.ones(len(group), dtype=bool)
-            mask[minimal_pos] = False
-            keep_masks.append(mask)
-        remaining = remaining[np.concatenate(keep_masks)]
-        n_rounds += 1
+            rng.shuffle(remaining)
+            keep_masks: list[np.ndarray] = []
+            for start in range(0, len(remaining), set_size):
+                group = remaining[start : start + set_size]
+                if len(group) == 1:
+                    # A singleton trailing set has no minimal-by-comparison
+                    # element to identify; it survives the round.
+                    keep_masks.append(np.ones(1, dtype=bool))
+                    continue
+                result = play_all_play_all(oracle, group)
+                minimal_pos = int(np.argmin(result.wins))
+                mask = np.ones(len(group), dtype=bool)
+                mask[minimal_pos] = False
+                keep_masks.append(mask)
+            before = len(remaining)
+            remaining = remaining[np.concatenate(keep_masks)]
+            if tracer.enabled:
+                tracer.event(
+                    "randomized_round",
+                    round=n_rounds,
+                    input_size=before,
+                    survivors=len(remaining),
+                    pool_size=len(pool),
+                    comparisons=oracle.comparisons - round_start,
+                )
+            n_rounds += 1
 
-    pool.update(int(e) for e in remaining)
-    final_pool = np.asarray(sorted(pool), dtype=np.intp)
-    final = play_all_play_all(oracle, final_pool)
+        pool.update(int(e) for e in remaining)
+        final_pool = np.asarray(sorted(pool), dtype=np.intp)
+        final = play_all_play_all(oracle, final_pool)
     return RandomizedMaxFindResult(
         winner=final.winner,
         comparisons=oracle.comparisons - start_comparisons,

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..telemetry import Tracer, resolve_tracer
 from .oracle import ComparisonOracle
 from .tournament import play_all_play_all
 
@@ -64,6 +65,7 @@ def two_maxfind(
     oracle: ComparisonOracle,
     elements: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
+    tracer: Tracer | None = None,
 ) -> TwoMaxFindResult:
     """Run 2-MaxFind on ``elements`` through ``oracle``.
 
@@ -77,6 +79,10 @@ def two_maxfind(
         When given, the "arbitrary" pivot sample of each round is drawn
         at random; otherwise the first ``ceil(sqrt(s))`` candidates are
         used (both are legal — the algorithm says *arbitrary*).
+    tracer:
+        Telemetry tracer; the call is wrapped in a ``two_maxfind`` span
+        with one ``two_maxfind_round`` record per pivot round.
+        Defaults to the ambient tracer (a no-op unless activated).
 
     Returns
     -------
@@ -92,6 +98,7 @@ def two_maxfind(
         raise ValueError("2-MaxFind needs at least one candidate")
     if len(candidates) == 1:
         return TwoMaxFindResult(winner=int(candidates[0]), comparisons=0)
+    tracer = resolve_tracer(tracer)
 
     s = len(candidates)
     sample_size = math.ceil(math.sqrt(s))
@@ -103,48 +110,59 @@ def two_maxfind(
     max_rounds = 4 * s + 8
     round_index = 0
     consecutive_stalls = 0
-    while len(candidates) > sample_size:
-        if round_index >= max_rounds:  # pragma: no cover - defensive
-            raise RuntimeError(
-                "2-MaxFind stalled; run it with a memoizing oracle "
-                "(Appendix A) to guarantee progress"
-            )
-        before = oracle.comparisons
-        if rng is not None:
-            chosen = rng.choice(len(candidates), size=sample_size, replace=False)
-            sample = candidates[chosen]
-        else:
-            sample = candidates[:sample_size]
-        pivot = play_all_play_all(oracle, sample).winner
+    with tracer.span("two_maxfind", s=s):
+        while len(candidates) > sample_size:
+            if round_index >= max_rounds:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "2-MaxFind stalled; run it with a memoizing oracle "
+                    "(Appendix A) to guarantee progress"
+                )
+            before = oracle.comparisons
+            if rng is not None:
+                chosen = rng.choice(len(candidates), size=sample_size, replace=False)
+                sample = candidates[chosen]
+            else:
+                sample = candidates[:sample_size]
+            pivot = play_all_play_all(oracle, sample).winner
 
-        others = candidates[candidates != pivot]
-        pivot_first = np.full(len(others), pivot, dtype=np.intp)
-        winners = oracle.compare_pairs(pivot_first, others)
-        survived = others[winners != pivot]
-        eliminated = len(others) - len(survived)
-        candidates = np.concatenate(([pivot], survived)).astype(np.intp)
+            others = candidates[candidates != pivot]
+            pivot_first = np.full(len(others), pivot, dtype=np.intp)
+            winners = oracle.compare_pairs(pivot_first, others)
+            survived = others[winners != pivot]
+            eliminated = len(others) - len(survived)
+            candidates = np.concatenate(([pivot], survived)).astype(np.intp)
 
-        rounds.append(
-            TwoMaxFindRound(
-                round_index=round_index,
-                candidates_before=len(others) + 1,
-                pivot=int(pivot),
-                eliminated=eliminated,
-                comparisons=oracle.comparisons - before,
+            rounds.append(
+                TwoMaxFindRound(
+                    round_index=round_index,
+                    candidates_before=len(others) + 1,
+                    pivot=int(pivot),
+                    eliminated=eliminated,
+                    comparisons=oracle.comparisons - before,
+                )
             )
-        )
-        round_index += 1
-        # Without memoization a stalling comparator can starve the loop;
-        # random workers may also fluke a zero-progress round, so only a
-        # long stall (impossible under the model's guarantees) raises.
-        consecutive_stalls = consecutive_stalls + 1 if eliminated == 0 else 0
-        if consecutive_stalls > 50:  # pragma: no cover - defensive
-            raise RuntimeError(
-                "2-MaxFind stalled repeatedly; run it with a memoizing "
-                "oracle (Appendix A) to guarantee progress"
-            )
+            if tracer.enabled:
+                tracer.event(
+                    "two_maxfind_round",
+                    round=round_index,
+                    candidates_before=len(others) + 1,
+                    pivot=int(pivot),
+                    eliminated=eliminated,
+                    comparisons=oracle.comparisons - before,
+                )
+            round_index += 1
+            # Without memoization a stalling comparator can starve the
+            # loop; random workers may also fluke a zero-progress round,
+            # so only a long stall (impossible under the model's
+            # guarantees) raises.
+            consecutive_stalls = consecutive_stalls + 1 if eliminated == 0 else 0
+            if consecutive_stalls > 50:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    "2-MaxFind stalled repeatedly; run it with a memoizing "
+                    "oracle (Appendix A) to guarantee progress"
+                )
 
-    final = play_all_play_all(oracle, candidates)
+        final = play_all_play_all(oracle, candidates)
     return TwoMaxFindResult(
         winner=final.winner,
         comparisons=oracle.comparisons - start_comparisons,

@@ -14,7 +14,7 @@ from .accuracy_curves import (
     run_figure2_dots,
 )
 from .accuracy_vs_n import figure3_from_sweep, run_figure3
-from .base import FigureResult, TableResult
+from .base import FigureResult, TableResult, experiment_tracer
 from .baselines import run_baseline_shootout
 from .bounds_check import run_bounds_check
 from .budget_planning import run_budget_planning
@@ -60,6 +60,7 @@ __all__ = [
     "SweepConfig",
     "SweepData",
     "TableResult",
+    "experiment_tracer",
     "compose_report",
     "figure10_from_estimation",
     "figure3_from_sweep",

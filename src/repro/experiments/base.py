@@ -5,16 +5,48 @@ series, mirroring one figure panel of the paper) or a
 :class:`TableResult` (headers plus rows).  Both render to aligned text
 and export to CSV, so the benchmark harness can "print the same
 rows/series the paper reports".
+
+:func:`experiment_tracer` is the observability hook: it activates a
+JSONL-writing :class:`~repro.telemetry.Tracer` for the duration of an
+experiment, persisting the trace next to the experiment's CSVs, with
+no plumbing changes in the experiment code itself (all instrumented
+call sites fall back to the ambient tracer).
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterator
 
 from ..analysis.reporting import format_rows, format_series_table, write_csv
+from ..telemetry import NULL_TRACER, JsonlSink, Tracer, use_tracer
 
-__all__ = ["FigureResult", "TableResult"]
+__all__ = ["FigureResult", "TableResult", "experiment_tracer"]
+
+
+@contextmanager
+def experiment_tracer(out: Path | str | None, identifier: str) -> Iterator[Tracer]:
+    """Trace one experiment, writing ``<out>/<identifier>.trace.jsonl``.
+
+    The yielded tracer is installed as the ambient tracer for the
+    duration of the block, so every oracle, filter round and phase span
+    inside the experiment is recorded without threading a ``tracer``
+    argument through experiment code.  With ``out=None`` the no-op
+    tracer is yielded and nothing is written — experiments can wrap
+    their body unconditionally.
+    """
+    if out is None:
+        yield NULL_TRACER
+        return
+    path = Path(out) / f"{identifier}.trace.jsonl"
+    tracer = Tracer(sink=JsonlSink(path))
+    try:
+        with use_tracer(tracer):
+            yield tracer
+    finally:
+        tracer.close()
 
 
 @dataclass

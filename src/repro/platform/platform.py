@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..telemetry import Tracer, resolve_tracer
 from .accounting import CostLedger
 from .gold import GoldPolicy
 from .job import BatchReport, ComparisonTask, Judgment
@@ -44,6 +45,10 @@ class CrowdPlatform:
         omitted.
     gold:
         Optional gold/quality-control policy, applied to every pool.
+    tracer:
+        Telemetry tracer; one ``platform_batch`` record is emitted per
+        logical step (batch submitted).  Defaults to the ambient tracer
+        (a no-op unless activated).
     """
 
     def __init__(
@@ -52,6 +57,7 @@ class CrowdPlatform:
         rng: np.random.Generator,
         ledger: CostLedger | None = None,
         gold: GoldPolicy | None = None,
+        tracer: Tracer | None = None,
     ):
         if not pools:
             raise ValueError("the platform needs at least one worker pool")
@@ -59,6 +65,7 @@ class CrowdPlatform:
         self.rng = rng
         self.ledger = ledger if ledger is not None else CostLedger()
         self.gold = gold
+        self.tracer = resolve_tracer(tracer)
         #: Logical steps executed (batches submitted).
         self.logical_steps = 0
         #: Physical steps executed across all batches.
@@ -160,6 +167,16 @@ class CrowdPlatform:
             self.judgment_log.extend(task_judgments)
         # Consistency: every answer corresponds to a task in order.
         assert len(answers) == len(by_task)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "platform_batch",
+                pool=pool_name,
+                tasks=len(tasks),
+                physical_steps=physical_steps,
+                judgments_collected=collected,
+                judgments_discarded=discarded,
+                workers_banned=len(banned_ids),
+            )
         return BatchReport(
             answers=answers,
             physical_steps=physical_steps,

@@ -37,6 +37,7 @@ from .core.tournament import play_all_play_all
 from .core.two_maxfind import two_maxfind
 from .platform.oracle_adapter import PlatformWorkerModel
 from .platform.platform import CrowdPlatform
+from .telemetry import Tracer, resolve_tracer
 
 __all__ = ["JobPhaseConfig", "CrowdJobResult", "CrowdMaxJob", "CrowdTopKJob"]
 
@@ -140,7 +141,10 @@ class CrowdMaxJob:
             )
 
     def _build_oracles(
-        self, platform: CrowdPlatform, rng: np.random.Generator
+        self,
+        platform: CrowdPlatform,
+        rng: np.random.Generator,
+        tracer: Tracer | None = None,
     ) -> tuple[ComparisonOracle, ComparisonOracle]:
         pool1 = platform.pools[self.phase1.pool]
         pool2 = platform.pools[self.phase2.pool]
@@ -156,6 +160,7 @@ class CrowdMaxJob:
                 pool1.cost_per_judgment * self.phase1.judgments_per_comparison
             ),
             label=self.phase1.pool,
+            tracer=tracer,
         )
         expert_oracle = ComparisonOracle(
             self.instance,
@@ -170,21 +175,31 @@ class CrowdMaxJob:
                 pool2.cost_per_judgment * self.phase2.judgments_per_comparison
             ),
             label=self.phase2.pool,
+            tracer=tracer,
         )
         return naive_oracle, expert_oracle
 
     def execute(
-        self, platform: CrowdPlatform, rng: np.random.Generator
+        self,
+        platform: CrowdPlatform,
+        rng: np.random.Generator,
+        tracer: Tracer | None = None,
     ) -> CrowdJobResult:
         """Run the job end to end and settle the bill."""
         self._check_budget(platform)
+        tracer = resolve_tracer(tracer)
         start_cost = platform.ledger.total_cost
         start_logical = platform.logical_steps
         start_physical = platform.physical_steps_total
 
-        naive_oracle, expert_oracle = self._build_oracles(platform, rng)
-        survivors = filter_candidates(naive_oracle, u_n=self.u_n).survivors
-        answer = self._phase2(expert_oracle, survivors, rng)
+        with tracer.span("job.max", u_n=self.u_n, budget_cap=self.budget_cap):
+            naive_oracle, expert_oracle = self._build_oracles(
+                platform, rng, tracer=tracer
+            )
+            survivors = filter_candidates(
+                naive_oracle, u_n=self.u_n, tracer=tracer
+            ).survivors
+            answer = self._phase2(expert_oracle, survivors, rng, tracer=tracer)
 
         return CrowdJobResult(
             answer=answer,
@@ -201,10 +216,11 @@ class CrowdMaxJob:
         expert_oracle: ComparisonOracle,
         survivors: np.ndarray,
         rng: np.random.Generator,
+        tracer: Tracer | None = None,
     ) -> list[int]:
         if len(survivors) == 1:
             return [int(survivors[0])]
-        return [two_maxfind(expert_oracle, survivors).winner]
+        return [two_maxfind(expert_oracle, survivors, tracer=tracer).winner]
 
 
 class CrowdTopKJob(CrowdMaxJob):
@@ -253,23 +269,30 @@ class CrowdTopKJob(CrowdMaxJob):
         return naive_wc + expert_wc
 
     def execute(
-        self, platform: CrowdPlatform, rng: np.random.Generator
+        self,
+        platform: CrowdPlatform,
+        rng: np.random.Generator,
+        tracer: Tracer | None = None,
     ) -> CrowdJobResult:
         self._check_budget(platform)
+        tracer = resolve_tracer(tracer)
         start_cost = platform.ledger.total_cost
         start_logical = platform.logical_steps
         start_physical = platform.physical_steps_total
 
-        naive_oracle, expert_oracle = self._build_oracles(platform, rng)
-        survivors = filter_candidates(
-            naive_oracle, u_n=self.u_n + self.k - 1
-        ).survivors
-        if len(survivors) == 1:
-            ranking = [int(survivors[0])]
-        else:
-            tournament = play_all_play_all(expert_oracle, survivors)
-            order = np.argsort(-tournament.wins, kind="stable")
-            ranking = [int(e) for e in tournament.elements[order][: self.k]]
+        with tracer.span("job.topk", u_n=self.u_n, k=self.k):
+            naive_oracle, expert_oracle = self._build_oracles(
+                platform, rng, tracer=tracer
+            )
+            survivors = filter_candidates(
+                naive_oracle, u_n=self.u_n + self.k - 1, tracer=tracer
+            ).survivors
+            if len(survivors) == 1:
+                ranking = [int(survivors[0])]
+            else:
+                tournament = play_all_play_all(expert_oracle, survivors)
+                order = np.argsort(-tournament.wins, kind="stable")
+                ranking = [int(e) for e in tournament.elements[order][: self.k]]
         return CrowdJobResult(
             answer=ranking,
             survivors=survivors,

@@ -1,0 +1,36 @@
+"""Structured observability for the two-phase pipeline.
+
+Dependency-free tracing and metrics: :class:`Tracer` emits span/event
+records (JSONL-exportable via :class:`JsonlSink`), a
+:class:`MetricsRegistry` keeps counters and timers, and
+:data:`NULL_TRACER` is the zero-overhead default every instrumented
+call site falls back to.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import Counter, MetricsRegistry, Timer
+from .tracer import (
+    NULL_TRACER,
+    JsonlSink,
+    NullTracer,
+    TraceSink,
+    Tracer,
+    get_active_tracer,
+    resolve_tracer,
+    set_active_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Timer",
+    "TraceSink",
+    "Tracer",
+    "get_active_tracer",
+    "resolve_tracer",
+    "set_active_tracer",
+    "use_tracer",
+]

@@ -1,0 +1,107 @@
+"""Counters and timers: the aggregate half of the telemetry layer.
+
+Where :mod:`repro.telemetry.tracer` records *individual* happenings
+(span boundaries, oracle batches, filter rounds), the
+:class:`MetricsRegistry` keeps *aggregates*: monotonically increasing
+counters and accumulating timers.  A registry is cheap enough to carry
+everywhere — a counter bump is one dict lookup plus an integer add —
+and renders to a plain dict for assertions, CSV rows or JSONL export.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Counter", "Timer", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (comparisons, batches, rounds)."""
+
+    name: str
+    value: int = 0
+
+    def add(self, amount: int) -> None:
+        """Increase the counter by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError("counters only move forward")
+        self.value += amount
+
+    def inc(self) -> None:
+        """Increase the counter by one."""
+        self.value += 1
+
+
+@dataclass
+class Timer:
+    """Accumulated wall-clock time across any number of observations."""
+
+    name: str
+    total_seconds: float = 0.0
+    count: int = 0
+
+    def observe(self, seconds: float) -> None:
+        """Record one observation of ``seconds``."""
+        if seconds < 0:
+            raise ValueError("durations must be non-negative")
+        self.total_seconds += seconds
+        self.count += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Context manager measuring the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - start)
+
+    @property
+    def mean_seconds(self) -> float:
+        """Average duration per observation (0.0 before any)."""
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Named counters and timers, created lazily on first use.
+
+    The registry is deliberately permissive about names — any string —
+    but the library sticks to dotted paths such as
+    ``oracle.fresh_comparisons`` or ``phase1.duration`` so exports sort
+    into sensible groups.
+    """
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    timers: dict[str, Timer] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at zero if new."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        """The timer called ``name``, created empty if new."""
+        timer = self.timers.get(name)
+        if timer is None:
+            timer = self.timers[name] = Timer(name)
+        return timer
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: counter values and timer totals by name."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "timers": {
+                name: {
+                    "total_seconds": t.total_seconds,
+                    "count": t.count,
+                }
+                for name, t in sorted(self.timers.items())
+            },
+        }

@@ -80,6 +80,28 @@ class TestMain:
         assert len(written) == 1
         assert written[0].read_text().startswith("workers")
 
+    def test_trace_export(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "bounds.trace.jsonl"
+        assert main(["bounds", "--seed", "1", "--trace", str(trace_path)]) == 0
+        assert f"(wrote trace {trace_path})" in capsys.readouterr().out
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert records[0]["kind"] == "cli_start"
+        assert records[0]["command"] == "bounds"
+        # The bounds check runs full pipelines, so the trace carries
+        # phase spans, filter rounds and oracle batches end to end.
+        assert {"span_start", "span_end", "filter_round", "oracle_batch"} <= kinds
+        spans = {r["span"] for r in records if r["kind"] == "span_start"}
+        assert {"cli", "maxfind", "phase1", "phase2"} <= spans
+
+    def test_untraced_run_leaves_no_trace_file(self, tmp_path, capsys):
+        assert main(["fig2a", "--seed", "1"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
     def test_search_command(self, capsys):
         assert main(["search", "--seed", "1"]) == 0
         assert "search-eval" in capsys.readouterr().out

@@ -106,6 +106,38 @@ class TestConfiguration:
         assert result.naive_comparisons == naive_oracle.comparisons
         assert result.expert_comparisons == expert_oracle.comparisons
 
+    def test_reused_oracles_report_per_run_deltas(self, rng, classes, instance):
+        # Regression: a caller reusing oracles across runs (the platform
+        # path) must get *this run's* counters, not cumulative totals.
+        naive, expert = classes
+        finder = ExpertAwareMaxFinder(naive=naive, expert=expert, u_n=8)
+        naive_oracle = ComparisonOracle(
+            instance, naive.model, rng, cost_per_comparison=1.0
+        )
+        expert_oracle = ComparisonOracle(
+            instance, expert.model, rng, cost_per_comparison=20.0
+        )
+        first = finder.run_with_oracles(naive_oracle, expert_oracle, rng)
+        naive_after_first = naive_oracle.comparisons
+        expert_after_first = expert_oracle.comparisons
+        assert first.naive_comparisons == naive_after_first
+        assert first.expert_comparisons == expert_after_first
+
+        second = finder.run_with_oracles(naive_oracle, expert_oracle, rng)
+        assert second.naive_comparisons == (
+            naive_oracle.comparisons - naive_after_first
+        )
+        assert second.expert_comparisons == (
+            expert_oracle.comparisons - expert_after_first
+        )
+        # The second run replays the shared memo, so it must be cheaper
+        # than the first and never negative; cost follows the deltas.
+        assert 0 <= second.naive_comparisons < first.naive_comparisons
+        assert 0 <= second.expert_comparisons <= first.expert_comparisons
+        assert second.cost == pytest.approx(
+            second.naive_comparisons * 1.0 + second.expert_comparisons * 20.0
+        )
+
     def test_kwargs_forwarding_through_find_max(self, rng, classes, instance):
         naive, expert = classes
         result = find_max(

@@ -101,9 +101,8 @@ class TestMemoization:
         oracle.compare(0, 1)
         assert oracle.comparisons == 2
 
-    def test_dict_fallback_for_large_instances(self, rng, monkeypatch):
-        monkeypatch.setattr(oracle_module, "_DENSE_MEMO_LIMIT", 2)
-        oracle = make_oracle(rng)
+    def test_dict_fallback_for_large_instances(self, rng):
+        oracle = make_oracle(rng, dense_memo_limit=2)
         assert oracle._memo_dict is not None
         assert oracle._memo_matrix is None
         first = oracle.compare(0, 1)
@@ -114,6 +113,54 @@ class TestMemoization:
             np.asarray([0, 2]), np.asarray([1, 3]), return_fresh=True
         )
         assert fresh.tolist() == [False, True]
+
+    def test_default_limit_picks_dense_memo(self, rng):
+        oracle = make_oracle(rng)
+        assert oracle.dense_memo_limit == oracle_module.DEFAULT_DENSE_MEMO_LIMIT
+        assert oracle._memo_matrix is not None
+        assert oracle._memo_dict is None
+
+    def test_dict_fallback_batch_semantics_match_dense(self, rng):
+        # The two memo backends must be observationally identical:
+        # replay the same request stream through both and compare
+        # winners and counters exactly.
+        values = tuple(float(v) for v in range(12))
+        dense = make_oracle(rng, values=values)
+        sparse = make_oracle(np.random.default_rng(12345), values=values, dense_memo_limit=0)
+        streams = [
+            (np.asarray([0, 1, 2, 0]), np.asarray([5, 6, 7, 5])),
+            (np.asarray([5, 1, 9]), np.asarray([0, 6, 10])),
+            (np.asarray([9, 11]), np.asarray([10, 3])),
+        ]
+        for ii, jj in streams:
+            w_dense, f_dense = dense.compare_pairs(ii, jj, return_fresh=True)
+            w_sparse, f_sparse = sparse.compare_pairs(ii, jj, return_fresh=True)
+            assert w_dense.tolist() == w_sparse.tolist()
+            assert f_dense.tolist() == f_sparse.tolist()
+        assert dense.comparisons == sparse.comparisons
+        assert dense.requests == sparse.requests
+
+    def test_dict_fallback_duplicates_within_batch_agree(self, rng):
+        model = FixedErrorWorkerModel(error_probability=0.49)
+        oracle = make_oracle(
+            rng, values=(1.0, 1.0001), model=model, dense_memo_limit=1
+        )
+        ii = np.zeros(50, dtype=np.intp)
+        jj = np.ones(50, dtype=np.intp)
+        winners = oracle.compare_pairs(ii, jj)
+        assert len(set(winners.tolist())) == 1
+        assert oracle.comparisons == 1
+
+    def test_dict_fallback_forget_clears_memo(self, rng):
+        oracle = make_oracle(rng, dense_memo_limit=0)
+        oracle.compare(0, 1)
+        oracle.forget()
+        oracle.compare(0, 1)
+        assert oracle.comparisons == 2
+
+    def test_rejects_negative_dense_memo_limit(self, rng):
+        with pytest.raises(ValueError):
+            make_oracle(rng, dense_memo_limit=-1)
 
 
 class TestOrientation:

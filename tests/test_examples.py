@@ -20,6 +20,7 @@ EXAMPLES = {
     "search_evaluation.py": "estimated u_n(50)",
     "talent_cascade.py": "Cascade winner",
     "crowd_query.py": "TOP-5 answer",
+    "traced_run.py": "trace agrees with the result counters exactly",
 }
 
 

@@ -1,8 +1,11 @@
-"""Tests for repro.experiments.base (result containers)."""
+"""Tests for repro.experiments.base (result containers, trace hook)."""
+
+import json
 
 import pytest
 
-from repro.experiments.base import FigureResult, TableResult
+from repro.experiments.base import FigureResult, TableResult, experiment_tracer
+from repro.telemetry import NULL_TRACER, get_active_tracer
 
 
 class TestFigureResult:
@@ -53,3 +56,35 @@ class TestTableResult:
         assert "[t1]" in text and "cell" in text and "note: n" in text
         path = table.to_csv(tmp_path / "t.csv")
         assert path.read_text().startswith("x")
+
+
+class TestExperimentTracer:
+    def test_persists_trace_next_to_csvs(self, tmp_path, rng):
+        from repro.core.generators import planted_instance
+        from repro.core.maxfinder import find_max
+        from repro.workers.expert import make_worker_classes
+
+        instance = planted_instance(
+            n=100, u_n=4, u_e=2, delta_n=1.0, delta_e=0.25, rng=rng
+        )
+        naive, expert = make_worker_classes(
+            delta_n=1.0, delta_e=0.25, cost_n=1.0, cost_e=20.0
+        )
+        with experiment_tracer(tmp_path, "fig_demo") as tracer:
+            # The hook installs the ambient tracer, so untouched
+            # experiment code is traced without plumbing changes.
+            assert get_active_tracer() is tracer
+            result = find_max(instance, naive, expert, u_n=4, rng=rng)
+        assert get_active_tracer() is NULL_TRACER
+
+        trace_path = tmp_path / "fig_demo.trace.jsonl"
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        fresh = sum(r["fresh"] for r in records if r["kind"] == "oracle_batch")
+        assert fresh == result.naive_comparisons + result.expert_comparisons
+
+    def test_none_out_is_a_noop(self):
+        with experiment_tracer(None, "x") as tracer:
+            assert tracer is NULL_TRACER
+        assert get_active_tracer() is NULL_TRACER
