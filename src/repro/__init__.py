@@ -40,7 +40,15 @@ from .core import (
     two_maxfind,
     uniform_instance,
 )
-from .service import CrowdJobResult, CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
+from .platform import FaultPlan, RetryPolicy
+from .service import (
+    BudgetExceededError,
+    CrowdJobResult,
+    CrowdMaxJob,
+    CrowdTopKJob,
+    JobPhaseConfig,
+    ResilientCrowdMaxJob,
+)
 from .telemetry import (
     JsonlSink,
     MetricsRegistry,
@@ -61,11 +69,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdversarialWorkerModel",
+    "BudgetExceededError",
     "ComparisonOracle",
     "CrowdJobResult",
     "CrowdMaxJob",
     "CrowdTopKJob",
     "ExpertAwareMaxFinder",
+    "FaultPlan",
     "JobPhaseConfig",
     "JsonlSink",
     "FilterResult",
@@ -73,6 +83,8 @@ __all__ = [
     "MaxFindResult",
     "MetricsRegistry",
     "ProblemInstance",
+    "ResilientCrowdMaxJob",
+    "RetryPolicy",
     "ThresholdWorkerModel",
     "ThurstoneWorkerModel",
     "Tracer",

@@ -46,6 +46,7 @@ from .experiments import (
     run_expert_discovery,
     run_expert_fraction_experiment,
     run_fatigue_experiment,
+    run_fault_sweep,
     run_figure2_cars,
     run_figure2_dots,
     run_group_multiplier_ablation,
@@ -62,6 +63,7 @@ from .experiments import (
     survival_table,
 )
 from .experiments.cost_vs_n import PAPER_EXPERT_COSTS
+from .platform.faults import FaultPlan
 from .telemetry import JsonlSink, Tracer, use_tracer
 
 __all__ = ["main", "build_parser"]
@@ -124,6 +126,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a structured JSONL telemetry trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=FaultPlan.parse,
+        default=None,
+        metavar="SPEC",
+        help=(
+            "base fault-injection plan for the robustness fault sweep, "
+            "e.g. 'abandon=0.2,straggle=0.1:4,offline=0.05:6,malformed=0.02' "
+            "(see docs/RELIABILITY.md)"
+        ),
     )
     return parser
 
@@ -235,6 +248,7 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     if command in ("robustness", "all"):
         _emit(run_epsilon_robustness(rng), out)
         _emit(run_fatigue_experiment(rng), out)
+        _emit(run_fault_sweep(rng, base_plan=args.fault_plan), out)
     if command in ("budget", "all"):
         _emit(run_budget_planning(rng), out)
     if command in ("baselines", "all"):

@@ -43,7 +43,11 @@ from .extensions import run_cascade_experiment, run_expert_fraction_experiment
 from .io import load_result, save_result
 from .latency import run_latency_experiment
 from .report import compose_report, write_report
-from .robustness import run_epsilon_robustness, run_fatigue_experiment
+from .robustness import (
+    run_epsilon_robustness,
+    run_fatigue_experiment,
+    run_fault_sweep,
+)
 from .sorting_quality import run_sorting_quality
 from .sweep import PAPER_NS, SweepConfig, SweepData, run_sweep
 
@@ -81,6 +85,7 @@ __all__ = [
     "run_expert_discovery",
     "run_expert_fraction_experiment",
     "run_fatigue_experiment",
+    "run_fault_sweep",
     "run_figure2_cars",
     "run_figure2_dots",
     "run_figure3",

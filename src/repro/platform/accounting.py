@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .errors import CostCapError
+
 __all__ = ["LedgerEntry", "CostLedger"]
 
 
@@ -33,19 +35,55 @@ class CostLedger:
     comparisons and ``"gold:<label>"`` for quality-control judgments,
     which are paid work even though their answers never reach the
     algorithm.
+
+    ``hard_cap`` turns the ledger into a mid-flight budget enforcer: a
+    charge that would push :attr:`total_cost` past the cap is refused
+    with a typed :class:`~repro.platform.errors.CostCapError` and is
+    *not* recorded, so the ledger can never stand above its cap — the
+    invariant :class:`~repro.service.CrowdMaxJob` and the chaos suite
+    rely on.  The default (``None``) never refuses anything.
     """
 
     entries: dict[str, LedgerEntry] = field(default_factory=dict)
+    hard_cap: float | None = None
+
+    #: Float-sum slack so a cap equal to the exact bill is not refused.
+    _CAP_TOLERANCE = 1e-9
 
     def charge(self, label: str, count: int, unit_cost: float) -> None:
-        """Record ``count`` operations at ``unit_cost`` each."""
+        """Record ``count`` operations at ``unit_cost`` each.
+
+        Raises :class:`CostCapError` (recording nothing) when the
+        charge would push the total past :attr:`hard_cap`.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         if unit_cost < 0:
             raise ValueError("unit_cost must be non-negative")
+        amount = count * unit_cost
+        if not self.can_afford(amount):
+            raise CostCapError(
+                label=label,
+                attempted=amount,
+                cap=float(self.hard_cap),  # type: ignore[arg-type]
+                spent=self.total_cost,
+            )
         entry = self.entries.setdefault(label, LedgerEntry())
         entry.operations += count
-        entry.money += count * unit_cost
+        entry.money += amount
+
+    def can_afford(self, amount: float) -> bool:
+        """Whether a charge of ``amount`` would stay within the cap."""
+        if self.hard_cap is None:
+            return True
+        return self.total_cost + amount <= self.hard_cap + self._CAP_TOLERANCE
+
+    @property
+    def remaining_budget(self) -> float | None:
+        """Money left under the cap (``None`` when uncapped)."""
+        if self.hard_cap is None:
+            return None
+        return max(0.0, self.hard_cap - self.total_cost)
 
     def operations(self, label: str | None = None) -> int:
         """Operations for one label, or across all labels."""

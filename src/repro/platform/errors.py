@@ -1,0 +1,83 @@
+"""Typed failure modes of the platform layer.
+
+The seed platform had exactly one failure signal: a generic
+``RuntimeError`` raised by the batch stall guard, which threw away
+every judgment already collected.  Real crowd platforms lose work
+constantly (abandonment, stragglers, bans) and the callers need to
+distinguish *how* a run failed — and to keep the partial work — so
+every failure the platform can signal is now a typed exception that
+carries the evidence collected up to the failure point.
+
+Hierarchy::
+
+    PlatformError
+    ├── CostCapError        the ledger refused a charge (hard cap)
+    └── DegradedBatchError  a batch settled with degraded tasks and the
+                            retry policy is strict (``on_degraded="raise"``)
+
+``BudgetExceededError`` — the job-level wrapper that carries a partial
+:class:`~repro.service.CrowdJobResult` — lives in :mod:`repro.service`,
+one layer up, because it speaks in job terms (survivors, answers)
+rather than platform terms (batches, charges).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .job import BatchReport
+
+__all__ = ["PlatformError", "CostCapError", "DegradedBatchError"]
+
+
+class PlatformError(RuntimeError):
+    """Base class for typed platform failures."""
+
+
+class CostCapError(PlatformError):
+    """A charge was refused because it would push the ledger past its cap.
+
+    The refused charge is *not* recorded, so ``ledger.total_cost`` never
+    exceeds the configured cap — the invariant the chaos suite asserts.
+
+    Attributes
+    ----------
+    label:
+        Ledger label of the refused charge.
+    attempted:
+        Money the refused charge would have added.
+    cap:
+        The configured hard cap.
+    spent:
+        Total money on the ledger at refusal time (``<= cap``).
+    """
+
+    def __init__(self, label: str, attempted: float, cap: float, spent: float):
+        super().__init__(
+            f"charge of {attempted:.2f} to {label!r} refused: ledger at "
+            f"{spent:.2f} of hard cap {cap:.2f}"
+        )
+        self.label = label
+        self.attempted = attempted
+        self.cap = cap
+        self.spent = spent
+
+
+class DegradedBatchError(PlatformError):
+    """A batch settled with degraded tasks under a strict retry policy.
+
+    Raised *after* the batch is fully settled: the attached
+    :class:`~repro.platform.job.BatchReport` carries every kept
+    judgment, per-task status, and the usual counters, so no collected
+    work is lost — callers that can live with partial answers catch
+    this and read ``.report``; callers that cannot treat it as fatal.
+    """
+
+    def __init__(self, report: "BatchReport"):
+        degraded = [t.task_id for t in report.task_reports if t.status == "degraded"]
+        super().__init__(
+            f"batch settled degraded: {len(degraded)} of "
+            f"{len(report.task_reports)} tasks incomplete (ids {degraded})"
+        )
+        self.report = report

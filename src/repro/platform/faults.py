@@ -1,0 +1,269 @@
+"""Deterministic fault injection and retry policies for the platform.
+
+The paper's model (Section 3) assumes every requested judgment
+eventually arrives; real CrowdFlower-style platforms lose work all the
+time.  This module supplies the two halves of the resilience layer:
+
+* :class:`FaultPlan` — *what goes wrong*: a declarative model of worker
+  misbehaviour (abandoning assigned tasks, straggling past a deadline,
+  going offline for windows of physical steps, returning malformed
+  judgments).  Every fault is driven by the platform RNG, so a run with
+  a fixed seed is exactly reproducible — faults included.
+* :class:`RetryPolicy` — *what the platform does about it*: per-task
+  attempt limits, a per-batch physical-step deadline, exponential
+  backoff on re-assignment, an optional fallback pool, and the strict /
+  graceful switch (``on_degraded``).
+
+An all-zero plan (``FaultPlan.none()``, or simply ``faults=None``)
+injects nothing and draws nothing from the RNG, so the paper-faithful
+path is bit-identical to a platform without the resilience layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["FaultPlan", "RetryPolicy"]
+
+#: Assignment-level fault outcomes (``None`` means the judgment is fine).
+FaultKind = Literal["abandon", "malformed", "straggle", "offline"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative, RNG-driven model of worker faults.
+
+    Parameters
+    ----------
+    abandon_rate:
+        Probability that a worker accepts an assignment and then drops
+        it — no judgment is produced and no money is paid (platforms do
+        not pay abandoners), but the attempt counts against the task's
+        retry budget.
+    straggle_rate:
+        Probability that a produced judgment arrives ``straggle_steps``
+        physical steps late.  The work is paid when performed; if the
+        batch settles before the judgment lands, it is lost and counted
+        in ``judgments_lost_late``.
+    straggle_steps:
+        Delivery delay (in physical steps) of a straggling judgment.
+    offline_rate:
+        Per-step probability that an online worker goes offline for the
+        next ``offline_steps`` physical steps (on top of the pool's
+        availability model).
+    offline_steps:
+        Length of an offline window, in physical steps.
+    malformed_rate:
+        Probability that a worker's judgment comes back unusable
+        (wrong format, garbage answer).  The work is paid — the
+        platform cannot tell before buying — but the judgment is
+        discarded and the attempt counts against the retry budget.
+    """
+
+    abandon_rate: float = 0.0
+    straggle_rate: float = 0.0
+    straggle_steps: int = 3
+    offline_rate: float = 0.0
+    offline_steps: int = 5
+    malformed_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("abandon_rate", "straggle_rate", "offline_rate", "malformed_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.abandon_rate + self.malformed_rate + self.straggle_rate > 1.0:
+            raise ValueError(
+                "abandon_rate + malformed_rate + straggle_rate must not exceed 1"
+            )
+        for name in ("straggle_steps", "offline_steps"):
+            steps = getattr(self, name)
+            if steps < 1:
+                raise ValueError(f"{name} must be at least 1, got {steps}")
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can fire (an inactive plan draws no RNG)."""
+        return (
+            self.abandon_rate > 0
+            or self.straggle_rate > 0
+            or self.offline_rate > 0
+            or self.malformed_rate > 0
+        )
+
+    @property
+    def has_assignment_faults(self) -> bool:
+        """Whether per-assignment rolls are needed (saves RNG draws)."""
+        return (
+            self.abandon_rate > 0 or self.malformed_rate > 0 or self.straggle_rate > 0
+        )
+
+    @classmethod
+    def none(cls) -> "FaultPlan":
+        """The all-zero plan: injects nothing, draws nothing."""
+        return cls()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Build a plan from a compact CLI spec.
+
+        The spec is a comma-separated list of ``kind=rate`` entries;
+        ``straggle`` and ``offline`` optionally carry a step count after
+        a colon::
+
+            abandon=0.2,straggle=0.1:4,offline=0.05:6,malformed=0.02
+
+        Unknown kinds raise ``ValueError``; omitted kinds default to 0.
+        """
+        kwargs: dict[str, float | int] = {}
+        spec = spec.strip()
+        if not spec:
+            return cls()
+        for part in spec.split(","):
+            if "=" not in part:
+                raise ValueError(f"malformed fault spec entry {part!r} (want kind=rate)")
+            kind, _, value = part.partition("=")
+            kind = kind.strip()
+            steps: str | None = None
+            if ":" in value:
+                value, _, steps = value.partition(":")
+            if kind in ("abandon", "malformed"):
+                if steps is not None:
+                    raise ValueError(f"{kind} takes no step count (got {part!r})")
+                kwargs[f"{kind}_rate"] = float(value)
+            elif kind in ("straggle", "offline"):
+                kwargs[f"{kind}_rate"] = float(value)
+                if steps is not None:
+                    kwargs[f"{kind}_steps"] = int(steps)
+            else:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; "
+                    "expected abandon, straggle, offline, or malformed"
+                )
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def describe(self) -> str:
+        """Compact human-readable rendering (the inverse of :meth:`parse`)."""
+        parts = []
+        if self.abandon_rate:
+            parts.append(f"abandon={self.abandon_rate:g}")
+        if self.straggle_rate:
+            parts.append(f"straggle={self.straggle_rate:g}:{self.straggle_steps}")
+        if self.offline_rate:
+            parts.append(f"offline={self.offline_rate:g}:{self.offline_steps}")
+        if self.malformed_rate:
+            parts.append(f"malformed={self.malformed_rate:g}")
+        return ",".join(parts) if parts else "none"
+
+    # ------------------------------------------------------------------
+    # Rolls (all RNG draws the plan ever makes)
+    # ------------------------------------------------------------------
+    def roll_assignment(self, rng: np.random.Generator) -> FaultKind | None:
+        """Fate of one assignment: one uniform draw partitioned by rate."""
+        r = float(rng.random())
+        if r < self.abandon_rate:
+            return "abandon"
+        if r < self.abandon_rate + self.malformed_rate:
+            return "malformed"
+        if r < self.abandon_rate + self.malformed_rate + self.straggle_rate:
+            return "straggle"
+        return None
+
+    def roll_offline(self, rng: np.random.Generator) -> bool:
+        """Whether an online worker drops offline this physical step."""
+        return self.offline_rate > 0 and bool(rng.random() < self.offline_rate)
+
+    @classmethod
+    def sample(cls, rng: np.random.Generator, max_rate: float = 0.4) -> "FaultPlan":
+        """Draw a random plan — the chaos suite's generator.
+
+        Rates are uniform in ``[0, max_rate]`` (jointly clipped so the
+        assignment partition stays valid), window lengths in ``[1, 6]``.
+        """
+        abandon, malformed, straggle = rng.uniform(0.0, max_rate, size=3)
+        total = abandon + malformed + straggle
+        if total > 1.0:  # pragma: no cover - needs max_rate > 1/3
+            abandon, malformed, straggle = (
+                abandon / total,
+                malformed / total,
+                straggle / total,
+            )
+        return cls(
+            abandon_rate=float(abandon),
+            malformed_rate=float(malformed),
+            straggle_rate=float(straggle),
+            straggle_steps=int(rng.integers(1, 7)),
+            offline_rate=float(rng.uniform(0.0, max_rate)),
+            offline_steps=int(rng.integers(1, 7)),
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the platform reacts when judgments fail to arrive.
+
+    Parameters
+    ----------
+    max_attempts:
+        Failed assignments (abandoned or malformed) a task tolerates
+        before it settles early with whatever judgments were kept,
+        flagged ``degraded`` with reason ``"retries_exhausted"``.
+        ``None`` means unlimited (the batch deadline or the stall guard
+        eventually settles a starving task anyway).
+    deadline_steps:
+        Per-batch physical-step deadline.  When the batch reaches it,
+        every incomplete task settles degraded with reason
+        ``"deadline"``; in-flight straggler judgments are lost.
+        ``None`` disables the deadline.
+    backoff_base, backoff_factor, backoff_cap:
+        After a task's ``k``-th failed assignment it is not re-assigned
+        for ``min(backoff_cap, backoff_base * backoff_factor**(k-1))``
+        physical steps — exponential backoff that stops a flaky task
+        from monopolising the workforce.
+    fallback_pool:
+        Pool to draw judgments from when the primary pool can no longer
+        satisfy a task (banned out / exhausted).  Fallback judgments
+        are billed at the fallback pool's price.  Use distinct worker
+        id ranges (``id_offset``) across pools so the distinct-worker
+        guarantee spans both.
+    on_degraded:
+        ``"settle"`` (default) returns a :class:`BatchReport` with the
+        degraded tasks flagged; ``"raise"`` raises
+        :class:`~repro.platform.errors.DegradedBatchError` carrying the
+        same fully-settled report.
+    """
+
+    max_attempts: int | None = None
+    deadline_steps: int | None = None
+    backoff_base: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 32.0
+    fallback_pool: str | None = None
+    on_degraded: Literal["settle", "raise"] = "settle"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1 (or None)")
+        if self.deadline_steps is not None and self.deadline_steps < 1:
+            raise ValueError("deadline_steps must be at least 1 (or None)")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_cap < 0:
+            raise ValueError(
+                "backoff_base/backoff_cap must be >= 0 and backoff_factor >= 1"
+            )
+        if self.on_degraded not in ("settle", "raise"):
+            raise ValueError("on_degraded must be 'settle' or 'raise'")
+
+    def backoff_steps(self, failures: int) -> int:
+        """Re-assignment delay after the ``failures``-th failed attempt."""
+        if failures < 1 or self.backoff_base == 0:
+            return 0
+        raw = self.backoff_base * self.backoff_factor ** (failures - 1)
+        return int(math.ceil(min(self.backoff_cap, raw)))
+
+    def attempts_exhausted(self, failures: int) -> bool:
+        """Whether a task with ``failures`` failed attempts should settle."""
+        return self.max_attempts is not None and failures >= self.max_attempts

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["ComparisonTask", "Judgment", "BatchReport"]
+__all__ = ["ComparisonTask", "Judgment", "TaskReport", "BatchReport"]
 
 
 @dataclass
@@ -52,6 +52,31 @@ class Judgment:
     is_gold: bool
 
 
+@dataclass(frozen=True)
+class TaskReport:
+    """Per-task completion status inside a :class:`BatchReport`.
+
+    ``status`` is ``"ok"`` when the task collected its full
+    ``required_judgments``, ``"degraded"`` when it settled early with
+    fewer.  ``reason`` explains a degraded settle:
+
+    * ``"deadline"`` — the batch hit its physical-step deadline;
+    * ``"retries_exhausted"`` — failed assignments reached the retry
+      policy's ``max_attempts``;
+    * ``"pool_exhausted"`` — not enough eligible (unbanned, not yet
+      assigned) workers remain to ever satisfy the task;
+    * ``"stalled"`` — the defensive stall guard fired (availability or
+      faults starved the batch past its generous step budget).
+    """
+
+    task_id: int
+    status: str  # "ok" | "degraded"
+    reason: str = ""
+    judgments_kept: int = 0
+    required_judgments: int = 0
+    attempts_failed: int = 0
+
+
 @dataclass
 class BatchReport:
     """Execution report for one logical step (one batch).
@@ -60,7 +85,9 @@ class BatchReport:
     ----------
     answers:
         Majority answer per non-gold task, in task order
-        (``True`` = first element wins).
+        (``True`` = first element wins).  Degraded tasks answer with
+        the majority of whatever judgments were kept (a fair coin when
+        none were).
     physical_steps:
         Length of ``F(s)`` — how many physical steps the batch took.
     judgments_collected:
@@ -69,6 +96,18 @@ class BatchReport:
         Judgments dropped because their worker was banned.
     workers_banned:
         Worker ids banned during this batch.
+    task_reports:
+        Per-task completion status, in task order (see
+        :class:`TaskReport`).
+    faults_injected:
+        Faults the :class:`~repro.platform.faults.FaultPlan` fired
+        during this batch (abandon/straggle/offline/malformed).
+    judgments_malformed:
+        Judgments paid for but discarded as unusable.
+    judgments_lost_late:
+        Straggler judgments that had not landed when the batch settled.
+    retries:
+        Failed assignments that were re-queued for another worker.
     """
 
     answers: list[bool]
@@ -76,3 +115,18 @@ class BatchReport:
     judgments_collected: int
     judgments_discarded: int
     workers_banned: list[int] = field(default_factory=list)
+    task_reports: list[TaskReport] = field(default_factory=list)
+    faults_injected: int = 0
+    judgments_malformed: int = 0
+    judgments_lost_late: int = 0
+    retries: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any task settled without its required judgments."""
+        return any(t.status == "degraded" for t in self.task_reports)
+
+    @property
+    def degraded_tasks(self) -> list[TaskReport]:
+        """The task reports that settled degraded."""
+        return [t for t in self.task_reports if t.status == "degraded"]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..workers.base import WorkerModel
+from .errors import DegradedBatchError
 from .platform import CrowdPlatform
 
 __all__ = ["PlatformWorkerModel"]
@@ -30,6 +31,13 @@ class PlatformWorkerModel(WorkerModel):
     Each :meth:`decide` call is one logical step: the whole pair batch
     is submitted to the platform at once, as the Section 3 model
     prescribes.
+
+    With ``strict=True`` a batch that settles with degraded tasks
+    raises :class:`~repro.platform.errors.DegradedBatchError` (carrying
+    the settled report) instead of silently feeding partial majorities
+    to the algorithm — how
+    :class:`~repro.service.ResilientCrowdMaxJob` notices that its
+    expert pool collapsed and falls back.
     """
 
     def __init__(
@@ -38,6 +46,7 @@ class PlatformWorkerModel(WorkerModel):
         pool_name: str,
         judgments_per_task: int = 1,
         is_expert: bool = False,
+        strict: bool = False,
     ):
         if judgments_per_task < 1:
             raise ValueError("judgments_per_task must be at least 1")
@@ -47,6 +56,7 @@ class PlatformWorkerModel(WorkerModel):
         self.pool_name = pool_name
         self.judgments_per_task = int(judgments_per_task)
         self.is_expert = is_expert
+        self.strict = strict
 
     def decide(
         self,
@@ -61,7 +71,7 @@ class PlatformWorkerModel(WorkerModel):
             # synthesise stable placeholders when the caller has none.
             indices_i = np.arange(len(values_i), dtype=np.intp)
             indices_j = indices_i + len(values_i)
-        answers, _report = self.platform.compare_batch(
+        answers, report = self.platform.compare_batch(
             self.pool_name,
             indices_i,
             indices_j,
@@ -69,6 +79,8 @@ class PlatformWorkerModel(WorkerModel):
             values_j,
             judgments_per_task=self.judgments_per_task,
         )
+        if self.strict and report.degraded:
+            raise DegradedBatchError(report)
         return answers
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

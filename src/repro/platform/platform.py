@@ -16,19 +16,87 @@ spammers (see :class:`repro.workers.spammer.LazyFirstModel`).
 Every judgment is paid, including gold probes and judgments later
 discarded for spam: detecting a spammer costs real money, exactly as on
 the real platform.
+
+Beyond the paper's model, the platform carries a resilience layer (see
+``docs/RELIABILITY.md``): a :class:`~repro.platform.faults.FaultPlan`
+injects reproducible worker faults (abandonment, stragglers, offline
+windows, malformed judgments), a
+:class:`~repro.platform.faults.RetryPolicy` governs re-assignment,
+deadlines and fallback pools, and ``submit_batch`` *always* settles —
+tasks that cannot be completed are flagged ``degraded`` on a per-task
+:class:`~repro.platform.job.TaskReport` instead of a stall error
+throwing away collected work.  With no faults and no caps the paper
+path is untouched.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..telemetry import Tracer, resolve_tracer
 from .accounting import CostLedger
+from .errors import CostCapError, DegradedBatchError
+from .faults import FaultPlan, RetryPolicy
 from .gold import GoldPolicy
-from .job import BatchReport, ComparisonTask, Judgment
+from .job import BatchReport, ComparisonTask, Judgment, TaskReport
 from .workforce import SimulatedWorker, WorkerPool
 
 __all__ = ["CrowdPlatform"]
+
+#: Graceful defaults: unlimited attempts, no deadline, settle degraded.
+_DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass
+class _BatchState:
+    """Mutable per-batch bookkeeping for one ``submit_batch`` call."""
+
+    tasks: list[ComparisonTask]
+    #: Kept judgments per task and the workers who produced them.
+    kept: dict[int, list[Judgment]] = field(default_factory=dict)
+    judged_by: dict[int, set[int]] = field(default_factory=dict)
+    #: Early-settled (degraded) tasks: task id -> reason.
+    settled: dict[int, str] = field(default_factory=dict)
+    #: Failed assignments (abandoned / malformed) per task.
+    failures: dict[int, int] = field(default_factory=dict)
+    #: Backoff: task not re-assignable before this physical step.
+    not_before: dict[int, int] = field(default_factory=dict)
+    #: In-flight straggler judgments: (arrival step, judgment).
+    pending: list[tuple[int, Judgment]] = field(default_factory=list)
+    #: Worker offline windows: worker id -> first step online again.
+    offline_until: dict[int, int] = field(default_factory=dict)
+    discarded: int = 0
+    malformed: int = 0
+    lost_late: int = 0
+    retries: int = 0
+    faults: int = 0
+    banned_ids: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.kept = {t.task_id: [] for t in self.tasks}
+        self.judged_by = {t.task_id: set() for t in self.tasks}
+        self.failures = {t.task_id: 0 for t in self.tasks}
+
+    def open_tasks(self) -> list[ComparisonTask]:
+        """Tasks still collecting: not settled, below their requirement."""
+        return [
+            t
+            for t in self.tasks
+            if t.task_id not in self.settled
+            and len(self.kept[t.task_id]) < t.required_judgments
+        ]
+
+    def deficit(self, task: ComparisonTask) -> int:
+        return task.required_judgments - len(self.kept[task.task_id])
+
+    def pending_for(self, task_id: int) -> int:
+        return sum(1 for _, j in self.pending if j.task_id == task_id)
+
+    def settle(self, task: ComparisonTask, reason: str) -> None:
+        if task.task_id not in self.settled:
+            self.settled[task.task_id] = reason
 
 
 class CrowdPlatform:
@@ -39,15 +107,26 @@ class CrowdPlatform:
     pools:
         Worker pools by name (typically ``{"naive": ..., "expert": ...}``).
     rng:
-        Randomness source for availability, assignment and tie breaks.
+        Randomness source for availability, assignment, tie breaks —
+        and fault injection, so a seeded run reproduces its faults.
     ledger:
         Cost ledger charged per judgment; a private one is created when
-        omitted.
+        omitted.  Give it a ``hard_cap`` to enforce a budget mid-flight
+        (a refused charge raises :class:`CostCapError`).
     gold:
         Optional gold/quality-control policy, applied to every pool.
+    faults:
+        Optional fault-injection plan.  ``None`` (or an all-zero plan)
+        injects nothing and leaves the RNG stream untouched.
+    retry:
+        Default retry policy for every batch; individual
+        ``submit_batch`` calls may override it.  Defaults to graceful
+        settling with unlimited attempts and no deadline.
     tracer:
         Telemetry tracer; one ``platform_batch`` record is emitted per
-        logical step (batch submitted).  Defaults to the ambient tracer
+        logical step (batch submitted), plus ``fault_injected`` /
+        ``task_retry`` / ``batch_degraded`` / ``budget_breach`` events
+        as the resilience layer acts.  Defaults to the ambient tracer
         (a no-op unless activated).
     """
 
@@ -57,6 +136,8 @@ class CrowdPlatform:
         rng: np.random.Generator,
         ledger: CostLedger | None = None,
         gold: GoldPolicy | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
     ):
         if not pools:
@@ -65,6 +146,8 @@ class CrowdPlatform:
         self.rng = rng
         self.ledger = ledger if ledger is not None else CostLedger()
         self.gold = gold
+        self.faults = faults
+        self.retry = retry if retry is not None else _DEFAULT_RETRY
         self.tracer = resolve_tracer(tracer)
         #: Logical steps executed (batches submitted).
         self.logical_steps = 0
@@ -72,6 +155,10 @@ class CrowdPlatform:
         self.physical_steps_total = 0
         #: All judgments ever kept (for audit/debugging).
         self.judgment_log: list[Judgment] = []
+        #: Aggregate resilience counters across all batches.
+        self.faults_injected_total = 0
+        self.tasks_degraded_total = 0
+        self.retries_total = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -104,89 +191,381 @@ class CrowdPlatform:
         report = self.submit_batch(pool_name, tasks)
         return np.asarray(report.answers, dtype=bool), report
 
-    def submit_batch(self, pool_name: str, tasks: list[ComparisonTask]) -> BatchReport:
-        """Execute one logical step: collect all judgments for ``tasks``."""
+    def submit_batch(
+        self,
+        pool_name: str,
+        tasks: list[ComparisonTask],
+        retry: RetryPolicy | None = None,
+    ) -> BatchReport:
+        """Execute one logical step: collect judgments for ``tasks``.
+
+        Always settles: every task either completes with its required
+        judgments or is flagged ``degraded`` on its
+        :class:`~repro.platform.job.TaskReport` with the judgments that
+        *were* kept.  The only exceptions that can escape are typed —
+        :class:`CostCapError` when the ledger's hard cap refuses a
+        charge (collected work is flushed to the judgment log first)
+        and :class:`DegradedBatchError` when the retry policy is strict
+        (``on_degraded="raise"``; the fully-settled report rides on the
+        exception).
+        """
         pool = self._pool(pool_name)
+        policy = retry if retry is not None else self.retry
         if not tasks:
             return BatchReport(
                 answers=[], physical_steps=0, judgments_collected=0, judgments_discarded=0
             )
+        fallback = self._fallback_pool(pool_name, policy)
         max_required = max(task.required_judgments for task in tasks)
-        if max_required > len(pool.workers):
+        capacity = len(pool.workers) + (len(fallback.workers) if fallback else 0)
+        if max_required > capacity:
             raise ValueError(
                 f"tasks require {max_required} distinct judgments but pool "
                 f"{pool_name!r} has only {len(pool.workers)} workers"
+                + (f" (+{len(fallback.workers)} fallback)" if fallback else "")
             )
 
         self.logical_steps += 1
-        # Kept judgments per task and the workers who produced them.
-        kept: dict[int, list[Judgment]] = {task.task_id: [] for task in tasks}
-        judged_by: dict[int, set[int]] = {task.task_id: set() for task in tasks}
-        by_task = {task.task_id: task for task in tasks}
-        discarded = 0
-        banned_ids: list[int] = []
+        plan = self.faults if (self.faults is not None and self.faults.active) else None
+        state = _BatchState(tasks=tasks)
 
         total_needed = sum(task.required_judgments for task in tasks)
-        # Generous stall guard: availability, gold probes and bans slow
-        # collection down but cannot legitimately exceed this budget.
+        # Generous stall guard: availability, gold probes, bans and
+        # faults slow collection down but cannot legitimately exceed
+        # this budget; reaching it settles the batch instead of raising.
         max_steps = 200 + 50 * total_needed
         physical_steps = 0
-        while any(
-            len(kept[t.task_id]) < t.required_judgments for t in tasks
-        ):
-            if physical_steps >= max_steps:  # pragma: no cover - defensive
-                raise RuntimeError(
-                    f"batch stalled after {physical_steps} physical steps; "
-                    "check pool sizes, availability and ban settings"
+        try:
+            while state.open_tasks():
+                if (
+                    policy.deadline_steps is not None
+                    and physical_steps >= policy.deadline_steps
+                ):
+                    self._settle_remaining(state, "deadline")
+                    break
+                if physical_steps >= max_steps:
+                    self._settle_remaining(state, "stalled")
+                    break
+                physical_steps += 1
+                self.physical_steps_total += 1
+                self._deliver_stragglers(state, physical_steps)
+                self._settle_unsatisfiable(state, pool, fallback)
+                open_tasks = state.open_tasks()
+                if not open_tasks:
+                    continue
+                active = self._sample_active(pool, plan, state, physical_steps)
+                if active:
+                    self.rng.shuffle(active)  # type: ignore[arg-type]
+                    self._run_assignment_pass(
+                        pool, active, open_tasks, state, plan, policy, physical_steps
+                    )
+                if fallback is not None:
+                    self._run_fallback_pass(
+                        pool, fallback, state, plan, policy, physical_steps
+                    )
+        except CostCapError:
+            # Budget breach mid-batch: preserve all collected work, make
+            # the breach observable, and let the typed error propagate.
+            self._flush_judgments(state)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "budget_breach",
+                    pool=pool_name,
+                    cap=self.ledger.hard_cap,
+                    spent=self.ledger.total_cost,
+                    physical_steps=physical_steps,
                 )
-            physical_steps += 1
-            self.physical_steps_total += 1
-            active = pool.sample_active(self.rng)
-            if not active:
-                continue
-            self.rng.shuffle(active)  # type: ignore[arg-type]
-            for worker in active:
-                if worker.banned:
-                    continue
-                if self.gold is not None and self.gold.should_inject(self.rng):
-                    newly_banned = self._run_gold_probe(pool, worker, physical_steps)
-                    if newly_banned:
-                        banned_ids.append(worker.worker_id)
-                        discarded += self._discard_judgments(worker.worker_id, kept, judged_by)
-                    continue
-                task = self._next_task_for(worker, tasks, kept, judged_by)
-                if task is None:
-                    continue
-                judgment = self._collect_judgment(pool, worker, task, physical_steps)
-                kept[task.task_id].append(judgment)
-                judged_by[task.task_id].add(worker.worker_id)
+            raise
 
-        answers = [self._majority_answer(kept[task.task_id]) for task in tasks]
-        collected = sum(len(v) for v in kept.values())
-        for task_judgments in kept.values():
-            self.judgment_log.extend(task_judgments)
-        # Consistency: every answer corresponds to a task in order.
-        assert len(answers) == len(by_task)
+        report = self._settle_batch(state, pool_name, physical_steps)
+        if report.degraded and policy.on_degraded == "raise":
+            raise DegradedBatchError(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Batch execution internals
+    # ------------------------------------------------------------------
+    def _run_assignment_pass(
+        self,
+        pool: WorkerPool,
+        active: list[SimulatedWorker],
+        open_tasks: list[ComparisonTask],
+        state: _BatchState,
+        plan: FaultPlan | None,
+        policy: RetryPolicy,
+        physical_steps: int,
+    ) -> None:
+        """One physical step's worth of assignments for one pool."""
+        for worker in active:
+            if worker.banned:
+                continue
+            if self.gold is not None and self.gold.should_inject(self.rng):
+                newly_banned = self._run_gold_probe(pool, worker, physical_steps)
+                if newly_banned:
+                    state.banned_ids.append(worker.worker_id)
+                    state.discarded += self._discard_judgments(worker.worker_id, state)
+                continue
+            task = self._next_task_for(worker, open_tasks, state, physical_steps)
+            if task is None:
+                continue
+            fault = (
+                plan.roll_assignment(self.rng)
+                if plan is not None and plan.has_assignment_faults
+                else None
+            )
+            if fault is None:
+                judgment = self._collect_judgment(pool, worker, task, physical_steps)
+                state.kept[task.task_id].append(judgment)
+                state.judged_by[task.task_id].add(worker.worker_id)
+                continue
+            self._apply_assignment_fault(
+                fault, pool, worker, task, state, plan, policy, physical_steps
+            )
+
+    def _apply_assignment_fault(
+        self,
+        fault: str,
+        pool: WorkerPool,
+        worker: SimulatedWorker,
+        task: ComparisonTask,
+        state: _BatchState,
+        plan: FaultPlan,
+        policy: RetryPolicy,
+        physical_steps: int,
+    ) -> None:
+        """Play out one rolled fault on one assignment."""
+        state.faults += 1
+        self.faults_injected_total += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "fault_injected",
+                pool=pool.name,
+                worker=worker.worker_id,
+                task=task.task_id,
+                fault=fault,
+            )
+        if fault == "straggle":
+            # The judgment is produced (and paid) now but lands late;
+            # the worker is committed, so she is never double-assigned.
+            judgment = self._collect_judgment(pool, worker, task, physical_steps)
+            state.judged_by[task.task_id].add(worker.worker_id)
+            state.pending.append((physical_steps + plan.straggle_steps, judgment))
+            return
+        if fault == "malformed":
+            # Paid work, unusable answer: judge (consuming the worker's
+            # RNG draws), charge, then discard the judgment.
+            self._collect_judgment(pool, worker, task, physical_steps)
+            state.judged_by[task.task_id].add(worker.worker_id)
+            state.malformed += 1
+        # abandon: no judgment, no charge; the worker may retry later.
+        self._record_failure(task, state, policy, physical_steps)
+
+    def _record_failure(
+        self,
+        task: ComparisonTask,
+        state: _BatchState,
+        policy: RetryPolicy,
+        physical_steps: int,
+    ) -> None:
+        """Count a failed assignment; back off or settle the task."""
+        state.failures[task.task_id] += 1
+        failures = state.failures[task.task_id]
+        if policy.attempts_exhausted(failures):
+            state.settle(task, "retries_exhausted")
+            return
+        state.retries += 1
+        self.retries_total += 1
+        backoff = policy.backoff_steps(failures)
+        if backoff > 0:
+            state.not_before[task.task_id] = physical_steps + backoff
+        if self.tracer.enabled:
+            self.tracer.event(
+                "task_retry",
+                task=task.task_id,
+                failures=failures,
+                not_before=state.not_before.get(task.task_id, physical_steps),
+            )
+
+    def _run_fallback_pass(
+        self,
+        pool: WorkerPool,
+        fallback: WorkerPool,
+        state: _BatchState,
+        plan: FaultPlan | None,
+        policy: RetryPolicy,
+        physical_steps: int,
+    ) -> None:
+        """Serve primary-starved tasks from the fallback pool."""
+        starved = [
+            t
+            for t in state.open_tasks()
+            if self._eligible_count(pool, t, state) + state.pending_for(t.task_id)
+            < state.deficit(t)
+        ]
+        if not starved:
+            return
+        active = self._sample_active(fallback, plan, state, physical_steps)
+        if not active:
+            return
+        self.rng.shuffle(active)  # type: ignore[arg-type]
+        self._run_assignment_pass(
+            fallback, active, starved, state, plan, policy, physical_steps
+        )
+
+    def _deliver_stragglers(self, state: _BatchState, physical_steps: int) -> None:
+        """Land matured straggler judgments; drop ones whose task settled."""
+        if not state.pending:
+            return
+        still_pending: list[tuple[int, Judgment]] = []
+        for arrival, judgment in state.pending:
+            if arrival > physical_steps:
+                still_pending.append((arrival, judgment))
+                continue
+            task_id = judgment.task_id
+            task = next(t for t in state.tasks if t.task_id == task_id)
+            if (
+                task_id in state.settled
+                or len(state.kept[task_id]) >= task.required_judgments
+            ):
+                state.lost_late += 1
+            else:
+                state.kept[task_id].append(judgment)
+        state.pending = still_pending
+
+    def _settle_unsatisfiable(
+        self, state: _BatchState, pool: WorkerPool, fallback: WorkerPool | None
+    ) -> None:
+        """Settle tasks no remaining workforce can ever complete.
+
+        Mid-batch gold bans can drop the *unbanned* worker count below a
+        task's outstanding requirement; the seed platform then spun
+        until the stall guard fired, discarding everything.  Detect it
+        and settle with the judgments already kept instead.
+        """
+        for task in state.open_tasks():
+            eligible = self._eligible_count(pool, task, state)
+            if fallback is not None:
+                eligible += self._eligible_count(fallback, task, state)
+            if eligible + state.pending_for(task.task_id) < state.deficit(task):
+                state.settle(task, "pool_exhausted")
+
+    def _eligible_count(
+        self, pool: WorkerPool, task: ComparisonTask, state: _BatchState
+    ) -> int:
+        """Unbanned workers that could still judge ``task``."""
+        judged = state.judged_by[task.task_id]
+        return sum(
+            1
+            for w in pool.workers
+            if not w.banned and w.worker_id not in judged
+        )
+
+    def _sample_active(
+        self,
+        pool: WorkerPool,
+        plan: FaultPlan | None,
+        state: _BatchState,
+        physical_steps: int,
+    ) -> list[SimulatedWorker]:
+        """Sample ``W_t``, excluding workers inside an offline window."""
+        if plan is None or plan.offline_rate <= 0.0:
+            return pool.sample_active(self.rng)
+        online: list[SimulatedWorker] = []
+        for worker in pool.active_members:
+            if state.offline_until.get(worker.worker_id, 0) > physical_steps:
+                continue
+            if plan.roll_offline(self.rng):
+                state.offline_until[worker.worker_id] = (
+                    physical_steps + plan.offline_steps
+                )
+                state.faults += 1
+                self.faults_injected_total += 1
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "fault_injected",
+                        pool=pool.name,
+                        worker=worker.worker_id,
+                        task=-1,
+                        fault="offline",
+                    )
+                continue
+            online.append(worker)
+        if pool.availability >= 1.0:
+            return online
+        mask = self.rng.random(len(online)) < pool.availability
+        return [w for w, is_active in zip(online, mask) if is_active]
+
+    def _settle_remaining(self, state: _BatchState, reason: str) -> None:
+        """Settle every still-open task as degraded with ``reason``."""
+        for task in state.open_tasks():
+            state.settle(task, reason)
+        if state.pending:
+            state.lost_late += len(state.pending)
+            state.pending = []
+
+    def _flush_judgments(self, state: _BatchState) -> None:
+        """Append every kept judgment to the platform audit log."""
+        for task in state.tasks:
+            self.judgment_log.extend(state.kept[task.task_id])
+
+    def _settle_batch(
+        self, state: _BatchState, pool_name: str, physical_steps: int
+    ) -> BatchReport:
+        """Answers, per-task reports, telemetry — the batch's epilogue."""
+        answers = [
+            self._majority_answer(state.kept[task.task_id]) for task in state.tasks
+        ]
+        collected = sum(len(v) for v in state.kept.values())
+        self._flush_judgments(state)
+        task_reports = [
+            TaskReport(
+                task_id=task.task_id,
+                status="degraded" if task.task_id in state.settled else "ok",
+                reason=state.settled.get(task.task_id, ""),
+                judgments_kept=len(state.kept[task.task_id]),
+                required_judgments=task.required_judgments,
+                attempts_failed=state.failures[task.task_id],
+            )
+            for task in state.tasks
+        ]
+        degraded = [t for t in task_reports if t.status == "degraded"]
+        self.tasks_degraded_total += len(degraded)
         if self.tracer.enabled:
             self.tracer.event(
                 "platform_batch",
                 pool=pool_name,
-                tasks=len(tasks),
+                tasks=len(state.tasks),
                 physical_steps=physical_steps,
                 judgments_collected=collected,
-                judgments_discarded=discarded,
-                workers_banned=len(banned_ids),
+                judgments_discarded=state.discarded,
+                workers_banned=len(state.banned_ids),
+                faults_injected=state.faults,
+                tasks_degraded=len(degraded),
             )
+            if degraded:
+                reasons = sorted({t.reason for t in degraded})
+                self.tracer.event(
+                    "batch_degraded",
+                    pool=pool_name,
+                    tasks_degraded=len(degraded),
+                    reasons=reasons,
+                    judgments_kept=sum(t.judgments_kept for t in degraded),
+                )
         return BatchReport(
             answers=answers,
             physical_steps=physical_steps,
             judgments_collected=collected,
-            judgments_discarded=discarded,
-            workers_banned=banned_ids,
+            judgments_discarded=state.discarded,
+            workers_banned=state.banned_ids,
+            task_reports=task_reports,
+            faults_injected=state.faults,
+            judgments_malformed=state.malformed,
+            judgments_lost_late=state.lost_late,
+            retries=state.retries,
         )
 
     # ------------------------------------------------------------------
-    # Internals
+    # Shared internals
     # ------------------------------------------------------------------
     def _pool(self, pool_name: str) -> WorkerPool:
         try:
@@ -196,24 +575,46 @@ class CrowdPlatform:
                 f"unknown pool {pool_name!r}; available: {sorted(self.pools)}"
             ) from None
 
+    def _fallback_pool(
+        self, pool_name: str, policy: RetryPolicy
+    ) -> WorkerPool | None:
+        if policy.fallback_pool is None or policy.fallback_pool == pool_name:
+            return None
+        return self._pool(policy.fallback_pool)
+
     def _next_task_for(
         self,
         worker: SimulatedWorker,
-        tasks: list[ComparisonTask],
-        kept: dict[int, list[Judgment]],
-        judged_by: dict[int, set[int]],
+        open_tasks: list[ComparisonTask],
+        state: _BatchState,
+        physical_steps: int,
     ) -> ComparisonTask | None:
-        """Most judgment-starved task this worker has not judged yet."""
-        best: ComparisonTask | None = None
+        """Most judgment-starved assignable task; RNG breaks ties.
+
+        A deterministic first-wins tie break would bias collection
+        toward early list positions, so equal-deficit candidates are
+        drawn uniformly (no RNG is consumed when there is no tie).
+        """
+        best: list[ComparisonTask] = []
         best_deficit = 0
-        for task in tasks:
-            if worker.worker_id in judged_by[task.task_id]:
+        for task in open_tasks:
+            if task.task_id in state.settled:
                 continue
-            deficit = task.required_judgments - len(kept[task.task_id])
+            if worker.worker_id in state.judged_by[task.task_id]:
+                continue
+            if state.not_before.get(task.task_id, 0) > physical_steps:
+                continue
+            deficit = state.deficit(task)
             if deficit > best_deficit:
-                best = task
+                best = [task]
                 best_deficit = deficit
-        return best
+            elif deficit == best_deficit and deficit > 0:
+                best.append(task)
+        if not best:
+            return None
+        if len(best) == 1:
+            return best[0]
+        return best[int(self.rng.integers(len(best)))]
 
     def _collect_judgment(
         self,
@@ -223,6 +624,13 @@ class CrowdPlatform:
         physical_step: int,
     ) -> Judgment:
         """Ask one worker one task, with randomised presentation order."""
+        if not self.ledger.can_afford(pool.cost_per_judgment):
+            raise CostCapError(
+                label=pool.name,
+                attempted=pool.cost_per_judgment,
+                cap=float(self.ledger.hard_cap),  # type: ignore[arg-type]
+                spent=self.ledger.total_cost,
+            )
         flip = bool(self.rng.random() < 0.5)
         if flip:
             raw = worker.judge(
@@ -247,6 +655,13 @@ class CrowdPlatform:
     ) -> bool:
         """Send the worker a gold pair; return True if she got banned."""
         assert self.gold is not None
+        if not self.ledger.can_afford(pool.cost_per_judgment):
+            raise CostCapError(
+                label=f"gold:{pool.name}",
+                attempted=pool.cost_per_judgment,
+                cap=float(self.ledger.hard_cap),  # type: ignore[arg-type]
+                spent=self.ledger.total_cost,
+            )
         pair = self.gold.sample_pair(self.rng)
         flip = bool(self.rng.random() < 0.5)
         if flip:
@@ -262,24 +677,26 @@ class CrowdPlatform:
         correct = first_wins == pair.first_wins
         return self.gold.record_and_check(worker, correct)
 
-    @staticmethod
-    def _discard_judgments(
-        worker_id: int,
-        kept: dict[int, list[Judgment]],
-        judged_by: dict[int, set[int]],
-    ) -> int:
-        """Drop all kept judgments of a banned worker; return the count.
+    def _discard_judgments(self, worker_id: int, state: _BatchState) -> int:
+        """Drop all judgments of a banned worker; return the count.
 
         The affected tasks fall below their required judgment count and
         will be re-collected from other workers in later physical steps
         (the banned worker stays recorded in ``judged_by`` so she is
-        never re-assigned).
+        never re-assigned).  In-flight straggler judgments of the
+        banned worker are dropped too.
         """
         dropped = 0
-        for task_id, judgments in kept.items():
+        for task_id, judgments in state.kept.items():
             before = len(judgments)
-            kept[task_id] = [j for j in judgments if j.worker_id != worker_id]
-            dropped += before - len(kept[task_id])
+            state.kept[task_id] = [j for j in judgments if j.worker_id != worker_id]
+            dropped += before - len(state.kept[task_id])
+        if state.pending:
+            before = len(state.pending)
+            state.pending = [
+                (a, j) for a, j in state.pending if j.worker_id != worker_id
+            ]
+            dropped += before - len(state.pending)
         return dropped
 
     def _majority_answer(self, judgments: list[Judgment]) -> bool:

@@ -80,6 +80,11 @@ class WorkerPool:
     cost_per_judgment: float = 1.0
     availability: float = 1.0
     _next_id: int = field(default=0, repr=False)
+    #: id -> worker index kept in sync with construction; rebuilt lazily
+    #: if the workers list is mutated after the fact.
+    _by_id: dict[int, SimulatedWorker] = field(
+        default_factory=dict, repr=False, init=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not 0.0 < self.availability <= 1.0:
@@ -88,6 +93,7 @@ class WorkerPool:
             raise ValueError("cost per judgment must be non-negative")
         if not self.workers:
             raise ValueError("a pool needs at least one worker")
+        self._by_id = {w.worker_id: w for w in self.workers}
 
     @classmethod
     def from_models(
@@ -145,8 +151,14 @@ class WorkerPool:
         return [w for w, active in zip(members, mask) if active]
 
     def get(self, worker_id: int) -> SimulatedWorker:
-        """Look a worker up by id."""
-        for worker in self.workers:
-            if worker.worker_id == worker_id:
+        """Look a worker up by id in O(1) via the id index."""
+        worker = self._by_id.get(worker_id)
+        if worker is not None:
+            return worker
+        if len(self._by_id) != len(self.workers):
+            # The workers list was mutated behind our back; resync once.
+            self._by_id = {w.worker_id: w for w in self.workers}
+            worker = self._by_id.get(worker_id)
+            if worker is not None:
                 return worker
         raise KeyError(f"no worker {worker_id} in pool {self.name!r}")

@@ -12,14 +12,23 @@ A job binds together:
 * the instance (what is being asked about),
 * the platform pools to use for each phase (and their redundancy),
 * the algorithm parameters (``u_n``, phase-2 choice, ``k``), and
-* a hard budget cap, checked against the worst-case cost *up front*
-  (Theorem 1's envelopes) so a job that could overrun is rejected
-  before submission, not after the bill arrives.
+* budget enforcement on two levels: a worst-case cap checked *up
+  front* (Theorem 1's envelopes, rejecting a job before any money is
+  spent) and a *mid-flight* hard cap enforced by the platform's
+  :class:`~repro.platform.accounting.CostLedger` — when a judgment
+  would push the bill past it, the job stops with a typed
+  :class:`BudgetExceededError` carrying a partial
+  :class:`CrowdJobResult` (survivors so far, money actually spent).
+
+:class:`ResilientCrowdMaxJob` adds graceful degradation: when the
+expert pool is exhausted or banned out, phase 2 falls back to
+high-redundancy naive judgments instead of failing, and the result is
+flagged ``degraded``.  See ``docs/RELIABILITY.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Literal
 
 import numpy as np
@@ -35,11 +44,19 @@ from .core.instance import ProblemInstance
 from .core.oracle import ComparisonOracle
 from .core.tournament import play_all_play_all
 from .core.two_maxfind import two_maxfind
+from .platform.errors import CostCapError, DegradedBatchError
 from .platform.oracle_adapter import PlatformWorkerModel
 from .platform.platform import CrowdPlatform
 from .telemetry import Tracer, resolve_tracer
 
-__all__ = ["JobPhaseConfig", "CrowdJobResult", "CrowdMaxJob", "CrowdTopKJob"]
+__all__ = [
+    "JobPhaseConfig",
+    "CrowdJobResult",
+    "BudgetExceededError",
+    "CrowdMaxJob",
+    "ResilientCrowdMaxJob",
+    "CrowdTopKJob",
+]
 
 
 @dataclass(frozen=True)
@@ -56,7 +73,13 @@ class JobPhaseConfig:
 
 @dataclass
 class CrowdJobResult:
-    """Outcome of a settled crowd job."""
+    """Outcome of a settled crowd job.
+
+    ``degraded`` marks results produced under duress — the expert pool
+    collapsed and phase 2 fell back to redundant naive judgments, or
+    the job was cut short by a budget breach (in which case this object
+    rides on the :class:`BudgetExceededError` as the partial result).
+    """
 
     answer: list[int]
     survivors: np.ndarray
@@ -65,10 +88,68 @@ class CrowdJobResult:
     expert_comparisons: int
     logical_steps: int
     physical_steps: int
+    degraded: bool = False
+    degraded_reason: str = ""
 
     @property
     def winner(self) -> int:
         return self.answer[0]
+
+
+class BudgetExceededError(RuntimeError):
+    """The mid-flight hard cap stopped a job before it could finish.
+
+    Unlike the up-front worst-case rejection (a ``ValueError`` before
+    any money moves), this error fires *during* execution, and it
+    preserves the work already paid for:
+
+    Attributes
+    ----------
+    partial:
+        A :class:`CrowdJobResult` with the survivors found so far, the
+        money actually spent, and empty ``answer`` (no winner was
+        settled); ``degraded_reason`` is ``"budget"``.
+    cap:
+        The hard cap that was enforced.
+    spent:
+        Ledger total at the moment of refusal (never above ``cap``).
+    """
+
+    def __init__(self, partial: CrowdJobResult, cap: float, spent: float):
+        super().__init__(
+            f"budget hard cap {cap:,.2f} reached after spending {spent:,.2f}; "
+            f"partial result carries {len(partial.survivors)} survivors"
+        )
+        self.partial = partial
+        self.cap = cap
+        self.spent = spent
+
+
+@dataclass
+class _JobMeter:
+    """Per-run deltas against a shared platform (cost, steps)."""
+
+    platform: CrowdPlatform
+    start_cost: float = field(init=False)
+    start_logical: int = field(init=False)
+    start_physical: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.start_cost = self.platform.ledger.total_cost
+        self.start_logical = self.platform.logical_steps
+        self.start_physical = self.platform.physical_steps_total
+
+    @property
+    def cost(self) -> float:
+        return self.platform.ledger.total_cost - self.start_cost
+
+    @property
+    def logical(self) -> int:
+        return self.platform.logical_steps - self.start_logical
+
+    @property
+    def physical(self) -> int:
+        return self.platform.physical_steps_total - self.start_physical
 
 
 class CrowdMaxJob:
@@ -85,8 +166,13 @@ class CrowdMaxJob:
         pool; phase 2 may point at the same pool with higher redundancy
         to emulate simulated experts).
     budget_cap:
-        Hard monetary cap.  The job refuses to start if the worst-case
-        cost under Theorem 1's envelopes exceeds the cap.
+        Hard monetary cap checked *up front*: the job refuses to start
+        if the worst-case cost under Theorem 1's envelopes exceeds it.
+    hard_cap:
+        Mid-flight monetary cap for *this job's* spending: installed on
+        the platform ledger for the duration of the run (tightening any
+        cap already there, never loosening it).  A breach raises
+        :class:`BudgetExceededError` with the partial result.
     """
 
     kind: Literal["max"] = "max"
@@ -98,14 +184,21 @@ class CrowdMaxJob:
         phase1: JobPhaseConfig,
         phase2: JobPhaseConfig,
         budget_cap: float | None = None,
+        hard_cap: float | None = None,
     ):
         if u_n < 1:
             raise ValueError("u_n must be at least 1")
+        if hard_cap is not None and hard_cap <= 0:
+            raise ValueError("hard_cap must be positive")
         self.instance = instance
         self.u_n = int(u_n)
         self.phase1 = phase1
         self.phase2 = phase2
         self.budget_cap = budget_cap
+        self.hard_cap = hard_cap
+        # Set by _phase2 implementations that had to degrade.
+        self._degraded_reason = ""
+        self._fallback_comparisons = 0
 
     # ------------------------------------------------------------------
     def worst_case_cost(self, platform: CrowdPlatform) -> float:
@@ -145,6 +238,7 @@ class CrowdMaxJob:
         platform: CrowdPlatform,
         rng: np.random.Generator,
         tracer: Tracer | None = None,
+        expert_strict: bool = False,
     ) -> tuple[ComparisonOracle, ComparisonOracle]:
         pool1 = platform.pools[self.phase1.pool]
         pool2 = platform.pools[self.phase2.pool]
@@ -169,6 +263,7 @@ class CrowdMaxJob:
                 self.phase2.pool,
                 judgments_per_task=self.phase2.judgments_per_comparison,
                 is_expert=True,
+                strict=expert_strict,
             ),
             rng,
             cost_per_comparison=(
@@ -179,6 +274,41 @@ class CrowdMaxJob:
         )
         return naive_oracle, expert_oracle
 
+    # ------------------------------------------------------------------
+    # Mid-flight budget plumbing
+    # ------------------------------------------------------------------
+    def _install_hard_cap(self, platform: CrowdPlatform, meter: _JobMeter) -> float | None:
+        """Tighten the ledger cap for this run; return the previous cap."""
+        previous = platform.ledger.hard_cap
+        if self.hard_cap is not None:
+            job_cap = meter.start_cost + self.hard_cap
+            platform.ledger.hard_cap = (
+                job_cap if previous is None else min(previous, job_cap)
+            )
+        return previous
+
+    def _budget_exceeded(
+        self,
+        exc: CostCapError,
+        meter: _JobMeter,
+        survivors: np.ndarray,
+        naive_oracle: ComparisonOracle,
+        expert_oracle: ComparisonOracle,
+    ) -> BudgetExceededError:
+        """Wrap a refused charge into the job-level typed error."""
+        partial = CrowdJobResult(
+            answer=[],
+            survivors=survivors,
+            total_cost=meter.cost,
+            naive_comparisons=naive_oracle.comparisons,
+            expert_comparisons=expert_oracle.comparisons,
+            logical_steps=meter.logical,
+            physical_steps=meter.physical,
+            degraded=True,
+            degraded_reason="budget",
+        )
+        return BudgetExceededError(partial=partial, cap=exc.cap, spent=exc.spent)
+
     def execute(
         self,
         platform: CrowdPlatform,
@@ -188,31 +318,49 @@ class CrowdMaxJob:
         """Run the job end to end and settle the bill."""
         self._check_budget(platform)
         tracer = resolve_tracer(tracer)
-        start_cost = platform.ledger.total_cost
-        start_logical = platform.logical_steps
-        start_physical = platform.physical_steps_total
+        meter = _JobMeter(platform)
+        self._degraded_reason = ""
+        self._fallback_comparisons = 0
+        previous_cap = self._install_hard_cap(platform, meter)
 
-        with tracer.span("job.max", u_n=self.u_n, budget_cap=self.budget_cap):
-            naive_oracle, expert_oracle = self._build_oracles(
-                platform, rng, tracer=tracer
-            )
-            survivors = filter_candidates(
-                naive_oracle, u_n=self.u_n, tracer=tracer
-            ).survivors
-            answer = self._phase2(expert_oracle, survivors, rng, tracer=tracer)
+        naive_oracle, expert_oracle = self._build_oracles(
+            platform, rng, tracer=tracer, expert_strict=self._expert_strict()
+        )
+        survivors = np.asarray([], dtype=np.intp)
+        try:
+            with tracer.span("job.max", u_n=self.u_n, budget_cap=self.budget_cap):
+                survivors = filter_candidates(
+                    naive_oracle, u_n=self.u_n, tracer=tracer
+                ).survivors
+                answer = self._phase2(
+                    platform, expert_oracle, survivors, rng, tracer=tracer
+                )
+        except CostCapError as exc:
+            raise self._budget_exceeded(
+                exc, meter, survivors, naive_oracle, expert_oracle
+            ) from exc
+        finally:
+            platform.ledger.hard_cap = previous_cap
 
         return CrowdJobResult(
             answer=answer,
             survivors=survivors,
-            total_cost=platform.ledger.total_cost - start_cost,
-            naive_comparisons=naive_oracle.comparisons,
+            total_cost=meter.cost,
+            naive_comparisons=naive_oracle.comparisons + self._fallback_comparisons,
             expert_comparisons=expert_oracle.comparisons,
-            logical_steps=platform.logical_steps - start_logical,
-            physical_steps=platform.physical_steps_total - start_physical,
+            logical_steps=meter.logical,
+            physical_steps=meter.physical,
+            degraded=bool(self._degraded_reason),
+            degraded_reason=self._degraded_reason,
         )
+
+    def _expert_strict(self) -> bool:
+        """Whether phase 2 should surface degraded batches as errors."""
+        return False
 
     def _phase2(
         self,
+        platform: CrowdPlatform,
         expert_oracle: ComparisonOracle,
         survivors: np.ndarray,
         rng: np.random.Generator,
@@ -221,6 +369,106 @@ class CrowdMaxJob:
         if len(survivors) == 1:
             return [int(survivors[0])]
         return [two_maxfind(expert_oracle, survivors, tracer=tracer).winner]
+
+
+class ResilientCrowdMaxJob(CrowdMaxJob):
+    """A MAX query that survives the collapse of its expert pool.
+
+    The paper assumes the expert pool answers every phase-2 comparison.
+    Under gold bans and fault injection it may be *exhausted* (too few
+    unbanned experts to deliver the configured redundancy) or collapse
+    mid-phase (a batch settles degraded).  This job then falls back to
+    the phase-1 pool at high redundancy (``fallback_redundancy``
+    independent judgments per comparison, majority-voted — the
+    Section 4 amplification mechanism), finishes the query, and flags
+    the result ``degraded`` with reason ``"expert_pool_exhausted"``.
+
+    Phase-2 batches run *strict*, so a degraded expert batch surfaces
+    as :class:`DegradedBatchError` and triggers the fallback instead of
+    silently feeding coin-flip majorities to 2-MaxFind.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        u_n: int,
+        phase1: JobPhaseConfig,
+        phase2: JobPhaseConfig,
+        budget_cap: float | None = None,
+        hard_cap: float | None = None,
+        fallback_redundancy: int = 5,
+    ):
+        if fallback_redundancy < 1:
+            raise ValueError("fallback_redundancy must be at least 1")
+        super().__init__(
+            instance,
+            u_n,
+            phase1,
+            phase2,
+            budget_cap=budget_cap,
+            hard_cap=hard_cap,
+        )
+        self.fallback_redundancy = int(fallback_redundancy)
+
+    def _expert_strict(self) -> bool:
+        return True
+
+    def _phase2(
+        self,
+        platform: CrowdPlatform,
+        expert_oracle: ComparisonOracle,
+        survivors: np.ndarray,
+        rng: np.random.Generator,
+        tracer: Tracer | None = None,
+    ) -> list[int]:
+        if len(survivors) == 1:
+            return [int(survivors[0])]
+        pool2 = platform.pools[self.phase2.pool]
+        healthy = len(pool2.active_members) >= self.phase2.judgments_per_comparison
+        if healthy:
+            try:
+                return super()._phase2(
+                    platform, expert_oracle, survivors, rng, tracer=tracer
+                )
+            except DegradedBatchError:
+                pass  # expert pool collapsed mid-phase; degrade below
+        return self._phase2_fallback(platform, survivors, rng, tracer)
+
+    def _phase2_fallback(
+        self,
+        platform: CrowdPlatform,
+        survivors: np.ndarray,
+        rng: np.random.Generator,
+        tracer: Tracer | None,
+    ) -> list[int]:
+        """Finish phase 2 on the naive pool with amplified redundancy."""
+        self._degraded_reason = "expert_pool_exhausted"
+        tracer = resolve_tracer(tracer)
+        pool1 = platform.pools[self.phase1.pool]
+        redundancy = max(1, min(self.fallback_redundancy, len(pool1.workers)))
+        if tracer.enabled:
+            tracer.event(
+                "batch_degraded",
+                pool=self.phase2.pool,
+                scope="job",
+                reasons=["expert_pool_exhausted"],
+                fallback_pool=self.phase1.pool,
+                fallback_redundancy=redundancy,
+                survivors=len(survivors),
+            )
+        fallback_oracle = ComparisonOracle(
+            self.instance,
+            PlatformWorkerModel(
+                platform, self.phase1.pool, judgments_per_task=redundancy
+            ),
+            rng,
+            cost_per_comparison=pool1.cost_per_judgment * redundancy,
+            label=self.phase1.pool,
+            tracer=tracer,
+        )
+        winner = two_maxfind(fallback_oracle, survivors, tracer=tracer).winner
+        self._fallback_comparisons = fallback_oracle.comparisons
+        return [winner]
 
 
 class CrowdTopKJob(CrowdMaxJob):
@@ -241,10 +489,13 @@ class CrowdTopKJob(CrowdMaxJob):
         phase1: JobPhaseConfig,
         phase2: JobPhaseConfig,
         budget_cap: float | None = None,
+        hard_cap: float | None = None,
     ):
         if k < 1:
             raise ValueError("k must be at least 1")
-        super().__init__(instance, u_n, phase1, phase2, budget_cap)
+        super().__init__(
+            instance, u_n, phase1, phase2, budget_cap=budget_cap, hard_cap=hard_cap
+        )
         self.k = int(k)
 
     def worst_case_cost(self, platform: CrowdPlatform) -> float:
@@ -276,29 +527,34 @@ class CrowdTopKJob(CrowdMaxJob):
     ) -> CrowdJobResult:
         self._check_budget(platform)
         tracer = resolve_tracer(tracer)
-        start_cost = platform.ledger.total_cost
-        start_logical = platform.logical_steps
-        start_physical = platform.physical_steps_total
+        meter = _JobMeter(platform)
+        previous_cap = self._install_hard_cap(platform, meter)
 
-        with tracer.span("job.topk", u_n=self.u_n, k=self.k):
-            naive_oracle, expert_oracle = self._build_oracles(
-                platform, rng, tracer=tracer
-            )
-            survivors = filter_candidates(
-                naive_oracle, u_n=self.u_n + self.k - 1, tracer=tracer
-            ).survivors
-            if len(survivors) == 1:
-                ranking = [int(survivors[0])]
-            else:
-                tournament = play_all_play_all(expert_oracle, survivors)
-                order = np.argsort(-tournament.wins, kind="stable")
-                ranking = [int(e) for e in tournament.elements[order][: self.k]]
+        naive_oracle, expert_oracle = self._build_oracles(platform, rng, tracer=tracer)
+        survivors = np.asarray([], dtype=np.intp)
+        try:
+            with tracer.span("job.topk", u_n=self.u_n, k=self.k):
+                survivors = filter_candidates(
+                    naive_oracle, u_n=self.u_n + self.k - 1, tracer=tracer
+                ).survivors
+                if len(survivors) == 1:
+                    ranking = [int(survivors[0])]
+                else:
+                    tournament = play_all_play_all(expert_oracle, survivors)
+                    order = np.argsort(-tournament.wins, kind="stable")
+                    ranking = [int(e) for e in tournament.elements[order][: self.k]]
+        except CostCapError as exc:
+            raise self._budget_exceeded(
+                exc, meter, survivors, naive_oracle, expert_oracle
+            ) from exc
+        finally:
+            platform.ledger.hard_cap = previous_cap
         return CrowdJobResult(
             answer=ranking,
             survivors=survivors,
-            total_cost=platform.ledger.total_cost - start_cost,
+            total_cost=meter.cost,
             naive_comparisons=naive_oracle.comparisons,
             expert_comparisons=expert_oracle.comparisons,
-            logical_steps=platform.logical_steps - start_logical,
-            physical_steps=platform.physical_steps_total - start_physical,
+            logical_steps=meter.logical,
+            physical_steps=meter.physical,
         )

@@ -50,6 +50,19 @@ class TestParser:
         assert args.un == 50
         assert args.ue == 10
 
+    def test_fault_plan_parses_into_a_plan(self):
+        args = build_parser().parse_args(
+            ["robustness", "--fault-plan", "abandon=0.2,straggle=0.1:4"]
+        )
+        assert args.fault_plan.abandon_rate == 0.2
+        assert args.fault_plan.straggle_rate == 0.1
+        assert args.fault_plan.straggle_steps == 4
+        assert build_parser().parse_args(["robustness"]).fault_plan is None
+
+    def test_fault_plan_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["robustness", "--fault-plan", "explode=1"])
+
 
 class TestMain:
     def test_fig2a_prints_series(self, capsys):

@@ -6,7 +6,9 @@ import pytest
 from repro.experiments.robustness import (
     run_epsilon_robustness,
     run_fatigue_experiment,
+    run_fault_sweep,
 )
+from repro.platform.faults import FaultPlan
 
 
 class TestEpsilonRobustness:
@@ -53,3 +55,40 @@ class TestFatigueExperiment:
     def test_accuracies_are_probabilities(self, table):
         for row in table.rows:
             assert 0.0 <= row[3] <= 1.0
+
+
+class TestFaultSweep:
+    @pytest.fixture(scope="class")
+    def table(self):
+        return run_fault_sweep(
+            np.random.default_rng(8),
+            n=60,
+            abandon_rates=(0.0, 0.3),
+            trials=2,
+        )
+
+    def test_rows_per_rate(self, table):
+        assert [row[0] for row in table.rows] == [0.0, 0.3]
+
+    def test_zero_rate_injects_nothing(self, table):
+        zero = table.rows[0]
+        assert zero[4] == 0.0  # faults injected
+        assert zero[5] == 0.0  # retries
+
+    def test_abandonment_costs_time_and_retries(self, table):
+        zero, faulty = table.rows
+        assert faulty[4] > 0.0  # faults were injected
+        assert faulty[5] > 0.0  # and retried
+        assert faulty[3] >= zero[3]  # physical steps never shrink
+
+    def test_base_plan_composes_with_the_sweep(self):
+        table = run_fault_sweep(
+            np.random.default_rng(8),
+            n=40,
+            abandon_rates=(0.0,),
+            trials=1,
+            base_plan=FaultPlan.parse("straggle=0.2:2"),
+        )
+        # even at abandon=0 the base plan's stragglers inject faults
+        assert table.rows[0][4] > 0.0
+        assert "straggle" in table.title

@@ -7,6 +7,8 @@ from repro.core.filter_phase import filter_candidates
 from repro.core.generators import planted_instance, tie_heavy_instance
 from repro.core.oracle import ComparisonOracle
 from repro.core.two_maxfind import two_maxfind
+from repro.platform.errors import DegradedBatchError
+from repro.platform.faults import RetryPolicy
 from repro.platform.gold import GoldPolicy
 from repro.platform.job import ComparisonTask
 from repro.platform.platform import CrowdPlatform
@@ -39,10 +41,35 @@ class TestAllSpammerPlatform:
         assert len(report.answers) == 1
         assert report.judgments_collected == 3
 
-    def test_all_banned_pool_stalls_loudly(self, rng):
+    def test_all_banned_pool_settles_degraded(self, rng):
         # Gold + fully inverted workers: everyone fails every gold probe,
         # gets banned, and the batch (which needs all four workers) can
-        # never be completed — the platform must raise, not hang.
+        # never be completed — the platform must settle it as degraded
+        # (keeping whatever was collected) instead of hanging or raising
+        # a generic stall error.
+        platform = self._all_saboteur_platform(rng)
+        report = platform.submit_batch("naive", self._four_judgment_batch())
+        assert len(report.answers) == 1
+        assert report.degraded
+        (task_report,) = report.degraded_tasks
+        assert task_report.reason == "pool_exhausted"
+        assert task_report.judgments_kept < task_report.required_judgments
+        # a degraded settle is cheap: no spinning to the stall guard
+        assert report.physical_steps < 50
+
+    def test_strict_policy_raises_typed_error_with_full_report(self, rng):
+        # Same hopeless batch under on_degraded="raise": the typed
+        # DegradedBatchError carries the fully settled report.
+        platform = self._all_saboteur_platform(rng)
+        strict = RetryPolicy(on_degraded="raise")
+        with pytest.raises(DegradedBatchError) as excinfo:
+            platform.submit_batch("naive", self._four_judgment_batch(), retry=strict)
+        report = excinfo.value.report
+        assert len(report.answers) == 1
+        assert report.degraded_tasks[0].reason == "pool_exhausted"
+
+    @staticmethod
+    def _all_saboteur_platform(rng):
         saboteur = MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
         pool = WorkerPool.homogeneous("naive", saboteur, size=4)
         gold = GoldPolicy.from_values(
@@ -52,8 +79,11 @@ class TestAllSpammerPlatform:
             gold_fraction=0.9,
             min_gold_answers=1,
         )
-        platform = CrowdPlatform({"naive": pool}, rng, gold=gold)
-        tasks = [
+        return CrowdPlatform({"naive": pool}, rng, gold=gold)
+
+    @staticmethod
+    def _four_judgment_batch():
+        return [
             ComparisonTask(
                 task_id=0,
                 first=0,
@@ -63,8 +93,6 @@ class TestAllSpammerPlatform:
                 required_judgments=4,
             )
         ]
-        with pytest.raises(RuntimeError):
-            platform.submit_batch("naive", tasks)
 
 
 class TestMaliciousWorkers:

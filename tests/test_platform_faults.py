@@ -1,0 +1,357 @@
+"""Tests for repro.platform.faults and the platform resilience layer."""
+
+import numpy as np
+import pytest
+
+from repro.platform.accounting import CostLedger
+from repro.platform.errors import CostCapError, DegradedBatchError
+from repro.platform.faults import FaultPlan, RetryPolicy
+from repro.platform.gold import GoldPolicy
+from repro.platform.job import ComparisonTask
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.telemetry import Tracer
+from repro.workers.base import PerfectWorkerModel
+from repro.workers.spammer import MaliciousWorkerModel
+
+
+def make_tasks(n_tasks=3, required=2, spread=10.0):
+    return [
+        ComparisonTask(
+            task_id=k,
+            first=2 * k,
+            second=2 * k + 1,
+            value_first=spread * (k + 2),
+            value_second=spread * (k + 1),
+            required_judgments=required,
+        )
+        for k in range(n_tasks)
+    ]
+
+
+def perfect_platform(rng, size=6, faults=None, retry=None, **kwargs):
+    pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=size)
+    return CrowdPlatform({"naive": pool}, rng, faults=faults, retry=retry, **kwargs)
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(abandon_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(abandon_rate=0.5, malformed_rate=0.4, straggle_rate=0.3)
+        with pytest.raises(ValueError):
+            FaultPlan(straggle_steps=0)
+
+    def test_activity_flags(self):
+        assert not FaultPlan.none().active
+        assert FaultPlan(abandon_rate=0.1).active
+        assert FaultPlan(offline_rate=0.1).active
+        assert not FaultPlan(offline_rate=0.1).has_assignment_faults
+        assert FaultPlan(straggle_rate=0.1).has_assignment_faults
+
+    def test_parse_round_trip(self):
+        plan = FaultPlan.parse("abandon=0.2,straggle=0.1:4,offline=0.05:6,malformed=0.02")
+        assert plan.abandon_rate == 0.2
+        assert plan.straggle_rate == 0.1
+        assert plan.straggle_steps == 4
+        assert plan.offline_rate == 0.05
+        assert plan.offline_steps == 6
+        assert plan.malformed_rate == 0.02
+        assert FaultPlan.parse(plan.describe()) == plan
+        assert FaultPlan.parse("") == FaultPlan.none()
+        assert FaultPlan.none().describe() == "none"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            FaultPlan.parse("explode=0.5")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("abandon")
+        with pytest.raises(ValueError):
+            FaultPlan.parse("abandon=0.1:3")
+
+    def test_roll_partition_is_exhaustive(self, rng):
+        plan = FaultPlan(abandon_rate=0.3, malformed_rate=0.3, straggle_rate=0.3)
+        rolls = {plan.roll_assignment(rng) for _ in range(500)}
+        assert rolls == {"abandon", "malformed", "straggle", None}
+
+    def test_sample_is_valid_and_deterministic(self):
+        a = FaultPlan.sample(np.random.default_rng(7))
+        b = FaultPlan.sample(np.random.default_rng(7))
+        assert a == b
+        assert a.active
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline_steps=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(on_degraded="explode")
+
+    def test_backoff_grows_exponentially_and_caps(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=2.0, backoff_cap=8.0)
+        assert [policy.backoff_steps(k) for k in range(1, 6)] == [1, 2, 4, 8, 8]
+        assert RetryPolicy(backoff_base=0.0).backoff_steps(3) == 0
+
+    def test_attempts_exhausted(self):
+        assert RetryPolicy(max_attempts=2).attempts_exhausted(2)
+        assert not RetryPolicy(max_attempts=2).attempts_exhausted(1)
+        assert not RetryPolicy().attempts_exhausted(10**6)
+
+
+class TestZeroPlanIsIdentity:
+    def test_none_and_zero_plan_are_bit_identical(self):
+        """The paper-faithful acceptance bar: an all-zero FaultPlan and
+        no caps must not perturb results, counters, or the RNG stream."""
+        reports = []
+        platforms = []
+        for faults in (None, FaultPlan.none()):
+            rng = np.random.default_rng(2015)
+            pool = WorkerPool.homogeneous(
+                "naive", PerfectWorkerModel(), size=5, availability=0.7
+            )
+            platform = CrowdPlatform({"naive": pool}, rng, faults=faults)
+            reports.append(platform.submit_batch("naive", make_tasks(4, required=3)))
+            platforms.append(platform)
+        a, b = reports
+        assert a.answers == b.answers
+        assert a.physical_steps == b.physical_steps
+        assert a.judgments_collected == b.judgments_collected
+        assert a.task_reports == b.task_reports
+        assert platforms[0].judgment_log == platforms[1].judgment_log
+        assert platforms[0].ledger.entries == platforms[1].ledger.entries
+        # and the stream position is untouched: next draws agree
+        assert platforms[0].rng.random() == platforms[1].rng.random()
+
+
+class TestAbandonment:
+    def test_batch_completes_despite_abandonment(self, rng):
+        platform = perfect_platform(
+            rng, size=8, faults=FaultPlan(abandon_rate=0.5)
+        )
+        report = platform.submit_batch("naive", make_tasks(3, required=2))
+        assert not report.degraded
+        assert report.answers == [True, True, True]
+        assert report.faults_injected > 0
+        assert report.retries > 0
+        # abandoned work is never paid
+        assert platform.ledger.operations("naive") == report.judgments_collected
+
+    def test_total_abandonment_with_max_attempts_degrades(self, rng):
+        platform = perfect_platform(
+            rng,
+            faults=FaultPlan(abandon_rate=1.0),
+            retry=RetryPolicy(max_attempts=3, backoff_base=0.0),
+        )
+        report = platform.submit_batch("naive", make_tasks(2, required=2))
+        assert report.degraded
+        assert all(t.reason == "retries_exhausted" for t in report.degraded_tasks)
+        assert all(t.attempts_failed == 3 for t in report.task_reports)
+        assert platform.ledger.total_cost == 0.0
+
+    def test_backoff_delays_reassignment(self, rng):
+        # One task, full abandonment, generous backoff: the failed
+        # attempts must be spread over backoff windows.
+        platform = perfect_platform(
+            rng,
+            size=4,
+            faults=FaultPlan(abandon_rate=1.0),
+            retry=RetryPolicy(max_attempts=30, backoff_base=4.0, backoff_factor=1.0),
+        )
+        report = platform.submit_batch("naive", make_tasks(1, required=1))
+        assert report.degraded
+        # ~30 failures at >= 1 per window of 4 steps needs > 25 steps;
+        # without backoff 4 workers would burn 30 attempts in ~8 steps.
+        assert report.physical_steps > 25
+
+
+class TestStragglers:
+    def test_straggling_judgments_land_late_but_count(self, rng):
+        platform = perfect_platform(
+            rng, faults=FaultPlan(straggle_rate=1.0, straggle_steps=3)
+        )
+        report = platform.submit_batch("naive", make_tasks(2, required=2))
+        assert not report.degraded
+        assert report.answers == [True, True]
+        # everything straggled: the batch takes at least the delay
+        assert report.physical_steps >= 3
+        steps = {j.physical_step for j in platform.judgment_log}
+        assert steps  # produced at early steps, delivered later
+
+    def test_deadline_loses_in_flight_stragglers(self, rng):
+        platform = perfect_platform(
+            rng,
+            faults=FaultPlan(straggle_rate=1.0, straggle_steps=10),
+            retry=RetryPolicy(deadline_steps=2),
+        )
+        report = platform.submit_batch("naive", make_tasks(1, required=2))
+        assert report.degraded
+        assert report.degraded_tasks[0].reason == "deadline"
+        assert report.physical_steps == 2
+        assert report.judgments_lost_late > 0
+        # straggler work was performed and therefore paid
+        assert platform.ledger.operations("naive") > 0
+
+
+class TestMalformedAndOffline:
+    def test_malformed_judgments_are_paid_but_discarded(self, rng):
+        platform = perfect_platform(
+            rng, size=8, faults=FaultPlan(malformed_rate=0.4)
+        )
+        report = platform.submit_batch("naive", make_tasks(2, required=2))
+        assert not report.degraded
+        assert report.judgments_malformed > 0
+        assert (
+            platform.ledger.operations("naive")
+            == report.judgments_collected + report.judgments_malformed
+        )
+
+    def test_offline_windows_slow_but_do_not_stop_the_batch(self, rng):
+        platform = perfect_platform(
+            rng, size=6, faults=FaultPlan(offline_rate=0.5, offline_steps=4)
+        )
+        report = platform.submit_batch("naive", make_tasks(3, required=2))
+        assert not report.degraded
+        assert report.faults_injected > 0
+        assert report.answers == [True, True, True]
+
+
+class TestFallbackPool:
+    def test_fallback_pool_serves_starved_tasks(self, rng):
+        # Primary pool of 2 cannot deliver 4 distinct judgments; the
+        # fallback pool (distinct id range, pricier) completes the task.
+        primary = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=2)
+        backup = WorkerPool.homogeneous(
+            "backup", PerfectWorkerModel(), size=5, cost_per_judgment=3.0, id_offset=100
+        )
+        platform = CrowdPlatform(
+            {"naive": primary, "backup": backup},
+            rng,
+            retry=RetryPolicy(fallback_pool="backup"),
+        )
+        report = platform.submit_batch("naive", make_tasks(1, required=4))
+        assert not report.degraded
+        assert report.judgments_collected == 4
+        workers = {j.worker_id for j in platform.judgment_log}
+        assert len(workers) == 4
+        assert any(w >= 100 for w in workers)
+        assert platform.ledger.operations("backup") > 0
+        assert platform.ledger.money("backup") == 3.0 * platform.ledger.operations(
+            "backup"
+        )
+
+    def test_without_fallback_the_same_batch_is_rejected(self, rng):
+        primary = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=2)
+        platform = CrowdPlatform({"naive": primary}, rng)
+        with pytest.raises(ValueError):
+            platform.submit_batch("naive", make_tasks(1, required=4))
+
+
+class TestUnsatisfiableBatches:
+    def test_mid_batch_bans_settle_tasks_instead_of_stalling(self, rng):
+        # Seed bug: the up-front validation passes (4 workers, 3 needed)
+        # but gold bans shrink the unbanned pool below the requirement
+        # mid-batch; the batch must settle the task as degraded with the
+        # judgments already kept — quickly, not via the stall guard.
+        models = [PerfectWorkerModel()] * 2 + [
+            MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
+        ] * 2
+        pool = WorkerPool.from_models("naive", models)
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 10),
+            rng,
+            n_pairs=8,
+            gold_fraction=0.5,
+            min_gold_answers=1,
+        )
+        platform = CrowdPlatform({"naive": pool}, rng, gold=gold)
+        report = platform.submit_batch("naive", make_tasks(1, required=3))
+        assert report.degraded
+        (task,) = report.degraded_tasks
+        assert task.reason == "pool_exhausted"
+        assert task.judgments_kept == len(platform.judgment_log)
+        assert task.judgments_kept < 3
+        assert report.physical_steps < 50  # settled by detection, not the guard
+
+    def test_strict_mode_raises_degraded_batch_error(self, rng):
+        models = [MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)] * 3
+        pool = WorkerPool.from_models("naive", models)
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 10), rng, n_pairs=8, gold_fraction=0.6, min_gold_answers=1
+        )
+        platform = CrowdPlatform(
+            {"naive": pool}, rng, gold=gold, retry=RetryPolicy(on_degraded="raise")
+        )
+        with pytest.raises(DegradedBatchError) as excinfo:
+            platform.submit_batch("naive", make_tasks(1, required=3))
+        assert excinfo.value.report.task_reports  # settled report attached
+
+
+class TestCostCap:
+    def test_ledger_refuses_charges_past_the_cap(self):
+        ledger = CostLedger(hard_cap=10.0)
+        ledger.charge("naive", 8, 1.0)
+        assert ledger.can_afford(2.0)
+        assert not ledger.can_afford(2.5)
+        assert ledger.remaining_budget == pytest.approx(2.0)
+        with pytest.raises(CostCapError) as excinfo:
+            ledger.charge("naive", 3, 1.0)
+        assert ledger.total_cost == 8.0  # the refused charge left no trace
+        assert excinfo.value.cap == 10.0
+        ledger.charge("naive", 2, 1.0)  # an exact fill is allowed
+        assert ledger.total_cost == 10.0
+
+    def test_platform_breach_preserves_collected_work(self, rng):
+        ledger = CostLedger(hard_cap=3.0)
+        platform = perfect_platform(rng, ledger=ledger)
+        with pytest.raises(CostCapError):
+            platform.submit_batch("naive", make_tasks(3, required=2))
+        assert ledger.total_cost <= 3.0
+        assert len(platform.judgment_log) == 3  # paid judgments were kept
+
+    def test_breach_emits_budget_breach_event(self, rng):
+        tracer = Tracer()
+        ledger = CostLedger(hard_cap=2.0)
+        platform = perfect_platform(rng, ledger=ledger, tracer=tracer)
+        with pytest.raises(CostCapError):
+            platform.submit_batch("naive", make_tasks(3, required=2))
+        (event,) = tracer.records_of_kind("budget_breach")
+        assert event["cap"] == 2.0
+        assert event["spent"] <= 2.0
+
+
+class TestResilienceTelemetry:
+    def test_fault_and_retry_events_are_emitted(self, rng):
+        tracer = Tracer()
+        platform = perfect_platform(
+            rng,
+            size=8,
+            faults=FaultPlan(abandon_rate=0.5, malformed_rate=0.2),
+            tracer=tracer,
+        )
+        report = platform.submit_batch("naive", make_tasks(3, required=2))
+        faults = tracer.records_of_kind("fault_injected")
+        assert len(faults) == report.faults_injected
+        assert {f["fault"] for f in faults} <= {"abandon", "malformed", "straggle"}
+        assert len(tracer.records_of_kind("task_retry")) == report.retries
+        batch = tracer.records_of_kind("platform_batch")[0]
+        assert batch["faults_injected"] == report.faults_injected
+
+    def test_batch_degraded_event(self, rng):
+        tracer = Tracer()
+        platform = perfect_platform(
+            rng,
+            faults=FaultPlan(abandon_rate=1.0),
+            retry=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            tracer=tracer,
+        )
+        report = platform.submit_batch("naive", make_tasks(2, required=1))
+        assert report.degraded
+        (event,) = tracer.records_of_kind("batch_degraded")
+        assert event["tasks_degraded"] == len(report.degraded_tasks)
+        assert event["reasons"] == ["retries_exhausted"]

@@ -8,7 +8,11 @@ from repro.platform.job import ComparisonTask
 from repro.platform.platform import CrowdPlatform
 from repro.platform.workforce import WorkerPool
 from repro.workers.base import PerfectWorkerModel
-from repro.workers.spammer import LazyFirstModel, RandomSpammerModel
+from repro.workers.spammer import (
+    LazyFirstModel,
+    MaliciousWorkerModel,
+    RandomSpammerModel,
+)
 
 
 def make_platform(rng, models=None, gold=None, availability=1.0, size=6):
@@ -144,6 +148,64 @@ class TestQualityControl:
         banned_ids = {w.worker_id for w in platform.pools["naive"].workers if w.banned}
         for judgment in platform.judgment_log:
             assert judgment.worker_id not in banned_ids
+
+    def test_ban_recollection_accounting_balances(self, rng):
+        # Satellite invariant for the gold-ban re-collection path: every
+        # paid non-gold judgment is either kept or discarded, the report's
+        # discard counter matches, and the batch still completes.
+        models = [PerfectWorkerModel()] * 4 + [
+            MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
+        ] * 2
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 20),
+            rng,
+            n_pairs=15,
+            gold_fraction=0.5,
+            min_gold_answers=1,
+        )
+        platform = make_platform(rng, models=models, gold=gold)
+        values = [1.0, 9.0, 4.0]
+        report = platform.submit_batch(
+            "naive", batch_of_tasks([(0, 1), (1, 2), (0, 2)], values, required=3)
+        )
+        assert not report.degraded
+        assert report.judgments_collected == 9
+        assert (
+            platform.ledger.operations("naive")
+            == report.judgments_collected + report.judgments_discarded
+        )
+        # the saboteurs were caught, and their kept work was discarded
+        banned = [w for w in platform.pools["naive"].workers if w.banned]
+        assert {w.worker_id for w in banned} == {4, 5}
+        assert set(report.workers_banned) == {4, 5}
+
+    def test_banned_worker_is_never_reassigned(self, rng):
+        # Every judge() call of a banned worker happened before the ban:
+        # it was either a gold probe or a judgment that the ban then
+        # discarded.  Re-assignment after the ban would break this tally.
+        models = [PerfectWorkerModel()] * 5 + [
+            MaliciousWorkerModel(PerfectWorkerModel(), flip_probability=1.0)
+        ] * 3
+        gold = GoldPolicy.from_values(
+            np.linspace(0, 100, 20),
+            rng,
+            n_pairs=15,
+            gold_fraction=0.4,
+            min_gold_answers=1,
+        )
+        platform = make_platform(rng, models=models, gold=gold)
+        values = list(np.linspace(0, 50, 8))
+        pairs = [(i, i + 1) for i in range(7)]
+        report = platform.submit_batch(
+            "naive", batch_of_tasks(pairs, values, required=3)
+        )
+        banned = [w for w in platform.pools["naive"].workers if w.banned]
+        assert banned  # the scenario only bites if someone was caught
+        assert sum(w.judgments_made for w in banned) == (
+            sum(w.gold_answered for w in banned) + report.judgments_discarded
+        )
+        banned_ids = {w.worker_id for w in banned}
+        assert all(j.worker_id not in banned_ids for j in platform.judgment_log)
 
     def test_position_randomisation_defeats_lazy_first(self, rng):
         models = [LazyFirstModel()] * 5

@@ -43,6 +43,19 @@ class TestWorkerPool:
         with pytest.raises(KeyError):
             pool.get(99)
 
+    def test_get_returns_the_pool_member_itself(self):
+        pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=3)
+        assert pool.get(2) is pool.workers[2]
+
+    def test_get_resyncs_after_external_mutation(self):
+        # The id index is built at construction; appending to the
+        # workers list directly must still be visible through get().
+        pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=2)
+        pool.workers.append(SimulatedWorker(worker_id=7, model=PerfectWorkerModel()))
+        assert pool.get(7).worker_id == 7
+        with pytest.raises(KeyError):
+            pool.get(99)
+
     def test_active_members_excludes_banned(self):
         pool = WorkerPool.homogeneous("naive", PerfectWorkerModel(), size=3)
         pool.workers[1].banned = True

@@ -6,7 +6,14 @@ import pytest
 from repro.core.generators import planted_instance
 from repro.platform.platform import CrowdPlatform
 from repro.platform.workforce import WorkerPool
-from repro.service import CrowdJobResult, CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
+from repro.service import (
+    BudgetExceededError,
+    CrowdJobResult,
+    CrowdMaxJob,
+    CrowdTopKJob,
+    JobPhaseConfig,
+    ResilientCrowdMaxJob,
+)
 from repro.workers.base import PerfectWorkerModel
 from repro.workers.threshold import ThresholdWorkerModel
 
@@ -111,6 +118,146 @@ class TestCrowdMaxJob:
             )
         with pytest.raises(ValueError):
             JobPhaseConfig(pool="a", judgments_per_comparison=0)
+
+
+class TestMidFlightBudget:
+    def test_hard_cap_stops_the_job_with_partial_result(self, rng, platform, instance):
+        job = max_job(instance, hard_cap=50.0)
+        with pytest.raises(BudgetExceededError) as excinfo:
+            job.execute(platform, rng)
+        err = excinfo.value
+        assert isinstance(err.partial, CrowdJobResult)
+        assert err.partial.answer == []  # no winner was settled
+        assert err.partial.degraded
+        assert err.partial.degraded_reason == "budget"
+        assert err.spent <= err.cap + 1e-9
+        # the bill never exceeds the cap, and the paid work is kept
+        assert platform.ledger.total_cost <= 50.0 + 1e-9
+        assert err.partial.total_cost == pytest.approx(platform.ledger.total_cost)
+        assert platform.judgment_log
+        # the job-scoped cap is uninstalled afterwards
+        assert platform.ledger.hard_cap is None
+
+    def test_generous_hard_cap_is_invisible(self, rng, platform, instance):
+        result = max_job(instance, hard_cap=1e7).execute(platform, rng)
+        assert isinstance(result, CrowdJobResult)
+        assert not result.degraded
+        assert platform.ledger.hard_cap is None
+
+    def test_hard_cap_tightens_but_never_loosens_an_existing_cap(
+        self, rng, platform, instance
+    ):
+        platform.ledger.hard_cap = 40.0
+        job = max_job(instance, hard_cap=1e7)
+        with pytest.raises(BudgetExceededError):
+            job.execute(platform, rng)
+        assert platform.ledger.total_cost <= 40.0 + 1e-9
+        assert platform.ledger.hard_cap == 40.0  # restored, not overwritten
+
+    def test_topk_honours_the_hard_cap(self, rng, platform, instance):
+        job = CrowdTopKJob(
+            instance,
+            u_n=5,
+            k=3,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+            hard_cap=50.0,
+        )
+        with pytest.raises(BudgetExceededError) as excinfo:
+            job.execute(platform, rng)
+        assert excinfo.value.partial.degraded_reason == "budget"
+        assert platform.ledger.total_cost <= 50.0 + 1e-9
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            max_job(instance, hard_cap=0.0)
+
+
+class TestResilientCrowdMaxJob:
+    def resilient_job(self, instance, **kwargs):
+        return ResilientCrowdMaxJob(
+            instance,
+            u_n=5,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+            **kwargs,
+        )
+
+    def test_healthy_path_matches_the_plain_job(self, instance):
+        # With a healthy expert pool the resilient job is a drop-in: the
+        # strict adapter only changes behaviour when a batch degrades.
+        results = []
+        for job_cls in (CrowdMaxJob, ResilientCrowdMaxJob):
+            run_rng = np.random.default_rng(777)
+            pools = {
+                "crowd": WorkerPool.homogeneous(
+                    "crowd", ThresholdWorkerModel(delta=1.0), size=20
+                ),
+                "experts": WorkerPool.homogeneous(
+                    "experts",
+                    ThresholdWorkerModel(delta=0.25, is_expert=True),
+                    size=3,
+                    cost_per_judgment=20.0,
+                ),
+            }
+            job = job_cls(
+                instance,
+                u_n=5,
+                phase1=JobPhaseConfig(pool="crowd"),
+                phase2=JobPhaseConfig(pool="experts"),
+            )
+            results.append(job.execute(CrowdPlatform(pools, run_rng), run_rng))
+        plain, resilient = results
+        assert resilient.winner == plain.winner
+        assert resilient.total_cost == pytest.approx(plain.total_cost)
+        assert not resilient.degraded
+
+    def test_falls_back_when_the_expert_pool_is_banned_out(self, rng):
+        values = np.asarray(np.random.default_rng(5).permutation(60), dtype=float)
+        pools = {
+            "crowd": WorkerPool.homogeneous("crowd", PerfectWorkerModel(), size=10),
+            "experts": WorkerPool.homogeneous(
+                "experts", PerfectWorkerModel(), size=3, cost_per_judgment=20.0
+            ),
+        }
+        platform = CrowdPlatform(pools, rng)
+        for worker in pools["experts"].workers:
+            worker.banned = True
+        result = self.resilient_job(values).execute(platform, rng)
+        assert result.degraded
+        assert result.degraded_reason == "expert_pool_exhausted"
+        # perfect naive workers at redundancy 5 still find the true max
+        assert values[result.winner] == values.max()
+        # the fallback comparisons are billed to the naive pool
+        assert result.expert_comparisons == 0
+        assert platform.ledger.operations("experts") == 0
+        assert platform.ledger.operations("crowd") > 0
+
+    def test_plain_job_does_not_degrade_gracefully(self, rng):
+        # The contrast case: without the resilient wrapper, a banned-out
+        # expert pool silently yields coin-flip majorities (the result
+        # is *not* flagged) — the reason ResilientCrowdMaxJob exists.
+        values = np.asarray(np.random.default_rng(5).permutation(60), dtype=float)
+        pools = {
+            "crowd": WorkerPool.homogeneous("crowd", PerfectWorkerModel(), size=10),
+            "experts": WorkerPool.homogeneous(
+                "experts", PerfectWorkerModel(), size=3, cost_per_judgment=20.0
+            ),
+        }
+        platform = CrowdPlatform(pools, rng)
+        for worker in pools["experts"].workers:
+            worker.banned = True
+        result = CrowdMaxJob(
+            values,
+            u_n=5,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+        ).execute(platform, rng)
+        assert not result.degraded  # silent — no flag, answers are noise
+
+    def test_validation(self, instance):
+        with pytest.raises(ValueError):
+            self.resilient_job(instance, fallback_redundancy=0)
 
 
 class TestCrowdTopKJob:
