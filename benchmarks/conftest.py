@@ -4,12 +4,20 @@ Every benchmark regenerates one table or figure of the paper and emits
 it twice: printed to stdout (visible with ``pytest -s`` /
 ``--capture=no``) and written under ``results/`` next to this
 directory, so the artifacts survive captured output.
+
+All artifact writes go through the atomic tmp-file + rename helpers of
+:mod:`repro.experiments.io`, so parallel pytest-xdist workers or
+concurrent CI shards can never interleave partial files in the shared
+``results/`` directory.
 """
 
+import os
 from pathlib import Path
 
 import numpy as np
 import pytest
+
+from repro.experiments.io import write_text_atomic
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -28,8 +36,14 @@ def emit():
         text = result.to_text()
         print()
         print(text)
-        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-        (RESULTS_DIR / f"{stem}.txt").write_text(text + "\n")
-        result.to_csv(RESULTS_DIR / f"{stem}.csv")
+        write_text_atomic(RESULTS_DIR / f"{stem}.txt", text + "\n")
+        # Render the CSV to a private temp name first, then rename it
+        # into place — same atomicity contract as the text artifact.
+        tmp = RESULTS_DIR / f".{stem}.csv.tmp-{os.getpid()}"
+        try:
+            result.to_csv(tmp)
+            os.replace(tmp, RESULTS_DIR / f"{stem}.csv")
+        finally:
+            tmp.unlink(missing_ok=True)
 
     return _emit

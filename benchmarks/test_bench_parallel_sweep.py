@@ -1,0 +1,37 @@
+"""Perf baseline: serial vs parallel sweep wall-clock (BENCH_sweep.json).
+
+Times the default Section 5.1 sweep grid (and a reduced Section 5.2
+estimation grid) with ``jobs=1`` and ``jobs=cpu_count``, verifies the
+parallel results are bit-identical to serial, prints the speedup
+table, and persists ``results/BENCH_sweep.json`` — the trajectory
+subsequent performance work is measured against.
+
+Run with ``pytest benchmarks/test_bench_parallel_sweep.py -s``.
+"""
+
+from pathlib import Path
+
+from repro.experiments.bench import (
+    bench_table,
+    run_bench_comparison,
+    write_bench_json,
+)
+from repro.experiments.estimation_sweep import EstimationConfig
+from repro.experiments.sweep import SweepConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def test_bench_sweep_baseline(emit):
+    payload = run_bench_comparison(
+        seed=2015,
+        sweep_config=SweepConfig(ns=(500, 1000, 2000), trials=3),
+        estimation_config=EstimationConfig(ns=(500, 1000, 2000), trials=2),
+    )
+    for name, section in payload["sweeps"].items():
+        assert section["identical"], f"{name}: parallel diverged from serial"
+        assert section["serial_s"] > 0 and section["parallel_s"] > 0
+        assert section["comparisons"] > 0
+    path = write_bench_json(payload, RESULTS_DIR / "BENCH_sweep.json")
+    assert path.exists()
+    emit(bench_table(payload), "bench_parallel_sweep")

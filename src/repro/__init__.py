@@ -40,6 +40,13 @@ from .core import (
     two_maxfind,
     uniform_instance,
 )
+from .parallel import (
+    RunError,
+    RunResult,
+    RunSpec,
+    execute_runs,
+    spawn_run_seeds,
+)
 from .platform import FaultPlan, RetryPolicy
 from .service import (
     BudgetExceededError,
@@ -85,6 +92,9 @@ __all__ = [
     "ProblemInstance",
     "ResilientCrowdMaxJob",
     "RetryPolicy",
+    "RunError",
+    "RunResult",
+    "RunSpec",
     "ThresholdWorkerModel",
     "ThurstoneWorkerModel",
     "Tracer",
@@ -93,12 +103,14 @@ __all__ = [
     "adversarial_instance",
     "estimate_perr",
     "estimate_u_n",
+    "execute_runs",
     "filter_candidates",
     "find_max",
     "make_worker_classes",
     "planted_instance",
     "randomized_maxfind",
     "set_active_tracer",
+    "spawn_run_seeds",
     "two_maxfind",
     "uniform_instance",
     "use_tracer",

@@ -8,6 +8,8 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments table2 --seed 7
     repro-experiments all --scale quick --out results/
     repro-experiments fig3 --trace fig3.trace.jsonl
+    repro-experiments fig3 --scale paper --jobs 8
+    repro-experiments bench --jobs 4
 
 ``--scale quick`` (default) runs reduced sizes suitable for a laptop in
 seconds; ``--scale paper`` uses the paper's n = 1000..5000 grid.
@@ -15,6 +17,11 @@ seconds; ``--scale paper`` uses the paper's n = 1000..5000 grid.
 ``--trace PATH`` records a structured JSONL telemetry trace of the
 whole invocation (phase spans, filter rounds, oracle batches); see
 docs/OBSERVABILITY.md for the record schema.
+``--jobs N`` fans the sweep grids (figs 3-10, the fault sweep) out
+across N worker processes with bit-identical results (0 = all cores);
+``bench`` times serial vs parallel on the selected grid, prints the
+speedup table, and writes the ``BENCH_sweep.json`` perf baseline (see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -62,6 +69,7 @@ from .experiments import (
     run_table2_cars,
     survival_table,
 )
+from .experiments.bench import bench_table, run_bench_comparison, write_bench_json
 from .experiments.cost_vs_n import PAPER_EXPERT_COSTS
 from .platform.faults import FaultPlan
 from .telemetry import JsonlSink, Tracer, use_tracer
@@ -93,6 +101,7 @@ COMMANDS = (
     "robustness",
     "budget",
     "baselines",
+    "bench",
     "all",
 )
 
@@ -119,6 +128,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ue", type=int, default=5, help="u_e(n) parameter")
     parser.add_argument(
         "--out", type=Path, default=None, help="directory for CSV exports"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the sweep grids (default 1 = serial, "
+            "0 = all cores); results are bit-identical for any N"
+        ),
     )
     parser.add_argument(
         "--trace",
@@ -186,6 +205,25 @@ def main(argv: list[str] | None = None) -> int:
     return code
 
 
+def _run_bench(args: argparse.Namespace) -> None:
+    """The ``bench`` subcommand: timed serial-vs-parallel comparison.
+
+    Prints the speedup table and writes the ``BENCH_sweep.json`` perf
+    baseline (atomically) into ``--out`` (default ``results/``).
+    """
+    payload = run_bench_comparison(
+        seed=args.seed,
+        sweep_config=_sweep_config(args),
+        estimation_config=_estimation_config(args),
+        jobs=args.jobs if args.jobs != 1 else None,
+    )
+    print(bench_table(payload).to_text())
+    print()
+    out = args.out if args.out is not None else Path("results")
+    path = write_bench_json(payload, out / "BENCH_sweep.json")
+    print(f"(wrote {path})")
+
+
 def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     """Run the selected command(s); shared by traced and untraced paths."""
     out: Path | None = args.out
@@ -196,8 +234,12 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     if command in ("fig2b", "all"):
         _emit(run_figure2_cars(rng), out)
 
+    if command == "bench":
+        _run_bench(args)
+        return 0
+
     if command in ("fig3", "fig4", "fig5", "fig9", "all"):
-        data = run_sweep(_sweep_config(args), rng)
+        data = run_sweep(_sweep_config(args), rng, jobs=args.jobs)
         if command in ("fig3", "all"):
             _emit(figure3_from_sweep(data), out)
         if command in ("fig4", "all"):
@@ -210,7 +252,7 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
                 _emit(figure9_from_sweep(data, ce), out)
 
     if command in ("fig6", "fig7", "fig10", "all"):
-        est = run_estimation_sweep(_estimation_config(args), rng)
+        est = run_estimation_sweep(_estimation_config(args), rng, jobs=args.jobs)
         if command in ("fig6", "all"):
             _emit(figure6_from_estimation(est), out)
             _emit(survival_table(est), out)
@@ -248,7 +290,7 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     if command in ("robustness", "all"):
         _emit(run_epsilon_robustness(rng), out)
         _emit(run_fatigue_experiment(rng), out)
-        _emit(run_fault_sweep(rng, base_plan=args.fault_plan), out)
+        _emit(run_fault_sweep(rng, base_plan=args.fault_plan, jobs=args.jobs), out)
     if command in ("budget", "all"):
         _emit(run_budget_planning(rng), out)
     if command in ("baselines", "all"):

@@ -139,7 +139,12 @@ def filter_candidates(
     g = group_multiplier * u_n
     total_comparisons = 0
     rounds: list[FilterRound] = []
-    loss_counters: dict[int, int] = {}
+    # Distinct-loss counters for the whole element universe, indexed by
+    # element id: the hottest bookkeeping of the filter loop, so a flat
+    # ndarray (one vectorised add + mask per group) beats a dict.
+    loss_counters = (
+        np.zeros(oracle.n, dtype=np.int64) if use_global_loss_counters else None
+    )
 
     round_index = 0
     fallback = False
@@ -172,18 +177,12 @@ def filter_candidates(
                 round_comparisons += int(result.fresh_losses.sum())
                 keep_threshold = len(group) - u_n
                 kept = result.with_wins_at_least(keep_threshold)
-                if use_global_loss_counters:
-                    for element, fresh_loss in zip(
-                        result.elements.tolist(), result.fresh_losses.tolist()
-                    ):
-                        if fresh_loss:
-                            loss_counters[element] = (
-                                loss_counters.get(element, 0) + fresh_loss
-                            )
-                    kept = np.asarray(
-                        [e for e in kept.tolist() if loss_counters.get(e, 0) <= u_n],
-                        dtype=np.intp,
-                    )
+                if loss_counters is not None:
+                    # Groups partition the round's population, so each
+                    # element appears at most once per round: plain
+                    # fancy-index accumulation is race-free.
+                    loss_counters[result.elements] += result.fresh_losses
+                    kept = kept[loss_counters[kept] <= u_n]
                 survivors.append(kept)
 
             previous = current

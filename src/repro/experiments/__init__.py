@@ -14,8 +14,13 @@ from .accuracy_curves import (
     run_figure2_dots,
 )
 from .accuracy_vs_n import figure3_from_sweep, run_figure3
-from .base import FigureResult, TableResult, experiment_tracer
+from .base import FigureResult, TableResult, experiment_tracer, failure_notes
 from .baselines import run_baseline_shootout
+from .bench import (
+    bench_table,
+    run_bench_comparison,
+    write_bench_json,
+)
 from .bounds_check import run_bounds_check
 from .budget_planning import run_budget_planning
 from .comparisons_vs_n import figure4_from_sweep
@@ -65,7 +70,9 @@ __all__ = [
     "SweepData",
     "TableResult",
     "experiment_tracer",
+    "bench_table",
     "compose_report",
+    "failure_notes",
     "figure10_from_estimation",
     "figure3_from_sweep",
     "figure4_from_sweep",
@@ -76,6 +83,7 @@ __all__ = [
     "load_result",
     "run_accuracy_curves",
     "run_baseline_shootout",
+    "run_bench_comparison",
     "run_bounds_check",
     "run_budget_planning",
     "run_cascade_experiment",
@@ -102,5 +110,6 @@ __all__ = [
     "run_table2_cars",
     "save_result",
     "survival_table",
+    "write_bench_json",
     "write_report",
 ]

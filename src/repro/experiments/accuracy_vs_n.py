@@ -43,12 +43,14 @@ def figure3_from_sweep(data: SweepData) -> FigureResult:
 
 
 def run_figure3(
-    config: SweepConfig, rng: np.random.Generator
+    config: SweepConfig, rng: np.random.Generator, jobs: int = 1
 ) -> tuple[FigureResult, SweepData]:
     """Run the sweep and derive the Figure 3 panel.
 
     The sweep data is returned too so Figures 4/5/9 can reuse it
-    without re-simulating.
+    without re-simulating.  ``jobs`` fans the sweep grid out across
+    processes (see :mod:`repro.parallel`); results are bit-identical
+    for any value.
     """
-    data = run_sweep(config, rng)
+    data = run_sweep(config, rng, jobs=jobs)
     return figure3_from_sweep(data), data

@@ -10,7 +10,12 @@ rows/series the paper reports".
 JSONL-writing :class:`~repro.telemetry.Tracer` for the duration of an
 experiment, persisting the trace next to the experiment's CSVs, with
 no plumbing changes in the experiment code itself (all instrumented
-call sites fall back to the ambient tracer).
+call sites fall back to the ambient tracer).  Sweeps executed through
+:mod:`repro.parallel` merge their per-worker trace shards back into
+this same tracer, so ``<identifier>.trace.jsonl`` stays the single
+source of truth whether the sweep ran on one process or many; use
+:func:`~repro.parallel.failure_notes` (re-exported here) to surface
+isolated run failures on a result's ``notes``.
 """
 
 from __future__ import annotations
@@ -21,9 +26,10 @@ from pathlib import Path
 from typing import Iterator
 
 from ..analysis.reporting import format_rows, format_series_table, write_csv
+from ..parallel import failure_notes
 from ..telemetry import NULL_TRACER, JsonlSink, Tracer, use_tracer
 
-__all__ = ["FigureResult", "TableResult", "experiment_tracer"]
+__all__ = ["FigureResult", "TableResult", "experiment_tracer", "failure_notes"]
 
 
 @contextmanager

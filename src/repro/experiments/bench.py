@@ -1,0 +1,234 @@
+"""The tracked perf baseline: timed serial-vs-parallel sweep comparison.
+
+Runs the same sweep grid twice — ``jobs=1`` and ``jobs=N`` — through
+:mod:`repro.parallel`, times both, checks the results are bit-identical
+(the engine's core guarantee), and packages the numbers as a JSON
+payload conventionally stored at ``results/BENCH_sweep.json``.  The
+file is the perf trajectory for subsequent changes to beat: wall-clock
+per sweep, serial vs parallel, comparisons/second, speedup.
+
+Entry points: the ``repro-experiments bench`` CLI subcommand and the
+``benchmarks/test_bench_parallel_sweep.py`` harness, both of which
+write the artifact atomically via
+:func:`~repro.experiments.io.write_json_atomic`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from .base import TableResult
+from .estimation_sweep import EstimationConfig, EstimationData, run_estimation_sweep
+from .io import write_json_atomic
+from .sweep import SweepConfig, SweepData, run_sweep
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "sweep_comparison_total",
+    "estimation_comparison_total",
+    "run_bench_comparison",
+    "bench_table",
+    "write_bench_json",
+]
+
+#: Schema tag stamped into every BENCH_sweep.json payload.
+BENCH_SCHEMA = "repro.bench_sweep/v1"
+
+
+def sweep_comparison_total(data: SweepData) -> int:
+    """Total crowd comparisons simulated across all trial runs."""
+    total = 0
+    for point in data.points:
+        total += sum(point.alg1_naive) + sum(point.alg1_expert)
+        total += sum(point.tmf_naive_comparisons)
+        total += sum(point.tmf_expert_comparisons)
+    return total
+
+
+def estimation_comparison_total(data: EstimationData) -> int:
+    """Total crowd comparisons simulated across all estimation cells."""
+    return sum(
+        sum(cell.naive) + sum(cell.expert) for cell in data.cells.values()
+    )
+
+
+def _sweep_fingerprint(data: SweepData) -> tuple:
+    """Everything measured, as one comparable value (bit-identity check)."""
+    return tuple(
+        (
+            point.n,
+            tuple(point.alg1_rank),
+            tuple(point.alg1_naive),
+            tuple(point.alg1_expert),
+            tuple(point.tmf_naive_rank),
+            tuple(point.tmf_naive_comparisons),
+            tuple(point.tmf_expert_rank),
+            tuple(point.tmf_expert_comparisons),
+            point.tmf_naive_wc,
+            point.tmf_expert_wc,
+        )
+        for point in data.points
+    )
+
+
+def _estimation_fingerprint(data: EstimationData) -> tuple:
+    return tuple(
+        (
+            key,
+            tuple(cell.rank),
+            tuple(cell.naive),
+            tuple(cell.expert),
+            cell.max_survived,
+        )
+        for key, cell in sorted(data.cells.items())
+    )
+
+
+def _timed(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    value = fn()
+    return time.perf_counter() - start, value
+
+
+def run_bench_comparison(
+    seed: int = 2015,
+    sweep_config: SweepConfig | None = None,
+    estimation_config: EstimationConfig | None = None,
+    jobs: int | None = None,
+) -> dict:
+    """Time each sweep serially and in parallel; return the payload.
+
+    ``jobs=None`` picks ``max(2, cpu_count)`` so the pool path is
+    always exercised, even on a single-core box.  Pass an
+    ``estimation_config`` to additionally benchmark the Section 5.2
+    sweep under the same protocol.
+    """
+    if sweep_config is None:
+        sweep_config = SweepConfig(ns=(500, 1000, 2000), trials=3)
+    if jobs is None or jobs <= 0:
+        jobs = max(2, os.cpu_count() or 1)
+
+    payload: dict = {
+        "schema": BENCH_SCHEMA,
+        "seed": seed,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count() or 1,
+        "generated_unix": round(time.time(), 3),
+        "sweeps": {},
+    }
+
+    serial_s, serial = _timed(
+        lambda: run_sweep(sweep_config, np.random.default_rng(seed), jobs=1)
+    )
+    parallel_s, parallel = _timed(
+        lambda: run_sweep(sweep_config, np.random.default_rng(seed), jobs=jobs)
+    )
+    comparisons = sweep_comparison_total(serial)
+    payload["sweeps"]["sweep"] = _section(
+        grid={
+            "ns": list(sweep_config.ns),
+            "u_n": sweep_config.u_n,
+            "u_e": sweep_config.u_e,
+            "trials": sweep_config.trials,
+        },
+        comparisons=comparisons,
+        serial_s=serial_s,
+        parallel_s=parallel_s,
+        identical=_sweep_fingerprint(serial) == _sweep_fingerprint(parallel),
+    )
+
+    if estimation_config is not None:
+        serial_s, serial_est = _timed(
+            lambda: run_estimation_sweep(
+                estimation_config, np.random.default_rng(seed), jobs=1
+            )
+        )
+        parallel_s, parallel_est = _timed(
+            lambda: run_estimation_sweep(
+                estimation_config, np.random.default_rng(seed), jobs=jobs
+            )
+        )
+        payload["sweeps"]["estimation"] = _section(
+            grid={
+                "ns": list(estimation_config.ns),
+                "u_n": estimation_config.u_n,
+                "u_e": estimation_config.u_e,
+                "factors": list(estimation_config.factors),
+                "trials": estimation_config.trials,
+            },
+            comparisons=estimation_comparison_total(serial_est),
+            serial_s=serial_s,
+            parallel_s=parallel_s,
+            identical=(
+                _estimation_fingerprint(serial_est)
+                == _estimation_fingerprint(parallel_est)
+            ),
+        )
+    return payload
+
+
+def _section(
+    *, grid: dict, comparisons: int, serial_s: float, parallel_s: float, identical: bool
+) -> dict:
+    return {
+        "grid": grid,
+        "comparisons": comparisons,
+        "serial_s": round(serial_s, 6),
+        "parallel_s": round(parallel_s, 6),
+        "speedup": round(serial_s / parallel_s, 4) if parallel_s > 0 else None,
+        "comparisons_per_sec_serial": (
+            round(comparisons / serial_s, 1) if serial_s > 0 else None
+        ),
+        "comparisons_per_sec_parallel": (
+            round(comparisons / parallel_s, 1) if parallel_s > 0 else None
+        ),
+        "identical": identical,
+    }
+
+
+def bench_table(payload: dict) -> TableResult:
+    """Render a BENCH_sweep payload as the speedup table the CLI prints."""
+    table = TableResult(
+        table_id="bench-sweep",
+        title=(
+            f"serial vs parallel sweep wall-clock "
+            f"(jobs={payload['jobs']}, cpu_count={payload['cpu_count']})"
+        ),
+        headers=[
+            "sweep",
+            "comparisons",
+            "serial (s)",
+            "parallel (s)",
+            "speedup",
+            "cmp/s serial",
+            "cmp/s parallel",
+            "identical",
+        ],
+    )
+    for name, section in payload["sweeps"].items():
+        table.add_row(
+            [
+                name,
+                section["comparisons"],
+                section["serial_s"],
+                section["parallel_s"],
+                section["speedup"],
+                section["comparisons_per_sec_serial"],
+                section["comparisons_per_sec_parallel"],
+                "yes" if section["identical"] else "NO",
+            ]
+        )
+    table.notes.append(
+        "parallel results are verified bit-identical to serial before "
+        "timing is reported; see docs/PERFORMANCE.md"
+    )
+    return table
+
+
+def write_bench_json(payload: dict, path: str | Path) -> Path:
+    """Persist the baseline atomically (safe under concurrent shards)."""
+    return write_json_atomic(path, payload)

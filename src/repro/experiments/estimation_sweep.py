@@ -27,6 +27,7 @@ from ..core.bounds import (
 )
 from ..core.generators import planted_instance
 from ..core.maxfinder import ExpertAwareMaxFinder
+from ..parallel import RunResult, RunSpec, execute_runs, spawn_run_seeds
 from ..workers.expert import make_worker_classes
 from .base import FigureResult, TableResult
 from .sweep import PAPER_NS
@@ -112,6 +113,7 @@ class EstimationData:
 
     config: EstimationConfig
     cells: dict[tuple[int, float], EstimationCell] = field(default_factory=dict)
+    failures: list[RunResult] = field(default_factory=list)
 
     @property
     def ns(self) -> list[int]:
@@ -131,49 +133,92 @@ def _estimated_u(u_n: int, factor: float) -> int:
     return max(1, round(factor * u_n))
 
 
+def _estimation_trial(
+    rng: np.random.Generator, *, n: int, config: EstimationConfig
+) -> list[dict]:
+    """One independent (n, trial) run: every estimation factor on one
+    shared trial instance (the paper's protocol — factors see the same
+    instance so their curves are directly comparable)."""
+    naive, expert = make_worker_classes(
+        delta_n=config.delta_n, delta_e=config.delta_e
+    )
+    instance = planted_instance(
+        n=n,
+        u_n=config.u_n,
+        u_e=config.u_e,
+        delta_n=config.delta_n,
+        delta_e=config.delta_e,
+        rng=rng,
+    )
+    true_max = instance.max_index
+    measurements: list[dict] = []
+    for factor in config.factors:
+        finder = ExpertAwareMaxFinder(
+            naive=naive,
+            expert=expert,
+            u_n=_estimated_u(config.u_n, factor),
+            phase2="two_maxfind",
+        )
+        result = finder.run(instance, rng)
+        measurements.append(
+            {
+                "factor": factor,
+                "rank": instance.rank_of(result.winner),
+                "naive": result.naive_comparisons,
+                "expert": result.expert_comparisons,
+                "survived": bool(true_max in result.survivors),
+            }
+        )
+    return measurements
+
+
 def run_estimation_sweep(
-    config: EstimationConfig, rng: np.random.Generator
+    config: EstimationConfig, rng: np.random.Generator, jobs: int = 1
 ) -> EstimationData:
     """Run the Section 5.2 sweep.
 
     For every trial instance, Algorithm 1 is run once per estimation
     factor; survival is judged by whether the true maximum is in the
     phase-1 candidate set.
+
+    Each (n, trial) run gets its own seed spawned from ``rng`` and the
+    grid executes on ``jobs`` processes (``0`` for all cores) with
+    bit-identical results for any ``jobs``; isolated run failures land
+    in ``data.failures``.
     """
-    naive, expert = make_worker_classes(
-        delta_n=config.delta_n, delta_e=config.delta_e
-    )
+    grid = [
+        (n, trial) for n in config.ns for trial in range(config.trials)
+    ]
+    seeds = spawn_run_seeds(rng, len(grid))
+    specs = [
+        RunSpec(
+            index=i,
+            fn=_estimation_trial,
+            seed=seed,
+            params={"n": n, "config": config},
+            label=f"estimation[n={n},trial={trial}]",
+        )
+        for i, ((n, trial), seed) in enumerate(zip(grid, seeds))
+    ]
+    results = execute_runs(specs, jobs=jobs)
+
     data = EstimationData(config=config)
     for n in config.ns:
         for factor in config.factors:
             data.cells[(n, factor)] = EstimationCell(
                 n=n, factor=factor, estimated_u_n=_estimated_u(config.u_n, factor)
             )
-        for _ in range(config.trials):
-            instance = planted_instance(
-                n=n,
-                u_n=config.u_n,
-                u_e=config.u_e,
-                delta_n=config.delta_n,
-                delta_e=config.delta_e,
-                rng=rng,
-            )
-            true_max = instance.max_index
-            for factor in config.factors:
-                cell = data.cells[(n, factor)]
-                finder = ExpertAwareMaxFinder(
-                    naive=naive,
-                    expert=expert,
-                    u_n=cell.estimated_u_n,
-                    phase2="two_maxfind",
-                )
-                result = finder.run(instance, rng)
-                cell.rank.append(instance.rank_of(result.winner))
-                cell.naive.append(result.naive_comparisons)
-                cell.expert.append(result.expert_comparisons)
-                cell.trials += 1
-                if true_max in result.survivors:
-                    cell.max_survived += 1
+    for (n, _trial), run in zip(grid, results):
+        if not run.ok:
+            data.failures.append(run)
+            continue
+        for measurement in run.value:
+            cell = data.cells[(n, measurement["factor"])]
+            cell.rank.append(measurement["rank"])
+            cell.naive.append(measurement["naive"])
+            cell.expert.append(measurement["expert"])
+            cell.trials += 1
+            cell.max_survived += int(measurement["survived"])
     return data
 
 

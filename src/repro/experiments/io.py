@@ -10,11 +10,37 @@ re-simulating.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 from .base import FigureResult, TableResult
 
-__all__ = ["save_result", "load_result"]
+__all__ = ["save_result", "load_result", "write_text_atomic", "write_json_atomic"]
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (tmp file + rename).
+
+    Concurrent writers — pytest-xdist benchmark shards, parallel CI
+    jobs — each land a complete file; readers never observe a partial
+    write.  Parent directories are created.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+    try:
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def write_json_atomic(path: str | Path, payload) -> Path:
+    """Serialise ``payload`` as pretty JSON and write it atomically."""
+    return write_text_atomic(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 _FIGURE_KIND = "figure"
 _TABLE_KIND = "table"
@@ -43,10 +69,7 @@ def save_result(result: FigureResult | TableResult, path: str | Path) -> Path:
         }
     else:
         raise TypeError(f"cannot serialise {type(result).__name__}")
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
-    return path
+    return write_json_atomic(path, payload)
 
 
 def load_result(path: str | Path) -> FigureResult | TableResult:

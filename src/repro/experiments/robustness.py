@@ -26,6 +26,7 @@ import numpy as np
 
 from ..core.generators import planted_instance
 from ..core.maxfinder import ExpertAwareMaxFinder
+from ..parallel import RunSpec, execute_runs, failure_notes, spawn_run_seeds
 from ..platform.faults import FaultPlan, RetryPolicy
 from ..platform.gold import GoldPolicy
 from ..platform.job import ComparisonTask
@@ -179,6 +180,51 @@ def run_fatigue_experiment(
     return table
 
 
+def _fault_trial(
+    rng: np.random.Generator,
+    *,
+    n: int,
+    u_n: int,
+    u_e: int,
+    plan: FaultPlan,
+    retry: RetryPolicy,
+) -> dict:
+    """One independent (abandon rate, trial) run of the two-phase job."""
+    instance = planted_instance(
+        n=n, u_n=u_n, u_e=u_e, delta_n=1.0, delta_e=0.25, rng=rng
+    )
+    pools = {
+        "naive": WorkerPool.homogeneous(
+            "naive", ThresholdWorkerModel(delta=1.0), size=12
+        ),
+        "expert": WorkerPool.homogeneous(
+            "expert",
+            ThresholdWorkerModel(delta=0.25, is_expert=True),
+            size=4,
+            cost_per_judgment=10.0,
+            id_offset=1000,
+        ),
+    }
+    platform = CrowdPlatform(
+        pools, rng, faults=plan if plan.active else None, retry=retry
+    )
+    job = CrowdMaxJob(
+        instance,
+        u_n=u_n,
+        phase1=JobPhaseConfig("naive"),
+        phase2=JobPhaseConfig("expert"),
+    )
+    result = job.execute(platform, rng)
+    return {
+        "rank": instance.rank_of(result.winner),
+        "cost": result.total_cost,
+        "steps": result.physical_steps,
+        "faults": platform.faults_injected_total,
+        "retries": platform.retries_total,
+        "degraded": platform.tasks_degraded_total,
+    }
+
+
 def run_fault_sweep(
     rng: np.random.Generator,
     n: int = 120,
@@ -187,6 +233,7 @@ def run_fault_sweep(
     abandon_rates: tuple[float, ...] = (0.0, 0.1, 0.25, 0.4),
     trials: int = 3,
     base_plan: FaultPlan | None = None,
+    jobs: int = 1,
 ) -> TableResult:
     """Accuracy and cost of the two-phase job vs the abandonment rate.
 
@@ -197,6 +244,10 @@ def run_fault_sweep(
     bounded-retry :class:`~repro.platform.faults.RetryPolicy`.  Degraded
     tasks and injected faults are read off the platform's aggregate
     counters.
+
+    The (rate, trial) grid executes on ``jobs`` processes with per-run
+    spawned seeds — bit-identical rows for any ``jobs``; isolated run
+    failures become table notes instead of killing the sweep.
     """
     base = base_plan if base_plan is not None else FaultPlan.none()
     retry = RetryPolicy(max_attempts=8, backoff_base=1.0, backoff_factor=2.0)
@@ -216,6 +267,7 @@ def run_fault_sweep(
             "tasks degraded (avg)",
         ],
     )
+    grid: list[tuple] = []
     for rate in abandon_rates:
         plan = FaultPlan(
             abandon_rate=rate,
@@ -225,55 +277,43 @@ def run_fault_sweep(
             offline_steps=base.offline_steps,
             malformed_rate=base.malformed_rate,
         )
-        ranks: list[int] = []
-        costs: list[float] = []
-        steps: list[int] = []
-        faults: list[int] = []
-        retries: list[int] = []
-        degraded: list[int] = []
-        for _ in range(trials):
-            instance = planted_instance(
-                n=n, u_n=u_n, u_e=u_e, delta_n=1.0, delta_e=0.25, rng=rng
-            )
-            pools = {
-                "naive": WorkerPool.homogeneous(
-                    "naive", ThresholdWorkerModel(delta=1.0), size=12
-                ),
-                "expert": WorkerPool.homogeneous(
-                    "expert",
-                    ThresholdWorkerModel(delta=0.25, is_expert=True),
-                    size=4,
-                    cost_per_judgment=10.0,
-                    id_offset=1000,
-                ),
-            }
-            platform = CrowdPlatform(
-                pools, rng, faults=plan if plan.active else None, retry=retry
-            )
-            job = CrowdMaxJob(
-                instance,
-                u_n=u_n,
-                phase1=JobPhaseConfig("naive"),
-                phase2=JobPhaseConfig("expert"),
-            )
-            result = job.execute(platform, rng)
-            ranks.append(instance.rank_of(result.winner))
-            costs.append(result.total_cost)
-            steps.append(result.physical_steps)
-            faults.append(platform.faults_injected_total)
-            retries.append(platform.retries_total)
-            degraded.append(platform.tasks_degraded_total)
-        table.add_row(
-            [
-                rate,
-                float(np.mean(ranks)),
-                float(np.mean(costs)),
-                float(np.mean(steps)),
-                float(np.mean(faults)),
-                float(np.mean(retries)),
-                float(np.mean(degraded)),
-            ]
+        for trial in range(trials):
+            grid.append((rate, plan, trial))
+    seeds = spawn_run_seeds(rng, len(grid))
+    specs = [
+        RunSpec(
+            index=i,
+            fn=_fault_trial,
+            seed=seed,
+            params={"n": n, "u_n": u_n, "u_e": u_e, "plan": plan, "retry": retry},
+            label=f"faults[rate={rate:g},trial={trial}]",
         )
+        for i, ((rate, plan, trial), seed) in enumerate(zip(grid, seeds))
+    ]
+    results = execute_runs(specs, jobs=jobs)
+
+    failures = [run for run in results if not run.ok]
+    by_rate: dict[float, list[dict]] = {rate: [] for rate in abandon_rates}
+    for (rate, _plan, _trial), run in zip(grid, results):
+        if run.ok:
+            by_rate[rate].append(run.value)
+    for rate in abandon_rates:
+        rows = by_rate[rate]
+        if rows:
+            table.add_row(
+                [
+                    rate,
+                    float(np.mean([r["rank"] for r in rows])),
+                    float(np.mean([r["cost"] for r in rows])),
+                    float(np.mean([r["steps"] for r in rows])),
+                    float(np.mean([r["faults"] for r in rows])),
+                    float(np.mean([r["retries"] for r in rows])),
+                    float(np.mean([r["degraded"] for r in rows])),
+                ]
+            )
+        else:
+            table.add_row([rate] + [float("nan")] * 6)
+    table.notes.extend(failure_notes(failures))
     table.notes.append(
         "expected: cost and physical steps grow with the abandonment "
         "rate while the retry layer holds the returned rank steady; "

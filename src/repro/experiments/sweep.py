@@ -32,6 +32,7 @@ from ..core.generators import adversarial_instance, planted_instance
 from ..core.maxfinder import ExpertAwareMaxFinder
 from ..core.oracle import ComparisonOracle
 from ..core.two_maxfind import two_maxfind
+from ..parallel import RunResult, RunSpec, execute_runs, spawn_run_seeds
 from ..workers.adversarial import AdversarialWorkerModel
 from ..workers.expert import make_worker_classes
 
@@ -94,10 +95,16 @@ class SweepPoint:
 
 @dataclass
 class SweepData:
-    """One full sweep: configuration plus one point per ``n``."""
+    """One full sweep: configuration plus one point per ``n``.
+
+    ``failures`` records any runs the execution engine isolated (see
+    :mod:`repro.parallel`): their measurements are simply absent from
+    the point lists, the rest of the sweep is intact.
+    """
 
     config: SweepConfig
     points: list[SweepPoint] = field(default_factory=list)
+    failures: list[RunResult] = field(default_factory=list)
 
     @property
     def ns(self) -> list[int]:
@@ -130,57 +137,115 @@ def _measure_adversarial_two_maxfind(
     return worst
 
 
-def run_sweep(config: SweepConfig, rng: np.random.Generator) -> SweepData:
-    """Run the full Section 5.1 sweep.
-
-    Every trial creates a fresh planted instance and fresh oracles, so
-    trials are independent; the adversarial worst case is measured once
-    per ``n`` (it is deterministic up to the instance draw).
-    """
+def _sweep_trial(rng: np.random.Generator, *, n: int, config: SweepConfig) -> dict:
+    """One independent (n, trial) run: the three competitors on one instance."""
     naive, expert = make_worker_classes(
         delta_n=config.delta_n, delta_e=config.delta_e
     )
     finder = ExpertAwareMaxFinder(
         naive=naive, expert=expert, u_n=config.u_n, phase2="two_maxfind"
     )
-    data = SweepData(config=config)
+    instance = planted_instance(
+        n=n,
+        u_n=config.u_n,
+        u_e=config.u_e,
+        delta_n=config.delta_n,
+        delta_e=config.delta_e,
+        rng=rng,
+    )
+    result = finder.run(instance, rng)
+    naive_oracle = ComparisonOracle(instance, naive.model, rng)
+    tmf_n = two_maxfind(naive_oracle)
+    expert_oracle = ComparisonOracle(instance, expert.model, rng)
+    tmf_e = two_maxfind(expert_oracle)
+    return {
+        "alg1_rank": instance.rank_of(result.winner),
+        "alg1_naive": result.naive_comparisons,
+        "alg1_expert": result.expert_comparisons,
+        "tmf_naive_rank": instance.rank_of(tmf_n.winner),
+        "tmf_naive_comparisons": tmf_n.comparisons,
+        "tmf_expert_rank": instance.rank_of(tmf_e.winner),
+        "tmf_expert_comparisons": tmf_e.comparisons,
+    }
 
+
+#: The list-valued SweepPoint fields fed by one :func:`_sweep_trial` run.
+_TRIAL_FIELDS = (
+    "alg1_rank",
+    "alg1_naive",
+    "alg1_expert",
+    "tmf_naive_rank",
+    "tmf_naive_comparisons",
+    "tmf_expert_rank",
+    "tmf_expert_comparisons",
+)
+
+
+def _sweep_worst_case(
+    rng: np.random.Generator, *, n: int, config: SweepConfig
+) -> dict:
+    """One independent per-n run measuring both adversarial worst cases."""
+    return {
+        "tmf_naive_wc": _measure_adversarial_two_maxfind(
+            n, config.u_n, config.delta_n, rng
+        ),
+        "tmf_expert_wc": _measure_adversarial_two_maxfind(
+            n, config.u_e, config.delta_e, rng
+        ),
+    }
+
+
+def run_sweep(
+    config: SweepConfig, rng: np.random.Generator, jobs: int = 1
+) -> SweepData:
+    """Run the full Section 5.1 sweep.
+
+    Every trial creates a fresh planted instance and fresh oracles, so
+    trials are independent; the adversarial worst case is measured once
+    per ``n`` (it is deterministic up to the instance draw).
+
+    Each (n, trial) run — and each per-n worst-case measurement — gets
+    its own :class:`~numpy.random.SeedSequence` child spawned from
+    ``rng``, and ``jobs`` controls how many processes execute the grid
+    (``0`` for all cores).  The result is bit-identical for every value
+    of ``jobs``; runs that raise are isolated into ``data.failures``.
+    """
+    grid: list[tuple] = []
+    for n in config.ns:
+        for trial in range(config.trials):
+            grid.append((_sweep_trial, {"n": n, "config": config},
+                         f"sweep[n={n},trial={trial}]"))
+        if config.measure_worst_case:
+            grid.append((_sweep_worst_case, {"n": n, "config": config},
+                         f"sweep-wc[n={n}]"))
+    seeds = spawn_run_seeds(rng, len(grid))
+    specs = [
+        RunSpec(index=i, fn=fn, seed=seed, params=params, label=label)
+        for i, ((fn, params, label), seed) in enumerate(zip(grid, seeds))
+    ]
+    results = execute_runs(specs, jobs=jobs)
+
+    data = SweepData(config=config)
+    cursor = iter(results)
     for n in config.ns:
         point = SweepPoint(n=n)
         for _ in range(config.trials):
-            instance = planted_instance(
-                n=n,
-                u_n=config.u_n,
-                u_e=config.u_e,
-                delta_n=config.delta_n,
-                delta_e=config.delta_e,
-                rng=rng,
-            )
-            result = finder.run(instance, rng)
-            point.alg1_rank.append(instance.rank_of(result.winner))
-            point.alg1_naive.append(result.naive_comparisons)
-            point.alg1_expert.append(result.expert_comparisons)
-
-            naive_oracle = ComparisonOracle(instance, naive.model, rng)
-            tmf_n = two_maxfind(naive_oracle)
-            point.tmf_naive_rank.append(instance.rank_of(tmf_n.winner))
-            point.tmf_naive_comparisons.append(tmf_n.comparisons)
-
-            expert_oracle = ComparisonOracle(instance, expert.model, rng)
-            tmf_e = two_maxfind(expert_oracle)
-            point.tmf_expert_rank.append(instance.rank_of(tmf_e.winner))
-            point.tmf_expert_comparisons.append(tmf_e.comparisons)
-
+            run = next(cursor)
+            if not run.ok:
+                data.failures.append(run)
+                continue
+            for name in _TRIAL_FIELDS:
+                getattr(point, name).append(run.value[name])
         point.alg1_naive_wc = filter_comparisons_upper_bound(n, config.u_n)
         point.alg1_expert_wc = two_maxfind_comparisons_upper_bound(
             survivor_upper_bound(config.u_n)
         )
         if config.measure_worst_case:
-            point.tmf_naive_wc = _measure_adversarial_two_maxfind(
-                n, config.u_n, config.delta_n, rng
-            )
-            point.tmf_expert_wc = _measure_adversarial_two_maxfind(
-                n, config.u_e, config.delta_e, rng
-            )
+            run = next(cursor)
+            if run.ok:
+                point.tmf_naive_wc = run.value["tmf_naive_wc"]
+                point.tmf_expert_wc = run.value["tmf_expert_wc"]
+            else:
+                data.failures.append(run)
         data.points.append(point)
     return data

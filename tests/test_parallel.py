@@ -1,0 +1,170 @@
+"""Tests for repro.parallel: the deterministic process-pool engine."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    RunSpec,
+    execute_runs,
+    failure_notes,
+    resolve_jobs,
+    spawn_run_seeds,
+)
+from repro.telemetry import Tracer, get_active_tracer, use_tracer
+
+
+# ----------------------------------------------------------------------
+# Worker functions: must be module-level so the pool can pickle them.
+# ----------------------------------------------------------------------
+def draw_and_add(rng, *, i):
+    """A deterministic function of the run's private seed."""
+    return i + int(rng.integers(0, 1_000_000))
+
+
+def boom_on(rng, *, i, bad):
+    if i == bad:
+        raise ValueError(f"run {i} exploded")
+    return i + int(rng.integers(0, 10))
+
+
+def traced_fn(rng, *, i):
+    tracer = get_active_tracer()
+    tracer.event("worker_ping", i=i)
+    tracer.count("worker.pings")
+    with tracer.span("worker_work", i=i):
+        return int(rng.integers(0, 100))
+
+
+def _specs(fn, count, rng_seed=7, **fixed):
+    seeds = spawn_run_seeds(np.random.default_rng(rng_seed), count)
+    return [
+        RunSpec(index=i, fn=fn, seed=seed, params={**fixed, "i": i}, label=f"run-{i}")
+        for i, seed in enumerate(seeds)
+    ]
+
+
+class TestSeedSpawning:
+    def test_same_rng_state_gives_same_children(self):
+        a = spawn_run_seeds(np.random.default_rng(42), 6)
+        b = spawn_run_seeds(np.random.default_rng(42), 6)
+        for sa, sb in zip(a, b):
+            assert (
+                np.random.default_rng(sa).integers(0, 2**32)
+                == np.random.default_rng(sb).integers(0, 2**32)
+            )
+
+    def test_children_are_independent_of_count_prefix(self):
+        # Child i depends only on the root entropy and i — never on how
+        # many siblings were spawned after it.
+        few = spawn_run_seeds(np.random.default_rng(1), 3)
+        many = spawn_run_seeds(np.random.default_rng(1), 10)
+        for sa, sb in zip(few, many):
+            assert (
+                np.random.default_rng(sa).integers(0, 2**32)
+                == np.random.default_rng(sb).integers(0, 2**32)
+            )
+
+    def test_advances_caller_rng_identically(self):
+        rng_a = np.random.default_rng(9)
+        rng_b = np.random.default_rng(9)
+        spawn_run_seeds(rng_a, 2)
+        spawn_run_seeds(rng_b, 200)
+        assert rng_a.integers(0, 2**32) == rng_b.integers(0, 2**32)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_run_seeds(np.random.default_rng(0), -1)
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_and_none_mean_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) == resolve_jobs(0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-2)
+
+
+class TestExecuteRuns:
+    def test_serial_parallel_bit_identical(self):
+        specs = _specs(draw_and_add, 10)
+        serial = execute_runs(specs, jobs=1)
+        parallel = execute_runs(specs, jobs=3)
+        assert [r.value for r in serial] == [r.value for r in parallel]
+        assert [r.index for r in parallel] == list(range(10))
+        assert all(r.ok for r in parallel)
+
+    def test_order_preserved_regardless_of_chunksize(self):
+        specs = _specs(boom_on, 9, bad=-1)
+        for chunk in (1, 2, 5):
+            results = execute_runs(specs, jobs=2, chunksize=chunk)
+            assert [r.index for r in results] == list(range(9))
+
+    def test_crash_isolation_parallel(self):
+        specs = _specs(boom_on, 8, bad=3)
+        results = execute_runs(specs, jobs=2)
+        assert len(results) == 8
+        failed = [r for r in results if not r.ok]
+        assert len(failed) == 1
+        assert failed[0].index == 3
+        assert failed[0].error.type == "ValueError"
+        assert "run 3 exploded" in failed[0].error.message
+        assert "ValueError" in failed[0].error.traceback
+        assert all(r.ok and r.value is not None for r in results if r.index != 3)
+
+    def test_crash_isolation_serial(self):
+        specs = _specs(boom_on, 5, bad=1)
+        results = execute_runs(specs, jobs=1)
+        assert [r.ok for r in results] == [True, False, True, True, True]
+        assert results[1].error.type == "ValueError"
+
+    def test_failure_notes(self):
+        specs = _specs(boom_on, 4, bad=2)
+        results = execute_runs(specs, jobs=1)
+        notes = failure_notes([r for r in results if not r.ok])
+        assert notes == ["run failed: run-2: ValueError: run 2 exploded"]
+
+    def test_empty_grid(self):
+        assert execute_runs([], jobs=4) == []
+
+
+class TestTelemetryAcrossTheFork:
+    def test_parallel_run_span_and_lifecycle_events(self):
+        tracer = Tracer()
+        specs = _specs(boom_on, 4, bad=2)
+        execute_runs(specs, jobs=2, tracer=tracer)
+        spans = [r for r in tracer.records_of_kind("span_start")]
+        assert any(r["span"] == "parallel_run" and r["jobs"] == 2 for r in spans)
+        completed = tracer.records_of_kind("run_completed")
+        failed = tracer.records_of_kind("run_failed")
+        assert {r["run_index"] for r in completed} == {0, 1, 3}
+        assert [r["run_index"] for r in failed] == [2]
+        assert failed[0]["error_type"] == "ValueError"
+        assert tracer.metrics.counter("parallel.runs_completed").value == 3
+        assert tracer.metrics.counter("parallel.runs_failed").value == 1
+
+    def test_worker_records_merged_in_run_order(self):
+        tracer = Tracer()
+        specs = _specs(traced_fn, 6)
+        execute_runs(specs, jobs=3, tracer=tracer)
+        pings = tracer.records_of_kind("worker_ping")
+        # every worker-side record survives the fork, tagged with its
+        # run, replayed in run order with worker-local clocks preserved
+        assert [r["run_index"] for r in pings] == list(range(6))
+        assert all("worker_seq" in r and "worker_t" in r for r in pings)
+        assert tracer.metrics.counter("worker.pings").value == 6
+        # worker-side span timers are folded into the parent registry
+        assert tracer.metrics.timer("worker_work.duration").count == 6
+
+    def test_serial_uses_parent_tracer_directly(self):
+        tracer = Tracer()
+        specs = _specs(traced_fn, 3)
+        with use_tracer(tracer):
+            execute_runs(specs, jobs=1)
+        assert len(tracer.records_of_kind("worker_ping")) == 3
+        assert tracer.metrics.counter("worker.pings").value == 3
+        assert len(tracer.records_of_kind("run_completed")) == 3

@@ -1,0 +1,175 @@
+"""Serial/parallel parity for every parallelized sweep.
+
+The engine's contract: for a fixed seed, ``jobs=1`` and ``jobs=4``
+produce **identical** sweep data (same per-run seeds, same ranks and
+comparison counts), and a run that raises mid-grid becomes a typed
+per-run failure without losing any completed run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.experiments.sweep as sweep_module
+from repro.experiments.base import experiment_tracer
+from repro.experiments.estimation_sweep import EstimationConfig, run_estimation_sweep
+from repro.experiments.robustness import run_fault_sweep
+from repro.experiments.sweep import SweepConfig, run_sweep
+
+SWEEP_CONFIG = SweepConfig(ns=(150, 300), u_n=5, u_e=2, trials=2)
+
+
+def _sweep_measurements(data):
+    return [
+        (
+            p.n,
+            p.alg1_rank,
+            p.alg1_naive,
+            p.alg1_expert,
+            p.tmf_naive_rank,
+            p.tmf_naive_comparisons,
+            p.tmf_expert_rank,
+            p.tmf_expert_comparisons,
+            p.alg1_naive_wc,
+            p.alg1_expert_wc,
+            p.tmf_naive_wc,
+            p.tmf_expert_wc,
+        )
+        for p in data.points
+    ]
+
+
+class TestSweepParity:
+    def test_jobs4_bit_identical_to_jobs1(self):
+        a = run_sweep(SWEEP_CONFIG, np.random.default_rng(2015), jobs=1)
+        b = run_sweep(SWEEP_CONFIG, np.random.default_rng(2015), jobs=4)
+        assert _sweep_measurements(a) == _sweep_measurements(b)
+        assert not a.failures and not b.failures
+
+    def test_estimation_jobs4_bit_identical_to_jobs1(self):
+        config = EstimationConfig(
+            ns=(150, 300), u_n=5, u_e=2, factors=(0.5, 1.0, 2.0), trials=2
+        )
+        a = run_estimation_sweep(config, np.random.default_rng(7), jobs=1)
+        b = run_estimation_sweep(config, np.random.default_rng(7), jobs=4)
+        assert a.cells.keys() == b.cells.keys()
+        for key in a.cells:
+            ca, cb = a.cells[key], b.cells[key]
+            assert (ca.rank, ca.naive, ca.expert, ca.max_survived, ca.trials) == (
+                cb.rank,
+                cb.naive,
+                cb.expert,
+                cb.max_survived,
+                cb.trials,
+            )
+
+    def test_fault_sweep_jobs4_bit_identical_to_jobs1(self):
+        kwargs = dict(
+            n=60, u_n=3, u_e=2, abandon_rates=(0.0, 0.25), trials=2
+        )
+        a = run_fault_sweep(np.random.default_rng(3), jobs=1, **kwargs)
+        b = run_fault_sweep(np.random.default_rng(3), jobs=4, **kwargs)
+        assert a.rows == b.rows
+        assert a.notes == b.notes
+
+    def test_rng_not_entangled_with_jobs(self):
+        # The caller's generator must advance identically whatever the
+        # worker count, so code after the sweep stays reproducible too.
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        run_sweep(SWEEP_CONFIG, rng_a, jobs=1)
+        run_sweep(SWEEP_CONFIG, rng_b, jobs=4)
+        assert rng_a.integers(0, 2**32) == rng_b.integers(0, 2**32)
+
+
+class TestFailureIsolation:
+    @pytest.fixture
+    def broken_sweep(self, monkeypatch):
+        original = sweep_module._sweep_trial
+
+        def failing(rng, *, n, config):
+            if n == 300:
+                raise RuntimeError(f"worker died at n={n}")
+            return original(rng, n=n, config=config)
+
+        monkeypatch.setattr(sweep_module, "_sweep_trial", failing)
+        return failing
+
+    def test_mid_grid_failure_is_typed_and_isolated(self, broken_sweep):
+        data = run_sweep(SWEEP_CONFIG, np.random.default_rng(5), jobs=1)
+        assert len(data.failures) == SWEEP_CONFIG.trials
+        for failure in data.failures:
+            assert not failure.ok
+            assert failure.error.type == "RuntimeError"
+            assert "worker died at n=300" in failure.error.message
+            assert failure.label.startswith("sweep[n=300")
+        # completed runs are all present: the n=150 point is full, the
+        # n=300 point is empty but its worst cases still measured
+        full, broken = data.points
+        assert len(full.alg1_rank) == SWEEP_CONFIG.trials
+        assert broken.alg1_rank == []
+        assert broken.tmf_naive_wc > 0
+
+    def test_estimation_failure_isolated(self, monkeypatch):
+        import repro.experiments.estimation_sweep as est_module
+
+        original = est_module._estimation_trial
+
+        def failing(rng, *, n, config):
+            if n == 300:
+                raise RuntimeError("estimation worker died")
+            return original(rng, n=n, config=config)
+
+        monkeypatch.setattr(est_module, "_estimation_trial", failing)
+        config = EstimationConfig(
+            ns=(150, 300), u_n=5, u_e=2, factors=(1.0,), trials=2
+        )
+        data = run_estimation_sweep(config, np.random.default_rng(2), jobs=1)
+        assert len(data.failures) == 2
+        assert data.cell(150, 1.0).trials == 2
+        assert data.cell(300, 1.0).trials == 0
+
+    def test_fault_sweep_failure_becomes_note(self, monkeypatch):
+        import repro.experiments.robustness as rob_module
+
+        def failing(rng, **kwargs):
+            raise RuntimeError("platform melted")
+
+        monkeypatch.setattr(rob_module, "_fault_trial", failing)
+        table = run_fault_sweep(
+            np.random.default_rng(1),
+            n=60,
+            u_n=3,
+            u_e=2,
+            abandon_rates=(0.0,),
+            trials=2,
+            jobs=1,
+        )
+        assert len(table.rows) == 1  # the row survives, as NaNs
+        assert all(np.isnan(cell) for cell in table.rows[0][1:])
+        assert sum("platform melted" in note for note in table.notes) == 2
+
+
+class TestTraceShardMerging:
+    def test_parallel_sweep_trace_lands_in_parent_file(self, tmp_path):
+        with experiment_tracer(tmp_path, "parity") as tracer:
+            run_sweep(SWEEP_CONFIG, np.random.default_rng(4), jobs=2)
+        records = [
+            json.loads(line)
+            for line in (tmp_path / "parity.trace.jsonl").read_text().splitlines()
+        ]
+        kinds = {r["kind"] for r in records}
+        assert "run_completed" in kinds
+        # worker-side instrumentation (filter spans, oracle batches)
+        # survived the fork and carries its run tag
+        worker_records = [r for r in records if "run_index" in r and "worker_seq" in r]
+        assert worker_records, f"no worker shard records merged (kinds: {kinds})"
+        spans = {
+            r["span"] for r in records if r["kind"] == "span_start" and "span" in r
+        }
+        assert "parallel_run" in spans
+        run_indices = [
+            r["run_index"] for r in records if r.get("kind") == "run_completed"
+        ]
+        assert run_indices == sorted(run_indices)
