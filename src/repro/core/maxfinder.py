@@ -271,7 +271,7 @@ def find_max(
     rng: np.random.Generator,
     phase2: Phase2Algorithm = "two_maxfind",
     tracer: Tracer | None = None,
-    **kwargs,
+    **kwargs: object,
 ) -> MaxFindResult:
     """One-shot convenience wrapper around :class:`ExpertAwareMaxFinder`.
 

@@ -1,0 +1,18 @@
+"""Developer tooling for the reproduction: project-invariant checks.
+
+The only subsystem today is :mod:`repro.devtools.lint` — the
+``repro-lint`` static-analysis pass that proves the project's
+reproducibility, fork-safety, and telemetry invariants hold without
+running anything.  See ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from .lint import LintEngine, LintReport, Rule, Violation, default_rules, run_lint
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "default_rules",
+    "run_lint",
+]

@@ -1,0 +1,57 @@
+"""``repro-lint``: AST-based checks for the project's invariants.
+
+Public surface:
+
+* :func:`run_lint` — lint paths programmatically, returning a
+  :class:`~repro.devtools.lint.framework.LintReport`.
+* :class:`LintEngine`, :class:`Rule`, :class:`Violation`,
+  :func:`register_rule` — the framework, for adding project rules.
+* :func:`default_rules` — the built-in rule pack (importing this
+  package registers it).
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from .framework import (
+    DEFAULT_REGISTRY,
+    LintEngine,
+    LintReport,
+    Rule,
+    RuleRegistry,
+    SourceFile,
+    Suppression,
+    Violation,
+    register_rule,
+)
+from .reporters import render_json, render_text
+from .rules import default_rules
+from .walker import classify, discover
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "RuleRegistry",
+    "SourceFile",
+    "Suppression",
+    "Violation",
+    "classify",
+    "default_rules",
+    "discover",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "run_lint",
+]
+
+
+def run_lint(paths: Iterable[str | Path]) -> LintReport:
+    """Lint ``paths`` with the default rule pack."""
+    return LintEngine().lint_files(discover(paths))

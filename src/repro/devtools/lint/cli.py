@@ -1,0 +1,99 @@
+"""The ``repro-lint`` console entry point.
+
+Usage::
+
+    repro-lint [paths ...] [--format text|json] [--select IDS]
+               [--ignore IDS] [--list-rules]
+
+Exit codes: ``0`` clean, ``1`` violations (or unparsable files), ``2``
+usage errors.  With no paths, lints ``src`` and ``tests`` relative to
+the current directory — the repository invocation CI uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+# Rule modules self-register on import; this import is the registration.
+from . import rules as _rules  # noqa: F401  (imported for side effect)
+from .framework import DEFAULT_REGISTRY, LintEngine
+from .reporters import render_json, render_rule_listing, render_text
+from .walker import discover
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for ``--help`` golden tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static checks for the project's reproducibility invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run exclusively (e.g. RNG001,ERR003)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule pack (ID, contexts, summary, rationale) and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        selected = DEFAULT_REGISTRY.select(
+            select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+        )
+    except KeyError as exc:
+        parser.error(f"unknown rule id: {exc.args[0]}")
+
+    if args.list_rules:
+        sys.stdout.write(render_rule_listing(selected))
+        return 0
+
+    try:
+        files = discover(args.paths)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    engine = LintEngine(rules=selected)
+    report = engine.lint_files(files)
+    renderer = render_json if args.format == "json" else render_text
+    sys.stdout.write(renderer(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

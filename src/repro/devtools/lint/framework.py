@@ -1,0 +1,395 @@
+"""Core of the ``repro-lint`` static-analysis framework.
+
+The moving parts, smallest first:
+
+* :class:`Violation` — one finding: file, position, rule ID, message.
+* :class:`Suppression` — one parsed ``# repro-lint: disable=RULE``
+  comment, with its justification and a record of which rule IDs it
+  actually silenced (feeding the unused-suppression meta-check).
+* :class:`SourceFile` — a parsed file: source text, AST, context
+  (``"src"`` or ``"tests"``), and its suppressions by line.
+* :class:`Rule` — base class for checks.  A rule is an
+  :class:`ast.NodeVisitor` with a class-level ``rule_id`` / ``summary``
+  / ``rationale`` and a ``contexts`` set saying where it applies;
+  subclasses call :meth:`Rule.report` on offending nodes.
+* :class:`RuleRegistry` / :func:`register_rule` — the plug-in point:
+  decorating a rule class registers it with the default pack.
+* :class:`LintEngine` — runs a rule pack over files, applies
+  suppressions, and appends the meta-diagnostics (``LINT001`` unused
+  suppression, ``LINT002`` missing justification, ``LINT003`` unknown
+  rule ID).
+
+Suppressions are **same-line** and **justified**::
+
+    except Exception as exc:  # repro-lint: disable=ERR003 -- crash isolation, see RunResult
+
+The comment must sit on the line the violation is reported at (for a
+multi-line statement: the line the node starts on).  The ``-- reason``
+part is mandatory; a suppression without one is itself a violation.
+Meta-diagnostics cannot be suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, ClassVar, Iterable, Iterator, Literal, Sequence
+
+__all__ = [
+    "Context",
+    "Violation",
+    "Suppression",
+    "SourceFile",
+    "Rule",
+    "RuleRegistry",
+    "register_rule",
+    "LintReport",
+    "LintEngine",
+]
+
+#: Where a file lives, which decides which rules apply to it.
+Context = Literal["src", "tests"]
+
+#: IDs of the engine's own meta-diagnostics (not suppressible).
+META_UNUSED = "LINT001"
+META_NO_JUSTIFICATION = "LINT002"
+META_UNKNOWN_RULE = "LINT003"
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<ids>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"(?:\s*--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One finding, ordered by position for stable reports."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """The conventional ``path:line:col: ID message`` form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# repro-lint: disable=...`` comment on one line."""
+
+    line: int
+    rule_ids: tuple[str, ...]
+    justification: str
+    #: Rule IDs this suppression actually silenced (filled by the engine).
+    used: set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        """Whether this suppression names ``rule_id``."""
+        return rule_id in self.rule_ids
+
+
+def _parse_suppressions(text: str) -> dict[int, Suppression]:
+    """Extract suppression comments from real comment tokens only.
+
+    Tokenising (rather than regexing raw lines) keeps suppression
+    syntax *inside string literals* inert — essential for the linter's
+    own test fixtures, which embed suppressed snippets as strings.
+    Files that fail to tokenise return no suppressions; the caller will
+    already have failed to parse them as AST anyway.
+    """
+    suppressions: dict[int, Suppression] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESSION_RE.search(token.string)
+            if match is None:
+                continue
+            ids = tuple(part.strip() for part in match.group("ids").split(","))
+            suppressions[token.start[0]] = Suppression(
+                line=token.start[0],
+                rule_ids=ids,
+                justification=(match.group("why") or "").strip(),
+            )
+    except tokenize.TokenizeError:
+        return {}
+    return suppressions
+
+
+@dataclass
+class SourceFile:
+    """One parsed source file plus everything rules need to know."""
+
+    path: Path
+    display_path: str
+    context: Context
+    text: str
+    tree: ast.Module
+    suppressions: dict[int, Suppression]
+
+    @classmethod
+    def parse(
+        cls, path: str | Path, context: Context, display_path: str | None = None
+    ) -> "SourceFile":
+        """Read, tokenise, and parse ``path`` (raises ``SyntaxError``)."""
+        path = Path(path)
+        text = path.read_text(encoding="utf-8")
+        return cls.from_text(
+            text,
+            context=context,
+            path=path,
+            display_path=display_path if display_path is not None else str(path),
+        )
+
+    @classmethod
+    def from_text(
+        cls,
+        text: str,
+        *,
+        context: Context = "src",
+        path: str | Path = "<string>",
+        display_path: str | None = None,
+    ) -> "SourceFile":
+        """Parse in-memory source (the test-fixture entry point)."""
+        tree = ast.parse(text, filename=str(path))
+        return cls(
+            path=Path(path),
+            display_path=display_path if display_path is not None else str(path),
+            context=context,
+            text=text,
+            tree=tree,
+            suppressions=_parse_suppressions(text),
+        )
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for one lint check.
+
+    Subclasses set the class attributes, implement ``visit_*`` methods
+    (or override :meth:`check` for multi-pass analyses), and call
+    :meth:`report` for each finding.  One instance is created per file,
+    so instance state is per-file scratch space.
+    """
+
+    #: Stable ID, e.g. ``"RNG001"`` — what suppressions name.
+    rule_id: ClassVar[str]
+    #: One-line description used as the default violation message.
+    summary: ClassVar[str]
+    #: Which project guarantee the rule protects (rendered in docs/CLI).
+    rationale: ClassVar[str]
+    #: File contexts the rule applies to.
+    contexts: ClassVar[frozenset[str]] = frozenset({"src", "tests"})
+
+    def __init__(self, source: SourceFile):
+        self.source = source
+        self.violations: list[Violation] = []
+
+    def check(self) -> list[Violation]:
+        """Run the rule over the file and return its findings."""
+        self.visit(self.source.tree)
+        return self.violations
+
+    def report(self, node: ast.AST, message: str | None = None) -> None:
+        """Record a violation at ``node``'s position."""
+        self.violations.append(
+            Violation(
+                path=self.source.display_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule_id=self.rule_id,
+                message=message if message is not None else self.summary,
+            )
+        )
+
+
+class RuleRegistry:
+    """An ordered collection of rule classes, keyed by rule ID."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, type[Rule]] = {}
+
+    def register(self, rule_cls: type[Rule]) -> type[Rule]:
+        """Add ``rule_cls``; duplicate IDs are a programming error."""
+        rule_id = rule_cls.rule_id
+        if rule_id in self._rules:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        self._rules[rule_id] = rule_cls
+        return rule_cls
+
+    def __iter__(self) -> Iterator[type[Rule]]:
+        return iter(sorted(self._rules.values(), key=lambda cls: cls.rule_id))
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def get(self, rule_id: str) -> type[Rule] | None:
+        """The rule class registered under ``rule_id``, if any."""
+        return self._rules.get(rule_id)
+
+    def select(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> list[type[Rule]]:
+        """Filtered rule classes (unknown IDs raise ``KeyError``)."""
+        chosen = {cls.rule_id: cls for cls in self}
+        if select is not None:
+            wanted = list(select)
+            for rule_id in wanted:
+                if rule_id not in chosen:
+                    raise KeyError(rule_id)
+            chosen = {rid: chosen[rid] for rid in sorted(wanted)}
+        for rule_id in ignore or ():
+            if rule_id not in self._rules:
+                raise KeyError(rule_id)
+            chosen.pop(rule_id, None)
+        return list(chosen.values())
+
+
+#: The default pack that :func:`register_rule` populates.
+DEFAULT_REGISTRY = RuleRegistry()
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the default pack."""
+    return DEFAULT_REGISTRY.register(rule_cls)
+
+
+@dataclass
+class LintReport:
+    """Everything one engine run produced."""
+
+    violations: list[Violation]
+    files_scanned: int
+    #: Files that could not be parsed, as ``(display_path, error)``.
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Clean run: no violations and every file parsed."""
+        return not self.violations and not self.parse_errors
+
+
+class LintEngine:
+    """Runs a rule pack over source files and applies suppressions.
+
+    ``known_ids`` is the universe of rule IDs a suppression may name
+    without tripping ``LINT003`` — by default the active rules plus the
+    whole default registry, so a ``--select`` subset run does not
+    misreport suppressions of *unselected* (but real) rules as unknown.
+    The unused-suppression check (``LINT001``) still only applies to
+    rules that actually ran.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[type[Rule]] | None = None,
+        known_ids: Iterable[str] | None = None,
+    ):
+        self.rules: list[type[Rule]] = (
+            list(rules) if rules is not None else list(DEFAULT_REGISTRY)
+        )
+        self.known_ids: set[str] = {rule_cls.rule_id for rule_cls in self.rules}
+        self.known_ids.update(
+            known_ids
+            if known_ids is not None
+            else (rule_cls.rule_id for rule_cls in DEFAULT_REGISTRY)
+        )
+
+    # ------------------------------------------------------------------
+    # Per-file
+    # ------------------------------------------------------------------
+    def lint_source(self, source: SourceFile) -> list[Violation]:
+        """All surviving violations (rule findings + meta-diagnostics)."""
+        raw: list[Violation] = []
+        for rule_cls in self.rules:
+            if source.context not in rule_cls.contexts:
+                continue
+            raw.extend(rule_cls(source).check())
+
+        kept: list[Violation] = []
+        for violation in raw:
+            suppression = source.suppressions.get(violation.line)
+            if suppression is not None and suppression.covers(violation.rule_id):
+                suppression.used.add(violation.rule_id)
+            else:
+                kept.append(violation)
+
+        kept.extend(self._meta_diagnostics(source))
+        return sorted(kept)
+
+    def _meta_diagnostics(self, source: SourceFile) -> list[Violation]:
+        """Unused / unjustified / unknown-ID suppression findings."""
+        meta: list[Violation] = []
+        active_ids = {rule_cls.rule_id for rule_cls in self.rules}
+
+        def add(line: int, rule_id: str, message: str) -> None:
+            meta.append(
+                Violation(
+                    path=source.display_path,
+                    line=line,
+                    col=0,
+                    rule_id=rule_id,
+                    message=message,
+                )
+            )
+
+        for suppression in source.suppressions.values():
+            if not suppression.justification:
+                add(
+                    suppression.line,
+                    META_NO_JUSTIFICATION,
+                    "suppression without a justification; append"
+                    " ' -- <why this is safe here>'",
+                )
+            for rule_id in suppression.rule_ids:
+                if rule_id not in self.known_ids:
+                    add(
+                        suppression.line,
+                        META_UNKNOWN_RULE,
+                        f"suppression names unknown rule {rule_id!r}",
+                    )
+                elif rule_id in active_ids and rule_id not in suppression.used:
+                    add(
+                        suppression.line,
+                        META_UNUSED,
+                        f"unused suppression: {rule_id} did not fire on this"
+                        " line; delete it",
+                    )
+        return meta
+
+    # ------------------------------------------------------------------
+    # Many files
+    # ------------------------------------------------------------------
+    def lint_files(
+        self, files: Iterable[tuple[Path, Context]], display: Callable[[Path], str] = str
+    ) -> LintReport:
+        """Lint ``(path, context)`` pairs into one report."""
+        violations: list[Violation] = []
+        parse_errors: list[tuple[str, str]] = []
+        scanned = 0
+        for path, context in files:
+            scanned += 1
+            display_path = display(path)
+            try:
+                source = SourceFile.parse(path, context, display_path=display_path)
+            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+                parse_errors.append((display_path, f"{type(exc).__name__}: {exc}"))
+                continue
+            violations.extend(self.lint_source(source))
+        return LintReport(
+            violations=sorted(violations),
+            files_scanned=scanned,
+            parse_errors=parse_errors,
+        )

@@ -1,0 +1,64 @@
+"""Report rendering for ``repro-lint`` (text and JSON).
+
+Both reporters are pure functions from a :class:`LintReport` to a
+string, so they are trivially golden-testable and the CLI stays a thin
+shell around them.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .framework import LintReport, Rule
+
+__all__ = ["render_text", "render_json", "render_rule_listing"]
+
+
+def render_text(report: LintReport) -> str:
+    """Conventional ``path:line:col: ID message`` lines plus a summary."""
+    lines = [violation.render() for violation in report.violations]
+    for path, error in report.parse_errors:
+        lines.append(f"{path}:1:0: PARSE cannot parse file: {error}")
+    n_violations = len(report.violations) + len(report.parse_errors)
+    if n_violations:
+        lines.append(
+            f"found {n_violations} violation{'s' if n_violations != 1 else ''}"
+            f" in {report.files_scanned} file"
+            f"{'s' if report.files_scanned != 1 else ''}"
+        )
+    else:
+        lines.append(f"ok: {report.files_scanned} files clean")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report (stable key order, one trailing newline)."""
+    payload = {
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "violation_count": len(report.violations),
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in report.parse_errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render_rule_listing(rules: list[type[Rule]]) -> str:
+    """The ``--list-rules`` output: ID, contexts, summary, rationale."""
+    lines = []
+    for rule_cls in rules:
+        contexts = ",".join(sorted(rule_cls.contexts))
+        lines.append(f"{rule_cls.rule_id}  [{contexts}]  {rule_cls.summary}")
+        lines.append(f"    {rule_cls.rationale}")
+    return "\n".join(lines) + "\n"

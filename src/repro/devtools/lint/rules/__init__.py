@@ -1,0 +1,33 @@
+"""The built-in rule pack.
+
+Importing this package registers every rule with the default registry
+(each rule module applies the :func:`~repro.devtools.lint.framework.register_rule`
+decorator at import time).  Rule IDs are grouped by invariant family:
+
+* ``RNG00x`` — RNG discipline (:mod:`.rng`)
+* ``DET00x`` — determinism (:mod:`.determinism`)
+* ``FRK00x`` — fork safety (:mod:`.forksafe`)
+* ``TEL00x`` — telemetry hygiene (:mod:`.telemetry`)
+* ``ERR00x`` — error handling (:mod:`.errors`)
+
+``LINT00x`` meta-diagnostics (unused/unjustified/unknown suppressions)
+are produced by the engine itself, not by pluggable rules.
+"""
+
+from . import determinism, errors, forksafe, rng, telemetry
+from ..framework import DEFAULT_REGISTRY
+
+
+def default_rules() -> list[type]:
+    """The registered rule classes, sorted by rule ID."""
+    return list(DEFAULT_REGISTRY)
+
+
+__all__ = [
+    "default_rules",
+    "determinism",
+    "errors",
+    "forksafe",
+    "rng",
+    "telemetry",
+]

@@ -1,0 +1,134 @@
+"""Determinism rules (``DET0xx``).
+
+Reproducibility dies quietly: an iteration order that depends on hash
+randomisation, or a wall-clock value folded into a result payload,
+changes outputs between runs without any code being "random".  These
+rules catch the two project-relevant shapes statically.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Rule, Violation, register_rule
+
+__all__ = ["SetIterationRule", "WallClockRule"]
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """Whether ``node`` is syntactically set-valued: a set display, a set
+    comprehension, or a direct ``set(...)`` / ``frozenset(...)`` call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register_rule
+class SetIterationRule(Rule):
+    """Iterating a set where order can reach results or RNG draws."""
+
+    rule_id = "DET001"
+    summary = "iteration over an unordered set"
+    rationale = (
+        "Set iteration order depends on hash randomisation; fed into an "
+        "RNG-consuming loop or a result list it makes two identically "
+        "seeded runs diverge. Sort first (``sorted(...)``)."
+    )
+    contexts = frozenset({"src", "tests"})
+
+    _MESSAGE = (
+        "iteration over an unordered set; wrap it in sorted(...) so the"
+        " order is deterministic"
+    )
+
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self.report(node.iter, self._MESSAGE)
+        self.generic_visit(node)
+
+    def _check_comprehension(
+        self, node: ast.ListComp | ast.SetComp | ast.DictComp | ast.GeneratorExp
+    ) -> None:
+        for generator in node.generators:
+            if _is_set_expr(generator.iter):
+                self.report(generator.iter, self._MESSAGE)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list({...}) / tuple(set(...)) materialise the unordered order.
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("list", "tuple")
+            and len(node.args) == 1
+            and _is_set_expr(node.args[0])
+        ):
+            self.report(
+                node,
+                f"{node.func.id}() over an unordered set materialises a"
+                " nondeterministic order; use sorted(...)",
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class WallClockRule(Rule):
+    """Wall-clock reads in library code outside the telemetry layer."""
+
+    rule_id = "DET002"
+    summary = "wall-clock read outside the telemetry layer"
+    rationale = (
+        "Result payloads must be pure functions of (inputs, seed); a "
+        "wall-clock value makes byte-wise artifact comparison impossible. "
+        "Durations belong to time.perf_counter(); absolute timestamps "
+        "belong to telemetry sinks only."
+    )
+    contexts = frozenset({"src"})
+
+    #: ``src/repro/telemetry`` is the sanctioned home for timestamps.
+    _EXEMPT_PART = "telemetry"
+
+    _TIME_FNS = frozenset({"time", "time_ns"})
+    _DATETIME_FNS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+
+    def check(self) -> list[Violation]:
+        if self._EXEMPT_PART in self.source.path.parts:
+            return []
+        return super().check()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = func.value
+            if (
+                func.attr in self._TIME_FNS
+                and isinstance(base, ast.Name)
+                and base.id == "time"
+            ):
+                self.report(
+                    node,
+                    f"time.{func.attr}() is wall-clock; use"
+                    " time.perf_counter() for durations or emit via telemetry",
+                )
+            elif func.attr in self._DATETIME_FNS and self._is_datetime_base(base):
+                self.report(
+                    node,
+                    f"datetime wall-clock call ({func.attr}); absolute"
+                    " timestamps belong in telemetry sinks only",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_datetime_base(node: ast.expr) -> bool:
+        """Matches ``datetime``/``date`` and ``datetime.datetime`` etc."""
+        if isinstance(node, ast.Name):
+            return node.id in ("datetime", "date")
+        return isinstance(node, ast.Attribute) and node.attr in ("datetime", "date")

@@ -1,0 +1,121 @@
+"""Error-handling rules (``ERR0xx``).
+
+A reproduction's failure modes must be *loud*: a swallowed exception in
+a filter round or a platform batch turns a broken run into a subtly
+wrong number in a results table.  These rules ban the quiet shapes.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Rule, register_rule
+
+__all__ = ["BareExceptRule", "SwallowedExceptionRule", "BroadExceptNoReraiseRule"]
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    """The exception class names a handler catches (empty for bare)."""
+    node = handler.type
+    if node is None:
+        return []
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: list[str] = []
+    for elt in elts:
+        if isinstance(elt, ast.Name):
+            names.append(elt.id)
+        elif isinstance(elt, ast.Attribute):
+            names.append(elt.attr)
+    return names
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler catches ``Exception`` or ``BaseException``."""
+    return any(name in ("Exception", "BaseException") for name in _caught_names(handler))
+
+
+def _body_is_silent(body: list[ast.stmt]) -> bool:
+    """Whether the handler body does nothing observable at all."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Pass, ast.Continue)):
+            continue
+        if (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value in (Ellipsis, None)
+        ):
+            continue  # bare `...` or docstring-less constant
+        return False
+    return True
+
+
+@register_rule
+class BareExceptRule(Rule):
+    """``except:`` with no exception class."""
+
+    rule_id = "ERR001"
+    summary = "bare except"
+    rationale = (
+        "A bare except catches KeyboardInterrupt and SystemExit, making "
+        "runs unkillable and hiding interpreter shutdown; name the "
+        "exceptions (at minimum `except Exception`)."
+    )
+    contexts = frozenset({"src", "tests"})
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(
+                node,
+                "bare except catches KeyboardInterrupt/SystemExit too; catch"
+                " Exception (or something narrower)",
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class SwallowedExceptionRule(Rule):
+    """``except Exception: pass`` — an error erased without trace."""
+
+    rule_id = "ERR002"
+    summary = "silently swallowed broad exception"
+    rationale = (
+        "A broad handler whose body is only pass/continue erases the "
+        "failure entirely; at minimum record it (telemetry event, note on "
+        "the result) or narrow the exception class."
+    )
+    contexts = frozenset({"src", "tests"})
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if (node.type is None or _is_broad(node)) and _body_is_silent(node.body):
+            self.report(
+                node,
+                "broad exception silently swallowed; record the failure or"
+                " narrow the except clause",
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class BroadExceptNoReraiseRule(Rule):
+    """Broad handler in library code that never re-raises."""
+
+    rule_id = "ERR003"
+    summary = "broad except without re-raise in library code"
+    rationale = (
+        "Catching Exception and continuing is only legitimate at explicit "
+        "isolation boundaries (e.g. the parallel engine's crash isolation), "
+        "where it must be suppressed with a justification; everywhere else "
+        "the failure must propagate or the clause must narrow."
+    )
+    contexts = frozenset({"src"})
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if _is_broad(node) and not any(
+            isinstance(inner, ast.Raise) for inner in ast.walk(node)
+        ):
+            self.report(
+                node,
+                "broad except never re-raises; narrow it, or suppress with a"
+                " justification if this is a deliberate isolation boundary",
+            )
+        self.generic_visit(node)

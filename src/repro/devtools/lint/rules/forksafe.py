@@ -1,0 +1,181 @@
+"""Fork-safety rules (``FRK0xx``).
+
+:mod:`repro.parallel` fans runs out over a ``ProcessPoolExecutor``.
+Module-level mutable state is the classic way that goes wrong: a value
+mutated in a worker silently diverges from the parent (fork) or is
+reset entirely (spawn), and the "same" run stops being the same.  These
+rules reject the two syntactic shapes that create such state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import Rule, Violation, register_rule
+
+__all__ = ["GlobalStatementRule", "ModuleStateMutationRule"]
+
+
+@register_rule
+class GlobalStatementRule(Rule):
+    """``global`` rebinding inside library functions."""
+
+    rule_id = "FRK001"
+    summary = "global statement in library code"
+    rationale = (
+        "A function that rebinds module globals creates per-process state "
+        "that diverges across pool workers; thread state through "
+        "parameters/returns, or justify the one sanctioned ambient (the "
+        "active tracer)."
+    )
+    contexts = frozenset({"src"})
+
+    def visit_Global(self, node: ast.Global) -> None:
+        names = ", ".join(node.names)
+        self.report(
+            node,
+            f"global {names}: module state mutated from a function is not"
+            " fork-safe; thread it through parameters instead",
+        )
+        self.generic_visit(node)
+
+
+#: Calls that mutate a container in place.
+_MUTATING_METHODS = frozenset(
+    {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "setdefault",
+        "pop",
+        "popitem",
+        "remove",
+        "discard",
+        "clear",
+        "appendleft",
+        "extendleft",
+    }
+)
+
+
+def _module_level_mutables(tree: ast.Module) -> set[str]:
+    """Names bound at module level to mutable container literals/calls."""
+    names: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        literal = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        factories = ("list", "dict", "set", "defaultdict", "deque", "Counter", "OrderedDict")
+        mutable = isinstance(value, literal) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in factories
+        )
+        if not mutable:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _binding_names(target: ast.expr) -> Iterator[str]:
+    """Names a target expression *binds* (rebinding, not mutation).
+
+    Recurses through tuple/list destructuring and ``*rest`` but stops at
+    ``x[k] = ...`` / ``x.attr = ...``: those mutate the object bound to
+    ``x`` without rebinding the name — the exact case FRK002 exists for.
+    """
+    if isinstance(target, ast.Name):
+        yield target.id
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for elt in target.elts:
+            yield from _binding_names(elt)
+    elif isinstance(target, ast.Starred):
+        yield from _binding_names(target.value)
+
+
+def _local_bindings(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    """Names the function binds locally (params + assignments)."""
+    args = func.args
+    params = args.posonlyargs + args.args + args.kwonlyargs
+    params += [a for a in (args.vararg, args.kwarg) if a is not None]
+    bound = {a.arg for a in params}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bound.update(_binding_names(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign, ast.For)):
+            bound.update(_binding_names(node.target))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node is not func:
+            bound.add(node.name)
+    return bound
+
+
+@register_rule
+class ModuleStateMutationRule(Rule):
+    """In-place mutation of a module-level container from a function."""
+
+    rule_id = "FRK002"
+    summary = "module-level mutable state mutated inside a function"
+    rationale = (
+        "A module-level list/dict/set mutated from function bodies (e.g. a "
+        "parallel worker entrypoint) is invisible to the parent process and "
+        "non-reproducible across worker counts; pass state explicitly."
+    )
+    contexts = frozenset({"src"})
+
+    def check(self) -> list[Violation]:
+        module_mutables = _module_level_mutables(self.source.tree)
+        if not module_mutables:
+            return []
+        for node in ast.walk(self.source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            shadowed = _local_bindings(node)
+            candidates = module_mutables - shadowed
+            if not candidates:
+                continue
+            for inner in ast.walk(node):
+                # cache.append(...) / cache.update(...) style mutation.
+                if (
+                    isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr in _MUTATING_METHODS
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id in candidates
+                ):
+                    self.report(
+                        inner,
+                        f"{inner.func.value.id}.{inner.func.attr}(...) mutates"
+                        " module-level state inside a function; not fork-safe",
+                    )
+                # cache[key] = ... / del cache[key] style mutation.
+                elif isinstance(inner, (ast.Assign, ast.AugAssign, ast.Delete)):
+                    targets = (
+                        inner.targets
+                        if isinstance(inner, (ast.Assign, ast.Delete))
+                        else [inner.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Subscript)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id in candidates
+                        ):
+                            self.report(
+                                inner,
+                                f"{target.value.id}[...] assigned inside a"
+                                " function mutates module-level state; not"
+                                " fork-safe",
+                            )
+        return self.violations

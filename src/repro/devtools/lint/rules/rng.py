@@ -1,0 +1,184 @@
+"""RNG-discipline rules (``RNG0xx``).
+
+The whole reproduction rests on one contract: every random draw flows
+from a ``numpy.random.Generator`` that was *threaded in from the
+caller*, ultimately rooted in a seed the experiment records
+(``spawn_run_seeds`` in :mod:`repro.parallel` makes parallel sweeps
+bit-identical for exactly this reason).  These rules reject the ways
+that contract silently breaks.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Rule, register_rule
+
+__all__ = [
+    "NumpyGlobalStateRule",
+    "StdlibRandomRule",
+    "UnseededDefaultRngRule",
+    "LiteralSeedRule",
+]
+
+#: Legacy ``numpy.random`` module-level-state callables.  Everything on
+#: the module that is *not* part of the Generator/SeedSequence API
+#: draws from (or mutates) the hidden global ``RandomState``.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """Whether ``node`` is the expression ``np.random`` / ``numpy.random``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+@register_rule
+class NumpyGlobalStateRule(Rule):
+    """``np.random.<legacy fn>`` uses the hidden global RandomState."""
+
+    rule_id = "RNG001"
+    summary = "call into numpy's global RandomState"
+    rationale = (
+        "Module-level numpy RNG state is shared by everything in the "
+        "process; one call desynchronises every seeded stream and breaks "
+        "the bit-identical parallel-sweep guarantee."
+    )
+    contexts = frozenset({"src", "tests"})
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if _is_np_random(node.value) and node.attr not in _NP_RANDOM_ALLOWED:
+            self.report(
+                node,
+                f"np.random.{node.attr} uses numpy's global RandomState;"
+                " draw from a threaded numpy.random.Generator instead",
+            )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "numpy.random":
+            for alias in node.names:
+                if alias.name not in _NP_RANDOM_ALLOWED:
+                    self.report(
+                        node,
+                        f"from numpy.random import {alias.name} imports a"
+                        " global-RandomState function",
+                    )
+        self.generic_visit(node)
+
+
+@register_rule
+class StdlibRandomRule(Rule):
+    """``import random`` in library code."""
+
+    rule_id = "RNG002"
+    summary = "stdlib random in library code"
+    rationale = (
+        "stdlib random is a second, separately-seeded global stream; "
+        "library randomness must come from the threaded numpy Generator "
+        "so one recorded seed reproduces the whole run."
+    )
+    contexts = frozenset({"src"})
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random" or alias.name.startswith("random."):
+                self.report(
+                    node,
+                    "stdlib random is banned in src/; use the threaded"
+                    " numpy.random.Generator",
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            self.report(
+                node,
+                "stdlib random is banned in src/; use the threaded"
+                " numpy.random.Generator",
+            )
+        self.generic_visit(node)
+
+
+def _is_default_rng_call(node: ast.Call) -> bool:
+    """Whether ``node`` calls ``default_rng`` (bare or dotted)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "default_rng"
+    return isinstance(func, ast.Attribute) and func.attr == "default_rng"
+
+
+def _is_seed_sequence_call(node: ast.Call) -> bool:
+    """Whether ``node`` constructs a ``SeedSequence``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "SeedSequence"
+    return isinstance(func, ast.Attribute) and func.attr == "SeedSequence"
+
+
+@register_rule
+class UnseededDefaultRngRule(Rule):
+    """``default_rng()`` with no arguments seeds from OS entropy."""
+
+    rule_id = "RNG003"
+    summary = "argument-less default_rng() in library code"
+    rationale = (
+        "default_rng() with no seed pulls OS entropy, so no two runs are "
+        "alike and no failure is replayable; library code must accept the "
+        "generator (or seed) from its caller."
+    )
+    contexts = frozenset({"src"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_default_rng_call(node) and not node.args and not node.keywords:
+            self.report(
+                node,
+                "default_rng() without a seed is non-reproducible; accept an"
+                " rng (or seed) parameter instead",
+            )
+        self.generic_visit(node)
+
+
+@register_rule
+class LiteralSeedRule(Rule):
+    """A literal integer seed buried in library code."""
+
+    rule_id = "RNG004"
+    summary = "RNG re-seeded from an inline integer literal"
+    rationale = (
+        "An inline literal seed forks a private stream the experiment "
+        "config cannot see or vary; seeds must be threaded from the caller "
+        "or declared as a named module constant documenting what they pin."
+    )
+    contexts = frozenset({"src"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if _is_default_rng_call(node) or _is_seed_sequence_call(node):
+            first = node.args[0] if node.args else None
+            if (
+                isinstance(first, ast.Constant)
+                and isinstance(first.value, int)
+                and not isinstance(first.value, bool)
+            ):
+                self.report(
+                    node,
+                    f"inline literal seed {first.value}; thread the rng from"
+                    " the caller or name the constant (e.g. CATALOG_SEED)",
+                )
+        self.generic_visit(node)

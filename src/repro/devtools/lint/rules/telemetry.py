@@ -1,0 +1,130 @@
+"""Telemetry-hygiene rules (``TEL0xx``).
+
+The trace schema in ``docs/OBSERVABILITY.md`` is a contract: spans are
+always paired (``span_start``/``span_end``), and every name is declared
+in :mod:`repro.telemetry.names` so replayers, dashboards, and tests can
+match on it.  These rules keep instrumentation honest.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.telemetry import names as _names
+
+from ..framework import Rule, Violation, register_rule
+
+__all__ = ["SpanContextManagerRule", "DeclaredNamesRule"]
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``<something>.span(...)`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "span"
+    )
+
+
+@register_rule
+class SpanContextManagerRule(Rule):
+    """``tracer.span(...)`` used other than as a context manager."""
+
+    rule_id = "TEL001"
+    summary = "span() not used as a context manager"
+    rationale = (
+        "A span not entered via ``with`` never emits its span_end, leaving "
+        "an unpaired span_start that breaks duration accounting and trace "
+        "replay in the parallel engine."
+    )
+    contexts = frozenset({"src", "tests"})
+
+    def check(self) -> list[Violation]:
+        as_context: set[int] = set()
+        for node in ast.walk(self.source.tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _is_span_call(item.context_expr):
+                        as_context.add(id(item.context_expr))
+        for node in ast.walk(self.source.tree):
+            if _is_span_call(node) and id(node) not in as_context:
+                self.report(
+                    node,
+                    "span(...) must be entered with a `with` statement so"
+                    " span_end is always emitted",
+                )
+        return self.violations
+
+
+@register_rule
+class DeclaredNamesRule(Rule):
+    """Literal event/span/counter names must be declared in the registry."""
+
+    rule_id = "TEL002"
+    summary = "undeclared telemetry name"
+    rationale = (
+        "Consumers (trace replay, dashboards, tests) match on names from "
+        "repro.telemetry.names; an undeclared literal silently forks the "
+        "trace schema. Add the name to the registry alongside the emitter."
+    )
+    contexts = frozenset({"src"})
+
+    #: method name -> (registry, registry description)
+    _CHECKS = {
+        "event": (_names.EVENT_KINDS, "EVENT_KINDS"),
+        "span": (_names.SPAN_NAMES, "SPAN_NAMES"),
+        "count": (_names.COUNTER_NAMES, "COUNTER_NAMES"),
+        "counter": (_names.COUNTER_NAMES, "COUNTER_NAMES"),
+        "timer": (_names.COUNTER_NAMES | _names.TIMER_NAMES, "TIMER_NAMES"),
+    }
+
+    #: ``count``/``counter``/``timer`` are common method names on
+    #: unrelated objects (``str.count``!); they are only checked when the
+    #: receiver is recognisably telemetry.  ``event``/``span`` are
+    #: distinctive enough to always check.
+    _RECEIVER_GUARDED = frozenset({"count", "counter", "timer"})
+
+    @staticmethod
+    def _is_telemetry_receiver(node: ast.expr) -> bool:
+        last = node.id if isinstance(node, ast.Name) else getattr(node, "attr", "")
+        last = last.lower()
+        return "tracer" in last or "metrics" in last or "telemetry" in last
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._CHECKS
+            and node.args
+            and (
+                func.attr not in self._RECEIVER_GUARDED
+                or self._is_telemetry_receiver(func.value)
+            )
+        ):
+            registry, registry_name = self._CHECKS[func.attr]
+            for literal in self._literal_candidates(node.args[0]):
+                if literal not in registry:
+                    self.report(
+                        node,
+                        f"{func.attr}({literal!r}): name not declared in"
+                        f" repro.telemetry.names.{registry_name}",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _literal_candidates(node: ast.expr) -> list[str]:
+        """String literals reachable from a name argument.
+
+        Handles the plain literal and the two-branch conditional
+        (``"a" if ok else "b"``).  Dynamic names (variables, f-strings)
+        cannot be checked statically and are deliberately skipped.
+        """
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return [node.value]
+        if isinstance(node, ast.IfExp):
+            found: list[str] = []
+            for branch in (node.body, node.orelse):
+                if isinstance(branch, ast.Constant) and isinstance(branch.value, str):
+                    found.append(branch.value)
+            return found
+        return []

@@ -1,0 +1,61 @@
+"""File discovery for ``repro-lint``: which files, in which context.
+
+The context decides which rules apply: stdlib ``random`` or a literal
+seed is fine in a test, fatal in library code.  A file is ``"tests"``
+context when any directory component is ``tests`` or the filename is
+``test_*.py`` / ``conftest.py``; everything else is ``"src"``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .framework import Context
+
+__all__ = ["classify", "discover"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "build", "dist", ".eggs"})
+
+
+def classify(path: Path) -> Context:
+    """The lint context of ``path`` (see module docstring)."""
+    name = path.name
+    if name == "conftest.py" or name.startswith("test_"):
+        return "tests"
+    if "tests" in path.parts:
+        return "tests"
+    return "src"
+
+
+def _iter_tree(root: Path) -> Iterator[Path]:
+    """Yield ``.py`` files under ``root`` in sorted, stable order."""
+    entries = sorted(root.iterdir(), key=lambda p: p.name)
+    for entry in entries:
+        if entry.is_dir():
+            if entry.name in _SKIP_DIRS or entry.name.startswith("."):
+                continue
+            yield from _iter_tree(entry)
+        elif entry.suffix == ".py":
+            yield entry
+
+
+def discover(paths: Iterable[str | Path]) -> list[tuple[Path, Context]]:
+    """Expand files/directories into ``(file, context)`` pairs.
+
+    Directories are walked recursively; explicit file arguments are
+    taken as-is (even without a ``.py`` suffix).  Missing paths raise
+    ``FileNotFoundError`` — a lint run over nothing is a config bug,
+    not a clean pass.
+    """
+    found: list[tuple[Path, Context]] = []
+    for raw in paths:
+        root = Path(raw)
+        if root.is_dir():
+            found.extend((file, classify(file)) for file in _iter_tree(root))
+        elif root.is_file():
+            found.append((root, classify(root)))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+    return found

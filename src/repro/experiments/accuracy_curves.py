@@ -19,7 +19,7 @@ import math
 
 import numpy as np
 
-from ..datasets.cars import cars_catalog
+from ..datasets.cars import CATALOG_SEED, cars_catalog
 from ..datasets.dots import DOTS_FULL_RANGE, dots_counts
 from ..workers.base import WorkerModel
 from ..workers.calibrated import CalibratedCarsWorkerModel, make_dots_worker
@@ -166,7 +166,7 @@ def run_figure2_cars(
     model: CalibratedCarsWorkerModel | None = None,
 ) -> FigureResult:
     """Reproduce Figure 2(b): CARS accuracy vs. number of workers."""
-    catalog = cars_catalog(rng=np.random.default_rng(2013))
+    catalog = cars_catalog(rng=np.random.default_rng(CATALOG_SEED))
     prices = np.asarray([car.price for car in catalog], dtype=np.float64)
     model = model if model is not None else CalibratedCarsWorkerModel(seed=11)
     ks, series = _accuracy_curves(prices, model, CARS_BUCKETS, n_pairs, max_workers, rng)

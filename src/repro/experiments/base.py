@@ -62,11 +62,11 @@ class FigureResult:
     figure_id: str
     title: str
     x_label: str
-    x_values: list
+    x_values: list[float | int]
     series: dict[str, list] = field(default_factory=dict)
     notes: list[str] = field(default_factory=list)
 
-    def add_series(self, name: str, values: list) -> None:
+    def add_series(self, name: str, values: list[float | int]) -> None:
         """Attach one named curve (must align with ``x_values``)."""
         if len(values) != len(self.x_values):
             raise ValueError(
@@ -107,7 +107,7 @@ class TableResult:
     rows: list[list] = field(default_factory=list)
     notes: list[str] = field(default_factory=list)
 
-    def add_row(self, row: list) -> None:
+    def add_row(self, row: list[object]) -> None:
         """Append one row (must align with ``headers``)."""
         if len(row) != len(self.headers):
             raise ValueError(

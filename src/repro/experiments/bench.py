@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
+from typing import Any, Callable, TypeVar
 
 import numpy as np
 
@@ -38,6 +39,8 @@ __all__ = [
 #: Schema tag stamped into every BENCH_sweep.json payload.
 BENCH_SCHEMA = "repro.bench_sweep/v1"
 
+T = TypeVar("T")
+
 
 def sweep_comparison_total(data: SweepData) -> int:
     """Total crowd comparisons simulated across all trial runs."""
@@ -56,7 +59,7 @@ def estimation_comparison_total(data: EstimationData) -> int:
     )
 
 
-def _sweep_fingerprint(data: SweepData) -> tuple:
+def _sweep_fingerprint(data: SweepData) -> tuple[object, ...]:
     """Everything measured, as one comparable value (bit-identity check)."""
     return tuple(
         (
@@ -75,7 +78,7 @@ def _sweep_fingerprint(data: SweepData) -> tuple:
     )
 
 
-def _estimation_fingerprint(data: EstimationData) -> tuple:
+def _estimation_fingerprint(data: EstimationData) -> tuple[object, ...]:
     return tuple(
         (
             key,
@@ -88,7 +91,7 @@ def _estimation_fingerprint(data: EstimationData) -> tuple:
     )
 
 
-def _timed(fn) -> tuple[float, object]:
+def _timed(fn: Callable[[], T]) -> tuple[float, T]:
     start = time.perf_counter()
     value = fn()
     return time.perf_counter() - start, value
@@ -99,7 +102,7 @@ def run_bench_comparison(
     sweep_config: SweepConfig | None = None,
     estimation_config: EstimationConfig | None = None,
     jobs: int | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Time each sweep serially and in parallel; return the payload.
 
     ``jobs=None`` picks ``max(2, cpu_count)`` so the pool path is
@@ -112,12 +115,15 @@ def run_bench_comparison(
     if jobs is None or jobs <= 0:
         jobs = max(2, os.cpu_count() or 1)
 
-    payload: dict = {
+    # Provenance stamp on the artifact; baseline comparison reads the
+    # timing fields, never this, so the payload stays seed-comparable.
+    generated_unix = round(time.time(), 3)  # repro-lint: disable=DET002 -- provenance stamp only
+    payload: dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "seed": seed,
         "jobs": jobs,
         "cpu_count": os.cpu_count() or 1,
-        "generated_unix": round(time.time(), 3),
+        "generated_unix": generated_unix,
         "sweeps": {},
     }
 
@@ -172,8 +178,13 @@ def run_bench_comparison(
 
 
 def _section(
-    *, grid: dict, comparisons: int, serial_s: float, parallel_s: float, identical: bool
-) -> dict:
+    *,
+    grid: dict[str, Any],
+    comparisons: int,
+    serial_s: float,
+    parallel_s: float,
+    identical: bool,
+) -> dict[str, Any]:
     return {
         "grid": grid,
         "comparisons": comparisons,
@@ -190,7 +201,7 @@ def _section(
     }
 
 
-def bench_table(payload: dict) -> TableResult:
+def bench_table(payload: dict[str, Any]) -> TableResult:
     """Render a BENCH_sweep payload as the speedup table the CLI prints."""
     table = TableResult(
         table_id="bench-sweep",
@@ -229,6 +240,6 @@ def bench_table(payload: dict) -> TableResult:
     return table
 
 
-def write_bench_json(payload: dict, path: str | Path) -> Path:
+def write_bench_json(payload: dict[str, Any], path: str | Path) -> Path:
     """Persist the baseline atomically (safe under concurrent shards)."""
     return write_json_atomic(path, payload)

@@ -31,7 +31,7 @@ from ..core.instance import ProblemInstance
 from ..core.oracle import ComparisonOracle
 from ..core.tournament import play_all_play_all
 from ..core.two_maxfind import two_maxfind
-from ..datasets.cars import cars_instance
+from ..datasets.cars import CATALOG_SEED, cars_instance
 from ..datasets.dots import DOTS_GOLDEN_RANGE, dots_counts, dots_instance
 from ..datasets.search import SEARCH_QUERIES, search_instance
 from ..platform.accounting import CostLedger
@@ -183,7 +183,7 @@ def run_table1_dots(
     )
     for element in instance.top_indices(top_k):
         dots = instance.payload(int(element)).dot_count
-        row: list = [dots]
+        row: list[object] = [dots]
         for run in runs:
             position = run.position_of(int(element))
             row.append(position if position is not None else "-")
@@ -218,7 +218,7 @@ def run_table2_cars(
     experiment's point, that simulated experts cannot separate the
     cluster, needs it present.
     """
-    catalog = cars_instance(rng=np.random.default_rng(2013))
+    catalog = cars_instance(rng=np.random.default_rng(CATALOG_SEED))
     pinned = [int(e) for e in catalog.top_indices(5)]
     remaining = sorted(set(range(catalog.n)) - set(pinned))
     extra = rng.choice(len(remaining), size=n_sample - len(pinned), replace=False)
@@ -246,7 +246,7 @@ def run_table2_cars(
     )
     for element in instance.top_indices(top_k):
         record = instance.payload(int(element))
-        row: list = [record.label, record.price]
+        row: list[object] = [record.label, record.price]
         for run in runs:
             position = run.position_of(int(element))
             row.append(position if position is not None else "-")
@@ -282,7 +282,7 @@ def run_repeated_two_maxfind(
         instance = dots_instance(n_items)
         model: WorkerModel = make_dots_worker()
     elif dataset == "cars":
-        catalog = cars_instance(rng=np.random.default_rng(2013))
+        catalog = cars_instance(rng=np.random.default_rng(CATALOG_SEED))
         chosen = rng.choice(catalog.n, size=n_items, replace=False)
         if catalog.max_index not in chosen:
             chosen[0] = catalog.max_index

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.filter_phase import filter_candidates
 from ..core.generators import planted_instance, uniform_instance
+from ..core.instance import ProblemInstance
 from ..core.oracle import ComparisonOracle
 from ..core.tournament import all_pairs
 from ..core.two_maxfind import two_maxfind
@@ -48,7 +49,14 @@ class _RosterModel(WorkerModel):
         self.models = models
         self.is_expert = is_expert
 
-    def decide(self, values_i, values_j, rng, indices_i=None, indices_j=None):
+    def decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
         out = np.empty(len(values_i), dtype=bool)
         picks = rng.integers(0, len(self.models), size=len(values_i))
         for pos in range(len(values_i)):
@@ -64,7 +72,11 @@ class _RosterModel(WorkerModel):
 
 
 def _pipeline_rank(
-    instance, naive_model, expert_model, u_n, rng
+    instance: ProblemInstance,
+    naive_model: WorkerModel,
+    expert_model: WorkerModel,
+    u_n: int,
+    rng: np.random.Generator,
 ) -> int:
     naive_oracle = ComparisonOracle(instance, naive_model, rng)
     survivors = filter_candidates(naive_oracle, u_n=u_n).survivors

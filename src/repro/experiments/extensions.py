@@ -90,7 +90,9 @@ def run_cascade_experiment(
 
     for name, samples in rows.items():
         arr = np.asarray(samples, dtype=np.float64)
-        table.add_row([name, float(arr[:, 0].mean()), float(arr[:, 1].mean()), float(arr[:, 2].mean())])
+        table.add_row(
+            [name, float(arr[:, 0].mean()), float(arr[:, 1].mean()), float(arr[:, 2].mean())]
+        )
     table.notes.append(
         "the cascade shields the expensive class: its expert comparisons "
         "depend only on the finest u, not on n"

@@ -36,7 +36,7 @@ def write_text_atomic(path: str | Path, text: str) -> Path:
     return path
 
 
-def write_json_atomic(path: str | Path, payload) -> Path:
+def write_json_atomic(path: str | Path, payload: object) -> Path:
     """Serialise ``payload`` as pretty JSON and write it atomically."""
     return write_text_atomic(
         path, json.dumps(payload, indent=2, sort_keys=True) + "\n"

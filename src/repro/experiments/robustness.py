@@ -22,6 +22,8 @@ presentation":
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from ..core.generators import planted_instance
@@ -188,7 +190,7 @@ def _fault_trial(
     u_e: int,
     plan: FaultPlan,
     retry: RetryPolicy,
-) -> dict:
+) -> dict[str, Any]:
     """One independent (abandon rate, trial) run of the two-phase job."""
     instance = planted_instance(
         n=n, u_n=u_n, u_e=u_e, delta_n=1.0, delta_e=0.25, rng=rng

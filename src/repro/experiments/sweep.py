@@ -20,6 +20,7 @@ Figures 3, 4, 5 and 9 are views over one :class:`SweepData`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -137,7 +138,7 @@ def _measure_adversarial_two_maxfind(
     return worst
 
 
-def _sweep_trial(rng: np.random.Generator, *, n: int, config: SweepConfig) -> dict:
+def _sweep_trial(rng: np.random.Generator, *, n: int, config: SweepConfig) -> dict[str, Any]:
     """One independent (n, trial) run: the three competitors on one instance."""
     naive, expert = make_worker_classes(
         delta_n=config.delta_n, delta_e=config.delta_e
@@ -183,7 +184,7 @@ _TRIAL_FIELDS = (
 
 def _sweep_worst_case(
     rng: np.random.Generator, *, n: int, config: SweepConfig
-) -> dict:
+) -> dict[str, Any]:
     """One independent per-n run measuring both adversarial worst cases."""
     return {
         "tmf_naive_wc": _measure_adversarial_two_maxfind(

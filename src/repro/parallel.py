@@ -73,7 +73,7 @@ class RunSpec:
     index: int
     fn: Callable[..., Any]
     seed: np.random.SeedSequence
-    params: dict = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
     label: str = ""
 
 
@@ -152,7 +152,13 @@ def _run_one(spec: RunSpec, run_tracer: Tracer) -> RunResult:
         with use_tracer(run_tracer):
             value = spec.fn(rng, **spec.params)
         ok, error = True, None
-    except Exception as exc:  # crash isolation: never kill the grid
+    except (KeyboardInterrupt, SystemExit):
+        # Interpreter-level interrupts must stop the whole sweep, not be
+        # folded into a RunResult like an ordinary run failure.
+        raise
+    # A failed run becomes RunResult(ok=False); the rest of the grid
+    # must still complete — this is the engine's crash-isolation boundary.
+    except Exception as exc:  # repro-lint: disable=ERR003 -- crash isolation; grid completes
         value = None
         ok = False
         error = RunError(

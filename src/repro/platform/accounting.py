@@ -117,5 +117,7 @@ class CostLedger:
                 f"  {label:<16} {entry.operations:>10d} ops  "
                 f"{entry.money:>12.2f} money"
             )
-        lines.append(f"  {'TOTAL':<16} {self.operations():>10d} ops  {self.total_cost:>12.2f} money")
+        lines.append(
+            f"  {'TOTAL':<16} {self.operations():>10d} ops  {self.total_cost:>12.2f} money"
+        )
         return "\n".join(lines)

@@ -81,7 +81,7 @@ class GoldPolicy:
         rng: np.random.Generator,
         n_pairs: int = 30,
         min_relative_difference: float = 0.0,
-        **kwargs,
+        **kwargs: object,
     ) -> "GoldPolicy":
         """Build a gold bank by sampling distinct-value pairs.
 

@@ -8,6 +8,15 @@ call site falls back to.  See ``docs/OBSERVABILITY.md``.
 """
 
 from .metrics import Counter, MetricsRegistry, Timer
+from .names import (
+    COUNTER_NAMES,
+    EVENT_KINDS,
+    SPAN_NAMES,
+    TIMER_NAMES,
+    is_declared_counter,
+    is_declared_event,
+    is_declared_span,
+)
 from .tracer import (
     NULL_TRACER,
     JsonlSink,
@@ -21,15 +30,22 @@ from .tracer import (
 )
 
 __all__ = [
+    "COUNTER_NAMES",
     "Counter",
+    "EVENT_KINDS",
     "JsonlSink",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "SPAN_NAMES",
+    "TIMER_NAMES",
     "Timer",
     "TraceSink",
     "Tracer",
     "get_active_tracer",
+    "is_declared_counter",
+    "is_declared_event",
+    "is_declared_span",
     "resolve_tracer",
     "set_active_tracer",
     "use_tracer",

@@ -13,7 +13,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 __all__ = ["Counter", "Timer", "MetricsRegistry"]
 
@@ -93,7 +93,7 @@ class MetricsRegistry:
             timer = self.timers[name] = Timer(name)
         return timer
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, Any]:
         """Plain-dict view: counter values and timer totals by name."""
         return {
             "counters": {name: c.value for name, c in sorted(self.counters.items())},

@@ -1,0 +1,99 @@
+"""The declared registry of telemetry names.
+
+Every event kind, span name, and counter the library emits is declared
+here, in one place, for two reasons:
+
+* **Contract** — downstream consumers (the trace replayer in
+  :mod:`repro.parallel`, dashboards, tests asserting on traces) match
+  on these strings; an undeclared name is a silent schema fork.
+* **Statically checkable** — the ``TEL002`` rule of ``repro-lint``
+  (see ``docs/STATIC_ANALYSIS.md``) verifies that every *literal* name
+  passed to ``tracer.event(...)`` / ``tracer.span(...)`` /
+  ``tracer.count(...)`` in ``src/`` appears in this registry, so adding
+  an instrumentation point forces the declaration to stay current.
+
+Names are dotted-lowercase (counters/spans) or snake_case (event
+kinds).  Timer names are derived, not declared: every span ``name``
+feeds a ``<name>.duration`` timer (see :meth:`repro.telemetry.Tracer.span`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EVENT_KINDS",
+    "SPAN_NAMES",
+    "COUNTER_NAMES",
+    "TIMER_NAMES",
+    "is_declared_event",
+    "is_declared_span",
+    "is_declared_counter",
+]
+
+#: Point-in-time record kinds emitted via ``tracer.event(kind, ...)``.
+#: ``span_start`` / ``span_end`` are emitted by the tracer itself.
+EVENT_KINDS: frozenset[str] = frozenset(
+    {
+        "span_start",
+        "span_end",
+        # pipeline / oracle
+        "oracle_batch",
+        "filter_round",
+        "maxfind_result",
+        "randomized_round",
+        "two_maxfind_round",
+        # platform / reliability
+        "platform_batch",
+        "ledger_charge",
+        "fault_injected",
+        "task_retry",
+        "batch_degraded",
+        "budget_breach",
+        # parallel engine
+        "run_completed",
+        "run_failed",
+        # CLI
+        "cli_start",
+    }
+)
+
+#: Named stretches of work bracketed via ``with tracer.span(name, ...)``.
+SPAN_NAMES: frozenset[str] = frozenset(
+    {
+        "cli",
+        "maxfind",
+        "phase1",
+        "phase2",
+        "filter",
+        "two_maxfind",
+        "randomized_maxfind",
+        "job.max",
+        "job.topk",
+        "parallel_run",
+    }
+)
+
+#: Aggregate counters bumped via ``tracer.count(name)``.
+COUNTER_NAMES: frozenset[str] = frozenset(
+    {
+        "parallel.runs_completed",
+        "parallel.runs_failed",
+    }
+)
+
+#: Derived timer names: one ``<span>.duration`` timer per declared span.
+TIMER_NAMES: frozenset[str] = frozenset(f"{name}.duration" for name in SPAN_NAMES)
+
+
+def is_declared_event(kind: str) -> bool:
+    """Whether ``kind`` is a declared event kind."""
+    return kind in EVENT_KINDS
+
+
+def is_declared_span(name: str) -> bool:
+    """Whether ``name`` is a declared span name."""
+    return name in SPAN_NAMES
+
+
+def is_declared_counter(name: str) -> bool:
+    """Whether ``name`` is a declared counter (or derived timer) name."""
+    return name in COUNTER_NAMES or name in TIMER_NAMES

@@ -34,7 +34,8 @@ import json
 import time
 from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Iterator, Protocol
+from types import TracebackType
+from typing import IO, Any, Iterator, Protocol
 
 from .metrics import MetricsRegistry
 
@@ -54,7 +55,7 @@ __all__ = [
 class TraceSink(Protocol):
     """Anywhere trace records can go (a file, a socket, a list)."""
 
-    def write(self, record: dict) -> None:
+    def write(self, record: dict[str, Any]) -> None:
         """Persist one record."""
         ...
 
@@ -77,7 +78,7 @@ class JsonlSink:
         self._fh: IO[str] | None = None
         self.records_written = 0
 
-    def write(self, record: dict) -> None:
+    def write(self, record: dict[str, Any]) -> None:
         """Append one record as a JSON line (opens the file lazily)."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -95,7 +96,12 @@ class JsonlSink:
     def __enter__(self) -> "JsonlSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
         self.close()
 
 
@@ -121,7 +127,7 @@ class Tracer:
     def __init__(self, sink: TraceSink | None = None, buffer: bool | None = None):
         self.sink = sink
         self._buffer = buffer if buffer is not None else (sink is None)
-        self.records: list[dict] = []
+        self.records: list[dict[str, Any]] = []
         self.metrics = MetricsRegistry()
         self._seq = 0
         self._t0 = time.perf_counter()
@@ -129,9 +135,9 @@ class Tracer:
     # ------------------------------------------------------------------
     # Emission
     # ------------------------------------------------------------------
-    def event(self, kind: str, **fields) -> None:
+    def event(self, kind: str, **fields: Any) -> None:
         """Emit one point-in-time record of the given ``kind``."""
-        record = {
+        record: dict[str, Any] = {
             "kind": kind,
             "seq": self._seq,
             "t": round(time.perf_counter() - self._t0, 9),
@@ -144,7 +150,7 @@ class Tracer:
             self.sink.write(record)
 
     @contextmanager
-    def span(self, name: str, **fields) -> Iterator[None]:
+    def span(self, name: str, **fields: Any) -> Iterator[None]:
         """Bracket the enclosed block in ``span_start``/``span_end``.
 
         The ``span_end`` record carries ``duration_s`` and an ``ok``
@@ -192,7 +198,7 @@ class Tracer:
                 fh.write("\n")
         return target
 
-    def records_of_kind(self, kind: str) -> list[dict]:
+    def records_of_kind(self, kind: str) -> list[dict[str, Any]]:
         """The buffered records whose ``kind`` matches."""
         return [r for r in self.records if r["kind"] == kind]
 
@@ -211,14 +217,14 @@ class NullTracer(Tracer):
 
     enabled = False
 
-    def __init__(self):
+    def __init__(self) -> None:
         super().__init__(sink=None, buffer=False)
 
-    def event(self, kind: str, **fields) -> None:  # noqa: D102 - inherited
+    def event(self, kind: str, **fields: Any) -> None:  # noqa: D102 - inherited
         pass
 
     @contextmanager
-    def span(self, name: str, **fields) -> Iterator[None]:  # noqa: D102
+    def span(self, name: str, **fields: Any) -> Iterator[None]:  # noqa: D102
         yield
 
     def count(self, name: str, amount: int = 1) -> None:  # noqa: D102
@@ -247,7 +253,9 @@ def set_active_tracer(tracer: Tracer | None) -> None:
     pipeline constructed afterwards — the hook the CLI's ``--trace``
     and the experiment harness use.
     """
-    global _active
+    # The one sanctioned ambient: process-local by design and scoped via
+    # use_tracer(); parallel workers build their own tracer per shard.
+    global _active  # repro-lint: disable=FRK001 -- sanctioned ambient, scoped by use_tracer()
     _active = tracer if tracer is not None else NULL_TRACER
 
 

@@ -61,7 +61,10 @@ def sample_threshold_workers(
     if n_workers < 1:
         raise ValueError("n_workers must be at least 1")
     if delta_sampler is None:
-        delta_sampler = lambda r: float(r.lognormal(mean=0.0, sigma=0.75))
+
+        def delta_sampler(r: np.random.Generator) -> float:
+            return float(r.lognormal(mean=0.0, sigma=0.75))
+
     workers = []
     for _ in range(n_workers):
         delta = float(delta_sampler(rng))

@@ -1,6 +1,5 @@
 """Tests for the repro-experiments command-line interface."""
 
-import numpy as np
 import pytest
 
 from repro.cli import QUICK_NS, build_parser, main

@@ -1,6 +1,5 @@
 """Tests for repro.core.cascade (multi-class worker hierarchies)."""
 
-import numpy as np
 import pytest
 
 from repro.core.cascade import CascadeMaxFinder

@@ -8,7 +8,6 @@ from repro.core.topk import find_top_k
 from repro.platform.accounting import CostLedger
 from repro.workers.base import PerfectWorkerModel
 from repro.workers.expert import WorkerClass, make_worker_classes
-from repro.workers.threshold import ThresholdWorkerModel
 
 
 def perfect_classes():

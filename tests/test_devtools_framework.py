@@ -1,0 +1,209 @@
+"""Framework-level tests for ``repro.devtools.lint``.
+
+Covers the machinery itself — suppression parsing, the meta-diagnostics
+(LINT001/002/003), the registry, the walker — independent of any
+specific rule's semantics (those live in ``test_devtools_rules.py``).
+"""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.framework import (
+    LintEngine,
+    Rule,
+    RuleRegistry,
+    SourceFile,
+    Violation,
+)
+from repro.devtools.lint.walker import classify, discover
+
+
+class FlagEveryCall(Rule):
+    """Test double: one violation per function call."""
+
+    rule_id = "TST001"
+    summary = "a call"
+    rationale = "test rule"
+    contexts = frozenset({"src", "tests"})
+
+    def visit_Call(self, node):
+        self.report(node)
+        self.generic_visit(node)
+
+
+class SrcOnlyRule(FlagEveryCall):
+    rule_id = "TST002"
+    contexts = frozenset({"src"})
+
+
+def lint(code, context="src", rules=(FlagEveryCall,)):
+    engine = LintEngine(rules=list(rules))
+    return engine.lint_source(
+        SourceFile.from_text(textwrap.dedent(code), context=context)
+    )
+
+
+class TestSuppressionParsing:
+    def test_basic_suppression_with_justification(self):
+        source = SourceFile.from_text(
+            "x = f()  # repro-lint: disable=TST001 -- known fixture\n"
+        )
+        assert list(source.suppressions) == [1]
+        supp = source.suppressions[1]
+        assert supp.rule_ids == ("TST001",)
+        assert supp.justification == "known fixture"
+        assert supp.covers("TST001")
+        assert not supp.covers("TST999")
+
+    def test_multiple_ids_one_comment(self):
+        source = SourceFile.from_text(
+            "x = f()  # repro-lint: disable=TST001, TST002 -- both known\n"
+        )
+        assert source.suppressions[1].rule_ids == ("TST001", "TST002")
+
+    def test_suppression_inside_string_literal_is_inert(self):
+        # The linter's own fixtures embed suppressed snippets as strings;
+        # tokenising (not line-regexing) keeps those from being parsed.
+        source = SourceFile.from_text(
+            's = "x = f()  # repro-lint: disable=TST001 -- nope"\n'
+        )
+        assert source.suppressions == {}
+
+    def test_unrelated_comments_ignored(self):
+        source = SourceFile.from_text("x = f()  # TODO: tidy this\n")
+        assert source.suppressions == {}
+
+
+class TestEngineSuppressions:
+    def test_violation_reported_without_suppression(self):
+        violations = lint("x = f()\n")
+        assert [v.rule_id for v in violations] == ["TST001"]
+        assert violations[0].line == 1
+
+    def test_same_line_suppression_silences(self):
+        violations = lint("x = f()  # repro-lint: disable=TST001 -- fixture\n")
+        assert violations == []
+
+    def test_suppression_on_other_line_does_not_apply(self):
+        violations = lint(
+            """\
+            # repro-lint: disable=TST001 -- wrong line
+            x = f()
+            """
+        )
+        ids = [v.rule_id for v in violations]
+        assert "TST001" in ids  # the call still fires
+        assert "LINT001" in ids  # and the stranded suppression is unused
+
+    def test_unused_suppression_is_lint001(self):
+        violations = lint("x = 1  # repro-lint: disable=TST001 -- nothing here\n")
+        assert [v.rule_id for v in violations] == ["LINT001"]
+
+    def test_missing_justification_is_lint002(self):
+        violations = lint("x = f()  # repro-lint: disable=TST001\n")
+        assert [v.rule_id for v in violations] == ["LINT002"]
+
+    def test_unknown_rule_id_is_lint003(self):
+        violations = lint("x = f()  # repro-lint: disable=ZZZ999 -- what\n")
+        ids = sorted(v.rule_id for v in violations)
+        # The call is NOT silenced (the suppression names the wrong rule).
+        assert ids == ["LINT003", "TST001"]
+
+    def test_context_gating(self):
+        assert lint("x = f()\n", context="tests", rules=[SrcOnlyRule]) == []
+        assert len(lint("x = f()\n", context="src", rules=[SrcOnlyRule])) == 1
+
+
+class TestRegistry:
+    def test_register_and_iterate_sorted(self):
+        registry = RuleRegistry()
+        registry.register(SrcOnlyRule)
+        registry.register(FlagEveryCall)
+        assert [cls.rule_id for cls in registry] == ["TST001", "TST002"]
+        assert len(registry) == 2
+        assert "TST001" in registry
+        assert registry.get("TST002") is SrcOnlyRule
+
+    def test_duplicate_id_rejected(self):
+        registry = RuleRegistry()
+        registry.register(FlagEveryCall)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(FlagEveryCall)
+
+    def test_select_and_ignore(self):
+        registry = RuleRegistry()
+        registry.register(FlagEveryCall)
+        registry.register(SrcOnlyRule)
+        assert registry.select(select=["TST002"]) == [SrcOnlyRule]
+        assert registry.select(ignore=["TST002"]) == [FlagEveryCall]
+
+    def test_unknown_id_raises_keyerror(self):
+        registry = RuleRegistry()
+        registry.register(FlagEveryCall)
+        with pytest.raises(KeyError):
+            registry.select(select=["NOPE01"])
+        with pytest.raises(KeyError):
+            registry.select(ignore=["NOPE01"])
+
+
+class TestViolation:
+    def test_render_format(self):
+        v = Violation(path="src/a.py", line=3, col=4, rule_id="TST001", message="boom")
+        assert v.render() == "src/a.py:3:4: TST001 boom"
+
+    def test_ordering_is_positional(self):
+        a = Violation("a.py", 2, 0, "TST001", "x")
+        b = Violation("a.py", 10, 0, "TST001", "x")
+        c = Violation("b.py", 1, 0, "TST001", "x")
+        assert sorted([c, b, a]) == [a, b, c]
+
+
+class TestWalker:
+    def test_classify(self):
+        assert classify(Path("src/repro/core/maxfinder.py")) == "src"
+        assert classify(Path("tests/test_core.py")) == "tests"
+        assert classify(Path("pkg/tests/helpers.py")) == "tests"
+        assert classify(Path("src/conftest.py")) == "tests"
+        assert classify(Path("test_adhoc.py")) == "tests"
+
+    def test_discover_walks_and_skips(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+        found = discover([tmp_path])
+        assert [(p.name, ctx) for p, ctx in found] == [("mod.py", "src")]
+
+    def test_discover_missing_path_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            discover([tmp_path / "does-not-exist"])
+
+    def test_discover_explicit_file(self, tmp_path):
+        target = tmp_path / "test_thing.py"
+        target.write_text("x = 1\n")
+        assert discover([target]) == [(target, "tests")]
+
+
+class TestLintFiles:
+    def test_parse_error_captured_not_raised(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        engine = LintEngine(rules=[FlagEveryCall])
+        report = engine.lint_files([(good, "src"), (bad, "src")])
+        assert report.files_scanned == 2
+        assert not report.ok
+        assert len(report.parse_errors) == 1
+        assert report.parse_errors[0][0] == str(bad)
+        assert "SyntaxError" in report.parse_errors[0][1]
+
+    def test_clean_report_is_ok(self, tmp_path):
+        good = tmp_path / "good.py"
+        good.write_text("x = 1\n")
+        report = LintEngine(rules=[FlagEveryCall]).lint_files([(good, "src")])
+        assert report.ok
+        assert report.violations == []

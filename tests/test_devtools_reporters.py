@@ -1,0 +1,118 @@
+"""Golden-output tests for the ``repro-lint`` reporters.
+
+The reporters are pure ``LintReport -> str`` functions; these tests pin
+their exact output so the CLI contract (parsed by CI annotations and
+editors) cannot drift silently.
+"""
+
+import json
+
+from repro.devtools import default_rules
+from repro.devtools.lint.framework import LintReport, Violation
+from repro.devtools.lint.reporters import (
+    render_json,
+    render_rule_listing,
+    render_text,
+)
+
+
+def sample_report():
+    return LintReport(
+        violations=[
+            Violation(
+                path="src/repro/a.py",
+                line=3,
+                col=4,
+                rule_id="RNG001",
+                message="call into numpy's global RandomState",
+            ),
+            Violation(
+                path="src/repro/b.py",
+                line=10,
+                col=0,
+                rule_id="ERR003",
+                message="broad except never re-raises",
+            ),
+        ],
+        files_scanned=5,
+        parse_errors=[("src/repro/c.py", "SyntaxError: invalid syntax (c.py, line 2)")],
+    )
+
+
+class TestTextReporter:
+    def test_golden_with_violations(self):
+        expected = (
+            "src/repro/a.py:3:4: RNG001 call into numpy's global RandomState\n"
+            "src/repro/b.py:10:0: ERR003 broad except never re-raises\n"
+            "src/repro/c.py:1:0: PARSE cannot parse file:"
+            " SyntaxError: invalid syntax (c.py, line 2)\n"
+            "found 3 violations in 5 files\n"
+        )
+        assert render_text(sample_report()) == expected
+
+    def test_golden_clean(self):
+        report = LintReport(violations=[], files_scanned=160)
+        assert render_text(report) == "ok: 160 files clean\n"
+
+    def test_singular_forms(self):
+        report = LintReport(
+            violations=[Violation("a.py", 1, 0, "DET001", "msg")],
+            files_scanned=1,
+        )
+        assert render_text(report) == (
+            "a.py:1:0: DET001 msg\n" "found 1 violation in 1 file\n"
+        )
+
+
+class TestJsonReporter:
+    def test_golden_payload(self):
+        payload = json.loads(render_json(sample_report()))
+        assert payload == {
+            "ok": False,
+            "files_scanned": 5,
+            "violation_count": 2,
+            "violations": [
+                {
+                    "path": "src/repro/a.py",
+                    "line": 3,
+                    "col": 4,
+                    "rule": "RNG001",
+                    "message": "call into numpy's global RandomState",
+                },
+                {
+                    "path": "src/repro/b.py",
+                    "line": 10,
+                    "col": 0,
+                    "rule": "ERR003",
+                    "message": "broad except never re-raises",
+                },
+            ],
+            "parse_errors": [
+                {
+                    "path": "src/repro/c.py",
+                    "error": "SyntaxError: invalid syntax (c.py, line 2)",
+                }
+            ],
+        }
+
+    def test_output_is_stable(self):
+        # sort_keys + fixed indent: byte-identical across runs.
+        assert render_json(sample_report()) == render_json(sample_report())
+        assert render_json(sample_report()).endswith("\n")
+
+    def test_clean_report_ok_true(self):
+        payload = json.loads(render_json(LintReport(violations=[], files_scanned=2)))
+        assert payload["ok"] is True
+        assert payload["violations"] == []
+        assert payload["parse_errors"] == []
+
+
+class TestRuleListing:
+    def test_lists_every_rule_with_contexts(self):
+        listing = render_rule_listing(default_rules())
+        for cls in default_rules():
+            assert cls.rule_id in listing
+            assert cls.summary in listing
+        # Context tags are rendered for scoping visibility.
+        assert "[src]" in listing
+        assert "[src,tests]" in listing

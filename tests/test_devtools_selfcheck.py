@@ -1,0 +1,112 @@
+"""Self-application: the repository must pass its own linter.
+
+This is the contract CI enforces — ``repro-lint src tests`` exits 0 —
+plus CLI-surface checks (exit codes, ``--list-rules``, JSON mode) and
+optional ruff/mypy runs that skip when the tools are not installed
+(the offline test environment ships neither; the CI ``lint`` job does).
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+TESTS = REPO_ROOT / "tests"
+
+
+class TestSelfCheck:
+    def test_repository_lints_clean(self, capsys):
+        """The gate: the linter applied to its own repository is clean."""
+        exit_code = main([str(SRC), str(TESTS)])
+        out = capsys.readouterr().out
+        assert exit_code == 0, f"repro-lint found violations:\n{out}"
+        assert "ok:" in out
+        assert "files clean" in out
+
+    def test_json_self_check(self, capsys):
+        exit_code = main([str(SRC), str(TESTS), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert exit_code == 0
+        assert payload["ok"] is True
+        assert payload["violation_count"] == 0
+        assert payload["files_scanned"] > 100  # the whole tree, not a subset
+
+    def test_module_invocation(self):
+        """``python -m repro.devtools.lint.cli`` works as the CI job runs it."""
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.devtools.lint.cli", "src", "tests"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            env={**os.environ, "PYTHONPATH": str(SRC)},
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+
+class TestCliSurface:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "DET001", "FRK001", "TEL001", "ERR001"):
+            assert rule_id in out
+
+    def test_select_subset_runs(self, capsys):
+        exit_code = main([str(SRC), "--select", "RNG001,RNG002"])
+        assert exit_code == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_id_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(SRC), "--select", "NOPE99"])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_missing_path_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([str(REPO_ROOT / "no-such-dir")])
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_violations_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "module.py"
+        bad.write_text("import random\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG002" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.paths == ["src", "tests"]
+        assert args.format == "text"
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    """The pyproject-configured ruff pass (CI's second lint gate)."""
+    result = subprocess.run(
+        ["ruff", "check", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    """The pyproject-configured mypy pass (CI's third lint gate)."""
+    result = subprocess.run(
+        ["mypy"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

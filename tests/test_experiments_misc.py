@@ -1,7 +1,6 @@
 """Tests for the bounds-check experiment and the ablations."""
 
 import numpy as np
-import pytest
 
 from repro.experiments.ablation import (
     run_group_multiplier_ablation,

@@ -1,6 +1,5 @@
 """Tests for repro.platform.channels."""
 
-import numpy as np
 import pytest
 
 from repro.platform.channels import Channel, build_pool_from_channels

@@ -51,7 +51,6 @@ class TestBatchExecution:
 
     def test_compare_batch_convenience(self, rng):
         platform = make_platform(rng)
-        values = np.asarray([1.0, 9.0])
         answers, report = platform.compare_batch(
             "naive",
             np.asarray([1]),

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.core.cascade import CascadeMaxFinder
 from repro.core.generators import tiered_instance
-from repro.core.oracle import ComparisonOracle
 from repro.core.topk import find_top_k
 from repro.workers.base import PerfectWorkerModel
 from repro.workers.expert import WorkerClass

@@ -1,7 +1,6 @@
 """Property-based tests for platform invariants."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -29,7 +28,9 @@ def test_batch_invariants_hold_for_arbitrary_configurations(
     if redundancy > pool_size:
         redundancy = pool_size
     rng = np.random.default_rng(seed)
-    model = FixedErrorWorkerModel(error_probability=p_error) if p_error > 0 else PerfectWorkerModel()
+    model = (
+        FixedErrorWorkerModel(error_probability=p_error) if p_error > 0 else PerfectWorkerModel()
+    )
     pool = WorkerPool.homogeneous(
         "naive", model, size=pool_size, availability=availability
     )
