@@ -11,13 +11,12 @@ concurrent CI shards can never interleave partial files in the shared
 ``results/`` directory.
 """
 
-import os
 from pathlib import Path
 
 import numpy as np
 import pytest
 
-from repro.experiments.io import write_text_atomic
+from repro.experiments.io import write_atomic, write_text_atomic
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
@@ -37,13 +36,6 @@ def emit():
         print()
         print(text)
         write_text_atomic(RESULTS_DIR / f"{stem}.txt", text + "\n")
-        # Render the CSV to a private temp name first, then rename it
-        # into place — same atomicity contract as the text artifact.
-        tmp = RESULTS_DIR / f".{stem}.csv.tmp-{os.getpid()}"
-        try:
-            result.to_csv(tmp)
-            os.replace(tmp, RESULTS_DIR / f"{stem}.csv")
-        finally:
-            tmp.unlink(missing_ok=True)
+        write_atomic(RESULTS_DIR / f"{stem}.csv", result.to_csv)
 
     return _emit

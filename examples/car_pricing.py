@@ -16,13 +16,15 @@ Run:  python examples/car_pricing.py
 
 import numpy as np
 
-from repro.core import ComparisonOracle, filter_candidates, two_maxfind
-from repro.datasets import cars_instance
-from repro.workers import (
+from repro.api import (
     CalibratedCarsWorkerModel,
+    ComparisonOracle,
     MajorityOfKModel,
     ThresholdWorkerModel,
+    cars_instance,
+    filter_candidates,
     majority_vote,
+    two_maxfind,
 )
 
 SEED = 42

@@ -16,10 +16,15 @@ Run:  python examples/crowd_query.py
 
 import numpy as np
 
-from repro import CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
-from repro.core import uniform_instance
-from repro.platform import CrowdPlatform, WorkerPool
-from repro.workers import ThresholdWorkerModel
+from repro.api import (
+    CrowdMaxJob,
+    CrowdPlatform,
+    CrowdTopKJob,
+    JobPhaseConfig,
+    ThresholdWorkerModel,
+    WorkerPool,
+    uniform_instance,
+)
 
 SEED = 21
 N_PRODUCTS = 500

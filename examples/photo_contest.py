@@ -17,15 +17,19 @@ Run:  python examples/photo_contest.py
 
 import numpy as np
 
-from repro.core import ComparisonOracle, filter_candidates, two_maxfind, uniform_instance
-from repro.platform import (
+from repro.api import (
+    ComparisonOracle,
     CostLedger,
     CrowdPlatform,
     GoldPolicy,
     PlatformWorkerModel,
+    RandomSpammerModel,
+    ThresholdWorkerModel,
     WorkerPool,
+    filter_candidates,
+    two_maxfind,
+    uniform_instance,
 )
-from repro.workers import RandomSpammerModel, ThresholdWorkerModel
 
 SEED = 7
 N_PHOTOS = 120

@@ -15,7 +15,13 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import ComparisonOracle, find_max, make_worker_classes, planted_instance, two_maxfind
+from repro.api import (
+    ComparisonOracle,
+    find_max,
+    make_worker_classes,
+    planted_instance,
+    two_maxfind,
+)
 
 SEED = 2015
 N = 2000

@@ -1,0 +1,70 @@
+"""One MAX query, end to end, through the stable ``repro.api`` surface.
+
+Builds a planted instance, a cheap crowd pool plus a small expert
+bench, and runs one budget-capped :class:`CrowdMaxJob` with a
+resilience policy (graceful degradation if the expert pool collapses
+mid-flight).  Run it with::
+
+    PYTHONPATH=src python examples/run_single_job.py
+
+Examples import *only* from ``repro.api`` — the ``API001`` rule of
+``repro-lint`` enforces this, because example code is the import style
+users copy.
+"""
+
+import numpy as np
+
+from repro.api import (
+    CrowdMaxJob,
+    CrowdPlatform,
+    JobPhaseConfig,
+    ResiliencePolicy,
+    ThresholdWorkerModel,
+    WorkerPool,
+    planted_instance,
+)
+
+
+def main() -> None:
+    """Run the query and print the answer and the bill."""
+    rng = np.random.default_rng(2015)
+    # u_e=1: no element is expert-indistinguishable from the maximum,
+    # so the two-phase algorithm should recover the true argmax.
+    instance = planted_instance(
+        n=200, u_n=5, u_e=1, delta_n=1.0, delta_e=0.25, rng=rng
+    )
+
+    pools = {
+        "crowd": WorkerPool.homogeneous(
+            "crowd", ThresholdWorkerModel(delta=1.0), size=20, cost_per_judgment=1.0
+        ),
+        "experts": WorkerPool.homogeneous(
+            "experts",
+            ThresholdWorkerModel(delta=0.25, is_expert=True),
+            size=3,
+            cost_per_judgment=20.0,
+        ),
+    }
+    platform = CrowdPlatform(pools, rng=np.random.default_rng(7))
+
+    job = CrowdMaxJob(
+        instance,
+        u_n=5,
+        phase1=JobPhaseConfig(pool="crowd"),
+        phase2=JobPhaseConfig(pool="experts"),
+        budget_cap=6000.0,
+        resilience=ResiliencePolicy(fallback_redundancy=5),
+    )
+    result = job.submit(platform, np.random.default_rng(11)).settle()
+
+    print(f"answer (argmax):      {result.answer}")
+    print(f"true argmax:          {int(np.argmax(instance.values))}")
+    print(f"total cost:           {result.total_cost:.1f}")
+    print(f"crowd comparisons:    {result.naive_comparisons}")
+    print(f"expert comparisons:   {result.expert_comparisons}")
+    if result.degraded:
+        print(f"degraded:             {result.degraded_reason}")
+
+
+if __name__ == "__main__":
+    main()

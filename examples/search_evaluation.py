@@ -13,17 +13,16 @@ Run:  python examples/search_evaluation.py
 
 import numpy as np
 
-from repro.core import (
+from repro.api import (
+    SEARCH_QUERIES,
+    BiasedErrorBehavior,
     ComparisonOracle,
+    ThresholdWorkerModel,
     estimate_perr,
     estimate_u_n,
     filter_candidates,
+    search_instance,
     two_maxfind,
-)
-from repro.datasets import SEARCH_QUERIES, search_instance
-from repro.workers import (
-    BiasedErrorBehavior,
-    ThresholdWorkerModel,
 )
 
 SEED = 123

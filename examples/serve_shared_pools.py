@@ -1,0 +1,80 @@
+"""Eight concurrent queries multiplexed over shared pools.
+
+The serving scenario of ``docs/SCHEDULER.md``: several MAX / TOP-k
+jobs over a couple of shared catalogs are submitted to one
+:class:`CrowdScheduler`, which batches their comparisons per pool,
+admits fairly, and reuses judgments across jobs through the cross-job
+memo cache.  Run it with::
+
+    PYTHONPATH=src python examples/serve_shared_pools.py
+
+Two runs of this script print byte-identical output — the scheduler's
+determinism contract — and the cache hit rate is nonzero because jobs
+repeat catalogs.  Examples import *only* from ``repro.api`` (enforced
+by the ``API001`` lint rule).
+"""
+
+import numpy as np
+
+from repro.api import (
+    CrowdMaxJob,
+    CrowdScheduler,
+    CrowdTopKJob,
+    JobPhaseConfig,
+    ThresholdWorkerModel,
+    WorkerPool,
+    planted_instance,
+)
+
+
+def main() -> None:
+    """Submit the workload, run the loop, print the settle report."""
+    catalog_rng = np.random.default_rng(2015)
+    catalogs = [
+        planted_instance(n=150, u_n=5, u_e=2, delta_n=1.0, delta_e=0.25, rng=catalog_rng)
+        for _ in range(2)
+    ]
+
+    pools = {
+        "crowd": WorkerPool.homogeneous(
+            "crowd", ThresholdWorkerModel(delta=1.0), size=20, cost_per_judgment=1.0
+        ),
+        "experts": WorkerPool.homogeneous(
+            "experts",
+            ThresholdWorkerModel(delta=0.25, is_expert=True),
+            size=3,
+            cost_per_judgment=20.0,
+        ),
+    }
+
+    scheduler = CrowdScheduler(pools, root_seed=2015, cache=True, quantum=64)
+    phase1, phase2 = JobPhaseConfig(pool="crowd"), JobPhaseConfig(pool="experts")
+    for k in range(8):
+        instance = catalogs[k % len(catalogs)]
+        if k % 4 == 3:
+            job = CrowdTopKJob(instance, u_n=5, k=3, phase1=phase1, phase2=phase2)
+        else:
+            job = CrowdMaxJob(instance, u_n=5, phase1=phase1, phase2=phase2)
+        scheduler.submit(job)
+
+    outcomes = scheduler.run()
+
+    print("settle order (job index, kind, status, answer, cost):")
+    for outcome in outcomes:
+        ticket = outcome.ticket
+        answer = outcome.result.answer if outcome.result is not None else None
+        print(
+            f"  #{ticket.index} {ticket.job.kind:>4} {outcome.status:>6}"
+            f"  answer={answer}  cost={outcome.cost:.1f}"
+        )
+
+    cache = scheduler.cache
+    assert cache is not None
+    print(
+        f"cache: {cache.hits} hits / {cache.misses} misses"
+        f" (hit rate {cache.hit_rate:.1%})"
+    )
+
+
+if __name__ == "__main__":
+    main()

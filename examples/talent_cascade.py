@@ -18,9 +18,15 @@ Run:  python examples/talent_cascade.py
 
 import numpy as np
 
-from repro.core import CascadeMaxFinder, ComparisonOracle, tiered_instance, two_maxfind
-from repro.core.maxfinder import ExpertAwareMaxFinder
-from repro.workers import ThresholdWorkerModel, WorkerClass
+from repro.api import (
+    CascadeMaxFinder,
+    ComparisonOracle,
+    ExpertAwareMaxFinder,
+    ThresholdWorkerModel,
+    WorkerClass,
+    tiered_instance,
+    two_maxfind,
+)
 
 SEED = 11
 N_TAPES = 2000

@@ -17,7 +17,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import Tracer, find_max, make_worker_classes, planted_instance
+from repro.api import Tracer, find_max, make_worker_classes, planted_instance
 
 SEED = 2015
 N = 2000

@@ -48,13 +48,21 @@ from .parallel import (
     spawn_run_seeds,
 )
 from .platform import FaultPlan, RetryPolicy
+from .scheduler import (
+    ComparisonMemoCache,
+    CrowdScheduler,
+    JobOutcome,
+    JobTicket,
+    SchedulerSaturatedError,
+)
 from .service import (
     BudgetExceededError,
     CrowdJobResult,
     CrowdMaxJob,
     CrowdTopKJob,
     JobPhaseConfig,
-    ResilientCrowdMaxJob,
+    ResiliencePolicy,
+    ResilientCrowdMaxJob,  # repro-lint: disable=API001 -- legacy re-export; the shim keeps old imports working
 )
 from .telemetry import (
     JsonlSink,
@@ -77,21 +85,27 @@ __version__ = "1.0.0"
 __all__ = [
     "AdversarialWorkerModel",
     "BudgetExceededError",
+    "ComparisonMemoCache",
     "ComparisonOracle",
     "CrowdJobResult",
     "CrowdMaxJob",
+    "CrowdScheduler",
     "CrowdTopKJob",
     "ExpertAwareMaxFinder",
     "FaultPlan",
+    "JobOutcome",
     "JobPhaseConfig",
+    "JobTicket",
     "JsonlSink",
     "FilterResult",
     "MajorityOfKModel",
     "MaxFindResult",
     "MetricsRegistry",
     "ProblemInstance",
+    "ResiliencePolicy",
     "ResilientCrowdMaxJob",
     "RetryPolicy",
+    "SchedulerSaturatedError",
     "RunError",
     "RunResult",
     "RunSpec",

@@ -10,6 +10,7 @@ Usage (installed as ``repro-experiments``)::
     repro-experiments fig3 --trace fig3.trace.jsonl
     repro-experiments fig3 --scale paper --jobs 8
     repro-experiments bench --jobs 4
+    repro-experiments serve-sim --serve-jobs 8
 
 ``--scale quick`` (default) runs reduced sizes suitable for a laptop in
 seconds; ``--scale paper`` uses the paper's n = 1000..5000 grid.
@@ -22,6 +23,10 @@ across N worker processes with bit-identical results (0 = all cores);
 ``bench`` times serial vs parallel on the selected grid, prints the
 speedup table, and writes the ``BENCH_sweep.json`` perf baseline (see
 docs/PERFORMANCE.md).
+``serve-sim`` simulates a serving deployment: N concurrent jobs
+multiplexed by the :mod:`repro.scheduler` engine over shared pools,
+printing the throughput/cache table and writing the
+``BENCH_scheduler.json`` artifact (see docs/SCHEDULER.md).
 """
 
 from __future__ import annotations
@@ -70,6 +75,11 @@ from .experiments import (
     survival_table,
 )
 from .experiments.bench import bench_table, run_bench_comparison, write_bench_json
+from .experiments.bench_scheduler import (
+    run_scheduler_bench,
+    scheduler_bench_table,
+    write_scheduler_bench_json,
+)
 from .experiments.cost_vs_n import PAPER_EXPERT_COSTS
 from .platform.faults import FaultPlan
 from .telemetry import JsonlSink, Tracer, use_tracer
@@ -102,6 +112,7 @@ COMMANDS = (
     "budget",
     "baselines",
     "bench",
+    "serve-sim",
     "all",
 )
 
@@ -145,6 +156,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PATH",
         help="write a structured JSONL telemetry trace of the run to PATH",
+    )
+    parser.add_argument(
+        "--serve-jobs",
+        type=int,
+        default=8,
+        metavar="N",
+        help="serve-sim only: concurrent jobs to multiplex (default 8)",
+    )
+    parser.add_argument(
+        "--quantum",
+        type=int,
+        default=64,
+        metavar="K",
+        help=(
+            "serve-sim only: fair-share bound, max comparison tasks one "
+            "pool grants per scheduler tick (0 = unlimited)"
+        ),
     )
     parser.add_argument(
         "--fault-plan",
@@ -224,6 +252,26 @@ def _run_bench(args: argparse.Namespace) -> None:
     print(f"(wrote {path})")
 
 
+def _run_serve_sim(args: argparse.Namespace) -> None:
+    """The ``serve-sim`` subcommand: scheduler throughput benchmark.
+
+    Runs the three-arm comparison (isolated / scheduled / scheduled
+    with the cross-job cache), prints the throughput table, and writes
+    the ``BENCH_scheduler.json`` artifact (atomically) into ``--out``
+    (default ``results/``).
+    """
+    payload = run_scheduler_bench(
+        seed=args.seed,
+        n_jobs=args.serve_jobs,
+        quantum=args.quantum if args.quantum > 0 else None,
+    )
+    print(scheduler_bench_table(payload).to_text())
+    print()
+    out = args.out if args.out is not None else Path("results")
+    path = write_scheduler_bench_json(payload, out / "BENCH_scheduler.json")
+    print(f"(wrote {path})")
+
+
 def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     """Run the selected command(s); shared by traced and untraced paths."""
     out: Path | None = args.out
@@ -236,6 +284,9 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
 
     if command == "bench":
         _run_bench(args)
+        return 0
+    if command == "serve-sim":
+        _run_serve_sim(args)
         return 0
 
     if command in ("fig3", "fig4", "fig5", "fig9", "all"):

@@ -6,8 +6,9 @@ Usage::
                [--ignore IDS] [--list-rules]
 
 Exit codes: ``0`` clean, ``1`` violations (or unparsable files), ``2``
-usage errors.  With no paths, lints ``src`` and ``tests`` relative to
-the current directory — the repository invocation CI uses.
+usage errors.  With no paths, lints ``src``, ``tests``, and
+``examples`` relative to the current directory — the repository
+invocation CI uses.
 """
 
 from __future__ import annotations
@@ -34,8 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "paths",
         nargs="*",
-        default=["src", "tests"],
-        help="files or directories to lint (default: src tests)",
+        default=["src", "tests", "examples"],
+        help="files or directories to lint (default: src tests examples)",
     )
     parser.add_argument(
         "--format",

@@ -7,7 +7,8 @@ The moving parts, smallest first:
   comment, with its justification and a record of which rule IDs it
   actually silenced (feeding the unused-suppression meta-check).
 * :class:`SourceFile` — a parsed file: source text, AST, context
-  (``"src"`` or ``"tests"``), and its suppressions by line.
+  (``"src"``, ``"tests"``, or ``"examples"``), and its suppressions by
+  line.
 * :class:`Rule` — base class for checks.  A rule is an
   :class:`ast.NodeVisitor` with a class-level ``rule_id`` / ``summary``
   / ``rationale`` and a ``contexts`` set saying where it applies;
@@ -52,7 +53,7 @@ __all__ = [
 ]
 
 #: Where a file lives, which decides which rules apply to it.
-Context = Literal["src", "tests"]
+Context = Literal["src", "tests", "examples"]
 
 #: IDs of the engine's own meta-diagnostics (not suppressible).
 META_UNUSED = "LINT001"

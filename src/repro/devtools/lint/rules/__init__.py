@@ -4,6 +4,7 @@ Importing this package registers every rule with the default registry
 (each rule module applies the :func:`~repro.devtools.lint.framework.register_rule`
 decorator at import time).  Rule IDs are grouped by invariant family:
 
+* ``API00x`` — public-API discipline (:mod:`.api`)
 * ``RNG00x`` — RNG discipline (:mod:`.rng`)
 * ``DET00x`` — determinism (:mod:`.determinism`)
 * ``FRK00x`` — fork safety (:mod:`.forksafe`)
@@ -14,7 +15,7 @@ decorator at import time).  Rule IDs are grouped by invariant family:
 are produced by the engine itself, not by pluggable rules.
 """
 
-from . import determinism, errors, forksafe, rng, telemetry
+from . import api, determinism, errors, forksafe, rng, telemetry
 from ..framework import DEFAULT_REGISTRY
 
 
@@ -25,6 +26,7 @@ def default_rules() -> list[type]:
 
 __all__ = [
     "default_rules",
+    "api",
     "determinism",
     "errors",
     "forksafe",

@@ -3,7 +3,10 @@
 The context decides which rules apply: stdlib ``random`` or a literal
 seed is fine in a test, fatal in library code.  A file is ``"tests"``
 context when any directory component is ``tests`` or the filename is
-``test_*.py`` / ``conftest.py``; everything else is ``"src"``.
+``test_*.py`` / ``conftest.py``; ``"examples"`` when a directory
+component is ``examples`` (where only the API-surface rules run —
+examples may use literal seeds freely, but must import through
+``repro.api``); everything else is ``"src"``.
 """
 
 from __future__ import annotations
@@ -24,6 +27,8 @@ def classify(path: Path) -> Context:
     name = path.name
     if name == "conftest.py" or name.startswith("test_"):
         return "tests"
+    if "examples" in path.parts:
+        return "examples"
     if "tests" in path.parts:
         return "tests"
     return "src"

@@ -21,6 +21,12 @@ from .bench import (
     run_bench_comparison,
     write_bench_json,
 )
+from .bench_scheduler import (
+    SchedulerWorkload,
+    run_scheduler_bench,
+    scheduler_bench_table,
+    write_scheduler_bench_json,
+)
 from .bounds_check import run_bounds_check
 from .budget_planning import run_budget_planning
 from .comparisons_vs_n import figure4_from_sweep
@@ -84,6 +90,10 @@ __all__ = [
     "run_accuracy_curves",
     "run_baseline_shootout",
     "run_bench_comparison",
+    "SchedulerWorkload",
+    "run_scheduler_bench",
+    "scheduler_bench_table",
+    "write_scheduler_bench_json",
     "run_bounds_check",
     "run_budget_planning",
     "run_cascade_experiment",

@@ -13,27 +13,45 @@ import json
 import os
 from pathlib import Path
 
+from typing import Callable
+
 from .base import FigureResult, TableResult
 
-__all__ = ["save_result", "load_result", "write_text_atomic", "write_json_atomic"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "write_atomic",
+    "write_text_atomic",
+    "write_json_atomic",
+]
 
 
-def write_text_atomic(path: str | Path, text: str) -> Path:
-    """Write ``text`` to ``path`` atomically (tmp file + rename).
+def write_atomic(path: str | Path, write: Callable[[Path], None]) -> Path:
+    """Produce ``path`` atomically: ``write`` fills a temp file, which
+    is then renamed into place.
 
-    Concurrent writers — pytest-xdist benchmark shards, parallel CI
-    jobs — each land a complete file; readers never observe a partial
-    write.  Parent directories are created.
+    The one tmp-file + ``os.replace`` implementation every artifact
+    writer shares (text, JSON, benchmark CSVs): concurrent writers —
+    pytest-xdist benchmark shards, parallel CI jobs — each land a
+    complete file, and readers can never observe a partial write.
+    ``write`` receives the private temp path (same directory, so the
+    rename stays on one filesystem); on any failure the temp file is
+    removed and nothing is published.  Parent directories are created.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
     try:
-        tmp.write_text(text, encoding="utf-8")
+        write(tmp)
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
     return path
+
+
+def write_text_atomic(path: str | Path, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (see :func:`write_atomic`)."""
+    return write_atomic(path, lambda tmp: tmp.write_text(text, encoding="utf-8"))
 
 
 def write_json_atomic(path: str | Path, payload: object) -> Path:

@@ -1,0 +1,25 @@
+"""Multi-job scheduling over shared crowd pools.
+
+The serving layer the paper's Section 1 gestures at: a host system
+answering many crowd queries at once submits jobs (any class speaking
+the uniform ``submit()/settle()`` protocol of :mod:`repro.service`) to
+one :class:`CrowdScheduler`, which settles them cooperatively against
+shared worker pools with fair-share admission, per-tenant budget
+isolation, and a cross-job comparison memo cache.
+
+See ``docs/SCHEDULER.md`` for the event loop, fairness policy, cache
+semantics, and the determinism contract.
+"""
+
+from .cache import ComparisonMemoCache, fingerprint_instance
+from .engine import CrowdScheduler, JobOutcome, JobTicket
+from .errors import SchedulerSaturatedError
+
+__all__ = [
+    "CrowdScheduler",
+    "JobTicket",
+    "JobOutcome",
+    "ComparisonMemoCache",
+    "fingerprint_instance",
+    "SchedulerSaturatedError",
+]

@@ -1,0 +1,191 @@
+"""Cross-job comparison memo cache.
+
+A :class:`~repro.core.oracle.ComparisonOracle` already memoizes within
+one job — the paper's algorithms never re-pay for a pair they have
+already compared.  But a host system answering many queries over the
+*same catalog* (the ISSUE's CrowdDB scenario) re-buys every judgment
+from scratch, because each job builds a fresh oracle.
+
+:class:`ComparisonMemoCache` closes that gap at the scheduler layer: a
+settled comparison is stored under
+
+``(instance fingerprint, pool name, judgments per task, unordered pair)``
+
+so any later job over a byte-identical catalog, asking the same worker
+class at the same redundancy, reuses the answer for free.  The worker
+class is part of the key on purpose — a naive-pool majority and an
+expert judgment over the same pair are *different products* with
+different error guarantees, and must never substitute for one another.
+
+Determinism note: serving answers from the cache skips the platform
+machinery (no RNG draws, no payment), so a cache-enabled schedule is
+*not* bit-identical to isolated execution — it is strictly cheaper.
+Runs with the cache disabled are bit-identical to isolated per-job
+execution; see ``docs/SCHEDULER.md`` for the full contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..core.instance import ProblemInstance
+
+__all__ = ["fingerprint_instance", "ComparisonMemoCache"]
+
+
+def fingerprint_instance(instance: ProblemInstance | np.ndarray) -> str:
+    """Content hash identifying a catalog for cache keying.
+
+    Two instances share a fingerprint exactly when their value arrays
+    are byte-identical (same dtype, shape, and contents) — the only
+    condition under which reusing a judgment is sound.
+    """
+    values = (
+        instance.values
+        if isinstance(instance, ProblemInstance)
+        else np.asarray(instance)
+    )
+    values = np.ascontiguousarray(values)
+    digest = hashlib.sha256()
+    digest.update(str(values.dtype).encode("ascii"))
+    digest.update(str(values.shape).encode("ascii"))
+    digest.update(values.tobytes())
+    return digest.hexdigest()
+
+
+#: One cache key: (fingerprint, pool, judgments_per_task, lo, hi).
+_Key = tuple[str, str, int, int, int]
+
+
+class ComparisonMemoCache:
+    """Memo of settled pairwise answers, shared across jobs.
+
+    Pairs are stored unordered (``lo < hi``) with the answer normalised
+    to "``lo`` wins", so ``(3, 7)`` and ``(7, 3)`` hit the same entry.
+    ``hits`` / ``misses`` count *lookups*, giving the judgments-saved
+    numerator the benchmark and the ``cache_hit`` telemetry report.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[_Key, bool] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(
+        fingerprint: str, pool_name: str, judgments_per_task: int, i: int, j: int
+    ) -> tuple[_Key, bool]:
+        """Normalised key plus whether the pair was flipped to make it."""
+        if i <= j:
+            return (fingerprint, pool_name, judgments_per_task, i, j), False
+        return (fingerprint, pool_name, judgments_per_task, j, i), True
+
+    def lookup_batch(
+        self,
+        fingerprint: str,
+        pool_name: str,
+        judgments_per_task: int,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve a pair batch against the cache.
+
+        Returns ``(hit_mask, answers)``: positions where ``hit_mask``
+        is ``True`` carry a valid cached answer (``True`` = first
+        element of the pair wins); the rest must be bought fresh.
+        Updates the hit/miss counters.
+        """
+        size = len(indices_i)
+        hit_mask = np.zeros(size, dtype=bool)
+        answers = np.zeros(size, dtype=bool)
+        for k in range(size):
+            key, flipped = self._key(
+                fingerprint,
+                pool_name,
+                judgments_per_task,
+                int(indices_i[k]),
+                int(indices_j[k]),
+            )
+            lo_wins = self._store.get(key)
+            if lo_wins is None:
+                self.misses += 1
+                continue
+            self.hits += 1
+            hit_mask[k] = True
+            answers[k] = (not lo_wins) if flipped else lo_wins
+        return hit_mask, answers
+
+    def store_batch(
+        self,
+        fingerprint: str,
+        pool_name: str,
+        judgments_per_task: int,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+        answers: np.ndarray,
+    ) -> None:
+        """Record freshly bought answers (``True`` = first wins)."""
+        for k in range(len(indices_i)):
+            key, flipped = self._key(
+                fingerprint,
+                pool_name,
+                judgments_per_task,
+                int(indices_i[k]),
+                int(indices_j[k]),
+            )
+            first_wins = bool(answers[k])
+            self._store[key] = (not first_wins) if flipped else first_wins
+
+    # ------------------------------------------------------------------
+    # Introspection / invalidation
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def invalidate(
+        self, fingerprint: str | None = None, pool_name: str | None = None
+    ) -> int:
+        """Drop cached answers; returns how many entries were removed.
+
+        The invalidation hook for catalogs that change or pools whose
+        workforce was re-calibrated: ``invalidate()`` clears everything,
+        ``invalidate(fingerprint=...)`` one catalog,
+        ``invalidate(pool_name=...)`` one worker class, and both
+        together their intersection.  Counters are preserved — they
+        describe traffic, not contents.
+        """
+        if fingerprint is None and pool_name is None:
+            removed = len(self._store)
+            self._store.clear()
+            return removed
+        doomed = [
+            key
+            for key in self._store
+            if (fingerprint is None or key[0] == fingerprint)
+            and (pool_name is None or key[1] == pool_name)
+        ]
+        for key in doomed:
+            del self._store[key]
+        return len(doomed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ComparisonMemoCache(entries={len(self._store)}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

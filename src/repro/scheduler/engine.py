@@ -1,0 +1,668 @@
+"""The deterministic multi-job scheduler.
+
+Section 1 positions the paper's algorithm as a primitive for host
+systems (CrowdDB and friends) that answer *many* crowd queries at once.
+This module is that serving layer for the simulator: a
+:class:`CrowdScheduler` admits many jobs — any class speaking the
+uniform ``submit()/settle()`` protocol of :mod:`repro.service` — and
+settles them cooperatively against **shared** worker pools, instead of
+giving each query a private platform.
+
+Execution model
+---------------
+Each admitted job runs on its own worker thread, but only ever *one at
+a time*: the scheduler and the job threads hand control back and forth
+in strict lock-step (a cooperative event loop with threads as
+coroutines).  A job runs until its next platform round — every
+``compare_batch`` a job issues is intercepted by its private
+:class:`_TenantPlatform` view, posted to the scheduler, and the thread
+blocks.  When every live job is parked, the scheduler runs one *tick*
+of its virtual clock:
+
+1. **Coalesce** — the parked comparison requests are grouped per pool
+   (one ``batch_coalesced`` record each), the scheduler-level view of
+   a consolidated submission.
+2. **Admit** — fair-share admission per pool: requests are served in
+   least-total-tasks-served-first order (ties to earliest admission),
+   a per-tick ``quantum`` bounds how many tasks one pool grants, and
+   the front request is always admitted so no job can starve.
+3. **Serve** — each admitted request is resolved against the cross-job
+   :class:`~repro.scheduler.cache.ComparisonMemoCache` first; only the
+   misses are bought from the platform, with the *job's own* RNG
+   stream, ledger, and fault plan.  Replies are delivered serially —
+   the woken job runs until it parks again before the next reply goes
+   out — so mutations of shared worker state (gold bans) happen in one
+   deterministic order.
+
+Determinism contract
+--------------------
+Per-job randomness is isolated: admission order assigns each job two
+``SeedSequence.spawn`` children (algorithm stream + platform stream),
+and tenant platforms never share a generator.  Hence:
+
+* Same root seed + same submission order + same configuration ⇒
+  bit-identical per-job results, costs, and settle order, every run.
+* With the cache disabled, each job's *result and cost* are invariant
+  to ``quantum`` and to which other jobs share the schedule (settle
+  order may shift — a finer quantum spreads completion across more
+  ticks — but what each job answers and pays does not).
+* With the cache disabled and stateless pools (no gold bans mutating
+  shared workers), each job's result is bit-identical to executing it
+  alone on a private platform with the same seeds — the baseline the
+  throughput benchmark exploits.
+* Cache hits skip platform RNG draws, so cache-enabled runs trade
+  bit-identity *to the isolated baseline* for strictly lower cost;
+  they remain bit-reproducible run-to-run.
+
+See ``docs/SCHEDULER.md`` for the full contract and worked examples.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Literal
+
+import numpy as np
+
+from ..platform.accounting import CostLedger
+from ..platform.errors import CostCapError
+from ..platform.faults import FaultPlan, RetryPolicy
+from ..platform.gold import GoldPolicy
+from ..platform.job import BatchReport
+from ..platform.platform import CrowdPlatform
+from ..platform.workforce import WorkerPool
+from ..service import BudgetExceededError, CrowdJobResult, CrowdMaxJob
+from ..telemetry import NULL_TRACER, Tracer, resolve_tracer
+from .cache import ComparisonMemoCache, fingerprint_instance
+from .errors import SchedulerSaturatedError
+
+__all__ = ["JobTicket", "JobOutcome", "CrowdScheduler"]
+
+#: How long the scheduler waits for job threads to park before
+#: declaring the loop stalled.  Cooperative handoffs complete in
+#: microseconds; this only fires if a job thread dies uncooperatively.
+_STALL_TIMEOUT_S = 120.0
+
+
+@dataclass
+class _ChainedLedger(CostLedger):
+    """A per-job ledger that also bills a shared per-tenant ledger.
+
+    Gives each job private accounting (and a private ``hard_cap`` the
+    job layer may tighten mid-run) while every charge *also* lands on
+    the tenant's shared ledger — so a tenant-level cap is enforced
+    jointly across all of that tenant's concurrent jobs.  The parent is
+    checked before the private ledger records anything, keeping both
+    ledgers' never-above-cap invariants intact.
+    """
+
+    parent: CostLedger | None = None
+
+    def charge(self, label: str, count: int, unit_cost: float) -> None:
+        amount = count * unit_cost
+        if self.parent is not None and not self.parent.can_afford(amount):
+            raise CostCapError(
+                label=f"tenant:{label}",
+                attempted=amount,
+                cap=float(self.parent.hard_cap),  # type: ignore[arg-type]
+                spent=self.parent.total_cost,
+            )
+        super().charge(label, count, unit_cost)
+        if self.parent is not None:
+            self.parent.charge(label, count, unit_cost)
+
+
+@dataclass
+class _CompareRequest:
+    """One parked ``compare_batch`` call awaiting scheduler service."""
+
+    pool_name: str
+    indices_i: np.ndarray
+    indices_j: np.ndarray
+    values_i: np.ndarray
+    values_j: np.ndarray
+    judgments_per_task: int
+    done: threading.Event = field(default_factory=threading.Event)
+    answers: np.ndarray | None = None
+    report: BatchReport | None = None
+    error: BaseException | None = None
+
+    @property
+    def size(self) -> int:
+        return len(self.indices_i)
+
+
+class _TenantPlatform(CrowdPlatform):
+    """One job's view of the shared platform.
+
+    Shares the scheduler's :class:`WorkerPool` objects (and gold/fault
+    policies) but owns a private RNG stream and a chained per-job
+    ledger.  ``compare_batch`` does not execute — it parks the request
+    with the scheduler and blocks until the reply arrives, which is the
+    entire interleaving mechanism.
+    """
+
+    def __init__(self, ticket: "JobTicket", **kwargs: Any):
+        super().__init__(**kwargs)
+        self._ticket = ticket
+
+    def compare_batch(
+        self,
+        pool_name: str,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        judgments_per_task: int = 1,
+    ) -> tuple[np.ndarray, BatchReport]:
+        self._pool(pool_name)  # fail fast on unknown pools, as the base does
+        request = _CompareRequest(
+            pool_name=pool_name,
+            indices_i=np.asarray(indices_i),
+            indices_j=np.asarray(indices_j),
+            values_i=np.asarray(values_i),
+            values_j=np.asarray(values_j),
+            judgments_per_task=judgments_per_task,
+        )
+        return self._ticket._await_service(request)
+
+
+class JobTicket:
+    """Handle for one admitted job; resolves to a :class:`JobOutcome`.
+
+    Returned by :meth:`CrowdScheduler.submit`.  The two seed children
+    (algorithm + platform stream) are spawned at admission, so a
+    ticket's randomness is fixed by its admission index alone.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        job: CrowdMaxJob,
+        tenant: str,
+        seed: np.random.SeedSequence,
+        scheduler: "CrowdScheduler",
+    ):
+        self.index = index
+        self.job = job
+        self.tenant = tenant
+        self.fingerprint = fingerprint_instance(job.instance)
+        job_seed, platform_seed = seed.spawn(2)
+        self.rng = np.random.default_rng(job_seed)
+        self._platform_rng = np.random.default_rng(platform_seed)
+        self.outcome: JobOutcome | None = None
+        #: Tasks served per pool, the fair-share bookkeeping.
+        self.served: dict[str, int] = {}
+        self._scheduler = scheduler
+        self.tracer: Tracer = NULL_TRACER
+        self.platform: _TenantPlatform | None = None
+        self._thread: threading.Thread | None = None
+        #: "ready" | "running" | "blocked" | "done", guarded by the
+        #: scheduler condition.
+        self.state: str = "ready"
+        self.request: _CompareRequest | None = None
+        self._result: CrowdJobResult | None = None
+        self._error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Job-thread side
+    # ------------------------------------------------------------------
+    def _await_service(
+        self, request: _CompareRequest
+    ) -> tuple[np.ndarray, BatchReport]:
+        """Park this thread until the scheduler serves ``request``."""
+        cond = self._scheduler._cond
+        with cond:
+            self.request = request
+            self.state = "blocked"
+            cond.notify_all()
+        request.done.wait()
+        if request.error is not None:
+            raise request.error
+        assert request.answers is not None and request.report is not None
+        return request.answers, request.report
+
+    def _run(self) -> None:
+        """Thread body: settle the job, capture the outcome, park."""
+        try:
+            assert self.platform is not None
+            self._result = self.job.submit(
+                self.platform, self.rng, tracer=self.tracer
+            ).settle()
+        except BaseException as exc:  # repro-lint: disable=ERR003 -- outcome capture; re-raised on the ticket
+            self._error = exc
+        finally:
+            cond = self._scheduler._cond
+            with cond:
+                self.state = "done"
+                self.request = None
+                cond.notify_all()
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One settled job, in settle order.
+
+    ``status`` is ``"ok"`` for a clean settle, ``"budget_exceeded"``
+    when the job's (or its tenant's) mid-flight cap stopped it — the
+    partial result rides on ``error.partial`` — and ``"failed"`` for
+    any other exception.  Exactly one of ``result`` / ``error`` is set.
+    """
+
+    ticket: JobTicket
+    settle_index: int
+    status: Literal["ok", "budget_exceeded", "failed"]
+    result: CrowdJobResult | None
+    error: BaseException | None
+
+    @property
+    def job(self) -> CrowdMaxJob:
+        return self.ticket.job
+
+    @property
+    def tenant(self) -> str:
+        return self.ticket.tenant
+
+    @property
+    def cost(self) -> float:
+        """Money this job spent (its private ledger total)."""
+        assert self.ticket.platform is not None
+        return self.ticket.platform.ledger.total_cost
+
+
+class CrowdScheduler:
+    """Deterministic cooperative multi-job scheduler over shared pools.
+
+    Parameters
+    ----------
+    pools:
+        The shared worker pools every admitted job settles against.
+    root_seed:
+        Root of the per-job ``SeedSequence.spawn`` tree; with the same
+        root and submission order, every run is bit-identical.
+    gold, faults, retry:
+        Shared platform policies, applied to every tenant view (one
+        quality-control regime for the whole marketplace).
+    cache:
+        ``True`` (default) builds a fresh
+        :class:`~repro.scheduler.cache.ComparisonMemoCache`; pass an
+        existing cache to share it across scheduler generations, or
+        ``False`` to disable cross-job reuse (the isolated-equivalent
+        mode the determinism contract is stated against).
+    quantum:
+        Fair-share bound: at most this many comparison tasks granted
+        per pool per tick (the front request is always admitted, even
+        when larger).  ``None`` grants everything runnable each tick.
+    max_pending:
+        Bounded admission queue; submissions past it raise
+        :class:`~repro.scheduler.errors.SchedulerSaturatedError`.
+    tenant_caps:
+        Optional ``{tenant: hard_cap}`` budgets; all jobs of a tenant
+        charge one shared ledger, so the cap binds them jointly.
+    tracer:
+        Telemetry destination.  Scheduler-level records
+        (``job_admitted`` / ``scheduler_tick`` / ``batch_coalesced`` /
+        ``cache_hit`` / ``job_settled``) are emitted live; each job's
+        own records are buffered and replayed in admission order after
+        the run, stamped with ``job_index`` (mirroring the parallel
+        engine's shard replay).
+    """
+
+    def __init__(
+        self,
+        pools: dict[str, WorkerPool],
+        root_seed: int | np.random.SeedSequence,
+        gold: GoldPolicy | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
+        cache: ComparisonMemoCache | bool = True,
+        quantum: int | None = 64,
+        max_pending: int = 64,
+        tenant_caps: dict[str, float] | None = None,
+        tracer: Tracer | None = None,
+    ):
+        if not pools:
+            raise ValueError("the scheduler needs at least one worker pool")
+        if quantum is not None and quantum < 1:
+            raise ValueError("quantum must be at least 1 (or None for unlimited)")
+        if max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+        self.pools = dict(pools)
+        self._seeds = (
+            root_seed
+            if isinstance(root_seed, np.random.SeedSequence)
+            else np.random.SeedSequence(root_seed)
+        )
+        self.gold = gold
+        self.faults = faults
+        self.retry = retry
+        if cache is True:
+            self.cache: ComparisonMemoCache | None = ComparisonMemoCache()
+        elif cache is False:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.quantum = quantum
+        self.max_pending = max_pending
+        self.tracer = resolve_tracer(tracer)
+        self._tenant_ledgers: dict[str, CostLedger] = {}
+        self._tenant_caps = dict(tenant_caps or {})
+        self._tickets: list[JobTicket] = []
+        self._cond = threading.Condition()
+        self._started = False
+        self.ticks = 0
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, job: CrowdMaxJob, tenant: str = "default") -> JobTicket:
+        """Admit one job; returns its ticket (outcome set after run()).
+
+        Raises :class:`SchedulerSaturatedError` when the bounded queue
+        is full and ``RuntimeError`` after :meth:`run` has started —
+        the job set must be fixed before the clock starts so admission
+        order (and therefore seeding) is unambiguous.
+        """
+        if self._started:
+            raise RuntimeError("cannot submit after run() has started")
+        if len(self._tickets) >= self.max_pending:
+            raise SchedulerSaturatedError(
+                capacity=self.max_pending, pending=len(self._tickets)
+            )
+        ticket = JobTicket(
+            index=len(self._tickets),
+            job=job,
+            tenant=tenant,
+            seed=self._seeds.spawn(1)[0],
+            scheduler=self,
+        )
+        self._tickets.append(ticket)
+        return ticket
+
+    def tenant_ledger(self, tenant: str) -> CostLedger:
+        """The shared ledger all of ``tenant``'s jobs charge."""
+        ledger = self._tenant_ledgers.get(tenant)
+        if ledger is None:
+            ledger = CostLedger(hard_cap=self._tenant_caps.get(tenant))
+            self._tenant_ledgers[tenant] = ledger
+        return ledger
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def run(self) -> list[JobOutcome]:
+        """Settle every admitted job; returns outcomes in settle order."""
+        if self._started:
+            raise RuntimeError("run() can only be called once per scheduler")
+        self._started = True
+        outcomes: list[JobOutcome] = []
+        with self.tracer.span(
+            "scheduler.run", jobs=len(self._tickets), pools=sorted(self.pools)
+        ):
+            for ticket in self._tickets:
+                self._launch(ticket)
+            self._loop(outcomes)
+        for ticket in self._tickets:
+            self._replay_job_trace(ticket)
+        return outcomes
+
+    def _launch(self, ticket: JobTicket) -> None:
+        """Build the tenant view, emit admission, start the job thread."""
+        ticket.tracer = Tracer(buffer=True) if self.tracer.enabled else NULL_TRACER
+        ticket.platform = _TenantPlatform(
+            ticket,
+            pools=self.pools,
+            rng=ticket._platform_rng,
+            ledger=_ChainedLedger(parent=self.tenant_ledger(ticket.tenant)),
+            gold=self.gold,
+            faults=self.faults,
+            retry=self.retry,
+            tracer=ticket.tracer,
+        )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "job_admitted",
+                job_index=ticket.index,
+                job_kind=ticket.job.kind,
+                tenant=ticket.tenant,
+                fingerprint=ticket.fingerprint[:12],
+            )
+        ticket._thread = threading.Thread(
+            target=ticket._run, name=f"crowd-job-{ticket.index}", daemon=True
+        )
+        with self._cond:
+            ticket.state = "running"
+        ticket._thread.start()
+
+    def _loop(self, outcomes: list[JobOutcome]) -> None:
+        live = [t for t in self._tickets]
+        while live:
+            self._await_parked(live)
+            still_live: list[JobTicket] = []
+            for ticket in live:
+                if ticket.state == "done":
+                    self._settle(ticket, outcomes)
+                else:
+                    still_live.append(ticket)
+            live = still_live
+            if not live:
+                break
+            runnable = [t for t in live if t.request is not None]
+            self.ticks += 1
+            admitted = self._admit(runnable)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "scheduler_tick",
+                    tick=self.ticks,
+                    live=len(live),
+                    runnable=len(runnable),
+                    admitted=len(admitted),
+                    deferred=len(runnable) - len(admitted),
+                )
+            for ticket in admitted:
+                request = ticket.request
+                assert request is not None
+                ticket.request = None
+                self._serve(ticket, request)
+                self._await_ticket_parked(ticket)
+
+    def _await_parked(self, live: list[JobTicket]) -> None:
+        """Block until every live job thread is parked (blocked/done)."""
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: all(t.state in ("blocked", "done") for t in live),
+                timeout=_STALL_TIMEOUT_S,
+            )
+        if not ok:
+            raise RuntimeError(
+                "scheduler stalled: a job thread stopped cooperating "
+                f"(states: {[t.state for t in live]})"
+            )
+
+    def _await_ticket_parked(self, ticket: JobTicket) -> None:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: ticket.state in ("blocked", "done"),
+                timeout=_STALL_TIMEOUT_S,
+            )
+        if not ok:
+            raise RuntimeError(
+                f"scheduler stalled waiting on job {ticket.index} "
+                f"(state: {ticket.state})"
+            )
+
+    # ------------------------------------------------------------------
+    # Admission control (fair share)
+    # ------------------------------------------------------------------
+    def _admit(self, runnable: list[JobTicket]) -> list[JobTicket]:
+        """Fair-share admission: who gets platform service this tick.
+
+        Per pool, parked requests are ordered least-served-first (ties
+        to earliest admission) and granted whole — a job's batch is one
+        logical step and is never split — until the ``quantum`` of
+        tasks is spent.  The front request is always granted, so a
+        request larger than the quantum still makes progress and no
+        job starves: every deferral strictly improves the deferred
+        job's priority relative to the jobs that were served.
+        """
+        admitted: list[JobTicket] = []
+        by_pool: dict[str, list[JobTicket]] = {}
+        for ticket in runnable:
+            assert ticket.request is not None
+            by_pool.setdefault(ticket.request.pool_name, []).append(ticket)
+        for pool_name in sorted(by_pool):
+            queue = sorted(
+                by_pool[pool_name],
+                key=lambda t: (t.served.get(pool_name, 0), t.index),
+            )
+            granted: list[JobTicket] = []
+            budget = self.quantum
+            used = 0
+            for ticket in queue:
+                assert ticket.request is not None
+                size = ticket.request.size
+                if granted and budget is not None and used + size > budget:
+                    break
+                granted.append(ticket)
+                used += size
+                ticket.served[pool_name] = ticket.served.get(pool_name, 0) + size
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "batch_coalesced",
+                    pool=pool_name,
+                    requests=len(granted),
+                    tasks=used,
+                    deferred=len(queue) - len(granted),
+                    jobs=[t.index for t in granted],
+                )
+            admitted.extend(granted)
+        return admitted
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def _serve(self, ticket: JobTicket, request: _CompareRequest) -> None:
+        """Resolve one request (cache + platform) and wake its job."""
+        answers = np.zeros(request.size, dtype=bool)
+        report: BatchReport | None = None
+        if self.cache is not None:
+            hit_mask, cached = self.cache.lookup_batch(
+                ticket.fingerprint,
+                request.pool_name,
+                request.judgments_per_task,
+                request.indices_i,
+                request.indices_j,
+            )
+            answers[hit_mask] = cached[hit_mask]
+        else:
+            hit_mask = np.zeros(request.size, dtype=bool)
+        miss = np.flatnonzero(~hit_mask)
+        hits = int(request.size - len(miss))
+        if self.tracer.enabled and hits:
+            self.tracer.event(
+                "cache_hit",
+                job_index=ticket.index,
+                pool=request.pool_name,
+                hits=hits,
+                misses=len(miss),
+            )
+        if len(miss):
+            assert ticket.platform is not None
+            try:
+                fresh, report = CrowdPlatform.compare_batch(
+                    ticket.platform,
+                    request.pool_name,
+                    request.indices_i[miss],
+                    request.indices_j[miss],
+                    request.values_i[miss],
+                    request.values_j[miss],
+                    judgments_per_task=request.judgments_per_task,
+                )
+            except BaseException as exc:  # repro-lint: disable=ERR003 -- tunnelled to (and re-raised on) the job thread
+                request.error = exc
+                self._wake(ticket, request)
+                return
+            answers[miss] = fresh
+            if self.cache is not None:
+                self.cache.store_batch(
+                    ticket.fingerprint,
+                    request.pool_name,
+                    request.judgments_per_task,
+                    request.indices_i[miss],
+                    request.indices_j[miss],
+                    fresh,
+                )
+        if report is None:
+            # Every pair was served from the cache: no physical steps
+            # ran and nothing was paid.
+            report = BatchReport(
+                answers=[bool(a) for a in answers],
+                physical_steps=0,
+                judgments_collected=0,
+                judgments_discarded=0,
+            )
+        request.answers = answers
+        request.report = report
+        self._wake(ticket, request)
+
+    def _wake(self, ticket: JobTicket, request: _CompareRequest) -> None:
+        with self._cond:
+            ticket.state = "running"
+        request.done.set()
+
+    # ------------------------------------------------------------------
+    # Settling / telemetry merge
+    # ------------------------------------------------------------------
+    def _settle(self, ticket: JobTicket, outcomes: list[JobOutcome]) -> None:
+        if ticket._thread is not None:
+            ticket._thread.join(timeout=_STALL_TIMEOUT_S)
+        error = ticket._error
+        if error is None:
+            status: Literal["ok", "budget_exceeded", "failed"] = "ok"
+        elif isinstance(error, BudgetExceededError):
+            status = "budget_exceeded"
+        else:
+            status = "failed"
+        outcome = JobOutcome(
+            ticket=ticket,
+            settle_index=len(outcomes),
+            status=status,
+            result=ticket._result,
+            error=error,
+        )
+        ticket.outcome = outcome
+        outcomes.append(outcome)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "job_settled",
+                job_index=ticket.index,
+                settle_index=outcome.settle_index,
+                status=status,
+                tenant=ticket.tenant,
+                cost=round(outcome.cost, 9),
+            )
+
+    def _replay_job_trace(self, ticket: JobTicket) -> None:
+        """Replay one job's buffered records into the scheduler trace.
+
+        Mirrors the parallel engine's shard replay: job-local ``seq`` /
+        ``t`` are preserved as ``job_seq`` / ``job_t`` and the parent
+        stamps its own ordering, so the merged trace is totally ordered
+        with per-job provenance.  Called in admission order.
+        """
+        if not self.tracer.enabled or ticket.tracer is NULL_TRACER:
+            return
+        for record in ticket.tracer.records:
+            fields = dict(record)
+            kind = fields.pop("kind", "unknown")
+            fields["job_seq"] = fields.pop("seq", None)
+            fields["job_t"] = fields.pop("t", None)
+            fields.pop("job_index", None)
+            self.tracer.event(kind, job_index=ticket.index, **fields)
+        for name, counter in ticket.tracer.metrics.counters.items():
+            self.tracer.metrics.counter(name).add(counter.value)
+        for name, timer in ticket.tracer.metrics.timers.items():
+            merged = self.tracer.metrics.timer(name)
+            merged.total_seconds += timer.total_seconds
+            merged.count += timer.count

@@ -1,0 +1,32 @@
+"""Typed errors raised by the multi-job scheduler."""
+
+from __future__ import annotations
+
+__all__ = ["SchedulerSaturatedError"]
+
+
+class SchedulerSaturatedError(RuntimeError):
+    """The scheduler's bounded admission queue refused a submission.
+
+    Backpressure is explicit: a host system that keeps submitting past
+    ``max_pending`` gets this typed error *before* any seeds are
+    spawned or money is reserved, so it can shed load or retry later
+    without corrupting the determinism contract of the jobs already
+    admitted.
+
+    Attributes
+    ----------
+    capacity:
+        The configured queue bound (``max_pending``).
+    pending:
+        Jobs already admitted and waiting when the submission arrived.
+    """
+
+    def __init__(self, capacity: int, pending: int):
+        super().__init__(
+            f"scheduler queue is saturated: {pending} jobs pending against a "
+            f"bound of {capacity}; settle the current batch with run() or "
+            "raise max_pending"
+        )
+        self.capacity = capacity
+        self.pending = pending

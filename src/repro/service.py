@@ -20,14 +20,28 @@ A job binds together:
   :class:`BudgetExceededError` carrying a partial
   :class:`CrowdJobResult` (survivors so far, money actually spent).
 
-:class:`ResilientCrowdMaxJob` adds graceful degradation: when the
-expert pool is exhausted or banned out, phase 2 falls back to
-high-redundancy naive judgments instead of failing, and the result is
-flagged ``degraded``.  See ``docs/RELIABILITY.md``.
+Every job class speaks one uniform two-step protocol::
+
+    result = job.submit(platform, rng).settle()
+
+:meth:`CrowdMaxJob.submit` performs the up-front worst-case budget
+check and binds the job to a platform; :meth:`CrowdMaxJob.settle` runs
+it to completion.  The split is what lets the multi-job engine in
+:mod:`repro.scheduler` admit many jobs and drive them cooperatively
+against shared pools.  :meth:`CrowdMaxJob.execute` remains as the
+one-call convenience (``submit(...).settle()``).
+
+Graceful degradation is a *policy*, not a subclass: pass
+``resilience=ResiliencePolicy(...)`` and phase 2 falls back to
+high-redundancy naive judgments when the expert pool is exhausted or
+banned out, flagging the result ``degraded``.  The former
+:class:`ResilientCrowdMaxJob` class remains as a deprecated shim.
+See ``docs/RELIABILITY.md``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -51,6 +65,7 @@ from .telemetry import Tracer, resolve_tracer
 
 __all__ = [
     "JobPhaseConfig",
+    "ResiliencePolicy",
     "CrowdJobResult",
     "BudgetExceededError",
     "CrowdMaxJob",
@@ -69,6 +84,26 @@ class JobPhaseConfig:
     def __post_init__(self) -> None:
         if self.judgments_per_comparison < 1:
             raise ValueError("judgments_per_comparison must be at least 1")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Graceful-degradation policy for phase 2.
+
+    When the expert pool is exhausted (too few unbanned experts to
+    deliver the configured redundancy) or collapses mid-phase (a batch
+    settles degraded), phase 2 falls back to the phase-1 pool at
+    ``fallback_redundancy`` independent judgments per comparison,
+    majority-voted — the Section 4 amplification mechanism — and the
+    result is flagged ``degraded`` with reason
+    ``"expert_pool_exhausted"``.  See ``docs/RELIABILITY.md``.
+    """
+
+    fallback_redundancy: int = 5
+
+    def __post_init__(self) -> None:
+        if self.fallback_redundancy < 1:
+            raise ValueError("fallback_redundancy must be at least 1")
 
 
 @dataclass
@@ -173,9 +208,16 @@ class CrowdMaxJob:
         the platform ledger for the duration of the run (tightening any
         cap already there, never loosening it).  A breach raises
         :class:`BudgetExceededError` with the partial result.
+    resilience:
+        Optional :class:`ResiliencePolicy`.  When set, phase 2 runs
+        *strict* (a degraded expert batch surfaces as
+        :class:`~repro.platform.errors.DegradedBatchError`) and falls
+        back to amplified naive judgments instead of failing.
     """
 
     kind: Literal["max"] = "max"
+    #: Telemetry span bracketing one settled run of this job kind.
+    _span_name = "job.max"
 
     def __init__(
         self,
@@ -185,6 +227,7 @@ class CrowdMaxJob:
         phase2: JobPhaseConfig,
         budget_cap: float | None = None,
         hard_cap: float | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         if u_n < 1:
             raise ValueError("u_n must be at least 1")
@@ -196,31 +239,47 @@ class CrowdMaxJob:
         self.phase2 = phase2
         self.budget_cap = budget_cap
         self.hard_cap = hard_cap
+        self.resilience = resilience
+        #: ``(platform, rng, tracer)`` between submit() and settle().
+        self._binding: tuple[CrowdPlatform, np.random.Generator, Tracer] | None = None
         # Set by _phase2 implementations that had to degrade.
         self._degraded_reason = ""
         self._fallback_comparisons = 0
 
     # ------------------------------------------------------------------
-    def worst_case_cost(self, platform: CrowdPlatform) -> float:
-        """Theorem-1 worst-case bill against the platform's price list."""
-        n = len(
+    # Worst-case budgeting
+    # ------------------------------------------------------------------
+    def _n(self) -> int:
+        return len(
             self.instance.values
             if isinstance(self.instance, ProblemInstance)
             else self.instance
         )
+
+    def _filter_u(self) -> int:
+        """The (possibly inflated) confusion parameter for phase 1."""
+        return self.u_n
+
+    def worst_case_cost(self, platform: CrowdPlatform) -> float:
+        """Theorem-1 worst-case bill against the platform's price list."""
         pool1 = platform.pools[self.phase1.pool]
         pool2 = platform.pools[self.phase2.pool]
         naive_wc = (
-            filter_comparisons_upper_bound(n, self.u_n)
+            filter_comparisons_upper_bound(self._n(), self._filter_u())
             * self.phase1.judgments_per_comparison
             * pool1.cost_per_judgment
         )
         expert_wc = (
-            two_maxfind_comparisons_upper_bound(survivor_upper_bound(self.u_n))
+            self._phase2_comparisons_upper_bound()
             * self.phase2.judgments_per_comparison
             * pool2.cost_per_judgment
         )
         return naive_wc + expert_wc
+
+    def _phase2_comparisons_upper_bound(self) -> float:
+        return float(
+            two_maxfind_comparisons_upper_bound(survivor_upper_bound(self._filter_u()))
+        )
 
     def _check_budget(self, platform: CrowdPlatform) -> None:
         if self.budget_cap is None:
@@ -309,15 +368,40 @@ class CrowdMaxJob:
         )
         return BudgetExceededError(partial=partial, cap=exc.cap, spent=exc.spent)
 
-    def execute(
+    # ------------------------------------------------------------------
+    # The uniform submit()/settle() protocol
+    # ------------------------------------------------------------------
+    def submit(
         self,
         platform: CrowdPlatform,
         rng: np.random.Generator,
         tracer: Tracer | None = None,
-    ) -> CrowdJobResult:
-        """Run the job end to end and settle the bill."""
+    ) -> "CrowdMaxJob":
+        """Validate and bind the job to a platform; returns the job.
+
+        Performs the up-front worst-case budget check (rejecting the
+        job with a ``ValueError`` before any money is spent) and
+        records the execution binding consumed by :meth:`settle`.
+        The identical signature across all job classes is the contract
+        the :mod:`repro.scheduler` engine drives.
+        """
         self._check_budget(platform)
-        tracer = resolve_tracer(tracer)
+        self._binding = (platform, rng, resolve_tracer(tracer))
+        return self
+
+    def settle(self) -> CrowdJobResult:
+        """Run the previously submitted job to completion.
+
+        Raises ``RuntimeError`` when called without a prior
+        :meth:`submit`, :class:`BudgetExceededError` on a mid-flight
+        hard-cap breach (carrying the partial result), and re-binds
+        nothing — each settle consumes its binding.
+        """
+        if self._binding is None:
+            raise RuntimeError("settle() requires a prior submit(platform, rng)")
+        platform, rng, tracer = self._binding
+        self._binding = None
+
         meter = _JobMeter(platform)
         self._degraded_reason = ""
         self._fallback_comparisons = 0
@@ -328,9 +412,9 @@ class CrowdMaxJob:
         )
         survivors = np.asarray([], dtype=np.intp)
         try:
-            with tracer.span("job.max", u_n=self.u_n, budget_cap=self.budget_cap):
+            with tracer.span(self._span_name, **self._span_fields()):
                 survivors = filter_candidates(
-                    naive_oracle, u_n=self.u_n, tracer=tracer
+                    naive_oracle, u_n=self._filter_u(), tracer=tracer
                 ).survivors
                 answer = self._phase2(
                     platform, expert_oracle, survivors, rng, tracer=tracer
@@ -354,9 +438,24 @@ class CrowdMaxJob:
             degraded_reason=self._degraded_reason,
         )
 
+    def execute(
+        self,
+        platform: CrowdPlatform,
+        rng: np.random.Generator,
+        tracer: Tracer | None = None,
+    ) -> CrowdJobResult:
+        """One-call convenience: ``submit(platform, rng).settle()``."""
+        return self.submit(platform, rng, tracer=tracer).settle()
+
+    # ------------------------------------------------------------------
+    # Phase-2 template hooks
+    # ------------------------------------------------------------------
+    def _span_fields(self) -> dict[str, object]:
+        return {"u_n": self.u_n, "budget_cap": self.budget_cap}
+
     def _expert_strict(self) -> bool:
         """Whether phase 2 should surface degraded batches as errors."""
-        return False
+        return self.resilience is not None
 
     def _phase2(
         self,
@@ -368,71 +467,25 @@ class CrowdMaxJob:
     ) -> list[int]:
         if len(survivors) == 1:
             return [int(survivors[0])]
-        return [two_maxfind(expert_oracle, survivors, tracer=tracer).winner]
-
-
-class ResilientCrowdMaxJob(CrowdMaxJob):
-    """A MAX query that survives the collapse of its expert pool.
-
-    The paper assumes the expert pool answers every phase-2 comparison.
-    Under gold bans and fault injection it may be *exhausted* (too few
-    unbanned experts to deliver the configured redundancy) or collapse
-    mid-phase (a batch settles degraded).  This job then falls back to
-    the phase-1 pool at high redundancy (``fallback_redundancy``
-    independent judgments per comparison, majority-voted — the
-    Section 4 amplification mechanism), finishes the query, and flags
-    the result ``degraded`` with reason ``"expert_pool_exhausted"``.
-
-    Phase-2 batches run *strict*, so a degraded expert batch surfaces
-    as :class:`DegradedBatchError` and triggers the fallback instead of
-    silently feeding coin-flip majorities to 2-MaxFind.
-    """
-
-    def __init__(
-        self,
-        instance: ProblemInstance | np.ndarray,
-        u_n: int,
-        phase1: JobPhaseConfig,
-        phase2: JobPhaseConfig,
-        budget_cap: float | None = None,
-        hard_cap: float | None = None,
-        fallback_redundancy: int = 5,
-    ):
-        if fallback_redundancy < 1:
-            raise ValueError("fallback_redundancy must be at least 1")
-        super().__init__(
-            instance,
-            u_n,
-            phase1,
-            phase2,
-            budget_cap=budget_cap,
-            hard_cap=hard_cap,
-        )
-        self.fallback_redundancy = int(fallback_redundancy)
-
-    def _expert_strict(self) -> bool:
-        return True
-
-    def _phase2(
-        self,
-        platform: CrowdPlatform,
-        expert_oracle: ComparisonOracle,
-        survivors: np.ndarray,
-        rng: np.random.Generator,
-        tracer: Tracer | None = None,
-    ) -> list[int]:
-        if len(survivors) == 1:
-            return [int(survivors[0])]
+        if self.resilience is None:
+            return self._phase2_algorithm(expert_oracle, survivors, tracer)
         pool2 = platform.pools[self.phase2.pool]
         healthy = len(pool2.active_members) >= self.phase2.judgments_per_comparison
         if healthy:
             try:
-                return super()._phase2(
-                    platform, expert_oracle, survivors, rng, tracer=tracer
-                )
+                return self._phase2_algorithm(expert_oracle, survivors, tracer)
             except DegradedBatchError:
                 pass  # expert pool collapsed mid-phase; degrade below
         return self._phase2_fallback(platform, survivors, rng, tracer)
+
+    def _phase2_algorithm(
+        self,
+        expert_oracle: ComparisonOracle,
+        survivors: np.ndarray,
+        tracer: Tracer | None,
+    ) -> list[int]:
+        """The phase-2 algorithm proper, on an already-built oracle."""
+        return [two_maxfind(expert_oracle, survivors, tracer=tracer).winner]
 
     def _phase2_fallback(
         self,
@@ -442,10 +495,13 @@ class ResilientCrowdMaxJob(CrowdMaxJob):
         tracer: Tracer | None,
     ) -> list[int]:
         """Finish phase 2 on the naive pool with amplified redundancy."""
+        assert self.resilience is not None
         self._degraded_reason = "expert_pool_exhausted"
         tracer = resolve_tracer(tracer)
         pool1 = platform.pools[self.phase1.pool]
-        redundancy = max(1, min(self.fallback_redundancy, len(pool1.workers)))
+        redundancy = max(
+            1, min(self.resilience.fallback_redundancy, len(pool1.workers))
+        )
         if tracer.enabled:
             tracer.event(
                 "batch_degraded",
@@ -466,9 +522,53 @@ class ResilientCrowdMaxJob(CrowdMaxJob):
             label=self.phase1.pool,
             tracer=tracer,
         )
-        winner = two_maxfind(fallback_oracle, survivors, tracer=tracer).winner
+        answer = self._phase2_algorithm(fallback_oracle, survivors, tracer)
         self._fallback_comparisons = fallback_oracle.comparisons
-        return [winner]
+        return answer
+
+
+class ResilientCrowdMaxJob(CrowdMaxJob):
+    """Deprecated shim: ``CrowdMaxJob`` with a :class:`ResiliencePolicy`.
+
+    Graceful degradation is now a constructor option on every job class
+    (``resilience=ResiliencePolicy(fallback_redundancy=...)``); this
+    subclass only translates the old signature and warns.  It will be
+    removed in a future release — import :class:`CrowdMaxJob` from
+    :mod:`repro.api` instead.
+    """
+
+    def __init__(
+        self,
+        instance: ProblemInstance | np.ndarray,
+        u_n: int,
+        phase1: JobPhaseConfig,
+        phase2: JobPhaseConfig,
+        budget_cap: float | None = None,
+        hard_cap: float | None = None,
+        fallback_redundancy: int = 5,
+    ):
+        warnings.warn(
+            "ResilientCrowdMaxJob is deprecated; use "
+            "CrowdMaxJob(..., resilience=ResiliencePolicy(fallback_redundancy=...)) "
+            "from repro.api instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(
+            instance,
+            u_n,
+            phase1,
+            phase2,
+            budget_cap=budget_cap,
+            hard_cap=hard_cap,
+            resilience=ResiliencePolicy(fallback_redundancy=fallback_redundancy),
+        )
+
+    @property
+    def fallback_redundancy(self) -> int:
+        """The old attribute, forwarded to the policy."""
+        assert self.resilience is not None
+        return self.resilience.fallback_redundancy
 
 
 class CrowdTopKJob(CrowdMaxJob):
@@ -476,10 +576,13 @@ class CrowdTopKJob(CrowdMaxJob):
 
     Phase 1 filters with the inflated parameter ``u_n + k - 1`` (see
     :mod:`repro.core.topk`); phase 2 ranks the survivors with an expert
-    all-play-all and returns the best ``k``.
+    all-play-all and returns the best ``k``.  Speaks the same
+    :meth:`~CrowdMaxJob.submit` / :meth:`~CrowdMaxJob.settle` protocol
+    as every other job class.
     """
 
     kind: Literal["topk"] = "topk"  # type: ignore[assignment]
+    _span_name = "job.topk"
 
     def __init__(
         self,
@@ -490,71 +593,36 @@ class CrowdTopKJob(CrowdMaxJob):
         phase2: JobPhaseConfig,
         budget_cap: float | None = None,
         hard_cap: float | None = None,
+        resilience: ResiliencePolicy | None = None,
     ):
         if k < 1:
             raise ValueError("k must be at least 1")
         super().__init__(
-            instance, u_n, phase1, phase2, budget_cap=budget_cap, hard_cap=hard_cap
+            instance,
+            u_n,
+            phase1,
+            phase2,
+            budget_cap=budget_cap,
+            hard_cap=hard_cap,
+            resilience=resilience,
         )
         self.k = int(k)
 
-    def worst_case_cost(self, platform: CrowdPlatform) -> float:
-        n = len(
-            self.instance.values
-            if isinstance(self.instance, ProblemInstance)
-            else self.instance
-        )
-        inflated = self.u_n + self.k - 1
-        pool1 = platform.pools[self.phase1.pool]
-        pool2 = platform.pools[self.phase2.pool]
-        naive_wc = (
-            filter_comparisons_upper_bound(n, inflated)
-            * self.phase1.judgments_per_comparison
-            * pool1.cost_per_judgment
-        )
-        expert_wc = (
-            all_play_all_comparisons(survivor_upper_bound(inflated))
-            * self.phase2.judgments_per_comparison
-            * pool2.cost_per_judgment
-        )
-        return naive_wc + expert_wc
+    def _filter_u(self) -> int:
+        return self.u_n + self.k - 1
 
-    def execute(
+    def _phase2_comparisons_upper_bound(self) -> float:
+        return float(all_play_all_comparisons(survivor_upper_bound(self._filter_u())))
+
+    def _span_fields(self) -> dict[str, object]:
+        return {"u_n": self.u_n, "k": self.k}
+
+    def _phase2_algorithm(
         self,
-        platform: CrowdPlatform,
-        rng: np.random.Generator,
-        tracer: Tracer | None = None,
-    ) -> CrowdJobResult:
-        self._check_budget(platform)
-        tracer = resolve_tracer(tracer)
-        meter = _JobMeter(platform)
-        previous_cap = self._install_hard_cap(platform, meter)
-
-        naive_oracle, expert_oracle = self._build_oracles(platform, rng, tracer=tracer)
-        survivors = np.asarray([], dtype=np.intp)
-        try:
-            with tracer.span("job.topk", u_n=self.u_n, k=self.k):
-                survivors = filter_candidates(
-                    naive_oracle, u_n=self.u_n + self.k - 1, tracer=tracer
-                ).survivors
-                if len(survivors) == 1:
-                    ranking = [int(survivors[0])]
-                else:
-                    tournament = play_all_play_all(expert_oracle, survivors)
-                    order = np.argsort(-tournament.wins, kind="stable")
-                    ranking = [int(e) for e in tournament.elements[order][: self.k]]
-        except CostCapError as exc:
-            raise self._budget_exceeded(
-                exc, meter, survivors, naive_oracle, expert_oracle
-            ) from exc
-        finally:
-            platform.ledger.hard_cap = previous_cap
-        return CrowdJobResult(
-            answer=ranking,
-            survivors=survivors,
-            total_cost=meter.cost,
-            naive_comparisons=naive_oracle.comparisons,
-            expert_comparisons=expert_oracle.comparisons,
-            logical_steps=meter.logical,
-            physical_steps=meter.physical,
-        )
+        expert_oracle: ComparisonOracle,
+        survivors: np.ndarray,
+        tracer: Tracer | None,
+    ) -> list[int]:
+        tournament = play_all_play_all(expert_oracle, survivors)
+        order = np.argsort(-tournament.wins, kind="stable")
+        return [int(e) for e in tournament.elements[order][: self.k]]

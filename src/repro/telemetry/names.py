@@ -51,6 +51,12 @@ EVENT_KINDS: frozenset[str] = frozenset(
         # parallel engine
         "run_completed",
         "run_failed",
+        # multi-job scheduler
+        "scheduler_tick",
+        "job_admitted",
+        "batch_coalesced",
+        "cache_hit",
+        "job_settled",
         # CLI
         "cli_start",
     }
@@ -69,6 +75,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "job.max",
         "job.topk",
         "parallel_run",
+        "scheduler.run",
     }
 )
 

@@ -1,0 +1,160 @@
+"""Tests for the stable ``repro.api`` facade and the deprecation shims.
+
+The compatibility story under test: ``repro.api`` re-exports every
+supported name unchanged (same objects, not copies), the deprecated
+``ResilientCrowdMaxJob`` still works through every legacy import path
+but warns, and the shim is behaviourally identical to the replacement
+``resilience=ResiliencePolicy(...)`` option.
+"""
+
+import importlib
+
+import numpy as np
+import pytest
+
+import repro
+import repro.api
+from repro.core.generators import planted_instance
+from repro.platform.platform import CrowdPlatform
+from repro.platform.workforce import WorkerPool
+from repro.service import (
+    CrowdMaxJob,
+    JobPhaseConfig,
+    ResiliencePolicy,
+    ResilientCrowdMaxJob,
+)
+from repro.workers.threshold import ThresholdWorkerModel
+
+
+class TestFacadeSurface:
+    def test_every_name_is_the_home_module_object(self):
+        """repro.api aliases, never wraps: identity with the home module."""
+        home_modules = [
+            "repro.core",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.parallel",
+            "repro.platform",
+            "repro.scheduler",
+            "repro.service",
+            "repro.telemetry",
+            "repro.workers",
+        ]
+        homes = [importlib.import_module(m) for m in home_modules]
+        for name in repro.api.__all__:
+            obj = getattr(repro.api, name)
+            assert any(
+                getattr(home, name, None) is obj for home in homes
+            ), f"repro.api.{name} is not a plain re-export"
+
+    def test_all_is_sorted_within_sections(self):
+        # __all__ resolves (the dedicated meta-test covers docs etc.)
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name)
+        assert len(set(repro.api.__all__)) == len(repro.api.__all__)
+
+    def test_deprecated_name_is_not_on_the_facade(self):
+        assert "ResilientCrowdMaxJob" not in repro.api.__all__
+        assert not hasattr(repro.api, "ResilientCrowdMaxJob")
+
+    def test_package_still_reexports_the_shim(self):
+        # legacy `from repro import ResilientCrowdMaxJob` keeps working
+        assert repro.ResilientCrowdMaxJob is ResilientCrowdMaxJob
+        assert "ResilientCrowdMaxJob" in repro.__all__
+
+
+def make_setup(seed=777):
+    rng = np.random.default_rng(seed)
+    instance = planted_instance(
+        n=80, u_n=3, u_e=2, delta_n=1.0, delta_e=0.25, rng=rng
+    )
+    pools = {
+        "crowd": WorkerPool.homogeneous(
+            "crowd", ThresholdWorkerModel(delta=1.0), size=12, cost_per_judgment=1.0
+        ),
+        "experts": WorkerPool.homogeneous(
+            "experts",
+            ThresholdWorkerModel(delta=0.25, is_expert=True),
+            size=3,
+            cost_per_judgment=20.0,
+        ),
+    }
+    platform = CrowdPlatform(pools, rng=np.random.default_rng(seed + 1))
+    return instance, platform
+
+
+class TestDeprecationShim:
+    def test_shim_warns_on_construction(self):
+        instance, _ = make_setup()
+        with pytest.warns(DeprecationWarning, match="ResiliencePolicy"):
+            ResilientCrowdMaxJob(
+                instance,
+                u_n=3,
+                phase1=JobPhaseConfig(pool="crowd"),
+                phase2=JobPhaseConfig(pool="experts"),
+            )
+
+    def test_plain_job_does_not_warn(self, recwarn):
+        instance, _ = make_setup()
+        CrowdMaxJob(
+            instance,
+            u_n=3,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+            resilience=ResiliencePolicy(),
+        )
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_shim_maps_onto_the_resilience_option(self):
+        instance, _ = make_setup()
+        with pytest.warns(DeprecationWarning):
+            shim = ResilientCrowdMaxJob(
+                instance,
+                u_n=3,
+                phase1=JobPhaseConfig(pool="crowd"),
+                phase2=JobPhaseConfig(pool="experts"),
+                fallback_redundancy=7,
+            )
+        assert isinstance(shim, CrowdMaxJob)
+        assert shim.resilience == ResiliencePolicy(fallback_redundancy=7)
+        assert shim.fallback_redundancy == 7  # the legacy accessor
+
+    def test_shim_and_option_produce_identical_results(self):
+        results = []
+        for style in ("shim", "option"):
+            instance, platform = make_setup()
+            rng = np.random.default_rng(42)
+            if style == "shim":
+                with pytest.warns(DeprecationWarning):
+                    job = ResilientCrowdMaxJob(
+                        instance,
+                        u_n=3,
+                        phase1=JobPhaseConfig(pool="crowd"),
+                        phase2=JobPhaseConfig(pool="experts"),
+                        fallback_redundancy=5,
+                    )
+            else:
+                job = CrowdMaxJob(
+                    instance,
+                    u_n=3,
+                    phase1=JobPhaseConfig(pool="crowd"),
+                    phase2=JobPhaseConfig(pool="experts"),
+                    resilience=ResiliencePolicy(fallback_redundancy=5),
+                )
+            result = job.execute(platform, rng)
+            results.append((result.answer, round(result.total_cost, 9)))
+        assert results[0] == results[1]
+
+    def test_shim_rejects_bad_redundancy(self):
+        instance, _ = make_setup()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError):
+                ResilientCrowdMaxJob(
+                    instance,
+                    u_n=3,
+                    phase1=JobPhaseConfig(pool="crowd"),
+                    phase2=JobPhaseConfig(pool="experts"),
+                    fallback_redundancy=0,
+                )

@@ -34,7 +34,7 @@ from repro.service import (
     CrowdJobResult,
     CrowdMaxJob,
     JobPhaseConfig,
-    ResilientCrowdMaxJob,
+    ResiliencePolicy,
 )
 from repro.workers.threshold import ThresholdWorkerModel
 
@@ -164,13 +164,13 @@ class TestJobChaosInvariant:
         )
         values = rng.permutation(np.linspace(0.0, 40.0, 24))
         resilient = bool(rng.random() < 0.5)
-        job_cls = ResilientCrowdMaxJob if resilient else CrowdMaxJob
-        job = job_cls(
+        job = CrowdMaxJob(
             values,
             u_n=3,
             phase1=JobPhaseConfig("naive"),
             phase2=JobPhaseConfig("expert", judgments_per_comparison=2),
             hard_cap=hard_cap,
+            resilience=ResiliencePolicy() if resilient else None,
         )
         try:
             result = job.execute(platform, rng)

@@ -436,10 +436,74 @@ class TestERR003BroadExceptNoReraise:
         )
 
 
+class TestAPI001StableApiSurface:
+    def test_deprecated_import_flagged_in_src(self):
+        assert rule_ids("from repro.service import ResilientCrowdMaxJob\n") == [
+            "API001"
+        ]
+
+    def test_relative_deprecated_import_flagged(self):
+        assert rule_ids("from .service import ResilientCrowdMaxJob\n") == ["API001"]
+
+    def test_package_reexport_import_flagged(self):
+        assert rule_ids("from repro import ResilientCrowdMaxJob\n") == ["API001"]
+
+    def test_current_names_allowed_in_src(self):
+        assert rule_ids(
+            "from repro.service import CrowdMaxJob, ResiliencePolicy\n"
+        ) == []
+
+    def test_internal_modules_allowed_in_src(self):
+        assert rule_ids("from repro.scheduler.engine import CrowdScheduler\n") == []
+
+    def test_deprecated_allowed_in_tests(self):
+        assert rule_ids(
+            "from repro.service import ResilientCrowdMaxJob\n", context="tests"
+        ) == []
+
+    def test_internal_from_import_flagged_in_examples(self):
+        assert rule_ids(
+            "from repro.service import CrowdMaxJob\n", context="examples"
+        ) == ["API001"]
+
+    def test_internal_module_import_flagged_in_examples(self):
+        assert rule_ids("import repro.platform\n", context="examples") == ["API001"]
+
+    def test_package_import_flagged_in_examples(self):
+        assert rule_ids("from repro import find_max\n", context="examples") == [
+            "API001"
+        ]
+
+    def test_facade_allowed_in_examples(self):
+        assert rule_ids(
+            "from repro.api import CrowdScheduler, find_max\n", context="examples"
+        ) == []
+
+    def test_third_party_allowed_in_examples(self):
+        assert rule_ids("import numpy as np\n", context="examples") == []
+
+    def test_literal_seed_allowed_in_examples(self):
+        # Only the API rules run in the examples context; RNG/DET/... do not.
+        assert rule_ids(
+            "import numpy as np\nrng = np.random.default_rng(42)\n",
+            context="examples",
+        ) == []
+
+    def test_suppressed(self):
+        assert (
+            lint(
+                "from repro.service import ResilientCrowdMaxJob"
+                "  # repro-lint: disable=API001 -- the shim's own round-trip test\n"
+            )
+            == []
+        )
+
+
 class TestRulePackShape:
     def test_all_expected_rules_registered(self):
         ids = {cls.rule_id for cls in default_rules()}
         assert ids == {
+            "API001",
             "RNG001",
             "RNG002",
             "RNG003",
@@ -459,4 +523,4 @@ class TestRulePackShape:
         for cls in default_rules():
             assert cls.summary, cls.rule_id
             assert cls.rationale, cls.rule_id
-            assert cls.contexts <= {"src", "tests"}, cls.rule_id
+            assert cls.contexts <= {"src", "tests", "examples"}, cls.rule_id

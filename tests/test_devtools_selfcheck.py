@@ -1,6 +1,7 @@
 """Self-application: the repository must pass its own linter.
 
-This is the contract CI enforces — ``repro-lint src tests`` exits 0 —
+This is the contract CI enforces — ``repro-lint src tests examples``
+exits 0 —
 plus CLI-surface checks (exit codes, ``--list-rules``, JSON mode) and
 optional ruff/mypy runs that skip when the tools are not installed
 (the offline test environment ships neither; the CI ``lint`` job does).
@@ -20,19 +21,20 @@ from repro.devtools.lint.cli import build_parser, main
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 TESTS = REPO_ROOT / "tests"
+EXAMPLES = REPO_ROOT / "examples"
 
 
 class TestSelfCheck:
     def test_repository_lints_clean(self, capsys):
         """The gate: the linter applied to its own repository is clean."""
-        exit_code = main([str(SRC), str(TESTS)])
+        exit_code = main([str(SRC), str(TESTS), str(EXAMPLES)])
         out = capsys.readouterr().out
         assert exit_code == 0, f"repro-lint found violations:\n{out}"
         assert "ok:" in out
         assert "files clean" in out
 
     def test_json_self_check(self, capsys):
-        exit_code = main([str(SRC), str(TESTS), "--format", "json"])
+        exit_code = main([str(SRC), str(TESTS), str(EXAMPLES), "--format", "json"])
         payload = json.loads(capsys.readouterr().out)
         assert exit_code == 0
         assert payload["ok"] is True
@@ -42,7 +44,14 @@ class TestSelfCheck:
     def test_module_invocation(self):
         """``python -m repro.devtools.lint.cli`` works as the CI job runs it."""
         result = subprocess.run(
-            [sys.executable, "-m", "repro.devtools.lint.cli", "src", "tests"],
+            [
+                sys.executable,
+                "-m",
+                "repro.devtools.lint.cli",
+                "src",
+                "tests",
+                "examples",
+            ],
             cwd=REPO_ROOT,
             capture_output=True,
             text=True,
@@ -55,7 +64,7 @@ class TestCliSurface:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("RNG001", "DET001", "FRK001", "TEL001", "ERR001"):
+        for rule_id in ("API001", "RNG001", "DET001", "FRK001", "TEL001", "ERR001"):
             assert rule_id in out
 
     def test_select_subset_runs(self, capsys):
@@ -84,7 +93,7 @@ class TestCliSurface:
 
     def test_parser_defaults(self):
         args = build_parser().parse_args([])
-        assert args.paths == ["src", "tests"]
+        assert args.paths == ["src", "tests", "examples"]
         assert args.format == "text"
 
 

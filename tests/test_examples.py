@@ -21,6 +21,8 @@ EXAMPLES = {
     "talent_cascade.py": "Cascade winner",
     "crowd_query.py": "TOP-5 answer",
     "traced_run.py": "trace agrees with the result counters exactly",
+    "run_single_job.py": "total cost",
+    "serve_shared_pools.py": "cache:",
 }
 
 

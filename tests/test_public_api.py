@@ -34,6 +34,8 @@ PUBLIC_MODULES = [
     "repro.experiments",
     "repro.analysis",
     "repro.service",
+    "repro.scheduler",
+    "repro.api",
     "repro.cli",
 ]
 
@@ -88,7 +90,7 @@ def test_public_callables_are_documented(module_name):
 
 
 def test_readme_quickstart_imports():
-    from repro import find_max, make_worker_classes, planted_instance  # noqa: F401
+    from repro.api import find_max, make_worker_classes, planted_instance  # noqa: F401
 
 
 def test_version_is_exposed():

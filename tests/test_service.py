@@ -12,7 +12,7 @@ from repro.service import (
     CrowdMaxJob,
     CrowdTopKJob,
     JobPhaseConfig,
-    ResilientCrowdMaxJob,
+    ResiliencePolicy,
 )
 from repro.workers.base import PerfectWorkerModel
 from repro.workers.threshold import ThresholdWorkerModel
@@ -173,21 +173,21 @@ class TestMidFlightBudget:
             max_job(instance, hard_cap=0.0)
 
 
-class TestResilientCrowdMaxJob:
-    def resilient_job(self, instance, **kwargs):
-        return ResilientCrowdMaxJob(
+class TestResiliencePolicy:
+    def resilient_job(self, instance, policy=None):
+        return CrowdMaxJob(
             instance,
             u_n=5,
             phase1=JobPhaseConfig(pool="crowd"),
             phase2=JobPhaseConfig(pool="experts"),
-            **kwargs,
+            resilience=policy if policy is not None else ResiliencePolicy(),
         )
 
     def test_healthy_path_matches_the_plain_job(self, instance):
-        # With a healthy expert pool the resilient job is a drop-in: the
+        # With a healthy expert pool a resilient job is a drop-in: the
         # strict adapter only changes behaviour when a batch degrades.
         results = []
-        for job_cls in (CrowdMaxJob, ResilientCrowdMaxJob):
+        for resilience in (None, ResiliencePolicy()):
             run_rng = np.random.default_rng(777)
             pools = {
                 "crowd": WorkerPool.homogeneous(
@@ -200,11 +200,12 @@ class TestResilientCrowdMaxJob:
                     cost_per_judgment=20.0,
                 ),
             }
-            job = job_cls(
+            job = CrowdMaxJob(
                 instance,
                 u_n=5,
                 phase1=JobPhaseConfig(pool="crowd"),
                 phase2=JobPhaseConfig(pool="experts"),
+                resilience=resilience,
             )
             results.append(job.execute(CrowdPlatform(pools, run_rng), run_rng))
         plain, resilient = results
@@ -234,9 +235,9 @@ class TestResilientCrowdMaxJob:
         assert platform.ledger.operations("crowd") > 0
 
     def test_plain_job_does_not_degrade_gracefully(self, rng):
-        # The contrast case: without the resilient wrapper, a banned-out
+        # The contrast case: without a resilience policy, a banned-out
         # expert pool silently yields coin-flip majorities (the result
-        # is *not* flagged) — the reason ResilientCrowdMaxJob exists.
+        # is *not* flagged) — the reason ResiliencePolicy exists.
         values = np.asarray(np.random.default_rng(5).permutation(60), dtype=float)
         pools = {
             "crowd": WorkerPool.homogeneous("crowd", PerfectWorkerModel(), size=10),
@@ -255,9 +256,9 @@ class TestResilientCrowdMaxJob:
         ).execute(platform, rng)
         assert not result.degraded  # silent — no flag, answers are noise
 
-    def test_validation(self, instance):
+    def test_validation(self):
         with pytest.raises(ValueError):
-            self.resilient_job(instance, fallback_redundancy=0)
+            ResiliencePolicy(fallback_redundancy=0)
 
 
 class TestCrowdTopKJob:
@@ -319,3 +320,85 @@ class TestCrowdTopKJob:
                 phase1=JobPhaseConfig(pool="a"),
                 phase2=JobPhaseConfig(pool="b"),
             )
+
+
+class TestSubmitSettleProtocol:
+    """The uniform two-step protocol the scheduler engine drives."""
+
+    def test_execute_equals_submit_then_settle(self, instance):
+        results = []
+        for style in ("execute", "submit"):
+            run_rng = np.random.default_rng(321)
+            pools = {
+                "crowd": WorkerPool.homogeneous(
+                    "crowd", ThresholdWorkerModel(delta=1.0), size=20
+                ),
+                "experts": WorkerPool.homogeneous(
+                    "experts",
+                    ThresholdWorkerModel(delta=0.25, is_expert=True),
+                    size=3,
+                    cost_per_judgment=20.0,
+                ),
+            }
+            platform = CrowdPlatform(pools, run_rng)
+            job = max_job(instance)
+            if style == "execute":
+                results.append(job.execute(platform, run_rng))
+            else:
+                results.append(job.submit(platform, run_rng).settle())
+        direct, staged = results
+        assert staged.answer == direct.answer
+        assert staged.total_cost == pytest.approx(direct.total_cost)
+
+    def test_settle_without_submit_is_an_error(self, instance):
+        with pytest.raises(RuntimeError, match="submit"):
+            max_job(instance).settle()
+
+    def test_settle_consumes_the_binding(self, rng, platform, instance):
+        job = max_job(instance).submit(platform, rng)
+        job.settle()
+        with pytest.raises(RuntimeError, match="submit"):
+            job.settle()
+
+    def test_budget_rejection_happens_at_submit_not_settle(
+        self, rng, platform, instance
+    ):
+        job = max_job(instance, budget_cap=100.0)
+        with pytest.raises(ValueError, match="budget cap"):
+            job.submit(platform, rng)
+        # rejected before any binding: nothing to settle, nothing spent
+        assert platform.ledger.total_cost == 0.0
+        with pytest.raises(RuntimeError, match="submit"):
+            job.settle()
+
+    def test_mid_flight_breach_surfaces_at_settle_with_partial(
+        self, rng, platform, instance
+    ):
+        job = max_job(instance, hard_cap=50.0)
+        job.submit(platform, rng)  # the cap check passes; breach is mid-flight
+        with pytest.raises(BudgetExceededError) as excinfo:
+            job.settle()
+        assert excinfo.value.partial.degraded_reason == "budget"
+        assert platform.ledger.total_cost <= 50.0 + 1e-9
+
+    def test_degradation_propagates_through_the_staged_path(self, rng):
+        values = np.asarray(np.random.default_rng(5).permutation(60), dtype=float)
+        pools = {
+            "crowd": WorkerPool.homogeneous("crowd", PerfectWorkerModel(), size=10),
+            "experts": WorkerPool.homogeneous(
+                "experts", PerfectWorkerModel(), size=3, cost_per_judgment=20.0
+            ),
+        }
+        platform = CrowdPlatform(pools, rng)
+        for worker in pools["experts"].workers:
+            worker.banned = True
+        job = CrowdMaxJob(
+            values,
+            u_n=5,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+            resilience=ResiliencePolicy(fallback_redundancy=5),
+        )
+        result = job.submit(platform, rng).settle()
+        assert result.degraded
+        assert result.degraded_reason == "expert_pool_exhausted"
