@@ -74,7 +74,13 @@ from .experiments import (
     run_table2_cars,
     survival_table,
 )
-from .experiments.bench import bench_table, run_bench_comparison, write_bench_json
+from .experiments.bench import (
+    bench_identical,
+    bench_table,
+    oracle_bench_table,
+    run_bench_comparison,
+    write_bench_json,
+)
 from .experiments.bench_scheduler import (
     run_scheduler_bench,
     scheduler_bench_table,
@@ -233,11 +239,14 @@ def main(argv: list[str] | None = None) -> int:
     return code
 
 
-def _run_bench(args: argparse.Namespace) -> None:
+def _run_bench(args: argparse.Namespace) -> int:
     """The ``bench`` subcommand: timed serial-vs-parallel comparison.
 
-    Prints the speedup table and writes the ``BENCH_sweep.json`` perf
-    baseline (atomically) into ``--out`` (default ``results/``).
+    Prints the speedup and vectorized-vs-scalar oracle tables and
+    writes the ``BENCH_sweep.json`` perf baseline (atomically) into
+    ``--out`` (default ``results/``).  Exits nonzero when any
+    bit-identity check failed — a correctness regression, not a perf
+    number — so the CI perf job fails loudly.
     """
     payload = run_bench_comparison(
         seed=args.seed,
@@ -247,9 +256,15 @@ def _run_bench(args: argparse.Namespace) -> None:
     )
     print(bench_table(payload).to_text())
     print()
+    print(oracle_bench_table(payload).to_text())
+    print()
     out = args.out if args.out is not None else Path("results")
     path = write_bench_json(payload, out / "BENCH_sweep.json")
     print(f"(wrote {path})")
+    if not bench_identical(payload):
+        print("BENCH FAILED: a bit-identity check returned false")
+        return 1
+    return 0
 
 
 def _run_serve_sim(args: argparse.Namespace) -> None:
@@ -283,8 +298,7 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
         _emit(run_figure2_cars(rng), out)
 
     if command == "bench":
-        _run_bench(args)
-        return 0
+        return _run_bench(args)
     if command == "serve-sim":
         _run_serve_sim(args)
         return 0

@@ -31,7 +31,7 @@ import numpy as np
 
 from ..telemetry import Tracer, resolve_tracer
 from .oracle import ComparisonOracle
-from .tournament import play_all_play_all
+from .tournament import pair_positions
 
 __all__ = ["FilterRound", "FilterResult", "filter_candidates"]
 
@@ -160,35 +160,90 @@ def filter_candidates(
                 rng.shuffle(current)
 
             input_size = len(current)
-            survivors: list[np.ndarray] = []
             round_comparisons = 0
-            n_groups = 0
-            for start in range(0, len(current), g):
-                group = current[start : start + g]
-                n_groups += 1
-                is_last_partial = len(group) < g
-                if is_last_partial and len(group) <= u_n:
-                    # Line 12-13 of Algorithm 2: a trailing group of at most
-                    # u_n elements passes through untouched.
-                    survivors.append(group)
-                    continue
-                result = play_all_play_all(oracle, group)
-                # Every fresh comparison yields exactly one fresh loss.
-                round_comparisons += int(result.fresh_losses.sum())
-                keep_threshold = len(group) - u_n
-                kept = result.with_wins_at_least(keep_threshold)
+
+            # Batch every group's all-play-all pairing into ONE oracle
+            # call per round: groups partition `current`, so the union
+            # of their upper-triangle pairings contains no duplicate
+            # pairs and the per-group tallies fall out of one bincount
+            # over positions within `current`.  Full groups all share
+            # size ``g``, so their pairings are one broadcast add of the
+            # cached C(g, 2) table over the group offsets, and their
+            # keep thresholds reduce over one (n_full, g) reshape — no
+            # per-group Python loop.
+            n_full = input_size // g
+            trailing = input_size - n_full * g
+            n_groups = n_full + (1 if trailing else 0)
+            trailing_passthrough = 0 < trailing <= u_n
+            left_g, right_g = pair_positions(g)
+            offsets = np.arange(n_full, dtype=np.intp) * g
+            left_parts = [(offsets[:, None] + left_g[None, :]).ravel()]
+            right_parts = [(offsets[:, None] + right_g[None, :]).ravel()]
+            if trailing and not trailing_passthrough:
+                # A short trailing group of more than u_n elements plays
+                # its (smaller) tournament like any other group.
+                left_t, right_t = pair_positions(trailing)
+                left_parts.append(left_t + n_full * g)
+                right_parts.append(right_t + n_full * g)
+            # A single part (no trailing tournament) is the common case;
+            # concatenating one array would just copy it.
+            pl = left_parts[0] if len(left_parts) == 1 else np.concatenate(left_parts)
+            pr = right_parts[0] if len(right_parts) == 1 else np.concatenate(right_parts)
+
+            if len(pl):
+                ci = current[pl]
+                # The fresh mask (an extra materialised array per
+                # round) is only needed to attribute fresh losses; the
+                # round's fresh-comparison count falls out of the
+                # oracle's counter either way.
+                before_fresh = oracle.comparisons
                 if loss_counters is not None:
+                    first_won, fresh_mask = oracle.compare_pairs(
+                        ci,
+                        current[pr],
+                        return_fresh=True,
+                        assume_unique=True,
+                        validate=False,
+                        return_first_wins=True,
+                    )
+                else:
+                    first_won = oracle.compare_pairs(
+                        ci,
+                        current[pr],
+                        assume_unique=True,
+                        validate=False,
+                        return_first_wins=True,
+                    )
+                lose_pos = np.where(first_won, pr, pl)
+                losses = np.bincount(lose_pos, minlength=input_size)
+                # Every fresh comparison yields exactly one fresh loss.
+                round_comparisons = oracle.comparisons - before_fresh
+                if loss_counters is not None:
+                    fresh_losses = np.bincount(
+                        lose_pos[fresh_mask], minlength=input_size
+                    )
                     # Groups partition the round's population, so each
                     # element appears at most once per round: plain
                     # fancy-index accumulation is race-free.
-                    loss_counters[result.elements] += result.fresh_losses
-                    kept = kept[loss_counters[kept] <= u_n]
-                survivors.append(kept)
+                    loss_counters[current] += fresh_losses
+
+                # Line 12-13 of Algorithm 2 keeps the elements with at
+                # least ``size - u_n`` wins; every group member plays
+                # ``size - 1`` games, so that is exactly ``losses <=
+                # u_n - 1`` — one loss-side tally covers full and
+                # trailing groups alike, and a passthrough trailing
+                # group (which played nothing) keeps automatically.
+                keep = losses <= u_n - 1
+            else:
+                keep = np.ones(input_size, dtype=bool)
+            if loss_counters is not None:
+                # The loss-counter cull only applies to elements that
+                # played a tournament this round.
+                played = input_size if not trailing_passthrough else n_full * g
+                keep[:played] &= loss_counters[current[:played]] <= u_n
 
             previous = current
-            current = (
-                np.concatenate(survivors) if survivors else np.empty(0, dtype=np.intp)
-            )
+            current = current[keep]
             total_comparisons += round_comparisons
             if len(current) == 0:
                 # Only possible when u_n was (badly) underestimated: every

@@ -43,6 +43,17 @@ __all__ = ["ComparisonOracle", "CostChargeable", "DEFAULT_DENSE_MEMO_LIMIT"]
 # oracle with the ``dense_memo_limit`` constructor parameter.
 DEFAULT_DENSE_MEMO_LIMIT = 16_000
 
+# Dense-memo cell states as int8 scalars, so the memo write produces an
+# int8 array directly instead of an intermediate int64 + astype.  The
+# dense memo stores BOTH orientations of every resolved pair — cell
+# (a, b) says whether a (row index) or b beat the other — so batch
+# lookups gather ``matrix[ii, jj]`` directly without canonicalising the
+# pair to (lo, hi) first.  Writes are O(fresh pairs) and lookups are
+# O(batch); fresh pairs are the minority in memo-heavy workloads, so
+# doubling the writes to halve the lookup passes is a net win.
+_ROW_WINS = np.int8(1)
+_COL_WINS = np.int8(2)
+
 
 class CostChargeable(Protocol):
     """Anything that can be charged for comparisons (see accounting)."""
@@ -134,6 +145,20 @@ class ComparisonOracle:
         else:
             self._memo_matrix = None
             self._memo_dict = None
+        # Flat alias of the dense memo: batch reads/writes go through
+        # ``flat[i * n + j]`` — 2-D fancy indexing costs several times
+        # more per call than flat indexing for the same elements.
+        self._memo_flat: np.ndarray | None = (
+            self._memo_matrix.reshape(-1) if self._memo_matrix is not None else None
+        )
+        # Sorted snapshot of the dict memo for vectorised batch lookup
+        # (rebuilt lazily whenever the dict has grown since the last
+        # batch); the dict itself stays the source of truth.
+        self._memo_keys = np.empty(0, dtype=np.int64)
+        self._memo_vals = np.empty(0, dtype=bool)
+        self._memo_synced = 0
+        # Pairs currently memoized; lets batch lookups skip an empty memo.
+        self._memo_stored = 0
 
         #: Fresh comparisons actually performed by workers (paid).
         self.comparisons = 0
@@ -144,17 +169,83 @@ class ComparisonOracle:
     # Queries
     # ------------------------------------------------------------------
     def compare(self, i: int, j: int) -> int:
-        """Winner of the comparison between elements ``i`` and ``j``."""
-        winners = self.compare_pairs(
-            np.asarray([i], dtype=np.intp), np.asarray([j], dtype=np.intp)
-        )
-        return int(winners[0])
+        """Winner of the comparison between elements ``i`` and ``j``.
+
+        Scalar fast path: shares the memo, counter, ledger, and
+        telemetry logic of :meth:`compare_pairs` without building any
+        batch arrays — the remaining scalar call sites (the adaptive
+        loops of ``randomized_maxfind`` and phase 2) are inherently
+        sequential, so this path is their hot path.  Answers are
+        bit-identical to a length-1 :meth:`compare_pairs` call: a fresh
+        pair is resolved through the same ``model.decide`` invocation
+        (length-1 arrays, same RNG consumption).
+        """
+        i = int(i)
+        j = int(j)
+        if i == j:
+            raise ValueError("a worker never receives two copies of the same element")
+        if not (0 <= i < self.n and 0 <= j < self.n):
+            raise ValueError("element index out of range")
+        self.requests += 1
+        winner = -1
+        if self.memoize:
+            if self._memo_matrix is not None:
+                state = int(self._memo_matrix[i, j])
+                if state != 0:
+                    winner = i if state == 1 else j
+            else:
+                assert self._memo_dict is not None
+                lo, hi = (i, j) if i < j else (j, i)
+                stored = self._memo_dict.get(lo * self.n + hi)
+                if stored is not None:
+                    winner = lo if stored else hi
+        known = winner >= 0
+        if not known:
+            # decide_single routes through the same length-1 ``decide``
+            # call compare_pairs would make, so the RNG stream (and
+            # therefore the answer) is identical to the batched path.
+            first_wins = self.model.decide_single(
+                float(self.values[i]), float(self.values[j]), self.rng, i, j
+            )
+            winner = i if first_wins else j
+            self.comparisons += 1
+            if self.ledger is not None:
+                self.ledger.charge(self.label, 1, self.cost_per_comparison)
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "ledger_charge",
+                        label=self.label,
+                        count=1,
+                        unit_cost=self.cost_per_comparison,
+                    )
+            if self.memoize:
+                if self._memo_matrix is not None:
+                    self._memo_matrix[i, j] = 1 if first_wins else 2
+                    self._memo_matrix[j, i] = 2 if first_wins else 1
+                else:
+                    assert self._memo_dict is not None
+                    lo, hi = (i, j) if i < j else (j, i)
+                    self._memo_dict[lo * self.n + hi] = winner == lo
+                self._memo_stored += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "oracle_batch",
+                label=self.label,
+                requests=1,
+                fresh=0 if known else 1,
+                memo_hits=1 if known else 0,
+                batch_dupes=0,
+            )
+        return winner
 
     def compare_pairs(
         self,
         indices_i: np.ndarray,
         indices_j: np.ndarray,
         return_fresh: bool = False,
+        assume_unique: bool = False,
+        validate: bool = True,
+        return_first_wins: bool = False,
     ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
         """Winners for a batch of pairs (a "batch" in the Section 3 sense).
 
@@ -168,50 +259,99 @@ class ComparisonOracle:
             Also return a boolean mask of the pairs that were resolved
             fresh (not from the memo) *for the first time in this
             batch*.  The filter phase uses it to count distinct losses.
+        assume_unique:
+            Caller contract that the batch contains no duplicate
+            (unordered) pairs, letting the oracle skip its in-batch
+            dedup pass (``np.unique``).  All-play-all pairings over
+            distinct elements satisfy it by construction.  Passing
+            duplicates with this flag set double-charges them and may
+            answer them inconsistently within the batch.
+        validate:
+            Range/distinctness checks on the index arrays (five full
+            array reductions).  Internal hot-path callers that derive
+            both arrays from an already-validated element set (the
+            filter rounds, all-play-all pairings, 2-MaxFind's pivot
+            batches) pass ``False``; external callers should keep the
+            default.
+        return_first_wins:
+            Return the boolean ``first element won`` mask instead of
+            winner element ids.  Every tournament-style caller
+            immediately recomputes that mask as ``winners ==
+            indices_i``; answering it directly skips the winner-id
+            materialisation on both sides (the dense memo stores
+            exactly this bit).  Requires ``assume_unique`` — the
+            in-batch dedup pass is defined on winner ids, where
+            orientation does not matter.
 
         Returns
         -------
         winners : numpy.ndarray
-            Winner element index per pair.
+            Winner element index per pair — or the boolean first-wins
+            mask when ``return_first_wins`` is set.
         fresh : numpy.ndarray of bool, optional
             Present when ``return_fresh`` is true.
         """
+        if return_first_wins and not assume_unique:
+            raise ValueError("return_first_wins requires assume_unique")
         ii = np.asarray(indices_i, dtype=np.intp)
         jj = np.asarray(indices_j, dtype=np.intp)
         if ii.shape != jj.shape or ii.ndim != 1:
             raise ValueError("index arrays must be 1-D and of equal length")
         if len(ii) == 0:
-            empty = np.empty(0, dtype=np.intp)
+            empty = np.empty(0, dtype=bool if return_first_wins else np.intp)
             return (empty, np.empty(0, dtype=bool)) if return_fresh else empty
-        if np.any(ii == jj):
-            raise ValueError("a worker never receives two copies of the same element")
-        if np.any((ii < 0) | (ii >= self.n) | (jj < 0) | (jj >= self.n)):
-            raise ValueError("element index out of range")
 
-        self.requests += len(ii)
-        lo = np.minimum(ii, jj)
-        hi = np.maximum(ii, jj)
-        winners = np.empty(len(ii), dtype=np.intp)
-        fresh = np.zeros(len(ii), dtype=bool)
-
-        known = np.zeros(len(ii), dtype=bool)
+        n_pairs = len(ii)
+        self.requests += n_pairs
+        if validate:
+            if (
+                int(ii.min()) < 0
+                or int(jj.min()) < 0
+                or int(ii.max()) >= self.n
+                or int(jj.max()) >= self.n
+            ):
+                raise ValueError("element index out of range")
+            if bool((ii == jj).any()):
+                raise ValueError(
+                    "a worker never receives two copies of the same element"
+                )
+        # The winners buffer and the fresh mask are only materialised
+        # when somebody fills/reads them; the all-fresh fast lane
+        # builds both in one shot inside _resolve_fresh.
+        winners: np.ndarray | None = None
+        fresh: np.ndarray | None = None
+        n_known = 0
+        need_pos: np.ndarray | None = None
         if self.memoize:
-            known = self._memo_lookup(lo, hi, winners)
-        need = ~known
+            need_pos, n_known, winners = self._memo_lookup(ii, jj, return_first_wins)
         n_fresh = 0
-        if np.any(need):
-            n_fresh = self._resolve_fresh(ii, jj, lo, hi, need, winners, fresh)
+        if n_known < n_pairs:
+            if return_fresh and n_known:
+                fresh = np.zeros(n_pairs, dtype=bool)
+            winners, fresh, n_fresh = self._resolve_fresh(
+                ii,
+                jj,
+                need_pos,
+                winners,
+                fresh,
+                assume_unique,
+                return_fresh,
+                return_first_wins,
+            )
+        elif return_fresh:
+            fresh = np.zeros(n_pairs, dtype=bool)
+        assert winners is not None
         if self.tracer.enabled:
-            memo_hits = int(np.count_nonzero(known))
             self.tracer.event(
                 "oracle_batch",
                 label=self.label,
-                requests=len(ii),
+                requests=n_pairs,
                 fresh=n_fresh,
-                memo_hits=memo_hits,
-                batch_dupes=len(ii) - n_fresh - memo_hits,
+                memo_hits=n_known,
+                batch_dupes=n_pairs - n_fresh - n_known,
             )
         if return_fresh:
+            assert fresh is not None
             return winners, fresh
         return winners
 
@@ -219,64 +359,175 @@ class ComparisonOracle:
     # Internals
     # ------------------------------------------------------------------
     def _memo_lookup(
-        self, lo: np.ndarray, hi: np.ndarray, winners: np.ndarray
-    ) -> np.ndarray:
-        """Fill memoized winners; return the mask of known pairs."""
-        if self._memo_matrix is not None:
-            state = self._memo_matrix[lo, hi]
-            known = state != 0
-            winners[known] = np.where(state[known] == 1, lo[known], hi[known])
-            return known
+        self, ii: np.ndarray, jj: np.ndarray, first_wins: bool = False
+    ) -> tuple[np.ndarray | None, int, np.ndarray | None]:
+        """Memoized winners: ``(unknown positions, hit count, winners)``.
+
+        The position array is ``None`` when *nothing* is known — the
+        caller then resolves the whole batch without any gathers or
+        buffer allocation (``winners`` comes back ``None`` too) — and
+        empty when everything is.  When at least one pair is known, a
+        winners buffer is allocated with *every* slot filled — the
+        unknown slots with garbage — because the fresh-resolution pass
+        overwrites exactly the unknown slots anyway; two unconditional
+        ``copyto`` passes beat four boolean-masked gathers.  In
+        first-wins mode the buffer is the boolean mask instead of
+        winner ids — a single elementwise comparison, no ``copyto``.
+        """
+        if self._memo_flat is not None:
+            if self._memo_stored == 0:
+                return None, 0, None
+            # Both orientations are stored, so no (lo, hi) canonical
+            # form is needed: gather the batch's own orientation.
+            state = self._memo_flat[ii * self.n + jj]
+            need_pos = np.flatnonzero(state == 0)
+            n_known = len(ii) - len(need_pos)
+            if n_known == 0:
+                return None, 0, None
+            if first_wins:
+                # The memo code *is* the answer: row-wins == first wins.
+                return need_pos, n_known, state == _ROW_WINS
+            winners = np.empty(len(ii), dtype=np.intp)
+            np.copyto(winners, jj)
+            np.copyto(winners, ii, where=state == _ROW_WINS)
+            return need_pos, n_known, winners
         assert self._memo_dict is not None
-        keys = lo * self.n + hi
-        known = np.zeros(len(lo), dtype=bool)
+        if not self._memo_dict:
+            return None, 0, None
+        self._sync_dict_index()
+        lo = np.minimum(ii, jj)
+        hi = np.maximum(ii, jj)
+        keys = lo.astype(np.int64, copy=False) * self.n + hi
+        # Sorted-key search: one vectorised searchsorted instead of a
+        # Python-level dict probe per pair.
+        pos = np.searchsorted(self._memo_keys, keys)
+        pos = np.minimum(pos, len(self._memo_keys) - 1)
+        known = self._memo_keys[pos] == keys
+        need_pos = np.flatnonzero(~known)
+        n_known = len(ii) - len(need_pos)
+        if n_known == 0:
+            return None, 0, None
+        # Garbage fills the unknown slots here too (vals[pos] is
+        # meaningless where the key missed); fresh resolution fixes them.
+        if first_wins:
+            # Stored bit is "lo won"; first wins iff that agrees with
+            # the first element being lo.
+            return need_pos, n_known, self._memo_vals[pos] == (ii == lo)
+        winners = np.empty(len(ii), dtype=np.intp)
+        np.copyto(winners, hi)
+        np.copyto(winners, lo, where=self._memo_vals[pos])
+        return need_pos, n_known, winners
+
+    def _sync_dict_index(self) -> None:
+        """Rebuild the sorted lookup snapshot if the dict memo has grown.
+
+        Amortised: inserts go to the dict (O(1) each); the sorted
+        key/value arrays are rebuilt at most once per batch lookup that
+        follows an insert.
+        """
         memo = self._memo_dict
-        for pos, key in enumerate(keys.tolist()):
-            stored = memo.get(key)
-            if stored is not None:
-                known[pos] = True
-                winners[pos] = lo[pos] if stored else hi[pos]
-        return known
+        assert memo is not None
+        if len(memo) == self._memo_synced:
+            return
+        keys = np.fromiter(memo.keys(), dtype=np.int64, count=len(memo))
+        vals = np.fromiter(memo.values(), dtype=bool, count=len(memo))
+        order = np.argsort(keys)
+        self._memo_keys = keys[order]
+        self._memo_vals = vals[order]
+        self._memo_synced = len(memo)
 
     def _resolve_fresh(
         self,
         ii: np.ndarray,
         jj: np.ndarray,
-        lo: np.ndarray,
-        hi: np.ndarray,
-        need: np.ndarray,
-        winners: np.ndarray,
-        fresh: np.ndarray,
-    ) -> int:
+        need_pos: np.ndarray | None,
+        winners: np.ndarray | None,
+        fresh: np.ndarray | None,
+        assume_unique: bool,
+        return_fresh: bool,
+        return_first_wins: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray | None, int]:
         """Resolve unmemoized pairs, deduplicating within the batch.
 
         Duplicate pairs inside one batch must agree (the memo makes
         answers consistent across batches; consistency within a batch
-        follows from resolving each distinct pair once).  Returns the
-        number of fresh (paid) comparisons performed.
+        follows from resolving each distinct pair once).  Callers that
+        guarantee distinct pairs (``assume_unique``) skip the dedup
+        entirely; a batch with no memo hits (``need_pos is None``) also
+        skips every gather and builds ``winners`` (and the fresh mask)
+        directly instead of filling the caller's buffer.  Returns the
+        final ``(winners, fresh, fresh count)``.
         """
-        need_pos = np.flatnonzero(need)
-        keys = lo[need_pos] * self.n + hi[need_pos]
-        _, first_occurrence, inverse = np.unique(
-            keys, return_index=True, return_inverse=True
-        )
-        rep_pos = need_pos[first_occurrence]
+        all_fresh = need_pos is None
+        inverse = None
+        if all_fresh:
+            rep_pos = None  # every position is fresh and distinct
+            rep_i, rep_j = ii, jj
+            if not assume_unique:
+                lo = np.minimum(ii, jj)
+                hi = np.maximum(ii, jj)
+                keys = lo.astype(np.int64, copy=False) * self.n + hi
+                _, first_occurrence, inverse = np.unique(
+                    keys, return_index=True, return_inverse=True
+                )
+                if len(first_occurrence) == len(ii):
+                    inverse = None  # no in-batch duplicates after all
+                else:
+                    rep_pos = first_occurrence
+                    rep_i, rep_j = ii[rep_pos], jj[rep_pos]
+        else:
+            if not assume_unique:
+                sub_i = ii[need_pos]
+                sub_j = jj[need_pos]
+                keys = (
+                    np.minimum(sub_i, sub_j).astype(np.int64, copy=False) * self.n
+                    + np.maximum(sub_i, sub_j)
+                )
+                _, first_occurrence, inverse = np.unique(
+                    keys, return_index=True, return_inverse=True
+                )
+                rep_pos = need_pos[first_occurrence]
+            else:
+                rep_pos = need_pos
+            rep_i, rep_j = ii[rep_pos], jj[rep_pos]
+
         # Resolve each distinct pair in the orientation of its first
         # request; orientation-sensitive models (first_loses) rely on it.
-        rep_i = ii[rep_pos]
-        rep_j = jj[rep_pos]
-        first_wins = self.model.decide(
-            self.values[rep_i],
-            self.values[rep_j],
-            self.rng,
-            indices_i=rep_i,
-            indices_j=rep_j,
+        first_wins = np.asarray(
+            self.model.decide(
+                self.values[rep_i],
+                self.values[rep_j],
+                self.rng,
+                indices_i=rep_i,
+                indices_j=rep_j,
+            ),
+            dtype=bool,
         )
-        rep_winner = np.where(first_wins, rep_i, rep_j)
-        winners[need_pos] = rep_winner[inverse]
-        fresh[rep_pos] = True
+        # In first-wins mode (assume_unique only, so never any in-batch
+        # dedup) the decide output *is* the per-pair answer — no winner
+        # ids are ever materialised.
+        rep_winner = (
+            first_wins if return_first_wins else np.where(first_wins, rep_i, rep_j)
+        )
+        if rep_pos is None:
+            winners = rep_winner
+            if return_fresh:
+                fresh = np.ones(len(ii), dtype=bool)
+        else:
+            if all_fresh and inverse is not None:
+                winners = rep_winner[inverse]
+            else:
+                assert winners is not None  # allocated by _memo_lookup
+                if inverse is not None:
+                    winners[need_pos] = rep_winner[inverse]
+                else:
+                    winners[need_pos] = rep_winner
+            if return_fresh:
+                if fresh is None:
+                    fresh = np.zeros(len(ii), dtype=bool)
+                fresh[rep_pos] = True
 
-        n_fresh = len(rep_pos)
+        n_fresh = len(rep_i)
         self.comparisons += n_fresh
         if self.ledger is not None:
             self.ledger.charge(self.label, n_fresh, self.cost_per_comparison)
@@ -288,19 +539,29 @@ class ComparisonOracle:
                     unit_cost=self.cost_per_comparison,
                 )
         if self.memoize:
-            lo_winner = rep_winner == np.minimum(rep_i, rep_j)
-            if self._memo_matrix is not None:
-                self._memo_matrix[
-                    np.minimum(rep_i, rep_j), np.maximum(rep_i, rep_j)
-                ] = np.where(lo_winner, 1, 2).astype(np.int8)
+            if self._memo_flat is not None:
+                # Write both orientations so later batches can gather
+                # the matrix in whatever orientation they arrive; the
+                # mirror code flips 1 <-> 2, which is XOR with 3.
+                # ``2 - first`` maps won -> _ROW_WINS, lost -> _COL_WINS
+                # in one cheap arithmetic pass (np.where costs ~10x).
+                code = 2 - first_wins.view(np.int8)
+                self._memo_flat[rep_i * self.n + rep_j] = code
+                self._memo_flat[rep_j * self.n + rep_i] = code ^ 3
             else:
                 assert self._memo_dict is not None
-                rep_keys = (
-                    np.minimum(rep_i, rep_j) * self.n + np.maximum(rep_i, rep_j)
+                lo_rep = np.minimum(rep_i, rep_j)
+                hi_rep = np.maximum(rep_i, rep_j)
+                # winner == lo  ⟺  (first element won) == (first is lo)
+                lo_winner = first_wins == (rep_i == lo_rep)
+                rep_keys = lo_rep.astype(np.int64, copy=False) * self.n + hi_rep
+                # dict.update consumes the zip at C speed; the sorted
+                # snapshot resyncs lazily on the next batch lookup.
+                self._memo_dict.update(
+                    zip(rep_keys.tolist(), lo_winner.tolist())
                 )
-                for key, low_won in zip(rep_keys.tolist(), lo_winner.tolist()):
-                    self._memo_dict[key] = low_won
-        return n_fresh
+            self._memo_stored += n_fresh
+        return winners, fresh, n_fresh
 
     # ------------------------------------------------------------------
     # Accounting helpers
@@ -321,6 +582,12 @@ class ComparisonOracle:
             self._memo_matrix.fill(0)
         if self._memo_dict is not None:
             self._memo_dict.clear()
+        # A stale sorted snapshot must not survive a clear: the dict can
+        # grow back to its old size with different keys.
+        self._memo_keys = np.empty(0, dtype=np.int64)
+        self._memo_vals = np.empty(0, dtype=bool)
+        self._memo_synced = 0
+        self._memo_stored = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

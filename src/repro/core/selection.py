@@ -53,9 +53,17 @@ def quick_select(
         pivot = int(segment[pivot_pos])
         others = np.delete(segment, pivot_pos)
         pivot_first = np.full(len(others), pivot, dtype=np.intp)
-        winners = oracle.compare_pairs(pivot_first, others)
-        above = others[winners != pivot]  # judged better than the pivot
-        below = others[winners == pivot]
+        # The segment holds distinct elements and excludes the pivot,
+        # so the pivot-vs-others batch has no duplicate pairs.
+        pivot_won = oracle.compare_pairs(
+            pivot_first,
+            others,
+            assume_unique=True,
+            validate=False,
+            return_first_wins=True,
+        )
+        above = others[~pivot_won]  # judged better than the pivot
+        below = others[pivot_won]
         pivot_rank = len(above) + 1
         if target == pivot_rank:
             return pivot

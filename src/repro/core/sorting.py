@@ -81,7 +81,7 @@ def quick_sort(
             output[offset] = segment[0]
             continue
         if m == 2:
-            winner = oracle.compare(int(segment[0]), int(segment[1]))
+            winner = oracle.compare(int(segment[0]), int(segment[1]))  # repro-lint: disable=VEC001 -- two-element base case of the recursion; no batch to build
             loser = int(segment[0]) if winner != segment[0] else int(segment[1])
             output[offset] = winner
             output[offset + 1] = loser

@@ -10,12 +10,48 @@ win/loss tallies, which Lemmas 1 and 2 reason about.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from .oracle import ComparisonOracle
 
-__all__ = ["TournamentResult", "all_pairs", "play_all_play_all", "tournament_winner"]
+__all__ = [
+    "TournamentResult",
+    "all_pairs",
+    "pair_positions",
+    "play_all_play_all",
+    "tournament_winner",
+]
+
+# Group tournaments reuse the same handful of sizes round after round
+# (g = 4 * u_n, plus one trailing partial size), so the C(m, 2) index
+# tables are cached.  Only small sizes are cached: one entry costs
+# ~m**2 bytes per array and large one-off tournaments gain nothing.
+_PAIR_CACHE_MAX_M = 512
+
+
+@lru_cache(maxsize=128)
+def _cached_pair_positions(m: int) -> tuple[np.ndarray, np.ndarray]:
+    left, right = np.triu_indices(m, k=1)
+    left.setflags(write=False)
+    right.setflags(write=False)
+    return left, right
+
+
+def pair_positions(m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Positions ``(left, right)`` of all unordered pairs of ``m`` slots.
+
+    The upper-triangle index tables, cached for the small sizes the
+    filter phase requests every round.  Cached arrays are read-only;
+    callers that mutate must copy.
+    """
+    if m < 2:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    if m <= _PAIR_CACHE_MAX_M:
+        return _cached_pair_positions(m)
+    return np.triu_indices(m, k=1)
 
 
 def all_pairs(elements: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -29,7 +65,7 @@ def all_pairs(elements: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     if m < 2:
         empty = np.empty(0, dtype=np.intp)
         return empty, empty
-    left, right = np.triu_indices(m, k=1)
+    left, right = pair_positions(m)
     return elements[left], elements[right]
 
 
@@ -74,12 +110,18 @@ class TournamentResult:
 
 
 def play_all_play_all(
-    oracle: ComparisonOracle, elements: np.ndarray
+    oracle: ComparisonOracle,
+    elements: np.ndarray,
+    track_fresh_losses: bool = True,
 ) -> TournamentResult:
     """Play an all-play-all tournament among ``elements``.
 
     Every pair is routed through the oracle (memoized outcomes are
     reused and not re-paid).  Returns the per-element tallies.
+
+    Callers that only read the winner or win counts can pass
+    ``track_fresh_losses=False`` to skip the fresh-mask bookkeeping;
+    ``fresh_losses`` is then all zeros.
     """
     elements = np.asarray(elements, dtype=np.intp)
     m = len(elements)
@@ -92,22 +134,36 @@ def play_all_play_all(
             fresh_losses=np.zeros(1, dtype=np.int64),
             n_pairs=0,
         )
-    ii, jj = all_pairs(elements)
-    winners, fresh = oracle.compare_pairs(ii, jj, return_fresh=True)
-    losers = np.where(winners == ii, jj, ii)
-
-    # Tally against positions within `elements`.
-    position = {int(e): k for k, e in enumerate(elements)}
-    win_pos = np.fromiter((position[int(w)] for w in winners), dtype=np.intp)
-    wins = np.zeros(m, dtype=np.int64)
-    np.add.at(wins, win_pos, 1)
-
-    fresh_losses = np.zeros(m, dtype=np.int64)
-    if np.any(fresh):
-        lose_pos = np.fromiter(
-            (position[int(loser)] for loser in losers[fresh]), dtype=np.intp
+    left, right = pair_positions(m)
+    ii = elements[left]
+    jj = elements[right]
+    # Participants are distinct, so the upper-triangle pairing contains
+    # no duplicate pairs and the oracle may skip its dedup pass.
+    if track_fresh_losses:
+        first_won, fresh = oracle.compare_pairs(
+            ii,
+            jj,
+            return_fresh=True,
+            assume_unique=True,
+            validate=False,
+            return_first_wins=True,
         )
-        np.add.at(fresh_losses, lose_pos, 1)
+    else:
+        first_won = oracle.compare_pairs(
+            ii, jj, assume_unique=True, validate=False, return_first_wins=True
+        )
+
+    # Tally against positions within `elements`: the winner of pair k is
+    # at position left[k] when the first element won, right[k] otherwise.
+    win_pos = np.where(first_won, left, right)
+    wins = np.bincount(win_pos, minlength=m).astype(np.int64, copy=False)
+    if track_fresh_losses:
+        lose_pos = np.where(first_won, right, left)
+        fresh_losses = np.bincount(lose_pos[fresh], minlength=m).astype(
+            np.int64, copy=False
+        )
+    else:
+        fresh_losses = np.zeros(m, dtype=np.int64)
 
     return TournamentResult(
         elements=elements, wins=wins, fresh_losses=fresh_losses, n_pairs=len(ii)

@@ -123,12 +123,22 @@ def two_maxfind(
                 sample = candidates[chosen]
             else:
                 sample = candidates[:sample_size]
-            pivot = play_all_play_all(oracle, sample).winner
+            pivot = play_all_play_all(
+                oracle, sample, track_fresh_losses=False
+            ).winner
 
             others = candidates[candidates != pivot]
             pivot_first = np.full(len(others), pivot, dtype=np.intp)
-            winners = oracle.compare_pairs(pivot_first, others)
-            survived = others[winners != pivot]
+            # Candidates are distinct and exclude the pivot, so the
+            # pivot-vs-others batch has no duplicate pairs.
+            pivot_won = oracle.compare_pairs(
+                pivot_first,
+                others,
+                assume_unique=True,
+                validate=False,
+                return_first_wins=True,
+            )
+            survived = others[~pivot_won]
             eliminated = len(others) - len(survived)
             candidates = np.concatenate(([pivot], survived)).astype(np.intp)
 
@@ -162,7 +172,7 @@ def two_maxfind(
                     "oracle (Appendix A) to guarantee progress"
                 )
 
-        final = play_all_play_all(oracle, candidates)
+        final = play_all_play_all(oracle, candidates, track_fresh_losses=False)
     return TwoMaxFindResult(
         winner=final.winner,
         comparisons=oracle.comparisons - start_comparisons,

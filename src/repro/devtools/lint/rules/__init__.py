@@ -10,12 +10,13 @@ decorator at import time).  Rule IDs are grouped by invariant family:
 * ``FRK00x`` — fork safety (:mod:`.forksafe`)
 * ``TEL00x`` — telemetry hygiene (:mod:`.telemetry`)
 * ``ERR00x`` — error handling (:mod:`.errors`)
+* ``VEC00x`` — vectorized hot-path discipline (:mod:`.vectorization`)
 
 ``LINT00x`` meta-diagnostics (unused/unjustified/unknown suppressions)
 are produced by the engine itself, not by pluggable rules.
 """
 
-from . import api, determinism, errors, forksafe, rng, telemetry
+from . import api, determinism, errors, forksafe, rng, telemetry, vectorization
 from ..framework import DEFAULT_REGISTRY
 
 
@@ -32,4 +33,5 @@ __all__ = [
     "forksafe",
     "rng",
     "telemetry",
+    "vectorization",
 ]

@@ -1,0 +1,83 @@
+"""Vectorization-discipline rules (``VEC0xx``).
+
+The comparison hot path is batched end-to-end: algorithms hand whole
+ndarray pair batches to ``ComparisonOracle.compare_pairs``, worker
+models decide whole batches at once, and the platform settles
+fault-free batches from ndarrays.  A scalar comparison call inside a
+Python loop silently re-serialises that path — each iteration pays the
+full per-call overhead (validation, memo probe, RNG dispatch, telemetry)
+for one pair, which is how the pre-vectorization hot path ended up two
+orders of magnitude slower than the batched one.
+
+Loops that are *inherently* sequential (a decision per element routed
+to a different model, a two-element base case of a recursion) carry a
+suppression naming the reason, which keeps the exception auditable.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Rule, register_rule
+
+__all__ = ["ScalarComparisonInLoopRule"]
+
+#: Scalar per-pair entry points of the comparison path.  Their batched
+#: counterparts: ``compare`` -> ``compare_pairs``, ``decide_single`` ->
+#: ``decide`` / ``decide_from_uniforms``, ``judge`` -> the platform's
+#: vectorized fast path.
+_SCALAR_COMPARISON_CALLS = frozenset({"compare", "decide_single", "judge"})
+
+
+@register_rule
+class ScalarComparisonInLoopRule(Rule):
+    """A scalar comparison call iterated by a Python loop."""
+
+    rule_id = "VEC001"
+    summary = "scalar comparison call inside a Python loop"
+    rationale = (
+        "The comparison hot path is batched end-to-end; looping a scalar "
+        "compare/decide_single/judge call pays per-call overhead per pair "
+        "and bypasses the vectorized memo, RNG, and telemetry paths.  "
+        "Batch the pairs and make one compare_pairs/decide call."
+    )
+    contexts = frozenset({"src"})
+
+    def __init__(self, source) -> None:  # type: ignore[no-untyped-def]
+        super().__init__(source)
+        self._reported: set[int] = set()
+
+    def _scan_loop(self, node: ast.AST) -> None:
+        for child in ast.walk(node):
+            if (
+                isinstance(child, ast.Call)
+                and isinstance(child.func, ast.Attribute)
+                and child.func.attr in _SCALAR_COMPARISON_CALLS
+                and id(child) not in self._reported
+            ):
+                self._reported.add(id(child))
+                self.report(
+                    child,
+                    f"scalar .{child.func.attr}() iterated by a loop; batch "
+                    "the pairs and call the vectorized API once",
+                )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._scan_loop(node)
+        self.generic_visit(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._scan_loop(node)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._scan_loop(node)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._scan_loop(node)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._scan_loop(node)
+        self.generic_visit(node)

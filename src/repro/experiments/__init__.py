@@ -17,8 +17,11 @@ from .accuracy_vs_n import figure3_from_sweep, run_figure3
 from .base import FigureResult, TableResult, experiment_tracer, failure_notes
 from .baselines import run_baseline_shootout
 from .bench import (
+    bench_identical,
     bench_table,
+    oracle_bench_table,
     run_bench_comparison,
+    run_oracle_bench,
     write_bench_json,
 )
 from .bench_scheduler import (
@@ -76,7 +79,10 @@ __all__ = [
     "SweepData",
     "TableResult",
     "experiment_tracer",
+    "bench_identical",
     "bench_table",
+    "oracle_bench_table",
+    "run_oracle_bench",
     "compose_report",
     "failure_notes",
     "figure10_from_estimation",

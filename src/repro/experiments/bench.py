@@ -22,6 +22,8 @@ from typing import Any, Callable, TypeVar
 
 import numpy as np
 
+from ..core.oracle import ComparisonOracle
+from ..workers.adversarial import AdversarialWorkerModel
 from .base import TableResult
 from .estimation_sweep import EstimationConfig, EstimationData, run_estimation_sweep
 from .io import write_json_atomic
@@ -32,12 +34,17 @@ __all__ = [
     "sweep_comparison_total",
     "estimation_comparison_total",
     "run_bench_comparison",
+    "run_oracle_bench",
     "bench_table",
+    "oracle_bench_table",
+    "bench_identical",
     "write_bench_json",
 ]
 
-#: Schema tag stamped into every BENCH_sweep.json payload.
-BENCH_SCHEMA = "repro.bench_sweep/v1"
+#: Schema tag stamped into every BENCH_sweep.json payload.  v2 adds
+#: ``jobs_requested`` / ``jobs_note`` (explicit cpu-count clamping) and
+#: the ``oracle`` section (vectorized-vs-scalar comparison hot path).
+BENCH_SCHEMA = "repro.bench_sweep/v2"
 
 T = TypeVar("T")
 
@@ -97,23 +104,70 @@ def _timed(fn: Callable[[], T]) -> tuple[float, T]:
     return time.perf_counter() - start, value
 
 
+def _timed_best(fn: Callable[[], T], repeats: int) -> tuple[float, T]:
+    """Best-of-``repeats`` wall-clock for a deterministic callable.
+
+    Single-sample wall-clock on shared/virtualised runners is noisy
+    (scheduler jitter and clock steal inflate one run by 50% or more),
+    so the bench reports the *minimum* over a few repeats — the
+    standard ``timeit`` convention: the fastest observed run is the
+    closest estimate of what the code costs.  The callable must be
+    deterministic (every repeat returns the same value); the last
+    value is returned for the identity checks.
+    """
+    best = float("inf")
+    value: T | None = None
+    for _ in range(max(1, repeats)):
+        elapsed, value = _timed(fn)
+        best = min(best, elapsed)
+    assert value is not None
+    return best, value
+
+
 def run_bench_comparison(
     seed: int = 2015,
     sweep_config: SweepConfig | None = None,
     estimation_config: EstimationConfig | None = None,
     jobs: int | None = None,
+    repeats: int = 3,
 ) -> dict[str, Any]:
     """Time each sweep serially and in parallel; return the payload.
 
     ``jobs=None`` picks ``max(2, cpu_count)`` so the pool path is
-    always exercised, even on a single-core box.  Pass an
+    always exercised, even on a single-core box.  A request beyond the
+    machine's core count is clamped (extra pool workers only add
+    contention and noise to the timing) and the clamp is recorded in
+    the payload: ``jobs_requested`` keeps the ask, ``jobs`` the value
+    actually run, and ``jobs_note`` says why they differ.  Pass an
     ``estimation_config`` to additionally benchmark the Section 5.2
     sweep under the same protocol.
+
+    Every timing is the best of ``repeats`` runs (recorded as
+    ``timing_repeats`` in the payload) — the grids are deterministic,
+    so repeats measure the same work and the minimum strips scheduler
+    jitter from the tracked numbers.
     """
     if sweep_config is None:
         sweep_config = SweepConfig(ns=(500, 1000, 2000), trials=3)
+    cpu_count = os.cpu_count() or 1
     if jobs is None or jobs <= 0:
-        jobs = max(2, os.cpu_count() or 1)
+        jobs_requested = max(2, cpu_count)
+    else:
+        jobs_requested = jobs
+    jobs = max(2, min(jobs_requested, cpu_count))
+    jobs_note = ""
+    if jobs < jobs_requested:
+        jobs_note = (
+            f"requested jobs={jobs_requested} clamped to {jobs} "
+            f"(cpu_count={cpu_count}); workers beyond the core count only "
+            "add contention and timing noise"
+        )
+    elif jobs > cpu_count:
+        jobs_note = (
+            f"jobs={jobs} oversubscribes cpu_count={cpu_count} (the pool "
+            "path always runs with at least 2 workers); speedup below 1.0 "
+            "is expected on this machine"
+        )
 
     # Provenance stamp on the artifact; baseline comparison reads the
     # timing fields, never this, so the payload stays seed-comparable.
@@ -122,16 +176,34 @@ def run_bench_comparison(
         "schema": BENCH_SCHEMA,
         "seed": seed,
         "jobs": jobs,
-        "cpu_count": os.cpu_count() or 1,
+        "jobs_requested": jobs_requested,
+        "jobs_note": jobs_note,
+        "cpu_count": cpu_count,
+        "timing_repeats": max(1, repeats),
         "generated_unix": generated_unix,
         "sweeps": {},
     }
 
-    serial_s, serial = _timed(
-        lambda: run_sweep(sweep_config, np.random.default_rng(seed), jobs=1)
+    # All serial lanes are timed first, before any process pool is
+    # spawned: the serial numbers are the hot-path trajectory CI tracks,
+    # so they get the quietest part of the process (no fork/teardown
+    # noise, and on burstable runners the least CPU-throttled window).
+    serial_sweep_s, serial = _timed_best(
+        lambda: run_sweep(sweep_config, np.random.default_rng(seed), jobs=1),
+        repeats,
     )
-    parallel_s, parallel = _timed(
-        lambda: run_sweep(sweep_config, np.random.default_rng(seed), jobs=jobs)
+    serial_est_s = 0.0
+    serial_est: EstimationData | None = None
+    if estimation_config is not None:
+        serial_est_s, serial_est = _timed_best(
+            lambda: run_estimation_sweep(
+                estimation_config, np.random.default_rng(seed), jobs=1
+            ),
+            repeats,
+        )
+    parallel_s, parallel = _timed_best(
+        lambda: run_sweep(sweep_config, np.random.default_rng(seed), jobs=jobs),
+        repeats,
     )
     comparisons = sweep_comparison_total(serial)
     payload["sweeps"]["sweep"] = _section(
@@ -142,21 +214,18 @@ def run_bench_comparison(
             "trials": sweep_config.trials,
         },
         comparisons=comparisons,
-        serial_s=serial_s,
+        serial_s=serial_sweep_s,
         parallel_s=parallel_s,
         identical=_sweep_fingerprint(serial) == _sweep_fingerprint(parallel),
     )
 
     if estimation_config is not None:
-        serial_s, serial_est = _timed(
-            lambda: run_estimation_sweep(
-                estimation_config, np.random.default_rng(seed), jobs=1
-            )
-        )
-        parallel_s, parallel_est = _timed(
+        assert serial_est is not None
+        parallel_s, parallel_est = _timed_best(
             lambda: run_estimation_sweep(
                 estimation_config, np.random.default_rng(seed), jobs=jobs
-            )
+            ),
+            repeats,
         )
         payload["sweeps"]["estimation"] = _section(
             grid={
@@ -167,14 +236,105 @@ def run_bench_comparison(
                 "trials": estimation_config.trials,
             },
             comparisons=estimation_comparison_total(serial_est),
-            serial_s=serial_s,
+            serial_s=serial_est_s,
             parallel_s=parallel_s,
             identical=(
                 _estimation_fingerprint(serial_est)
                 == _estimation_fingerprint(parallel_est)
             ),
         )
+
+    payload["oracle"] = run_oracle_bench(seed, repeats=repeats)
     return payload
+
+
+#: Oracle micro-bench workload: element count and pair-batch size.  The
+#: batch is drawn with duplicates and replayed once, so the run crosses
+#: every memo lane (fresh, dedup, memo-hit) in both storage modes.
+_ORACLE_BENCH_N = 1200
+_ORACLE_BENCH_PAIRS = 15_000
+
+
+def run_oracle_bench(seed: int = 2015, repeats: int = 3) -> dict[str, Any]:
+    """Vectorized vs scalar comparison hot path, dense and dict memo.
+
+    Runs the same pair workload through ``ComparisonOracle.compare``
+    (one scalar call per pair) and ``compare_pairs`` (one ndarray
+    call), once with the dense ``n x n`` memo and once with the
+    dict-backed memo (``dense_memo_limit=0``) — the boundary the memo
+    lookup switches representation across.  The comparator is a
+    deterministic adversary, so both paths must return bit-identical
+    winners whatever their RNG granularity; ``identical`` is the
+    correctness gate CI fails on.
+
+    Each lane is timed ``repeats`` times against a freshly built
+    oracle (the memo must start empty every repeat) and the best run
+    is reported, matching the sweep protocol.
+    """
+    rng = np.random.default_rng(seed)
+    values = rng.random(_ORACLE_BENCH_N)
+    ii = rng.integers(0, _ORACLE_BENCH_N, _ORACLE_BENCH_PAIRS)
+    jj = (ii + 1 + rng.integers(0, _ORACLE_BENCH_N - 1, _ORACLE_BENCH_PAIRS)) % (
+        _ORACLE_BENCH_N
+    )
+    # Replay the batch once: the second pass is all memo hits.
+    ii = np.concatenate([ii, ii])
+    jj = np.concatenate([jj, jj])
+
+    section: dict[str, Any] = {"n": _ORACLE_BENCH_N, "pairs": int(len(ii)), "cases": {}}
+    all_identical = True
+    for label, dense_limit in (("dense", None), ("dict", 0)):
+        def build() -> ComparisonOracle:
+            return ComparisonOracle(
+                values,
+                AdversarialWorkerModel(delta=0.3, policy="first_loses"),
+                np.random.default_rng(seed),
+                dense_memo_limit=dense_limit,
+            )
+
+        scalar_s = vector_s = float("inf")
+        for _ in range(max(1, repeats)):
+            scalar_oracle = build()
+            elapsed, scalar_winners = _timed(
+                lambda: np.array(
+                    [scalar_oracle.compare(int(a), int(b)) for a, b in zip(ii, jj)]  # repro-lint: disable=VEC001 -- the scalar lane IS the benchmark baseline
+                )
+            )
+            scalar_s = min(scalar_s, elapsed)
+            vector_oracle = build()
+            elapsed, vector_winners = _timed(
+                lambda: vector_oracle.compare_pairs(ii, jj)
+            )
+            vector_s = min(vector_s, elapsed)
+        identical = bool(np.array_equal(scalar_winners, vector_winners))
+        all_identical = all_identical and identical
+        section["cases"][label] = {
+            "scalar_s": round(scalar_s, 6),
+            "vectorized_s": round(vector_s, 6),
+            "speedup": round(scalar_s / vector_s, 2) if vector_s > 0 else None,
+            "scalar_cmp_per_sec": (
+                round(len(ii) / scalar_s, 1) if scalar_s > 0 else None
+            ),
+            "vectorized_cmp_per_sec": (
+                round(len(ii) / vector_s, 1) if vector_s > 0 else None
+            ),
+            "identical": identical,
+        }
+    section["identical"] = all_identical
+    return section
+
+
+def bench_identical(payload: dict[str, Any]) -> bool:
+    """Whether every bit-identity check in the payload passed.
+
+    The CLI turns a ``False`` into a nonzero exit code so CI fails on
+    a correctness regression, not just a slow build.
+    """
+    flags = [section["identical"] for section in payload["sweeps"].values()]
+    oracle = payload.get("oracle")
+    if oracle is not None:
+        flags.append(oracle["identical"])
+    return all(flags)
 
 
 def _section(
@@ -236,6 +396,47 @@ def bench_table(payload: dict[str, Any]) -> TableResult:
     table.notes.append(
         "parallel results are verified bit-identical to serial before "
         "timing is reported; see docs/PERFORMANCE.md"
+    )
+    if payload.get("jobs_note"):
+        table.notes.append(payload["jobs_note"])
+    return table
+
+
+def oracle_bench_table(payload: dict[str, Any]) -> TableResult:
+    """Render the oracle section as the vectorized-vs-scalar table."""
+    section = payload["oracle"]
+    table = TableResult(
+        table_id="bench-oracle",
+        title=(
+            f"vectorized vs scalar comparison hot path "
+            f"(n={section['n']}, {section['pairs']} pair requests)"
+        ),
+        headers=[
+            "memo",
+            "scalar (s)",
+            "vectorized (s)",
+            "speedup",
+            "cmp/s scalar",
+            "cmp/s vectorized",
+            "identical",
+        ],
+    )
+    for label, case in section["cases"].items():
+        table.add_row(
+            [
+                label,
+                case["scalar_s"],
+                case["vectorized_s"],
+                case["speedup"],
+                case["scalar_cmp_per_sec"],
+                case["vectorized_cmp_per_sec"],
+                "yes" if case["identical"] else "NO",
+            ]
+        )
+    table.notes.append(
+        "same pair workload (with duplicates, replayed once for memo "
+        "hits) through compare() per pair vs one compare_pairs() call; "
+        "a deterministic adversary makes the winners comparable bit-for-bit"
     )
     return table
 

@@ -260,10 +260,26 @@ def _merge_result(tracer: Tracer, result: RunResult) -> None:
             )
 
 
+#: Grids smaller than this many chunks per worker dispatch one spec at
+#: a time.  Runs are coarse (milliseconds to seconds of simulation), so
+#: pickling overhead is negligible until the grid is huge — but a large
+#: chunk pins its whole tail to one worker, serialising the end of the
+#: sweep (the estimation-sweep "parallel slower than serial" regression
+#: came from ~4-spec chunks on a 2-worker pool).
+_CHUNKS_PER_WORKER = 32
+
+
 def _default_chunksize(n_specs: int, jobs: int) -> int:
-    """Chunked dispatch: ~4 chunks per worker amortises pickling without
-    starving the tail of the grid."""
-    return max(1, math.ceil(n_specs / (jobs * 4)))
+    """Chunked dispatch: fine-grained by default, chunked only at scale.
+
+    One spec per dispatch keeps every worker busy until the grid is
+    drained; only grids beyond ``jobs * _CHUNKS_PER_WORKER`` specs
+    chunk up, and then into enough chunks that the tail still load
+    balances.
+    """
+    if n_specs <= jobs * _CHUNKS_PER_WORKER:
+        return 1
+    return math.ceil(n_specs / (jobs * _CHUNKS_PER_WORKER))
 
 
 def execute_runs(

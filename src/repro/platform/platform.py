@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..telemetry import Tracer, resolve_tracer
+from ..workers.base import WorkerModel
 from .accounting import CostLedger
 from .errors import CostCapError, DegradedBatchError
 from .faults import FaultPlan, RetryPolicy
@@ -47,6 +48,12 @@ __all__ = ["CrowdPlatform"]
 
 #: Graceful defaults: unlimited attempts, no deadline, settle degraded.
 _DEFAULT_RETRY = RetryPolicy()
+
+#: Uniform variates reserved per judgment on the vectorized fast path:
+#: [presentation flip, model draw, model draw, majority-tie coin].
+#: Exactly one Philox block (``advance(1)`` = 4 doubles), so judgment
+#: ``t``'s block starts at counter ``t`` — the whole RNG discipline.
+_FAST_UNIFORM_WIDTH = 4
 
 
 @dataclass
@@ -122,6 +129,18 @@ class CrowdPlatform:
         Default retry policy for every batch; individual
         ``submit_batch`` calls may override it.  Defaults to graceful
         settling with unlimited attempts and no deadline.
+    vectorized:
+        Enable the batched fast path: when a batch needs none of the
+        resilience machinery (no gold, no active faults, no deadline /
+        attempt limit / fallback pool, no hard cap, no bans, full
+        availability, every model supports uniform-driven decisions),
+        the whole batch is settled from ndarrays — one vectorized
+        decide per worker model — instead of the physical-step loop.
+        Judgment-level draws then come from a private counter-based
+        Philox stream (see ``docs/PERFORMANCE.md``), so fast-path
+        results are deterministic and invariant to how a task sequence
+        is split into batches, but *not* bit-identical to the step
+        loop's draws.  Set ``False`` to force the step loop everywhere.
     tracer:
         Telemetry tracer; one ``platform_batch`` record is emitted per
         logical step (batch submitted), plus ``fault_injected`` /
@@ -139,6 +158,7 @@ class CrowdPlatform:
         faults: FaultPlan | None = None,
         retry: RetryPolicy | None = None,
         tracer: Tracer | None = None,
+        vectorized: bool = True,
     ):
         if not pools:
             raise ValueError("the platform needs at least one worker pool")
@@ -149,16 +169,25 @@ class CrowdPlatform:
         self.faults = faults
         self.retry = retry if retry is not None else _DEFAULT_RETRY
         self.tracer = resolve_tracer(tracer)
+        self.vectorized = vectorized
         #: Logical steps executed (batches submitted).
         self.logical_steps = 0
         #: Physical steps executed across all batches.
         self.physical_steps_total = 0
+        #: Batches settled by the vectorized fast path.
+        self.fast_batches_total = 0
         #: All judgments ever kept (for audit/debugging).
         self.judgment_log: list[Judgment] = []
         #: Aggregate resilience counters across all batches.
         self.faults_injected_total = 0
         self.tasks_degraded_total = 0
         self.retries_total = 0
+        # Counter-based stream for fast-path judgments: the key is
+        # drawn lazily from the platform RNG at first use (one draw),
+        # after which judgment ``t`` always reads Philox block ``t`` —
+        # independent of batch boundaries.
+        self._fast_key: int | None = None
+        self._fast_seq = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -227,6 +256,8 @@ class CrowdPlatform:
 
         self.logical_steps += 1
         plan = self.faults if (self.faults is not None and self.faults.active) else None
+        if self._fast_path_ok(pool, policy, fallback, plan, tasks, max_required):
+            return self._submit_batch_vectorized(pool, tasks)
         state = _BatchState(tasks=tasks)
 
         total_needed = sum(task.required_judgments for task in tasks)
@@ -281,6 +312,218 @@ class CrowdPlatform:
         if report.degraded and policy.on_degraded == "raise":
             raise DegradedBatchError(report)
         return report
+
+    # ------------------------------------------------------------------
+    # The vectorized fast path
+    # ------------------------------------------------------------------
+    def _fast_path_ok(
+        self,
+        pool: WorkerPool,
+        policy: RetryPolicy,
+        fallback: WorkerPool | None,
+        plan: FaultPlan | None,
+        tasks: list[ComparisonTask],
+        max_required: int,
+    ) -> bool:
+        """Whether this batch can settle without the physical-step loop.
+
+        The fast path reproduces the step loop's *outcomes* (judgments
+        collected, distinct workers per task, costs, majority answers)
+        but none of its failure handling, so every feature that can
+        alter collection mid-flight forces the step loop.
+        """
+        if not self.vectorized:
+            return False
+        if plan is not None or self.gold is not None or fallback is not None:
+            return False
+        if policy.deadline_steps is not None or policy.max_attempts is not None:
+            return False
+        if self.ledger.hard_cap is not None:
+            return False
+        if pool.availability < 1.0:
+            return False
+        workers = pool.workers
+        if max_required > len(workers):
+            return False
+        if any(worker.banned for worker in workers):
+            return False
+        if any(task.is_gold for task in tasks):
+            return False
+        seen: set[int] = set()
+        for worker in workers:
+            key = id(worker.model)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not worker.model.supports_uniform_decide():
+                return False
+        return True
+
+    def _fast_uniforms(self, start: int, count: int) -> np.ndarray:
+        """Uniform blocks for judgments ``start .. start + count``.
+
+        One Philox block (4 doubles) per judgment: ``advance(t)`` skips
+        exactly ``t`` blocks, so the variates a judgment consumes are a
+        function of its global sequence number alone — splitting a task
+        stream into different batches cannot change any outcome.
+        """
+        if self._fast_key is None:
+            self._fast_key = int(self.rng.integers(0, 2**63))
+        bits = np.random.Philox(key=self._fast_key)
+        bits.advance(start)
+        return (
+            np.random.Generator(bits)
+            .random(count * _FAST_UNIFORM_WIDTH)
+            .reshape(count, _FAST_UNIFORM_WIDTH)
+        )
+
+    def _submit_batch_vectorized(
+        self, pool: WorkerPool, tasks: list[ComparisonTask]
+    ) -> BatchReport:
+        """Settle one fault-free batch from ndarrays, no step loop.
+
+        Workers are assigned round-robin over the global judgment
+        sequence: judgment ``q`` goes to worker ``q mod P``.  A task's
+        judgments are consecutive, so its workers are distinct whenever
+        ``required_judgments <= P`` (checked by ``_fast_path_ok``), and
+        the rotation carries across batches like the step loop's
+        round-robin fairness.
+        """
+        workers = pool.workers
+        n_workers = len(workers)
+        n_tasks = len(tasks)
+        required = np.array([t.required_judgments for t in tasks], dtype=np.intp)
+        n_judgments = int(required.sum())
+        task_of = np.repeat(np.arange(n_tasks, dtype=np.intp), required)
+
+        base = self._fast_seq
+        self._fast_seq += n_judgments
+        uniforms = self._fast_uniforms(base, n_judgments)
+        worker_pos = (base + np.arange(n_judgments)) % n_workers
+
+        values_first = np.array([t.value_first for t in tasks])[task_of]
+        values_second = np.array([t.value_second for t in tasks])[task_of]
+        index_first = np.array([t.first for t in tasks], dtype=np.intp)[task_of]
+        index_second = np.array([t.second for t in tasks], dtype=np.intp)[task_of]
+
+        # Randomised presentation order per judgment, as in the step
+        # loop: the model sees the flipped pair and the answer is
+        # flipped back.
+        flip = uniforms[:, 0] < 0.5
+        shown_vi = np.where(flip, values_second, values_first)
+        shown_vj = np.where(flip, values_first, values_second)
+        shown_ii = np.where(flip, index_second, index_first)
+        shown_jj = np.where(flip, index_first, index_second)
+
+        # One vectorized decide per distinct worker model; each
+        # judgment consumes its own uniform block regardless of
+        # grouping, so the grouping order cannot affect outcomes.
+        model_index: dict[int, int] = {}
+        models: list[WorkerModel] = []
+        group_of_worker = np.empty(n_workers, dtype=np.intp)
+        for pos, worker in enumerate(workers):
+            key = id(worker.model)
+            if key not in model_index:
+                model_index[key] = len(models)
+                models.append(worker.model)
+            group_of_worker[pos] = model_index[key]
+        model_uniforms = uniforms[:, 1:3]
+        if len(models) == 1:
+            raw = np.asarray(
+                models[0].decide_from_uniforms(
+                    shown_vi,
+                    shown_vj,
+                    model_uniforms,
+                    indices_i=shown_ii,
+                    indices_j=shown_jj,
+                ),
+                dtype=bool,
+            )
+        else:
+            raw = np.empty(n_judgments, dtype=bool)
+            judgment_group = group_of_worker[worker_pos]
+            for gid, model in enumerate(models):
+                members = np.flatnonzero(judgment_group == gid)
+                if not len(members):
+                    continue
+                raw[members] = model.decide_from_uniforms(
+                    shown_vi[members],
+                    shown_vj[members],
+                    model_uniforms[members],
+                    indices_i=shown_ii[members],
+                    indices_j=shown_jj[members],
+                )
+        first_wins = raw ^ flip
+
+        # Majority answers; ties use the judgment block's spare coin
+        # (the task's first judgment), never the platform RNG.
+        votes_first = np.bincount(task_of[first_wins], minlength=n_tasks)
+        first_row = np.concatenate(([0], np.cumsum(required)[:-1]))
+        tie_coin = uniforms[first_row, 3] < 0.5
+        answers = np.where(
+            2 * votes_first == required, tie_coin, 2 * votes_first > required
+        )
+
+        # Bookkeeping parity with the step loop: charges, physical
+        # steps, per-worker tallies, and the audit log all match what
+        # an all-active round-robin collection would record.
+        self.ledger.charge(pool.name, n_judgments, pool.cost_per_judgment)
+        physical_steps = -(-n_judgments // n_workers)
+        self.physical_steps_total += physical_steps
+        self.fast_batches_total += 1
+        per_worker = np.bincount(worker_pos, minlength=n_workers)
+        for pos, worker in enumerate(workers):
+            worker.judgments_made += int(per_worker[pos])
+        steps = np.arange(n_judgments) // n_workers + 1
+        worker_ids = np.array([w.worker_id for w in workers], dtype=np.intp)
+        judgment_workers = worker_ids[worker_pos]
+        self.judgment_log.extend(
+            Judgment(
+                task_id=tasks[task_of[q]].task_id,
+                worker_id=int(judgment_workers[q]),
+                first_wins=bool(first_wins[q]),
+                physical_step=int(steps[q]),
+                is_gold=False,
+            )
+            for q in range(n_judgments)
+        )
+
+        task_reports = [
+            TaskReport(
+                task_id=task.task_id,
+                status="ok",
+                reason="",
+                judgments_kept=task.required_judgments,
+                required_judgments=task.required_judgments,
+                attempts_failed=0,
+            )
+            for task in tasks
+        ]
+        if self.tracer.enabled:
+            self.tracer.event(
+                "platform_batch",
+                pool=pool.name,
+                tasks=n_tasks,
+                physical_steps=physical_steps,
+                judgments_collected=n_judgments,
+                judgments_discarded=0,
+                workers_banned=0,
+                faults_injected=0,
+                tasks_degraded=0,
+                fast_path=True,
+            )
+        return BatchReport(
+            answers=[bool(a) for a in answers],
+            physical_steps=physical_steps,
+            judgments_collected=n_judgments,
+            judgments_discarded=0,
+            workers_banned=[],
+            task_reports=task_reports,
+            faults_injected=0,
+            judgments_malformed=0,
+            judgments_lost_late=0,
+            retries=0,
+        )
 
     # ------------------------------------------------------------------
     # Batch execution internals
@@ -541,6 +784,7 @@ class CrowdPlatform:
                 workers_banned=len(state.banned_ids),
                 faults_injected=state.faults,
                 tasks_degraded=len(degraded),
+                fast_path=False,
             )
             if degraded:
                 reasons = sorted({t.reason for t in degraded})

@@ -68,12 +68,35 @@ class AdversarialWorkerModel(WorkerModel):
         indices_i: np.ndarray | None = None,
         indices_j: np.ndarray | None = None,
     ) -> np.ndarray:
+        return self._decide(values_i, values_j, indices_i, indices_j)
+
+    def decide_from_uniforms(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniforms: np.ndarray,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # Adversaries are deterministic: no uniform is ever consumed.
+        return self._decide(values_i, values_j, indices_i, indices_j)
+
+    def _decide(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        if self.policy == "first_loses":
+            # where(hard, first loses, truthful) collapses to a single
+            # inequality: the first element wins iff it is truthfully
+            # better AND the pair is easy, i.e. v_i - v_j > delta.
+            return (values_i - values_j) > self.delta
         dist = pair_distances(values_i, values_j, relative=False)
         hard = dist <= self.delta
         truthful = values_i > values_j
-        if self.policy == "first_loses":
-            hard_result = np.zeros(len(values_i), dtype=bool)
-        elif self.policy == "anti_max":
+        if self.policy == "anti_max":
             # The truly better element loses; exact ties go to the
             # second element (still deterministic).
             hard_result = values_i < values_j

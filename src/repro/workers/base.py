@@ -24,7 +24,17 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-__all__ = ["WorkerModel", "PerfectWorkerModel", "pair_distances"]
+__all__ = [
+    "UNIFORMS_PER_DECISION",
+    "WorkerModel",
+    "PerfectWorkerModel",
+    "pair_distances",
+]
+
+#: Uniform draws reserved per judgment by counter-based callers (see
+#: :meth:`WorkerModel.decide_from_uniforms`): models may consume up to
+#: this many independent ``U[0, 1)`` variates per comparison.
+UNIFORMS_PER_DECISION = 2
 
 
 def pair_distances(
@@ -107,6 +117,43 @@ class WorkerModel(ABC):
         )
         return bool(result[0])
 
+    def decide_from_uniforms(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniforms: np.ndarray,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Resolve comparisons from pre-drawn uniforms (optional hook).
+
+        ``uniforms`` has shape ``(m, UNIFORMS_PER_DECISION)``: row ``k``
+        holds the independent ``U[0, 1)`` variates comparison ``k`` may
+        consume.  Callers that pre-draw from a counter-based stream (the
+        platform's vectorized fast path) use this instead of
+        :meth:`decide` so the draws a comparison consumes are a function
+        of its position alone — independent of batch boundaries.
+
+        Only stateless models whose randomness is a per-comparison
+        function of the pair can support this; stateful models (drift,
+        spammers) leave the default, which raises, and callers detect
+        support via :meth:`supports_uniform_decide`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support uniform-driven decisions"
+        )
+
+    def supports_uniform_decide(self) -> bool:
+        """Whether :meth:`decide_from_uniforms` is implemented.
+
+        Detected by method override, so models opt in simply by
+        implementing the hook.  Models whose support depends on runtime
+        configuration (pluggable behaviours) override this too.
+        """
+        return (
+            type(self).decide_from_uniforms is not WorkerModel.decide_from_uniforms
+        )
+
     def accuracy(self, dist: float) -> float:
         """Probability of answering correctly at pair distance ``dist``.
 
@@ -134,6 +181,16 @@ class PerfectWorkerModel(WorkerModel):
         values_i: np.ndarray,
         values_j: np.ndarray,
         rng: np.random.Generator,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        return values_i >= values_j
+
+    def decide_from_uniforms(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniforms: np.ndarray,
         indices_i: np.ndarray | None = None,
         indices_j: np.ndarray | None = None,
     ) -> np.ndarray:

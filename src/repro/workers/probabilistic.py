@@ -56,6 +56,21 @@ class FixedErrorWorkerModel(WorkerModel):
             first_wins = np.where(tie, rng.random(len(values_i)) < 0.5, first_wins)
         return first_wins
 
+    def decide_from_uniforms(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniforms: np.ndarray,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        first_is_better = values_i > values_j
+        first_wins = first_is_better ^ (uniforms[:, 0] < self.error_probability)
+        tie = values_i == values_j
+        if np.any(tie):
+            first_wins = np.where(tie, uniforms[:, 1] < 0.5, first_wins)
+        return first_wins
+
     def accuracy(self, dist: float) -> float:
         if dist == 0.0:
             return 0.5
@@ -106,6 +121,23 @@ class DistanceDecayWorkerModel(WorkerModel):
         first_wins = first_is_better ^ err
         if np.any(tie):
             first_wins = np.where(tie, rng.random(len(values_i)) < 0.5, first_wins)
+        return first_wins
+
+    def decide_from_uniforms(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniforms: np.ndarray,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        dist = pair_distances(values_i, values_j, self.relative)
+        p_err = np.clip(np.asarray(self.error_curve(dist), dtype=np.float64), 0.0, 0.5)
+        first_is_better = values_i > values_j
+        first_wins = first_is_better ^ (uniforms[:, 0] < p_err)
+        tie = values_i == values_j
+        if np.any(tie):
+            first_wins = np.where(tie, uniforms[:, 1] < 0.5, first_wins)
         return first_wins
 
     def accuracy(self, dist: float) -> float:

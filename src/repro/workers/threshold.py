@@ -57,6 +57,33 @@ class BelowThresholdBehavior(ABC):
     ) -> np.ndarray:
         """Boolean array: does the first element win each hard pair?"""
 
+    def first_wins_from_uniform(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniform: np.ndarray,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        """Hard-pair outcomes from one pre-drawn uniform per pair.
+
+        The counter-based analogue of :meth:`first_wins`: ``uniform[k]``
+        is the single ``U[0, 1)`` variate hard pair ``k`` may consume.
+        Behaviours with per-query randomness implement this so the
+        platform's vectorized fast path can drive them; the default
+        raises and is detected via :meth:`supports_uniform`.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support uniform-driven decisions"
+        )
+
+    def supports_uniform(self) -> bool:
+        """Whether :meth:`first_wins_from_uniform` is implemented."""
+        return (
+            type(self).first_wins_from_uniform
+            is not BelowThresholdBehavior.first_wins_from_uniform
+        )
+
     def accuracy(self) -> float:
         """Single-vote probability of answering a hard pair correctly."""
         return 0.5
@@ -74,6 +101,16 @@ class CoinFlipBehavior(BelowThresholdBehavior):
         indices_j: np.ndarray | None,
     ) -> np.ndarray:
         return rng.random(len(values_i)) < 0.5
+
+    def first_wins_from_uniform(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniform: np.ndarray,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        return uniform < 0.5
 
 
 class BiasedErrorBehavior(BelowThresholdBehavior):
@@ -101,6 +138,24 @@ class BiasedErrorBehavior(BelowThresholdBehavior):
         result = first_is_better ^ err
         if np.any(tie):
             result = np.where(tie, rng.random(len(values_i)) < 0.5, result)
+        return result
+
+    def first_wins_from_uniform(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniform: np.ndarray,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        # Error roll and tie coin reuse the same variate: a pair is
+        # either a tie or not, so the two uses are disjoint and each
+        # outcome keeps its marginal distribution.
+        first_is_better = values_i > values_j
+        result = first_is_better ^ (uniform < self.perr)
+        tie = values_i == values_j
+        if np.any(tie):
+            result = np.where(tie, uniform < 0.5, result)
         return result
 
     def accuracy(self) -> float:
@@ -131,6 +186,24 @@ class CrowdBeliefBehavior(BelowThresholdBehavior):
         )
         return rng.random(len(values_i)) < p_first
 
+    def first_wins_from_uniform(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniform: np.ndarray,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        if indices_i is None or indices_j is None:
+            raise ValueError(
+                "CrowdBeliefBehavior needs pair indices; route comparisons "
+                "through a ComparisonOracle"
+            )
+        p_first = self.table.first_win_probability(
+            values_i, values_j, indices_i, indices_j
+        )
+        return uniform < p_first
+
     def accuracy(self) -> float:
         # Single vote: P(correct) = P(consensus correct) * follow
         #            + P(consensus wrong) * (1 - follow).
@@ -153,6 +226,16 @@ class FirstLosesBehavior(BelowThresholdBehavior):
         values_i: np.ndarray,
         values_j: np.ndarray,
         rng: np.random.Generator,
+        indices_i: np.ndarray | None,
+        indices_j: np.ndarray | None,
+    ) -> np.ndarray:
+        return np.zeros(len(values_i), dtype=bool)
+
+    def first_wins_from_uniform(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniform: np.ndarray,
         indices_i: np.ndarray | None,
         indices_j: np.ndarray | None,
     ) -> np.ndarray:
@@ -226,6 +309,34 @@ class ThresholdWorkerModel(WorkerModel):
             values_i, values_j, rng, indices_i, indices_j
         )
         return np.where(hard, hard_result, easy_result)
+
+    def decide_from_uniforms(
+        self,
+        values_i: np.ndarray,
+        values_j: np.ndarray,
+        uniforms: np.ndarray,
+        indices_i: np.ndarray | None = None,
+        indices_j: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # Column 0 drives the residual easy-pair error, column 1 the
+        # below-threshold behaviour — fixed roles, so a comparison's
+        # outcome depends only on its own uniforms.
+        dist = pair_distances(values_i, values_j, self.relative)
+        hard = dist <= self.delta
+        first_is_better = values_i > values_j
+        if self.epsilon > 0.0:
+            easy_result = first_is_better ^ (uniforms[:, 0] < self.epsilon)
+        else:
+            easy_result = first_is_better
+        if not np.any(hard):
+            return easy_result
+        hard_result = self.below.first_wins_from_uniform(
+            values_i, values_j, uniforms[:, 1], indices_i, indices_j
+        )
+        return np.where(hard, hard_result, easy_result)
+
+    def supports_uniform_decide(self) -> bool:
+        return self.below.supports_uniform()
 
     def accuracy(self, dist: float) -> float:
         if dist <= self.delta:

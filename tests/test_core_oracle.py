@@ -218,3 +218,139 @@ class TestInstanceInput:
         instance = ProblemInstance(values=[1.0, 9.0])
         oracle = ComparisonOracle(instance, PerfectWorkerModel(), rng)
         assert oracle.compare(0, 1) == 1
+
+
+class TestScalarBatchParity:
+    """``compare`` is bit-identical to a length-1 ``compare_pairs``.
+
+    The scalar fast path shares the memo, counters, and — for a fresh
+    pair — the exact ``model.decide`` invocation of the batch path, so
+    an interleaved query sequence must produce the same winners, RNG
+    stream, and accounting whichever entry point serves it.
+    """
+
+    def _sequence(
+        self,
+        use_batch,
+        dense_memo_limit=None,
+        seed=2024,
+        oracle_seed=7,
+        n=20,
+        queries=300,
+    ):
+        rng = np.random.default_rng(seed)
+        values = rng.uniform(0.0, 1.0, size=n)
+        model = ThresholdWorkerModel(delta=0.3, epsilon=0.1)
+        kwargs = {}
+        if dense_memo_limit is not None:
+            kwargs["dense_memo_limit"] = dense_memo_limit
+        oracle = ComparisonOracle(
+            values, model, np.random.default_rng(oracle_seed), **kwargs
+        )
+        qrng = np.random.default_rng(seed + 2)
+        out = []
+        for _ in range(queries):
+            i = int(qrng.integers(0, n))
+            j = int((i + 1 + qrng.integers(0, n - 1)) % n)
+            if use_batch:
+                winner = int(
+                    oracle.compare_pairs(np.asarray([i]), np.asarray([j]))[0]
+                )
+            else:
+                winner = oracle.compare(i, j)
+            out.append(winner)
+        return out, oracle.comparisons, oracle.requests
+
+    @pytest.mark.parametrize("dense_memo_limit", [None, 0], ids=["dense", "dict"])
+    def test_scalar_matches_length_one_batch(self, dense_memo_limit):
+        scalar = self._sequence(False, dense_memo_limit)
+        batch = self._sequence(True, dense_memo_limit)
+        assert scalar == batch
+
+    def test_stochastic_answers_actually_vary(self):
+        # Sanity for the parity test: the same queries under a
+        # different oracle RNG change some answers, so the equality
+        # above is not vacuous.
+        a, _, _ = self._sequence(False, oracle_seed=7)
+        b, _, _ = self._sequence(False, oracle_seed=8)
+        assert a != b
+
+
+class TestFirstWinsMode:
+    """``return_first_wins`` agrees with winner-id mode bit for bit.
+
+    The boolean mode answers "did the first element win?" straight from
+    the memo code, skipping the winner-id materialisation; a fresh pair
+    must consume the exact same worker decision either way, so two
+    oracles built from the same seed and fed the same query stream — one
+    per mode — stay in lockstep.
+    """
+
+    def _oracle(self, dense_memo_limit, n=24, seed=11):
+        rng = np.random.default_rng(3)
+        values = rng.uniform(0.0, 1.0, size=n)
+        kwargs = {}
+        if dense_memo_limit is not None:
+            kwargs["dense_memo_limit"] = dense_memo_limit
+        return ComparisonOracle(
+            values,
+            ThresholdWorkerModel(delta=0.3, epsilon=0.1),
+            np.random.default_rng(seed),
+            **kwargs,
+        )
+
+    @pytest.mark.parametrize("dense_memo_limit", [None, 0], ids=["dense", "dict"])
+    def test_matches_winner_ids(self, dense_memo_limit):
+        a = self._oracle(dense_memo_limit)
+        b = self._oracle(dense_memo_limit)
+        qrng = np.random.default_rng(99)
+        n = a.n
+        for _ in range(40):
+            size = int(qrng.integers(1, n // 2))
+            ii = qrng.choice(n, size=size, replace=False).astype(np.intp)
+            jj = np.asarray([(i + 1 + int(qrng.integers(0, n - 1))) % n for i in ii], dtype=np.intp)
+            # Repeat queries hit the memo, so both branches are covered.
+            winners = a.compare_pairs(ii, jj, assume_unique=True, validate=False)
+            first_won = b.compare_pairs(
+                ii, jj, assume_unique=True, validate=False, return_first_wins=True
+            )
+            assert first_won.dtype == np.bool_
+            np.testing.assert_array_equal(first_won, winners == ii)
+        assert a.comparisons == b.comparisons
+        assert a.requests == b.requests
+
+    @pytest.mark.parametrize("dense_memo_limit", [None, 0], ids=["dense", "dict"])
+    def test_return_fresh_combo(self, dense_memo_limit):
+        oracle = self._oracle(dense_memo_limit)
+        ii = np.asarray([0, 2, 4], dtype=np.intp)
+        jj = np.asarray([1, 3, 5], dtype=np.intp)
+        first_won, fresh = oracle.compare_pairs(
+            ii, jj, return_fresh=True, assume_unique=True,
+            validate=False, return_first_wins=True,
+        )
+        assert fresh.all()
+        again, fresh2 = oracle.compare_pairs(
+            ii, jj, return_fresh=True, assume_unique=True,
+            validate=False, return_first_wins=True,
+        )
+        assert not fresh2.any()
+        np.testing.assert_array_equal(first_won, again)
+
+    def test_requires_assume_unique(self):
+        oracle = self._oracle(None)
+        with pytest.raises(ValueError, match="assume_unique"):
+            oracle.compare_pairs(
+                np.asarray([0, 1], dtype=np.intp),
+                np.asarray([1, 2], dtype=np.intp),
+                return_first_wins=True,
+            )
+
+    def test_empty_batch_is_bool(self):
+        oracle = self._oracle(None)
+        out = oracle.compare_pairs(
+            np.asarray([], dtype=np.intp),
+            np.asarray([], dtype=np.intp),
+            assume_unique=True,
+            return_first_wins=True,
+        )
+        assert out.dtype == np.bool_ and len(out) == 0

@@ -499,6 +499,50 @@ class TestAPI001StableApiSurface:
         )
 
 
+class TestVEC001ScalarComparisonInLoop:
+    def test_scalar_compare_in_for_loop_flagged(self):
+        assert rule_ids(
+            "for i, j in pairs:\n    winners.append(oracle.compare(i, j))\n"
+        ) == ["VEC001"]
+
+    def test_decide_single_in_while_loop_flagged(self):
+        assert rule_ids(
+            "while queue:\n"
+            "    i, j = queue.pop()\n"
+            "    out = model.decide_single(i, j, rng)\n"
+        ) == ["VEC001"]
+
+    def test_scalar_call_in_comprehension_flagged(self):
+        assert rule_ids(
+            "winners = [oracle.compare(i, j) for i, j in pairs]\n"
+        ) == ["VEC001"]
+
+    def test_batched_call_in_loop_allowed(self):
+        assert rule_ids(
+            "for chunk in chunks:\n"
+            "    winners = oracle.compare_pairs(chunk.ii, chunk.jj)\n"
+        ) == []
+
+    def test_scalar_call_outside_loop_allowed(self):
+        assert rule_ids("winner = oracle.compare(0, 1)\n") == []
+
+    def test_allowed_in_tests(self):
+        assert rule_ids(
+            "for i, j in pairs:\n    winners.append(oracle.compare(i, j))\n",
+            context="tests",
+        ) == []
+
+    def test_suppressed(self):
+        assert (
+            lint(
+                "for i, j in pairs:\n"
+                "    w = oracle.compare(i, j)"
+                "  # repro-lint: disable=VEC001 -- sequential base case\n"
+            )
+            == []
+        )
+
+
 class TestRulePackShape:
     def test_all_expected_rules_registered(self):
         ids = {cls.rule_id for cls in default_rules()}
@@ -517,6 +561,7 @@ class TestRulePackShape:
             "ERR001",
             "ERR002",
             "ERR003",
+            "VEC001",
         }
 
     def test_every_rule_documents_itself(self):

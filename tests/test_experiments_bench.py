@@ -1,0 +1,61 @@
+"""Tests for the bench payload helpers (repro.experiments.bench).
+
+The full sweep benchmark is CI-only (it times real sweeps); these tests
+cover the fast pieces — the oracle micro-benchmark, the bit-identity
+gate the CLI's exit code hangs off, and the table renderers.
+"""
+
+from repro.experiments.bench import (
+    BENCH_SCHEMA,
+    bench_identical,
+    oracle_bench_table,
+    run_oracle_bench,
+)
+
+
+def synthetic_payload(sweep_identical=True, oracle_identical=True, with_oracle=True):
+    payload = {
+        "schema": BENCH_SCHEMA,
+        "sweeps": {
+            "estimation": {"identical": sweep_identical},
+        },
+    }
+    if with_oracle:
+        payload["oracle"] = {"identical": oracle_identical}
+    return payload
+
+
+class TestOracleBench:
+    def test_payload_shape_and_identity(self):
+        section = run_oracle_bench(seed=5)
+        assert set(section["cases"]) == {"dense", "dict"}
+        for case in section["cases"].values():
+            assert case["identical"] is True
+            assert case["scalar_s"] > 0
+            assert case["vectorized_s"] > 0
+        assert section["identical"] is True
+        # The workload crosses the dense/dict memo boundary and replays
+        # every pair once, so memo hits are exercised in both lanes.
+        assert section["pairs"] > section["n"]
+
+    def test_table_renders_every_case(self):
+        payload = {"oracle": run_oracle_bench(seed=5)}
+        table = oracle_bench_table(payload)
+        assert len(table.rows) == 2
+        assert all(row[-1] == "yes" for row in table.rows)
+
+
+class TestBenchIdentical:
+    def test_all_green(self):
+        assert bench_identical(synthetic_payload()) is True
+
+    def test_sweep_mismatch_fails(self):
+        assert bench_identical(synthetic_payload(sweep_identical=False)) is False
+
+    def test_oracle_mismatch_fails(self):
+        assert bench_identical(synthetic_payload(oracle_identical=False)) is False
+
+    def test_payload_without_oracle_section_is_tolerated(self):
+        # Older v1 artifacts have no oracle section; the gate only
+        # checks what is present.
+        assert bench_identical(synthetic_payload(with_oracle=False)) is True

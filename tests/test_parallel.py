@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.parallel import (
+    _CHUNKS_PER_WORKER,
+    _default_chunksize,
     RunSpec,
     execute_runs,
     failure_notes,
@@ -87,6 +89,28 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(-2)
+
+
+class TestDefaultChunksize:
+    def test_small_grids_dispatch_one_spec_at_a_time(self):
+        # The estimation-sweep regression: a 20-spec sweep on 2 workers
+        # must NOT be carved into multi-spec chunks, or the tail
+        # serialises behind the largest chunk.
+        assert _default_chunksize(20, 2) == 1
+        assert _default_chunksize(_CHUNKS_PER_WORKER * 2, 2) == 1
+        assert _default_chunksize(1, 8) == 1
+
+    def test_large_grids_chunk_up(self):
+        n, jobs = 10_000, 4
+        chunk = _default_chunksize(n, jobs)
+        assert chunk > 1
+        # Enough chunks remain that the tail still load-balances.
+        assert n / chunk >= jobs * _CHUNKS_PER_WORKER / 2
+
+    def test_always_at_least_one(self):
+        for n in (1, 2, 63, 64, 65, 1000):
+            for jobs in (1, 2, 8):
+                assert _default_chunksize(n, jobs) >= 1
 
 
 class TestExecuteRuns:
