@@ -80,11 +80,15 @@ def write_csv(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
 ) -> Path:
-    """Write rows to CSV (parent directories are created)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(headers)
-        writer.writerows(rows)
-    return path
+    """Write rows to CSV atomically (parent directories are created)."""
+    # Imported lazily: experiments.base imports this module, so a
+    # module-level import of repro.experiments would be circular.
+    from ..experiments.artifacts import write_atomic
+
+    def _fill(tmp: Path) -> None:
+        with tmp.open("w", newline="") as handle:  # repro-lint: disable=DUR001 -- atomic tmp body
+            writer = csv.writer(handle)
+            writer.writerow(headers)
+            writer.writerows(rows)
+
+    return write_atomic(path, _fill)

@@ -34,6 +34,11 @@ The surface, by layer:
 * **Scheduler** (:mod:`repro.scheduler`) — deterministic multi-job
   execution over shared pools with fair-share admission, per-tenant
   budgets, and the cross-job comparison memo cache.
+* **Durability** (:mod:`repro.durability`) — opt-in persistent state:
+  the SQLite-backed comparison store behind
+  :class:`DurableComparisonCache` and the append-only job journal that
+  lets a killed scheduler run resume bit-identically
+  (``DurabilityPolicy(store_path=...)``).
 * **Telemetry** (:mod:`repro.telemetry`) — structured tracing with
   declared record names.
 * **Experiment drivers** (:mod:`repro.experiments`,
@@ -71,6 +76,14 @@ from .datasets import (
     dots_instance,
     search_instance,
 )
+from .durability import (
+    DurabilityError,
+    DurabilityPolicy,
+    JobJournal,
+    JournalMismatchError,
+    PersistentComparisonStore,
+    StoreRebuiltWarning,
+)
 from .experiments import (
     EstimationConfig,
     EstimationData,
@@ -105,6 +118,7 @@ from .platform import (
 from .scheduler import (
     ComparisonMemoCache,
     CrowdScheduler,
+    DurableComparisonCache,
     JobOutcome,
     JobTicket,
     SchedulerSaturatedError,
@@ -195,10 +209,18 @@ __all__ = [
     # scheduler
     "ComparisonMemoCache",
     "CrowdScheduler",
+    "DurableComparisonCache",
     "JobOutcome",
     "JobTicket",
     "SchedulerSaturatedError",
     "fingerprint_instance",
+    # durability
+    "DurabilityError",
+    "DurabilityPolicy",
+    "JobJournal",
+    "JournalMismatchError",
+    "PersistentComparisonStore",
+    "StoreRebuiltWarning",
     # telemetry
     "JsonlSink",
     "MetricsRegistry",

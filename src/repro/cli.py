@@ -27,12 +27,21 @@ docs/PERFORMANCE.md).
 multiplexed by the :mod:`repro.scheduler` engine over shared pools,
 printing the throughput/cache table and writing the
 ``BENCH_scheduler.json`` artifact (see docs/SCHEDULER.md).
+``resume`` runs the serve-sim workload with durable state in
+``--state-dir``: a fresh directory starts cold, a directory holding a
+(possibly torn) journal resumes it bit-identically without re-buying
+settled batches, and ``outcomes.json`` is written for parity checks;
+``--crash-after N`` arms the SIGKILL-after-N-journal-appends test
+hook.  ``bench-durability`` measures cold vs. journal-resume vs.
+warm-cache runs and writes ``BENCH_durability.json`` (see
+docs/DURABILITY.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -74,6 +83,7 @@ from .experiments import (
     run_table2_cars,
     survival_table,
 )
+from .experiments.artifacts import write_json_atomic
 from .experiments.bench import (
     bench_identical,
     bench_table,
@@ -81,7 +91,15 @@ from .experiments.bench import (
     run_bench_comparison,
     write_bench_json,
 )
+from .experiments.bench_durability import (
+    durability_bench_table,
+    outcomes_payload,
+    run_durability_bench,
+    run_durable_workload,
+    write_durability_bench_json,
+)
 from .experiments.bench_scheduler import (
+    default_workload,
     run_scheduler_bench,
     scheduler_bench_table,
     write_scheduler_bench_json,
@@ -119,6 +137,8 @@ COMMANDS = (
     "baselines",
     "bench",
     "serve-sim",
+    "resume",
+    "bench-durability",
     "all",
 )
 
@@ -178,6 +198,26 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "serve-sim only: fair-share bound, max comparison tasks one "
             "pool grants per scheduler tick (0 = unlimited)"
+        ),
+    )
+    parser.add_argument(
+        "--state-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume / bench-durability: directory for durable state "
+            "(journal + persistent comparison store)"
+        ),
+    )
+    parser.add_argument(
+        "--crash-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "resume only: SIGKILL this process after N journal appends "
+            "(crash-recovery test hook)"
         ),
     )
     parser.add_argument(
@@ -287,6 +327,79 @@ def _run_serve_sim(args: argparse.Namespace) -> None:
     print(f"(wrote {path})")
 
 
+def _run_resume(args: argparse.Namespace) -> int:
+    """The ``resume`` subcommand: durable serve-sim run in a state dir.
+
+    Runs the standard scheduler workload with journaling and cache
+    persistence rooted at ``--state-dir``.  On a fresh directory this
+    is simply a durable run; pointed at the state of a killed run it
+    recovers the journal (truncating any torn tail), replays every
+    settled batch without touching the platform, and finishes the rest
+    live.  Either way the settle outcomes land in
+    ``<state-dir>/outcomes.json`` (written atomically) so the
+    crash-recovery harness can compare interrupted-then-resumed against
+    uninterrupted runs bit-for-bit.
+    """
+    if args.state_dir is None:
+        print("resume requires --state-dir", file=sys.stderr)
+        return 2
+    workload = default_workload(seed=args.seed, n_jobs=args.serve_jobs)
+    outcomes, scheduler, wall_s = run_durable_workload(
+        workload,
+        args.state_dir,
+        quantum=args.quantum if args.quantum > 0 else None,
+        crash_after=args.crash_after,
+    )
+    payload = outcomes_payload(outcomes, scheduler, wall_s)
+    path = write_json_atomic(args.state_dir / "outcomes.json", payload)
+    run = payload["run"]
+    print(
+        f"settled {len(outcomes)} jobs in {run['wall_s']}s "
+        f"(replayed {run['replayed_batches']} batches from the journal, "
+        f"cache {run['cache_hits']} hits / {run['cache_misses']} misses)"
+    )
+    print(f"(wrote {path})")
+    return 0
+
+
+def _run_bench_durability(args: argparse.Namespace) -> int:
+    """The ``bench-durability`` subcommand: cold / resume / warm arms.
+
+    Needs a fresh ``--state-dir`` (a temporary directory is used when
+    the flag is omitted); prints the durability table and writes the
+    ``BENCH_durability.json`` artifact (atomically) into ``--out``
+    (default ``results/``).  Exits nonzero when the resume or warm arm
+    was not bit-identical to the cold run — a durability correctness
+    regression, not a perf number.
+    """
+    if args.state_dir is not None:
+        payload = run_durability_bench(
+            args.state_dir,
+            seed=args.seed,
+            n_jobs=args.serve_jobs,
+            quantum=args.quantum if args.quantum > 0 else None,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+            payload = run_durability_bench(
+                tmp,
+                seed=args.seed,
+                n_jobs=args.serve_jobs,
+                quantum=args.quantum if args.quantum > 0 else None,
+            )
+    print(durability_bench_table(payload).to_text())
+    print()
+    out = args.out if args.out is not None else Path("results")
+    path = write_durability_bench_json(payload, out / "BENCH_durability.json")
+    print(f"(wrote {path})")
+    if not (
+        payload["resume"]["identical_to_cold"] and payload["warm"]["answers_match_cold"]
+    ):
+        print("BENCH FAILED: a resumed/warm run diverged from the cold run")
+        return 1
+    return 0
+
+
 def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     """Run the selected command(s); shared by traced and untraced paths."""
     out: Path | None = args.out
@@ -302,6 +415,10 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     if command == "serve-sim":
         _run_serve_sim(args)
         return 0
+    if command == "resume":
+        return _run_resume(args)
+    if command == "bench-durability":
+        return _run_bench_durability(args)
 
     if command in ("fig3", "fig4", "fig5", "fig9", "all"):
         data = run_sweep(_sweep_config(args), rng, jobs=args.jobs)

@@ -7,6 +7,7 @@ decorator at import time).  Rule IDs are grouped by invariant family:
 * ``API00x`` — public-API discipline (:mod:`.api`)
 * ``RNG00x`` — RNG discipline (:mod:`.rng`)
 * ``DET00x`` — determinism (:mod:`.determinism`)
+* ``DUR00x`` — durable-write discipline (:mod:`.durability`)
 * ``FRK00x`` — fork safety (:mod:`.forksafe`)
 * ``TEL00x`` — telemetry hygiene (:mod:`.telemetry`)
 * ``ERR00x`` — error handling (:mod:`.errors`)
@@ -16,7 +17,16 @@ decorator at import time).  Rule IDs are grouped by invariant family:
 are produced by the engine itself, not by pluggable rules.
 """
 
-from . import api, determinism, errors, forksafe, rng, telemetry, vectorization
+from . import (
+    api,
+    determinism,
+    durability,
+    errors,
+    forksafe,
+    rng,
+    telemetry,
+    vectorization,
+)
 from ..framework import DEFAULT_REGISTRY
 
 
@@ -29,6 +39,7 @@ __all__ = [
     "default_rules",
     "api",
     "determinism",
+    "durability",
     "errors",
     "forksafe",
     "rng",

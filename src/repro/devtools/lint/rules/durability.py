@@ -1,0 +1,86 @@
+"""Durability rules (``DUR0xx``).
+
+A crash between ``open(path, "w")`` truncating a file and the final
+``flush`` leaves a torn artifact that a later reader half-parses — the
+exact failure mode :mod:`repro.experiments.artifacts` exists to
+prevent (write to a temp file, fsync, then atomically rename).  This
+rule makes the atomic-writer discipline mechanical: library code must
+not hand-roll writable ``open`` calls.
+
+Legitimate exceptions (append-only journals with their own fsync
+framing, streaming telemetry sinks) carry a justified same-line
+suppression, which doubles as documentation of *why* the bare handle
+is safe there.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..framework import Rule, register_rule
+
+__all__ = ["BareWriteRule"]
+
+#: open() mode characters that make the handle writable.
+_WRITE_CHARS = frozenset("wax+")
+
+
+def _mode_literal(node: ast.Call, position: int) -> str | None:
+    """The call's mode string, when given as a literal (else ``None``).
+
+    ``position`` is where mode sits positionally: 1 for the builtin
+    ``open(file, mode)``, 0 for the ``Path.open(mode)`` method.
+    """
+    mode: ast.expr | None = None
+    if len(node.args) > position:
+        mode = node.args[position]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return mode.value
+    return None
+
+
+@register_rule
+class BareWriteRule(Rule):
+    """Hand-rolled writable ``open`` instead of the atomic writers."""
+
+    rule_id = "DUR001"
+    summary = "bare writable open() outside the atomic-writer helpers"
+    rationale = (
+        "A crash mid-write leaves a torn file that later readers "
+        "half-parse. Durable artifacts go through "
+        "repro.experiments.artifacts (write_atomic / write_text_atomic "
+        "/ write_json_atomic): temp file, fsync, atomic rename. "
+        "Genuinely streaming writers (append-only journals, telemetry "
+        "sinks) justify a same-line suppression."
+    )
+    contexts = frozenset({"src"})
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            self._check_mode(node, "open", position=1)
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open":
+                self._check_mode(node, ".open", position=0)
+            elif func.attr in ("write_text", "write_bytes"):
+                self.report(
+                    node,
+                    f".{func.attr}() truncates in place; use "
+                    "repro.experiments.artifacts.write_text_atomic (or "
+                    "write_atomic) so a crash cannot leave a torn file",
+                )
+        self.generic_visit(node)
+
+    def _check_mode(self, node: ast.Call, spelling: str, position: int) -> None:
+        mode = _mode_literal(node, position)
+        if mode is not None and _WRITE_CHARS.intersection(mode):
+            self.report(
+                node,
+                f"{spelling}(..., {mode!r}) writes through a bare handle; "
+                "use the atomic writers in repro.experiments.artifacts "
+                "(temp + fsync + rename), or justify a suppression for "
+                "append-only/streaming handles with their own framing",
+            )

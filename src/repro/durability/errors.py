@@ -1,0 +1,46 @@
+"""Typed errors for the durability layer.
+
+Mirrors the platform's discipline (``repro.platform.errors``): anything
+that can go wrong while persisting or recovering state surfaces as a
+typed exception carrying the facts a caller needs to react — never a
+bare ``RuntimeError`` with a prose-only message.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DurabilityError", "JournalMismatchError"]
+
+
+class DurabilityError(RuntimeError):
+    """Base class for durability-layer failures."""
+
+
+class JournalMismatchError(DurabilityError):
+    """A journal cannot drive this scheduler's replay.
+
+    Raised when a recovered journal's header disagrees with the
+    resuming scheduler (different root seed, job set, quantum, or
+    cache setting) or when a replayed request diverges from its
+    journaled record — either means the determinism contract that
+    makes replay exact does not hold, and continuing would silently
+    serve wrong answers.
+
+    Attributes
+    ----------
+    field:
+        Which recorded fact disagreed (``"root_entropy"``,
+        ``"jobs"``, ``"quantum"``, ``"request"``, ...).
+    recorded / actual:
+        The journaled value and the live value that clashed.
+    """
+
+    def __init__(self, field: str, recorded: object, actual: object):
+        super().__init__(
+            f"journal does not match this scheduler: {field} was "
+            f"{recorded!r} when journaled but is {actual!r} now; resume "
+            "requires the identical workload (same root seed, submission "
+            "order, quantum, and cache setting)"
+        )
+        self.field = field
+        self.recorded = recorded
+        self.actual = actual

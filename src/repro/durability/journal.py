@@ -1,0 +1,162 @@
+"""Append-only job journal with torn-tail recovery.
+
+The scheduler's determinism contract (same root seed + same submission
+order ⇒ bit-identical run) means a crashed run does not need its full
+state snapshotted — it needs only the *irreversible* facts: which
+batches of comparisons were bought from the platform, what the workers
+answered, and what they cost.  :class:`JobJournal` records exactly
+those facts as an append-only JSONL file; on resume the scheduler
+re-runs every job's algorithm from scratch and feeds it the journaled
+answers instead of buying them again.
+
+Framing
+-------
+One JSON object per line.  Each record carries a ``crc`` field — a
+truncated SHA-256 over the canonical (compact, sorted-keys) encoding
+of the rest of the record.  Every append is flushed and ``fsync``\\ ed
+before returning, so a record either reaches the disk whole or not at
+all from the journal's point of view; a crash mid-append leaves at
+most one torn final line.
+
+:meth:`recover` reads records until the first line that is incomplete,
+unparseable, or fails its CRC, then **truncates the file there**
+(write the survivors to a temp file, fsync, atomic rename) so the
+journal is again well-formed before new appends land.  Dropping the
+torn tail is safe by construction: a record is written *before* the
+action it describes is made observable elsewhere (cache commit,
+settle), so a lost record at worst re-buys one batch — it can never
+double-settle one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JOURNAL_FORMAT", "JournalRecord", "JobJournal"]
+
+#: Stamped into the journal header; readers reject other formats.
+JOURNAL_FORMAT = "repro.journal/v1"
+
+JournalRecord = dict[str, Any]
+
+
+def _record_crc(payload: dict[str, Any]) -> str:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()[:16]
+
+
+class JobJournal:
+    """Append-only, CRC-framed record of a scheduler run's spend.
+
+    Parameters
+    ----------
+    path:
+        The journal file (parent directories are created).  Appends go
+        to the end of whatever the file already holds — run
+        :meth:`recover` first when resuming so the tail is known-good.
+    crash_after_appends:
+        Test hook for the crash-recovery harness: after this many
+        successful appends the process SIGKILLs itself, simulating a
+        power cut at a deterministic point.  ``None`` (the default)
+        disables the hook.
+    """
+
+    def __init__(self, path: str | Path, crash_after_appends: int | None = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.crash_after_appends = crash_after_appends
+        self.appends = 0
+        self._handle = open(  # repro-lint: disable=DUR001 -- append-only + fsync framing
+            self.path, "a", encoding="utf-8"
+        )
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def append(self, kind: str, **fields: Any) -> JournalRecord:
+        """Durably append one record; returns it with its CRC filled in.
+
+        The record is on disk (flushed and fsynced) when this returns —
+        callers rely on that ordering to keep the journal ahead of
+        every other durable artifact.
+        """
+        payload: dict[str, Any] = {"kind": kind, **fields}
+        record: JournalRecord = {"crc": _record_crc(payload), **payload}
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.appends += 1
+        if (
+            self.crash_after_appends is not None
+            and self.appends >= self.crash_after_appends
+        ):
+            # Simulated power cut: no atexit handlers, no flushing of
+            # anything else — exactly what the recovery path must survive.
+            os.kill(os.getpid(), signal.SIGKILL)
+        return record
+
+    def close(self) -> None:
+        """Close the file handle (appended records are already durable)."""
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(cls, path: str | Path) -> list[JournalRecord]:
+        """Read all intact records, truncating any torn tail in place.
+
+        Returns the records in append order.  Reading stops at the
+        first line that does not parse, lacks a trailing newline, or
+        fails its CRC; if anything follows the last good record the
+        file is rewritten to hold exactly the survivors (temp file,
+        fsync, atomic rename) so subsequent appends extend a
+        well-formed journal.  A missing file recovers to no records.
+        """
+        path = Path(path)
+        if not path.exists():
+            return []
+        raw = path.read_bytes()
+        records: list[JournalRecord] = []
+        good_bytes = 0
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            if newline == -1:
+                break  # torn final line: no terminator
+            line = raw[offset:newline]
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                break
+            if not isinstance(record, dict) or "crc" not in record:
+                break
+            payload = {k: v for k, v in record.items() if k != "crc"}
+            if record["crc"] != _record_crc(payload):
+                break
+            records.append(record)
+            offset = newline + 1
+            good_bytes = offset
+        if good_bytes != len(raw):
+            tmp = path.with_name(f".{path.name}.recover-{os.getpid()}")
+            try:
+                with open(tmp, "wb") as handle:  # repro-lint: disable=DUR001 -- atomic tmp body
+                    handle.write(raw[:good_bytes])
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
+        return records

@@ -1,0 +1,69 @@
+"""Opt-in configuration for durable scheduler state.
+
+A :class:`DurabilityPolicy` names one state directory and switches on
+the two durable artifacts that live inside it:
+
+* ``comparisons.sqlite3`` — the persistent comparison store backing
+  the cross-job memo cache (:mod:`repro.durability.store`);
+* ``journal.jsonl`` — the append-only job journal that makes a killed
+  run resumable (:mod:`repro.durability.journal`).
+
+Durability is strictly opt-in: without a policy the scheduler behaves
+exactly as before and writes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["DurabilityPolicy"]
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """Where and how a scheduler run persists its state.
+
+    Attributes
+    ----------
+    store_path:
+        Directory holding every durable artifact for the run.  Created
+        on first use.  Reusing the directory across runs is the point:
+        the comparison store warms future runs, and the journal lets a
+        killed run resume.
+    persist_cache:
+        Keep the cross-job comparison cache in SQLite (warm-start +
+        write-through).  Requires the scheduler's ``cache=True``.
+    journal:
+        Record the run's settled batches so it can resume after a
+        crash.
+    cache_filename / journal_filename:
+        Artifact names inside ``store_path`` — overridable so tests can
+        point several configurations at one directory.
+    crash_after_appends:
+        Passed through to :class:`~repro.durability.journal.JobJournal`;
+        a crash-harness hook that SIGKILLs the process after N journal
+        appends.  ``None`` in normal operation.
+    """
+
+    store_path: str | Path
+    persist_cache: bool = True
+    journal: bool = True
+    cache_filename: str = "comparisons.sqlite3"
+    journal_filename: str = "journal.jsonl"
+    crash_after_appends: int | None = None
+
+    @property
+    def root(self) -> Path:
+        """The state directory as a :class:`~pathlib.Path`."""
+        return Path(self.store_path)
+
+    @property
+    def cache_path(self) -> Path:
+        """Where the persistent comparison store lives."""
+        return self.root / self.cache_filename
+
+    @property
+    def journal_path(self) -> Path:
+        """Where the job journal lives."""
+        return self.root / self.journal_filename

@@ -1,0 +1,293 @@
+"""Persistent backing store for settled comparison judgments.
+
+Comparisons are the unit of *money* in the paper's cost model — every
+pairwise judgment is a paid crowd task — so the cross-job
+:class:`~repro.scheduler.cache.ComparisonMemoCache` holds real spent
+budget.  This module keeps that state alive across process restarts:
+:class:`PersistentComparisonStore` is a SQLite (stdlib ``sqlite3``,
+WAL mode) table of settled answers under the cache's own keys,
+
+``(instance fingerprint, pool name, judgments per task, lo, hi)``
+
+with ``lo < hi`` and the answer normalised to "``lo`` wins", exactly
+mirroring the in-memory normalisation.
+
+Trust model
+-----------
+A persistent store outlives the code that wrote it, so every open
+validates before serving:
+
+* a ``schema_version`` / ``cache_version`` stamp in the ``meta`` table
+  — a mismatch (new code, old store or vice versa) **rebuilds cold**
+  with a warning rather than serving judgments under a stale encoding;
+* a per-row checksum over the full key and answer — any row that fails
+  verification marks the whole store untrusted and it is rebuilt cold
+  (reject-and-rebuild), because a store that tampers or bit-rots once
+  cannot be trusted row-by-row.
+
+Rebuilding loses only *cached reuse* (judgments will be re-bought);
+it can never corrupt results, which is the right trade for a cache.
+Writes go through SQLite transactions, so a crash mid-write leaves the
+previous committed state, never a torn row.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import sqlite3
+import warnings
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "STORE_SCHEMA_VERSION",
+    "STORE_CACHE_VERSION",
+    "StoreRebuiltWarning",
+    "PersistentComparisonStore",
+]
+
+#: Layout version of the SQLite schema itself.
+STORE_SCHEMA_VERSION = 1
+
+#: Version of the judgment *encoding* (key normalisation, answer
+#: polarity).  Bump whenever cached answers written by older code must
+#: not be reused, even though the table layout still parses.
+STORE_CACHE_VERSION = 1
+
+#: One store key, identical to the in-memory cache's ``_Key``:
+#: (fingerprint, pool_name, judgments_per_task, lo, hi) with lo < hi.
+Key = tuple[str, str, int, int, int]
+
+
+class StoreRebuiltWarning(UserWarning):
+    """A persistent store failed validation and was rebuilt cold."""
+
+
+def _row_checksum(
+    fingerprint: str, pool: str, judgments: int, lo: int, hi: int, lo_wins: int
+) -> str:
+    """Checksum binding a row's full key to its answer."""
+    body = f"{fingerprint}|{pool}|{judgments}|{lo}|{hi}|{lo_wins}"
+    return hashlib.sha256(body.encode("ascii")).hexdigest()[:16]
+
+
+class PersistentComparisonStore:
+    """SQLite-backed map of settled comparisons, safe across restarts.
+
+    Parameters
+    ----------
+    path:
+        The database file (parent directories are created).
+    schema_version, cache_version:
+        Override the stamped versions — a test hook for exercising the
+        mismatch-rebuild path; production code always uses the module
+        constants.
+
+    Opening validates the version stamps and **every row's checksum**;
+    any failure emits a :class:`StoreRebuiltWarning` and restarts the
+    store cold (the reason is kept on :attr:`rebuilt_reason`).  The
+    connection allows cross-thread use because the scheduler may be
+    constructed and run on different threads, but access is expected
+    to be serial (the scheduler's event loop is single-threaded).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        schema_version: int = STORE_SCHEMA_VERSION,
+        cache_version: int = STORE_CACHE_VERSION,
+    ):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.schema_version = int(schema_version)
+        self.cache_version = int(cache_version)
+        #: Why the last open rebuilt the store, or ``None`` for a clean open.
+        self.rebuilt_reason: str | None = None
+        try:
+            self._connect()
+            self._ensure_schema()
+        except sqlite3.DatabaseError:
+            # Not a SQLite file at all (overwritten, bit-rotted header):
+            # same trust model as a bad row — start cold, loudly.
+            self._conn.close()
+            self.path.unlink(missing_ok=True)
+            self._connect()
+            self._rebuild("file is not a readable SQLite database")
+
+    def _connect(self) -> None:
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        # FULL keeps every committed batch durable across power loss;
+        # the store holds paid-for judgments, so losing a commit
+        # re-spends money.
+        self._conn.execute("PRAGMA synchronous=FULL")
+
+    # ------------------------------------------------------------------
+    # Schema / validation
+    # ------------------------------------------------------------------
+    def _ensure_schema(self) -> None:
+        cur = self._conn.execute(
+            "SELECT name FROM sqlite_master WHERE type='table' AND name='meta'"
+        )
+        if cur.fetchone() is None:
+            self._create_schema()
+            return
+        stamped_schema = self._meta("schema_version")
+        stamped_cache = self._meta("cache_version")
+        if stamped_schema != str(self.schema_version):
+            self._rebuild(
+                f"schema_version mismatch (store {stamped_schema!r}, "
+                f"code {self.schema_version!r})"
+            )
+            return
+        if stamped_cache != str(self.cache_version):
+            self._rebuild(
+                f"cache_version mismatch (store {stamped_cache!r}, "
+                f"code {self.cache_version!r})"
+            )
+            return
+        if not self._rows_verify():
+            self._rebuild("row checksum mismatch (corrupted or tampered row)")
+
+    def _create_schema(self) -> None:
+        with self._conn:
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT)"
+            )
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS comparisons ("
+                " fingerprint TEXT NOT NULL,"
+                " pool TEXT NOT NULL,"
+                " judgments INTEGER NOT NULL,"
+                " lo INTEGER NOT NULL,"
+                " hi INTEGER NOT NULL,"
+                " lo_wins INTEGER NOT NULL,"
+                " checksum TEXT NOT NULL,"
+                " PRIMARY KEY (fingerprint, pool, judgments, lo, hi))"
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('schema_version', ?)",
+                (str(self.schema_version),),
+            )
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta VALUES ('cache_version', ?)",
+                (str(self.cache_version),),
+            )
+
+    def _meta(self, key: str) -> str | None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else str(row[0])
+
+    def _rows_verify(self) -> bool:
+        """Whether every stored row's checksum matches its contents."""
+        try:
+            rows = self._conn.execute(
+                "SELECT fingerprint, pool, judgments, lo, hi, lo_wins, checksum"
+                " FROM comparisons"
+            )
+            for fingerprint, pool, judgments, lo, hi, lo_wins, checksum in rows:
+                expected = _row_checksum(
+                    str(fingerprint), str(pool), int(judgments), int(lo), int(hi),
+                    int(lo_wins),
+                )
+                if checksum != expected:
+                    return False
+        except sqlite3.DatabaseError:
+            return False
+        return True
+
+    def _rebuild(self, reason: str) -> None:
+        """Drop everything and start cold, keeping the reason visible."""
+        warnings.warn(
+            f"persistent comparison store {self.path} rebuilt cold: {reason}",
+            StoreRebuiltWarning,
+            stacklevel=3,
+        )
+        self.rebuilt_reason = reason
+        with self._conn:
+            self._conn.execute("DROP TABLE IF EXISTS comparisons")
+            self._conn.execute("DROP TABLE IF EXISTS meta")
+        self._create_schema()
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+    def load(self) -> dict[Key, bool]:
+        """All stored judgments as an in-memory ``{key: lo_wins}`` map."""
+        out: dict[Key, bool] = {}
+        rows = self._conn.execute(
+            "SELECT fingerprint, pool, judgments, lo, hi, lo_wins FROM comparisons"
+        )
+        for fingerprint, pool, judgments, lo, hi, lo_wins in rows:
+            out[(str(fingerprint), str(pool), int(judgments), int(lo), int(hi))] = bool(
+                lo_wins
+            )
+        return out
+
+    def write_entries(self, entries: Iterable[tuple[Key, bool]]) -> int:
+        """Upsert settled judgments in one transaction; returns count."""
+        rows = [
+            (
+                key[0], key[1], key[2], key[3], key[4], int(lo_wins),
+                _row_checksum(key[0], key[1], key[2], key[3], key[4], int(lo_wins)),
+            )
+            for key, lo_wins in entries
+        ]
+        if not rows:
+            return 0
+        with self._conn:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO comparisons VALUES (?, ?, ?, ?, ?, ?, ?)",
+                rows,
+            )
+        return len(rows)
+
+    def invalidate(
+        self, fingerprint: str | None = None, pool_name: str | None = None
+    ) -> int:
+        """Delete rows matching the filters; returns how many were removed.
+
+        The same selector semantics as the in-memory cache's
+        ``invalidate``: no filters clears everything, ``fingerprint``
+        one catalog, ``pool_name`` one worker class, both their
+        intersection.
+        """
+        clauses: list[str] = []
+        params: list[object] = []
+        if fingerprint is not None:
+            clauses.append("fingerprint = ?")
+            params.append(fingerprint)
+        if pool_name is not None:
+            clauses.append("pool = ?")
+            params.append(pool_name)
+        sql = "DELETE FROM comparisons"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        with self._conn:
+            cur = self._conn.execute(sql, params)
+        return int(cur.rowcount)
+
+    def __len__(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM comparisons").fetchone()
+        return int(row[0])
+
+    def close(self) -> None:
+        """Close the connection (committed data stays on disk)."""
+        self._conn.close()
+
+    def __enter__(self) -> "PersistentComparisonStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[tuple[Key, bool]]:
+        return iter(self.load().items())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PersistentComparisonStore(path={str(self.path)!r}, "
+            f"entries={len(self)})"
+        )

@@ -10,7 +10,7 @@ per sweep, serial vs parallel, comparisons/second, speedup.
 Entry points: the ``repro-experiments bench`` CLI subcommand and the
 ``benchmarks/test_bench_parallel_sweep.py`` harness, both of which
 write the artifact atomically via
-:func:`~repro.experiments.io.write_json_atomic`.
+:func:`~repro.experiments.artifacts.write_json_atomic`.
 """
 
 from __future__ import annotations
@@ -26,7 +26,7 @@ from ..core.oracle import ComparisonOracle
 from ..workers.adversarial import AdversarialWorkerModel
 from .base import TableResult
 from .estimation_sweep import EstimationConfig, EstimationData, run_estimation_sweep
-from .io import write_json_atomic
+from .artifacts import write_json_atomic
 from .sweep import SweepConfig, SweepData, run_sweep
 
 __all__ = [

@@ -19,7 +19,7 @@ conventionally stored at ``results/BENCH_scheduler.json``:
 Entry points: the ``repro-experiments serve-sim`` CLI subcommand and
 the ``benchmarks/test_bench_scheduler.py`` harness, both writing the
 artifact atomically via
-:func:`~repro.experiments.io.write_json_atomic`.
+:func:`~repro.experiments.artifacts.write_json_atomic`.
 """
 
 from __future__ import annotations
@@ -36,7 +36,7 @@ from ..scheduler import CrowdScheduler
 from ..service import CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
 from ..workers.threshold import ThresholdWorkerModel
 from .base import TableResult
-from .io import write_json_atomic
+from .artifacts import write_json_atomic
 
 __all__ = [
     "SCHEDULER_BENCH_SCHEMA",

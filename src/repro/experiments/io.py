@@ -10,55 +10,21 @@ re-simulating.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 
-from typing import Callable
-
+from .artifacts import write_atomic, write_json_atomic, write_text_atomic
 from .base import FigureResult, TableResult
 
 __all__ = [
     "save_result",
     "load_result",
+    # Re-exported from :mod:`repro.experiments.artifacts` (the writers
+    # were hoisted there so non-experiment layers can share them);
+    # import from ``artifacts`` in new code.
     "write_atomic",
     "write_text_atomic",
     "write_json_atomic",
 ]
-
-
-def write_atomic(path: str | Path, write: Callable[[Path], None]) -> Path:
-    """Produce ``path`` atomically: ``write`` fills a temp file, which
-    is then renamed into place.
-
-    The one tmp-file + ``os.replace`` implementation every artifact
-    writer shares (text, JSON, benchmark CSVs): concurrent writers —
-    pytest-xdist benchmark shards, parallel CI jobs — each land a
-    complete file, and readers can never observe a partial write.
-    ``write`` receives the private temp path (same directory, so the
-    rename stays on one filesystem); on any failure the temp file is
-    removed and nothing is published.  Parent directories are created.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
-    try:
-        write(tmp)
-        os.replace(tmp, path)
-    finally:
-        tmp.unlink(missing_ok=True)
-    return path
-
-
-def write_text_atomic(path: str | Path, text: str) -> Path:
-    """Write ``text`` to ``path`` atomically (see :func:`write_atomic`)."""
-    return write_atomic(path, lambda tmp: tmp.write_text(text, encoding="utf-8"))
-
-
-def write_json_atomic(path: str | Path, payload: object) -> Path:
-    """Serialise ``payload`` as pretty JSON and write it atomically."""
-    return write_text_atomic(
-        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
-    )
 
 _FIGURE_KIND = "figure"
 _TABLE_KIND = "table"

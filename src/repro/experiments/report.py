@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from .artifacts import write_text_atomic
 from .io import load_result
 
 __all__ = ["compose_report", "write_report"]
@@ -62,8 +63,5 @@ def compose_report(results_dir: str | Path) -> str:
 
 
 def write_report(results_dir: str | Path, output_path: str | Path) -> Path:
-    """Compose the report and write it to ``output_path``."""
-    output_path = Path(output_path)
-    output_path.parent.mkdir(parents=True, exist_ok=True)
-    output_path.write_text(compose_report(results_dir))
-    return output_path
+    """Compose the report and write it to ``output_path`` atomically."""
+    return write_text_atomic(output_path, compose_report(results_dir))

@@ -11,7 +11,7 @@ See ``docs/SCHEDULER.md`` for the event loop, fairness policy, cache
 semantics, and the determinism contract.
 """
 
-from .cache import ComparisonMemoCache, fingerprint_instance
+from .cache import ComparisonMemoCache, DurableComparisonCache, fingerprint_instance
 from .engine import CrowdScheduler, JobOutcome, JobTicket
 from .errors import SchedulerSaturatedError
 
@@ -20,6 +20,7 @@ __all__ = [
     "JobTicket",
     "JobOutcome",
     "ComparisonMemoCache",
+    "DurableComparisonCache",
     "fingerprint_instance",
     "SchedulerSaturatedError",
 ]

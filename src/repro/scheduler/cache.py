@@ -31,8 +31,14 @@ import hashlib
 import numpy as np
 
 from ..core.instance import ProblemInstance
+from ..durability.store import PersistentComparisonStore
+from ..telemetry import Tracer, resolve_tracer
 
-__all__ = ["fingerprint_instance", "ComparisonMemoCache"]
+__all__ = [
+    "fingerprint_instance",
+    "ComparisonMemoCache",
+    "DurableComparisonCache",
+]
 
 
 def fingerprint_instance(instance: ProblemInstance | np.ndarray) -> str:
@@ -66,12 +72,16 @@ class ComparisonMemoCache:
     to "``lo`` wins", so ``(3, 7)`` and ``(7, 3)`` hit the same entry.
     ``hits`` / ``misses`` count *lookups*, giving the judgments-saved
     numerator the benchmark and the ``cache_hit`` telemetry report.
+    The optional ``tracer`` receives ``cache_invalidated`` events (and,
+    in the durable subclass, ``cache_persisted``); it defaults to the
+    ambient tracer, a no-op unless one was activated.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, tracer: Tracer | None = None) -> None:
         self._store: dict[_Key, bool] = {}
         self.hits = 0
         self.misses = 0
+        self.tracer = resolve_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Lookup / store
@@ -130,6 +140,7 @@ class ComparisonMemoCache:
         answers: np.ndarray,
     ) -> None:
         """Record freshly bought answers (``True`` = first wins)."""
+        entries: list[tuple[_Key, bool]] = []
         for k in range(len(indices_i)):
             key, flipped = self._key(
                 fingerprint,
@@ -139,7 +150,13 @@ class ComparisonMemoCache:
                 int(indices_j[k]),
             )
             first_wins = bool(answers[k])
-            self._store[key] = (not first_wins) if flipped else first_wins
+            lo_wins = (not first_wins) if flipped else first_wins
+            self._store[key] = lo_wins
+            entries.append((key, lo_wins))
+        self._ingest(entries)
+
+    def _ingest(self, entries: list[tuple[_Key, bool]]) -> None:
+        """Hook for subclasses that mirror stores to a backing medium."""
 
     # ------------------------------------------------------------------
     # Introspection / invalidation
@@ -168,24 +185,86 @@ class ComparisonMemoCache:
         ``invalidate(fingerprint=...)`` one catalog,
         ``invalidate(pool_name=...)`` one worker class, and both
         together their intersection.  Counters are preserved — they
-        describe traffic, not contents.
+        describe traffic, not contents.  Emits one ``cache_invalidated``
+        telemetry event carrying the selector and the eviction count.
         """
         if fingerprint is None and pool_name is None:
             removed = len(self._store)
             self._store.clear()
-            return removed
-        doomed = [
-            key
-            for key in self._store
-            if (fingerprint is None or key[0] == fingerprint)
-            and (pool_name is None or key[1] == pool_name)
-        ]
-        for key in doomed:
-            del self._store[key]
-        return len(doomed)
+        else:
+            doomed = [
+                key
+                for key in self._store
+                if (fingerprint is None or key[0] == fingerprint)
+                and (pool_name is None or key[1] == pool_name)
+            ]
+            for key in doomed:
+                del self._store[key]
+            removed = len(doomed)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "cache_invalidated",
+                fingerprint=fingerprint[:12] if fingerprint else None,
+                pool=pool_name,
+                removed=removed,
+            )
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"ComparisonMemoCache(entries={len(self._store)}, "
             f"hits={self.hits}, misses={self.misses})"
+        )
+
+
+class DurableComparisonCache(ComparisonMemoCache):
+    """A memo cache backed by a :class:`PersistentComparisonStore`.
+
+    Construction warm-loads every stored judgment into memory (the
+    count is kept on :attr:`warm_entries`); every ``store_batch``
+    write-through commits the new entries to SQLite in one transaction,
+    and ``invalidate`` evicts from both layers.  Lookups never touch
+    the database — the in-memory dict is always a faithful image of the
+    store, so the hot path is identical to the plain cache.
+
+    The write-through is intentionally *after* the in-memory update and
+    emits one ``cache_persisted`` event (plus the
+    ``durability.cache_persisted`` counter) per committed batch.  When
+    the scheduler journals a run, it appends the journal record before
+    calling ``store_batch``, so the database can never hold a judgment
+    whose provenance record could be torn away (see
+    ``docs/DURABILITY.md``).
+    """
+
+    def __init__(
+        self, store: PersistentComparisonStore, tracer: Tracer | None = None
+    ) -> None:
+        super().__init__(tracer=tracer)
+        self.store = store
+        self._store.update(store.load())
+        #: Entries warm-loaded from disk at construction.
+        self.warm_entries = len(self._store)
+
+    def _ingest(self, entries: list[tuple[_Key, bool]]) -> None:
+        written = self.store.write_entries(entries)
+        if written and self.tracer.enabled:
+            self.tracer.event("cache_persisted", entries=written)
+        if written:
+            self.tracer.count("durability.cache_persisted", written)
+
+    def invalidate(
+        self, fingerprint: str | None = None, pool_name: str | None = None
+    ) -> int:
+        removed = super().invalidate(fingerprint=fingerprint, pool_name=pool_name)
+        self.store.invalidate(fingerprint=fingerprint, pool_name=pool_name)
+        return removed
+
+    def close(self) -> None:
+        """Close the backing store (committed entries stay on disk)."""
+        self.store.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DurableComparisonCache(entries={len(self._store)}, "
+            f"warm={self.warm_entries}, path={str(self.store.path)!r})"
         )

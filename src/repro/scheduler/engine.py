@@ -60,21 +60,30 @@ See ``docs/SCHEDULER.md`` for the full contract and worked examples.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+import warnings
+from collections import deque
+from dataclasses import asdict, dataclass, field
 from typing import Any, Literal
 
 import numpy as np
 
+from ..durability import (
+    DurabilityPolicy,
+    JobJournal,
+    JournalMismatchError,
+    JournalRecord,
+    PersistentComparisonStore,
+)
 from ..platform.accounting import CostLedger
 from ..platform.errors import CostCapError
 from ..platform.faults import FaultPlan, RetryPolicy
 from ..platform.gold import GoldPolicy
-from ..platform.job import BatchReport
+from ..platform.job import BatchReport, TaskReport
 from ..platform.platform import CrowdPlatform
 from ..platform.workforce import WorkerPool
 from ..service import BudgetExceededError, CrowdJobResult, CrowdMaxJob
 from ..telemetry import NULL_TRACER, Tracer, resolve_tracer
-from .cache import ComparisonMemoCache, fingerprint_instance
+from .cache import ComparisonMemoCache, DurableComparisonCache, fingerprint_instance
 from .errors import SchedulerSaturatedError
 
 __all__ = ["JobTicket", "JobOutcome", "CrowdScheduler"]
@@ -95,9 +104,16 @@ class _ChainedLedger(CostLedger):
     jointly across all of that tenant's concurrent jobs.  The parent is
     checked before the private ledger records anything, keeping both
     ledgers' never-above-cap invariants intact.
+
+    When :attr:`tape` is a list, every *successful* charge is also
+    appended to it as ``(label, count, unit_cost)`` — the journal's
+    charge tape.  Replaying the tape through :meth:`charge` in the
+    recorded order rebuilds both ledgers with bit-identical float
+    accumulation, which is what makes resumed cost totals exact.
     """
 
     parent: CostLedger | None = None
+    tape: list[tuple[str, int, float]] | None = None
 
     def charge(self, label: str, count: int, unit_cost: float) -> None:
         amount = count * unit_cost
@@ -111,6 +127,74 @@ class _ChainedLedger(CostLedger):
         super().charge(label, count, unit_cost)
         if self.parent is not None:
             self.parent.charge(label, count, unit_cost)
+        if self.tape is not None:
+            self.tape.append((label, count, unit_cost))
+
+
+def _capture_platform_state(platform: CrowdPlatform) -> dict[str, Any]:
+    """Snapshot the platform facts a journaled batch must restore.
+
+    Everything a later batch's outcome can depend on: the RNG stream
+    position, the fast path's Philox key and judgment counter, and the
+    step/fault counters the job meter diffs.  The judgment audit log is
+    deliberately *not* captured (it can be huge and no decision reads
+    it); a resumed run's log starts at the crash point.
+    """
+    return {
+        "rng_state": platform.rng.bit_generator.state,
+        "fast_key": platform._fast_key,
+        "fast_seq": platform._fast_seq,
+        "logical_steps": platform.logical_steps,
+        "physical_steps_total": platform.physical_steps_total,
+        "fast_batches_total": platform.fast_batches_total,
+        "faults_injected_total": platform.faults_injected_total,
+        "tasks_degraded_total": platform.tasks_degraded_total,
+        "retries_total": platform.retries_total,
+    }
+
+
+def _restore_platform_state(platform: CrowdPlatform, state: dict[str, Any]) -> None:
+    platform.rng.bit_generator.state = state["rng_state"]
+    fast_key = state["fast_key"]
+    platform._fast_key = None if fast_key is None else int(fast_key)
+    platform._fast_seq = int(state["fast_seq"])
+    platform.logical_steps = int(state["logical_steps"])
+    platform.physical_steps_total = int(state["physical_steps_total"])
+    platform.fast_batches_total = int(state["fast_batches_total"])
+    platform.faults_injected_total = int(state["faults_injected_total"])
+    platform.tasks_degraded_total = int(state["tasks_degraded_total"])
+    platform.retries_total = int(state["retries_total"])
+
+
+def _report_to_state(report: BatchReport) -> dict[str, Any]:
+    """A :class:`BatchReport` as JSON-safe journal payload."""
+    return {
+        "answers": [bool(a) for a in report.answers],
+        "physical_steps": report.physical_steps,
+        "judgments_collected": report.judgments_collected,
+        "judgments_discarded": report.judgments_discarded,
+        "workers_banned": [int(w) for w in report.workers_banned],
+        "task_reports": [asdict(t) for t in report.task_reports],
+        "faults_injected": report.faults_injected,
+        "judgments_malformed": report.judgments_malformed,
+        "judgments_lost_late": report.judgments_lost_late,
+        "retries": report.retries,
+    }
+
+
+def _report_from_state(state: dict[str, Any]) -> BatchReport:
+    return BatchReport(
+        answers=[bool(a) for a in state["answers"]],
+        physical_steps=int(state["physical_steps"]),
+        judgments_collected=int(state["judgments_collected"]),
+        judgments_discarded=int(state["judgments_discarded"]),
+        workers_banned=[int(w) for w in state["workers_banned"]],
+        task_reports=[TaskReport(**t) for t in state["task_reports"]],
+        faults_injected=int(state["faults_injected"]),
+        judgments_malformed=int(state["judgments_malformed"]),
+        judgments_lost_late=int(state["judgments_lost_late"]),
+        retries=int(state["retries"]),
+    )
 
 
 @dataclass
@@ -307,6 +391,18 @@ class CrowdScheduler:
         own records are buffered and replayed in admission order after
         the run, stamped with ``job_index`` (mirroring the parallel
         engine's shard replay).
+    durability:
+        Opt-in durable state (see :mod:`repro.durability` and
+        ``docs/DURABILITY.md``).  With ``persist_cache``, the cross-job
+        cache is backed by SQLite and warm-starts from previous runs;
+        with ``journal``, every settled batch is journaled before it
+        becomes observable anywhere else, and :meth:`run` transparently
+        *resumes* when the policy's journal already holds records for
+        the identical workload — journaled batches are replayed without
+        touching the platform (zero re-spend), then execution continues
+        live, bit-identical to an uninterrupted run.  Requires
+        stateless pools for exactness: gold bans mutate shared workers
+        and are not reconstructed (a warning says so).
     """
 
     def __init__(
@@ -321,6 +417,7 @@ class CrowdScheduler:
         max_pending: int = 64,
         tenant_caps: dict[str, float] | None = None,
         tracer: Tracer | None = None,
+        durability: DurabilityPolicy | None = None,
     ):
         if not pools:
             raise ValueError("the scheduler needs at least one worker pool")
@@ -337,21 +434,53 @@ class CrowdScheduler:
         self.gold = gold
         self.faults = faults
         self.retry = retry
+        self.tracer = resolve_tracer(tracer)
+        self.durability = durability
+        self._owns_cache = False
         if cache is True:
-            self.cache: ComparisonMemoCache | None = ComparisonMemoCache()
+            if durability is not None and durability.persist_cache:
+                self.cache: ComparisonMemoCache | None = DurableComparisonCache(
+                    PersistentComparisonStore(durability.cache_path),
+                    tracer=self.tracer,
+                )
+                self._owns_cache = True
+            else:
+                self.cache = ComparisonMemoCache(tracer=self.tracer)
         elif cache is False:
             self.cache = None
         else:
             self.cache = cache
+        if durability is not None and durability.journal and gold is not None:
+            warnings.warn(
+                "journaled durability with a gold policy: gold bans mutate "
+                "shared worker state that journal replay does not "
+                "reconstruct, so a resumed run is only exact when no worker "
+                "was banned before the crash",
+                UserWarning,
+                stacklevel=2,
+            )
         self.quantum = quantum
         self.max_pending = max_pending
-        self.tracer = resolve_tracer(tracer)
         self._tenant_ledgers: dict[str, CostLedger] = {}
         self._tenant_caps = dict(tenant_caps or {})
         self._tickets: list[JobTicket] = []
         self._cond = threading.Condition()
         self._started = False
         self.ticks = 0
+        self._journal: JobJournal | None = None
+        self._replay: dict[int, deque[JournalRecord]] = {}
+        self._journal_seq = 0
+        self._settled_journaled: set[int] = set()
+        #: Batches served from the journal (not the platform) this run.
+        self.replayed_batches = 0
+        #: Ledger operations re-applied from journal charge tapes.  The
+        #: ledgers themselves cannot tell replayed charges from live
+        #: ones (that is the point — bit-identical totals), so this is
+        #: the counter that proves zero re-spend: judgments actually
+        #: bought this run = ``ledger ops - replayed_operations``.
+        self.replayed_operations = 0
+        #: Money re-applied from journal charge tapes (same caveat).
+        self.replayed_money = 0.0
 
     # ------------------------------------------------------------------
     # Admission
@@ -392,20 +521,78 @@ class CrowdScheduler:
     # The event loop
     # ------------------------------------------------------------------
     def run(self) -> list[JobOutcome]:
-        """Settle every admitted job; returns outcomes in settle order."""
+        """Settle every admitted job; returns outcomes in settle order.
+
+        With a journaling :class:`~repro.durability.DurabilityPolicy`,
+        recovers the journal first: an empty journal starts a fresh
+        (recorded) run; an existing one must describe the identical
+        workload (else :class:`JournalMismatchError`) and its settled
+        batches are replayed instead of re-bought.
+        """
         if self._started:
             raise RuntimeError("run() can only be called once per scheduler")
         self._started = True
+        self._open_journal()
         outcomes: list[JobOutcome] = []
-        with self.tracer.span(
-            "scheduler.run", jobs=len(self._tickets), pools=sorted(self.pools)
-        ):
-            for ticket in self._tickets:
-                self._launch(ticket)
-            self._loop(outcomes)
+        try:
+            with self.tracer.span(
+                "scheduler.run", jobs=len(self._tickets), pools=sorted(self.pools)
+            ):
+                for ticket in self._tickets:
+                    self._launch(ticket)
+                self._loop(outcomes)
+        finally:
+            if self._journal is not None:
+                self._journal.close()
+            if self._owns_cache and isinstance(self.cache, DurableComparisonCache):
+                self.cache.close()
         for ticket in self._tickets:
             self._replay_job_trace(ticket)
         return outcomes
+
+    # ------------------------------------------------------------------
+    # Durability: journal setup / recovery
+    # ------------------------------------------------------------------
+    def _journal_facts(self) -> dict[str, Any]:
+        """The workload identity stamped into (and checked against) the
+        journal header — everything the determinism contract requires
+        to be identical for replay to be exact."""
+        return {
+            "root_entropy": str(self._seeds.entropy),
+            "quantum": self.quantum,
+            "cache": self.cache is not None,
+            "pools": sorted(self.pools),
+            "jobs": [
+                [ticket.job.kind, ticket.fingerprint, ticket.tenant]
+                for ticket in self._tickets
+            ],
+        }
+
+    def _open_journal(self) -> None:
+        policy = self.durability
+        if policy is None or not policy.journal:
+            return
+        records = JobJournal.recover(policy.journal_path)
+        facts = self._journal_facts()
+        if records:
+            header = records[0]
+            if header.get("kind") != "header":
+                raise JournalMismatchError("kind", header.get("kind"), "header")
+            for name, actual in facts.items():
+                if header.get(name) != actual:
+                    raise JournalMismatchError(name, header.get(name), actual)
+            for record in records[1:]:
+                if record["kind"] == "serve":
+                    queue = self._replay.setdefault(int(record["job_index"]), deque())
+                    queue.append(record)
+                    self._journal_seq += 1
+                elif record["kind"] == "settled":
+                    self._settled_journaled.add(int(record["job_index"]))
+        self._journal = JobJournal(
+            policy.journal_path, crash_after_appends=policy.crash_after_appends
+        )
+        if not records:
+            self._journal.append("header", **facts)
 
     def _launch(self, ticket: JobTicket) -> None:
         """Build the tenant view, emit admission, start the job thread."""
@@ -543,7 +730,11 @@ class CrowdScheduler:
     # Service
     # ------------------------------------------------------------------
     def _serve(self, ticket: JobTicket, request: _CompareRequest) -> None:
-        """Resolve one request (cache + platform) and wake its job."""
+        """Resolve one request (journal / cache / platform); wake its job."""
+        queue = self._replay.get(ticket.index)
+        if queue:
+            self._replay_serve(ticket, request, queue.popleft())
+            return
         answers = np.zeros(request.size, dtype=bool)
         report: BatchReport | None = None
         if self.cache is not None:
@@ -567,8 +758,13 @@ class CrowdScheduler:
                 hits=hits,
                 misses=len(miss),
             )
+        fresh: np.ndarray | None = None
+        tape: list[tuple[str, int, float]] = []
         if len(miss):
             assert ticket.platform is not None
+            ledger = ticket.platform.ledger
+            if self._journal is not None and isinstance(ledger, _ChainedLedger):
+                ledger.tape = tape
             try:
                 fresh, report = CrowdPlatform.compare_batch(
                     ticket.platform,
@@ -580,19 +776,16 @@ class CrowdScheduler:
                     judgments_per_task=request.judgments_per_task,
                 )
             except BaseException as exc:  # repro-lint: disable=ERR003 -- tunnelled to (and re-raised on) the job thread
+                # Not journaled: a failed serve settles nothing.  On
+                # resume the re-run reaches this serve live (with the
+                # restored RNG/ledger state) and fails identically.
                 request.error = exc
                 self._wake(ticket, request)
                 return
+            finally:
+                if self._journal is not None and isinstance(ledger, _ChainedLedger):
+                    ledger.tape = None
             answers[miss] = fresh
-            if self.cache is not None:
-                self.cache.store_batch(
-                    ticket.fingerprint,
-                    request.pool_name,
-                    request.judgments_per_task,
-                    request.indices_i[miss],
-                    request.indices_j[miss],
-                    fresh,
-                )
         if report is None:
             # Every pair was served from the cache: no physical steps
             # ran and nothing was paid.
@@ -602,6 +795,141 @@ class CrowdScheduler:
                 judgments_collected=0,
                 judgments_discarded=0,
             )
+        # Ordering discipline: the journal record must be durable
+        # *before* the durable cache commits these judgments, so the
+        # store can never hold an entry whose journal record was lost
+        # to a crash (which would flip a miss to a hit on resume and
+        # break ledger parity).
+        if self._journal is not None:
+            self._journal_serve(ticket, request, miss, fresh, answers, report, tape, hits)
+        if self.cache is not None and len(miss):
+            assert fresh is not None
+            self.cache.store_batch(
+                ticket.fingerprint,
+                request.pool_name,
+                request.judgments_per_task,
+                request.indices_i[miss],
+                request.indices_j[miss],
+                fresh,
+            )
+        request.answers = answers
+        request.report = report
+        self._wake(ticket, request)
+
+    def _journal_serve(
+        self,
+        ticket: JobTicket,
+        request: _CompareRequest,
+        miss: np.ndarray,
+        fresh: np.ndarray | None,
+        answers: np.ndarray,
+        report: BatchReport,
+        tape: list[tuple[str, int, float]],
+        hits: int,
+    ) -> None:
+        """Durably record one served batch (fsynced before return)."""
+        assert self._journal is not None
+        touched = bool(len(miss))
+        assert ticket.platform is not None
+        record = self._journal.append(
+            "serve",
+            seq=self._journal_seq,
+            job_index=ticket.index,
+            pool=request.pool_name,
+            judgments=request.judgments_per_task,
+            indices_i=[int(v) for v in request.indices_i],
+            indices_j=[int(v) for v in request.indices_j],
+            miss=[int(v) for v in miss],
+            fresh=[bool(v) for v in fresh] if fresh is not None else [],
+            answers=[bool(v) for v in answers],
+            hits=hits,
+            charges=[[label, count, cost] for label, count, cost in tape],
+            report=_report_to_state(report) if touched else None,
+            platform=_capture_platform_state(ticket.platform) if touched else None,
+        )
+        self._journal_seq += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "journal_append",
+                job_index=ticket.index,
+                pool=request.pool_name,
+                seq=record["seq"],
+                tasks=request.size,
+                misses=len(miss),
+            )
+        self.tracer.count("durability.journal_appends")
+
+    def _replay_serve(
+        self, ticket: JobTicket, request: _CompareRequest, record: JournalRecord
+    ) -> None:
+        """Serve one request from its journal record — no platform spend.
+
+        Validates that the live request matches the journaled one (the
+        determinism contract guarantees it for an identical workload),
+        replays the charge tape through the real ledgers, restores the
+        platform's post-batch state, and rebuilds the report the job
+        originally saw.
+        """
+        expectations: list[tuple[str, object, object]] = [
+            ("pool", record["pool"], request.pool_name),
+            ("judgments", record["judgments"], request.judgments_per_task),
+            ("indices_i", record["indices_i"], [int(v) for v in request.indices_i]),
+            ("indices_j", record["indices_j"], [int(v) for v in request.indices_j]),
+        ]
+        for name, recorded, actual in expectations:
+            if recorded != actual:
+                raise JournalMismatchError(f"request.{name}", recorded, actual)
+        answers = np.asarray(record["answers"], dtype=bool)
+        miss = np.asarray(record["miss"], dtype=np.intp)
+        hits = int(record["hits"])
+        if self.cache is not None:
+            # Mirror the original lookup's traffic counters and event.
+            self.cache.hits += hits
+            self.cache.misses += len(miss)
+            if self.tracer.enabled and hits:
+                self.tracer.event(
+                    "cache_hit",
+                    job_index=ticket.index,
+                    pool=request.pool_name,
+                    hits=hits,
+                    misses=len(miss),
+                )
+        assert ticket.platform is not None
+        for label, count, unit_cost in record["charges"]:
+            ticket.platform.ledger.charge(str(label), int(count), float(unit_cost))
+            self.replayed_operations += int(count)
+            self.replayed_money += int(count) * float(unit_cost)
+        if record["platform"] is not None:
+            _restore_platform_state(ticket.platform, record["platform"])
+        if len(miss):
+            report = _report_from_state(record["report"])
+            if self.cache is not None:
+                self.cache.store_batch(
+                    ticket.fingerprint,
+                    request.pool_name,
+                    request.judgments_per_task,
+                    request.indices_i[miss],
+                    request.indices_j[miss],
+                    np.asarray(record["fresh"], dtype=bool),
+                )
+        else:
+            report = BatchReport(
+                answers=[bool(a) for a in answers],
+                physical_steps=0,
+                judgments_collected=0,
+                judgments_discarded=0,
+            )
+        self.replayed_batches += 1
+        if self.tracer.enabled:
+            self.tracer.event(
+                "resume_replayed",
+                job_index=ticket.index,
+                pool=request.pool_name,
+                seq=record.get("seq"),
+                tasks=request.size,
+                misses=len(miss),
+            )
+        self.tracer.count("durability.resume_replays")
         request.answers = answers
         request.report = report
         self._wake(ticket, request)
@@ -633,6 +961,21 @@ class CrowdScheduler:
         )
         ticket.outcome = outcome
         outcomes.append(outcome)
+        if self._journal is not None and ticket.index not in self._settled_journaled:
+            self._journal.append(
+                "settled",
+                job_index=ticket.index,
+                settle_index=outcome.settle_index,
+                status=status,
+                cost=outcome.cost,
+            )
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "checkpoint_written",
+                    job_index=ticket.index,
+                    settle_index=outcome.settle_index,
+                    status=status,
+                )
         if self.tracer.enabled:
             self.tracer.event(
                 "job_settled",

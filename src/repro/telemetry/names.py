@@ -57,6 +57,12 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "batch_coalesced",
         "cache_hit",
         "job_settled",
+        # durability (persistent cache + job journal)
+        "journal_append",
+        "checkpoint_written",
+        "resume_replayed",
+        "cache_persisted",
+        "cache_invalidated",
         # CLI
         "cli_start",
     }
@@ -84,6 +90,9 @@ COUNTER_NAMES: frozenset[str] = frozenset(
     {
         "parallel.runs_completed",
         "parallel.runs_failed",
+        "durability.journal_appends",
+        "durability.resume_replays",
+        "durability.cache_persisted",
     }
 )
 

@@ -82,7 +82,11 @@ class JsonlSink:
         """Append one record as a JSON line (opens the file lazily)."""
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._fh = self.path.open("w", encoding="utf-8")
+            # Streaming sink: records must land as they happen, not at
+            # close, so an atomic-rename writer cannot apply here.
+            self._fh = self.path.open(  # repro-lint: disable=DUR001 -- streaming sink
+                "w", encoding="utf-8"
+            )
         json.dump(record, self._fh, separators=(",", ":"))
         self._fh.write("\n")
         self.records_written += 1
@@ -189,14 +193,16 @@ class Tracer:
             self.sink.close()
 
     def write_jsonl(self, path: str | Path) -> Path:
-        """Dump the buffered records to ``path`` as JSONL."""
-        target = Path(path)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        with target.open("w", encoding="utf-8") as fh:
-            for record in self.records:
-                json.dump(record, fh, separators=(",", ":"))
-                fh.write("\n")
-        return target
+        """Dump the buffered records to ``path`` as JSONL (atomically)."""
+        # Imported lazily: repro.experiments imports telemetry, so a
+        # module-level import here would be circular.
+        from ..experiments.artifacts import write_text_atomic
+
+        lines = [
+            json.dumps(record, separators=(",", ":")) for record in self.records
+        ]
+        body = "\n".join(lines) + "\n" if lines else ""
+        return write_text_atomic(Path(path), body)
 
     def records_of_kind(self, kind: str) -> list[dict[str, Any]]:
         """The buffered records whose ``kind`` matches."""

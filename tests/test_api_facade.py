@@ -32,6 +32,7 @@ class TestFacadeSurface:
         home_modules = [
             "repro.core",
             "repro.datasets",
+            "repro.durability",
             "repro.experiments",
             "repro.parallel",
             "repro.platform",

@@ -543,6 +543,53 @@ class TestVEC001ScalarComparisonInLoop:
         )
 
 
+class TestDUR001BareWrite:
+    def test_open_write_flagged_in_src(self):
+        assert rule_ids('with open(p, "w") as fh:\n    fh.write(s)\n') == ["DUR001"]
+
+    def test_open_append_flagged_in_src(self):
+        assert rule_ids('fh = open(p, "a")\n') == ["DUR001"]
+
+    def test_open_mode_keyword_flagged(self):
+        assert rule_ids('fh = open(p, mode="wb")\n') == ["DUR001"]
+
+    def test_path_open_write_flagged(self):
+        assert rule_ids('with path.open("w") as fh:\n    fh.write(s)\n') == ["DUR001"]
+
+    def test_write_text_flagged(self):
+        assert rule_ids("path.write_text(body)\n") == ["DUR001"]
+
+    def test_read_modes_allowed(self):
+        assert rule_ids(
+            """\
+            with open(p) as fh:
+                a = fh.read()
+            with open(p, "rb") as fh:
+                b = fh.read()
+            with path.open("r") as fh:
+                c = fh.read()
+            d = path.read_text()
+            """
+        ) == []
+
+    def test_dynamic_mode_not_flagged(self):
+        # A non-literal mode cannot be judged statically; stay silent.
+        assert rule_ids("fh = open(p, mode)\n") == []
+
+    def test_allowed_in_tests(self):
+        assert rule_ids('open(p, "w").write(s)\n', context="tests") == []
+
+    def test_suppressed(self):
+        assert (
+            lint(
+                'with open(p, "wb") as fh:'
+                "  # repro-lint: disable=DUR001 -- atomic tmp body\n"
+                "    fh.write(raw)\n"
+            )
+            == []
+        )
+
+
 class TestRulePackShape:
     def test_all_expected_rules_registered(self):
         ids = {cls.rule_id for cls in default_rules()}
@@ -554,6 +601,7 @@ class TestRulePackShape:
             "RNG004",
             "DET001",
             "DET002",
+            "DUR001",
             "FRK001",
             "FRK002",
             "TEL001",

@@ -1,0 +1,128 @@
+"""Tests for repro.durability.store (the persistent comparison store).
+
+The trust model under test: committed entries survive process
+restarts byte-for-byte; any validation failure — version stamps,
+per-row checksums, or an unreadable file — rebuilds the store cold
+with a :class:`StoreRebuiltWarning` instead of serving suspect
+judgments.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.durability import PersistentComparisonStore, StoreRebuiltWarning
+
+KEY_A = ("f" * 64, "crowd", 3, 1, 5)
+KEY_B = ("f" * 64, "experts", 1, 2, 9)
+KEY_C = ("e" * 64, "crowd", 3, 0, 7)
+
+
+def seeded_store(path):
+    store = PersistentComparisonStore(path)
+    store.write_entries([(KEY_A, True), (KEY_B, False), (KEY_C, True)])
+    return store
+
+
+class TestRoundTrip:
+    def test_load_returns_written_entries(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert store.load() == {KEY_A: True, KEY_B: False, KEY_C: True}
+        assert len(store) == 3
+
+    def test_entries_survive_reopen(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        seeded_store(path).close()
+        reopened = PersistentComparisonStore(path)
+        assert reopened.load() == {KEY_A: True, KEY_B: False, KEY_C: True}
+        assert reopened.rebuilt_reason is None
+
+    def test_write_is_upsert(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert store.write_entries([(KEY_A, False)]) == 1
+        assert store.load()[KEY_A] is False
+        assert len(store) == 3
+
+    def test_empty_write_is_noop(self, tmp_path):
+        store = PersistentComparisonStore(tmp_path / "c.sqlite3")
+        assert store.write_entries([]) == 0
+
+    def test_iter_yields_entries(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert dict(store) == store.load()
+
+
+class TestInvalidate:
+    def test_by_fingerprint(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert store.invalidate(fingerprint="f" * 64) == 2
+        assert store.load() == {KEY_C: True}
+
+    def test_by_pool(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert store.invalidate(pool_name="crowd") == 2
+        assert store.load() == {KEY_B: False}
+
+    def test_intersection(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert store.invalidate(fingerprint="f" * 64, pool_name="crowd") == 1
+        assert store.load() == {KEY_B: False, KEY_C: True}
+
+    def test_everything(self, tmp_path):
+        store = seeded_store(tmp_path / "c.sqlite3")
+        assert store.invalidate() == 3
+        assert store.load() == {}
+
+
+class TestRebuild:
+    def test_schema_version_mismatch_rebuilds_cold(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        seeded_store(path).close()
+        with pytest.warns(StoreRebuiltWarning, match="schema_version mismatch"):
+            store = PersistentComparisonStore(path, schema_version=99)
+        assert store.load() == {}
+        assert "schema_version" in store.rebuilt_reason
+
+    def test_cache_version_mismatch_rebuilds_cold(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        seeded_store(path).close()
+        with pytest.warns(StoreRebuiltWarning, match="cache_version mismatch"):
+            store = PersistentComparisonStore(path, cache_version=2)
+        assert store.load() == {}
+        # The rebuilt store is stamped with the new version: reopening
+        # at that version is clean and the entries stay gone.
+        store.close()
+        reopened = PersistentComparisonStore(path, cache_version=2)
+        assert reopened.rebuilt_reason is None
+        assert reopened.load() == {}
+
+    def test_corrupted_row_rebuilds_cold(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        seeded_store(path).close()
+        conn = sqlite3.connect(path)
+        with conn:
+            # Flip one answer without updating its checksum.
+            conn.execute("UPDATE comparisons SET lo_wins = 1 - lo_wins WHERE lo = 1")
+        conn.close()
+        with pytest.warns(StoreRebuiltWarning, match="checksum"):
+            store = PersistentComparisonStore(path)
+        assert store.load() == {}
+        assert "checksum" in store.rebuilt_reason
+
+    def test_garbage_file_rebuilds_cold(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        path.write_bytes(b"this is not a sqlite database, not even close\n" * 40)
+        with pytest.warns(StoreRebuiltWarning, match="not a readable"):
+            store = PersistentComparisonStore(path)
+        assert store.load() == {}
+        store.write_entries([(KEY_A, True)])
+        store.close()
+        assert PersistentComparisonStore(path).load() == {KEY_A: True}
+
+    def test_rebuilt_store_is_usable(self, tmp_path):
+        path = tmp_path / "c.sqlite3"
+        seeded_store(path).close()
+        with pytest.warns(StoreRebuiltWarning):
+            store = PersistentComparisonStore(path, cache_version=2)
+        store.write_entries([(KEY_B, True)])
+        assert store.load() == {KEY_B: True}

@@ -35,6 +35,7 @@ PUBLIC_MODULES = [
     "repro.analysis",
     "repro.service",
     "repro.scheduler",
+    "repro.durability",
     "repro.api",
     "repro.cli",
 ]
