@@ -1,11 +1,12 @@
 """Scheduler throughput baseline: shared-pool multiplexing vs isolated.
 
-Runs the three-arm comparison of
+Runs the four-arm comparison of
 :mod:`repro.experiments.bench_scheduler` — each job on a private
 platform, the same jobs multiplexed by the :mod:`repro.scheduler`
-engine with the cross-job cache off (verified bit-identical to
-isolated), and with the cache on — prints the throughput/cache table,
-and persists ``results/BENCH_scheduler.json``.
+engine serially (fusion off), with fused tick settlement (both
+verified bit-identical to isolated), and fused with the cross-job
+cache on — prints the throughput/cache table, and persists
+``results/BENCH_scheduler.json``.
 
 Run with ``pytest benchmarks/test_bench_scheduler.py -s``.
 """
@@ -23,8 +24,12 @@ RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 def test_bench_scheduler_baseline(emit):
     payload = run_scheduler_bench(seed=2015, n_jobs=8)
-    assert payload["scheduled"]["identical_to_isolated"], (
-        "cache-off scheduling diverged from isolated execution"
+    assert payload["scheduled_serial"]["identical_to_isolated"], (
+        "serial (fusion-off) scheduling diverged from isolated execution"
+    )
+    fused = payload["scheduled_fused"]
+    assert fused["identical_to_isolated"], (
+        "fused scheduling diverged from isolated execution"
     )
     cached = payload["scheduled_cached"]
     assert cached["cache_hit_rate"] > 0, "repeated catalogs produced no cache hits"

@@ -83,7 +83,7 @@ from .experiments import (
     run_table2_cars,
     survival_table,
 )
-from .experiments.artifacts import write_json_atomic
+from .experiments.artifacts import append_jsonl_atomic, write_json_atomic
 from .experiments.bench import (
     bench_identical,
     bench_table,
@@ -193,11 +193,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quantum",
         type=int,
-        default=64,
+        default=0,
         metavar="K",
         help=(
             "serve-sim only: fair-share bound, max comparison tasks one "
-            "pool grants per scheduler tick (0 = unlimited)"
+            "pool grants per scheduler tick (default 0 = unlimited, the "
+            "regime where fused settlement has whole batches to work on; "
+            "set a small K to exercise fair-share throttling)"
         ),
     )
     parser.add_argument(
@@ -279,6 +281,50 @@ def main(argv: list[str] | None = None) -> int:
     return code
 
 
+#: Schema tag on every results/BENCH_history.jsonl record.
+BENCH_HISTORY_SCHEMA = "repro.bench_history/v1"
+
+
+def _git_sha() -> str | None:
+    """The short HEAD SHA for provenance, or ``None`` outside a repo."""
+    import subprocess
+
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def _append_history(
+    out: Path | None, command: str, numbers: dict[str, object]
+) -> None:
+    """Append one provenance line to ``results/BENCH_history.jsonl``.
+
+    Every ``bench*`` subcommand (and ``serve-sim``) records its key
+    numbers plus the git SHA and wall-clock time, so perf trends are
+    greppable across runs without diffing full artifacts.  The append
+    is atomic (tmp+fsync+rename), safe under concurrent CI shards.
+    """
+    import time
+
+    record = {
+        "schema": BENCH_HISTORY_SCHEMA,
+        "command": command,
+        "git_sha": _git_sha(),
+        "unix_time": round(time.time(), 3),  # repro-lint: disable=DET002 -- provenance stamp only
+        **numbers,
+    }
+    directory = out if out is not None else Path("results")
+    path = append_jsonl_atomic(directory / "BENCH_history.jsonl", record)
+    print(f"(appended {path})")
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     """The ``bench`` subcommand: timed serial-vs-parallel comparison.
 
@@ -301,19 +347,35 @@ def _run_bench(args: argparse.Namespace) -> int:
     out = args.out if args.out is not None else Path("results")
     path = write_bench_json(payload, out / "BENCH_sweep.json")
     print(f"(wrote {path})")
+    _append_history(
+        args.out,
+        "bench",
+        {
+            "seed": args.seed,
+            "identical": bench_identical(payload),
+            "speedups": {
+                name: sweep.get("speedup")
+                for name, sweep in payload["sweeps"].items()
+            },
+        },
+    )
     if not bench_identical(payload):
         print("BENCH FAILED: a bit-identity check returned false")
         return 1
     return 0
 
 
-def _run_serve_sim(args: argparse.Namespace) -> None:
+def _run_serve_sim(args: argparse.Namespace) -> int:
     """The ``serve-sim`` subcommand: scheduler throughput benchmark.
 
-    Runs the three-arm comparison (isolated / scheduled / scheduled
-    with the cross-job cache), prints the throughput table, and writes
-    the ``BENCH_scheduler.json`` artifact (atomically) into ``--out``
-    (default ``results/``).
+    Runs the four-arm comparison (isolated / scheduled serial /
+    scheduled fused / scheduled fused+cache), prints the throughput
+    table, and writes the ``BENCH_scheduler.json`` artifact
+    (atomically) into ``--out`` (default ``results/``).  Exits nonzero
+    when either cache-off scheduled arm diverged from isolated
+    execution, or when fused settlement failed to beat the isolated
+    baseline's throughput — the first is a correctness regression, the
+    second a perf one; either should fail the CI smoke loudly.
     """
     payload = run_scheduler_bench(
         seed=args.seed,
@@ -325,6 +387,36 @@ def _run_serve_sim(args: argparse.Namespace) -> None:
     out = args.out if args.out is not None else Path("results")
     path = write_scheduler_bench_json(payload, out / "BENCH_scheduler.json")
     print(f"(wrote {path})")
+    serial = payload["scheduled_serial"]
+    fused = payload["scheduled_fused"]
+    cached = payload["scheduled_cached"]
+    _append_history(
+        args.out,
+        "serve-sim",
+        {
+            "seed": args.seed,
+            "n_jobs": args.serve_jobs,
+            "isolated_jobs_per_sec": payload["isolated"]["jobs_per_sec"],
+            "serial_jobs_per_sec": serial["jobs_per_sec"],
+            "fused_jobs_per_sec": fused["jobs_per_sec"],
+            "cached_jobs_per_sec": cached["jobs_per_sec"],
+            "fused_identical": fused["identical_to_isolated"],
+            "serial_identical": serial["identical_to_isolated"],
+            "cache_hit_rate": cached["cache_hit_rate"],
+        },
+    )
+    if not (serial["identical_to_isolated"] and fused["identical_to_isolated"]):
+        print("BENCH FAILED: a cache-off scheduled arm diverged from isolated")
+        return 1
+    isolated_rate = payload["isolated"]["jobs_per_sec"]
+    if (
+        isolated_rate is not None
+        and fused["jobs_per_sec"] is not None
+        and fused["jobs_per_sec"] < isolated_rate
+    ):
+        print("BENCH FAILED: fused settlement slower than isolated execution")
+        return 1
+    return 0
 
 
 def _run_resume(args: argparse.Namespace) -> int:
@@ -392,6 +484,18 @@ def _run_bench_durability(args: argparse.Namespace) -> int:
     out = args.out if args.out is not None else Path("results")
     path = write_durability_bench_json(payload, out / "BENCH_durability.json")
     print(f"(wrote {path})")
+    _append_history(
+        args.out,
+        "bench-durability",
+        {
+            "seed": args.seed,
+            "cold_wall_s": payload["cold"]["wall_s"],
+            "resume_wall_s": payload["resume"]["wall_s"],
+            "warm_wall_s": payload["warm"]["wall_s"],
+            "resume_identical": payload["resume"]["identical_to_cold"],
+            "warm_answers_match": payload["warm"]["answers_match_cold"],
+        },
+    )
     if not (
         payload["resume"]["identical_to_cold"] and payload["warm"]["answers_match_cold"]
     ):
@@ -413,8 +517,7 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
     if command == "bench":
         return _run_bench(args)
     if command == "serve-sim":
-        _run_serve_sim(args)
-        return 0
+        return _run_serve_sim(args)
     if command == "resume":
         return _run_resume(args)
     if command == "bench-durability":

@@ -13,7 +13,12 @@ from .bounds import (
 from .budget import RedundancyPlan, optimal_redundancy, redundancy_for_accuracy
 from .cascade import CascadeMaxFinder, CascadeResult, CascadeStageResult
 from .estimation import PerrEstimate, UnEstimate, estimate_perr, estimate_u_n
-from .filter_phase import FilterResult, FilterRound, filter_candidates
+from .filter_phase import (
+    FilterResult,
+    FilterRound,
+    filter_candidates,
+    filter_candidates_steps,
+)
 from .generators import (
     adversarial_instance,
     clustered_instance,
@@ -36,14 +41,21 @@ from .topk import TopKResult, find_top_k
 from .randomized_maxfind import RandomizedMaxFindResult, randomized_maxfind
 from .selection import approximate_median, borda_select, quick_select
 from .sorting import borda_sort, dislocation, max_dislocation, quick_sort
+from .steps import OracleCall, Steps, drive_steps
 from .tournament import (
     TournamentResult,
     all_pairs,
     play_all_play_all,
+    play_all_play_all_steps,
     tournament_winner,
 )
 from .tournament_max import TournamentMaxResult, TournamentRound, tournament_max
-from .two_maxfind import TwoMaxFindResult, TwoMaxFindRound, two_maxfind
+from .two_maxfind import (
+    TwoMaxFindResult,
+    TwoMaxFindRound,
+    two_maxfind,
+    two_maxfind_steps,
+)
 
 __all__ = [
     "AutoMaxFindResult",
@@ -56,11 +68,13 @@ __all__ = [
     "FilterResult",
     "FilterRound",
     "MaxFindResult",
+    "OracleCall",
     "PerrEstimate",
     "Phase2Algorithm",
     "ProblemInstance",
     "RandomizedMaxFindResult",
     "RedundancyPlan",
+    "Steps",
     "TopKResult",
     "TournamentMaxResult",
     "TournamentResult",
@@ -78,10 +92,12 @@ __all__ = [
     "clustered_instance",
     "dislocation",
     "distance",
+    "drive_steps",
     "estimate_perr",
     "estimate_u_n",
     "expert_comparisons_lower_bound_deterministic",
     "filter_candidates",
+    "filter_candidates_steps",
     "filter_comparisons_upper_bound",
     "find_max",
     "find_max_with_estimation",
@@ -93,6 +109,7 @@ __all__ = [
     "optimal_redundancy",
     "planted_instance",
     "play_all_play_all",
+    "play_all_play_all_steps",
     "quick_select",
     "quick_sort",
     "randomized_maxfind",
@@ -106,5 +123,6 @@ __all__ = [
     "true_rank",
     "two_maxfind",
     "two_maxfind_comparisons_upper_bound",
+    "two_maxfind_steps",
     "uniform_instance",
 ]

@@ -31,9 +31,15 @@ import numpy as np
 
 from ..telemetry import Tracer, resolve_tracer
 from .oracle import ComparisonOracle
+from .steps import Steps, drive_steps
 from .tournament import pair_positions
 
-__all__ = ["FilterRound", "FilterResult", "filter_candidates"]
+__all__ = [
+    "FilterRound",
+    "FilterResult",
+    "filter_candidates",
+    "filter_candidates_steps",
+]
 
 
 @dataclass(frozen=True)
@@ -121,6 +127,31 @@ def filter_candidates(
         span and one ``filter_round`` record is emitted per round.
         Defaults to the ambient tracer (a no-op unless activated).
     """
+    return drive_steps(
+        filter_candidates_steps(
+            oracle,
+            elements,
+            u_n=u_n,
+            group_multiplier=group_multiplier,
+            use_global_loss_counters=use_global_loss_counters,
+            shuffle_each_round=shuffle_each_round,
+            rng=rng,
+            tracer=tracer,
+        )
+    )
+
+
+def filter_candidates_steps(
+    oracle: ComparisonOracle,
+    elements: np.ndarray | None = None,
+    u_n: int = 1,
+    group_multiplier: int = 4,
+    use_global_loss_counters: bool = False,
+    shuffle_each_round: bool = False,
+    rng: np.random.Generator | None = None,
+    tracer: Tracer | None = None,
+) -> Steps[FilterResult]:
+    """Step-generator form of :func:`filter_candidates` (same logic)."""
     if u_n < 1:
         raise ValueError("u_n must be at least 1")
     if group_multiplier < 2:
@@ -198,7 +229,7 @@ def filter_candidates(
                 # oracle's counter either way.
                 before_fresh = oracle.comparisons
                 if loss_counters is not None:
-                    first_won, fresh_mask = oracle.compare_pairs(
+                    first_won, fresh_mask = yield from oracle.compare_pairs_steps(
                         ci,
                         current[pr],
                         return_fresh=True,
@@ -207,7 +238,7 @@ def filter_candidates(
                         return_first_wins=True,
                     )
                 else:
-                    first_won = oracle.compare_pairs(
+                    first_won = yield from oracle.compare_pairs_steps(
                         ci,
                         current[pr],
                         assume_unique=True,

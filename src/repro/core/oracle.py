@@ -33,6 +33,7 @@ import numpy as np
 from ..telemetry import Tracer, resolve_tracer
 from ..workers.base import WorkerModel
 from .instance import ProblemInstance
+from .steps import OracleCall, Steps, drive_steps
 
 __all__ = ["ComparisonOracle", "CostChargeable", "DEFAULT_DENSE_MEMO_LIMIT"]
 
@@ -291,6 +292,36 @@ class ComparisonOracle:
         fresh : numpy.ndarray of bool, optional
             Present when ``return_fresh`` is true.
         """
+        return drive_steps(
+            self.compare_pairs_steps(
+                indices_i,
+                indices_j,
+                return_fresh=return_fresh,
+                assume_unique=assume_unique,
+                validate=validate,
+                return_first_wins=return_first_wins,
+            )
+        )
+
+    def compare_pairs_steps(
+        self,
+        indices_i: np.ndarray,
+        indices_j: np.ndarray,
+        return_fresh: bool = False,
+        assume_unique: bool = False,
+        validate: bool = True,
+        return_first_wins: bool = False,
+    ) -> Steps[np.ndarray | tuple[np.ndarray, np.ndarray]]:
+        """Step-generator form of :meth:`compare_pairs`.
+
+        Identical logic, but the worker-model invocation is *yielded*
+        as an :class:`~repro.core.steps.OracleCall` instead of being
+        performed inline, so a driver chooses how to execute it.
+        ``drive_steps(oracle.compare_pairs_steps(...))`` is bit
+        identical to :meth:`compare_pairs`; the multi-job scheduler
+        instead parks the generator and settles the call through its
+        cross-job fusion queue.
+        """
         if return_first_wins and not assume_unique:
             raise ValueError("return_first_wins requires assume_unique")
         ii = np.asarray(indices_i, dtype=np.intp)
@@ -328,7 +359,7 @@ class ComparisonOracle:
         if n_known < n_pairs:
             if return_fresh and n_known:
                 fresh = np.zeros(n_pairs, dtype=bool)
-            winners, fresh, n_fresh = self._resolve_fresh(
+            winners, fresh, n_fresh = yield from self._resolve_fresh_steps(
                 ii,
                 jj,
                 need_pos,
@@ -436,7 +467,7 @@ class ComparisonOracle:
         self._memo_vals = vals[order]
         self._memo_synced = len(memo)
 
-    def _resolve_fresh(
+    def _resolve_fresh_steps(
         self,
         ii: np.ndarray,
         jj: np.ndarray,
@@ -446,7 +477,7 @@ class ComparisonOracle:
         assume_unique: bool,
         return_fresh: bool,
         return_first_wins: bool = False,
-    ) -> tuple[np.ndarray, np.ndarray | None, int]:
+    ) -> Steps[tuple[np.ndarray, np.ndarray | None, int]]:
         """Resolve unmemoized pairs, deduplicating within the batch.
 
         Duplicate pairs inside one batch must agree (the memo makes
@@ -456,7 +487,10 @@ class ComparisonOracle:
         entirely; a batch with no memo hits (``need_pos is None``) also
         skips every gather and builds ``winners`` (and the fresh mask)
         directly instead of filling the caller's buffer.  Returns the
-        final ``(winners, fresh, fresh count)``.
+        final ``(winners, fresh, fresh count)``.  The one worker-model
+        call is yielded as an :class:`~repro.core.steps.OracleCall`;
+        the driver sends back the boolean first-wins array (or throws
+        what ``decide`` would have raised).
         """
         all_fresh = need_pos is None
         inverse = None
@@ -494,12 +528,15 @@ class ComparisonOracle:
         # Resolve each distinct pair in the orientation of its first
         # request; orientation-sensitive models (first_loses) rely on it.
         first_wins = np.asarray(
-            self.model.decide(
-                self.values[rep_i],
-                self.values[rep_j],
-                self.rng,
-                indices_i=rep_i,
-                indices_j=rep_j,
+            (
+                yield OracleCall(
+                    model=self.model,
+                    values_i=self.values[rep_i],
+                    values_j=self.values[rep_j],
+                    rng=self.rng,
+                    indices_i=rep_i,
+                    indices_j=rep_j,
+                )
             ),
             dtype=bool,
         )

@@ -1,0 +1,102 @@
+"""The coroutine decomposition of oracle-driven algorithms.
+
+Every algorithm in :mod:`repro.core` is a long computation punctuated
+by *worker-model calls* — the only points where it needs the outside
+world.  This module makes that structure explicit: algorithm bodies
+are generators that ``yield`` an :class:`OracleCall` whenever they
+need a batch of comparisons decided, and receive the boolean answer
+array back at the same point.
+
+Two drivers consume these generators:
+
+* :func:`drive_steps` — the synchronous trampoline.  It performs each
+  yielded call inline (``call.perform()``) and sends the result back,
+  so ``drive_steps(algorithm_steps(...))`` is *exactly* the classic
+  blocking call: same model invocations, same RNG stream, same
+  exception propagation (errors raised by the model are delivered
+  into the generator at its yield point via ``throw``).
+* the multi-job scheduler (:mod:`repro.scheduler.engine`) — it parks
+  the generator on platform-backed calls instead of performing them,
+  which is what turns every job into a cooperative coroutine ticket:
+  no thread, no Condition handoff, one resumption loop per tick.
+
+The split costs one generator frame per batch call — nanoseconds next
+to the numpy work each batch carries — and buys the scheduler its
+cross-job batch fusion (see ``docs/SCHEDULER.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, TypeVar
+
+import numpy as np
+
+from ..workers.base import WorkerModel
+
+__all__ = ["OracleCall", "Steps", "drive_steps"]
+
+_T = TypeVar("_T")
+
+#: A generator that yields oracle calls, receives answer arrays, and
+#: returns a final value of type ``_T`` (via ``StopIteration.value``).
+Steps = Generator[Any, Any, _T]
+
+
+@dataclass
+class OracleCall:
+    """One pending worker-model invocation, yielded by an algorithm.
+
+    Carries exactly the arguments the classic code would have passed
+    to :meth:`~repro.workers.base.WorkerModel.decide`; a driver either
+    performs it inline (:meth:`perform`) or routes it elsewhere (the
+    scheduler posts platform-backed calls to its fusion queue).  The
+    driver must send back what ``decide`` would have returned — the
+    boolean "first element wins" array — or ``throw`` what it would
+    have raised.
+    """
+
+    model: WorkerModel
+    values_i: np.ndarray
+    values_j: np.ndarray
+    rng: np.random.Generator
+    indices_i: np.ndarray | None = None
+    indices_j: np.ndarray | None = None
+
+    def perform(self) -> np.ndarray:
+        """Execute the call inline, exactly as the classic path would."""
+        return np.asarray(
+            self.model.decide(
+                self.values_i,
+                self.values_j,
+                self.rng,
+                indices_i=self.indices_i,
+                indices_j=self.indices_j,
+            )
+        )
+
+
+def drive_steps(gen: Steps[_T]) -> _T:
+    """Run a step generator to completion, performing each call inline.
+
+    The synchronous driver: ``drive_steps(f_steps(...))`` is the
+    blocking equivalent of the old direct-call ``f(...)`` — bit
+    identical, because each yielded :class:`OracleCall` is performed
+    through the very same ``model.decide`` invocation the inline code
+    used to make.  Exceptions raised by a call are delivered into the
+    generator at its yield point (``gen.throw``), so ``try/except``
+    blocks around comparison batches behave exactly as they did around
+    the direct call.
+    """
+    try:
+        step = next(gen)
+        while True:
+            try:
+                result = step.perform()
+            except BaseException as exc:  # repro-lint: disable=ERR003 -- re-raised inside the generator at its yield point
+                step = gen.throw(exc)
+            else:
+                step = gen.send(result)
+    except StopIteration as stop:
+        value: _T = stop.value
+        return value

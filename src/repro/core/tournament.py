@@ -15,12 +15,14 @@ from functools import lru_cache
 import numpy as np
 
 from .oracle import ComparisonOracle
+from .steps import Steps, drive_steps
 
 __all__ = [
     "TournamentResult",
     "all_pairs",
     "pair_positions",
     "play_all_play_all",
+    "play_all_play_all_steps",
     "tournament_winner",
 ]
 
@@ -123,6 +125,17 @@ def play_all_play_all(
     ``track_fresh_losses=False`` to skip the fresh-mask bookkeeping;
     ``fresh_losses`` is then all zeros.
     """
+    return drive_steps(
+        play_all_play_all_steps(oracle, elements, track_fresh_losses)
+    )
+
+
+def play_all_play_all_steps(
+    oracle: ComparisonOracle,
+    elements: np.ndarray,
+    track_fresh_losses: bool = True,
+) -> Steps[TournamentResult]:
+    """Step-generator form of :func:`play_all_play_all` (same logic)."""
     elements = np.asarray(elements, dtype=np.intp)
     m = len(elements)
     if m == 0:
@@ -140,7 +153,7 @@ def play_all_play_all(
     # Participants are distinct, so the upper-triangle pairing contains
     # no duplicate pairs and the oracle may skip its dedup pass.
     if track_fresh_losses:
-        first_won, fresh = oracle.compare_pairs(
+        first_won, fresh = yield from oracle.compare_pairs_steps(
             ii,
             jj,
             return_fresh=True,
@@ -149,7 +162,7 @@ def play_all_play_all(
             return_first_wins=True,
         )
     else:
-        first_won = oracle.compare_pairs(
+        first_won = yield from oracle.compare_pairs_steps(
             ii, jj, assume_unique=True, validate=False, return_first_wins=True
         )
 

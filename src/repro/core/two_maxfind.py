@@ -32,9 +32,15 @@ import numpy as np
 
 from ..telemetry import Tracer, resolve_tracer
 from .oracle import ComparisonOracle
-from .tournament import play_all_play_all
+from .steps import Steps, drive_steps
+from .tournament import play_all_play_all_steps
 
-__all__ = ["TwoMaxFindRound", "TwoMaxFindResult", "two_maxfind"]
+__all__ = [
+    "TwoMaxFindRound",
+    "TwoMaxFindResult",
+    "two_maxfind",
+    "two_maxfind_steps",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,16 @@ def two_maxfind(
         Winner element index, fresh comparisons used by this call, and
         per-round telemetry.
     """
+    return drive_steps(two_maxfind_steps(oracle, elements, rng=rng, tracer=tracer))
+
+
+def two_maxfind_steps(
+    oracle: ComparisonOracle,
+    elements: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    tracer: Tracer | None = None,
+) -> Steps[TwoMaxFindResult]:
+    """Step-generator form of :func:`two_maxfind` (same logic)."""
     if elements is None:
         candidates = np.arange(oracle.n, dtype=np.intp)
     else:
@@ -123,15 +139,16 @@ def two_maxfind(
                 sample = candidates[chosen]
             else:
                 sample = candidates[:sample_size]
-            pivot = play_all_play_all(
+            pivot_round = yield from play_all_play_all_steps(
                 oracle, sample, track_fresh_losses=False
-            ).winner
+            )
+            pivot = pivot_round.winner
 
             others = candidates[candidates != pivot]
             pivot_first = np.full(len(others), pivot, dtype=np.intp)
             # Candidates are distinct and exclude the pivot, so the
             # pivot-vs-others batch has no duplicate pairs.
-            pivot_won = oracle.compare_pairs(
+            pivot_won = yield from oracle.compare_pairs_steps(
                 pivot_first,
                 others,
                 assume_unique=True,
@@ -172,7 +189,9 @@ def two_maxfind(
                     "oracle (Appendix A) to guarantee progress"
                 )
 
-        final = play_all_play_all(oracle, candidates, track_fresh_losses=False)
+        final = yield from play_all_play_all_steps(
+            oracle, candidates, track_fresh_losses=False
+        )
     return TwoMaxFindResult(
         winner=final.winner,
         comparisons=oracle.comparisons - start_comparisons,

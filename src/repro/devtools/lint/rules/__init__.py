@@ -12,6 +12,7 @@ decorator at import time).  Rule IDs are grouped by invariant family:
 * ``TEL00x`` — telemetry hygiene (:mod:`.telemetry`)
 * ``ERR00x`` — error handling (:mod:`.errors`)
 * ``VEC00x`` — vectorized hot-path discipline (:mod:`.vectorization`)
+* ``SCH00x`` — scheduler fusion discipline (:mod:`.scheduler`)
 
 ``LINT00x`` meta-diagnostics (unused/unjustified/unknown suppressions)
 are produced by the engine itself, not by pluggable rules.
@@ -24,6 +25,7 @@ from . import (
     errors,
     forksafe,
     rng,
+    scheduler,
     telemetry,
     vectorization,
 )
@@ -43,6 +45,7 @@ __all__ = [
     "errors",
     "forksafe",
     "rng",
+    "scheduler",
     "telemetry",
     "vectorization",
 ]

@@ -13,10 +13,13 @@ Framing
 -------
 One JSON object per line.  Each record carries a ``crc`` field — a
 truncated SHA-256 over the canonical (compact, sorted-keys) encoding
-of the rest of the record.  Every append is flushed and ``fsync``\\ ed
-before returning, so a record either reaches the disk whole or not at
-all from the journal's point of view; a crash mid-append leaves at
-most one torn final line.
+of the rest of the record.  A standalone append is flushed and
+``fsync``\\ ed before returning; a *group commit*
+(:meth:`JobJournal.begin_group` / :meth:`JobJournal.commit_group`)
+buffers many records and lands them with one write + one fsync — how
+the scheduler frames all of a tick's serve records.  Either way a
+record reaches the disk whole or not at all from the journal's point
+of view; a crash mid-write leaves at most one torn final line.
 
 :meth:`recover` reads records until the first line that is incomplete,
 unparseable, or fails its CRC, then **truncates the file there**
@@ -71,6 +74,7 @@ class JobJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.crash_after_appends = crash_after_appends
         self.appends = 0
+        self._group: list[str] | None = None
         self._handle = open(  # repro-lint: disable=DUR001 -- append-only + fsync framing
             self.path, "a", encoding="utf-8"
         )
@@ -79,26 +83,69 @@ class JobJournal:
     # Writing
     # ------------------------------------------------------------------
     def append(self, kind: str, **fields: Any) -> JournalRecord:
-        """Durably append one record; returns it with its CRC filled in.
+        """Append one record; returns it with its CRC filled in.
 
-        The record is on disk (flushed and fsynced) when this returns —
-        callers rely on that ordering to keep the journal ahead of
-        every other durable artifact.
+        Outside a group the record is durable (flushed and fsynced)
+        when this returns — callers rely on that ordering to keep the
+        journal ahead of every other durable artifact.  Inside an open
+        group (:meth:`begin_group`) the encoded line is buffered and
+        becomes durable only at :meth:`commit_group`; the buffered
+        record must not be made observable elsewhere before then.
         """
         payload: dict[str, Any] = {"kind": kind, **fields}
         record: JournalRecord = {"crc": _record_crc(payload), **payload}
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        line = json.dumps(record, sort_keys=True) + "\n"
+        if self._group is not None:
+            self._group.append(line)
+            return record
+        self._write_durably([line])
+        return record
+
+    def begin_group(self) -> None:
+        """Open a group commit: buffer appends until :meth:`commit_group`.
+
+        Group commits amortize durability — the scheduler frames all of
+        one tick's serve records into a single write + fsync instead of
+        one fsync per record.  Groups do not nest.
+        """
+        if self._group is not None:
+            raise RuntimeError("journal group already open")
+        self._group = []
+
+    def commit_group(self) -> None:
+        """Write the buffered group durably with one fsync.
+
+        An empty group commits to nothing (no write, no fsync).  The
+        crash hook counts each buffered record as one append, so a
+        threshold landing inside a group kills the process with exactly
+        the prefix of the group on disk — a torn group, which recovery
+        must (and does) treat like any other torn tail.
+        """
+        lines, self._group = self._group, None
+        if lines is None:
+            raise RuntimeError("no journal group open")
+        if lines:
+            self._write_durably(lines)
+
+    def _write_durably(self, lines: list[str]) -> None:
+        """Write ``lines``, flush, fsync once; honour the crash hook."""
+        if self.crash_after_appends is not None:
+            remaining = self.crash_after_appends - self.appends
+            if remaining <= len(lines):
+                # Simulated power cut mid-group: persist exactly the
+                # records up to the threshold, then die without
+                # flushing anything else — what recovery must survive.
+                for line in lines[:remaining]:
+                    self._handle.write(line)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+                self.appends += remaining
+                os.kill(os.getpid(), signal.SIGKILL)
+        for line in lines:
+            self._handle.write(line)
         self._handle.flush()
         os.fsync(self._handle.fileno())
-        self.appends += 1
-        if (
-            self.crash_after_appends is not None
-            and self.appends >= self.crash_after_appends
-        ):
-            # Simulated power cut: no atexit handlers, no flushing of
-            # anything else — exactly what the recovery path must survive.
-            os.kill(os.getpid(), signal.SIGKILL)
-        return record
+        self.appends += len(lines)
 
     def close(self) -> None:
         """Close the file handle (appended records are already durable)."""

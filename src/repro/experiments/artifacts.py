@@ -32,6 +32,7 @@ __all__ = [
     "write_atomic",
     "write_text_atomic",
     "write_json_atomic",
+    "append_jsonl_atomic",
 ]
 
 
@@ -102,3 +103,21 @@ def write_json_atomic(path: str | Path, payload: object) -> Path:
     return write_text_atomic(
         path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
     )
+
+
+def append_jsonl_atomic(path: str | Path, record: dict) -> Path:
+    """Append one compact-JSON record line to a JSONL log, atomically.
+
+    The whole file is rewritten through :func:`write_atomic` (read the
+    existing lines, add one, publish via tmp+fsync+rename), so a crash
+    mid-append leaves either the old log or the extended one — never a
+    torn trailing line.  History logs are small (one line per bench
+    run), so the rewrite cost is negligible; for high-volume appends
+    use :class:`repro.durability.JobJournal` instead.
+    """
+    path = Path(path)
+    existing = path.read_text(encoding="utf-8") if path.exists() else ""
+    if existing and not existing.endswith("\n"):
+        existing += "\n"
+    line = json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+    return write_text_atomic(path, existing + line)

@@ -10,11 +10,18 @@ conventionally stored at ``results/BENCH_scheduler.json``:
 * **isolated** — every job on its own private platform (the status
   quo before :mod:`repro.scheduler`), with the same spawned seeds the
   scheduler would assign;
-* **scheduled (cache off)** — the cooperative loop over shared pools,
+* **scheduled_serial** — the cooperative loop over shared pools with
+  batch fusion *off* (the ``fusion=off`` escape hatch): every parked
+  request settled one platform call at a time;
+* **scheduled_fused** — the same loop with fused tick settlement:
+  all fast-path-eligible requests of a tick settled in one platform
+  pass per (pool, worker-model) group.  Both scheduled arms are
   verified *bit-identical* to the isolated baseline before any timing
   is reported (the determinism contract of ``docs/SCHEDULER.md``);
-* **scheduled (cache on)** — the same workload reusing judgments
-  across jobs, reporting hit rate and judgments/money saved.
+* **scheduled_cached** — fused settlement plus the cross-job memo
+  cache, reusing judgments across jobs (strictly cheaper, so not
+  expected to be bit-identical); reports hit rate and judgments/money
+  saved.
 
 Entry points: the ``repro-experiments serve-sim`` CLI subcommand and
 the ``benchmarks/test_bench_scheduler.py`` harness, both writing the
@@ -48,7 +55,7 @@ __all__ = [
 ]
 
 #: Schema tag stamped into every BENCH_scheduler.json payload.
-SCHEDULER_BENCH_SCHEMA = "repro.bench_scheduler/v1"
+SCHEDULER_BENCH_SCHEMA = "repro.bench_scheduler/v2"
 
 #: Spawn-key salt separating catalog generation from job seeding, so a
 #: workload's instances never correlate with its scheduler streams.
@@ -164,10 +171,17 @@ def _run_isolated(workload: SchedulerWorkload) -> dict[int, tuple[Any, ...]]:
 
 
 def _run_scheduled(
-    workload: SchedulerWorkload, cache: bool, quantum: int | None
+    workload: SchedulerWorkload,
+    cache: bool,
+    quantum: int | None,
+    fusion: bool = True,
 ) -> tuple[dict[int, tuple[Any, ...]], CrowdScheduler]:
     scheduler = CrowdScheduler(
-        workload.pools(), root_seed=workload.seed, cache=cache, quantum=quantum
+        workload.pools(),
+        root_seed=workload.seed,
+        cache=cache,
+        quantum=quantum,
+        fusion=fusion,
     )
     for job in workload.jobs():
         scheduler.submit(job)
@@ -188,22 +202,33 @@ def _run_scheduled(
 def run_scheduler_bench(
     seed: int = 2015,
     n_jobs: int = 8,
-    quantum: int | None = 64,
+    quantum: int | None = None,
     workload: SchedulerWorkload | None = None,
 ) -> dict[str, Any]:
-    """Run all three arms and return the BENCH_scheduler payload."""
+    """Run all four arms and return the BENCH_scheduler payload.
+
+    The default ``quantum=None`` admits every parked request each tick
+    — the regime where fusion has material to work with; a small
+    quantum throttles admission to one request per pool per tick and
+    degrades the fused arm to serial behaviour.
+    """
     if workload is None:
         workload = default_workload(seed=seed, n_jobs=n_jobs)
 
     isolated_s, isolated = _timed(lambda: _run_isolated(workload))
-    plain_s, (plain, _) = _timed(
-        lambda: _run_scheduled(workload, cache=False, quantum=quantum)
+    serial_s, (serial, _) = _timed(
+        lambda: _run_scheduled(workload, cache=False, quantum=quantum, fusion=False)
+    )
+    fused_s, (fused, _) = _timed(
+        lambda: _run_scheduled(workload, cache=False, quantum=quantum, fusion=True)
     )
     cached_s, (cached, cached_scheduler) = _timed(
-        lambda: _run_scheduled(workload, cache=True, quantum=quantum)
+        lambda: _run_scheduled(workload, cache=True, quantum=quantum, fusion=True)
     )
 
-    identical = _job_fingerprints(isolated) == _job_fingerprints(plain)
+    baseline = _job_fingerprints(isolated)
+    serial_identical = baseline == _job_fingerprints(serial)
+    fused_identical = baseline == _job_fingerprints(fused)
     judgments_isolated = sum(ops for _, _, ops in isolated.values())
     judgments_cached = sum(ops for _, _, ops in cached.values())
     money_isolated = sum(cost for _, cost, _ in isolated.values())
@@ -215,6 +240,10 @@ def run_scheduler_bench(
     # fields, never this, so the payload stays seed-comparable.
     generated_unix = round(time.time(), 3)  # repro-lint: disable=DET002 -- provenance stamp only
     n_settled = len(cached)
+
+    def _rate(wall_s: float) -> float | None:
+        return round(n_settled / wall_s, 3) if wall_s > 0 else None
+
     return {
         "schema": SCHEDULER_BENCH_SCHEMA,
         "seed": workload.seed,
@@ -228,18 +257,26 @@ def run_scheduler_bench(
         },
         "isolated": {
             "wall_s": round(isolated_s, 6),
-            "jobs_per_sec": round(n_settled / isolated_s, 3) if isolated_s > 0 else None,
+            "jobs_per_sec": _rate(isolated_s),
             "judgments": judgments_isolated,
             "money": round(money_isolated, 2),
         },
-        "scheduled": {
-            "wall_s": round(plain_s, 6),
-            "jobs_per_sec": round(n_settled / plain_s, 3) if plain_s > 0 else None,
-            "identical_to_isolated": identical,
+        "scheduled_serial": {
+            "wall_s": round(serial_s, 6),
+            "jobs_per_sec": _rate(serial_s),
+            "identical_to_isolated": serial_identical,
+        },
+        "scheduled_fused": {
+            "wall_s": round(fused_s, 6),
+            "jobs_per_sec": _rate(fused_s),
+            "identical_to_isolated": fused_identical,
+            "speedup_vs_isolated": (
+                round(isolated_s / fused_s, 3) if fused_s > 0 else None
+            ),
         },
         "scheduled_cached": {
             "wall_s": round(cached_s, 6),
-            "jobs_per_sec": round(n_settled / cached_s, 3) if cached_s > 0 else None,
+            "jobs_per_sec": _rate(cached_s),
             "judgments": judgments_cached,
             "money": round(money_cached, 2),
             "cache_hits": memo.hits,
@@ -263,8 +300,17 @@ def scheduler_bench_table(payload: dict[str, Any]) -> TableResult:
         headers=["arm", "wall (s)", "jobs/s", "judgments", "money", "notes"],
     )
     isolated = payload["isolated"]
-    plain = payload["scheduled"]
+    serial = payload["scheduled_serial"]
+    fused = payload["scheduled_fused"]
     cached = payload["scheduled_cached"]
+
+    def _identity(arm: dict[str, Any]) -> str:
+        return (
+            "bit-identical to isolated"
+            if arm["identical_to_isolated"]
+            else "NOT identical to isolated"
+        )
+
     table.add_row(
         [
             "isolated",
@@ -277,19 +323,30 @@ def scheduler_bench_table(payload: dict[str, Any]) -> TableResult:
     )
     table.add_row(
         [
-            "scheduled",
-            plain["wall_s"],
-            plain["jobs_per_sec"],
+            "scheduled (serial)",
+            serial["wall_s"],
+            serial["jobs_per_sec"],
             isolated["judgments"],
             isolated["money"],
-            "bit-identical to isolated"
-            if plain["identical_to_isolated"]
-            else "NOT identical to isolated",
+            f"fusion off; {_identity(serial)}",
         ]
     )
     table.add_row(
         [
-            "scheduled+cache",
+            "scheduled (fused)",
+            fused["wall_s"],
+            fused["jobs_per_sec"],
+            isolated["judgments"],
+            isolated["money"],
+            (
+                f"{fused['speedup_vs_isolated']}x vs isolated; "
+                f"{_identity(fused)}"
+            ),
+        ]
+    )
+    table.add_row(
+        [
+            "scheduled (fused+cache)",
             cached["wall_s"],
             cached["jobs_per_sec"],
             cached["judgments"],
@@ -302,8 +359,9 @@ def scheduler_bench_table(payload: dict[str, Any]) -> TableResult:
         ]
     )
     table.notes.append(
-        "cache-off scheduling is verified bit-identical to isolated "
-        "execution before timings are reported; see docs/SCHEDULER.md"
+        "cache-off scheduling (serial and fused) is verified "
+        "bit-identical to isolated execution before timings are "
+        "reported; see docs/SCHEDULER.md"
     )
     return table
 

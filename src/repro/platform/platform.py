@@ -44,7 +44,7 @@ from .gold import GoldPolicy
 from .job import BatchReport, ComparisonTask, Judgment, TaskReport
 from .workforce import SimulatedWorker, WorkerPool
 
-__all__ = ["CrowdPlatform"]
+__all__ = ["CrowdPlatform", "FastBatchPlan", "fast_model_groups"]
 
 #: Graceful defaults: unlimited attempts, no deadline, settle degraded.
 _DEFAULT_RETRY = RetryPolicy()
@@ -104,6 +104,56 @@ class _BatchState:
     def settle(self, task: ComparisonTask, reason: str) -> None:
         if task.task_id not in self.settled:
             self.settled[task.task_id] = reason
+
+
+@dataclass
+class FastBatchPlan:
+    """Array-level state of one prepared fast-path batch.
+
+    ``fast_batch_prepare`` reserves this batch's slice of the
+    platform's Philox judgment stream and computes everything that
+    depends only on the platform's own counters: which uniforms each
+    judgment reads, which worker position it lands on, and the flipped
+    pair each worker is shown.  The plan can then be *decided* (the
+    only model-dependent part) and *finalized* (majority answers,
+    charges, counters) separately — which is what lets the scheduler
+    fuse many tenants' plans into one decide call per worker model
+    while each tenant keeps its own counter stream.
+    """
+
+    n_tasks: int
+    required: np.ndarray
+    task_of: np.ndarray
+    n_judgments: int
+    uniforms: np.ndarray
+    worker_pos: np.ndarray
+    flip: np.ndarray
+    shown_vi: np.ndarray
+    shown_vj: np.ndarray
+    shown_ii: np.ndarray
+    shown_jj: np.ndarray
+
+
+def fast_model_groups(pool: WorkerPool) -> tuple[list[WorkerModel], np.ndarray]:
+    """Distinct worker models of ``pool`` and each worker's group index.
+
+    Returns ``(models, group_of_worker)`` where ``group_of_worker[p]``
+    is the position in ``models`` of worker ``p``'s model.  Grouping is
+    by model *identity*: pools routinely share one model object across
+    many workers, and the fused scheduler path relies on tenant views
+    of one pool resolving to the same groups.
+    """
+    workers = pool.workers
+    model_index: dict[int, int] = {}
+    models: list[WorkerModel] = []
+    group_of_worker = np.empty(len(workers), dtype=np.intp)
+    for pos, worker in enumerate(workers):
+        key = id(worker.model)
+        if key not in model_index:
+            model_index[key] = len(models)
+            models.append(worker.model)
+        group_of_worker[pos] = model_index[key]
+    return models, group_of_worker
 
 
 class CrowdPlatform:
@@ -332,9 +382,19 @@ class CrowdPlatform:
         but none of its failure handling, so every feature that can
         alter collection mid-flight forces the step loop.
         """
+        if plan is not None or fallback is not None:
+            return False
+        if any(task.is_gold for task in tasks):
+            return False
+        return self._fast_path_state_ok(pool, policy, max_required)
+
+    def _fast_path_state_ok(
+        self, pool: WorkerPool, policy: RetryPolicy, max_required: int
+    ) -> bool:
+        """The task-independent half of the fast-path eligibility check."""
         if not self.vectorized:
             return False
-        if plan is not None or self.gold is not None or fallback is not None:
+        if self.gold is not None:
             return False
         if policy.deadline_steps is not None or policy.max_attempts is not None:
             return False
@@ -347,8 +407,6 @@ class CrowdPlatform:
             return False
         if any(worker.banned for worker in workers):
             return False
-        if any(task.is_gold for task in tasks):
-            return False
         seen: set[int] = set()
         for worker in workers:
             key = id(worker.model)
@@ -358,6 +416,24 @@ class CrowdPlatform:
             if not worker.model.supports_uniform_decide():
                 return False
         return True
+
+    def fast_path_eligible(self, pool_name: str, judgments_per_task: int) -> bool:
+        """Whether a plain comparison batch would take the fast path.
+
+        The array-level twin of ``_fast_path_ok`` for callers (the
+        scheduler's fused settlement) that have no ``ComparisonTask``
+        objects yet: scheduler requests are never gold, so only the
+        platform/pool state matters.  Must stay conservative — a
+        ``True`` here promises that ``submit_batch`` on the same
+        request would have settled via ``_submit_batch_vectorized``.
+        """
+        pool = self._pool(pool_name)
+        policy = self.retry
+        if self.faults is not None and self.faults.active:
+            return False
+        if self._fallback_pool(pool_name, policy) is not None:
+            return False
+        return self._fast_path_state_ok(pool, policy, judgments_per_task)
 
     def _fast_uniforms(self, start: int, count: int) -> np.ndarray:
         """Uniform blocks for judgments ``start .. start + count``.
@@ -389,10 +465,44 @@ class CrowdPlatform:
         the rotation carries across batches like the step loop's
         round-robin fairness.
         """
+        required = np.array([t.required_judgments for t in tasks], dtype=np.intp)
+        plan = self.fast_batch_prepare(
+            pool,
+            np.array([t.first for t in tasks], dtype=np.intp),
+            np.array([t.second for t in tasks], dtype=np.intp),
+            np.array([t.value_first for t in tasks]),
+            np.array([t.value_second for t in tasks]),
+            required,
+            count_logical_step=False,
+        )
+        raw = self.fast_batch_decide(pool, plan)
+        _, report = self.fast_batch_finalize(pool, plan, raw, tasks=tasks)
+        return report
+
+    def fast_batch_prepare(
+        self,
+        pool: WorkerPool,
+        index_first: np.ndarray,
+        index_second: np.ndarray,
+        values_first: np.ndarray,
+        values_second: np.ndarray,
+        required: np.ndarray,
+        count_logical_step: bool = True,
+    ) -> FastBatchPlan:
+        """Reserve this batch's judgment stream and lay out its arrays.
+
+        Advances ``_fast_seq`` (and, for external callers, the logical
+        step counter — ``submit_batch`` counts its own) and computes
+        everything that depends only on this platform's counters.  The
+        fused scheduler path prepares many tenants' batches up front —
+        each against its own Philox key and sequence — before a single
+        shared decide pass.
+        """
         workers = pool.workers
         n_workers = len(workers)
-        n_tasks = len(tasks)
-        required = np.array([t.required_judgments for t in tasks], dtype=np.intp)
+        n_tasks = len(index_first)
+        if count_logical_step:
+            self.logical_steps += 1
         n_judgments = int(required.sum())
         task_of = np.repeat(np.arange(n_tasks, dtype=np.intp), required)
 
@@ -401,67 +511,95 @@ class CrowdPlatform:
         uniforms = self._fast_uniforms(base, n_judgments)
         worker_pos = (base + np.arange(n_judgments)) % n_workers
 
-        values_first = np.array([t.value_first for t in tasks])[task_of]
-        values_second = np.array([t.value_second for t in tasks])[task_of]
-        index_first = np.array([t.first for t in tasks], dtype=np.intp)[task_of]
-        index_second = np.array([t.second for t in tasks], dtype=np.intp)[task_of]
+        vf = np.asarray(values_first)[task_of]
+        vs = np.asarray(values_second)[task_of]
+        i_f = np.asarray(index_first, dtype=np.intp)[task_of]
+        i_s = np.asarray(index_second, dtype=np.intp)[task_of]
 
         # Randomised presentation order per judgment, as in the step
         # loop: the model sees the flipped pair and the answer is
         # flipped back.
         flip = uniforms[:, 0] < 0.5
-        shown_vi = np.where(flip, values_second, values_first)
-        shown_vj = np.where(flip, values_first, values_second)
-        shown_ii = np.where(flip, index_second, index_first)
-        shown_jj = np.where(flip, index_first, index_second)
+        return FastBatchPlan(
+            n_tasks=n_tasks,
+            required=required,
+            task_of=task_of,
+            n_judgments=n_judgments,
+            uniforms=uniforms,
+            worker_pos=worker_pos,
+            flip=flip,
+            shown_vi=np.where(flip, vs, vf),
+            shown_vj=np.where(flip, vf, vs),
+            shown_ii=np.where(flip, i_s, i_f),
+            shown_jj=np.where(flip, i_f, i_s),
+        )
 
-        # One vectorized decide per distinct worker model; each
-        # judgment consumes its own uniform block regardless of
-        # grouping, so the grouping order cannot affect outcomes.
-        model_index: dict[int, int] = {}
-        models: list[WorkerModel] = []
-        group_of_worker = np.empty(n_workers, dtype=np.intp)
-        for pos, worker in enumerate(workers):
-            key = id(worker.model)
-            if key not in model_index:
-                model_index[key] = len(models)
-                models.append(worker.model)
-            group_of_worker[pos] = model_index[key]
-        model_uniforms = uniforms[:, 1:3]
+    def fast_batch_decide(self, pool: WorkerPool, plan: FastBatchPlan) -> np.ndarray:
+        """Raw model answers for one prepared plan.
+
+        One vectorized decide per distinct worker model; each judgment
+        consumes its own uniform block regardless of grouping, so the
+        grouping order cannot affect outcomes.
+        """
+        models, group_of_worker = fast_model_groups(pool)
+        model_uniforms = plan.uniforms[:, 1:3]
         if len(models) == 1:
-            raw = np.asarray(
+            return np.asarray(
                 models[0].decide_from_uniforms(
-                    shown_vi,
-                    shown_vj,
+                    plan.shown_vi,
+                    plan.shown_vj,
                     model_uniforms,
-                    indices_i=shown_ii,
-                    indices_j=shown_jj,
+                    indices_i=plan.shown_ii,
+                    indices_j=plan.shown_jj,
                 ),
                 dtype=bool,
             )
-        else:
-            raw = np.empty(n_judgments, dtype=bool)
-            judgment_group = group_of_worker[worker_pos]
-            for gid, model in enumerate(models):
-                members = np.flatnonzero(judgment_group == gid)
-                if not len(members):
-                    continue
-                raw[members] = model.decide_from_uniforms(
-                    shown_vi[members],
-                    shown_vj[members],
-                    model_uniforms[members],
-                    indices_i=shown_ii[members],
-                    indices_j=shown_jj[members],
-                )
-        first_wins = raw ^ flip
+        raw = np.empty(plan.n_judgments, dtype=bool)
+        judgment_group = group_of_worker[plan.worker_pos]
+        for gid, model in enumerate(models):
+            members = np.flatnonzero(judgment_group == gid)
+            if not len(members):
+                continue
+            raw[members] = model.decide_from_uniforms(
+                plan.shown_vi[members],
+                plan.shown_vj[members],
+                model_uniforms[members],
+                indices_i=plan.shown_ii[members],
+                indices_j=plan.shown_jj[members],
+            )
+        return raw
+
+    def fast_batch_finalize(
+        self,
+        pool: WorkerPool,
+        plan: FastBatchPlan,
+        raw: np.ndarray,
+        tasks: list[ComparisonTask] | None = None,
+    ) -> tuple[np.ndarray, BatchReport]:
+        """Majority answers, charges and counters for a decided plan.
+
+        With ``tasks`` the full per-judgment audit trail (judgment log,
+        per-task reports, listed answers) is produced — the serial
+        ``submit_batch`` contract.  Without ``tasks`` (the fused
+        scheduler path, which never reads them) those allocations are
+        skipped and a lightweight report carries the aggregate totals;
+        the answers ndarray is the result either way.  The ledger is
+        charged *before* any counter moves, so a ``CostCapError`` from
+        a capped tenant ledger leaves the same partial state as the
+        serial fast path.
+        """
+        workers = pool.workers
+        n_workers = len(workers)
+        n_judgments = plan.n_judgments
+        first_wins = raw ^ plan.flip
 
         # Majority answers; ties use the judgment block's spare coin
         # (the task's first judgment), never the platform RNG.
-        votes_first = np.bincount(task_of[first_wins], minlength=n_tasks)
-        first_row = np.concatenate(([0], np.cumsum(required)[:-1]))
-        tie_coin = uniforms[first_row, 3] < 0.5
+        votes_first = np.bincount(plan.task_of[first_wins], minlength=plan.n_tasks)
+        first_row = np.concatenate(([0], np.cumsum(plan.required)[:-1]))
+        tie_coin = plan.uniforms[first_row, 3] < 0.5
         answers = np.where(
-            2 * votes_first == required, tie_coin, 2 * votes_first > required
+            2 * votes_first == plan.required, tie_coin, 2 * votes_first > plan.required
         )
 
         # Bookkeeping parity with the step loop: charges, physical
@@ -471,39 +609,43 @@ class CrowdPlatform:
         physical_steps = -(-n_judgments // n_workers)
         self.physical_steps_total += physical_steps
         self.fast_batches_total += 1
-        per_worker = np.bincount(worker_pos, minlength=n_workers)
+        per_worker = np.bincount(plan.worker_pos, minlength=n_workers)
         for pos, worker in enumerate(workers):
             worker.judgments_made += int(per_worker[pos])
-        steps = np.arange(n_judgments) // n_workers + 1
-        worker_ids = np.array([w.worker_id for w in workers], dtype=np.intp)
-        judgment_workers = worker_ids[worker_pos]
-        self.judgment_log.extend(
-            Judgment(
-                task_id=tasks[task_of[q]].task_id,
-                worker_id=int(judgment_workers[q]),
-                first_wins=bool(first_wins[q]),
-                physical_step=int(steps[q]),
-                is_gold=False,
-            )
-            for q in range(n_judgments)
-        )
 
-        task_reports = [
-            TaskReport(
-                task_id=task.task_id,
-                status="ok",
-                reason="",
-                judgments_kept=task.required_judgments,
-                required_judgments=task.required_judgments,
-                attempts_failed=0,
+        answers_list: list[bool] = []
+        task_reports: list[TaskReport] = []
+        if tasks is not None:
+            steps = np.arange(n_judgments) // n_workers + 1
+            worker_ids = np.array([w.worker_id for w in workers], dtype=np.intp)
+            judgment_workers = worker_ids[plan.worker_pos]
+            self.judgment_log.extend(
+                Judgment(
+                    task_id=tasks[plan.task_of[q]].task_id,
+                    worker_id=int(judgment_workers[q]),
+                    first_wins=bool(first_wins[q]),
+                    physical_step=int(steps[q]),
+                    is_gold=False,
+                )
+                for q in range(n_judgments)
             )
-            for task in tasks
-        ]
+            answers_list = [bool(a) for a in answers]
+            task_reports = [
+                TaskReport(
+                    task_id=task.task_id,
+                    status="ok",
+                    reason="",
+                    judgments_kept=task.required_judgments,
+                    required_judgments=task.required_judgments,
+                    attempts_failed=0,
+                )
+                for task in tasks
+            ]
         if self.tracer.enabled:
             self.tracer.event(
                 "platform_batch",
                 pool=pool.name,
-                tasks=n_tasks,
+                tasks=plan.n_tasks,
                 physical_steps=physical_steps,
                 judgments_collected=n_judgments,
                 judgments_discarded=0,
@@ -512,8 +654,8 @@ class CrowdPlatform:
                 tasks_degraded=0,
                 fast_path=True,
             )
-        return BatchReport(
-            answers=[bool(a) for a in answers],
+        report = BatchReport(
+            answers=answers_list,
             physical_steps=physical_steps,
             judgments_collected=n_judgments,
             judgments_discarded=0,
@@ -524,6 +666,7 @@ class CrowdPlatform:
             judgments_lost_late=0,
             retries=0,
         )
+        return np.asarray(answers, dtype=bool), report
 
     # ------------------------------------------------------------------
     # Batch execution internals

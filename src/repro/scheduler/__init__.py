@@ -13,7 +13,7 @@ semantics, and the determinism contract.
 
 from .cache import ComparisonMemoCache, DurableComparisonCache, fingerprint_instance
 from .engine import CrowdScheduler, JobOutcome, JobTicket
-from .errors import SchedulerSaturatedError
+from .errors import SchedulerSaturatedError, SchedulerThreadLeakWarning
 
 __all__ = [
     "CrowdScheduler",
@@ -23,4 +23,5 @@ __all__ = [
     "DurableComparisonCache",
     "fingerprint_instance",
     "SchedulerSaturatedError",
+    "SchedulerThreadLeakWarning",
 ]

@@ -244,23 +244,48 @@ class DurableComparisonCache(ComparisonMemoCache):
         self._store.update(store.load())
         #: Entries warm-loaded from disk at construction.
         self.warm_entries = len(self._store)
+        #: When ``True`` (set by the scheduler while journaling), the
+        #: SQLite write-through is buffered and only lands at
+        #: :meth:`flush_pending` — after the tick's journal group is
+        #: durable.  In-memory visibility is immediate either way.
+        self.deferred = False
+        self._pending_entries: list[tuple[_Key, bool]] = []
 
     def _ingest(self, entries: list[tuple[_Key, bool]]) -> None:
+        if self.deferred:
+            self._pending_entries.extend(entries)
+            return
+        self._write_through(entries)
+
+    def _write_through(self, entries: list[tuple[_Key, bool]]) -> None:
         written = self.store.write_entries(entries)
         if written and self.tracer.enabled:
             self.tracer.event("cache_persisted", entries=written)
         if written:
             self.tracer.count("durability.cache_persisted", written)
 
+    def flush_pending(self) -> int:
+        """Commit the deferred write-through; returns entries flushed.
+
+        Call only after the journal records covering these entries are
+        durable — the journal-before-store ordering contract.
+        """
+        entries, self._pending_entries = self._pending_entries, []
+        if entries:
+            self._write_through(entries)
+        return len(entries)
+
     def invalidate(
         self, fingerprint: str | None = None, pool_name: str | None = None
     ) -> int:
+        self.flush_pending()
         removed = super().invalidate(fingerprint=fingerprint, pool_name=pool_name)
         self.store.invalidate(fingerprint=fingerprint, pool_name=pool_name)
         return removed
 
     def close(self) -> None:
         """Close the backing store (committed entries stay on disk)."""
+        self.flush_pending()
         self.store.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

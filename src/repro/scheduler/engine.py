@@ -10,14 +10,13 @@ giving each query a private platform.
 
 Execution model
 ---------------
-Each admitted job runs on its own worker thread, but only ever *one at
-a time*: the scheduler and the job threads hand control back and forth
-in strict lock-step (a cooperative event loop with threads as
-coroutines).  A job runs until its next platform round — every
-``compare_batch`` a job issues is intercepted by its private
-:class:`_TenantPlatform` view, posted to the scheduler, and the thread
-blocks.  When every live job is parked, the scheduler runs one *tick*
-of its virtual clock:
+Each admitted job runs as a **coroutine ticket**: its algorithm body is
+the ``steps()`` generator of :mod:`repro.service`, advanced on the
+scheduler's own thread until it yields a platform-backed oracle call,
+which parks it (no thread, no lock handoff).  Jobs speaking only the
+``submit()/settle()`` protocol fall back to a thread per job with the
+classic park/wake discipline.  When every live job is parked, the
+scheduler runs one *tick* of its virtual clock:
 
 1. **Coalesce** — the parked comparison requests are grouped per pool
    (one ``batch_coalesced`` record each), the scheduler-level view of
@@ -26,13 +25,24 @@ of its virtual clock:
    least-total-tasks-served-first order (ties to earliest admission),
    a per-tick ``quantum`` bounds how many tasks one pool grants, and
    the front request is always admitted so no job can starve.
-3. **Serve** — each admitted request is resolved against the cross-job
-   :class:`~repro.scheduler.cache.ComparisonMemoCache` first; only the
-   misses are bought from the platform, with the *job's own* RNG
-   stream, ledger, and fault plan.  Replies are delivered serially —
-   the woken job runs until it parks again before the next reply goes
-   out — so mutations of shared worker state (gold bans) happen in one
+3. **Settle** — each admitted request is resolved against the
+   cross-job :class:`~repro.scheduler.cache.ComparisonMemoCache`
+   first; the misses are bought from the platform.  Fast-path-eligible
+   requests are **fused**: every tenant prepares its own Philox
+   judgment plan (its private counter stream), then all judgments of
+   the tick are decided with one vectorized call per (pool, worker
+   model), then charges / counters / journal records land per tenant
+   in admission order — bit-identical to serving the requests one by
+   one, but with one platform pass per tick (``fusion=False`` restores
+   one-at-a-time service).  Journaled runs frame the whole tick's
+   records into one group commit (a single fsync).
+4. **Resume** — replies are delivered in admission order: coroutine
+   tickets are advanced inline, thread tickets woken one at a time —
+   so mutations of shared worker state (gold bans) happen in one
    deterministic order.
+
+The three tick phases are timed separately (``scheduler.tick.settle``
+/ ``scheduler.tick.scatter`` / ``scheduler.tick.resume`` spans).
 
 Determinism contract
 --------------------
@@ -67,6 +77,7 @@ from typing import Any, Literal
 
 import numpy as np
 
+from ..core.steps import OracleCall, Steps
 from ..durability import (
     DurabilityPolicy,
     JobJournal,
@@ -75,16 +86,17 @@ from ..durability import (
     PersistentComparisonStore,
 )
 from ..platform.accounting import CostLedger
-from ..platform.errors import CostCapError
+from ..platform.errors import CostCapError, DegradedBatchError
 from ..platform.faults import FaultPlan, RetryPolicy
 from ..platform.gold import GoldPolicy
 from ..platform.job import BatchReport, TaskReport
-from ..platform.platform import CrowdPlatform
+from ..platform.oracle_adapter import PlatformWorkerModel
+from ..platform.platform import CrowdPlatform, FastBatchPlan, fast_model_groups
 from ..platform.workforce import WorkerPool
 from ..service import BudgetExceededError, CrowdJobResult, CrowdMaxJob
 from ..telemetry import NULL_TRACER, Tracer, resolve_tracer
 from .cache import ComparisonMemoCache, DurableComparisonCache, fingerprint_instance
-from .errors import SchedulerSaturatedError
+from .errors import SchedulerSaturatedError, SchedulerThreadLeakWarning
 
 __all__ = ["JobTicket", "JobOutcome", "CrowdScheduler"]
 
@@ -207,6 +219,11 @@ class _CompareRequest:
     values_i: np.ndarray
     values_j: np.ndarray
     judgments_per_task: int
+    #: ``strict`` mirrors the worker model's flag for coroutine tickets:
+    #: the scheduler raises ``DegradedBatchError`` at resume time where
+    #: ``PlatformWorkerModel.decide`` would have (thread tickets keep
+    #: raising inside ``decide`` itself).
+    strict: bool = False
     done: threading.Event = field(default_factory=threading.Event)
     answers: np.ndarray | None = None
     report: BatchReport | None = None
@@ -215,6 +232,19 @@ class _CompareRequest:
     @property
     def size(self) -> int:
         return len(self.indices_i)
+
+
+@dataclass
+class _FusedPending:
+    """One fused-eligible request buffered for the next flush."""
+
+    ticket: "JobTicket"
+    request: _CompareRequest
+    #: Positions within the request that missed the cache.
+    miss: np.ndarray
+    #: Answer array with cache hits already filled in.
+    answers: np.ndarray
+    hits: int
 
 
 class _TenantPlatform(CrowdPlatform):
@@ -241,6 +271,15 @@ class _TenantPlatform(CrowdPlatform):
         judgments_per_task: int = 1,
     ) -> tuple[np.ndarray, BatchReport]:
         self._pool(pool_name)  # fail fast on unknown pools, as the base does
+        if self._ticket._gen is not None:
+            # A coroutine ticket's platform traffic flows through its
+            # yielded OracleCall steps; a synchronous call from inside
+            # the generator would deadlock the single scheduler thread,
+            # so refuse it loudly instead.
+            raise RuntimeError(
+                "synchronous compare_batch from a coroutine job; platform "
+                "calls must be yielded as OracleCall steps"
+            )
         request = _CompareRequest(
             pool_name=pool_name,
             indices_i=np.asarray(indices_i),
@@ -281,7 +320,15 @@ class JobTicket:
         self._scheduler = scheduler
         self.tracer: Tracer = NULL_TRACER
         self.platform: _TenantPlatform | None = None
+        #: Thread tickets only (jobs without a ``steps()`` generator);
+        #: coroutine tickets never start a thread.
         self._thread: threading.Thread | None = None
+        #: The coroutine ticket's suspended step generator; ``None``
+        #: for thread tickets.
+        self._gen: Steps[CrowdJobResult] | None = None
+        #: The request being settled this tick (popped from
+        #: :attr:`request` at settle, delivered back at resume).
+        self._inflight: _CompareRequest | None = None
         #: "ready" | "running" | "blocked" | "done", guarded by the
         #: scheduler condition.
         self.state: str = "ready"
@@ -403,6 +450,13 @@ class CrowdScheduler:
         live, bit-identical to an uninterrupted run.  Requires
         stateless pools for exactness: gold bans mutate shared workers
         and are not reconstructed (a warning says so).
+    fusion:
+        ``True`` (default) settles all fast-path-eligible requests of a
+        tick in one fused platform pass — per-tenant Philox plans, one
+        vectorized decide per (pool, worker model) — bit-identical to
+        serving them one by one.  ``False`` is the escape hatch: every
+        request is served alone through the full ``compare_batch``
+        machinery, the pre-fusion behaviour.
     """
 
     def __init__(
@@ -418,6 +472,7 @@ class CrowdScheduler:
         tenant_caps: dict[str, float] | None = None,
         tracer: Tracer | None = None,
         durability: DurabilityPolicy | None = None,
+        fusion: bool = True,
     ):
         if not pools:
             raise ValueError("the scheduler needs at least one worker pool")
@@ -460,6 +515,7 @@ class CrowdScheduler:
                 stacklevel=2,
             )
         self.quantum = quantum
+        self.fusion = bool(fusion)
         self.max_pending = max_pending
         self._tenant_ledgers: dict[str, CostLedger] = {}
         self._tenant_caps = dict(tenant_caps or {})
@@ -542,6 +598,7 @@ class CrowdScheduler:
                     self._launch(ticket)
                 self._loop(outcomes)
         finally:
+            self._reap_threads()
             if self._journal is not None:
                 self._journal.close()
             if self._owns_cache and isinstance(self.cache, DurableComparisonCache):
@@ -560,6 +617,7 @@ class CrowdScheduler:
         return {
             "root_entropy": str(self._seeds.entropy),
             "quantum": self.quantum,
+            "fusion": self.fusion,
             "cache": self.cache is not None,
             "pools": sorted(self.pools),
             "jobs": [
@@ -593,9 +651,22 @@ class CrowdScheduler:
         )
         if not records:
             self._journal.append("header", **facts)
+        if isinstance(self.cache, DurableComparisonCache):
+            # Group-commit discipline: with a journal active the SQLite
+            # write-through is deferred and flushed only after the
+            # tick's journal group is durable, so the store can never
+            # get ahead of the journal even within a fused tick.
+            self.cache.deferred = True
 
     def _launch(self, ticket: JobTicket) -> None:
-        """Build the tenant view, emit admission, start the job thread."""
+        """Build the tenant view, emit admission, start the job.
+
+        Jobs that expose the ``steps()`` generator protocol run as
+        coroutine tickets on the scheduler's own thread: the generator
+        is advanced to its first platform call right here, in admission
+        order.  Jobs speaking only ``submit()/settle()`` fall back to
+        the thread-per-job park/wake discipline.
+        """
         ticket.tracer = Tracer(buffer=True) if self.tracer.enabled else NULL_TRACER
         ticket.platform = _TenantPlatform(
             ticket,
@@ -615,12 +686,96 @@ class CrowdScheduler:
                 tenant=ticket.tenant,
                 fingerprint=ticket.fingerprint[:12],
             )
+        if callable(getattr(ticket.job, "steps", None)):
+            ticket.state = "running"
+            self._start(ticket)
+            return
         ticket._thread = threading.Thread(
             target=ticket._run, name=f"crowd-job-{ticket.index}", daemon=True
         )
         with self._cond:
             ticket.state = "running"
         ticket._thread.start()
+
+    # ------------------------------------------------------------------
+    # Coroutine tickets
+    # ------------------------------------------------------------------
+    def _start(self, ticket: JobTicket) -> None:
+        """Open a coroutine ticket's generator and run to its first park."""
+        assert ticket.platform is not None
+        try:
+            submitted = ticket.job.submit(
+                ticket.platform, ticket.rng, tracer=ticket.tracer
+            )
+            ticket._gen = submitted.steps()
+        except BaseException as exc:  # repro-lint: disable=ERR003 -- outcome capture; re-raised on the ticket
+            ticket._error = exc
+            ticket.state = "done"
+            return
+        self._advance(ticket, "next")
+
+    def _advance(self, ticket: JobTicket, action: str, payload: Any = None) -> None:
+        """Resume a coroutine ticket until it parks again or finishes.
+
+        The scheduler-side twin of :func:`~repro.core.steps.drive_steps`:
+        oracle calls backed by the ticket's own tenant platform are
+        *intercepted* — converted to a parked :class:`_CompareRequest`
+        for the next tick — while every other call (private simulated
+        models) is performed inline, with exceptions delivered into the
+        generator at its yield point exactly as the trampoline would.
+        """
+        gen = ticket._gen
+        assert gen is not None
+        try:
+            if action == "next":
+                step = next(gen)
+            elif action == "throw":
+                step = gen.throw(payload)
+            else:
+                step = gen.send(payload)
+            while True:
+                request = self._intercept(ticket, step)
+                if request is not None:
+                    ticket.request = request
+                    ticket.state = "blocked"
+                    return
+                try:
+                    result = step.perform()
+                except BaseException as exc:  # repro-lint: disable=ERR003 -- re-raised inside the generator at its yield point
+                    step = gen.throw(exc)
+                else:
+                    step = gen.send(result)
+        except StopIteration as stop:
+            ticket._result = stop.value
+            ticket.state = "done"
+        except BaseException as exc:  # repro-lint: disable=ERR003 -- outcome capture; re-raised on the ticket
+            ticket._error = exc
+            ticket.state = "done"
+
+    def _intercept(
+        self, ticket: JobTicket, step: OracleCall
+    ) -> _CompareRequest | None:
+        """A parked request for ``step`` when it targets this tenant's
+        platform, else ``None`` (the step is performed inline)."""
+        model = step.model
+        if not isinstance(model, PlatformWorkerModel):
+            return None
+        if model.platform is not ticket.platform:
+            return None
+        indices_i, indices_j = step.indices_i, step.indices_j
+        if indices_i is None or indices_j is None:
+            # Mirror PlatformWorkerModel.decide's placeholder synthesis.
+            indices_i = np.arange(len(step.values_i), dtype=np.intp)
+            indices_j = indices_i + len(step.values_i)
+        return _CompareRequest(
+            pool_name=model.pool_name,
+            indices_i=np.asarray(indices_i),
+            indices_j=np.asarray(indices_j),
+            values_i=np.asarray(step.values_i),
+            values_j=np.asarray(step.values_j),
+            judgments_per_task=model.judgments_per_task,
+            strict=model.strict,
+        )
 
     def _loop(self, outcomes: list[JobOutcome]) -> None:
         live = [t for t in self._tickets]
@@ -647,15 +802,51 @@ class CrowdScheduler:
                     admitted=len(admitted),
                     deferred=len(runnable) - len(admitted),
                 )
+            self._run_tick(admitted)
+
+    def _run_tick(self, admitted: list[JobTicket]) -> None:
+        """One tick's worth of service, in three timed phases.
+
+        *settle* — every admitted request is resolved: journal replays
+        and fast-path-ineligible requests serially, everything else
+        through the fused buffer (cache lookups, one fused platform
+        pass per flush, journal records framed into one group).
+        *scatter* — the tick's journal group is committed with a single
+        fsync, the deferred durable-cache writes flush behind it, and
+        every request is checked to carry an answer or an error.
+        *resume* — jobs are resumed in admission order: coroutine
+        tickets by sending/throwing into their generators, thread
+        tickets by the wake-and-await-park handshake.
+        """
+        journaling = self._journal is not None
+        with self.tracer.span(
+            "scheduler.tick.settle", tick=self.ticks, requests=len(admitted)
+        ):
+            if journaling:
+                assert self._journal is not None
+                self._journal.begin_group()
+            try:
+                self._settle_requests(admitted)
+            finally:
+                if journaling:
+                    assert self._journal is not None
+                    self._journal.commit_group()
+        with self.tracer.span("scheduler.tick.scatter", tick=self.ticks):
+            if isinstance(self.cache, DurableComparisonCache):
+                self.cache.flush_pending()
             for ticket in admitted:
-                request = ticket.request
+                request = ticket._inflight
                 assert request is not None
-                ticket.request = None
-                self._serve(ticket, request)
-                self._await_ticket_parked(ticket)
+                assert request.error is not None or request.answers is not None
+        with self.tracer.span("scheduler.tick.resume", tick=self.ticks):
+            self._resume(admitted)
 
     def _await_parked(self, live: list[JobTicket]) -> None:
         """Block until every live job thread is parked (blocked/done)."""
+        if all(t._thread is None for t in live):
+            # Coroutine tickets park synchronously on the scheduler's
+            # own thread; there is nothing to wait for.
+            return
         with self._cond:
             ok = self._cond.wait_for(
                 lambda: all(t.state in ("blocked", "done") for t in live),
@@ -729,12 +920,323 @@ class CrowdScheduler:
     # ------------------------------------------------------------------
     # Service
     # ------------------------------------------------------------------
-    def _serve(self, ticket: JobTicket, request: _CompareRequest) -> None:
-        """Resolve one request (journal / cache / platform); wake its job."""
-        queue = self._replay.get(ticket.index)
-        if queue:
-            self._replay_serve(ticket, request, queue.popleft())
+    def _settle_requests(self, admitted: list[JobTicket]) -> None:
+        """Resolve every admitted request, fusing where eligible.
+
+        Walks the admitted tickets in admission order.  Journal replays
+        and requests the platform fast path cannot take are served
+        alone — but only after the fused buffer is flushed, so the
+        relative order of platform effects matches serial service.
+        Fused-eligible requests are looked up in the cache and their
+        misses buffered; a request whose pairs overlap a buffered miss
+        forces a flush first, so its lookup sees exactly the store
+        state serial service would have produced.
+        """
+        pending: list[_FusedPending] = []
+        pending_keys: set[tuple[str, str, int, int, int]] = set()
+        for ticket in admitted:
+            request = ticket.request
+            assert request is not None
+            ticket.request = None
+            ticket._inflight = request
+            queue = self._replay.get(ticket.index)
+            if queue:
+                self._flush_fused(pending, pending_keys)
+                self._replay_serve(ticket, request, queue.popleft())
+                continue
+            assert ticket.platform is not None
+            if not (
+                self.fusion
+                and ticket.platform.fast_path_eligible(
+                    request.pool_name, request.judgments_per_task
+                )
+            ):
+                self._flush_fused(pending, pending_keys)
+                self._serve_serial(ticket, request)
+                continue
+            if pending_keys and self._overlaps_pending(pending_keys, ticket, request):
+                self._flush_fused(pending, pending_keys)
+            answers = np.zeros(request.size, dtype=bool)
+            if self.cache is not None:
+                hit_mask, cached = self.cache.lookup_batch(
+                    ticket.fingerprint,
+                    request.pool_name,
+                    request.judgments_per_task,
+                    request.indices_i,
+                    request.indices_j,
+                )
+                answers[hit_mask] = cached[hit_mask]
+            else:
+                hit_mask = np.zeros(request.size, dtype=bool)
+            miss = np.flatnonzero(~hit_mask)
+            hits = int(request.size - len(miss))
+            if self.tracer.enabled and hits:
+                self.tracer.event(
+                    "cache_hit",
+                    job_index=ticket.index,
+                    pool=request.pool_name,
+                    hits=hits,
+                    misses=len(miss),
+                )
+            if not len(miss):
+                report = BatchReport(
+                    answers=[bool(a) for a in answers],
+                    physical_steps=0,
+                    judgments_collected=0,
+                    judgments_discarded=0,
+                )
+                if self._journal is not None:
+                    self._journal_serve(
+                        ticket, request, miss, None, answers, report, [], hits
+                    )
+                request.answers = answers
+                request.report = report
+                continue
+            pending.append(_FusedPending(ticket, request, miss, answers, hits))
+            if self.cache is not None:
+                self._add_pending_keys(pending_keys, ticket, request, miss)
+        self._flush_fused(pending, pending_keys)
+
+    @staticmethod
+    def _add_pending_keys(
+        pending_keys: set[tuple[str, str, int, int, int]],
+        ticket: JobTicket,
+        request: _CompareRequest,
+        miss: np.ndarray,
+    ) -> None:
+        key_of = ComparisonMemoCache._key
+        for k in miss:
+            key, _ = key_of(
+                ticket.fingerprint,
+                request.pool_name,
+                request.judgments_per_task,
+                int(request.indices_i[k]),
+                int(request.indices_j[k]),
+            )
+            pending_keys.add(key)
+
+    @staticmethod
+    def _overlaps_pending(
+        pending_keys: set[tuple[str, str, int, int, int]],
+        ticket: JobTicket,
+        request: _CompareRequest,
+    ) -> bool:
+        """Whether any pair of ``request`` is a buffered (unstored) miss."""
+        key_of = ComparisonMemoCache._key
+        for i, j in zip(request.indices_i, request.indices_j):
+            key, _ = key_of(
+                ticket.fingerprint,
+                request.pool_name,
+                request.judgments_per_task,
+                int(i),
+                int(j),
+            )
+            if key in pending_keys:
+                return True
+        return False
+
+    def _flush_fused(
+        self,
+        pending: list[_FusedPending],
+        pending_keys: set[tuple[str, str, int, int, int]],
+    ) -> None:
+        """Settle the buffered requests in one fused platform pass.
+
+        Three sub-phases, all order-deterministic:
+
+        1. *prepare* — each tenant platform reserves its own Philox
+           judgment slice (``fast_batch_prepare``), in admission order,
+           exactly as a serial serve would have;
+        2. *decide* — judgments are concatenated across tenants per
+           (pool, worker model) and resolved with **one** vectorized
+           ``decide_from_uniforms`` call per group.  Each judgment
+           carries its own pre-drawn uniforms, so grouping cannot
+           change any answer — this is where the fusion speedup lives;
+        3. *finalize* — charges, counters, journal records, and cache
+           stores land per tenant in admission order, so ledger float
+           accumulation and journal layout are bit-identical to
+           one-at-a-time service.  A tenant whose finalize raises (a
+           budget cap) keeps the error to itself; later tenants still
+           settle, exactly as they would have serially.
+        """
+        if not pending:
             return
+        pools: list[WorkerPool] = []
+        plans: list[FastBatchPlan] = []
+        for p in pending:
+            platform = p.ticket.platform
+            assert platform is not None
+            pool = platform.pools[p.request.pool_name]
+            required = np.full(
+                len(p.miss), p.request.judgments_per_task, dtype=np.intp
+            )
+            plans.append(
+                platform.fast_batch_prepare(
+                    pool,
+                    p.request.indices_i[p.miss],
+                    p.request.indices_j[p.miss],
+                    p.request.values_i[p.miss],
+                    p.request.values_j[p.miss],
+                    required,
+                )
+            )
+            pools.append(pool)
+        raws = self._fused_decide(pools, plans)
+        journaling = self._journal is not None
+        for k, p in enumerate(pending):
+            ticket, request = p.ticket, p.request
+            assert ticket.platform is not None
+            ledger = ticket.platform.ledger
+            tape: list[tuple[str, int, float]] = []
+            if journaling and isinstance(ledger, _ChainedLedger):
+                ledger.tape = tape
+            try:
+                fresh, report = ticket.platform.fast_batch_finalize(
+                    pools[k], plans[k], raws[k]
+                )
+            except BaseException as exc:  # repro-lint: disable=ERR003 -- tunnelled to (and re-raised in) the job at its yield point
+                # Not journaled: a failed settle settles nothing.  On
+                # resume the re-run reaches this batch live (with the
+                # restored state) and fails identically.
+                request.error = exc
+                continue
+            finally:
+                if journaling and isinstance(ledger, _ChainedLedger):
+                    ledger.tape = None
+            p.answers[p.miss] = fresh
+            request.answers = p.answers
+            request.report = report
+            if journaling:
+                self._journal_serve(
+                    ticket, request, p.miss, fresh, p.answers, report, tape, p.hits
+                )
+            if self.cache is not None:
+                self.cache.store_batch(
+                    ticket.fingerprint,
+                    request.pool_name,
+                    request.judgments_per_task,
+                    request.indices_i[p.miss],
+                    request.indices_j[p.miss],
+                    fresh,
+                )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "batch_fused",
+                requests=len(pending),
+                tasks=int(sum(len(p.miss) for p in pending)),
+                judgments=int(sum(plan.n_judgments for plan in plans)),
+                pools=sorted({p.request.pool_name for p in pending}),
+                jobs=[p.ticket.index for p in pending],
+            )
+        pending.clear()
+        pending_keys.clear()
+
+    @staticmethod
+    def _fused_decide(
+        pools: list[WorkerPool], plans: list[FastBatchPlan]
+    ) -> list[np.ndarray]:
+        """Raw model answers for many tenants' plans, fused per model.
+
+        Pools are shared objects across tenant views, so grouping by
+        ``(pool identity, model group)`` concatenates every tenant's
+        judgments for the same worker model into one decide call.
+        ``decide_from_uniforms`` is element-wise (each judgment reads
+        only its own row), so the fused answers are bit-identical to
+        per-plan decides.
+        """
+        raws = [np.empty(plan.n_judgments, dtype=bool) for plan in plans]
+        group_models: dict[int, tuple[list[Any], np.ndarray]] = {}
+        members: dict[tuple[int, int], list[tuple[int, Any, int]]] = {}
+        for k, plan in enumerate(plans):
+            pool = pools[k]
+            cached = group_models.get(id(pool))
+            if cached is None:
+                cached = fast_model_groups(pool)
+                group_models[id(pool)] = cached
+            models, group_of_worker = cached
+            if len(models) == 1:
+                members.setdefault((id(pool), 0), []).append(
+                    (k, slice(None), plan.n_judgments)
+                )
+                continue
+            judgment_group = group_of_worker[plan.worker_pos]
+            for gid in range(len(models)):
+                rows = np.flatnonzero(judgment_group == gid)
+                if len(rows):
+                    members.setdefault((id(pool), gid), []).append(
+                        (k, rows, len(rows))
+                    )
+        for (pool_key, gid), entries in members.items():
+            model = group_models[pool_key][0][gid]
+            if len(entries) == 1:
+                k, sel, _count = entries[0]
+                plan = plans[k]
+                raws[k][sel] = model.decide_from_uniforms(
+                    plan.shown_vi[sel],
+                    plan.shown_vj[sel],
+                    plan.uniforms[sel, 1:3],
+                    indices_i=plan.shown_ii[sel],
+                    indices_j=plan.shown_jj[sel],
+                )
+                continue
+            raw = np.asarray(
+                model.decide_from_uniforms(
+                    np.concatenate([plans[k].shown_vi[sel] for k, sel, _ in entries]),
+                    np.concatenate([plans[k].shown_vj[sel] for k, sel, _ in entries]),
+                    np.concatenate(
+                        [plans[k].uniforms[sel, 1:3] for k, sel, _ in entries]
+                    ),
+                    indices_i=np.concatenate(
+                        [plans[k].shown_ii[sel] for k, sel, _ in entries]
+                    ),
+                    indices_j=np.concatenate(
+                        [plans[k].shown_jj[sel] for k, sel, _ in entries]
+                    ),
+                ),
+                dtype=bool,
+            )
+            offset = 0
+            for k, sel, count in entries:
+                raws[k][sel] = raw[offset : offset + count]
+                offset += count
+        return raws
+
+    def _resume(self, admitted: list[JobTicket]) -> None:
+        """Deliver every settled request back to its job, in admission
+        order: coroutine tickets are advanced inline (send / throw at
+        the generator's yield point), thread tickets keep the strict
+        wake-then-await-park handshake so shared-state mutations stay
+        serial."""
+        for ticket in admitted:
+            request = ticket._inflight
+            assert request is not None
+            ticket._inflight = None
+            if ticket._gen is None:
+                self._wake(ticket, request)
+                self._await_ticket_parked(ticket)
+                continue
+            ticket.state = "running"
+            if request.error is not None:
+                self._advance(ticket, "throw", request.error)
+            elif (
+                request.strict
+                and request.report is not None
+                and request.report.degraded
+            ):
+                # Where PlatformWorkerModel.decide would have raised.
+                self._advance(ticket, "throw", DegradedBatchError(request.report))
+            else:
+                self._advance(ticket, "send", request.answers)
+
+    def _serve_serial(self, ticket: JobTicket, request: _CompareRequest) -> None:
+        """Resolve one request alone (journal / cache / platform).
+
+        The ``fusion=off`` escape hatch and the catch-all for requests
+        the fast path cannot settle (gold probes armed, active fault
+        plans, capped private ledgers, fallback pools): the full
+        ``compare_batch`` machinery runs with the job's own RNG stream,
+        ledger, and fault plan, exactly as before fusion existed.
+        """
         answers = np.zeros(request.size, dtype=bool)
         report: BatchReport | None = None
         if self.cache is not None:
@@ -766,7 +1268,7 @@ class CrowdScheduler:
             if self._journal is not None and isinstance(ledger, _ChainedLedger):
                 ledger.tape = tape
             try:
-                fresh, report = CrowdPlatform.compare_batch(
+                fresh, report = CrowdPlatform.compare_batch(  # repro-lint: disable=SCH001 -- the sanctioned fusion=off escape hatch
                     ticket.platform,
                     request.pool_name,
                     request.indices_i[miss],
@@ -775,12 +1277,11 @@ class CrowdScheduler:
                     request.values_j[miss],
                     judgments_per_task=request.judgments_per_task,
                 )
-            except BaseException as exc:  # repro-lint: disable=ERR003 -- tunnelled to (and re-raised on) the job thread
+            except BaseException as exc:  # repro-lint: disable=ERR003 -- tunnelled to (and re-raised in) the job
                 # Not journaled: a failed serve settles nothing.  On
                 # resume the re-run reaches this serve live (with the
                 # restored RNG/ledger state) and fails identically.
                 request.error = exc
-                self._wake(ticket, request)
                 return
             finally:
                 if self._journal is not None and isinstance(ledger, _ChainedLedger):
@@ -814,7 +1315,6 @@ class CrowdScheduler:
             )
         request.answers = answers
         request.report = report
-        self._wake(ticket, request)
 
     def _journal_serve(
         self,
@@ -932,12 +1432,52 @@ class CrowdScheduler:
         self.tracer.count("durability.resume_replays")
         request.answers = answers
         request.report = report
-        self._wake(ticket, request)
 
     def _wake(self, ticket: JobTicket, request: _CompareRequest) -> None:
         with self._cond:
             ticket.state = "running"
         request.done.set()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    #: How long the shutdown reaper waits for a woken job thread to
+    #: exit before declaring it leaked.  A class attribute so tests can
+    #: shrink the grace period.
+    _REAP_TIMEOUT_S = 1.0
+
+    def _reap_threads(self) -> None:
+        """Join surviving job threads on the way out of :meth:`run`.
+
+        On a clean run every thread has already exited; this only has
+        work when the loop was torn down mid-flight (a journal
+        mismatch, a stalled peer, an interrupt) with thread tickets
+        still parked on unserved requests.  Each one is failed with a
+        typed error and woken so it can unwind; anything still alive
+        after the grace period is surfaced as one
+        :class:`~repro.scheduler.errors.SchedulerThreadLeakWarning`
+        rather than silently leaking a daemon thread.
+        """
+        stragglers: list[JobTicket] = []
+        for ticket in self._tickets:
+            thread = ticket._thread
+            if thread is None or not thread.is_alive():
+                continue
+            request = ticket.request if ticket.request is not None else ticket._inflight
+            if request is not None and not request.done.is_set():
+                if request.error is None and request.answers is None:
+                    request.error = RuntimeError(
+                        f"scheduler shut down before serving job {ticket.index}"
+                    )
+                request.done.set()
+            thread.join(self._REAP_TIMEOUT_S)
+            if thread.is_alive():
+                stragglers.append(ticket)
+        if stragglers:
+            warnings.warn(
+                SchedulerThreadLeakWarning([t.index for t in stragglers]),
+                stacklevel=3,
+            )
 
     # ------------------------------------------------------------------
     # Settling / telemetry merge

@@ -53,11 +53,12 @@ from .core.bounds import (
     survivor_upper_bound,
     two_maxfind_comparisons_upper_bound,
 )
-from .core.filter_phase import filter_candidates
+from .core.filter_phase import filter_candidates_steps
 from .core.instance import ProblemInstance
 from .core.oracle import ComparisonOracle
-from .core.tournament import play_all_play_all
-from .core.two_maxfind import two_maxfind
+from .core.steps import Steps, drive_steps
+from .core.tournament import play_all_play_all_steps
+from .core.two_maxfind import two_maxfind_steps
 from .platform.errors import CostCapError, DegradedBatchError
 from .platform.oracle_adapter import PlatformWorkerModel
 from .platform.platform import CrowdPlatform
@@ -397,6 +398,20 @@ class CrowdMaxJob:
         hard-cap breach (carrying the partial result), and re-binds
         nothing — each settle consumes its binding.
         """
+        return drive_steps(self.steps())
+
+    def steps(self) -> Steps[CrowdJobResult]:
+        """Step-generator form of :meth:`settle`.
+
+        Runs the same pipeline, but every worker-model batch surfaces
+        as a yielded :class:`~repro.core.steps.OracleCall` instead of a
+        blocking platform call.  The multi-job scheduler drives this
+        generator directly — one coroutine ticket per job, no thread —
+        parking it whenever a call targets the job's platform and
+        settling the batch through its cross-job fusion queue.
+        ``drive_steps(job.steps())`` is bit-identical to the classic
+        blocking :meth:`settle`.
+        """
         if self._binding is None:
             raise RuntimeError("settle() requires a prior submit(platform, rng)")
         platform, rng, tracer = self._binding
@@ -413,10 +428,11 @@ class CrowdMaxJob:
         survivors = np.asarray([], dtype=np.intp)
         try:
             with tracer.span(self._span_name, **self._span_fields()):
-                survivors = filter_candidates(
+                filter_result = yield from filter_candidates_steps(
                     naive_oracle, u_n=self._filter_u(), tracer=tracer
-                ).survivors
-                answer = self._phase2(
+                )
+                survivors = filter_result.survivors
+                answer = yield from self._phase2_steps(
                     platform, expert_oracle, survivors, rng, tracer=tracer
                 )
         except CostCapError as exc:
@@ -457,43 +473,52 @@ class CrowdMaxJob:
         """Whether phase 2 should surface degraded batches as errors."""
         return self.resilience is not None
 
-    def _phase2(
+    def _phase2_steps(
         self,
         platform: CrowdPlatform,
         expert_oracle: ComparisonOracle,
         survivors: np.ndarray,
         rng: np.random.Generator,
         tracer: Tracer | None = None,
-    ) -> list[int]:
+    ) -> Steps[list[int]]:
         if len(survivors) == 1:
             return [int(survivors[0])]
         if self.resilience is None:
-            return self._phase2_algorithm(expert_oracle, survivors, tracer)
+            return (
+                yield from self._phase2_algorithm_steps(
+                    expert_oracle, survivors, tracer
+                )
+            )
         pool2 = platform.pools[self.phase2.pool]
         healthy = len(pool2.active_members) >= self.phase2.judgments_per_comparison
         if healthy:
             try:
-                return self._phase2_algorithm(expert_oracle, survivors, tracer)
+                return (
+                    yield from self._phase2_algorithm_steps(
+                        expert_oracle, survivors, tracer
+                    )
+                )
             except DegradedBatchError:
                 pass  # expert pool collapsed mid-phase; degrade below
-        return self._phase2_fallback(platform, survivors, rng, tracer)
+        return (yield from self._phase2_fallback_steps(platform, survivors, rng, tracer))
 
-    def _phase2_algorithm(
+    def _phase2_algorithm_steps(
         self,
         expert_oracle: ComparisonOracle,
         survivors: np.ndarray,
         tracer: Tracer | None,
-    ) -> list[int]:
+    ) -> Steps[list[int]]:
         """The phase-2 algorithm proper, on an already-built oracle."""
-        return [two_maxfind(expert_oracle, survivors, tracer=tracer).winner]
+        result = yield from two_maxfind_steps(expert_oracle, survivors, tracer=tracer)
+        return [result.winner]
 
-    def _phase2_fallback(
+    def _phase2_fallback_steps(
         self,
         platform: CrowdPlatform,
         survivors: np.ndarray,
         rng: np.random.Generator,
         tracer: Tracer | None,
-    ) -> list[int]:
+    ) -> Steps[list[int]]:
         """Finish phase 2 on the naive pool with amplified redundancy."""
         assert self.resilience is not None
         self._degraded_reason = "expert_pool_exhausted"
@@ -522,7 +547,9 @@ class CrowdMaxJob:
             label=self.phase1.pool,
             tracer=tracer,
         )
-        answer = self._phase2_algorithm(fallback_oracle, survivors, tracer)
+        answer = yield from self._phase2_algorithm_steps(
+            fallback_oracle, survivors, tracer
+        )
         self._fallback_comparisons = fallback_oracle.comparisons
         return answer
 
@@ -617,12 +644,12 @@ class CrowdTopKJob(CrowdMaxJob):
     def _span_fields(self) -> dict[str, object]:
         return {"u_n": self.u_n, "k": self.k}
 
-    def _phase2_algorithm(
+    def _phase2_algorithm_steps(
         self,
         expert_oracle: ComparisonOracle,
         survivors: np.ndarray,
         tracer: Tracer | None,
-    ) -> list[int]:
-        tournament = play_all_play_all(expert_oracle, survivors)
+    ) -> Steps[list[int]]:
+        tournament = yield from play_all_play_all_steps(expert_oracle, survivors)
         order = np.argsort(-tournament.wins, kind="stable")
         return [int(e) for e in tournament.elements[order][: self.k]]

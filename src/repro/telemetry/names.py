@@ -55,6 +55,7 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "scheduler_tick",
         "job_admitted",
         "batch_coalesced",
+        "batch_fused",
         "cache_hit",
         "job_settled",
         # durability (persistent cache + job journal)
@@ -82,6 +83,9 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "job.topk",
         "parallel_run",
         "scheduler.run",
+        "scheduler.tick.settle",
+        "scheduler.tick.scatter",
+        "scheduler.tick.resume",
     }
 )
 

@@ -590,6 +590,56 @@ class TestDUR001BareWrite:
         )
 
 
+class TestSCH001DirectPlatformBatch:
+    SCHED_PATH = "src/repro/scheduler/engine.py"
+
+    def test_compare_batch_flagged_in_scheduler(self):
+        assert rule_ids(
+            "answers, report = platform.compare_batch(pool, vi, vj)\n",
+            path=self.SCHED_PATH,
+        ) == ["SCH001"]
+
+    def test_submit_batch_flagged_in_scheduler(self):
+        assert rule_ids(
+            "pool.submit_batch(tasks)\n", path=self.SCHED_PATH
+        ) == ["SCH001"]
+
+    def test_fast_batch_primitives_allowed(self):
+        assert rule_ids(
+            """\
+            plan = platform.fast_batch_prepare(pool, ii, jj, vi, vj, req)
+            raw = platform.fast_batch_decide(pool, plan)
+            fresh, report = platform.fast_batch_finalize(pool, plan, raw)
+            """,
+            path=self.SCHED_PATH,
+        ) == []
+
+    def test_outside_scheduler_allowed(self):
+        assert rule_ids(
+            "answers, report = platform.compare_batch(pool, vi, vj)\n",
+            path="src/repro/service.py",
+        ) == []
+
+    def test_not_applied_in_tests(self):
+        assert rule_ids(
+            "platform.compare_batch(pool, vi, vj)\n",
+            context="tests",
+            path="tests/repro/scheduler/test_engine.py",
+        ) == []
+
+    def test_suppressed_escape_hatch(self):
+        assert (
+            lint(
+                "fresh, report = CrowdPlatform.compare_batch("
+                "  # repro-lint: disable=SCH001 -- fusion=off escape hatch\n"
+                "    self, pool_name, vi, vj\n"
+                ")\n",
+                path=self.SCHED_PATH,
+            )
+            == []
+        )
+
+
 class TestRulePackShape:
     def test_all_expected_rules_registered(self):
         ids = {cls.rule_id for cls in default_rules()}
@@ -610,6 +660,7 @@ class TestRulePackShape:
             "ERR002",
             "ERR003",
             "VEC001",
+            "SCH001",
         }
 
     def test_every_rule_documents_itself(self):
