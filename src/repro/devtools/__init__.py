@@ -1,18 +1,34 @@
 """Developer tooling for the reproduction: project-invariant checks.
 
-The only subsystem today is :mod:`repro.devtools.lint` — the
-``repro-lint`` static-analysis pass that proves the project's
-reproducibility, fork-safety, and telemetry invariants hold without
-running anything.  See ``docs/STATIC_ANALYSIS.md``.
+Two static-analysis stages (see ``docs/STATIC_ANALYSIS.md``):
+
+* :mod:`repro.devtools.lint` — ``repro-lint``, per-file AST rules for
+  reproducibility, fork-safety, and telemetry invariants.
+* :mod:`repro.devtools.analyze` — ``repro-analyze``, whole-program
+  symbol-table/call-graph analysis running the ``FLOW0xx`` pack
+  (RNG lineage, telemetry closure, journal-before-store ordering,
+  API-surface integrity).
+
+:mod:`repro.devtools.budget` is the suppression-debt ratchet both
+CLIs expose as ``--budget``.
 """
 
+from .analyze import AnalysisEngine, AnalysisResult, FlowRule, run_analysis
+from .budget import check_budget, count_suppressions, load_budget
 from .lint import LintEngine, LintReport, Rule, Violation, default_rules, run_lint
 
 __all__ = [
+    "AnalysisEngine",
+    "AnalysisResult",
+    "FlowRule",
     "LintEngine",
     "LintReport",
     "Rule",
     "Violation",
+    "check_budget",
+    "count_suppressions",
     "default_rules",
+    "load_budget",
+    "run_analysis",
     "run_lint",
 ]

@@ -1,0 +1,51 @@
+"""``repro-analyze``: whole-program dataflow and call-graph analysis.
+
+Stage two of the static-analysis pipeline (stage one is
+:mod:`repro.devtools.lint`).  Public surface:
+
+* :func:`run_analysis` — analyze paths programmatically, returning an
+  :class:`~repro.devtools.analyze.engine.AnalysisResult` (report +
+  project model + call graph + suppression ledger).
+* :class:`AnalysisEngine`, :class:`FlowRule`, :func:`register_flow_rule`
+  — the framework, for adding project-wide rules.
+* :class:`Project` / :func:`build_call_graph` — the program model, for
+  tooling and tests.
+* :func:`build_graph_payload` — the ``results/ANALYSIS_graph.json``
+  payload.
+
+See ``docs/STATIC_ANALYSIS.md`` for the FLOW rule catalogue and the
+two-stage architecture.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph, build_call_graph
+from .engine import (
+    ANALYSIS_GRAPH_SCHEMA,
+    AnalysisEngine,
+    AnalysisResult,
+    build_graph_payload,
+    run_analysis,
+)
+from .framework import FLOW_REGISTRY, FlowRule, default_flow_rules, register_flow_rule
+from .project import ModuleInfo, Project, module_name_for_path
+
+# Rule modules self-register on import; this import is the registration.
+from . import rules as _rules  # noqa: F401  (imported for side effect)
+
+__all__ = [
+    "ANALYSIS_GRAPH_SCHEMA",
+    "AnalysisEngine",
+    "AnalysisResult",
+    "CallGraph",
+    "FLOW_REGISTRY",
+    "FlowRule",
+    "ModuleInfo",
+    "Project",
+    "build_call_graph",
+    "build_graph_payload",
+    "default_flow_rules",
+    "module_name_for_path",
+    "register_flow_rule",
+    "run_analysis",
+]

@@ -1,0 +1,210 @@
+"""Call-graph construction for ``repro-analyze``.
+
+A conservative, name-resolution call graph over a :class:`Project`:
+
+* **Nodes** are fully-qualified functions and methods
+  (``repro.core.maxfinder.find_max``, ``repro.scheduler.engine.JobTicket.run``).
+* **Edges** are resolved where static resolution is honest: direct
+  calls to local or imported functions (re-export chains are chased
+  through the project's symbol table), ``self.method(...)`` calls
+  (including single-inheritance base-chain lookup), and
+  ``module.func(...)`` calls through module imports.
+* Everything else — attribute calls on arbitrary objects — lands in
+  ``unresolved`` as a bare method name.  Rules treat unresolved calls
+  conservatively: reachability does not follow them, and dead-code
+  reporting treats any referenced name as live.
+
+The dead-code *report* (part of ``results/ANALYSIS_graph.json``) is
+informational, not a FLOW violation: Python's dynamism makes "never
+referenced" a review queue, not a proof.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .project import ModuleInfo, Project
+
+__all__ = ["CallGraph", "build_call_graph"]
+
+#: How many base classes a ``self.method`` lookup will climb.
+_BASE_CHAIN_DEPTH = 8
+
+
+@dataclass
+class CallGraph:
+    """Resolved edges plus everything needed for conservative queries."""
+
+    #: Caller fq-name -> resolved callee fq-names.
+    edges: dict[str, set[str]] = field(default_factory=dict)
+    #: Caller fq-name -> bare names of calls that could not be resolved.
+    unresolved: dict[str, set[str]] = field(default_factory=dict)
+    #: Every known function/method: fq-name -> (display_path, line).
+    functions: dict[str, tuple[str, int]] = field(default_factory=dict)
+    #: Fq-name -> module that defines it.
+    module_of: dict[str, str] = field(default_factory=dict)
+    #: Every identifier referenced anywhere (names, attributes, exports,
+    #: import symbols, string literals) — the "live" set for dead-code.
+    referenced_names: set[str] = field(default_factory=set)
+
+    def add_edge(self, caller: str, callee: str) -> None:
+        self.edges.setdefault(caller, set()).add(callee)
+
+    def add_unresolved(self, caller: str, name: str) -> None:
+        self.unresolved.setdefault(caller, set()).add(name)
+
+    def reaches(self, start: str, predicate: Callable[[str], bool]) -> bool:
+        """Whether any node satisfying ``predicate`` is reachable from ``start``."""
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            if predicate(node):
+                return True
+            stack.extend(sorted(self.edges.get(node, ())))
+        return False
+
+    def edge_list(self) -> list[tuple[str, str]]:
+        """All edges as a sorted, stable list (for the JSON artifact)."""
+        return sorted(
+            (caller, callee)
+            for caller, callees in self.edges.items()
+            for callee in callees
+        )
+
+    def dead_functions(self) -> list[str]:
+        """Defined functions/methods whose name is never referenced.
+
+        Conservative: a name appearing *anywhere* in the project — as a
+        call, attribute access, export, import, or string literal (the
+        ``getattr`` escape hatch) — counts as live.  Dunder methods and
+        CLI entry points are exempt.
+        """
+        dead = []
+        for fq in sorted(self.functions):
+            name = fq.rsplit(".", 1)[1]
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if name == "main":
+                continue
+            if name.startswith("visit_"):  # ast.NodeVisitor dynamic dispatch
+                continue
+            if name not in self.referenced_names:
+                dead.append(fq)
+        return dead
+
+
+def _enclosing_class(qualname: str) -> str | None:
+    return qualname.split(".", 1)[0] if "." in qualname else None
+
+
+def _resolve_base_chain(
+    project: Project, module: ModuleInfo, class_name: str, depth: int = 0
+) -> list[tuple[ModuleInfo, str]]:
+    """The class plus its resolvable base classes, nearest first."""
+    chain = [(module, class_name)]
+    if depth >= _BASE_CHAIN_DEPTH:
+        return chain
+    for base in module.class_bases.get(class_name, []):
+        head = base.split(".")[0]
+        resolved = project.resolve(module.name, head)
+        if resolved is None:
+            continue
+        base_module_name, _, base_class = resolved.rpartition(".")
+        if "." in base:  # e.g. ``framework.Rule`` — the attr is the class
+            base_class = base.rsplit(".", 1)[1]
+            base_module_name = resolved
+        base_module = project.modules.get(base_module_name)
+        if base_module is not None and base_class in base_module.classes:
+            chain.extend(
+                _resolve_base_chain(project, base_module, base_class, depth + 1)
+            )
+    return chain
+
+
+def _resolve_self_call(
+    project: Project, module: ModuleInfo, class_name: str, method: str
+) -> str | None:
+    """Where ``self.method(...)`` lands, following the base chain."""
+    for owner_module, owner_class in _resolve_base_chain(project, module, class_name):
+        if f"{owner_class}.{method}" in owner_module.functions:
+            return f"{owner_module.name}.{owner_class}.{method}"
+    return None
+
+
+def _resolve_call(
+    project: Project, module: ModuleInfo, caller_class: str | None, call: ast.Call
+) -> tuple[str | None, str | None]:
+    """``(resolved_fq, unresolved_name)`` for one call expression."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+        if name in module.functions:
+            return f"{module.name}.{name}", None
+        resolved = project.resolve(module.name, name)
+        if resolved is not None:
+            return resolved, None
+        return None, name
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        receiver = func.value
+        if isinstance(receiver, ast.Name):
+            if receiver.id == "self" and caller_class is not None:
+                landed = _resolve_self_call(project, module, caller_class, attr)
+                if landed is not None:
+                    return landed, None
+                return None, attr
+            binding = module.imports.get(receiver.id)
+            if binding is not None and binding.target in project.modules:
+                resolved = project.resolve(binding.target, attr)
+                if resolved is not None:
+                    return resolved, None
+            if binding is not None:
+                # External module (numpy, json, ...): keep the dotted form
+                # so prefix predicates still see it, but it is a leaf.
+                return f"{binding.target}.{attr}", None
+        return None, attr
+    return None, None
+
+
+def _collect_references(graph: CallGraph, project: Project) -> None:
+    for module in project:
+        for node in ast.walk(module.source.tree):
+            if isinstance(node, ast.Name):
+                graph.referenced_names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                graph.referenced_names.add(node.attr)
+            elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+                graph.referenced_names.add(node.value)
+        for name, _ in module.exports or []:
+            graph.referenced_names.add(name)
+        for binding in module.imports.values():
+            graph.referenced_names.add(binding.alias)
+            if binding.symbol is not None:
+                graph.referenced_names.add(binding.symbol)
+
+
+def build_call_graph(project: Project) -> CallGraph:
+    """Resolve every call site in ``project`` into a :class:`CallGraph`."""
+    graph = CallGraph()
+    for module in project:
+        for qualname, node in sorted(module.functions.items()):
+            fq = f"{module.name}.{qualname}"
+            graph.functions[fq] = (module.source.display_path, node.lineno)
+            graph.module_of[fq] = module.name
+            caller_class = _enclosing_class(qualname)
+            for call in ast.walk(node):
+                if not isinstance(call, ast.Call):
+                    continue
+                resolved, unresolved = _resolve_call(project, module, caller_class, call)
+                if resolved is not None:
+                    graph.add_edge(fq, resolved)
+                elif unresolved is not None:
+                    graph.add_unresolved(fq, unresolved)
+    _collect_references(graph, project)
+    return graph

@@ -1,0 +1,186 @@
+"""The ``repro-analyze`` engine: parse, model, run FLOW rules, report.
+
+Mirrors :class:`repro.devtools.lint.framework.LintEngine` one level up:
+instead of running per-file rules over each source, it parses every
+``src``-context file, builds the :class:`Project` symbol table and
+:class:`CallGraph`, runs the project-wide FLOW pack, then applies the
+*same* same-line suppression mechanism and audits unused FLOW
+suppressions with the lint stage's ``LINT001`` meta-diagnostic.
+(``LINT002``/``LINT003`` stay with ``repro-lint``, which audits every
+suppression comment regardless of stage.)
+
+Files outside the ``src`` context are skipped entirely: the FLOW rules
+model library invariants, and test/example fixtures would only add
+noise to the call graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..lint.framework import META_UNUSED, Context, LintReport, SourceFile, Violation
+from .callgraph import CallGraph, build_call_graph
+from .framework import FlowRule, default_flow_rules
+from .project import Project
+
+__all__ = [
+    "ANALYSIS_GRAPH_SCHEMA",
+    "AnalysisEngine",
+    "AnalysisResult",
+    "build_graph_payload",
+    "run_analysis",
+]
+
+#: Schema tag of the ``results/ANALYSIS_graph.json`` artifact.
+ANALYSIS_GRAPH_SCHEMA = "repro.analysis_graph/v1"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analysis run produced."""
+
+    report: LintReport
+    project: Project
+    graph: CallGraph
+    #: Per-rule ``# repro-lint: disable`` counts over the analyzed files
+    #: (every stage's IDs — the suppression-debt ledger).
+    suppression_counts: dict[str, int] = field(default_factory=dict)
+
+
+class AnalysisEngine:
+    """Runs the FLOW pack over a project and applies suppressions."""
+
+    def __init__(self, rules: Sequence[type[FlowRule]] | None = None):
+        self.rules: list[type[FlowRule]] = (
+            list(rules) if rules is not None else default_flow_rules()
+        )
+
+    def analyze_project(
+        self,
+        project: Project,
+        graph: CallGraph | None = None,
+        parse_errors: Sequence[tuple[str, str]] = (),
+        files_scanned: int | None = None,
+    ) -> AnalysisResult:
+        """Run the rule pack over an already-built project."""
+        if graph is None:
+            graph = build_call_graph(project)
+
+        raw: list[Violation] = []
+        for rule_cls in self.rules:
+            raw.extend(rule_cls(project, graph).check())
+
+        sources = project.by_display_path()
+        kept: list[Violation] = []
+        for violation in raw:
+            source = sources.get(violation.path)
+            suppression = (
+                source.suppressions.get(violation.line) if source is not None else None
+            )
+            if suppression is not None and suppression.covers(violation.rule_id):
+                suppression.used.add(violation.rule_id)
+            else:
+                kept.append(violation)
+
+        kept.extend(self._meta_diagnostics(sources.values()))
+        counts: dict[str, int] = {}
+        for source in sources.values():
+            for suppression in source.suppressions.values():
+                for rule_id in suppression.rule_ids:
+                    counts[rule_id] = counts.get(rule_id, 0) + 1
+
+        report = LintReport(
+            violations=sorted(kept),
+            files_scanned=files_scanned if files_scanned is not None else len(sources),
+            parse_errors=list(parse_errors),
+        )
+        return AnalysisResult(
+            report=report,
+            project=project,
+            graph=graph,
+            suppression_counts=dict(sorted(counts.items())),
+        )
+
+    def _meta_diagnostics(self, sources: Iterable[SourceFile]) -> list[Violation]:
+        """``LINT001`` for active FLOW rules suppressed but never fired."""
+        active_ids = {rule_cls.rule_id for rule_cls in self.rules}
+        meta: list[Violation] = []
+        for source in sources:
+            for suppression in source.suppressions.values():
+                for rule_id in suppression.rule_ids:
+                    if rule_id in active_ids and rule_id not in suppression.used:
+                        meta.append(
+                            Violation(
+                                path=source.display_path,
+                                line=suppression.line,
+                                col=0,
+                                rule_id=META_UNUSED,
+                                message=f"unused suppression: {rule_id} did not"
+                                " fire on this line; delete it",
+                            )
+                        )
+        return meta
+
+    def analyze_files(self, files: Iterable[tuple[Path, Context]]) -> AnalysisResult:
+        """Parse ``src``-context files and analyze them as one project."""
+        parsed: list[tuple[Path, SourceFile]] = []
+        parse_errors: list[tuple[str, str]] = []
+        scanned = 0
+        for path, context in files:
+            if context != "src":
+                continue
+            scanned += 1
+            try:
+                source = SourceFile.parse(path, context)
+            except (SyntaxError, UnicodeDecodeError, OSError, ValueError) as exc:
+                parse_errors.append((str(path), f"{type(exc).__name__}: {exc}"))
+                continue
+            parsed.append((path, source))
+        project = Project.from_files(parsed)
+        return self.analyze_project(
+            project, parse_errors=parse_errors, files_scanned=scanned
+        )
+
+
+def run_analysis(
+    paths: Iterable[str | Path], rules: Sequence[type[FlowRule]] | None = None
+) -> AnalysisResult:
+    """Analyze ``paths`` with the default (or given) FLOW pack."""
+    from ..lint.walker import discover
+
+    return AnalysisEngine(rules=rules).analyze_files(discover(paths))
+
+
+def build_graph_payload(result: AnalysisResult) -> dict:
+    """The ``results/ANALYSIS_graph.json`` payload (stable ordering)."""
+    report = result.report
+    return {
+        "schema": ANALYSIS_GRAPH_SCHEMA,
+        "ok": report.ok,
+        "files_scanned": report.files_scanned,
+        "modules": sorted(result.project.modules),
+        "symbols": len(result.graph.functions),
+        "call_graph": {
+            "edges": [list(edge) for edge in result.graph.edge_list()],
+            "unresolved_call_names": sorted(
+                {name for names in result.graph.unresolved.values() for name in names}
+            ),
+        },
+        "dead_code": result.graph.dead_functions(),
+        "findings": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "col": v.col,
+                "rule": v.rule_id,
+                "message": v.message,
+            }
+            for v in report.violations
+        ],
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in report.parse_errors
+        ],
+        "suppressions": result.suppression_counts,
+    }

@@ -1,0 +1,99 @@
+"""Core of the ``repro-analyze`` whole-program analysis stage.
+
+This is the second stage of the project's static-analysis pipeline
+(``docs/STATIC_ANALYSIS.md``).  Stage one, ``repro-lint``, checks one
+file at a time; this stage parses every ``src``-context module into a
+:class:`~repro.devtools.analyze.project.Project`, builds a
+:class:`~repro.devtools.analyze.callgraph.CallGraph`, and runs the
+``FLOW0xx`` rule pack — interprocedural checks a per-file AST visitor
+cannot express.
+
+A :class:`FlowRule` reuses the lint stage's building blocks: findings
+are :class:`~repro.devtools.lint.framework.Violation` objects, silenced
+by the same same-line ``# repro-lint: disable=FLOW00x -- why`` comments
+(one suppression grammar, one audit trail).  Rules registered here are
+announced to the lint stage through ``EXTERNAL_KNOWN_IDS`` so a FLOW
+suppression in library code does not trip ``LINT003`` (unknown rule)
+under plain ``repro-lint``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar
+
+from ..lint.framework import EXTERNAL_KNOWN_IDS, RuleRegistry, Violation
+from .callgraph import CallGraph
+from .project import ModuleInfo, Project
+
+__all__ = [
+    "FLOW_REGISTRY",
+    "FlowRule",
+    "default_flow_rules",
+    "register_flow_rule",
+]
+
+
+class FlowRule:
+    """Base class for one whole-program check.
+
+    Subclasses set the class attributes, implement :meth:`check`, and
+    call :meth:`report` per finding.  One instance is created per
+    analysis run (not per file), so instance state is per-run scratch
+    space and a rule may report violations in any module.
+    """
+
+    #: Stable ID, e.g. ``"FLOW001"`` — what suppressions name.
+    rule_id: ClassVar[str]
+    #: One-line description used as the default violation message.
+    summary: ClassVar[str]
+    #: Which project guarantee the rule protects (rendered in docs/CLI).
+    rationale: ClassVar[str]
+    #: FLOW rules analyze library code only.
+    contexts: ClassVar[frozenset[str]] = frozenset({"src"})
+    #: Whether ``# repro-lint: disable=`` may silence this rule.
+    suppressible: ClassVar[bool] = True
+
+    def __init__(self, project: Project, graph: CallGraph):
+        self.project = project
+        self.graph = graph
+        self.violations: list[Violation] = []
+
+    def check(self) -> list[Violation]:
+        """Run the rule over the project and return its findings."""
+        raise NotImplementedError
+
+    def report(
+        self, module: ModuleInfo, node: ast.AST | int, message: str | None = None
+    ) -> None:
+        """Record a violation at ``node`` (an AST node or a bare line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        self.violations.append(
+            Violation(
+                path=module.source.display_path,
+                line=line,
+                col=col,
+                rule_id=self.rule_id,
+                message=message if message is not None else self.summary,
+            )
+        )
+
+
+#: The default FLOW pack that :func:`register_flow_rule` populates.
+FLOW_REGISTRY = RuleRegistry()
+
+
+def register_flow_rule(rule_cls: type[FlowRule]) -> type[FlowRule]:
+    """Class decorator adding a rule to the FLOW pack."""
+    FLOW_REGISTRY.register(rule_cls)  # type: ignore[arg-type]  (duck-typed on rule_id)
+    EXTERNAL_KNOWN_IDS.add(rule_cls.rule_id)
+    return rule_cls
+
+
+def default_flow_rules() -> list[type[FlowRule]]:
+    """The registered FLOW pack (importing :mod:`.rules` populates it)."""
+    return list(FLOW_REGISTRY)  # type: ignore[return-value]

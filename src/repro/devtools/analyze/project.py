@@ -1,0 +1,266 @@
+"""Whole-program model for ``repro-analyze``: modules and symbols.
+
+The lint stage sees one file at a time; the analysis stage sees the
+*project* — every ``src``-context module parsed into a
+:class:`ModuleInfo` (imports, top-level bindings, functions, classes,
+``__all__``) and collected into a :class:`Project` that can resolve a
+name through re-export chains to the module that actually defines it.
+The FLOW rules and the call graph are built on top of this model.
+
+Module names are derived the same way Python would import them: a
+file's dotted name is its path relative to the innermost directory
+*without* an ``__init__.py`` (so ``src/repro/core/oracle.py`` is
+``repro.core.oracle`` because ``src/`` is not a package).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..lint.framework import SourceFile
+
+__all__ = [
+    "ImportBinding",
+    "ModuleInfo",
+    "Project",
+    "module_name_for_path",
+]
+
+#: Maximum re-export chain length :meth:`Project.resolve` will follow.
+_RESOLVE_DEPTH = 16
+
+
+@dataclass(frozen=True)
+class ImportBinding:
+    """One imported name bound at a module's top level."""
+
+    alias: str
+    #: Fully-qualified target: ``repro.core.find_max`` for
+    #: ``from repro.core import find_max``, ``numpy`` for ``import numpy as np``.
+    target: str
+    #: Source module for ``from X import y`` (``None`` for plain imports).
+    module: str | None
+    #: Original symbol name for ``from X import y`` (``None`` for plain imports).
+    symbol: str | None
+    line: int
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module plus its top-level symbol table."""
+
+    name: str
+    is_package: bool
+    source: SourceFile
+    imports: dict[str, ImportBinding] = field(default_factory=dict)
+    #: Qualified name within the module (``func`` / ``Class.method``) -> def node.
+    functions: dict[str, ast.FunctionDef | ast.AsyncFunctionDef] = field(default_factory=dict)
+    classes: dict[str, ast.ClassDef] = field(default_factory=dict)
+    #: Class name -> base-class expressions rendered as dotted strings.
+    class_bases: dict[str, list[str]] = field(default_factory=dict)
+    #: Top-level assigned names (module constants) -> line.
+    top_bindings: dict[str, int] = field(default_factory=dict)
+    #: ``__all__`` entries as ``(name, line)``, or ``None`` when undeclared.
+    exports: list[tuple[str, int]] | None = None
+
+    @property
+    def package(self) -> str:
+        """The package relative imports resolve against."""
+        if self.is_package:
+            return self.name
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+    def export_names(self) -> list[str]:
+        """The declared ``__all__`` names (empty when undeclared)."""
+        return [name for name, _ in self.exports or []]
+
+    def binds(self, symbol: str) -> bool:
+        """Whether ``symbol`` is bound at this module's top level."""
+        return (
+            symbol in self.imports
+            or symbol in self.functions
+            or symbol in self.classes
+            or symbol in self.top_bindings
+        )
+
+
+def module_name_for_path(path: Path) -> str:
+    """The dotted import name of ``path`` (walks up ``__init__.py`` chains)."""
+    path = Path(path)
+    parts = [path.parent.name if path.name == "__init__.py" else path.stem]
+    anchor = path.parent.parent if path.name == "__init__.py" else path.parent
+    while anchor.name and (anchor / "__init__.py").is_file():
+        parts.append(anchor.name)
+        anchor = anchor.parent
+    return ".".join(reversed(parts))
+
+
+def _module_name_for_key(key: str) -> tuple[str, bool]:
+    """Syntactic module name for an in-memory fixture key like ``repro/api.py``."""
+    parts = list(Path(key).with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    is_package = bool(parts) and parts[-1] == "__init__"
+    if is_package:
+        parts = parts[:-1]
+    return ".".join(parts), is_package
+
+
+def _dotted(node: ast.expr) -> str:
+    """Render ``a.b.c`` attribute/name chains (empty string otherwise)."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base else node.attr
+    return ""
+
+
+def _resolve_relative(package: str, level: int, module: str | None) -> str:
+    """The absolute module a ``from ...X import y`` statement names."""
+    if level == 0:
+        return module or ""
+    base_parts = package.split(".") if package else []
+    # level=1 is the current package; each extra level climbs one parent.
+    if level - 1 > 0:
+        base_parts = base_parts[: len(base_parts) - (level - 1)]
+    base = ".".join(base_parts)
+    if module:
+        return f"{base}.{module}" if base else module
+    return base
+
+
+def _extract_exports(value: ast.expr) -> list[tuple[str, int]]:
+    """``(name, line)`` pairs from an ``__all__`` list/tuple literal."""
+    names: list[tuple[str, int]] = []
+    if isinstance(value, (ast.List, ast.Tuple)):
+        for elt in value.elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                names.append((elt.value, elt.lineno))
+    return names
+
+
+def _collect_module(name: str, is_package: bool, source: SourceFile) -> ModuleInfo:
+    """Build the top-level symbol table of one parsed module."""
+    info = ModuleInfo(name=name, is_package=is_package, source=source)
+    package = info.package
+    for stmt in source.tree.body:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                info.imports[local] = ImportBinding(
+                    alias=local, target=target, module=None, symbol=None, line=stmt.lineno
+                )
+        elif isinstance(stmt, ast.ImportFrom):
+            source_module = _resolve_relative(package, stmt.level, stmt.module)
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                info.imports[local] = ImportBinding(
+                    alias=local,
+                    target=f"{source_module}.{alias.name}" if source_module else alias.name,
+                    module=source_module or None,
+                    symbol=alias.name,
+                    line=alias.lineno if hasattr(alias, "lineno") else stmt.lineno,
+                )
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = stmt
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = stmt
+            info.class_bases[stmt.name] = [
+                base for base in (_dotted(b) for b in stmt.bases) if base
+            ]
+            for item in stmt.body:
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    info.functions[f"{stmt.name}.{item.name}"] = item
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            else:
+                targets = [stmt.target]
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id == "__all__" and stmt.value is not None:
+                    entries = _extract_exports(stmt.value)
+                    if isinstance(stmt, ast.AugAssign):
+                        info.exports = (info.exports or []) + entries
+                    else:
+                        info.exports = entries
+                else:
+                    info.top_bindings.setdefault(target.id, stmt.lineno)
+    return info
+
+
+@dataclass
+class Project:
+    """Every analyzed module, keyed by dotted name."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    @classmethod
+    def from_sources(cls, named_sources: Iterable[tuple[str, bool, SourceFile]]) -> "Project":
+        """Build from ``(module_name, is_package, source)`` triples."""
+        project = cls()
+        for name, is_package, source in named_sources:
+            project.modules[name] = _collect_module(name, is_package, source)
+        return project
+
+    @classmethod
+    def from_files(cls, files: Iterable[tuple[Path, SourceFile]]) -> "Project":
+        """Build from on-disk files already parsed into sources."""
+        return cls.from_sources(
+            (module_name_for_path(path), path.name == "__init__.py", source)
+            for path, source in files
+        )
+
+    @classmethod
+    def from_texts(cls, files: dict[str, str]) -> "Project":
+        """Build from in-memory fixtures: ``{"repro/api.py": source}``."""
+        triples = []
+        for key in sorted(files):
+            name, is_package = _module_name_for_key(key)
+            source = SourceFile.from_text(files[key], context="src", path=key)
+            triples.append((name, is_package, source))
+        return cls.from_sources(triples)
+
+    def __iter__(self) -> Iterator[ModuleInfo]:
+        return iter(sorted(self.modules.values(), key=lambda m: m.name))
+
+    def by_display_path(self) -> dict[str, SourceFile]:
+        """Display path -> source, for suppression lookup."""
+        return {module.source.display_path: module.source for module in self}
+
+    def resolve(self, module_name: str, symbol: str) -> str | None:
+        """Chase ``symbol`` through re-export chains to its defining module.
+
+        Returns the fully-qualified name of the definition
+        (``repro.core.maxfinder.find_max``), the import target verbatim
+        when the chain leaves the project (``numpy.random.default_rng``),
+        or ``None`` when the starting module is in the project but does
+        not bind the symbol at all.
+        """
+        current_module, current_symbol = module_name, symbol
+        for _ in range(_RESOLVE_DEPTH):
+            info = self.modules.get(current_module)
+            if info is None:
+                return f"{current_module}.{current_symbol}"
+            if (
+                current_symbol in info.functions
+                or current_symbol in info.classes
+                or current_symbol in info.top_bindings
+            ):
+                return f"{current_module}.{current_symbol}"
+            binding = info.imports.get(current_symbol)
+            if binding is None:
+                return None
+            if binding.module is None:
+                return binding.target
+            current_module, current_symbol = binding.module, binding.symbol or current_symbol
+        return f"{current_module}.{current_symbol}"

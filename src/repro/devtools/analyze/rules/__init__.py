@@ -1,0 +1,20 @@
+"""The ``FLOW0xx`` rule pack — one module per rule, self-registering.
+
+Importing this package registers every FLOW rule with
+:data:`~repro.devtools.analyze.framework.FLOW_REGISTRY` (and announces
+the IDs to the lint stage's suppression audit).  See each module's
+docstring for the rule's semantics and ``docs/STATIC_ANALYSIS.md`` for
+the catalogue.
+"""
+
+from __future__ import annotations
+
+from ..framework import FLOW_REGISTRY, default_flow_rules
+
+# Rule modules self-register on import; these imports are the registration.
+from . import api_surface as _api_surface  # noqa: F401  (imported for side effect)
+from . import ordering as _ordering  # noqa: F401
+from . import rng_flow as _rng_flow  # noqa: F401
+from . import telemetry_flow as _telemetry_flow  # noqa: F401
+
+__all__ = ["FLOW_REGISTRY", "default_flow_rules"]

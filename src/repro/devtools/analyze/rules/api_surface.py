@@ -1,0 +1,129 @@
+"""``FLOW004`` — integrity of the stable facade (``repro.api``).
+
+``repro.api`` is the one import surface with a compatibility guarantee.
+``API001`` polices *importers*; this rule polices the facade itself,
+which only a whole-program view can do:
+
+* every name in ``__all__`` must actually be bound in the facade;
+* every public binding in the facade must be listed in ``__all__`` —
+  an un-exported import is surface the docs promise but the contract
+  (``from repro.api import *``, API tests) does not carry;
+* no deprecated shim may be bound or exported — shims exist for
+  *downstream* deprecation cycles and must not leak back in;
+* every re-export must resolve, through the project's import chains, to
+  a real definition in the source module (a facade line that imports a
+  deleted symbol is a time bomb that only detonates at import time).
+
+The call-graph **dead-code report** (unreferenced functions/methods)
+rides along in ``results/ANALYSIS_graph.json`` as information, not as
+violations — see :meth:`CallGraph.dead_functions`.
+"""
+
+from __future__ import annotations
+
+from ...lint.rules.api import DEPRECATED_NAMES
+from ..framework import FlowRule, register_flow_rule
+from ..project import ModuleInfo
+
+__all__ = ["ApiSurfaceRule"]
+
+#: Imports from these modules are plumbing, not public surface.
+_EXEMPT_MODULES = frozenset({"__future__", "typing"})
+
+
+@register_flow_rule
+class ApiSurfaceRule(FlowRule):
+    """``repro.api.__all__`` and the facade's bindings must agree."""
+
+    rule_id = "FLOW004"
+    summary = "stable facade out of sync with its declared surface"
+    rationale = (
+        "repro.api is the compatibility contract: __all__, the actual "
+        "bindings, and the definitions they re-export must stay mutually "
+        "consistent, and deprecated shims must never leak back into the "
+        "stable surface."
+    )
+
+    #: The facade module this rule audits.
+    FACADE_MODULE = "repro.api"
+
+    def check(self) -> list:
+        facade = self.project.modules.get(self.FACADE_MODULE)
+        if facade is None:
+            return self.violations
+        if facade.exports is None:
+            self.report(
+                facade, 1, "the stable facade must declare __all__ explicitly"
+            )
+            return self.violations
+        self._check_exports_bound(facade)
+        self._check_bindings_exported(facade)
+        self._check_deprecated(facade)
+        self._check_reexports_resolve(facade)
+        return self.violations
+
+    # ------------------------------------------------------------------
+    def _check_exports_bound(self, facade: ModuleInfo) -> None:
+        for name, line in facade.exports or []:
+            if not facade.binds(name):
+                self.report(
+                    facade,
+                    line,
+                    f"__all__ exports {name!r} but the facade never binds it;"
+                    " remove the entry or add the import",
+                )
+
+    def _check_bindings_exported(self, facade: ModuleInfo) -> None:
+        exported = set(facade.export_names())
+        public = []
+        for alias, binding in sorted(facade.imports.items()):
+            if binding.module in _EXEMPT_MODULES:
+                continue
+            public.append((alias, binding.line))
+        for name, node in sorted(facade.functions.items()):
+            if "." not in name:
+                public.append((name, node.lineno))
+        for name, node in sorted(facade.classes.items()):
+            public.append((name, node.lineno))
+        for name, line in sorted(facade.top_bindings.items()):
+            public.append((name, line))
+        for name, line in public:
+            if name.startswith("_") or name in exported:
+                continue
+            self.report(
+                facade,
+                line,
+                f"public symbol {name!r} is bound in the facade but missing"
+                " from __all__; export it or prefix it with an underscore",
+            )
+
+    def _check_deprecated(self, facade: ModuleInfo) -> None:
+        exported = set(facade.export_names())
+        for name, hint in sorted(DEPRECATED_NAMES.items()):
+            if name in facade.imports or name in exported:
+                binding = facade.imports.get(name)
+                line = binding.line if binding is not None else 1
+                for export_name, export_line in facade.exports or []:
+                    if export_name == name:
+                        line = export_line
+                        break
+                self.report(
+                    facade,
+                    line,
+                    f"deprecated shim {name!r} leaks into the stable facade;"
+                    f" {hint}",
+                )
+
+    def _check_reexports_resolve(self, facade: ModuleInfo) -> None:
+        for alias, binding in sorted(facade.imports.items()):
+            if binding.module is None or binding.symbol is None:
+                continue
+            if binding.module not in self.project.modules:
+                continue
+            if self.project.resolve(binding.module, binding.symbol) is None:
+                self.report(
+                    facade,
+                    binding.line,
+                    f"re-export of {binding.symbol!r} from {binding.module}:"
+                    " the source module does not define or import that name",
+                )

@@ -1,0 +1,182 @@
+"""``FLOW001`` — RNG provenance on hot paths.
+
+The paper's cost/accuracy guarantees (and the scheduler's bit-identical
+resume) require every random stream that reaches the comparison hot
+path — oracle, worker models, platform, scheduler engine — to trace
+back to a recorded ``SeedSequence.spawn`` / Philox lineage.  Two
+failure modes survive per-file linting (``RNG003`` bans bare
+``default_rng()`` syntactically, but not *where the stream flows*):
+
+* a bare ``default_rng()`` created in cold code whose enclosing
+  function **reaches a hot module through the call graph**;
+* **stream aliasing**: one ``Generator`` variable fed into more than
+  one job submission (``.submit(...)`` / ``.execute(...)``), or created
+  outside a loop that submits per iteration — two jobs drawing from one
+  stream makes their results order-dependent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..framework import FlowRule, register_flow_rule
+from ..project import ModuleInfo
+
+__all__ = ["RngProvenanceRule"]
+
+#: Module prefixes considered the comparison hot path.
+HOT_MODULE_PREFIXES = (
+    "repro.core.oracle",
+    "repro.platform",
+    "repro.workers",
+    "repro.scheduler.engine",
+)
+
+#: Method names that hand work (and a stream) to a job.
+_JOB_ENTRY_CALLS = frozenset({"submit", "execute"})
+
+_NESTED_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_BLOCK_FIELDS = frozenset({"body", "orelse", "finalbody", "handlers"})
+
+
+def _is_hot(fq_name: str) -> bool:
+    return any(
+        fq_name == prefix or fq_name.startswith(prefix + ".")
+        for prefix in HOT_MODULE_PREFIXES
+    )
+
+
+def _is_default_rng_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+    return name == "default_rng"
+
+
+def _walk_statements(
+    body: list[ast.stmt], depth: int = 0
+) -> Iterator[tuple[ast.stmt, int]]:
+    """Yield ``(statement, loop_depth)`` in source order, skipping nested defs."""
+    for stmt in body:
+        yield stmt, depth
+        if isinstance(stmt, _NESTED_DEFS):
+            continue
+        loop_depth = depth + 1 if isinstance(stmt, _LOOPS) else depth
+        yield from _walk_statements(getattr(stmt, "body", []), loop_depth)
+        yield from _walk_statements(getattr(stmt, "orelse", []), depth)
+        yield from _walk_statements(getattr(stmt, "finalbody", []), depth)
+        for handler in getattr(stmt, "handlers", []):
+            yield from _walk_statements(handler.body, depth)
+
+
+def _stmt_expressions(stmt: ast.stmt) -> Iterator[ast.AST]:
+    """Expressions directly owned by ``stmt`` (nested blocks excluded)."""
+    for field_name, value in ast.iter_fields(stmt):
+        if field_name in _BLOCK_FIELDS:
+            continue
+        nodes = value if isinstance(value, list) else [value]
+        for item in nodes:
+            if isinstance(item, ast.AST):
+                yield from ast.walk(item)
+
+
+@register_flow_rule
+class RngProvenanceRule(FlowRule):
+    """Streams on the hot path must be spawned, threaded, and unshared."""
+
+    rule_id = "FLOW001"
+    summary = "random stream on a hot path without SeedSequence lineage"
+    rationale = (
+        "Oracle/worker/platform draws must come from streams rooted in "
+        "SeedSequence.spawn/Philox so runs are replayable and jobs are "
+        "independent; a bare default_rng() reaching the hot path, or one "
+        "generator shared across job submissions, silently breaks "
+        "bit-identical resume."
+    )
+
+    def check(self) -> list:
+        for module in self.project:
+            for qualname, node in sorted(module.functions.items()):
+                self._check_function(module, f"{module.name}.{qualname}", node)
+        return self.violations
+
+    # ------------------------------------------------------------------
+    def _check_function(
+        self,
+        module: ModuleInfo,
+        fq_name: str,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        #: Generator-valued local name -> (creation line, loop depth).
+        creations: dict[str, tuple[int, int]] = {}
+        #: rng name -> job-entry call sites as (call node, loop depth).
+        feeds: dict[str, list[tuple[ast.Call, int]]] = {}
+
+        for stmt, loop_depth in _walk_statements(node.body):
+            if isinstance(stmt, _NESTED_DEFS):
+                continue
+            for expr in _stmt_expressions(stmt):
+                if _is_default_rng_call(expr):
+                    assert isinstance(expr, ast.Call)
+                    if not expr.args and not expr.keywords:
+                        self._check_bare_site(module, fq_name, expr)
+                elif isinstance(expr, ast.Call):
+                    self._record_feed(expr, creations, feeds, loop_depth)
+            if isinstance(stmt, ast.Assign) and _is_default_rng_call(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        creations[target.id] = (stmt.lineno, loop_depth)
+
+        for name, sites in sorted(feeds.items()):
+            created_line, created_depth = creations[name]
+            for index, (call, loop_depth) in enumerate(sites):
+                if index > 0:
+                    self.report(
+                        module,
+                        call,
+                        f"generator {name!r} (created line {created_line}) feeds"
+                        " more than one job submission; spawn one child stream"
+                        " per job via SeedSequence.spawn",
+                    )
+                elif loop_depth > created_depth:
+                    self.report(
+                        module,
+                        call,
+                        f"generator {name!r} (created line {created_line}, outside"
+                        " the loop) is re-used across per-iteration job"
+                        " submissions; spawn a child stream per iteration",
+                    )
+
+    def _check_bare_site(
+        self, module: ModuleInfo, fq_name: str, call: ast.Call
+    ) -> None:
+        if _is_hot(module.name):
+            why = f"defined in hot module {module.name}"
+        elif self.graph.reaches(fq_name, _is_hot):
+            why = "reaches the hot path through the call graph"
+        else:
+            return
+        self.report(
+            module,
+            call,
+            f"bare default_rng() {why}: OS entropy is not replayable;"
+            " derive the stream from SeedSequence.spawn and thread it in",
+        )
+
+    @staticmethod
+    def _record_feed(
+        call: ast.Call,
+        creations: dict[str, tuple[int, int]],
+        feeds: dict[str, list[tuple[ast.Call, int]]],
+        loop_depth: int,
+    ) -> None:
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _JOB_ENTRY_CALLS):
+            return
+        values = list(call.args) + [kw.value for kw in call.keywords]
+        for value in values:
+            if isinstance(value, ast.Name) and value.id in creations:
+                feeds.setdefault(value.id, []).append((call, loop_depth))

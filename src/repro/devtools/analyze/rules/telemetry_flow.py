@@ -1,0 +1,178 @@
+"""``FLOW002`` — bidirectional telemetry name closure.
+
+``TEL002`` checks each emit call against :mod:`repro.telemetry.names`
+one file at a time; it can never see the *other* direction — a name
+declared in the registry that **nothing emits**.  Dead names rot the
+trace contract exactly like undeclared ones: consumers match on a
+schema the library no longer produces.
+
+This rule diffs the two sets project-wide:
+
+* every **literal** emit (``event``/``span``/``count``/``counter``/
+  ``timer``) must name a declared entry — reported at the emit site;
+* every declared entry must have at least one literal reference in the
+  project — reported at its declaration line in the names module.
+
+Timer names are derived (``<span>.duration``), never declared, so they
+are exempt from the dead-name direction.  Dynamic emits (variables,
+f-strings) are invisible statically; a declared name that appears as a
+plain string literal *anywhere* in the project (dispatch tables, the
+replay path) therefore also counts as live.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ...lint.rules.telemetry import DeclaredNamesRule as _Tel002
+from ..framework import FlowRule, register_flow_rule
+from ..project import ModuleInfo
+
+__all__ = ["TelemetryClosureRule"]
+
+#: The registries the rule diffs, with the emit methods feeding each.
+_REGISTRY_METHODS = {
+    "EVENT_KINDS": ("event",),
+    "SPAN_NAMES": ("span",),
+    "COUNTER_NAMES": ("count", "counter", "timer"),
+}
+
+_METHOD_TO_REGISTRY = {
+    method: registry
+    for registry, methods in sorted(_REGISTRY_METHODS.items())
+    for method in methods
+}
+
+#: Same guard as TEL002: generic method names are only checked on
+#: telemetry-looking receivers (``str.count`` is not a metric).
+_RECEIVER_GUARDED = frozenset({"count", "counter", "timer"})
+
+
+@register_flow_rule
+class TelemetryClosureRule(FlowRule):
+    """Declared telemetry names and literal emit sites must close."""
+
+    rule_id = "FLOW002"
+    summary = "telemetry registry and emit sites disagree"
+    rationale = (
+        "repro.telemetry.names is the trace contract: an undeclared "
+        "emission forks the schema, a declared-but-never-emitted name is "
+        "a promise consumers wait on forever. Only a whole-program diff "
+        "can check the second direction."
+    )
+
+    #: Where the declared registries live.
+    NAMES_MODULE = "repro.telemetry.names"
+
+    def check(self) -> list:
+        names_module = self.project.modules.get(self.NAMES_MODULE)
+        if names_module is None:
+            return self.violations
+        declared = self._declared_names(names_module)
+        span_names = {name for name, _ in declared.get("SPAN_NAMES", [])}
+        registries = {
+            registry: {name for name, _ in entries}
+            for registry, entries in declared.items()
+        }
+        # Timers accept declared counters plus the derived <span>.duration set.
+        timer_ok = registries.get("COUNTER_NAMES", set()) | {
+            f"{name}.duration" for name in span_names
+        }
+
+        emitted: dict[str, set[str]] = {registry: set() for registry in _REGISTRY_METHODS}
+        literals_elsewhere: set[str] = set()
+        for module in self.project:
+            if module.name == self.NAMES_MODULE:
+                continue
+            self._scan_module(module, registries, timer_ok, emitted, literals_elsewhere)
+
+        for registry in sorted(_REGISTRY_METHODS):
+            live = emitted[registry] | literals_elsewhere
+            for name, line in declared.get(registry, []):
+                if name not in live:
+                    self.report(
+                        names_module,
+                        line,
+                        f"{registry} declares {name!r} but no emit site (or"
+                        " literal reference) exists in the project; delete the"
+                        " declaration or instrument the emitter",
+                    )
+        return self.violations
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _declared_names(module: ModuleInfo) -> dict[str, list[tuple[str, int]]]:
+        """Registry name -> declared ``(name, line)`` entries."""
+        declared: dict[str, list[tuple[str, int]]] = {}
+        for stmt in module.source.tree.body:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets = [stmt.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in _REGISTRY_METHODS:
+                    entries = declared.setdefault(target.id, [])
+                    value = stmt.value
+                    assert value is not None
+                    for node in ast.walk(value):
+                        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+                            entries.append((node.value, node.lineno))
+        return declared
+
+    def _scan_module(
+        self,
+        module: ModuleInfo,
+        registries: dict[str, set[str]],
+        timer_ok: set[str],
+        emitted: dict[str, set[str]],
+        literals_elsewhere: set[str],
+    ) -> None:
+        checked_literals: set[int] = set()
+        for node in ast.walk(module.source.tree):
+            if isinstance(node, ast.Call):
+                self._scan_call(
+                    module, node, registries, timer_ok, emitted, checked_literals
+                )
+        for node in ast.walk(module.source.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in checked_literals
+            ):
+                literals_elsewhere.add(node.value)
+
+    def _scan_call(
+        self,
+        module: ModuleInfo,
+        node: ast.Call,
+        registries: dict[str, set[str]],
+        timer_ok: set[str],
+        emitted: dict[str, set[str]],
+        checked_literals: set[int],
+    ) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in _METHOD_TO_REGISTRY
+            and node.args
+        ):
+            return
+        if func.attr in _RECEIVER_GUARDED and not _Tel002._is_telemetry_receiver(
+            func.value
+        ):
+            return
+        registry = _METHOD_TO_REGISTRY[func.attr]
+        allowed = timer_ok if func.attr == "timer" else registries.get(registry, set())
+        for literal_node in ast.walk(node.args[0]):
+            if isinstance(literal_node, ast.Constant):
+                checked_literals.add(id(literal_node))
+        for literal in _Tel002._literal_candidates(node.args[0]):
+            emitted[registry].add(literal)
+            if literal not in allowed:
+                self.report(
+                    module,
+                    node,
+                    f"{func.attr}({literal!r}): name not declared in"
+                    f" repro.telemetry.names.{registry}",
+                )

@@ -1,0 +1,143 @@
+"""Suppression-debt budget: the ``--budget`` mode of both CLIs.
+
+Every ``# repro-lint: disable=RULE -- why`` in library code is debt —
+a place an invariant bends.  The budget makes that debt a *ratchet*:
+``lint-budget.json`` at the repository root records the allowed per-rule
+count, ``repro-lint --budget`` / ``repro-analyze --budget`` recount the
+tree and fail when any rule's count **grows** past its baseline (new
+rule IDs start at zero).  Shrinking is always green, and reported as a
+hint to tighten the checked-in baseline so the ratchet clicks down.
+
+Counting tokenizes rather than parses (a suppression in a temporarily
+unparsable file still counts), and covers ``src``-context files only —
+test fixtures may suppress freely.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from .lint.framework import Context, _parse_suppressions
+
+__all__ = [
+    "BUDGET_SCHEMA",
+    "DEFAULT_BUDGET_PATH",
+    "BudgetReport",
+    "check_budget",
+    "count_suppressions",
+    "load_budget",
+    "render_budget",
+    "run_budget",
+]
+
+BUDGET_SCHEMA = "repro.lint_budget/v1"
+DEFAULT_BUDGET_PATH = "lint-budget.json"
+
+
+def count_suppressions(
+    files: Iterable[tuple[Path, Context]], contexts: tuple[str, ...] = ("src",)
+) -> dict[str, int]:
+    """Per-rule suppression counts over ``files`` in ``contexts``."""
+    counts: dict[str, int] = {}
+    for path, context in files:
+        if context not in contexts:
+            continue
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        for suppression in _parse_suppressions(text).values():
+            for rule_id in suppression.rule_ids:
+                counts[rule_id] = counts.get(rule_id, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def load_budget(path: str | Path) -> dict[str, int]:
+    """The per-rule baseline from ``lint-budget.json`` (strict schema)."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if payload.get("schema") != BUDGET_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BUDGET_SCHEMA!r}, got {payload.get('schema')!r}"
+        )
+    budget = payload.get("budget", {})
+    if not isinstance(budget, dict):
+        raise ValueError(f"{path}: 'budget' must be an object of rule-id counts")
+    return {str(rule): int(count) for rule, count in sorted(budget.items())}
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    rule_id: str
+    count: int
+    allowed: int
+
+    @property
+    def over(self) -> bool:
+        return self.count > self.allowed
+
+
+@dataclass
+class BudgetReport:
+    entries: list[BudgetEntry]
+
+    @property
+    def ok(self) -> bool:
+        return not any(entry.over for entry in self.entries)
+
+
+def check_budget(counts: dict[str, int], budget: dict[str, int]) -> BudgetReport:
+    """Compare actual counts against the baseline (ratchet semantics)."""
+    entries = [
+        BudgetEntry(rule_id=rule, count=counts.get(rule, 0), allowed=allowed)
+        for rule, allowed in sorted(budget.items())
+    ]
+    entries.extend(
+        BudgetEntry(rule_id=rule, count=count, allowed=0)
+        for rule, count in sorted(counts.items())
+        if rule not in budget
+    )
+    return BudgetReport(entries=sorted(entries, key=lambda e: e.rule_id))
+
+
+def render_budget(report: BudgetReport) -> str:
+    """Human-readable budget table plus the verdict line."""
+    lines = ["rule     used  budget"]
+    slack = 0
+    for entry in report.entries:
+        marker = "  OVER" if entry.over else ""
+        lines.append(f"{entry.rule_id:<8} {entry.count:>4}  {entry.allowed:>6}{marker}")
+        if entry.count < entry.allowed:
+            slack += entry.allowed - entry.count
+    overages = [entry for entry in report.entries if entry.over]
+    if overages:
+        lines.append(
+            f"budget exceeded for {len(overages)} rule"
+            f"{'s' if len(overages) != 1 else ''}: suppression debt may only"
+            " shrink; fix the violation instead of suppressing it"
+        )
+    else:
+        lines.append("budget ok")
+        if slack:
+            lines.append(
+                f"({slack} unused allowance{'s' if slack != 1 else ''} —"
+                " tighten lint-budget.json to ratchet the debt down)"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def run_budget(
+    files: Iterable[tuple[Path, Context]], budget_path: str | Path
+) -> tuple[int, str]:
+    """The CLI budget mode: ``(exit_code, rendered_output)``."""
+    path = Path(budget_path)
+    if not path.is_file():
+        return 2, f"budget baseline not found: {path}\n"
+    try:
+        budget = load_budget(path)
+    except (ValueError, json.JSONDecodeError) as exc:
+        return 2, f"unreadable budget baseline: {exc}\n"
+    report = check_budget(count_suppressions(files), budget)
+    return (0 if report.ok else 1), render_budget(report)

@@ -3,12 +3,13 @@
 Usage::
 
     repro-lint [paths ...] [--format text|json] [--select IDS]
-               [--ignore IDS] [--list-rules]
+               [--ignore IDS] [--list-rules] [--budget [PATH]]
 
 Exit codes: ``0`` clean, ``1`` violations (or unparsable files), ``2``
 usage errors.  With no paths, lints ``src``, ``tests``, and
 ``examples`` relative to the current directory — the repository
-invocation CI uses.
+invocation CI uses.  ``--budget`` switches to the suppression-debt
+ratchet shared with ``repro-analyze``.
 """
 
 from __future__ import annotations
@@ -17,8 +18,12 @@ import argparse
 import sys
 from typing import Sequence
 
-# Rule modules self-register on import; this import is the registration.
+# Rule modules self-register on import; these imports are the
+# registration.  The FLOW pack registers its IDs with
+# EXTERNAL_KNOWN_IDS so analyze-stage suppressions are not LINT003.
 from . import rules as _rules  # noqa: F401  (imported for side effect)
+from ..analyze import rules as _flow_rules  # noqa: F401
+from ..budget import DEFAULT_BUDGET_PATH, run_budget
 from .framework import DEFAULT_REGISTRY, LintEngine
 from .reporters import render_json, render_rule_listing, render_text
 from .walker import discover
@@ -57,7 +62,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule pack (ID, contexts, summary, rationale) and exit",
+        help="print the rule pack (ID, contexts, suppressibility, summary) and exit",
+    )
+    parser.add_argument(
+        "--budget",
+        nargs="?",
+        const=DEFAULT_BUDGET_PATH,
+        metavar="PATH",
+        help="suppression-debt ratchet mode: compare per-rule disable counts"
+        f" against the checked-in baseline (default: {DEFAULT_BUDGET_PATH})",
     )
     return parser
 
@@ -81,13 +94,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"unknown rule id: {exc.args[0]}")
 
     if args.list_rules:
-        sys.stdout.write(render_rule_listing(selected))
+        sys.stdout.write(render_rule_listing(selected, include_meta=True))
         return 0
 
     try:
         files = discover(args.paths)
     except FileNotFoundError as exc:
         parser.error(str(exc))
+
+    if args.budget is not None:
+        code, output = run_budget(files, args.budget)
+        sys.stdout.write(output)
+        return code
 
     engine = LintEngine(rules=selected)
     report = engine.lint_files(files)

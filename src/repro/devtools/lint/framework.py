@@ -42,6 +42,8 @@ from typing import Callable, ClassVar, Iterable, Iterator, Literal, Sequence
 
 __all__ = [
     "Context",
+    "EXTERNAL_KNOWN_IDS",
+    "META_SUMMARIES",
     "Violation",
     "Suppression",
     "SourceFile",
@@ -59,6 +61,19 @@ Context = Literal["src", "tests", "examples"]
 META_UNUSED = "LINT001"
 META_NO_JUSTIFICATION = "LINT002"
 META_UNKNOWN_RULE = "LINT003"
+
+#: Meta-diagnostic summaries, for ``--list-rules`` (they have no Rule class).
+META_SUMMARIES: dict[str, str] = {
+    META_UNUSED: "unused suppression: the named rule did not fire on that line",
+    META_NO_JUSTIFICATION: "suppression without a ' -- <why>' justification",
+    META_UNKNOWN_RULE: "suppression names a rule ID the project does not define",
+}
+
+#: Rule IDs defined by *other* stages that share the suppression syntax
+#: (the ``FLOW0xx`` pack of ``repro-analyze`` registers itself here), so
+#: a cross-stage suppression is never misreported as ``LINT003``
+#: unknown.  Consulted at engine construction, not import, time.
+EXTERNAL_KNOWN_IDS: set[str] = set()
 
 _SUPPRESSION_RE = re.compile(
     r"#\s*repro-lint:\s*disable=(?P<ids>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
@@ -102,8 +117,10 @@ def _parse_suppressions(text: str) -> dict[int, Suppression]:
     Tokenising (rather than regexing raw lines) keeps suppression
     syntax *inside string literals* inert — essential for the linter's
     own test fixtures, which embed suppressed snippets as strings.
-    Files that fail to tokenise return no suppressions; the caller will
-    already have failed to parse them as AST anyway.
+    Files that fail to tokenise keep whatever suppressions were seen
+    before the failing token — the stream is lazy, so a trailing syntax
+    error must not discard the comments above it (the budget counts
+    suppressions in files ast.parse rejects).
     """
     suppressions: dict[int, Suppression] = {}
     try:
@@ -120,8 +137,8 @@ def _parse_suppressions(text: str) -> dict[int, Suppression]:
                 rule_ids=ids,
                 justification=(match.group("why") or "").strip(),
             )
-    except tokenize.TokenizeError:
-        return {}
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
     return suppressions
 
 
@@ -188,6 +205,9 @@ class Rule(ast.NodeVisitor):
     rationale: ClassVar[str]
     #: File contexts the rule applies to.
     contexts: ClassVar[frozenset[str]] = frozenset({"src", "tests"})
+    #: Whether ``# repro-lint: disable=`` may silence this rule (the
+    #: engine's meta-diagnostics are the only non-suppressible checks).
+    suppressible: ClassVar[bool] = True
 
     def __init__(self, source: SourceFile):
         self.source = source
@@ -307,6 +327,7 @@ class LintEngine:
             if known_ids is not None
             else (rule_cls.rule_id for rule_cls in DEFAULT_REGISTRY)
         )
+        self.known_ids.update(EXTERNAL_KNOWN_IDS)
 
     # ------------------------------------------------------------------
     # Per-file
@@ -385,7 +406,8 @@ class LintEngine:
             display_path = display(path)
             try:
                 source = SourceFile.parse(path, context, display_path=display_path)
-            except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            except (SyntaxError, UnicodeDecodeError, OSError, ValueError) as exc:
+                # ValueError: ast.parse rejects NUL bytes outside SyntaxError.
                 parse_errors.append((display_path, f"{type(exc).__name__}: {exc}"))
                 continue
             violations.extend(self.lint_source(source))

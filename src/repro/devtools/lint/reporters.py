@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import json
 
-from .framework import LintReport, Rule
+from .framework import META_SUMMARIES, LintReport, Rule
 
 __all__ = ["render_text", "render_json", "render_rule_listing"]
 
@@ -54,11 +54,24 @@ def render_json(report: LintReport) -> str:
     return json.dumps(payload, indent=2, sort_keys=True) + "\n"
 
 
-def render_rule_listing(rules: list[type[Rule]]) -> str:
-    """The ``--list-rules`` output: ID, contexts, summary, rationale."""
+def render_rule_listing(rules: list[type[Rule]], include_meta: bool = False) -> str:
+    """The ``--list-rules`` output: ID, contexts, suppressibility, summary.
+
+    With ``include_meta`` the engine's own ``LINT00x`` meta-diagnostics
+    are appended — they have no :class:`Rule` class, but they are part
+    of the inventory and are the only non-suppressible checks.
+    """
     lines = []
     for rule_cls in rules:
         contexts = ",".join(sorted(rule_cls.contexts))
-        lines.append(f"{rule_cls.rule_id}  [{contexts}]  {rule_cls.summary}")
+        suppressible = (
+            "suppressible" if getattr(rule_cls, "suppressible", True) else "not suppressible"
+        )
+        lines.append(
+            f"{rule_cls.rule_id}  [{contexts}]  [{suppressible}]  {rule_cls.summary}"
+        )
         lines.append(f"    {rule_cls.rationale}")
+    if include_meta:
+        for meta_id, summary in sorted(META_SUMMARIES.items()):
+            lines.append(f"{meta_id}  [meta]  [not suppressible]  {summary}")
     return "\n".join(lines) + "\n"

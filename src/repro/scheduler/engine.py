@@ -1404,7 +1404,9 @@ class CrowdScheduler:
         if len(miss):
             report = _report_from_state(record["report"])
             if self.cache is not None:
-                self.cache.store_batch(
+                # Replay rebuilds the store from records the original
+                # run already journaled; there is nothing new to append.
+                self.cache.store_batch(  # repro-lint: disable=FLOW003 -- replay of journaled data
                     ticket.fingerprint,
                     request.pool_name,
                     request.judgments_per_task,

@@ -1,0 +1,174 @@
+"""Tests for the suppression-debt budget (``--budget`` on both CLIs).
+
+The ratchet only goes one way: the checked-in ``lint-budget.json`` is a
+ceiling per rule id, any suppression count above it fails, and rule ids
+absent from the baseline get an allowance of zero — so new debt cannot
+be introduced without an explicit baseline edit in the same diff.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+from repro.devtools.budget import (
+    BUDGET_SCHEMA,
+    BudgetEntry,
+    check_budget,
+    count_suppressions,
+    load_budget,
+    render_budget,
+    run_budget,
+)
+from repro.devtools.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+SUPPRESSED = textwrap.dedent(
+    """
+    import time
+
+
+    def stamp():
+        return time.time()  # repro-lint: disable=DET002 -- wall-clock fixture
+
+
+    def fork(ctx):
+        return ctx.fork()  # repro-lint: disable=FRK001,DET002 -- fixture
+    """
+)
+
+
+def _file(tmp_path, text, name="mod.py", context="src"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return (path, context)
+
+
+def _write_budget(tmp_path, budget, schema=BUDGET_SCHEMA):
+    path = tmp_path / "lint-budget.json"
+    path.write_text(json.dumps({"schema": schema, "budget": budget}))
+    return path
+
+
+class TestCounting:
+    def test_counts_per_rule_id(self, tmp_path):
+        counts = count_suppressions([_file(tmp_path, SUPPRESSED)])
+        assert counts == {"DET002": 2, "FRK001": 1}
+
+    def test_only_src_context_counts(self, tmp_path):
+        files = [
+            _file(tmp_path, SUPPRESSED, name="test_mod.py", context="tests"),
+            _file(tmp_path, SUPPRESSED, name="demo.py", context="examples"),
+        ]
+        assert count_suppressions(files) == {}
+
+    def test_suppression_in_string_literal_is_inert(self, tmp_path):
+        text = 'MSG = "# repro-lint: disable=DET002 -- not a comment"\n'
+        assert count_suppressions([_file(tmp_path, text)]) == {}
+
+    def test_unparseable_file_still_counts(self, tmp_path):
+        # Tokenize-based counting survives files ast.parse rejects.
+        text = SUPPRESSED + "\ndef broken(:\n"
+        counts = count_suppressions([_file(tmp_path, text)])
+        assert counts == {"DET002": 2, "FRK001": 1}
+
+
+class TestRatchet:
+    def test_within_budget_passes(self):
+        report = check_budget({"DET002": 2}, {"DET002": 2})
+        assert report.ok
+        assert report.entries == [BudgetEntry("DET002", 2, 2)]
+
+    def test_over_budget_fails(self):
+        report = check_budget({"DET002": 3}, {"DET002": 2})
+        assert not report.ok
+        assert report.entries[0].over
+
+    def test_unbudgeted_rule_gets_zero_allowance(self):
+        report = check_budget({"NEW001": 1}, {"DET002": 2})
+        assert not report.ok
+        new = next(e for e in report.entries if e.rule_id == "NEW001")
+        assert new.allowed == 0 and new.over
+
+    def test_paid_down_budget_passes_with_slack(self):
+        report = check_budget({"DET002": 1}, {"DET002": 4})
+        assert report.ok
+        rendered = render_budget(report)
+        assert "budget ok" in rendered
+        assert "tighten" in rendered  # nudge to ratchet the baseline down
+
+    def test_render_marks_overages(self):
+        report = check_budget({"DET002": 3}, {"DET002": 2})
+        rendered = render_budget(report)
+        assert "OVER" in rendered
+        assert "may only shrink" in rendered
+
+
+class TestRunBudget:
+    def test_missing_baseline_is_config_error(self, tmp_path):
+        code, out = run_budget([_file(tmp_path, SUPPRESSED)], tmp_path / "absent.json")
+        assert code == 2
+        assert "absent.json" in out
+
+    def test_wrong_schema_is_config_error(self, tmp_path):
+        path = _write_budget(tmp_path, {}, schema="something/v9")
+        code, out = run_budget([_file(tmp_path, SUPPRESSED)], path)
+        assert code == 2
+        assert "schema" in out
+
+    def test_malformed_budget_is_config_error(self, tmp_path):
+        path = tmp_path / "lint-budget.json"
+        path.write_text(json.dumps({"schema": BUDGET_SCHEMA, "budget": [1, 2]}))
+        code, out = run_budget([_file(tmp_path, SUPPRESSED)], path)
+        assert code == 2
+        assert "unreadable" in out
+
+    def test_over_budget_exits_one(self, tmp_path):
+        path = _write_budget(tmp_path, {"DET002": 2, "FRK001": 0})
+        code, out = run_budget([_file(tmp_path, SUPPRESSED)], path)
+        assert code == 1
+        assert "FRK001" in out
+
+    def test_within_budget_exits_zero(self, tmp_path):
+        path = _write_budget(tmp_path, {"DET002": 2, "FRK001": 1})
+        code, out = run_budget([_file(tmp_path, SUPPRESSED)], path)
+        assert code == 0
+
+    def test_load_budget_roundtrip(self, tmp_path):
+        path = _write_budget(tmp_path, {"FRK001": 1, "DET002": 2})
+        assert load_budget(path) == {"DET002": 2, "FRK001": 1}
+
+
+class TestCliIntegration:
+    def _tree(self, tmp_path):
+        pkg = tmp_path / "src" / "pkg"
+        pkg.mkdir(parents=True)
+        (pkg / "mod.py").write_text(SUPPRESSED)
+        return tmp_path / "src"
+
+    def test_lint_cli_budget_over(self, tmp_path, capsys):
+        src = self._tree(tmp_path)
+        budget = _write_budget(tmp_path, {"DET002": 1, "FRK001": 1})
+        assert lint_main([str(src), "--budget", str(budget)]) == 1
+        assert "OVER" in capsys.readouterr().out
+
+    def test_lint_cli_budget_ok(self, tmp_path, capsys):
+        src = self._tree(tmp_path)
+        budget = _write_budget(tmp_path, {"DET002": 2, "FRK001": 1})
+        assert lint_main([str(src), "--budget", str(budget)]) == 0
+        assert "budget ok" in capsys.readouterr().out
+
+    def test_analyze_cli_budget(self, tmp_path, capsys):
+        from repro.devtools.analyze.cli import main as analyze_main
+
+        src = self._tree(tmp_path)
+        budget = _write_budget(tmp_path, {"DET002": 2, "FRK001": 0})
+        assert analyze_main([str(src), "--budget", str(budget)]) == 1
+        capsys.readouterr()
+
+    def test_repo_is_within_its_own_budget(self, capsys):
+        """The checked-in baseline must cover the tree as committed."""
+        baseline = REPO_ROOT / "lint-budget.json"
+        assert lint_main([str(SRC), "--budget", str(baseline)]) == 0
+        assert "budget ok" in capsys.readouterr().out

@@ -207,3 +207,50 @@ class TestLintFiles:
         report = LintEngine(rules=[FlagEveryCall]).lint_files([(good, "src")])
         assert report.ok
         assert report.violations == []
+
+    def test_null_byte_file_is_single_parse_error(self, tmp_path):
+        # ast.parse rejects NUL bytes with ValueError, not SyntaxError;
+        # the walker must record it, not crash.
+        bad = tmp_path / "nul.py"
+        bad.write_bytes(b"x = 1\n\x00\n")
+        good = tmp_path / "good.py"
+        good.write_text("y = 2\n")
+        report = LintEngine(rules=[FlagEveryCall]).lint_files(
+            [(bad, "src"), (good, "src")]
+        )
+        assert report.files_scanned == 2
+        assert len(report.parse_errors) == 1
+        assert report.parse_errors[0][0] == str(bad)
+        assert report.violations == []  # the good file still linted
+
+    def test_non_utf8_file_is_single_parse_error(self, tmp_path):
+        bad = tmp_path / "latin.py"
+        bad.write_bytes(b"# caf\xe9\nx = 1\n")
+        report = LintEngine(rules=[FlagEveryCall]).lint_files([(bad, "src")])
+        assert len(report.parse_errors) == 1
+        assert "UnicodeDecodeError" in report.parse_errors[0][1]
+
+    def test_unreadable_path_is_single_parse_error(self, tmp_path):
+        # A directory with a .py name raises OSError on read.
+        bad = tmp_path / "dir.py"
+        bad.mkdir()
+        report = LintEngine(rules=[FlagEveryCall]).lint_files([(bad, "src")])
+        assert len(report.parse_errors) == 1
+        assert not report.ok
+
+    def test_analyze_stage_matches_lint_on_bad_files(self, tmp_path):
+        # The whole-program stage shares the degradation contract: one
+        # PARSE record per bad file, analysis proceeds on the rest.
+        from repro.devtools.analyze import AnalysisEngine
+
+        pkg = tmp_path / "repro"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "nul.py").write_bytes(b"\x00")
+        (pkg / "broken.py").write_text("def broken(:\n")
+        (pkg / "good.py").write_text("def fine():\n    return 1\n")
+        files = [(p, "src") for p in sorted(pkg.glob("*.py"))]
+        result = AnalysisEngine().analyze_files(files)
+        assert result.report.files_scanned == 4
+        assert len(result.report.parse_errors) == 2
+        assert "repro.good" in result.project.modules
