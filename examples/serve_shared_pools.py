@@ -10,8 +10,12 @@ memo cache.  Run it with::
 
 Two runs of this script print byte-identical output — the scheduler's
 determinism contract — and the cache hit rate is nonzero because jobs
-repeat catalogs.  Examples import *only* from ``repro.api`` (enforced
-by the ``API001`` lint rule).
+repeat catalogs.  It also shows the two submit-side hooks the HTTP
+serving layer builds on (``docs/SERVICE.md``,
+``examples/http_client.py``): an explicit per-job ``seed=`` that pins
+a job's result independently of its neighbours, and cooperative
+``JobTicket.cancel()``.  Examples import *only* from ``repro.api``
+(enforced by the ``API001`` lint rule).
 """
 
 import numpy as np
@@ -55,7 +59,17 @@ def main() -> None:
             job = CrowdTopKJob(instance, u_n=5, k=3, phase1=phase1, phase2=phase2)
         else:
             job = CrowdMaxJob(instance, u_n=5, phase1=phase1, phase2=phase2)
-        scheduler.submit(job)
+        # seed= pins this job's randomness regardless of who else is in
+        # the batch — the hook the HTTP service uses for wire parity.
+        scheduler.submit(job, seed=1000 + k)
+
+    # A ninth job is withdrawn before the loop starts: cooperative
+    # cancel settles it as "cancelled" at zero cost.
+    withdrawn = scheduler.submit(
+        CrowdMaxJob(catalogs[0], u_n=5, phase1=phase1, phase2=phase2),
+        seed=999,
+    )
+    withdrawn.cancel()
 
     outcomes = scheduler.run()
 

@@ -48,21 +48,21 @@ from .parallel import (
     spawn_run_seeds,
 )
 from .platform import FaultPlan, RetryPolicy
-from .scheduler import (
-    ComparisonMemoCache,
-    CrowdScheduler,
-    JobOutcome,
-    JobTicket,
-    SchedulerSaturatedError,
-)
-from .service import (
+from .jobs import (
     BudgetExceededError,
     CrowdJobResult,
     CrowdMaxJob,
     CrowdTopKJob,
     JobPhaseConfig,
     ResiliencePolicy,
-    ResilientCrowdMaxJob,  # repro-lint: disable=API001 -- legacy re-export; the shim keeps old imports working
+)
+from .scheduler import (
+    ComparisonMemoCache,
+    CrowdScheduler,
+    JobCancelledError,
+    JobOutcome,
+    JobTicket,
+    SchedulerSaturatedError,
 )
 from .telemetry import (
     JsonlSink,
@@ -93,6 +93,7 @@ __all__ = [
     "CrowdTopKJob",
     "ExpertAwareMaxFinder",
     "FaultPlan",
+    "JobCancelledError",
     "JobOutcome",
     "JobPhaseConfig",
     "JobTicket",
@@ -103,7 +104,6 @@ __all__ = [
     "MetricsRegistry",
     "ProblemInstance",
     "ResiliencePolicy",
-    "ResilientCrowdMaxJob",
     "RetryPolicy",
     "SchedulerSaturatedError",
     "RunError",

@@ -7,7 +7,7 @@ library supports long-term.  Import from here::
 
 and your code only depends on names this module guarantees: additions
 are backwards-compatible, removals go through a ``DeprecationWarning``
-cycle first, and the internal module layout (``repro.service``,
+cycle first, and the internal module layout (``repro.jobs``,
 ``repro.scheduler.engine``, ...) is free to change underneath without
 breaking you.  The ``API001`` rule of ``repro-lint`` (see
 ``docs/STATIC_ANALYSIS.md``) enforces the discipline mechanically:
@@ -28,12 +28,19 @@ The surface, by layer:
 * **Platform** (:mod:`repro.platform`) — the CrowdFlower stand-in:
   pools, gold quality control, fault injection, retries, the cost
   ledger, and the typed platform error hierarchy.
-* **Jobs** (:mod:`repro.service`) — declarative MAX / TOP-k queries
+* **Jobs** (:mod:`repro.jobs`) — declarative MAX / TOP-k queries
   with budget caps and the uniform ``submit()/settle()`` protocol;
   graceful degradation via :class:`ResiliencePolicy`.
 * **Scheduler** (:mod:`repro.scheduler`) — deterministic multi-job
   execution over shared pools with fair-share admission, per-tenant
   budgets, and the cross-job comparison memo cache.
+* **Service** (:mod:`repro.service_http`) — the HTTP serving layer:
+  the versioned ``repro.service/v1`` wire shapes (:class:`JobSpec`,
+  :class:`JobView`, ...), the single error-envelope registry
+  (:data:`WIRE_ERRORS` / :func:`wire_code` / :func:`error_envelope`)
+  that gives every typed error a stable wire code, the
+  :class:`ServiceServer` / :class:`ServiceClient` pair, and the
+  tenancy primitives (:class:`TenantAuth`, :class:`TokenBucket`).
 * **Durability** (:mod:`repro.durability`) — opt-in persistent state:
   the SQLite-backed comparison store behind
   :class:`DurableComparisonCache` and the append-only job journal that
@@ -45,9 +52,9 @@ The surface, by layer:
   :mod:`repro.parallel`) — seeded sweeps, the parallel run engine,
   and atomic result persistence.
 
-The deprecated :class:`repro.service.ResilientCrowdMaxJob` is *not*
-re-exported: pass ``resilience=ResiliencePolicy(...)`` to
-:class:`CrowdMaxJob` instead.
+``ResilientCrowdMaxJob`` completed its deprecation cycle and is gone:
+pass ``resilience=ResiliencePolicy(...)`` to :class:`CrowdMaxJob`
+instead.
 """
 
 from __future__ import annotations
@@ -115,22 +122,55 @@ from .platform import (
     RetryPolicy,
     WorkerPool,
 )
-from .scheduler import (
-    ComparisonMemoCache,
-    CrowdScheduler,
-    DurableComparisonCache,
-    JobOutcome,
-    JobTicket,
-    SchedulerSaturatedError,
-    fingerprint_instance,
-)
-from .service import (
+from .jobs import (
+    WIRE_SCHEMA,
     BudgetExceededError,
     CrowdJobResult,
     CrowdMaxJob,
     CrowdTopKJob,
     JobPhaseConfig,
     ResiliencePolicy,
+)
+from .scheduler import (
+    ComparisonMemoCache,
+    CrowdScheduler,
+    DurableComparisonCache,
+    JobCancelledError,
+    JobOutcome,
+    JobTicket,
+    SchedulerSaturatedError,
+    fingerprint_instance,
+)
+from .service_http import (
+    JOB_STATES,
+    SETTLED_STATES,
+    WIRE_ERRORS,
+    WIRE_STATUS,
+    ConflictError,
+    EventRecord,
+    ForbiddenError,
+    HealthView,
+    InvalidRequestError,
+    JobFailedError,
+    JobSpec,
+    JobView,
+    MethodNotAllowedError,
+    NotFoundError,
+    RateLimitedError,
+    RemoteServiceError,
+    ResultEnvelope,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceResponse,
+    ServiceServer,
+    TenantAuth,
+    TokenBucket,
+    UnauthorizedError,
+    default_pool_factory,
+    error_envelope,
+    wire_code,
+    wire_status,
 )
 from .telemetry import (
     JsonlSink,
@@ -210,10 +250,42 @@ __all__ = [
     "ComparisonMemoCache",
     "CrowdScheduler",
     "DurableComparisonCache",
+    "JobCancelledError",
     "JobOutcome",
     "JobTicket",
     "SchedulerSaturatedError",
     "fingerprint_instance",
+    # service (HTTP wire API)
+    "WIRE_SCHEMA",
+    "JOB_STATES",
+    "SETTLED_STATES",
+    "WIRE_ERRORS",
+    "WIRE_STATUS",
+    "ServiceError",
+    "InvalidRequestError",
+    "UnauthorizedError",
+    "ForbiddenError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "ConflictError",
+    "RateLimitedError",
+    "JobFailedError",
+    "RemoteServiceError",
+    "wire_code",
+    "wire_status",
+    "error_envelope",
+    "JobSpec",
+    "JobView",
+    "ResultEnvelope",
+    "EventRecord",
+    "HealthView",
+    "TokenBucket",
+    "TenantAuth",
+    "ServiceConfig",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceResponse",
+    "default_pool_factory",
     # durability
     "DurabilityError",
     "DurabilityPolicy",

@@ -104,6 +104,11 @@ from .experiments.bench_scheduler import (
     scheduler_bench_table,
     write_scheduler_bench_json,
 )
+from .experiments.bench_service import (
+    run_service_bench,
+    service_bench_table,
+    write_service_bench_json,
+)
 from .experiments.cost_vs_n import PAPER_EXPERT_COSTS
 from .platform.faults import FaultPlan
 from .telemetry import JsonlSink, Tracer, use_tracer
@@ -137,6 +142,7 @@ COMMANDS = (
     "baselines",
     "bench",
     "serve-sim",
+    "bench-service",
     "resume",
     "bench-durability",
     "all",
@@ -201,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
             "regime where fused settlement has whole batches to work on; "
             "set a small K to exercise fair-share throttling)"
         ),
+    )
+    parser.add_argument(
+        "--service-jobs",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="bench-service only: jobs to drive over HTTP (default 1000)",
+    )
+    parser.add_argument(
+        "--service-concurrency",
+        type=int,
+        default=32,
+        metavar="N",
+        help="bench-service only: concurrent client workers (default 32)",
     )
     parser.add_argument(
         "--state-dir",
@@ -419,6 +439,52 @@ def _run_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_bench_service(args: argparse.Namespace) -> int:
+    """The ``bench-service`` subcommand: the HTTP layer under load.
+
+    Boots a real loopback :class:`ServiceServer`, drives
+    ``--service-jobs`` jobs through ``--service-concurrency`` client
+    workers over real sockets, prints the latency/throughput table,
+    and writes ``BENCH_service.json`` (atomically) into ``--out``
+    (default ``results/``).  Exits nonzero on any 5xx response, any
+    unsettled job, or any HTTP-vs-in-process parity mismatch — the
+    serving layer must never be the thing that changes an answer.
+    """
+    payload = run_service_bench(
+        seed=args.seed,
+        n_jobs=args.service_jobs,
+        concurrency=args.service_concurrency,
+    )
+    print(service_bench_table(payload).to_text())
+    print()
+    out = args.out if args.out is not None else Path("results")
+    path = write_service_bench_json(payload, out / "BENCH_service.json")
+    print(f"(wrote {path})")
+    _append_history(
+        args.out,
+        "bench-service",
+        {
+            "seed": args.seed,
+            "n_jobs": payload["workload"]["n_jobs"],
+            "concurrency": payload["workload"]["concurrency"],
+            "jobs_per_sec": payload["jobs_per_sec"],
+            "latency_p50_s": payload["latency_s"]["p50"],
+            "latency_p99_s": payload["latency_s"]["p99"],
+            "server_errors": payload["server_errors"],
+            "parity_identical": payload["parity"]["identical"],
+        },
+    )
+    if not payload["ok"]:
+        print(
+            "BENCH FAILED: "
+            f"{payload['server_errors']} 5xx responses, "
+            f"{payload['settled_ok']}/{payload['workload']['n_jobs']} settled, "
+            f"parity identical={payload['parity']['identical']}"
+        )
+        return 1
+    return 0
+
+
 def _run_resume(args: argparse.Namespace) -> int:
     """The ``resume`` subcommand: durable serve-sim run in a state dir.
 
@@ -518,6 +584,8 @@ def _dispatch(args: argparse.Namespace, rng: np.random.Generator) -> int:
         return _run_bench(args)
     if command == "serve-sim":
         return _run_serve_sim(args)
+    if command == "bench-service":
+        return _run_bench_service(args)
     if command == "resume":
         return _run_resume(args)
     if command == "bench-durability":

@@ -12,7 +12,14 @@ which only a whole-program view can do:
   *downstream* deprecation cycles and must not leak back in;
 * every re-export must resolve, through the project's import chains, to
   a real definition in the source module (a facade line that imports a
-  deleted symbol is a time bomb that only detonates at import time).
+  deleted symbol is a time bomb that only detonates at import time);
+* the **wire error registry** (``repro.service_http.errors``) must be a
+  bijection: every wire code names exactly one exception type, every
+  type appears under exactly one code, every typed error the registry
+  module defines is mapped, every mapped type resolves to a real
+  definition *and* is exported from the facade, and ``WIRE_STATUS``
+  covers exactly the registered codes — so a client can always turn a
+  wire code back into the one exception ``repro.api`` exports for it.
 
 The call-graph **dead-code report** (unreferenced functions/methods)
 rides along in ``results/ANALYSIS_graph.json`` as information, not as
@@ -20,6 +27,8 @@ violations — see :meth:`CallGraph.dead_functions`.
 """
 
 from __future__ import annotations
+
+import ast
 
 from ...lint.rules.api import DEPRECATED_NAMES
 from ..framework import FlowRule, register_flow_rule
@@ -47,6 +56,9 @@ class ApiSurfaceRule(FlowRule):
     #: The facade module this rule audits.
     FACADE_MODULE = "repro.api"
 
+    #: The wire error registry module (codes ↔ exception types).
+    REGISTRY_MODULE = "repro.service_http.errors"
+
     def check(self) -> list:
         facade = self.project.modules.get(self.FACADE_MODULE)
         if facade is None:
@@ -60,6 +72,7 @@ class ApiSurfaceRule(FlowRule):
         self._check_bindings_exported(facade)
         self._check_deprecated(facade)
         self._check_reexports_resolve(facade)
+        self._check_wire_registry(facade)
         return self.violations
 
     # ------------------------------------------------------------------
@@ -126,4 +139,135 @@ class ApiSurfaceRule(FlowRule):
                     binding.line,
                     f"re-export of {binding.symbol!r} from {binding.module}:"
                     " the source module does not define or import that name",
+                )
+
+    # ------------------------------------------------------------------
+    # The wire error registry (repro.service_http.errors)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _dict_literal(
+        module: ModuleInfo, name: str
+    ) -> tuple[ast.Dict | None, int]:
+        """The dict-literal assigned to top-level ``name`` (and its line)."""
+        for node in module.source.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if isinstance(value, ast.Dict):
+                        return value, node.lineno
+                    return None, node.lineno
+        return None, 1
+
+    def _check_wire_registry(self, facade: ModuleInfo) -> None:
+        registry = self.project.modules.get(self.REGISTRY_MODULE)
+        if registry is None:
+            return  # the serving layer is absent in synthetic fixtures
+        errors_dict, errors_line = self._dict_literal(registry, "WIRE_ERRORS")
+        if errors_dict is None:
+            self.report(
+                registry,
+                errors_line,
+                "WIRE_ERRORS must be a top-level dict literal mapping wire"
+                " codes to exception types (the registry is audited"
+                " statically)",
+            )
+            return
+        exported = set(facade.export_names())
+        codes: dict[str, int] = {}
+        types: dict[str, int] = {}
+        for key, value in zip(errors_dict.keys, errors_dict.values):
+            line = key.lineno if key is not None else errors_line
+            if not (isinstance(key, ast.Constant) and isinstance(key.value, str)):
+                self.report(
+                    registry, line, "WIRE_ERRORS keys must be string literals"
+                )
+                continue
+            code = key.value
+            if code in codes:
+                self.report(
+                    registry,
+                    line,
+                    f"wire code {code!r} registered twice (first at line"
+                    f" {codes[code]}); codes must be unique",
+                )
+                continue
+            codes[code] = line
+            if not isinstance(value, ast.Name):
+                self.report(
+                    registry,
+                    line,
+                    f"wire code {code!r} must map to a plain exception-class"
+                    " name",
+                )
+                continue
+            type_name = value.id
+            if type_name in types:
+                self.report(
+                    registry,
+                    line,
+                    f"exception type {type_name!r} is registered under two"
+                    " wire codes (one type, one code)",
+                )
+                continue
+            types[type_name] = line
+            if self.project.resolve(self.REGISTRY_MODULE, type_name) is None:
+                self.report(
+                    registry,
+                    line,
+                    f"wire code {code!r} maps to {type_name!r}, which the"
+                    " registry module neither defines nor imports",
+                )
+            if type_name not in exported:
+                self.report(
+                    registry,
+                    line,
+                    f"wire code {code!r} maps to {type_name!r}, but the stable"
+                    f" facade does not export it — a client cannot catch the"
+                    " typed error the code names",
+                )
+        for class_name, node in sorted(registry.classes.items()):
+            if class_name.endswith("Error") and class_name not in types:
+                self.report(
+                    registry,
+                    node.lineno,
+                    f"typed error {class_name!r} is defined in the registry"
+                    " module but missing from WIRE_ERRORS; every wire-layer"
+                    " error needs a stable code",
+                )
+        status_dict, status_line = self._dict_literal(registry, "WIRE_STATUS")
+        if status_dict is None:
+            self.report(
+                registry,
+                status_line,
+                "WIRE_STATUS must be a top-level dict literal (code ->"
+                " HTTP status)",
+            )
+            return
+        status_codes: set[str] = set()
+        for key in status_dict.keys:
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                status_codes.add(key.value)
+        for code, line in sorted(codes.items()):
+            if code not in status_codes:
+                self.report(
+                    registry,
+                    line,
+                    f"wire code {code!r} has no HTTP status in WIRE_STATUS",
+                )
+        for key in status_dict.keys:
+            if (
+                isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and key.value not in codes
+            ):
+                self.report(
+                    registry,
+                    key.lineno,
+                    f"WIRE_STATUS lists {key.value!r}, which is not a"
+                    " registered wire code",
                 )

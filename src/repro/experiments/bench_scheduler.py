@@ -40,7 +40,7 @@ import numpy as np
 from ..platform.platform import CrowdPlatform
 from ..platform.workforce import WorkerPool
 from ..scheduler import CrowdScheduler
-from ..service import CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
+from ..jobs import CrowdMaxJob, CrowdTopKJob, JobPhaseConfig
 from ..workers.threshold import ThresholdWorkerModel
 from .base import TableResult
 from .artifacts import write_json_atomic

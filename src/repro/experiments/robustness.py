@@ -34,7 +34,7 @@ from ..platform.gold import GoldPolicy
 from ..platform.job import ComparisonTask
 from ..platform.platform import CrowdPlatform
 from ..platform.workforce import WorkerPool
-from ..service import CrowdMaxJob, JobPhaseConfig
+from ..jobs import CrowdMaxJob, JobPhaseConfig
 from ..workers.aggregation import MajorityOfKModel
 from ..workers.drift import FatigueWorkerModel
 from ..workers.expert import WorkerClass, make_worker_classes

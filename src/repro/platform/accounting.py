@@ -40,7 +40,7 @@ class CostLedger:
     charge that would push :attr:`total_cost` past the cap is refused
     with a typed :class:`~repro.platform.errors.CostCapError` and is
     *not* recorded, so the ledger can never stand above its cap — the
-    invariant :class:`~repro.service.CrowdMaxJob` and the chaos suite
+    invariant :class:`~repro.jobs.CrowdMaxJob` and the chaos suite
     rely on.  The default (``None``) never refuses anything.
     """
 

@@ -16,7 +16,7 @@ Hierarchy::
                             retry policy is strict (``on_degraded="raise"``)
 
 ``BudgetExceededError`` — the job-level wrapper that carries a partial
-:class:`~repro.service.CrowdJobResult` — lives in :mod:`repro.service`,
+:class:`~repro.jobs.CrowdJobResult` — lives in :mod:`repro.jobs`,
 one layer up, because it speaks in job terms (survivors, answers)
 rather than platform terms (batches, charges).
 """

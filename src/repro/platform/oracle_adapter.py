@@ -35,9 +35,9 @@ class PlatformWorkerModel(WorkerModel):
     With ``strict=True`` a batch that settles with degraded tasks
     raises :class:`~repro.platform.errors.DegradedBatchError` (carrying
     the settled report) instead of silently feeding partial majorities
-    to the algorithm — how
-    :class:`~repro.service.ResilientCrowdMaxJob` notices that its
-    expert pool collapsed and falls back.
+    to the algorithm — how a :class:`~repro.jobs.CrowdMaxJob` with a
+    :class:`~repro.jobs.ResiliencePolicy` notices that its expert pool
+    collapsed and falls back.
     """
 
     def __init__(

@@ -2,10 +2,12 @@
 
 The serving layer the paper's Section 1 gestures at: a host system
 answering many crowd queries at once submits jobs (any class speaking
-the uniform ``submit()/settle()`` protocol of :mod:`repro.service`) to
+the uniform ``submit()/settle()`` protocol of :mod:`repro.jobs`) to
 one :class:`CrowdScheduler`, which settles them cooperatively against
 shared worker pools with fair-share admission, per-tenant budget
-isolation, and a cross-job comparison memo cache.
+isolation, and a cross-job comparison memo cache.  The HTTP serving
+layer (:mod:`repro.service_http`) runs one scheduler *generation* per
+admitted batch on top of this module.
 
 See ``docs/SCHEDULER.md`` for the event loop, fairness policy, cache
 semantics, and the determinism contract.
@@ -13,7 +15,11 @@ semantics, and the determinism contract.
 
 from .cache import ComparisonMemoCache, DurableComparisonCache, fingerprint_instance
 from .engine import CrowdScheduler, JobOutcome, JobTicket
-from .errors import SchedulerSaturatedError, SchedulerThreadLeakWarning
+from .errors import (
+    JobCancelledError,
+    SchedulerSaturatedError,
+    SchedulerThreadLeakWarning,
+)
 
 __all__ = [
     "CrowdScheduler",
@@ -22,6 +28,7 @@ __all__ = [
     "ComparisonMemoCache",
     "DurableComparisonCache",
     "fingerprint_instance",
+    "JobCancelledError",
     "SchedulerSaturatedError",
     "SchedulerThreadLeakWarning",
 ]

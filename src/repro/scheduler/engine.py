@@ -4,14 +4,14 @@ Section 1 positions the paper's algorithm as a primitive for host
 systems (CrowdDB and friends) that answer *many* crowd queries at once.
 This module is that serving layer for the simulator: a
 :class:`CrowdScheduler` admits many jobs — any class speaking the
-uniform ``submit()/settle()`` protocol of :mod:`repro.service` — and
+uniform ``submit()/settle()`` protocol of :mod:`repro.jobs` — and
 settles them cooperatively against **shared** worker pools, instead of
 giving each query a private platform.
 
 Execution model
 ---------------
 Each admitted job runs as a **coroutine ticket**: its algorithm body is
-the ``steps()`` generator of :mod:`repro.service`, advanced on the
+the ``steps()`` generator of :mod:`repro.jobs`, advanced on the
 scheduler's own thread until it yields a platform-backed oracle call,
 which parks it (no thread, no lock handoff).  Jobs speaking only the
 ``submit()/settle()`` protocol fall back to a thread per job with the
@@ -93,10 +93,14 @@ from ..platform.job import BatchReport, TaskReport
 from ..platform.oracle_adapter import PlatformWorkerModel
 from ..platform.platform import CrowdPlatform, FastBatchPlan, fast_model_groups
 from ..platform.workforce import WorkerPool
-from ..service import BudgetExceededError, CrowdJobResult, CrowdMaxJob
+from ..jobs import BudgetExceededError, CrowdJobResult, CrowdMaxJob
 from ..telemetry import NULL_TRACER, Tracer, resolve_tracer
 from .cache import ComparisonMemoCache, DurableComparisonCache, fingerprint_instance
-from .errors import SchedulerSaturatedError, SchedulerThreadLeakWarning
+from .errors import (
+    JobCancelledError,
+    SchedulerSaturatedError,
+    SchedulerThreadLeakWarning,
+)
 
 __all__ = ["JobTicket", "JobOutcome", "CrowdScheduler"]
 
@@ -311,6 +315,8 @@ class JobTicket:
         self.job = job
         self.tenant = tenant
         self.fingerprint = fingerprint_instance(job.instance)
+        #: Cooperative cancellation flag; see :meth:`cancel`.
+        self.cancel_requested = False
         job_seed, platform_seed = seed.spawn(2)
         self.rng = np.random.default_rng(job_seed)
         self._platform_rng = np.random.default_rng(platform_seed)
@@ -370,6 +376,24 @@ class JobTicket:
                 self.request = None
                 cond.notify_all()
 
+    # ------------------------------------------------------------------
+    # Cancellation (host-facing)
+    # ------------------------------------------------------------------
+    def cancel(self) -> None:
+        """Request cooperative cancellation of this job.
+
+        Safe to call from any thread at any time — the method only
+        sets a flag.  The scheduler honours it at the job's next
+        control point: a job not yet launched settles immediately as
+        ``"cancelled"``; a running job has
+        :class:`~repro.scheduler.errors.JobCancelledError` thrown into
+        it at its next parked oracle call instead of the batch
+        answers.  A job that has already settled is unaffected — its
+        outcome stands, which is why the HTTP layer answers 409 for
+        cancels of settled jobs.
+        """
+        self.cancel_requested = True
+
 
 @dataclass(frozen=True)
 class JobOutcome:
@@ -377,13 +401,15 @@ class JobOutcome:
 
     ``status`` is ``"ok"`` for a clean settle, ``"budget_exceeded"``
     when the job's (or its tenant's) mid-flight cap stopped it — the
-    partial result rides on ``error.partial`` — and ``"failed"`` for
-    any other exception.  Exactly one of ``result`` / ``error`` is set.
+    partial result rides on ``error.partial`` — ``"cancelled"`` when a
+    host revoked the job via :meth:`JobTicket.cancel`, and
+    ``"failed"`` for any other exception.  Exactly one of ``result`` /
+    ``error`` is set.
     """
 
     ticket: JobTicket
     settle_index: int
-    status: Literal["ok", "budget_exceeded", "failed"]
+    status: Literal["ok", "budget_exceeded", "cancelled", "failed"]
     result: CrowdJobResult | None
     error: BaseException | None
 
@@ -431,6 +457,16 @@ class CrowdScheduler:
     tenant_caps:
         Optional ``{tenant: hard_cap}`` budgets; all jobs of a tenant
         charge one shared ledger, so the cap binds them jointly.
+    tenant_ledgers:
+        Optional ``{tenant: CostLedger}`` mapping used as the backing
+        store for the shared tenant ledgers.  A scheduler is one-shot
+        (:meth:`run` once), so a long-lived host — the HTTP service
+        runs one scheduler *generation* per admitted batch — injects
+        the same dict into every generation and tenant spending
+        accumulates across them; a tenant cap then bounds the
+        tenant's **lifetime** spend, not one generation's.  Ledgers
+        for tenants missing from the dict are created lazily (with
+        ``tenant_caps``) and left in it.
     tracer:
         Telemetry destination.  Scheduler-level records
         (``job_admitted`` / ``scheduler_tick`` / ``batch_coalesced`` /
@@ -470,6 +506,7 @@ class CrowdScheduler:
         quantum: int | None = 64,
         max_pending: int = 64,
         tenant_caps: dict[str, float] | None = None,
+        tenant_ledgers: dict[str, CostLedger] | None = None,
         tracer: Tracer | None = None,
         durability: DurabilityPolicy | None = None,
         fusion: bool = True,
@@ -517,7 +554,12 @@ class CrowdScheduler:
         self.quantum = quantum
         self.fusion = bool(fusion)
         self.max_pending = max_pending
-        self._tenant_ledgers: dict[str, CostLedger] = {}
+        # The injected dict (when given) is used *as* the store, not
+        # copied: lazily-created ledgers land in it, so the host sees
+        # them and the next generation reuses them.
+        self._tenant_ledgers: dict[str, CostLedger] = (
+            tenant_ledgers if tenant_ledgers is not None else {}
+        )
         self._tenant_caps = dict(tenant_caps or {})
         self._tickets: list[JobTicket] = []
         self._cond = threading.Condition()
@@ -541,13 +583,28 @@ class CrowdScheduler:
     # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
-    def submit(self, job: CrowdMaxJob, tenant: str = "default") -> JobTicket:
+    def submit(
+        self,
+        job: CrowdMaxJob,
+        tenant: str = "default",
+        seed: int | np.random.SeedSequence | None = None,
+    ) -> JobTicket:
         """Admit one job; returns its ticket (outcome set after run()).
 
         Raises :class:`SchedulerSaturatedError` when the bounded queue
         is full and ``RuntimeError`` after :meth:`run` has started —
         the job set must be fixed before the clock starts so admission
-        order (and therefore seeding) is unambiguous.
+        order (and therefore seeding) is unambiguous.  Backpressure is
+        checked *before* any seed is spawned, so a refused submission
+        leaves the root seed tree untouched.
+
+        ``seed`` pins the ticket's randomness explicitly instead of
+        spawning it from the scheduler's root: the ticket splits it
+        into the usual (algorithm, platform) stream pair.  With the
+        cache off and stateless pools, an explicitly-seeded job's
+        result is bit-identical regardless of which scheduler
+        generation serves it or what shares the schedule — the
+        property the HTTP layer's parity gate is built on.
         """
         if self._started:
             raise RuntimeError("cannot submit after run() has started")
@@ -555,11 +612,17 @@ class CrowdScheduler:
             raise SchedulerSaturatedError(
                 capacity=self.max_pending, pending=len(self._tickets)
             )
+        if seed is None:
+            seed_seq = self._seeds.spawn(1)[0]
+        elif isinstance(seed, np.random.SeedSequence):
+            seed_seq = seed
+        else:
+            seed_seq = np.random.SeedSequence(int(seed))
         ticket = JobTicket(
             index=len(self._tickets),
             job=job,
             tenant=tenant,
-            seed=self._seeds.spawn(1)[0],
+            seed=seed_seq,
             scheduler=self,
         )
         self._tickets.append(ticket)
@@ -678,6 +741,14 @@ class CrowdScheduler:
             retry=self.retry,
             tracer=ticket.tracer,
         )
+        if ticket.cancel_requested:
+            # Cancelled before launch: settle as "cancelled" without
+            # opening the generator or spending anything.  The tenant
+            # platform above is still built so the outcome's cost
+            # accessor works (it reads 0.0).
+            ticket._error = JobCancelledError(ticket.index)
+            ticket.state = "done"
+            return
         if self.tracer.enabled:
             self.tracer.event(
                 "job_admitted",
@@ -1211,6 +1282,12 @@ class CrowdScheduler:
             request = ticket._inflight
             assert request is not None
             ticket._inflight = None
+            if ticket.cancel_requested and request.error is None:
+                # The resume point is the cancellation point: instead
+                # of the answers the job paid for, it receives the
+                # typed cancel error (the charges stand — ledgers are
+                # authoritative; see JobTicket.cancel).
+                request.error = JobCancelledError(ticket.index)
             if ticket._gen is None:
                 self._wake(ticket, request)
                 self._await_ticket_parked(ticket)
@@ -1489,9 +1566,11 @@ class CrowdScheduler:
             ticket._thread.join(timeout=_STALL_TIMEOUT_S)
         error = ticket._error
         if error is None:
-            status: Literal["ok", "budget_exceeded", "failed"] = "ok"
+            status: Literal["ok", "budget_exceeded", "cancelled", "failed"] = "ok"
         elif isinstance(error, BudgetExceededError):
             status = "budget_exceeded"
+        elif isinstance(error, JobCancelledError):
+            status = "cancelled"
         else:
             status = "failed"
         outcome = JobOutcome(

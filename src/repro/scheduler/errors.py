@@ -2,7 +2,35 @@
 
 from __future__ import annotations
 
-__all__ = ["SchedulerSaturatedError", "SchedulerThreadLeakWarning"]
+__all__ = [
+    "JobCancelledError",
+    "SchedulerSaturatedError",
+    "SchedulerThreadLeakWarning",
+]
+
+
+class JobCancelledError(RuntimeError):
+    """A job was cancelled before it could settle.
+
+    Cancellation is cooperative: :meth:`JobTicket.cancel
+    <repro.scheduler.engine.JobTicket.cancel>` only sets a flag, and
+    the scheduler honours it at the job's next control point — before
+    launch, or at a parked oracle call, where this error is thrown
+    into the job instead of the batch answers.  The ticket settles
+    with outcome status ``"cancelled"``; money already spent stays
+    spent (the ledgers are authoritative).
+
+    Attributes
+    ----------
+    job_index:
+        Admission index of the cancelled job, or the service-layer job
+        id when the job was cancelled while still queued (before any
+        scheduler admitted it).
+    """
+
+    def __init__(self, job_index: int | str):
+        super().__init__(f"job {job_index} was cancelled before settling")
+        self.job_index = job_index
 
 
 class SchedulerSaturatedError(RuntimeError):

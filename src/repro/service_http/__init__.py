@@ -1,0 +1,83 @@
+"""The HTTP serving layer: ``CrowdScheduler`` behind a versioned wire API.
+
+The network twin of the in-process job layer (:mod:`repro.jobs`): a
+stdlib-asyncio HTTP/JSON server (:mod:`.server`), a matching async
+client (:mod:`.client`), one codec (:mod:`.codec`), versioned wire
+shapes stamped ``repro.service/v1`` (:mod:`.wire`), a single
+error-envelope registry shared with ``repro.api`` (:mod:`.errors`),
+bearer-token tenancy + token-bucket limits (:mod:`.auth`), and the
+generation runner that feeds the one-shot scheduler (:mod:`.runner`,
+:mod:`.state`).  The ``repro-serve`` CLI (:mod:`.cli`) is a thin
+front-end.
+
+Stable names are re-exported from :mod:`repro.api`; import from there
+in downstream code.  See ``docs/SERVICE.md``.
+"""
+
+from .auth import TenantAuth, TokenBucket
+from .client import RemoteServiceError, ServiceClient, ServiceResponse
+from .errors import (
+    WIRE_ERRORS,
+    WIRE_STATUS,
+    ConflictError,
+    ForbiddenError,
+    InvalidRequestError,
+    JobFailedError,
+    MethodNotAllowedError,
+    NotFoundError,
+    RateLimitedError,
+    ServiceError,
+    UnauthorizedError,
+    error_envelope,
+    wire_code,
+    wire_status,
+)
+from .runner import ServiceConfig, ServiceRunner, default_pool_factory
+from .server import ServiceServer
+from .state import JobRecord, ServiceState
+from .wire import (
+    JOB_STATES,
+    SETTLED_STATES,
+    WIRE_SCHEMA,
+    EventRecord,
+    HealthView,
+    JobSpec,
+    JobView,
+    ResultEnvelope,
+)
+
+__all__ = [
+    "WIRE_SCHEMA",
+    "JOB_STATES",
+    "SETTLED_STATES",
+    "WIRE_ERRORS",
+    "WIRE_STATUS",
+    "ServiceError",
+    "InvalidRequestError",
+    "UnauthorizedError",
+    "ForbiddenError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "ConflictError",
+    "RateLimitedError",
+    "JobFailedError",
+    "RemoteServiceError",
+    "wire_code",
+    "wire_status",
+    "error_envelope",
+    "JobSpec",
+    "JobView",
+    "ResultEnvelope",
+    "EventRecord",
+    "HealthView",
+    "TokenBucket",
+    "TenantAuth",
+    "JobRecord",
+    "ServiceState",
+    "ServiceConfig",
+    "ServiceRunner",
+    "default_pool_factory",
+    "ServiceServer",
+    "ServiceClient",
+    "ServiceResponse",
+]

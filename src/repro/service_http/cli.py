@@ -1,0 +1,137 @@
+"""``repro-serve``: run the HTTP serving layer from the command line.
+
+Thin argparse front-end over :class:`ServiceServer`; everything it
+configures is a :class:`ServiceConfig` field.  Without ``--token`` it
+mints a development token (printed once at startup) so a local
+smoke-test is one command::
+
+    repro-serve --port 8080
+    curl -s -H "Authorization: Bearer dev-token" \\
+        http://127.0.0.1:8080/healthz
+
+See ``docs/SERVICE.md`` for the full runbook.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+from typing import Sequence
+
+from ..telemetry import JsonlSink, Tracer
+from .runner import ServiceConfig
+from .server import ServiceServer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve CrowdScheduler over HTTP (repro.service/v1).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument(
+        "--token",
+        action="append",
+        default=[],
+        metavar="TENANT=TOKEN",
+        help="enable TENANT with bearer TOKEN (repeatable); "
+        "default: one 'default' tenant with token 'dev-token'",
+    )
+    parser.add_argument(
+        "--tenant-cap",
+        action="append",
+        default=[],
+        metavar="TENANT=CAP",
+        help="lifetime budget cap for TENANT (repeatable)",
+    )
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="per-tenant submissions per second (default: unlimited)",
+    )
+    parser.add_argument("--burst", type=float, default=10.0)
+    parser.add_argument(
+        "--max-queued", type=int, default=256, help="admission queue bound (429 past it)"
+    )
+    parser.add_argument(
+        "--generation-max-jobs",
+        type=int,
+        default=64,
+        help="jobs per scheduler generation",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None, help="write telemetry jsonl to PATH"
+    )
+    return parser
+
+
+def _parse_pairs(pairs: list[str], what: str) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name or not value:
+            raise SystemExit(f"--{what} wants TENANT=VALUE, got {pair!r}")
+        out[name] = value
+    return out
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    tenant_tokens = _parse_pairs(args.token, "token")
+    if not tenant_tokens:
+        tenant_tokens = {"default": "dev-token"}
+        print(
+            "repro-serve: no --token given; using development token "
+            "'dev-token' for tenant 'default'",
+            file=sys.stderr,
+        )
+    caps = {
+        tenant: float(cap)
+        for tenant, cap in _parse_pairs(args.tenant_cap, "tenant-cap").items()
+    }
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        tokens={token: tenant for tenant, token in tenant_tokens.items()},
+        tenant_caps=caps,
+        rate=args.rate,
+        burst=args.burst,
+        max_queued=args.max_queued,
+        generation_max_jobs=args.generation_max_jobs,
+    )
+
+
+async def _serve(config: ServiceConfig, trace_path: str | None) -> None:
+    tracer = Tracer(sink=JsonlSink(trace_path)) if trace_path else None
+    server = ServiceServer(config, tracer=tracer)
+    await server.start()
+    print(
+        f"repro-serve: listening on http://{config.host}:{server.port} "
+        f"(tenants: {', '.join(sorted(server.auth.tenants))})",
+        file=sys.stderr,
+    )
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.aclose()
+        if tracer is not None and tracer.sink is not None:
+            tracer.sink.close()
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(config_from_args(args), args.trace))
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""The one JSON codec of the serving layer.
+
+Every byte of wire JSON — request bodies, response bodies, ndjson
+event lines — passes through these two functions.  Centralizing the
+codec is what makes the ``repro.service/v1`` stamp meaningful: one
+encoding policy (compact separators, sorted keys, no NaN/Infinity
+smuggling), one decoding policy (strict UTF-8, objects only), and one
+typed failure mode (:class:`InvalidRequestError`, which the server
+maps to a 400 with the ``invalid_request`` wire code).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from .errors import InvalidRequestError
+
+__all__ = ["dumps", "loads", "encode_line"]
+
+
+def dumps(payload: Mapping[str, Any]) -> bytes:
+    """Encode one wire payload: compact, key-sorted, strictly finite.
+
+    ``allow_nan=False`` because NaN/Infinity are not JSON — a payload
+    that smuggles them would decode differently (or not at all) in
+    other runtimes, breaking the schema contract.
+    """
+    return json.dumps(
+        payload, separators=(",", ":"), sort_keys=True, allow_nan=False
+    ).encode("utf-8")
+
+
+def loads(body: bytes) -> dict[str, Any]:
+    """Decode one wire payload; typed 400 on anything malformed."""
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise InvalidRequestError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise InvalidRequestError(
+            f"request body must be a JSON object, got {type(decoded).__name__}"
+        )
+    return decoded
+
+
+def encode_line(payload: Mapping[str, Any]) -> bytes:
+    """One ndjson line (the ``/events`` stream framing)."""
+    return dumps(payload) + b"\n"

@@ -1,0 +1,214 @@
+"""The wire error surface: one registry, every typed error, stable codes.
+
+The api_redesign core of the serving layer: **every** error a client
+can see — HTTP-protocol problems, auth failures, backpressure, and the
+typed platform/scheduler/durability errors raised while a job runs —
+maps to exactly one stable machine-readable wire code, declared once
+in :data:`WIRE_ERRORS`.  The HTTP server, the async client, and
+``repro.api`` all speak through this registry; nothing else is allowed
+to invent an error shape.  The ``FLOW004`` whole-program rule audits
+the registry (codes unique, exception types unique and exported via
+the stable facade, no typed error of this module left unmapped) — see
+``docs/STATIC_ANALYSIS.md``.
+
+On the wire an error is an **envelope**::
+
+    {"schema": "repro.service/v1",
+     "error": {"code": "...", "message": "...",
+               "retry_after": 1.0,        # 429s only
+               "detail": {...}}}          # e.g. the partial result
+
+built by :func:`error_envelope`, never by hand.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..durability.errors import DurabilityError, JournalMismatchError
+from ..jobs import WIRE_SCHEMA, BudgetExceededError
+from ..platform.errors import CostCapError, DegradedBatchError, PlatformError
+from ..scheduler.errors import JobCancelledError, SchedulerSaturatedError
+
+__all__ = [
+    "ServiceError",
+    "InvalidRequestError",
+    "UnauthorizedError",
+    "ForbiddenError",
+    "NotFoundError",
+    "MethodNotAllowedError",
+    "ConflictError",
+    "RateLimitedError",
+    "JobFailedError",
+    "WIRE_ERRORS",
+    "WIRE_STATUS",
+    "wire_code",
+    "wire_status",
+    "error_envelope",
+]
+
+
+class ServiceError(Exception):
+    """Base typed error of the HTTP serving layer.
+
+    Every subclass (and every non-HTTP typed error the registry maps)
+    has a stable wire ``code``; the base class itself is the
+    ``"internal"`` catch-all a client sees when something genuinely
+    unexpected broke.  ``retry_after`` (seconds) rides along on errors
+    a client should back off from.
+    """
+
+    code = "internal"
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class InvalidRequestError(ServiceError):
+    """The request body or parameters could not be understood (400)."""
+
+    code = "invalid_request"
+
+
+class UnauthorizedError(ServiceError):
+    """Missing, malformed, or unknown bearer token (401)."""
+
+    code = "unauthorized"
+
+
+class ForbiddenError(ServiceError):
+    """Valid token, but the tenant may not do this (403)."""
+
+    code = "forbidden"
+
+
+class NotFoundError(ServiceError):
+    """No such route or job (404)."""
+
+    code = "not_found"
+
+
+class MethodNotAllowedError(ServiceError):
+    """The route exists but not for this HTTP method (405)."""
+
+    code = "method_not_allowed"
+
+
+class ConflictError(ServiceError):
+    """The request is valid but the job's state forbids it (409) —
+    e.g. cancelling a job that already settled."""
+
+    code = "conflict"
+
+
+class RateLimitedError(ServiceError):
+    """The tenant's token bucket is empty (429, with Retry-After)."""
+
+    code = "rate_limited"
+
+
+class JobFailedError(ServiceError):
+    """A job raised an exception the registry has no specific code for;
+    the original error's repr travels in the message (500)."""
+
+    code = "job_failed"
+
+
+#: The error-envelope registry: wire code → the one exception type it
+#: names.  Keys are the API contract (a client switches on them);
+#: values span every layer a job request can fail in.  ``FLOW004``
+#: checks this dict stays a bijection and that every value is exported
+#: from ``repro.api``.
+WIRE_ERRORS: dict[str, type[BaseException]] = {
+    "internal": ServiceError,
+    "invalid_request": InvalidRequestError,
+    "unauthorized": UnauthorizedError,
+    "forbidden": ForbiddenError,
+    "not_found": NotFoundError,
+    "method_not_allowed": MethodNotAllowedError,
+    "conflict": ConflictError,
+    "rate_limited": RateLimitedError,
+    "job_failed": JobFailedError,
+    "scheduler_saturated": SchedulerSaturatedError,
+    "job_cancelled": JobCancelledError,
+    "budget_exceeded": BudgetExceededError,
+    "cost_cap": CostCapError,
+    "degraded_batch": DegradedBatchError,
+    "platform_error": PlatformError,
+    "journal_mismatch": JournalMismatchError,
+    "durability_error": DurabilityError,
+}
+
+#: HTTP status each wire code is served with.  Kept beside the
+#: registry (same keys, checked by ``FLOW004``) so the two can never
+#: drift apart.
+WIRE_STATUS: dict[str, int] = {
+    "internal": 500,
+    "invalid_request": 400,
+    "unauthorized": 401,
+    "forbidden": 403,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "conflict": 409,
+    "rate_limited": 429,
+    "job_failed": 500,
+    "scheduler_saturated": 429,
+    "job_cancelled": 409,
+    "budget_exceeded": 402,
+    "cost_cap": 402,
+    "degraded_batch": 500,
+    "platform_error": 500,
+    "journal_mismatch": 500,
+    "durability_error": 500,
+}
+
+#: Exact exception type → code, derived once.  Iteration order of the
+#: registry resolves subclass ambiguity deterministically: the *first*
+#: entry whose type matches wins the MRO walk in :func:`wire_code`.
+_CODE_OF_TYPE: dict[type[BaseException], str] = {
+    exc_type: code for code, exc_type in WIRE_ERRORS.items()
+}
+
+
+def wire_code(error: BaseException) -> str:
+    """The stable wire code for ``error``.
+
+    Exact type first, then the method resolution order — so a
+    :class:`CostCapError` says ``"cost_cap"``, not its base class's
+    ``"platform_error"`` — and ``"internal"`` for anything the
+    registry does not know.
+    """
+    code = _CODE_OF_TYPE.get(type(error))
+    if code is not None:
+        return code
+    for base in type(error).__mro__:
+        code = _CODE_OF_TYPE.get(base)  # type: ignore[arg-type]
+        if code is not None:
+            return code
+    return "internal"
+
+
+def wire_status(code: str) -> int:
+    """The HTTP status for a wire code (500 for unknown codes)."""
+    return WIRE_STATUS.get(code, 500)
+
+
+def error_envelope(error: BaseException) -> dict[str, Any]:
+    """The ``repro.service/v1`` error envelope for ``error``.
+
+    The one constructor of wire error payloads.  Typed extras ride in
+    well-known fields: ``retry_after`` on backoff-able errors and
+    ``detail`` carrying a schema-stamped payload — for
+    :class:`BudgetExceededError` that is the breach's ``to_dict()``
+    form, **partial result included**, so a client that paid for half
+    a job gets the survivors it bought.
+    """
+    code = wire_code(error)
+    body: dict[str, Any] = {"code": code, "message": str(error)}
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        body["retry_after"] = float(retry_after)
+    if isinstance(error, BudgetExceededError):
+        body["detail"] = error.to_dict()
+    return {"schema": WIRE_SCHEMA, "error": body}

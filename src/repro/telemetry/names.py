@@ -64,6 +64,10 @@ EVENT_KINDS: frozenset[str] = frozenset(
         "resume_replayed",
         "cache_persisted",
         "cache_invalidated",
+        # HTTP serving layer
+        "http_request",
+        "job_queued",
+        "job_cancelled",
         # CLI
         "cli_start",
     }
@@ -86,6 +90,7 @@ SPAN_NAMES: frozenset[str] = frozenset(
         "scheduler.tick.settle",
         "scheduler.tick.scatter",
         "scheduler.tick.resume",
+        "service.generation",
     }
 )
 
@@ -97,6 +102,9 @@ COUNTER_NAMES: frozenset[str] = frozenset(
         "durability.journal_appends",
         "durability.resume_replays",
         "durability.cache_persisted",
+        "service.jobs_submitted",
+        "service.jobs_settled",
+        "service.http_requests",
     }
 )
 

@@ -1,10 +1,10 @@
-"""Tests for the stable ``repro.api`` facade and the deprecation shims.
+"""Tests for the stable ``repro.api`` facade.
 
 The compatibility story under test: ``repro.api`` re-exports every
 supported name unchanged (same objects, not copies), the deprecated
-``ResilientCrowdMaxJob`` still works through every legacy import path
-but warns, and the shim is behaviourally identical to the replacement
-``resilience=ResiliencePolicy(...)`` option.
+``ResilientCrowdMaxJob`` finished its cycle and is *gone* from every
+import path, and ``repro.service`` survives as a silent alias of
+``repro.jobs`` (the module rename must not break old imports).
 """
 
 import importlib
@@ -14,15 +14,12 @@ import pytest
 
 import repro
 import repro.api
+import repro.jobs
+import repro.service
 from repro.core.generators import planted_instance
+from repro.jobs import CrowdMaxJob, JobPhaseConfig, ResiliencePolicy
 from repro.platform.platform import CrowdPlatform
 from repro.platform.workforce import WorkerPool
-from repro.service import (
-    CrowdMaxJob,
-    JobPhaseConfig,
-    ResiliencePolicy,
-    ResilientCrowdMaxJob,
-)
 from repro.workers.threshold import ThresholdWorkerModel
 
 
@@ -34,10 +31,11 @@ class TestFacadeSurface:
             "repro.datasets",
             "repro.durability",
             "repro.experiments",
+            "repro.jobs",
             "repro.parallel",
             "repro.platform",
             "repro.scheduler",
-            "repro.service",
+            "repro.service_http",
             "repro.telemetry",
             "repro.workers",
         ]
@@ -58,10 +56,33 @@ class TestFacadeSurface:
         assert "ResilientCrowdMaxJob" not in repro.api.__all__
         assert not hasattr(repro.api, "ResilientCrowdMaxJob")
 
-    def test_package_still_reexports_the_shim(self):
-        # legacy `from repro import ResilientCrowdMaxJob` keeps working
-        assert repro.ResilientCrowdMaxJob is ResilientCrowdMaxJob
-        assert "ResilientCrowdMaxJob" in repro.__all__
+
+class TestShimRemoval:
+    """``ResilientCrowdMaxJob`` completed its deprecation cycle."""
+
+    def test_gone_from_every_import_path(self):
+        assert not hasattr(repro, "ResilientCrowdMaxJob")
+        assert "ResilientCrowdMaxJob" not in repro.__all__
+        assert not hasattr(repro.jobs, "ResilientCrowdMaxJob")
+        assert not hasattr(repro.service, "ResilientCrowdMaxJob")
+
+    def test_replacement_is_exported_everywhere(self):
+        assert repro.api.ResiliencePolicy is ResiliencePolicy
+        assert repro.ResiliencePolicy is ResiliencePolicy
+
+
+class TestServiceModuleAlias:
+    """``repro.service`` is a silent re-export alias of ``repro.jobs``."""
+
+    def test_alias_names_are_identical_objects(self):
+        for name in repro.service.__all__:
+            assert getattr(repro.service, name) is getattr(repro.jobs, name)
+
+    def test_alias_import_does_not_warn(self, recwarn):
+        importlib.reload(repro.service)
+        assert not [
+            w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+        ]
 
 
 def make_setup(seed=777):
@@ -84,17 +105,7 @@ def make_setup(seed=777):
     return instance, platform
 
 
-class TestDeprecationShim:
-    def test_shim_warns_on_construction(self):
-        instance, _ = make_setup()
-        with pytest.warns(DeprecationWarning, match="ResiliencePolicy"):
-            ResilientCrowdMaxJob(
-                instance,
-                u_n=3,
-                phase1=JobPhaseConfig(pool="crowd"),
-                phase2=JobPhaseConfig(pool="experts"),
-            )
-
+class TestResilienceOption:
     def test_plain_job_does_not_warn(self, recwarn):
         instance, _ = make_setup()
         CrowdMaxJob(
@@ -108,54 +119,20 @@ class TestDeprecationShim:
             w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
         ]
 
-    def test_shim_maps_onto_the_resilience_option(self):
-        instance, _ = make_setup()
-        with pytest.warns(DeprecationWarning):
-            shim = ResilientCrowdMaxJob(
-                instance,
-                u_n=3,
-                phase1=JobPhaseConfig(pool="crowd"),
-                phase2=JobPhaseConfig(pool="experts"),
-                fallback_redundancy=7,
-            )
-        assert isinstance(shim, CrowdMaxJob)
-        assert shim.resilience == ResiliencePolicy(fallback_redundancy=7)
-        assert shim.fallback_redundancy == 7  # the legacy accessor
+    def test_option_rejects_bad_redundancy(self):
+        with pytest.raises(ValueError):
+            ResiliencePolicy(fallback_redundancy=0)
 
-    def test_shim_and_option_produce_identical_results(self):
-        results = []
-        for style in ("shim", "option"):
-            instance, platform = make_setup()
-            rng = np.random.default_rng(42)
-            if style == "shim":
-                with pytest.warns(DeprecationWarning):
-                    job = ResilientCrowdMaxJob(
-                        instance,
-                        u_n=3,
-                        phase1=JobPhaseConfig(pool="crowd"),
-                        phase2=JobPhaseConfig(pool="experts"),
-                        fallback_redundancy=5,
-                    )
-            else:
-                job = CrowdMaxJob(
-                    instance,
-                    u_n=3,
-                    phase1=JobPhaseConfig(pool="crowd"),
-                    phase2=JobPhaseConfig(pool="experts"),
-                    resilience=ResiliencePolicy(fallback_redundancy=5),
-                )
-            result = job.execute(platform, rng)
-            results.append((result.answer, round(result.total_cost, 9)))
-        assert results[0] == results[1]
-
-    def test_shim_rejects_bad_redundancy(self):
-        instance, _ = make_setup()
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(ValueError):
-                ResilientCrowdMaxJob(
-                    instance,
-                    u_n=3,
-                    phase1=JobPhaseConfig(pool="crowd"),
-                    phase2=JobPhaseConfig(pool="experts"),
-                    fallback_redundancy=0,
-                )
+    def test_option_runs_end_to_end(self):
+        instance, platform = make_setup()
+        job = CrowdMaxJob(
+            instance,
+            u_n=3,
+            phase1=JobPhaseConfig(pool="crowd"),
+            phase2=JobPhaseConfig(pool="experts"),
+            resilience=ResiliencePolicy(fallback_redundancy=5),
+        )
+        result = job.execute(platform, np.random.default_rng(42))
+        assert 0 <= result.winner < len(instance.values)
+        assert result.winner in result.survivors
+        assert result.total_cost > 0

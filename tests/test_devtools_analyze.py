@@ -333,7 +333,7 @@ class TestRngProvenance:
                     def run(sched, a, b, seed):
                         rng = default_rng(seed)
                         sched.submit(a, rng)
-                        sched.submit(b, rng)  # repro-lint: disable=FLOW001 -- fixture shares one stream
+                        sched.submit(b, rng)  # repro-lint: disable=FLOW001 -- shared stream
                 """
             }
         ).report
@@ -459,7 +459,7 @@ class TestTelemetryClosure:
                         tracer.event("ghost_event")
                         with tracer.span("run"):
                             tracer.count("hits")
-                        tracer.event("wip_event")  # repro-lint: disable=FLOW002 -- staged rollout fixture
+                        tracer.event("wip_event")  # repro-lint: disable=FLOW002 -- staged rollout
                 """,
             }
         ).report
@@ -680,6 +680,206 @@ class TestApiSurface:
 
     def test_projects_without_facade_skip_rule(self):
         assert hits({"repro/core.py": self.CORE}, "FLOW004") == []
+
+
+# ----------------------------------------------------------------------
+# FLOW004 — wire error registry bijection
+# ----------------------------------------------------------------------
+class TestWireRegistry:
+    """The ``repro.service_http.errors`` audit riding on FLOW004.
+
+    Each fixture builds a tiny facade + registry pair and perturbs one
+    invariant: codes↔types must be a bijection, every type must resolve
+    and be exported from the facade, every ``*Error`` class defined in
+    the registry must be mapped, and ``WIRE_STATUS`` must cover exactly
+    the registered codes.
+    """
+
+    REGISTRY = """
+        class AlphaError(Exception):
+            pass
+
+        class BetaError(Exception):
+            pass
+
+        WIRE_ERRORS = {"alpha": AlphaError, "beta": BetaError}
+        WIRE_STATUS = {"alpha": 400, "beta": 409}
+    """
+
+    FACADE = """
+        from .service_http.errors import AlphaError
+        from .service_http.errors import BetaError
+
+        __all__ = ["AlphaError", "BetaError"]
+    """
+
+    def project(self, registry=None, facade=None):
+        return {
+            "repro/service_http/errors.py": registry or self.REGISTRY,
+            "repro/api.py": facade or self.FACADE,
+        }
+
+    def test_clean_registry_passes(self):
+        assert hits(self.project(), "FLOW004") == []
+
+    def test_registry_module_absent_skips_the_audit(self):
+        assert (
+            hits({"repro/api.py": "__all__ = []\n"}, "FLOW004") == []
+        )
+
+    def test_registry_must_be_a_dict_literal(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            WIRE_ERRORS = dict(alpha=AlphaError)
+            WIRE_STATUS = {"alpha": 400}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any("top-level dict literal" in v.message for v in found)
+
+    def test_duplicate_code_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            class BetaError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError, "alpha": BetaError}
+            WIRE_STATUS = {"alpha": 400}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any("registered twice" in v.message for v in found)
+
+    def test_one_type_under_two_codes_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError, "beta": AlphaError}
+            WIRE_STATUS = {"alpha": 400, "beta": 409}
+        """
+        facade = """
+            from .service_http.errors import AlphaError
+
+            __all__ = ["AlphaError"]
+        """
+        found = hits(self.project(registry=registry, facade=facade), "FLOW004")
+        assert any("one type, one code" in v.message for v in found)
+
+    def test_non_string_key_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            WIRE_ERRORS = {400: AlphaError}
+            WIRE_STATUS = {}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any("string literals" in v.message for v in found)
+
+    def test_non_name_value_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError()}
+            WIRE_STATUS = {"alpha": 400}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any("plain exception-class" in v.message for v in found)
+
+    def test_unresolvable_type_flagged(self):
+        registry = """
+            WIRE_ERRORS = {"ghost": GhostError}
+            WIRE_STATUS = {"ghost": 500}
+        """
+        facade = """
+            __all__ = []
+        """
+        found = hits(self.project(registry=registry, facade=facade), "FLOW004")
+        assert any("neither defines nor imports" in v.message for v in found)
+
+    def test_type_missing_from_facade_flagged(self):
+        facade = """
+            from .service_http.errors import AlphaError
+
+            __all__ = ["AlphaError"]
+        """
+        found = hits(self.project(facade=facade), "FLOW004")
+        assert any(
+            "facade does not export" in v.message and "'BetaError'" in v.message
+            for v in found
+        )
+
+    def test_unmapped_error_class_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            class OrphanError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError}
+            WIRE_STATUS = {"alpha": 400}
+        """
+        facade = """
+            from .service_http.errors import AlphaError
+
+            __all__ = ["AlphaError"]
+        """
+        found = hits(self.project(registry=registry, facade=facade), "FLOW004")
+        assert any(
+            "missing from WIRE_ERRORS" in v.message and "'OrphanError'" in v.message
+            for v in found
+        )
+
+    def test_code_without_status_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            class BetaError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError, "beta": BetaError}
+            WIRE_STATUS = {"alpha": 400}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any(
+            "no HTTP status" in v.message and "'beta'" in v.message for v in found
+        )
+
+    def test_status_for_unregistered_code_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            class BetaError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError, "beta": BetaError}
+            WIRE_STATUS = {"alpha": 400, "beta": 409, "gamma": 500}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any(
+            "not a registered wire code" in v.message and "'gamma'" in v.message
+            for v in found
+        )
+
+    def test_missing_wire_status_flagged(self):
+        registry = """
+            class AlphaError(Exception):
+                pass
+
+            class BetaError(Exception):
+                pass
+
+            WIRE_ERRORS = {"alpha": AlphaError, "beta": BetaError}
+        """
+        found = hits(self.project(registry=registry), "FLOW004")
+        assert any("WIRE_STATUS must be" in v.message for v in found)
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ EXAMPLES = {
     "traced_run.py": "trace agrees with the result counters exactly",
     "run_single_job.py": "total cost",
     "serve_shared_pools.py": "cache:",
+    "http_client.py": "budget breach",
 }
 
 

@@ -33,7 +33,12 @@ PUBLIC_MODULES = [
     "repro.datasets",
     "repro.experiments",
     "repro.analysis",
+    "repro.jobs",
     "repro.service",
+    "repro.service_http",
+    "repro.service_http.client",
+    "repro.service_http.errors",
+    "repro.service_http.wire",
     "repro.scheduler",
     "repro.durability",
     "repro.api",
